@@ -1,0 +1,102 @@
+"""Ablation A4 — runtime substrate choice (footnote 4's territory).
+
+The paper ran five benchmarks on HJ's blocking work-sharing runtime and
+NQueens on a cooperative runtime.  Our reproduction has three
+interchangeable substrates; this ablation runs the same programs under
+the same verifier (TJ-SP) on all of them:
+
+* thread-per-task (TaskRuntime — the over-approximation of blocking
+  work sharing),
+* a true work-sharing pool with compensation + helping
+  (WorkSharingRuntime),
+* the deterministic cooperative scheduler (CooperativeRuntime; only for
+  programs whose tasks never block mid-function, i.e. NQueens-style).
+
+The interesting outputs are the pool's compensation counts (how often
+blocked workers force growth — high for Strassen-style nesting, zero
+for flat fan-outs) and the relative task-management overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchsuite import make_benchmark
+from repro.runtime import TaskRuntime, WorkSharingRuntime
+
+CASES = {
+    "Series": {"coefficients": 200, "samples": 100},
+    "Strassen": {"n": 128, "cutoff": 64},
+    "Fib": {"n": 14, "cutoff": 8},
+    "MergeSort": {"n": 1 << 12, "cutoff": 1 << 10},
+}
+
+
+def _run_threaded(bench):
+    result, rt = bench.execute("TJ-SP")
+    return result
+
+
+def _run_pool(bench, workers=4):
+    rt = WorkSharingRuntime(policy="TJ-SP", workers=workers)
+    return rt.run(bench.run, rt), rt
+
+
+@pytest.mark.parametrize("name", list(CASES))
+@pytest.mark.parametrize("substrate", ["threaded", "pool"])
+def test_runtime_substrates(benchmark, name, substrate):
+    bench = make_benchmark(name, **CASES[name])
+    bench.build()
+
+    if substrate == "threaded":
+        run = lambda: _run_threaded(bench)  # noqa: E731
+    else:
+        run = lambda: _run_pool(bench)[0]  # noqa: E731
+
+    benchmark.group = f"runtimes-{name}"
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert bench.verify(result)
+
+
+def test_nqueens_on_cooperative_is_default(benchmark):
+    bench = make_benchmark("NQueens", n=8, cutoff=3)
+    bench.build()
+    benchmark.group = "runtimes-NQueens"
+    result = benchmark.pedantic(
+        lambda: bench.execute("TJ-SP")[0], rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert bench.verify(result)
+
+
+class TestPoolBehaviour:
+    def test_flat_fanout_needs_no_compensation(self):
+        bench = make_benchmark("Series", coefficients=100, samples=50)
+        bench.build()
+        result, rt = _run_pool(bench)
+        assert bench.verify(result)
+        assert rt.compensations == 0  # root joins; workers never block
+
+    def test_nested_joins_force_compensation(self):
+        bench = make_benchmark("Strassen", n=128, cutoff=32)
+        bench.build()
+        result, rt = _run_pool(bench, workers=2)
+        assert bench.verify(result)
+        assert rt.compensations > 0
+        print(
+            f"\nStrassen on 2-worker pool: peak {rt.peak_workers} workers, "
+            f"{rt.compensations} compensations"
+        )
+
+    def test_verifier_stats_identical_across_substrates(self):
+        """The verification event stream is substrate-independent."""
+        bench = make_benchmark("Fib", n=13, cutoff=8)
+        bench.build()
+        _, rt_thread = bench.execute("TJ-SP")
+        _, rt_pool = _run_pool(bench)
+        assert rt_thread.verifier.stats.forks == rt_pool.verifier.stats.forks
+        assert (
+            rt_thread.verifier.stats.joins_checked
+            == rt_pool.verifier.stats.joins_checked
+        )
+        assert rt_thread.verifier.stats.joins_rejected == 0
+        assert rt_pool.verifier.stats.joins_rejected == 0

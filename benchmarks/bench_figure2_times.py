@@ -1,0 +1,67 @@
+"""Experiment E3 — Figure 2: absolute execution times with 95% CIs.
+
+The same grid of runs as Table 2, presented as the paper's Figure 2: a
+per-benchmark group of absolute times for the baseline and each policy
+with confidence intervals.  The rendered ASCII chart is printed (run
+pytest with ``-s`` to see it) and its statistical invariants asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figure2 import figure2_data, render_figure2
+from repro.analysis.stats import confidence_interval
+from repro.benchsuite import ALL_BENCHMARKS, Harness, make_benchmark
+
+from .conftest import SMALL_PARAMS
+
+
+@pytest.fixture(scope="module")
+def reports():
+    harness = Harness(
+        repetitions=5,
+        warmup=1,
+        policies=("KJ-VC", "KJ-SS", "TJ-SP"),
+        measure_memory=False,  # Figure 2 is time-only
+    )
+    overrides = {k.replace("-", "_"): v for k, v in SMALL_PARAMS.items()}
+    return harness.measure_suite(ALL_BENCHMARKS, **overrides)
+
+
+def test_figure2_renders(reports):
+    chart = render_figure2(reports)
+    print("\n" + chart)
+    for name in ALL_BENCHMARKS:
+        assert name in chart
+    assert "95% CI" in chart
+
+
+def test_figure2_data_shape(reports):
+    data = figure2_data(reports)
+    assert set(data) == set(ALL_BENCHMARKS)
+    for group in data.values():
+        assert set(group) == {"baseline", "KJ-VC", "KJ-SS", "TJ-SP"}
+        for mu, half in group.values():
+            assert mu > 0 and half >= 0
+
+
+def test_confidence_intervals_cover_the_samples_mean(reports):
+    for r in reports:
+        mu, half = confidence_interval(r.baseline.times)
+        assert abs(mu - r.baseline.mean_time) < 1e-12
+        # CI half-width is bounded by the sample range for sane data
+        spread = max(r.baseline.times) - min(r.baseline.times)
+        assert half <= max(spread * 7, 1e-9)
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_per_benchmark_timing_sample(benchmark, name):
+    """pytest-benchmark series for the figure's baseline bars."""
+    bench = make_benchmark(name, **SMALL_PARAMS[name])
+    bench.build()
+    benchmark.group = "figure2-baseline"
+    result = benchmark.pedantic(
+        lambda: bench.execute(None)[0], rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert bench.verify(result)

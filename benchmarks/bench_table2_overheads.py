@@ -1,0 +1,80 @@
+"""Experiment E2 — Table 2: verification overheads on the six benchmarks.
+
+Each pytest-benchmark case times one full run of one benchmark under one
+policy configuration; pytest-benchmark's grouping puts the baseline and
+the three verifiers side by side per benchmark, which is Table 2's
+structure.  A summary test renders the actual table (factors + geometric
+means) through the harness and asserts the paper's qualitative claims.
+
+Run: ``pytest benchmarks/bench_table2_overheads.py --benchmark-only -s``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.table2 import overhead_summary, render_table2
+from repro.benchsuite import ALL_BENCHMARKS, Harness, make_benchmark
+
+from .conftest import POLICIES, SMALL_PARAMS
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_benchmark_under_policy(benchmark, name, policy):
+    bench = make_benchmark(name, **SMALL_PARAMS[name])
+    bench.build()
+    pol = None if policy == "none" else policy
+
+    def run_once():
+        result, _ = bench.execute(pol)
+        return result
+
+    benchmark.group = f"table2-{name}"
+    result = benchmark.pedantic(run_once, rounds=3, iterations=1, warmup_rounds=1)
+    assert bench.verify(result)
+
+
+class TestTable2Summary:
+    """One harness pass over the whole suite; asserts the headline shape."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        harness = Harness(repetitions=3, warmup=1, policies=("KJ-VC", "KJ-SS", "TJ-SP"))
+        overrides = {k.replace("-", "_"): v for k, v in SMALL_PARAMS.items()}
+        return harness.measure_suite(ALL_BENCHMARKS, **overrides)
+
+    def test_all_configurations_verified(self, reports):
+        for r in reports:
+            assert r.baseline.verified
+            assert all(m.verified for m in r.policies.values())
+
+    def test_render_and_print(self, reports):
+        table = render_table2(reports)
+        print("\n" + table)
+        assert "Geom. mean" in table
+
+    def test_nqueens_is_the_only_fallback_trigger(self, reports):
+        for r in reports:
+            for policy in ("KJ-VC", "KJ-SS"):
+                fp = r.policies[policy].false_positives
+                if r.name == "NQueens":
+                    assert fp > 0
+                else:
+                    assert fp == 0
+            assert r.policies["TJ-SP"].false_positives == 0
+
+    def test_tj_sp_memory_beats_kj_vc_overall(self, reports):
+        """The paper's headline memory claim, at the geomean level."""
+        summary = overhead_summary(reports, ["KJ-VC", "KJ-SS", "TJ-SP"])
+        assert summary["TJ-SP"]["memory"] <= summary["KJ-VC"]["memory"] * 1.05
+
+    def test_verifier_space_ordering_on_many_task_benchmarks(self, reports):
+        """On Crypt/Series (root forks n siblings) KJ-VC's O(n^2) state
+        dwarfs TJ-SP's O(n h) with h = 1."""
+        for r in reports:
+            if r.name in ("Crypt", "Series"):
+                assert (
+                    r.policies["KJ-VC"].verifier_space_units
+                    > 10 * r.policies["TJ-SP"].verifier_space_units
+                )

@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md's per-experiment index).  Parameters are scaled so
+the whole directory completes in a few minutes; the same code paths
+accept the paper-scale parameters via each benchmark's ``paper_params``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: scaled-down parameters used across the bench files
+SMALL_PARAMS = {
+    "Jacobi": {"n": 96, "blocks": 4, "iterations": 4},
+    "Smith-Waterman": {"length": 240, "chunks": 6},
+    "Crypt": {"size_bytes": 256 * 1024, "tasks": 128},
+    "Strassen": {"n": 128, "cutoff": 64},
+    "Series": {"coefficients": 300, "samples": 100},
+    "NQueens": {"n": 8, "cutoff": 3},
+}
+
+POLICIES = ("none", "KJ-VC", "KJ-SS", "TJ-SP")
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    return SMALL_PARAMS

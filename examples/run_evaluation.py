@@ -1,0 +1,84 @@
+"""Reproduce the paper's evaluation end-to-end (Tables 1-2, Figure 2).
+
+This is the script-level equivalent of the artifact's experiment
+workflow (Appendix A.5): run every benchmark under the baseline and each
+verifier, then print the overhead table and the execution-time chart.
+
+Run:  python examples/run_evaluation.py [--quick]
+
+``--quick`` shrinks parameters and repetitions for a <1 minute pass; the
+default takes a few minutes.  Either way the *shape* of the results —
+which verifier wins where, and NQueens being the only fallback trigger —
+matches Table 2; see EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+import argparse
+import sys
+
+from repro.analysis import (
+    measure_policy_costs,
+    render_figure2,
+    render_table1,
+    render_table2,
+)
+from repro.benchsuite import ALL_BENCHMARKS, Harness
+from repro.formal.generators import balanced_fork_trace, chain_fork_trace, star_fork_trace
+
+QUICK = {
+    "Jacobi": {"n": 96, "blocks": 4, "iterations": 4},
+    "Smith-Waterman": {"length": 240, "chunks": 6},
+    "Crypt": {"size_bytes": 256 * 1024, "tasks": 128},
+    "Strassen": {"n": 128, "cutoff": 64},
+    "Series": {"coefficients": 300, "samples": 100},
+    "NQueens": {"n": 8, "cutoff": 3},
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+
+    reps = 3 if args.quick else 7
+    overrides = {k.replace("-", "_"): v for k, v in QUICK.items()} if args.quick else {}
+
+    print("=" * 72)
+    print("Table 1 — empirical verifier complexity")
+    print("=" * 72)
+    sizes = [256, 2048] if args.quick else [256, 1024, 4096]
+    points = []
+    for policy in ("KJ-VC", "KJ-SS", "KJ-CC", "TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM"):
+        for shape, gen in (
+            ("chain", chain_fork_trace),
+            ("star", star_fork_trace),
+            ("balanced", balanced_fork_trace),
+        ):
+            for n in sizes:
+                points.append(measure_policy_costs(policy, shape, gen(n), queries=500))
+    print(render_table1(points))
+
+    harness = Harness(repetitions=reps, warmup=1, policies=("KJ-VC", "KJ-SS", "TJ-SP"))
+    reports = harness.measure_suite(ALL_BENCHMARKS, **overrides)
+
+    print()
+    print("=" * 72)
+    print("Table 2 — runtime and memory overheads for verification")
+    print("=" * 72)
+    print(render_table2(reports))
+
+    print()
+    print("=" * 72)
+    print("Figure 2 — execution times with 95% confidence intervals")
+    print("=" * 72)
+    print(render_figure2(reports))
+
+    print()
+    print("fallback activity (NQueens should be the only non-zero KJ row):")
+    for r in reports:
+        fps = {p: m.false_positives for p, m in r.policies.items()}
+        print(f"  {r.name:<15} {fps}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network, so PEP
+660 editable installs (which build a wheel) fail; keeping a setup.py and
+omitting [build-system] from pyproject.toml lets `pip install -e .` use
+the classic `setup.py develop` path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Figure 2: absolute execution times per policy with 95% confidence
+intervals, rendered as a monospace horizontal bar chart.
+
+Each benchmark gets one group of bars (baseline + one per policy); the
+``[`` ``]`` brackets mark the CI around the mean ``|`` marker.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .stats import confidence_interval
+from ..benchsuite.harness import BenchmarkReport
+
+__all__ = ["figure2_data", "render_figure2"]
+
+
+def figure2_data(
+    reports: Sequence[BenchmarkReport],
+) -> dict[str, dict[str, tuple[float, float]]]:
+    """{benchmark: {config: (mean_seconds, ci_halfwidth)}}."""
+    out: dict[str, dict[str, tuple[float, float]]] = {}
+    for r in reports:
+        group = {"baseline": confidence_interval(r.baseline.times)}
+        for p, m in r.policies.items():
+            group[p] = confidence_interval(m.times)
+        out[r.name] = group
+    return out
+
+
+def _bar(mean: float, half: float, scale: float, width: int) -> str:
+    """A bar of '#' to the mean, with CI brackets where they land."""
+    chars = [" "] * width
+    mean_i = min(width - 1, int(round(mean * scale)))
+    for i in range(mean_i + 1):
+        chars[i] = "#"
+    lo_i = max(0, min(width - 1, int(round((mean - half) * scale))))
+    hi_i = max(0, min(width - 1, int(round((mean + half) * scale))))
+    if half > 0:
+        chars[lo_i] = "["
+        chars[hi_i] = "]"
+    chars[mean_i] = "|"
+    return "".join(chars)
+
+
+def render_figure2(reports: Sequence[BenchmarkReport], width: int = 48) -> str:
+    """Format per-configuration execution times as an ASCII chart."""
+    if not reports:
+        raise ValueError("no reports to render")
+    data = figure2_data(reports)
+    all_means = [
+        mu + half for group in data.values() for (mu, half) in group.values()
+    ]
+    top = max(all_means) or 1.0
+    scale = (width - 1) / top
+    label_w = max(len(c) for g in data.values() for c in g) + 2
+    lines = [
+        f"Execution time, mean of repetitions with 95% CI "
+        f"(full scale = {top:.3f}s)"
+    ]
+    for name, group in data.items():
+        lines.append("")
+        lines.append(f"{name}:")
+        for config, (mu, half) in group.items():
+            bar = _bar(mu, half, scale, width)
+            lines.append(
+                f"  {config:<{label_w}} {bar} {mu:.4f}s ± {half:.4f}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""A dependency-free SVG renderer for Figure 2.
+
+Produces a grouped horizontal bar chart — per benchmark, one bar per
+configuration with a 95% confidence-interval whisker — matching the
+structure of the paper's Figure 2 without requiring matplotlib.  Pure
+string generation; the output opens in any browser.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .figure2 import figure2_data
+from ..benchsuite.harness import BenchmarkReport
+
+__all__ = ["render_figure2_svg"]
+
+_COLORS = {
+    "baseline": "#9aa0a6",
+    "KJ-VC": "#d93025",
+    "KJ-SS": "#f9ab00",
+    "TJ-SP": "#1a73e8",
+}
+_FALLBACK_COLOR = "#188038"
+
+_BAR_H = 16
+_BAR_GAP = 4
+_GROUP_GAP = 22
+_LEFT = 150
+_WIDTH = 620
+_TOP = 48
+
+
+def _esc(s: str) -> str:
+    return s.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def render_figure2_svg(reports: Sequence[BenchmarkReport], *, title: str | None = None) -> str:
+    """Render the execution-time chart as an SVG document string."""
+    if not reports:
+        raise ValueError("no reports to render")
+    data = figure2_data(reports)
+    configs = list(next(iter(data.values())).keys())
+    top = max(mu + half for group in data.values() for mu, half in group.values())
+    top = top or 1.0
+    scale = (_WIDTH - _LEFT - 90) / top
+
+    rows = sum(len(g) for g in data.values())
+    height = _TOP + rows * (_BAR_H + _BAR_GAP) + len(data) * _GROUP_GAP + 40
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{_LEFT}" y="18" font-size="14" font-weight="bold">'
+        f"{_esc(title or 'Execution time (mean with 95% CI)')}</text>",
+    ]
+    # legend
+    x = _LEFT
+    for config in configs:
+        color = _COLORS.get(config, _FALLBACK_COLOR)
+        parts.append(f'<rect x="{x}" y="26" width="10" height="10" fill="{color}"/>')
+        parts.append(f'<text x="{x + 14}" y="35">{_esc(config)}</text>')
+        x += 14 + 7 * len(config) + 22
+
+    y = _TOP
+    for name, group in data.items():
+        parts.append(
+            f'<text x="{_LEFT - 10}" y="{y + _BAR_H}" text-anchor="end" '
+            f'font-weight="bold">{_esc(str(name))}</text>'
+        )
+        for config, (mu, half) in group.items():
+            color = _COLORS.get(config, _FALLBACK_COLOR)
+            bar_w = max(1.0, mu * scale)
+            parts.append(
+                f'<rect x="{_LEFT}" y="{y}" width="{bar_w:.1f}" '
+                f'height="{_BAR_H}" fill="{color}" fill-opacity="0.85"/>'
+            )
+            if half > 0:
+                lo = _LEFT + max(0.0, (mu - half) * scale)
+                hi = _LEFT + (mu + half) * scale
+                mid = y + _BAR_H / 2
+                parts.append(
+                    f'<line x1="{lo:.1f}" y1="{mid}" x2="{hi:.1f}" y2="{mid}" '
+                    'stroke="black" stroke-width="1"/>'
+                )
+                for xx in (lo, hi):
+                    parts.append(
+                        f'<line x1="{xx:.1f}" y1="{mid - 4}" x2="{xx:.1f}" '
+                        f'y2="{mid + 4}" stroke="black" stroke-width="1"/>'
+                    )
+            parts.append(
+                f'<text x="{_LEFT + bar_w + (half * scale) + 6:.1f}" '
+                f'y="{y + _BAR_H - 4}">{mu:.4f}s</text>'
+            )
+            y += _BAR_H + _BAR_GAP
+        y += _GROUP_GAP
+    parts.append("</svg>")
+    return "\n".join(parts)

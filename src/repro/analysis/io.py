@@ -1,0 +1,81 @@
+"""Raw-data serialisation of benchmark reports (artifact A.5 style).
+
+The paper's artifact writes a log of raw samples that a second script
+aggregates.  These helpers serialise :class:`BenchmarkReport` objects to
+JSON (all samples preserved, so aggregation can be redone offline) and
+load them back.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from ..benchsuite.harness import BenchmarkReport, PolicyMeasurement
+
+__all__ = ["reports_to_json", "reports_from_json", "save_reports", "load_reports"]
+
+_SCHEMA_VERSION = 1
+
+
+def _measurement_dict(m: PolicyMeasurement) -> dict:
+    return {
+        "policy": m.policy,
+        "times": m.times,
+        "verified": m.verified,
+        "peak_bytes": m.peak_bytes,
+        "verifier_space_units": m.verifier_space_units,
+        "false_positives": m.false_positives,
+        "deadlocks_avoided": m.deadlocks_avoided,
+        "joins_checked": m.joins_checked,
+        "forks": m.forks,
+    }
+
+
+def _measurement_from(d: dict) -> PolicyMeasurement:
+    return PolicyMeasurement(**d)
+
+
+def reports_to_json(reports: Sequence[BenchmarkReport]) -> str:
+    """Serialise reports (with every raw time sample) to a JSON string."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "reports": [
+            {
+                "name": r.name,
+                "params": {k: v for k, v in r.params.items()},
+                "baseline": _measurement_dict(r.baseline),
+                "policies": {p: _measurement_dict(m) for p, m in r.policies.items()},
+            }
+            for r in reports
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def reports_from_json(text: str) -> list[BenchmarkReport]:
+    """Inverse of :func:`reports_to_json`."""
+    payload = json.loads(text)
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema {payload.get('schema')!r}")
+    out = []
+    for r in payload["reports"]:
+        out.append(
+            BenchmarkReport(
+                name=r["name"],
+                params=r["params"],
+                baseline=_measurement_from(r["baseline"]),
+                policies={p: _measurement_from(m) for p, m in r["policies"].items()},
+            )
+        )
+    return out
+
+
+def save_reports(reports: Sequence[BenchmarkReport], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(reports_to_json(reports))
+
+
+def load_reports(path: str) -> list[BenchmarkReport]:
+    with open(path) as fh:
+        return reports_from_json(fh.read())

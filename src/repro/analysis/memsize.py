@@ -1,0 +1,80 @@
+"""Deep (recursive) memory measurement of verifier data structures.
+
+``space_units`` counts abstract slots — good for asymptotic comparisons,
+blind to constant factors.  This module measures real bytes: a recursive
+``sys.getsizeof`` walk over an object graph with cycle protection and
+support for ``__slots__``-based classes (which all verifier vertex types
+use).  The Table 1 experiment uses it to report bytes-per-task, and the
+property tests sanity-check it against known structures.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, Optional
+
+__all__ = ["deep_size_of", "policy_bytes_per_task"]
+
+_ATOMIC = (type(None), bool, int, float, complex, str, bytes, bytearray, range)
+
+
+def _slot_values(obj: Any) -> Iterable[Any]:
+    for klass in type(obj).__mro__:
+        for name in getattr(klass, "__slots__", ()):
+            if name in ("__weakref__", "__dict__"):
+                continue
+            try:
+                yield getattr(obj, name)
+            except AttributeError:
+                continue
+
+
+def deep_size_of(obj: Any, *, _seen: Optional[set[int]] = None) -> int:
+    """Total bytes reachable from *obj*, each object counted once.
+
+    Follows containers (dict/list/tuple/set and friends), instance
+    ``__dict__`` s and ``__slots__``.  Atomic immutables are counted but
+    not descended into.  Shared sub-objects are charged to the first
+    reference encountered, so the sum over disjoint roots never double
+    counts.
+    """
+    seen = _seen if _seen is not None else set()
+    oid = id(obj)
+    if oid in seen:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, _ATOMIC):
+        return size
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            size += deep_size_of(k, _seen=seen)
+            size += deep_size_of(v, _seen=seen)
+        return size
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += deep_size_of(item, _seen=seen)
+        return size
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        size += deep_size_of(d, _seen=seen)
+    for value in _slot_values(obj):
+        size += deep_size_of(value, _seen=seen)
+    return size
+
+
+def policy_bytes_per_task(policy: Any, vertices: Iterable[Any]) -> float:
+    """Mean bytes retained per task by *policy*'s vertex structures.
+
+    Measures the whole reachable graph from all vertices at once (shared
+    state like TJ-GT's tree or KJ-VC's interned sets is counted once) and
+    divides by the vertex count.
+    """
+    vertices = list(vertices)
+    if not vertices:
+        raise ValueError("no vertices to measure")
+    seen: set[int] = set()
+    total = 0
+    for v in vertices:
+        total += deep_size_of(v, _seen=seen)
+    return total / len(vertices)

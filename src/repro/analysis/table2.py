@@ -1,0 +1,93 @@
+"""Table 2: runtime and memory overhead factors per benchmark and policy.
+
+Renders the same layout as the paper — per benchmark, an absolute
+baseline row pair (seconds / bytes) and overhead factors per verifier,
+closing with the geometric-mean summary rows.  Best factor per row is
+marked like the paper's bold face (here with a ``*``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .stats import geometric_mean
+from ..benchsuite.harness import BenchmarkReport
+
+__all__ = ["render_table2", "overhead_summary"]
+
+
+def _fmt_factor(x: float, best: bool) -> str:
+    s = f"{x:.2f}x"
+    return f"*{s}" if best else f" {s}"
+
+
+def _fmt_bytes(n: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.3g} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} GB"  # pragma: no cover
+
+
+def overhead_summary(
+    reports: Sequence[BenchmarkReport], policies: Sequence[str]
+) -> dict[str, dict[str, float]]:
+    """Geometric-mean time/memory overhead per policy across benchmarks."""
+    out: dict[str, dict[str, float]] = {}
+    for p in policies:
+        out[p] = {
+            "time": geometric_mean([r.time_overhead(p) for r in reports]),
+            "memory": geometric_mean([r.memory_overhead(p) for r in reports]),
+        }
+    return out
+
+
+def render_table2(reports: Sequence[BenchmarkReport]) -> str:
+    """Format a list of benchmark reports as the paper's Table 2."""
+    if not reports:
+        raise ValueError("no reports to render")
+    policies = list(reports[0].policies)
+    width = max(len(r.name) for r in reports) + 2
+    head = (
+        f"{'Benchmark':<{width}} {'Time(s)/Mem':>12} "
+        + " ".join(f"{p:>9}" for p in policies)
+    )
+    lines = [head, "-" * len(head)]
+    for r in reports:
+        t_factors = {p: r.time_overhead(p) for p in policies}
+        m_factors = {p: r.memory_overhead(p) for p in policies}
+        best_t = min(t_factors.values())
+        best_m = min(m_factors.values())
+        lines.append(
+            f"{r.name:<{width}} {r.baseline.mean_time:>11.4f}s "
+            + " ".join(
+                f"{_fmt_factor(t_factors[p], t_factors[p] == best_t):>9}"
+                for p in policies
+            )
+        )
+        lines.append(
+            f"{'':<{width}} {_fmt_bytes(r.baseline.peak_bytes):>12} "
+            + " ".join(
+                f"{_fmt_factor(m_factors[p], m_factors[p] == best_m):>9}"
+                for p in policies
+            )
+        )
+    lines.append("-" * len(head))
+    summary = overhead_summary(reports, policies)
+    best_t = min(summary[p]["time"] for p in policies)
+    best_m = min(summary[p]["memory"] for p in policies)
+    lines.append(
+        f"{'Geom. mean':<{width}} {'time':>12} "
+        + " ".join(
+            f"{_fmt_factor(summary[p]['time'], summary[p]['time'] == best_t):>9}"
+            for p in policies
+        )
+    )
+    lines.append(
+        f"{'overhead':<{width}} {'memory':>12} "
+        + " ".join(
+            f"{_fmt_factor(summary[p]['memory'], summary[p]['memory'] == best_m):>9}"
+            for p in policies
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Armus-style precise deadlock avoidance (the Section 6 fallback).
+
+A waits-for graph over currently blocked joins, cycle detection on
+candidate edges, and :class:`HybridVerifier` — the policy-plus-fallback
+composition under which every verifier in the evaluation is sound *and*
+precise.
+"""
+
+from .detector import ArmusDetector, ArmusStats
+from .generalized import GeneralizedDetector, GeneralizedStats
+from .graph import WaitsForGraph
+from .hybrid import HybridVerifier, replay_trace
+
+__all__ = [
+    "ArmusDetector",
+    "ArmusStats",
+    "GeneralizedDetector",
+    "GeneralizedStats",
+    "WaitsForGraph",
+    "HybridVerifier",
+    "replay_trace",
+]

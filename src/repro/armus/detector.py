@@ -1,0 +1,90 @@
+"""Armus-style deadlock avoidance by cycle detection (Cogumbreiro et al.,
+PPoPP 2015), used as the precision fallback of Section 6.
+
+Protocol per blocking join ``a -> b`` (all atomic under the graph lock):
+if a path ``b ⇝ a`` exists through currently blocked joins, the join would
+close a cycle — raise :class:`DeadlockAvoidedError` *without blocking*;
+otherwise record the edge and let the caller block.  The caller must
+release the edge once the join completes.
+
+The atomic check-then-block is essential: two tasks concurrently starting
+joins that each individually pass a check could otherwise both proceed and
+close a cycle (a classic TOCTOU race).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Hashable
+
+from .graph import WaitsForGraph
+from ..errors import DeadlockAvoidedError
+
+__all__ = ["ArmusDetector", "ArmusStats"]
+
+
+@dataclass
+class ArmusStats:
+    """Counters for the fallback's activity (read by the evaluation)."""
+
+    #: joins a policy flagged, referred here, and admitted (false positives)
+    false_positives: int = 0
+    #: joins refused because they would have closed a real cycle
+    deadlocks_avoided: int = 0
+    #: full cycle checks executed (the expensive operation Table 2 pays for)
+    cycle_checks: int = 0
+
+
+class ArmusDetector:
+    """Waits-for-graph cycle detection with atomic blocking registration."""
+
+    def __init__(self) -> None:
+        self.graph = WaitsForGraph()
+        self.stats = ArmusStats()
+        #: number of currently blocked edges that a policy had flagged.
+        #: While this is zero, every blocked edge is policy-consistent and
+        #: the policy's soundness theorem guarantees acyclicity, so checks
+        #: on *permitted* joins can be skipped.  The moment one forced edge
+        #: is live, permitted joins must be checked too: a permitted edge
+        #: can close a cycle through forced edges (see
+        #: tests/armus/test_forced_edge_soundness.py for a 3-task example).
+        self._live_forced = 0
+        self._forced_edges: set[tuple[Hashable, Hashable]] = set()
+        self._lock = self.graph.lock
+
+    # ------------------------------------------------------------------
+    def block(self, waiter: Hashable, joinee: Hashable, *, flagged: bool) -> None:
+        """Atomically verify and register the blocking edge ``waiter->joinee``.
+
+        ``flagged`` says the conservative policy rejected this join and the
+        caller is falling back to precise detection.  Raises
+        :class:`DeadlockAvoidedError` (and registers nothing) if the edge
+        would close a cycle.
+        """
+        with self._lock:
+            if flagged or self._live_forced:
+                self.stats.cycle_checks += 1
+                path = self.graph._find_path(joinee, waiter)
+                if path is not None:
+                    self.stats.deadlocks_avoided += 1
+                    raise DeadlockAvoidedError(cycle=tuple(path) + (joinee,))
+            if flagged:
+                self.stats.false_positives += 1
+                self._live_forced += 1
+            self.graph._add_edge(waiter, joinee)
+            if flagged:
+                self._forced_edges.add((waiter, joinee))
+
+    def unblock(self, waiter: Hashable, joinee: Hashable) -> None:
+        """Remove the edge once the join has completed (or was abandoned)."""
+        with self._lock:
+            self.graph._remove_edge(waiter, joinee)
+            if (waiter, joinee) in self._forced_edges:
+                self._forced_edges.discard((waiter, joinee))
+                self._live_forced -= 1
+
+    @property
+    def live_forced_edges(self) -> int:
+        with self._lock:
+            return self._live_forced

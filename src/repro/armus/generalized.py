@@ -1,0 +1,194 @@
+"""Generalised (resource-based) deadlock avoidance — the full Armus model.
+
+The Armus paper (Cogumbreiro et al., PPoPP 2015) verifies deadlocks for
+*barrier* synchronisation, where a blocked operation is not an edge
+between two tasks but a bipartite relationship:
+
+* a task **waits for** an event (a barrier phase, a future's
+  termination, ...);
+* a task **impedes** an event (the phase cannot advance / the future
+  cannot resolve until this task acts).
+
+A deadlock is a cycle alternating wait-for and impedes edges.  Armus'
+key trick is *graph-model selection*: the bipartite graph can be
+projected onto tasks only (the Wait-For Graph, WFG: ``t1 -> t2`` iff t1
+waits for an event t2 impedes) or onto events only (the State Graph,
+SG: ``e1 -> e2`` iff some task impeding e1 is blocked on e2); both have
+a cycle iff the bipartite graph does, and Armus checks whichever
+projection is currently smaller.
+
+This module implements the full model.  The futures-only subset used by
+the TJ evaluation (every event is "task X terminated", impeded only by
+X) degenerates to :class:`~repro.armus.detector.ArmusDetector`; the
+generalised form additionally covers phasers/barriers
+(:mod:`repro.runtime.phaser`) and mixed join+barrier cycles — exactly
+the "primitives other than Futures" the paper's Section 2.4 leaves out
+of scope.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Literal, Optional
+
+from ..errors import DeadlockAvoidedError
+
+__all__ = ["GeneralizedDetector", "GeneralizedStats", "GraphModel"]
+
+GraphModel = Literal["wfg", "sg", "auto"]
+
+
+@dataclass
+class GeneralizedStats:
+    cycle_checks: int = 0
+    deadlocks_avoided: int = 0
+    wfg_checks: int = 0
+    sg_checks: int = 0
+
+
+class GeneralizedDetector:
+    """Cycle-detecting avoidance over the bipartite wait/impede graph.
+
+    All operations are atomic under one lock.  ``model`` selects the
+    projection used by cycle checks: ``"wfg"`` (tasks), ``"sg"``
+    (events) or ``"auto"`` (whichever side currently has fewer
+    vertices — Armus' dynamic model selection).
+    """
+
+    def __init__(self, model: GraphModel = "auto") -> None:
+        if model not in ("wfg", "sg", "auto"):
+            raise ValueError(f"unknown graph model {model!r}")
+        self.model = model
+        self.stats = GeneralizedStats()
+        self._lock = threading.Lock()
+        #: task -> set of events the task is blocked waiting for
+        self._waits: dict[Hashable, set[Hashable]] = {}
+        #: event -> set of tasks that must act before the event fires
+        self._impeders: dict[Hashable, set[Hashable]] = {}
+        #: task -> set of events the task impedes (reverse index)
+        self._impedes: dict[Hashable, set[Hashable]] = {}
+
+    # ------------------------------------------------------------------
+    # registration of the impedes relation (non-blocking, no checks)
+    # ------------------------------------------------------------------
+    def add_impeder(self, task: Hashable, event: Hashable) -> None:
+        """Record that *event* cannot fire until *task* acts."""
+        with self._lock:
+            self._impeders.setdefault(event, set()).add(task)
+            self._impedes.setdefault(task, set()).add(event)
+
+    def remove_impeder(self, task: Hashable, event: Hashable) -> None:
+        """The task acted (arrived / terminated): it no longer impedes."""
+        with self._lock:
+            self._discard(self._impeders, event, task)
+            self._discard(self._impedes, task, event)
+
+    @staticmethod
+    def _discard(index: dict, key: Hashable, value: Hashable) -> None:
+        bucket = index.get(key)
+        if bucket is not None:
+            bucket.discard(value)
+            if not bucket:
+                del index[key]
+
+    # ------------------------------------------------------------------
+    # blocking protocol
+    # ------------------------------------------------------------------
+    def block(self, task: Hashable, event: Hashable) -> None:
+        """Atomically verify and register ``task waits-for event``.
+
+        Raises :class:`DeadlockAvoidedError` (registering nothing) if the
+        new edge would close an alternating wait/impede cycle.
+        """
+        with self._lock:
+            self.stats.cycle_checks += 1
+            cycle = self._find_cycle_with(task, event)
+            if cycle is not None:
+                self.stats.deadlocks_avoided += 1
+                raise DeadlockAvoidedError(cycle=tuple(cycle))
+            self._waits.setdefault(task, set()).add(event)
+
+    def unblock(self, task: Hashable, event: Hashable) -> None:
+        with self._lock:
+            self._discard(self._waits, task, event)
+
+    # ------------------------------------------------------------------
+    # cycle detection on the selected projection
+    # ------------------------------------------------------------------
+    def _pick_model(self) -> str:
+        if self.model != "auto":
+            return self.model
+        n_tasks = len(self._waits) + 1
+        n_events = len(self._impeders)
+        return "wfg" if n_tasks <= n_events else "sg"
+
+    def _find_cycle_with(
+        self, task: Hashable, event: Hashable
+    ) -> Optional[list[Hashable]]:
+        """A cycle created by adding ``task -> event``, if any.
+
+        Equivalent on both projections; we search the bipartite graph
+        directly but *traverse* it in the order the chosen projection
+        would, counting which projection was used for the statistics.
+        """
+        model = self._pick_model()
+        if model == "wfg":
+            self.stats.wfg_checks += 1
+        else:
+            self.stats.sg_checks += 1
+        # A cycle through the new edge exists iff, starting from `event`,
+        # alternating impeders -> their waited events, we can reach an
+        # event impeded by `task`... i.e. reach `task` itself.
+        seen_events: set[Hashable] = set()
+        stack: list[Hashable] = [event]
+        parent: dict[Hashable, tuple[Hashable, Hashable]] = {}
+        while stack:
+            ev = stack.pop()
+            if ev in seen_events:
+                continue
+            seen_events.add(ev)
+            for impeder in self._impeders.get(ev, ()):
+                if impeder == task:
+                    # reconstruct event-level cycle for the error message
+                    cycle: list[Hashable] = [ev]
+                    while cycle[-1] in parent:
+                        cycle.append(parent[cycle[-1]][1])
+                    cycle.reverse()
+                    return [task, *cycle]
+                for nxt in self._waits.get(impeder, ()):
+                    if nxt not in seen_events:
+                        parent[nxt] = (impeder, ev)
+                        stack.append(nxt)
+        return None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def wfg_edges(self) -> set[tuple[Hashable, Hashable]]:
+        """The task-to-task projection (t1 waits event impeded by t2)."""
+        with self._lock:
+            return {
+                (t, impeder)
+                for t, events in self._waits.items()
+                for ev in events
+                for impeder in self._impeders.get(ev, ())
+            }
+
+    def sg_edges(self) -> set[tuple[Hashable, Hashable]]:
+        """The event-to-event projection (impeder of e1 waits on e2)."""
+        with self._lock:
+            return {
+                (e1, e2)
+                for e1, tasks in self._impeders.items()
+                for t in tasks
+                for e2 in self._waits.get(t, ())
+            }
+
+    def blocked_tasks(self) -> int:
+        with self._lock:
+            return len(self._waits)
+
+    def live_events(self) -> int:
+        with self._lock:
+            return len(self._impeders)

@@ -1,0 +1,93 @@
+"""A concurrent waits-for graph.
+
+Vertices are task identities (any hashable — the runtimes use task
+objects); an edge ``a -> b`` means task *a* is currently blocked joining
+on task *b*.  In the futures model a blocked task waits on exactly one
+join at a time, but the structure is kept general.
+
+All mutation and path queries happen under one lock: the graph only ever
+contains *currently blocked* tasks, so it is small (bounded by the number
+of live tasks, not by n), and the simplicity buys the atomic
+check-then-block needed for race-free avoidance.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable, Iterator, Optional
+
+__all__ = ["WaitsForGraph"]
+
+
+class WaitsForGraph:
+    """Directed graph of blocked join operations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._succ: dict[Hashable, set[Hashable]] = {}
+
+    # The lock is exposed so a caller can perform check+add atomically.
+    @property
+    def lock(self) -> threading.Lock:
+        return self._lock
+
+    # ------------------------------------------------------------------
+    # unlocked primitives (caller must hold .lock)
+    # ------------------------------------------------------------------
+    def _add_edge(self, waiter: Hashable, joinee: Hashable) -> None:
+        self._succ.setdefault(waiter, set()).add(joinee)
+
+    def _remove_edge(self, waiter: Hashable, joinee: Hashable) -> None:
+        succs = self._succ.get(waiter)
+        if succs is not None:
+            succs.discard(joinee)
+            if not succs:
+                del self._succ[waiter]
+
+    def _find_path(self, src: Hashable, dst: Hashable) -> Optional[list[Hashable]]:
+        """A path src ⇝ dst through blocked edges, or None.  Iterative DFS."""
+        if src == dst:
+            return [src]
+        if src not in self._succ:
+            return None
+        parent: dict[Hashable, Hashable] = {}
+        stack = [src]
+        seen = {src}
+        while stack:
+            node = stack.pop()
+            for succ in self._succ.get(node, ()):
+                if succ in seen:
+                    continue
+                parent[succ] = node
+                if succ == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    path.reverse()
+                    return path
+                seen.add(succ)
+                stack.append(succ)
+        return None
+
+    # ------------------------------------------------------------------
+    # locked convenience API
+    # ------------------------------------------------------------------
+    def add_edge(self, waiter: Hashable, joinee: Hashable) -> None:
+        with self._lock:
+            self._add_edge(waiter, joinee)
+
+    def remove_edge(self, waiter: Hashable, joinee: Hashable) -> None:
+        with self._lock:
+            self._remove_edge(waiter, joinee)
+
+    def has_path(self, src: Hashable, dst: Hashable) -> bool:
+        with self._lock:
+            return self._find_path(src, dst) is not None
+
+    def edges(self) -> list[tuple[Hashable, Hashable]]:
+        with self._lock:
+            return [(a, b) for a, succs in self._succ.items() for b in succs]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(s) for s in self._succ.values())

@@ -1,0 +1,66 @@
+"""The six evaluation benchmarks of Section 6.1 and the measurement
+harness.
+
+===============  ==========================================  ==============
+benchmark        join pattern                                policy validity
+===============  ==========================================  ==============
+Jacobi           block joins 5 older siblings per iteration  KJ ok, TJ ok
+Smith-Waterman   chunk joins 3 older siblings (wavefront)    KJ ok, TJ ok
+Crypt            root joins 2x N children in order           KJ ok, TJ ok
+Strassen         task joins own children / older siblings    KJ ok, TJ ok
+Series           root joins N children in order              KJ ok, TJ ok
+NQueens          root joins all descendants, any order       KJ x,  TJ ok
+===============  ==========================================  ==============
+"""
+
+from .base import BENCHMARK_REGISTRY, Benchmark, make_benchmark, register_benchmark
+from .crypt import Crypt
+from .extras import FanInReduce, Fib, MergeSort
+from .harness import (
+    DEFAULT_POLICIES,
+    BenchmarkReport,
+    Harness,
+    PolicyMeasurement,
+    RunSample,
+)
+from .jacobi import Jacobi, jacobi_reference
+from .nqueens import KNOWN_SOLUTIONS, NQueens, count_queens_sequential
+from .series import Series, fourier_coefficient
+from .smith_waterman import SmithWaterman, smith_waterman_reference
+from .strassen import Strassen, strassen_sequential
+from . import idea
+
+#: the paper's Table 2 suite
+ALL_BENCHMARKS = ("Jacobi", "Smith-Waterman", "Crypt", "Strassen", "Series", "NQueens")
+#: additional workloads (runtime ablations, integration tests)
+EXTRA_BENCHMARKS = ("Fib", "MergeSort", "FanInReduce")
+
+__all__ = [
+    "Benchmark",
+    "BENCHMARK_REGISTRY",
+    "register_benchmark",
+    "make_benchmark",
+    "ALL_BENCHMARKS",
+    "EXTRA_BENCHMARKS",
+    "Fib",
+    "MergeSort",
+    "FanInReduce",
+    "Jacobi",
+    "SmithWaterman",
+    "Crypt",
+    "Strassen",
+    "Series",
+    "NQueens",
+    "Harness",
+    "BenchmarkReport",
+    "PolicyMeasurement",
+    "RunSample",
+    "DEFAULT_POLICIES",
+    "KNOWN_SOLUTIONS",
+    "count_queens_sequential",
+    "fourier_coefficient",
+    "jacobi_reference",
+    "smith_waterman_reference",
+    "strassen_sequential",
+    "idea",
+]

@@ -1,0 +1,107 @@
+"""Common infrastructure for the six evaluation benchmarks (Section 6.1).
+
+Every benchmark is a small task-parallel program with a verifiable
+result.  A benchmark declares which runtime flavour it uses (all use the
+blocking thread-per-task runtime except NQueens, which — following the
+paper's footnote 4 — runs on the cooperative runtime) and exposes:
+
+* :meth:`build`   — input preparation, excluded from measurement;
+* :meth:`run`     — the parallel program, returning a checksummable value;
+* :meth:`verify`  — correctness check against a sequential reference.
+
+Parameters default to laptop-scale versions of the paper's inputs; the
+paper-scale values are kept in ``paper_params`` for documentation and for
+anyone with hours to spare.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping, Optional, Union
+
+from ..core.policy import JoinPolicy
+from ..runtime import CooperativeRuntime, TaskRuntime
+
+__all__ = ["Benchmark", "BENCHMARK_REGISTRY", "register_benchmark", "make_benchmark"]
+
+
+class Benchmark(ABC):
+    """One evaluation program."""
+
+    #: short name used in Table 2 / Figure 2
+    name: str = "abstract"
+    #: "threaded" or "cooperative"
+    runtime_kind: str = "threaded"
+    #: the parameters the paper ran (documentation; far too big for CI)
+    paper_params: Mapping[str, Any] = {}
+
+    def __init__(self, **params: Any) -> None:
+        self.params = dict(self.default_params())
+        unknown = set(params) - set(self.params)
+        if unknown:
+            raise TypeError(f"{self.name}: unknown parameters {sorted(unknown)}")
+        self.params.update(params)
+        self._built = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    @abstractmethod
+    def default_params(cls) -> dict[str, Any]:
+        """Scaled-down defaults that run in roughly a second."""
+
+    def build(self) -> None:
+        """Prepare inputs.  Idempotent; called automatically by execute()."""
+        self._built = True
+
+    @abstractmethod
+    def run(self, rt: Union[TaskRuntime, CooperativeRuntime]) -> Any:
+        """The parallel program.  Returns a verifiable result value."""
+
+    @abstractmethod
+    def verify(self, result: Any) -> bool:
+        """Check *result* against a sequential reference computation."""
+
+    # ------------------------------------------------------------------
+    def make_runtime(
+        self,
+        policy: Union[None, str, JoinPolicy],
+        *,
+        fallback: bool = True,
+    ) -> Union[TaskRuntime, CooperativeRuntime]:
+        cls = CooperativeRuntime if self.runtime_kind == "cooperative" else TaskRuntime
+        return cls(policy, fallback=fallback)
+
+    def execute(
+        self,
+        policy: Union[None, str, JoinPolicy] = None,
+        *,
+        fallback: bool = True,
+    ) -> tuple[Any, Union[TaskRuntime, CooperativeRuntime]]:
+        """Build (if needed), run under a fresh runtime, return (result, rt)."""
+        if not self._built:
+            self.build()
+        rt = self.make_runtime(policy, fallback=fallback)
+        result = rt.run(self.run, rt)
+        return result, rt
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{type(self).__name__}({args})"
+
+
+BENCHMARK_REGISTRY: dict[str, Callable[..., Benchmark]] = {}
+
+
+def register_benchmark(cls: type[Benchmark]) -> type[Benchmark]:
+    """Class decorator adding a benchmark to the global registry."""
+    BENCHMARK_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_benchmark(name: str, **params: Any) -> Benchmark:
+    try:
+        cls = BENCHMARK_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARK_REGISTRY))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+    return cls(**params)

@@ -1,0 +1,138 @@
+"""Extra benchmark programs beyond the paper's six (Section 6.1 cites the
+Cilk and BOTS suites these shapes come from).
+
+Not part of Table 2; used by the runtime-ablation benchmark and as
+additional integration workloads:
+
+* :class:`Fib` — the Cilk classic: deep fully strict recursion, tiny
+  tasks (verifier overhead per fork/join dominates);
+* :class:`MergeSort` — divide-and-conquer with parent-joins-children and
+  a NumPy merge (mixed compute/sync);
+* :class:`FanInReduce` — a tournament reduction where every round's
+  tasks join *older siblings* from the previous round (fork tree of
+  height 1, joins across the whole sibling range — TJ/KJ valid but
+  maximally wide).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import Benchmark, register_benchmark
+
+__all__ = ["Fib", "MergeSort", "FanInReduce"]
+
+
+def _fib_seq(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+@register_benchmark
+class Fib(Benchmark):
+    name = "Fib"
+    paper_params = {"n": 30, "cutoff": 10}
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"n": 16, "cutoff": 8}
+
+    def build(self) -> None:
+        self.expected = _fib_seq(self.params["n"])
+        super().build()
+
+    def run(self, rt) -> int:
+        cutoff = self.params["cutoff"]
+
+        def fib(n):
+            if n < cutoff:
+                return _fib_seq(n)
+            a = rt.fork(fib, n - 1)
+            b = rt.fork(fib, n - 2)
+            return a.join() + b.join()
+
+        return fib(self.params["n"])
+
+    def verify(self, result: int) -> bool:
+        return result == self.expected
+
+
+@register_benchmark
+class MergeSort(Benchmark):
+    name = "MergeSort"
+    paper_params = {"n": 1 << 22, "cutoff": 1 << 14}
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"n": 1 << 14, "cutoff": 1 << 11, "seed": 11}
+
+    def build(self) -> None:
+        rng = np.random.default_rng(self.params["seed"])
+        self.data = rng.random(self.params["n"])
+        self.expected_checksum = float(np.sort(self.data)[:: max(1, len(self.data) // 64)].sum())
+        super().build()
+
+    def run(self, rt) -> float:
+        cutoff = self.params["cutoff"]
+
+        def sort(arr):
+            if len(arr) <= cutoff:
+                return np.sort(arr)
+            mid = len(arr) // 2
+            left = rt.fork(sort, arr[:mid])
+            right = rt.fork(sort, arr[mid:])
+            a, b = left.join(), right.join()
+            merged = np.empty(len(arr), dtype=arr.dtype)
+            # classic two-finger merge, vectorised via searchsorted
+            idx = np.searchsorted(a, b)
+            merged[idx + np.arange(len(b))] = b
+            mask = np.ones(len(arr), dtype=bool)
+            mask[idx + np.arange(len(b))] = False
+            merged[mask] = a
+            return merged
+
+        result = sort(self.data)
+        assert (np.diff(result) >= 0).all()
+        return float(result[:: max(1, len(result) // 64)].sum())
+
+    def verify(self, result: float) -> bool:
+        import math
+
+        return math.isclose(result, self.expected_checksum, rel_tol=1e-12)
+
+
+@register_benchmark
+class FanInReduce(Benchmark):
+    name = "FanInReduce"
+    paper_params = {"leaves": 1 << 14}
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"leaves": 64, "seed": 3}
+
+    def build(self) -> None:
+        if self.params["leaves"] & (self.params["leaves"] - 1):
+            raise ValueError("leaves must be a power of two")
+        rng = np.random.default_rng(self.params["seed"])
+        self.values = rng.integers(0, 1000, size=self.params["leaves"])
+        self.expected = int(self.values.sum())
+        super().build()
+
+    def run(self, rt) -> int:
+        # round 0: leaves; round k: pairs of round k-1, joined by tasks
+        # that are *younger siblings* of their inputs (all forked by the
+        # root, in round order)
+        futures = [rt.fork(lambda v=int(v): v) for v in self.values]
+        while len(futures) > 1:
+            futures = [
+                rt.fork(lambda x=futures[i], y=futures[i + 1]: x.join() + y.join())
+                for i in range(0, len(futures), 2)
+            ]
+        return futures[0].join()
+
+    def verify(self, result: int) -> bool:
+        return result == self.expected

@@ -1,0 +1,160 @@
+"""Steady-state measurement harness (Section 6.2 / Artifact A.5).
+
+For each benchmark x policy configuration the harness runs one discarded
+warmup followed by ``repetitions`` timed runs (the paper's steady-state
+methodology of Georges et al., scaled down from its 30 repetitions) and
+reports:
+
+* execution time — mean of the timed runs, with the per-run samples kept
+  so the analysis layer can compute 95% confidence intervals (Figure 2);
+* memory — the verifier's own live footprint via ``policy.space_units``
+  plus a tracemalloc peak taken in one *separate* pass, so allocation
+  tracing never distorts the timing runs.
+
+Overheads are reported as factors over the ``policy=None`` baseline,
+exactly like Table 2.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from .base import Benchmark, make_benchmark
+
+__all__ = ["RunSample", "PolicyMeasurement", "BenchmarkReport", "Harness", "DEFAULT_POLICIES"]
+
+DEFAULT_POLICIES = ("KJ-VC", "KJ-SS", "TJ-SP")
+
+
+@dataclass
+class RunSample:
+    """One timed run."""
+
+    seconds: float
+    verified: bool
+
+
+@dataclass
+class PolicyMeasurement:
+    """All samples for one benchmark under one policy configuration."""
+
+    policy: Optional[str]
+    times: list[float] = field(default_factory=list)
+    verified: bool = True
+    peak_bytes: int = 0
+    verifier_space_units: int = 0
+    false_positives: int = 0
+    deadlocks_avoided: int = 0
+    joins_checked: int = 0
+    forks: int = 0
+
+    @property
+    def mean_time(self) -> float:
+        return sum(self.times) / len(self.times)
+
+    @property
+    def stdev_time(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        mu = self.mean_time
+        return math.sqrt(sum((t - mu) ** 2 for t in self.times) / (len(self.times) - 1))
+
+
+@dataclass
+class BenchmarkReport:
+    """One benchmark across the baseline and all policies."""
+
+    name: str
+    params: dict[str, Any]
+    baseline: PolicyMeasurement
+    policies: dict[str, PolicyMeasurement]
+
+    def time_overhead(self, policy: str) -> float:
+        return self.policies[policy].mean_time / self.baseline.mean_time
+
+    def memory_overhead(self, policy: str) -> float:
+        """Peak-footprint factor over the baseline.
+
+        Baselines can be allocation-light, so a tiny floor guards against
+        division blow-ups on degenerate configurations.
+        """
+        base = max(self.baseline.peak_bytes, 1)
+        return self.policies[policy].peak_bytes / base
+
+
+class Harness:
+    """Runs benchmark x policy grids and produces :class:`BenchmarkReport` s."""
+
+    def __init__(
+        self,
+        repetitions: int = 5,
+        warmup: int = 1,
+        policies: Sequence[str] = DEFAULT_POLICIES,
+        measure_memory: bool = True,
+    ) -> None:
+        if repetitions < 1:
+            raise ValueError("need at least one timed repetition")
+        self.repetitions = repetitions
+        self.warmup = warmup
+        self.policies = tuple(policies)
+        self.measure_memory = measure_memory
+
+    # ------------------------------------------------------------------
+    def measure_policy(
+        self, benchmark: Benchmark, policy: Optional[str]
+    ) -> PolicyMeasurement:
+        """Warmup + timed runs + one traced memory run for one policy."""
+        benchmark.build()
+        m = PolicyMeasurement(policy=policy)
+        for _ in range(self.warmup):
+            benchmark.execute(policy)
+        for _ in range(self.repetitions):
+            gc.collect()
+            t0 = time.perf_counter()
+            result, rt = benchmark.execute(policy)
+            m.times.append(time.perf_counter() - t0)
+            m.verified = m.verified and benchmark.verify(result)
+        # statistics from the last timed run's runtime
+        m.verifier_space_units = rt.policy.space_units()
+        m.joins_checked = rt.verifier.stats.joins_checked
+        m.forks = rt.verifier.stats.forks
+        if rt.detector is not None:
+            m.false_positives = rt.detector.stats.false_positives
+            m.deadlocks_avoided = rt.detector.stats.deadlocks_avoided
+        if self.measure_memory:
+            gc.collect()
+            tracemalloc.start()
+            benchmark.execute(policy)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            m.peak_bytes = peak
+        return m
+
+    def measure_benchmark(self, benchmark: Benchmark) -> BenchmarkReport:
+        baseline = self.measure_policy(benchmark, None)
+        policies = {p: self.measure_policy(benchmark, p) for p in self.policies}
+        return BenchmarkReport(
+            name=benchmark.name,
+            params=dict(benchmark.params),
+            baseline=baseline,
+            policies=policies,
+        )
+
+    def measure_suite(
+        self, names: Sequence[str], **param_overrides: dict[str, Any]
+    ) -> list[BenchmarkReport]:
+        """Measure several registered benchmarks.
+
+        ``param_overrides`` maps a benchmark name (with '-' replaced by
+        '_') to a parameter dict.
+        """
+        reports = []
+        for name in names:
+            params = param_overrides.get(name.replace("-", "_"), {})
+            reports.append(self.measure_benchmark(make_benchmark(name, **params)))
+        return reports

@@ -1,0 +1,103 @@
+"""Jacobi: iterative central finite-difference stencil (Section 6.1).
+
+On each iteration a grid of block tasks is forked; each block task joins
+the futures of its own block and up to four neighbouring blocks from the
+*previous* iteration before computing its block of the 5-point stencil.
+All tasks are forked by the root in iteration-major order, so every join
+targets an older sibling — valid under both KJ and TJ.
+
+Paper scale: 8192x8192 matrix, 16x16 blocks, 30 iterations.
+Default here: 192x192, 4x4 blocks, 6 iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import Benchmark, register_benchmark
+
+__all__ = ["Jacobi", "jacobi_reference"]
+
+
+def jacobi_reference(grid: np.ndarray, iterations: int) -> np.ndarray:
+    """Sequential 5-point Jacobi smoothing with fixed boundary."""
+    a = grid.copy()
+    for _ in range(iterations):
+        b = a.copy()
+        b[1:-1, 1:-1] = 0.25 * (
+            a[:-2, 1:-1] + a[2:, 1:-1] + a[1:-1, :-2] + a[1:-1, 2:]
+        )
+        a = b
+    return a
+
+
+@register_benchmark
+class Jacobi(Benchmark):
+    name = "Jacobi"
+    paper_params = {"n": 8192, "blocks": 16, "iterations": 30}
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"n": 192, "blocks": 4, "iterations": 6, "seed": 1234}
+
+    def build(self) -> None:
+        n = self.params["n"]
+        if n % self.params["blocks"]:
+            raise ValueError("matrix size must divide evenly into blocks")
+        rng = np.random.default_rng(self.params["seed"])
+        self.initial = rng.random((n, n))
+        self.expected = jacobi_reference(self.initial, self.params["iterations"])
+        super().build()
+
+    def run(self, rt) -> np.ndarray:
+        n, nb, iters = self.params["n"], self.params["blocks"], self.params["iterations"]
+        bs = n // nb
+        # grids[t] is the state after t iterations
+        grids = [self.initial] + [np.empty((n, n)) for _ in range(iters)]
+
+        def block_task(t, bi, bj, deps):
+            for dep in deps:
+                dep.join()
+            src, dst = grids[t - 1], grids[t]
+            r0, r1 = bi * bs, (bi + 1) * bs
+            c0, c1 = bj * bs, (bj + 1) * bs
+            # interior points only; boundary rows/columns stay fixed
+            ri0, ri1 = max(r0, 1), min(r1, n - 1)
+            ci0, ci1 = max(c0, 1), min(c1, n - 1)
+            dst[ri0:ri1, ci0:ci1] = 0.25 * (
+                src[ri0 - 1 : ri1 - 1, ci0:ci1]
+                + src[ri0 + 1 : ri1 + 1, ci0:ci1]
+                + src[ri0:ri1, ci0 - 1 : ci1 - 1]
+                + src[ri0:ri1, ci0 + 1 : ci1 + 1]
+            )
+            if r0 == 0:
+                dst[0, c0:c1] = src[0, c0:c1]
+            if r1 == n:
+                dst[n - 1, c0:c1] = src[n - 1, c0:c1]
+            if c0 == 0:
+                dst[r0:r1, 0] = src[r0:r1, 0]
+            if c1 == n:
+                dst[r0:r1, n - 1] = src[r0:r1, n - 1]
+
+        prev: dict[tuple[int, int], Any] = {}
+        for t in range(1, iters + 1):
+            cur: dict[tuple[int, int], Any] = {}
+            for bi in range(nb):
+                for bj in range(nb):
+                    deps = []
+                    if prev:
+                        # own block plus the four neighbours, as in the paper
+                        for di, dj in ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)):
+                            f = prev.get((bi + di, bj + dj))
+                            if f is not None:
+                                deps.append(f)
+                    cur[bi, bj] = rt.fork(block_task, t, bi, bj, deps)
+            prev = cur
+        for fut in prev.values():
+            fut.join()
+        return grids[iters]
+
+    def verify(self, result: np.ndarray) -> bool:
+        return np.allclose(result, self.expected)

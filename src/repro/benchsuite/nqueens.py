@@ -1,0 +1,105 @@
+"""NQueens: divide-and-conquer search with unordered root joins.
+
+Unlike Strassen (each task joins its own children/siblings), the root of
+NQueens drains a shared queue of futures for *all* tasks in the tree and
+joins them in whatever order they were enqueued — the Listing 1 pattern.
+A grandchild's future can be joined before (or instead of) its parent's,
+which violates Known Joins nondeterministically but never violates
+Transitive Joins: this is the benchmark the paper added to exercise the
+KJ fallback path (and, per footnote 4, the one run on the cooperative
+runtime).
+
+The emptiness check is sound because every task enqueues its children's
+futures before terminating, and a join only unblocks after termination:
+when the root finds the queue empty, no task remains.
+
+Paper scale: N=14, cutoff depth 8 (~3.4M tasks).
+Default here: N=9, cutoff depth 3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from .base import Benchmark, register_benchmark
+
+__all__ = ["NQueens", "count_queens_sequential", "KNOWN_SOLUTIONS"]
+
+#: number of N-queens solutions for N = 0..14
+KNOWN_SOLUTIONS = [1, 1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200, 73712, 365596]
+
+
+def count_queens_sequential(n: int, cols: int = 0, diag1: int = 0, diag2: int = 0, row: int = 0) -> int:
+    """Bitmask backtracking count of completions of a partial placement."""
+    if row == n:
+        return 1
+    total = 0
+    free = ~(cols | diag1 | diag2) & ((1 << n) - 1)
+    while free:
+        bit = free & -free
+        free ^= bit
+        total += count_queens_sequential(
+            n, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1, row + 1
+        )
+    return total
+
+
+@register_benchmark
+class NQueens(Benchmark):
+    name = "NQueens"
+    runtime_kind = "cooperative"
+    paper_params = {"n": 14, "cutoff": 8}
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        # join_order "random" joins at a seeded-random queue position each
+        # step — the deterministic reproduction of the arbitrary join order
+        # that makes NQueens "potentially violate" KJ; "fifo" joins in BFS
+        # order, which happens to always satisfy KJ.
+        return {"n": 9, "cutoff": 3, "join_order": "random", "seed": 2019}
+
+    def build(self) -> None:
+        n = self.params["n"]
+        self.expected = (
+            KNOWN_SOLUTIONS[n]
+            if n < len(KNOWN_SOLUTIONS)
+            else count_queens_sequential(n)
+        )
+        super().build()
+
+    def run(self, rt):
+        n, cutoff = self.params["n"], self.params["cutoff"]
+        rng = (
+            random.Random(self.params["seed"])
+            if self.params["join_order"] == "random"
+            else None
+        )
+        queue: list = []
+
+        def solver(cols, diag1, diag2, row):
+            if row == n:
+                return 1
+            if row >= cutoff:
+                return count_queens_sequential(n, cols, diag1, diag2, row)
+            free = ~(cols | diag1 | diag2) & ((1 << n) - 1)
+            while free:
+                bit = free & -free
+                free ^= bit
+                # child enqueued before this task can terminate
+                queue.append(
+                    rt.fork(
+                        solver, cols | bit, (diag1 | bit) << 1, (diag2 | bit) >> 1, row + 1
+                    )
+                )
+            return 0
+
+        queue.append(rt.fork(solver, 0, 0, 0, 0))
+        total = 0
+        while queue:
+            at = rng.randrange(len(queue)) if rng is not None else 0
+            total += yield queue.pop(at)
+        return total
+
+    def verify(self, result: int) -> bool:
+        return result == self.expected

@@ -1,0 +1,80 @@
+"""Series: Fourier coefficients of (x+1)^x (the JGF Series benchmark).
+
+The root forks one independent task per coefficient pair and joins them
+all in order.  The baseline footprint is tiny and dominated by the task
+count — exactly the regime where every verifier's per-task state shows up
+as memory overhead (the Series row of Table 2).
+
+Paper scale: 1,000,000 tasks.  Default here: 1,000.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from .base import Benchmark, register_benchmark
+
+__all__ = ["Series", "fourier_coefficient"]
+
+_INTERVAL = 2.0  # integrate over [0, 2], as in JGF
+
+
+def _f(x: np.ndarray) -> np.ndarray:
+    return np.power(x + 1.0, x)
+
+
+def fourier_coefficient(j: int, samples: int = 1000) -> tuple[float, float]:
+    """(a_j, b_j) of (x+1)^x on [0,2] by the trapezoidal rule.
+
+    ``a_0`` is returned in the first slot with ``b_0 = 0``.
+    """
+    x = np.linspace(0.0, _INTERVAL, samples + 1)
+    fx = _f(x)
+    omega = 2.0 * math.pi / _INTERVAL
+    if j == 0:
+        a = np.trapezoid(fx, x) * 2.0 / _INTERVAL
+        return float(a), 0.0
+    a = np.trapezoid(fx * np.cos(omega * j * x), x) * 2.0 / _INTERVAL
+    b = np.trapezoid(fx * np.sin(omega * j * x), x) * 2.0 / _INTERVAL
+    return float(a), float(b)
+
+
+@register_benchmark
+class Series(Benchmark):
+    name = "Series"
+    paper_params = {"coefficients": 1_000_000}
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"coefficients": 1000, "samples": 200}
+
+    def build(self) -> None:
+        # reference values for the first few coefficients
+        self.expected_first = [
+            fourier_coefficient(j, self.params["samples"]) for j in range(4)
+        ]
+        super().build()
+
+    def run(self, rt) -> list[tuple[float, float]]:
+        samples = self.params["samples"]
+        futures = [
+            rt.fork(fourier_coefficient, j, samples)
+            for j in range(self.params["coefficients"])
+        ]
+        return [f.join() for f in futures]
+
+    def verify(self, result: list[tuple[float, float]]) -> bool:
+        if len(result) != self.params["coefficients"]:
+            return False
+        head_ok = all(
+            math.isclose(got[0], exp[0], rel_tol=1e-9)
+            and math.isclose(got[1], exp[1], rel_tol=1e-9, abs_tol=1e-12)
+            for got, exp in zip(result[:4], self.expected_first)
+        )
+        # sanity window: a_0/2 (the mean of (x+1)^x on [0,2]) is ~2.88;
+        # JGF's published first coefficient is the same quantity at its
+        # own sampling resolution (2.87293...).
+        return head_ok and 2.8 < result[0][0] / 2.0 < 2.95

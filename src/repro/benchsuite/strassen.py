@@ -1,0 +1,113 @@
+"""Strassen: divide-and-conquer matrix multiplication with 7 recursive
+multiplies per level (Section 6.1).
+
+At each level the current task forks seven recursive multiplication tasks
+and then four addition tasks that combine them into the result quadrants;
+the addition tasks join their older multiply siblings and the parent joins
+the addition tasks — every join is on a child or an older sibling, so the
+benchmark is valid under both KJ and TJ.
+
+Paper scale: 4096x4096, recursion depth 5 (30,811 tasks).
+Default here: 256x256 with a 64x64 cutoff (depth 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .base import Benchmark, register_benchmark
+
+__all__ = ["Strassen", "strassen_sequential"]
+
+
+def _quadrants(m: np.ndarray):
+    h = m.shape[0] // 2
+    return m[:h, :h], m[:h, h:], m[h:, :h], m[h:, h:]
+
+
+def strassen_sequential(a: np.ndarray, b: np.ndarray, cutoff: int) -> np.ndarray:
+    """Sequential Strassen recursion (reference for the parallel version)."""
+    n = a.shape[0]
+    if n <= cutoff:
+        return a @ b
+    a11, a12, a21, a22 = _quadrants(a)
+    b11, b12, b21, b22 = _quadrants(b)
+    m1 = strassen_sequential(a11 + a22, b11 + b22, cutoff)
+    m2 = strassen_sequential(a21 + a22, b11, cutoff)
+    m3 = strassen_sequential(a11, b12 - b22, cutoff)
+    m4 = strassen_sequential(a22, b21 - b11, cutoff)
+    m5 = strassen_sequential(a11 + a12, b22, cutoff)
+    m6 = strassen_sequential(a21 - a11, b11 + b12, cutoff)
+    m7 = strassen_sequential(a12 - a22, b21 + b22, cutoff)
+    c = np.empty((n, n), dtype=a.dtype)
+    h = n // 2
+    c[:h, :h] = m1 + m4 - m5 + m7
+    c[:h, h:] = m3 + m5
+    c[h:, :h] = m2 + m4
+    c[h:, h:] = m1 - m2 + m3 + m6
+    return c
+
+
+@register_benchmark
+class Strassen(Benchmark):
+    name = "Strassen"
+    paper_params = {"n": 4096, "cutoff": 128}
+
+    @classmethod
+    def default_params(cls) -> dict[str, Any]:
+        return {"n": 256, "cutoff": 64, "seed": 5}
+
+    def build(self) -> None:
+        n = self.params["n"]
+        if n & (n - 1):
+            raise ValueError("matrix size must be a power of two")
+        rng = np.random.default_rng(self.params["seed"])
+        self.a = rng.random((n, n))
+        self.b = rng.random((n, n))
+        self.expected = self.a @ self.b
+        super().build()
+
+    def run(self, rt) -> np.ndarray:
+        cutoff = self.params["cutoff"]
+
+        def multiply(a, b):
+            n = a.shape[0]
+            if n <= cutoff:
+                return a @ b
+            a11, a12, a21, a22 = _quadrants(a)
+            b11, b12, b21, b22 = _quadrants(b)
+            ms = [
+                rt.fork(multiply, a11 + a22, b11 + b22),
+                rt.fork(multiply, a21 + a22, b11),
+                rt.fork(multiply, a11, b12 - b22),
+                rt.fork(multiply, a22, b21 - b11),
+                rt.fork(multiply, a11 + a12, b22),
+                rt.fork(multiply, a21 - a11, b11 + b12),
+                rt.fork(multiply, a12 - a22, b21 + b22),
+            ]
+            m1, m2, m3, m4, m5, m6, m7 = ms
+
+            # four addition tasks, each joining its older multiply siblings
+            def add(expr_deps, combine):
+                vals = [f.join() for f in expr_deps]
+                return combine(*vals)
+
+            c11 = rt.fork(add, [m1, m4, m5, m7], lambda x1, x4, x5, x7: x1 + x4 - x5 + x7)
+            c12 = rt.fork(add, [m3, m5], lambda x3, x5: x3 + x5)
+            c21 = rt.fork(add, [m2, m4], lambda x2, x4: x2 + x4)
+            c22 = rt.fork(add, [m1, m2, m3, m6], lambda x1, x2, x3, x6: x1 - x2 + x3 + x6)
+
+            c = np.empty((n, n), dtype=a.dtype)
+            h = n // 2
+            c[:h, :h] = c11.join()
+            c[:h, h:] = c12.join()
+            c[h:, :h] = c21.join()
+            c[h:, h:] = c22.join()
+            return c
+
+        return multiply(self.a, self.b)
+
+    def verify(self, result: np.ndarray) -> bool:
+        return np.allclose(result, self.expected)

@@ -1,0 +1,70 @@
+"""Finish accumulators (Shirako et al.; the paper's footnote 2).
+
+A finish accumulator joins on all tasks forked within a scope and folds
+their results with an associative operator — "joins on all tasks that
+were forked within some scope and collects their results".  Built
+directly on :class:`FinishScope`, so its join pattern is the same
+TJ-friendly arbitrary-descendant drain.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Optional
+
+from .finish import FinishScope
+from ..errors import RuntimeStateError
+from ..runtime import TaskRuntime
+
+__all__ = ["FinishAccumulator"]
+
+
+class FinishAccumulator:
+    """Accumulate task results under an associative operator.
+
+    ::
+
+        acc = FinishAccumulator(rt, op=operator.add, initial=0)
+        acc.async_(count_leaves, tree, acc)   # tasks may spawn more tasks
+        total = acc.get()                     # joins everything, folds
+    """
+
+    def __init__(
+        self,
+        rt: TaskRuntime,
+        op: Callable[[Any, Any], Any] = operator.add,
+        initial: Any = 0,
+    ) -> None:
+        self._scope = FinishScope(rt)
+        self._op = op
+        self._initial = initial
+        self._value: Optional[Any] = None
+        self._done = False
+
+    def async_(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        """Spawn a contributing task; its return value joins the fold."""
+        self._scope.async_(fn, *args, **kwargs)
+
+    def put(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        """Alias for :meth:`async_` matching the accumulator literature."""
+        self.async_(fn, *args, **kwargs)
+
+    def get(self) -> Any:
+        """Await every contributing task and return the folded value.
+
+        Idempotent: later calls return the cached result.
+        """
+        if not self._done:
+            self._scope._drain()
+            value = self._initial
+            for r in self._scope.results:
+                value = self._op(value, r)
+            self._value = value
+            self._done = True
+        return self._value
+
+    @property
+    def task_count(self) -> int:
+        if not self._done:
+            raise RuntimeStateError("accumulator not finalised; call get() first")
+        return len(self._scope.results)

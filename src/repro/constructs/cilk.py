@@ -1,0 +1,72 @@
+"""Cilk-style spawn/sync (Section 1's fully strict special case).
+
+A Cilk function may only ``sync`` with tasks it spawned itself — fully
+strict computation graphs.  Every ``sync`` join is a parent-joins-child
+edge (rule I), so Cilk programs are trivially valid under both KJ and TJ;
+this module exists to demonstrate that the general runtime subsumes the
+restricted model, and to give tests a compact fully-strict workload
+generator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import TaskFailedError
+from ..runtime import Future, TaskRuntime
+
+__all__ = ["CilkFrame"]
+
+
+class CilkFrame:
+    """The spawn/sync discipline for one function activation.
+
+    ::
+
+        def fib(n):
+            frame = CilkFrame(rt)
+            if n < 2:
+                return n
+            a = frame.spawn(fib, n - 1)
+            b = frame.spawn(fib, n - 2)
+            frame.sync()
+            return a.join() + b.join()   # both already terminated
+
+    ``sync`` blocks until everything this frame spawned has terminated;
+    after it, the recorded futures can be read without further blocking.
+    """
+
+    def __init__(self, rt: TaskRuntime) -> None:
+        self._rt = rt
+        self._spawned: list[Future] = []
+
+    def spawn(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        fut = self._rt.fork(fn, *args, **kwargs)
+        self._spawned.append(fut)
+        return fut
+
+    def sync(self) -> list[Any]:
+        """Join all tasks this frame spawned (in fork order); return their
+        results.  Failures propagate as :class:`TaskFailedError`."""
+        results = [fut.join() for fut in self._spawned]
+        self._spawned.clear()
+        return results
+
+    @property
+    def outstanding(self) -> int:
+        """Spawned-but-not-yet-synced task count."""
+        return len(self._spawned)
+
+    def __enter__(self) -> "CilkFrame":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Cilk implicitly syncs at function return.
+        if exc_type is None:
+            self.sync()
+        else:
+            try:
+                self.sync()
+            except TaskFailedError:
+                pass
+        return False

@@ -1,0 +1,116 @@
+"""The ``finish`` construct of X10 / Habanero Java (Sections 1, 2.3, 7.2).
+
+A ``finish`` block waits for every task *transitively* spawned within it.
+The paper argues the natural implementation — keep every spawned future
+in a shared queue, join whatever you pop — is precisely an *arbitrary
+descendant join* pattern: always deadlock-free and TJ-valid, but liable
+to trip KJ unless the join order carefully respects fork order.
+
+Soundness of the drain loop (the Listing 1 argument): every task
+registers its children before terminating, and a join only unblocks
+after termination; hence when the queue is observed empty, no registered
+task (nor any of its descendants) is still running.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any, Callable, Optional, Union
+
+from ..errors import RuntimeStateError, TaskFailedError
+from ..runtime import Future, TaskRuntime
+
+__all__ = ["FinishScope", "finish"]
+
+
+class FinishScope:
+    """A handle for spawning tasks that one ``finish`` block will await.
+
+    Use via :func:`finish`; nested tasks may keep spawning into the scope
+    they captured::
+
+        with finish(rt) as scope:
+            scope.async_(walk, tree.root, scope)
+        # <- every transitively spawned walk() has terminated here
+    """
+
+    def __init__(self, rt: TaskRuntime) -> None:
+        self._rt = rt
+        self._futures: "queue.SimpleQueue[Future]" = queue.SimpleQueue()
+        self._closed = False
+        self._results: list[Any] = []
+        self._failures: list[TaskFailedError] = []
+
+    def async_(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Spawn *fn* as a task awaited by the enclosing finish block."""
+        if self._closed:
+            raise RuntimeStateError("finish scope already completed")
+        fut = self._rt.fork(fn, *args, **kwargs)
+        self._futures.put(fut)
+        return fut
+
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Join every registered future until none remain (Listing 1).
+
+        Tasks may keep spawning into the scope *while* the drain runs (a
+        joined task's descendants registered before it terminated), so
+        the scope only closes once the queue is observed empty — at which
+        point, by the Listing 1 argument, no scope task is running.
+        """
+        while True:
+            try:
+                fut = self._futures.get_nowait()
+            except queue.Empty:
+                break
+            try:
+                self._results.append(fut.join())
+            except TaskFailedError as exc:
+                self._failures.append(exc)
+        self._closed = True
+        if self._failures:
+            # surface the first failure, like an uncaught exception
+            # escaping an X10 finish
+            raise self._failures[0]
+
+    @property
+    def results(self) -> list[Any]:
+        """Return values of all awaited tasks, in join order."""
+        if not self._closed:
+            raise RuntimeStateError("finish scope still open")
+        return list(self._results)
+
+    @property
+    def failures(self) -> list[TaskFailedError]:
+        return list(self._failures)
+
+
+class finish:
+    """Context manager form of the finish construct.
+
+    ::
+
+        with finish(rt) as scope:
+            for item in items:
+                scope.async_(process, item)
+        total = sum(scope.results)
+    """
+
+    def __init__(self, rt: TaskRuntime) -> None:
+        self._scope = FinishScope(rt)
+
+    def __enter__(self) -> FinishScope:
+        return self._scope
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._scope._drain()
+        else:
+            # On an exception in the block body, still await the spawned
+            # tasks (they hold references to live state) but let the
+            # original exception win.
+            try:
+                self._scope._drain()
+            except TaskFailedError:
+                pass
+        return False

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: online Transitive Joins verifiers.
+
+Four interchangeable algorithms decide the TJ order ``<_T``:
+
+=========  ==========  ==========  ============  ==============
+algorithm  fork time   join time   space         paper section
+=========  ==========  ==========  ============  ==============
+TJ-GT      O(1)        O(h)        O(n)          5.2.1 (Alg. 2)
+TJ-JP      O(log h)    O(log h)    O(n log h)    5.2.2
+TJ-SP      O(h)        O(h)        O(n h)        5.2.3 (Alg. 3)
+TJ-OM      O(1) amort  O(1)        O(n)          extension
+=========  ==========  ==========  ============  ==============
+
+plus the :class:`NullPolicy` baseline and the Algorithm 1 verifier shell.
+"""
+
+from .policy import JoinPolicy, NullPolicy, POLICY_REGISTRY, make_policy, register_policy
+from .tj_gt import GTNode, TJGlobalTree
+from .tj_jp import JPNode, TJJumpPointers
+from .tj_om import OMNode, TJOrderMaintenance
+from .tj_sp import SPNode, TJSpawnPaths
+from .verifier import Verifier, VerifierStats
+
+TJ_POLICIES = (TJGlobalTree, TJJumpPointers, TJSpawnPaths, TJOrderMaintenance)
+
+__all__ = [
+    "JoinPolicy",
+    "NullPolicy",
+    "POLICY_REGISTRY",
+    "register_policy",
+    "make_policy",
+    "TJGlobalTree",
+    "TJJumpPointers",
+    "TJSpawnPaths",
+    "TJOrderMaintenance",
+    "GTNode",
+    "JPNode",
+    "SPNode",
+    "OMNode",
+    "Verifier",
+    "VerifierStats",
+    "TJ_POLICIES",
+]

@@ -1,0 +1,105 @@
+"""The verifier-facing policy interface (Section 5.1).
+
+Algorithm 1 separates the fork/join bookkeeping from the underlying data
+structure through two procedures, ``AddChild`` and ``Less``.  We generalise
+``Less`` to ``permits`` so Known Joins implementations (whose permission
+relation is knowledge, not an order) fit the same interface, and add an
+``on_join`` hook for KJ-learn (a no-op for every TJ algorithm — the paper
+highlights exactly this simplification in Section 7.2).
+
+Concurrency contract (Section 5.1, requirements/guarantees 1–4):
+
+* ``add_child`` returns a fresh handle on every call;
+* ``add_child`` and ``permits`` may be called concurrently, *except* that
+  no two ``add_child`` calls share a parent (a task forks sequentially);
+* every handle passed to ``permits``/``on_join`` came from ``add_child``.
+
+The TJ implementations honour the contract without locks, exactly as the
+paper argues for Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional
+
+__all__ = ["JoinPolicy", "NullPolicy", "POLICY_REGISTRY", "register_policy", "make_policy"]
+
+
+class JoinPolicy(ABC):
+    """A pluggable online deadlock-avoidance policy.
+
+    Handles are opaque to callers; each implementation defines its own
+    vertex record type.
+    """
+
+    #: short identifier used in reports ("TJ-SP", "KJ-VC", ...)
+    name: str = "abstract"
+
+    @abstractmethod
+    def add_child(self, parent: Optional[object]) -> object:
+        """Install and return a new vertex; ``parent=None`` creates the root."""
+
+    @abstractmethod
+    def permits(self, joiner: object, joinee: object) -> bool:
+        """May the task at *joiner* block on the task at *joinee*?"""
+
+    def on_join(self, joiner: object, joinee: object) -> None:
+        """State update after a join completes (KJ-learn); default no-op."""
+
+    def space_units(self) -> int:
+        """Approximate live storage in atomic slots (pointers/ints).
+
+        Used by the Table 1 empirical-complexity experiment; implementations
+        override with an exact count of what they retain per task.
+        """
+        return 0
+
+
+class NullPolicy(JoinPolicy):
+    """The unchecked baseline: every join is permitted, nothing is stored.
+
+    This is the "no policy enabled" configuration of Section 6.2 against
+    which overhead factors are computed.  ``add_child`` still hands out
+    distinct handles so instrumented runtimes need no special casing.
+    """
+
+    name = "none"
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add_child(self, parent: Optional[object]) -> object:
+        self._count += 1
+        return self._count
+
+    def permits(self, joiner: object, joinee: object) -> bool:
+        return True
+
+    def space_units(self) -> int:
+        return 0
+
+
+POLICY_REGISTRY: dict[str, Callable[[], JoinPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[[], JoinPolicy]) -> None:
+    """Register a policy factory under *name* (e.g. for the CLI)."""
+    POLICY_REGISTRY[name] = factory
+
+
+def make_policy(name: str) -> JoinPolicy:
+    """Instantiate a registered policy by name.
+
+    Known names after importing :mod:`repro`: ``none``, ``TJ-GT``,
+    ``TJ-JP``, ``TJ-SP``, ``TJ-OM``, ``KJ-VC``, ``KJ-SS``.
+    """
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    return factory()
+
+
+register_policy(NullPolicy.name, NullPolicy)

@@ -1,0 +1,72 @@
+"""TJ-SP: the task-local spawn-path algorithm (Algorithm 3).
+
+Instead of a shared tree, each task carries its *spawn path* — the array
+of child indices from the root down to itself.  A fork copies the parent's
+path and appends the new child's sibling index; ``Less`` scans for the
+longest common prefix and compares at the divergence (or path lengths when
+one path is a prefix of the other, the anc+/dec* cases).
+
+This is the variant the paper evaluates: task-local arrays trade O(n·h)
+total space for cache locality and zero sharing.  Paths are Python tuples,
+so the "copy" is one allocation and the structure is immutable after
+creation — the Section 5.1 concurrency contract is satisfied trivially.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .policy import JoinPolicy, register_policy
+
+__all__ = ["SPNode", "TJSpawnPaths"]
+
+
+class SPNode:
+    """A task record holding its spawn path and a fork counter."""
+
+    __slots__ = ("path", "children")
+
+    def __init__(self, path: tuple[int, ...]) -> None:
+        self.path = path
+        self.children = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SPNode(path={self.path})"
+
+
+class TJSpawnPaths(JoinPolicy):
+    """Transitive Joins verified over per-task spawn paths."""
+
+    name = "TJ-SP"
+
+    def __init__(self) -> None:
+        self._n_nodes = 0
+        self._path_slots = 0
+
+    def add_child(self, parent: Optional[SPNode]) -> SPNode:
+        self._n_nodes += 1
+        if parent is None:
+            return SPNode(())
+        path = parent.path + (parent.children,)
+        parent.children += 1
+        self._path_slots += len(path)
+        return SPNode(path)
+
+    def permits(self, joiner: SPNode, joinee: SPNode) -> bool:
+        return self._less(joiner.path, joinee.path)
+
+    @staticmethod
+    def _less(p1: tuple[int, ...], p2: tuple[int, ...]) -> bool:
+        """Algorithm 3's ``Less``: longest-common-prefix comparison."""
+        for i in range(min(len(p1), len(p2))):
+            if p1[i] != p2[i]:
+                return p1[i] > p2[i]  # sib case: later sibling is smaller
+        # One path is a prefix of the other (or they are equal): the
+        # shorter path is the ancestor, and only a proper ancestor is less.
+        return len(p1) < len(p2)
+
+    def space_units(self) -> int:
+        return self._n_nodes + self._path_slots
+
+
+register_policy(TJSpawnPaths.name, TJSpawnPaths)

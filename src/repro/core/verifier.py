@@ -1,0 +1,91 @@
+"""The verifier interface of Algorithm 1.
+
+``Verifier`` wraps any :class:`~repro.core.policy.JoinPolicy` and exposes
+the fork/join protocol the runtimes drive:
+
+* :meth:`on_fork` — install a vertex for a new task (``AddChild``);
+* :meth:`check_join` / :meth:`require_join` — the ``Less`` gate of
+  ``Join``; ``require_join`` faults with :class:`PolicyViolationError`
+  exactly where Algorithm 1 says ``fault``;
+* :meth:`on_join_completed` — post-wait state update (KJ-learn; no-op for
+  TJ policies).
+
+It also counts events, which the evaluation harness and the precision
+ablation read off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from .policy import JoinPolicy
+from ..errors import PolicyViolationError
+
+__all__ = ["Verifier", "VerifierStats"]
+
+
+@dataclass
+class VerifierStats:
+    """Event counters accumulated by a :class:`Verifier`."""
+
+    forks: int = 0
+    joins_checked: int = 0
+    joins_rejected: int = 0
+
+    @property
+    def joins_permitted(self) -> int:
+        return self.joins_checked - self.joins_rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.joins_rejected / self.joins_checked if self.joins_checked else 0.0
+
+
+class Verifier:
+    """Online policy verifier (Algorithm 1) around a pluggable policy."""
+
+    def __init__(self, policy: JoinPolicy) -> None:
+        self.policy = policy
+        self.stats = VerifierStats()
+        # Counter updates race benignly across tasks; a tiny lock keeps the
+        # statistics exact without serialising the policy itself.
+        self._stats_lock = threading.Lock()
+
+    @property
+    def name(self) -> str:
+        return self.policy.name
+
+    # ------------------------------------------------------------------
+    def on_init(self) -> object:
+        """Create the root vertex (``Fork(null, f)`` in Algorithm 1)."""
+        with self._stats_lock:
+            self.stats.forks += 1
+        return self.policy.add_child(None)
+
+    def on_fork(self, parent: object) -> object:
+        """Create a vertex for a task forked by the task at *parent*."""
+        with self._stats_lock:
+            self.stats.forks += 1
+        return self.policy.add_child(parent)
+
+    # ------------------------------------------------------------------
+    def check_join(self, joiner: object, joinee: object) -> bool:
+        """Is the join permitted?  Records the verdict in the stats."""
+        ok = self.policy.permits(joiner, joinee)
+        with self._stats_lock:
+            self.stats.joins_checked += 1
+            if not ok:
+                self.stats.joins_rejected += 1
+        return ok
+
+    def require_join(self, joiner: object, joinee: object) -> None:
+        """Fault (raise) unless the join is permitted — Algorithm 1 line 13."""
+        if not self.check_join(joiner, joinee):
+            raise PolicyViolationError(self.policy.name, joiner, joinee)
+
+    def on_join_completed(self, joiner: object, joinee: object) -> None:
+        """Propagate post-join knowledge (KJ-learn); no-op under TJ."""
+        self.policy.on_join(joiner, joinee)

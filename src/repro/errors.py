@@ -1,0 +1,100 @@
+"""Exception hierarchy for the Transitive Joins reproduction.
+
+The paper's verifier (Algorithm 1) *faults* on a join that the policy does
+not permit.  When the verifier is combined with the Armus cycle-detection
+fallback (Section 6), a fault is first filtered for precision: joins that
+are merely policy false positives proceed, while joins that would truly
+deadlock raise :class:`DeadlockAvoidedError` in the offending task, giving
+the program a chance to recover (the central selling point of *avoidance*
+over *detection*, Section 7.1).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TraceError",
+    "InvalidActionError",
+    "PolicyViolationError",
+    "DeadlockError",
+    "DeadlockAvoidedError",
+    "DeadlockDetectedError",
+    "RuntimeStateError",
+    "TaskFailedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class TraceError(ReproError):
+    """A trace violates the structural valid-* rules of Definition 3.2."""
+
+
+class InvalidActionError(TraceError):
+    """An action references tasks in a way the valid-* rules forbid.
+
+    Examples: a ``fork`` whose child already exists, an action before
+    ``init``, or a second ``init``.
+    """
+
+
+class PolicyViolationError(ReproError):
+    """A join was attempted that the active policy does not permit.
+
+    Corresponds to the ``fault`` in Algorithm 1.  Carries the pair of tasks
+    so callers (and the Armus fallback) can reason about the candidate edge.
+    """
+
+    def __init__(self, policy: str, joiner: object, joinee: object, message: str | None = None):
+        self.policy = policy
+        self.joiner = joiner
+        self.joinee = joinee
+        super().__init__(
+            message
+            or f"{policy}: task {joiner!r} is not permitted to join on task {joinee!r}"
+        )
+
+
+class DeadlockError(ReproError):
+    """Base class for both flavours of deadlock diagnosis."""
+
+    def __init__(self, cycle: tuple | None = None, message: str | None = None):
+        self.cycle = tuple(cycle) if cycle is not None else None
+        if message is None:
+            if self.cycle:
+                message = "deadlock cycle: " + " -> ".join(repr(t) for t in self.cycle)
+            else:
+                message = "deadlock"
+        super().__init__(message)
+
+
+class DeadlockAvoidedError(DeadlockError):
+    """Raised *before* blocking: the attempted join would close a cycle.
+
+    This is the recoverable exception delivered to the program by the
+    avoidance machinery (policy verifier + Armus filter).
+    """
+
+
+class DeadlockDetectedError(DeadlockError):
+    """Raised by the cooperative scheduler when no task can make progress.
+
+    This is *detection* (the deadlock already happened); it exists so the
+    deterministic runtime can report unprotected deadlocks in tests instead
+    of hanging.
+    """
+
+
+class RuntimeStateError(ReproError):
+    """Misuse of the task runtime (e.g. joining outside any task context)."""
+
+
+class TaskFailedError(ReproError):
+    """A joined task terminated with an exception; wraps the original."""
+
+    def __init__(self, task: object, cause: BaseException):
+        self.task = task
+        self.__cause__ = cause
+        super().__init__(f"task {task!r} failed: {cause!r}")

@@ -1,0 +1,81 @@
+"""Executable formalism of Sections 3–4: traces, the TJ and KJ relations,
+the fork tree with the ``lca+`` decision procedure, and the Definition 3.9
+deadlock checker.
+
+This subpackage is the semantic ground truth of the repository.  Every
+production verifier algorithm in :mod:`repro.core` and :mod:`repro.kj` is
+property-tested against these reference implementations.
+"""
+
+from .actions import Action, Fork, Init, Join, Task, format_trace, parse_trace
+from .deadlock import contains_deadlock, find_join_cycle, join_graph
+from .derivations import check_derivation, derive
+from .exhaustive import (
+    check_decision_procedure,
+    check_maximality,
+    check_soundness,
+    check_subsumption,
+    check_total_order,
+    enumerate_traces,
+)
+from .kj_derivations import check_kj_derivation, derive_kj, translate_kj_to_tj
+from .transitivity import compose
+from .fork_tree import AncPlus, DecStar, ForkTree, Sib, lca_plus
+from .kj_relation import KJKnowledge, derive_kj_pairs, kj_knows
+from .tj_relation import TJOrderOracle, derive_tj_pairs, tj_less
+from .trace import (
+    FreeFamily,
+    KJFamily,
+    TJFamily,
+    ValidationResult,
+    Verdict,
+    is_kj_valid,
+    is_structurally_valid,
+    is_tj_valid,
+    validate_trace,
+)
+
+__all__ = [
+    "Action",
+    "Init",
+    "Fork",
+    "Join",
+    "Task",
+    "parse_trace",
+    "format_trace",
+    "ForkTree",
+    "AncPlus",
+    "DecStar",
+    "Sib",
+    "lca_plus",
+    "TJOrderOracle",
+    "derive_tj_pairs",
+    "tj_less",
+    "KJKnowledge",
+    "derive_kj_pairs",
+    "kj_knows",
+    "TJFamily",
+    "KJFamily",
+    "FreeFamily",
+    "Verdict",
+    "ValidationResult",
+    "validate_trace",
+    "is_tj_valid",
+    "is_kj_valid",
+    "is_structurally_valid",
+    "contains_deadlock",
+    "find_join_cycle",
+    "join_graph",
+    "derive",
+    "check_derivation",
+    "compose",
+    "derive_kj",
+    "check_kj_derivation",
+    "translate_kj_to_tj",
+    "enumerate_traces",
+    "check_soundness",
+    "check_subsumption",
+    "check_total_order",
+    "check_decision_procedure",
+    "check_maximality",
+]

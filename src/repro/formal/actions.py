@@ -1,0 +1,110 @@
+"""Actions and traces (Definition 3.1).
+
+A *task* is named by any hashable value (the tests mostly use short strings
+or ints).  An *action* is one of ``init(a)``, ``fork(a, b)`` or
+``join(a, b)``.  A *trace* is a sequence of actions.
+
+These are plain frozen dataclasses so traces are hashable, comparable and
+cheap to generate in property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Sequence, Union
+
+__all__ = ["Task", "Init", "Fork", "Join", "Action", "Trace", "parse_trace", "format_trace"]
+
+Task = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Init:
+    """``init(a)``: *a* is the root task (first action of every valid trace)."""
+
+    task: Task
+
+    def tasks(self) -> tuple[Task, ...]:
+        return (self.task,)
+
+    def __str__(self) -> str:
+        return f"init({self.task})"
+
+
+@dataclass(frozen=True, slots=True)
+class Fork:
+    """``fork(a, b)``: task *a* forks the fresh task *b*."""
+
+    parent: Task
+    child: Task
+
+    def tasks(self) -> tuple[Task, ...]:
+        return (self.parent, self.child)
+
+    def __str__(self) -> str:
+        return f"fork({self.parent}, {self.child})"
+
+
+@dataclass(frozen=True, slots=True)
+class Join:
+    """``join(a, b)``: task *a* blocks awaiting the termination of *b*."""
+
+    waiter: Task
+    joinee: Task
+
+    def tasks(self) -> tuple[Task, ...]:
+        return (self.waiter, self.joinee)
+
+    def __str__(self) -> str:
+        return f"join({self.waiter}, {self.joinee})"
+
+
+Action = Union[Init, Fork, Join]
+Trace = Sequence[Action]
+
+
+def format_trace(trace: Iterable[Action]) -> str:
+    """Render a trace in the one-action-per-line textual form."""
+    return "\n".join(str(a) for a in trace)
+
+
+def _parse_action(line: str) -> Action:
+    line = line.strip()
+    if not line.endswith(")"):
+        raise ValueError(f"malformed action: {line!r}")
+    head, _, rest = line.partition("(")
+    args = [s.strip() for s in rest[:-1].split(",")] if rest[:-1] else []
+    if head == "init" and len(args) == 1:
+        return Init(args[0])
+    if head == "fork" and len(args) == 2:
+        return Fork(args[0], args[1])
+    if head == "join" and len(args) == 2:
+        return Join(args[0], args[1])
+    raise ValueError(f"malformed action: {line!r}")
+
+
+def parse_trace(text: str) -> list[Action]:
+    """Parse the textual trace format produced by :func:`format_trace`.
+
+    Blank lines and ``#`` comments are ignored.  Task names are strings.
+    """
+    actions: list[Action] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            actions.append(_parse_action(line))
+    return actions
+
+
+def iter_forks(trace: Iterable[Action]) -> Iterator[Fork]:
+    """Yield only the fork actions of a trace, in order."""
+    for a in trace:
+        if isinstance(a, Fork):
+            yield a
+
+
+def iter_joins(trace: Iterable[Action]) -> Iterator[Join]:
+    """Yield only the join actions of a trace, in order."""
+    for a in trace:
+        if isinstance(a, Join):
+            yield a

@@ -1,0 +1,76 @@
+"""Deadlock cycles in traces (Definition 3.9).
+
+A trace *contains a deadlock* when its join actions include a cycle
+``join(a0, a1), join(a1, a2), ..., join(an, a0)``.  (``n = 0`` — a self
+join — counts.)  Theorem 3.11 states TJ-valid traces never do; the
+property tests exercise exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .actions import Action, Join, Task
+
+__all__ = ["join_graph", "find_join_cycle", "contains_deadlock"]
+
+
+def join_graph(trace: Iterable[Action]) -> dict[Task, set[Task]]:
+    """Adjacency map of the join edges ``waiter -> joinee`` in *trace*."""
+    graph: dict[Task, set[Task]] = {}
+    for action in trace:
+        if isinstance(action, Join):
+            graph.setdefault(action.waiter, set()).add(action.joinee)
+            graph.setdefault(action.joinee, set())
+    return graph
+
+
+def find_cycle(graph: dict[Task, set[Task]]) -> Optional[list[Task]]:
+    """Find any directed cycle in *graph*; returns the cycle's vertices.
+
+    Iterative three-colour DFS (no recursion limit issues on long chains).
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {v: WHITE for v in graph}
+    parent: dict[Task, Optional[Task]] = {}
+    for start in graph:
+        if colour[start] != WHITE:
+            continue
+        stack: list[tuple[Task, Optional[object]]] = [(start, None)]
+        parent[start] = None
+        while stack:
+            node, it = stack[-1]
+            if it is None:
+                colour[node] = GREY
+                it = iter(graph[node])
+                stack[-1] = (node, it)
+            advanced = False
+            for succ in it:  # type: ignore[union-attr]
+                if colour[succ] == WHITE:
+                    parent[succ] = node
+                    stack.append((succ, None))
+                    advanced = True
+                    break
+                if colour[succ] == GREY:
+                    # Back edge node -> succ closes a cycle.
+                    cycle = [node]
+                    while cycle[-1] != succ:
+                        prev = parent[cycle[-1]]
+                        assert prev is not None
+                        cycle.append(prev)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def find_join_cycle(trace: Iterable[Action]) -> Optional[list[Task]]:
+    """The task cycle witnessing Definition 3.9, or None."""
+    return find_cycle(join_graph(trace))
+
+
+def contains_deadlock(trace: Iterable[Action]) -> bool:
+    """Definition 3.9: does *trace* contain a deadlock?"""
+    return find_join_cycle(trace) is not None

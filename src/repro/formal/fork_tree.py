@@ -1,0 +1,246 @@
+"""The fork tree of a trace (Definitions 3.12–3.14) and the ``<_T`` order.
+
+The fork tree ``T`` has an edge for every ``fork(a, b)`` in the trace and a
+child-index function ``I`` recording fork order among siblings.  Theorem
+3.15 decides the preorder traversal ``<_T`` — which Theorem 3.17 proves is
+exactly the TJ permission order — by a case analysis on the *extended*
+lowest common ancestor ``lca+``:
+
+* ``anc+``  — ``a`` is a proper ancestor of ``b``:   ``a <_T b``;
+* ``dec*``  — ``a`` is ``b`` or a descendant of it:  ``not (a <_T b)``;
+* ``sib(a', b')`` — the branches diverge at siblings ``a'``, ``b'``:
+  ``a <_T b  iff  I(a') > I(b')``  (note the *reversed* comparison: the
+  later-forked sibling is the smaller one, so a younger subtree may join
+  into an older sibling's subtree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Literal, Optional, Union
+
+from .actions import Action, Fork, Init, Task
+from ..errors import InvalidActionError
+
+__all__ = ["ForkTree", "LcaPlus", "AncPlus", "DecStar", "Sib", "lca_plus"]
+
+
+@dataclass(frozen=True, slots=True)
+class AncPlus:
+    """``lca+(a, b) = anc+``: *a* is a proper ancestor of *b*."""
+
+
+@dataclass(frozen=True, slots=True)
+class DecStar:
+    """``lca+(a, b) = dec*``: *a* is a descendant of, or equal to, *b*."""
+
+
+@dataclass(frozen=True, slots=True)
+class Sib:
+    """``lca+(a, b) = sib(a', b')``.
+
+    ``a_branch`` / ``b_branch`` are the unique siblings on the paths from
+    the LCA down to *a* and *b* respectively.
+    """
+
+    a_branch: Task
+    b_branch: Task
+
+
+LcaPlus = Union[AncPlus, DecStar, Sib]
+
+
+class ForkTree:
+    """A fork tree built incrementally from ``init``/``fork`` actions.
+
+    Stores, per task: parent, child index (``I``), depth, and children in
+    fork order.  All queries of Definitions 3.12–3.14 and the Theorem 3.15
+    decision procedure are provided.
+    """
+
+    def __init__(self) -> None:
+        self._parent: dict[Task, Optional[Task]] = {}
+        self._index: dict[Task, int] = {}
+        self._depth: dict[Task, int] = {}
+        self._children: dict[Task, list[Task]] = {}
+        self._root: Optional[Task] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_root(self, task: Task) -> None:
+        if self._root is not None:
+            raise InvalidActionError(f"root already initialised to {self._root!r}")
+        self._root = task
+        self._parent[task] = None
+        self._index[task] = 0
+        self._depth[task] = 0
+        self._children[task] = []
+
+    def add_child(self, parent: Task, child: Task) -> None:
+        if parent not in self._parent:
+            raise InvalidActionError(f"fork from unknown task {parent!r}")
+        if child in self._parent:
+            raise InvalidActionError(f"fork of already-existing task {child!r}")
+        sibs = self._children[parent]
+        self._parent[child] = parent
+        self._index[child] = len(sibs)
+        self._depth[child] = self._depth[parent] + 1
+        self._children[child] = []
+        sibs.append(child)
+
+    def apply(self, action: Action) -> None:
+        """Apply the tree-relevant effect of one action (joins are no-ops)."""
+        if isinstance(action, Init):
+            self.add_root(action.task)
+        elif isinstance(action, Fork):
+            self.add_child(action.parent, action.child)
+
+    @classmethod
+    def from_trace(cls, trace: Iterable[Action]) -> "ForkTree":
+        tree = cls()
+        for action in trace:
+            tree.apply(action)
+        return tree
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def __contains__(self, task: Task) -> bool:
+        return task in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def root(self) -> Optional[Task]:
+        return self._root
+
+    def tasks(self) -> Iterator[Task]:
+        return iter(self._parent)
+
+    def parent(self, task: Task) -> Optional[Task]:
+        """The unique forking task of *task* (Lemma 3.6), or None for the root."""
+        return self._parent[task]
+
+    def index(self, task: Task) -> int:
+        """``I(task)``: the fork-order index among its siblings."""
+        return self._index[task]
+
+    def depth(self, task: Task) -> int:
+        return self._depth[task]
+
+    def children(self, task: Task) -> tuple[Task, ...]:
+        return tuple(self._children[task])
+
+    def height(self) -> int:
+        """Height of the tree = max depth (0 for a lone root)."""
+        return max(self._depth.values(), default=0)
+
+    def path_from_root(self, task: Task) -> list[Task]:
+        """Tasks on the root→task path, inclusive."""
+        path = [task]
+        while (p := self._parent[path[-1]]) is not None:
+            path.append(p)
+        path.reverse()
+        return path
+
+    def spawn_path(self, task: Task) -> tuple[int, ...]:
+        """The sequence of child indices from the root down to *task*.
+
+        This is exactly the per-task array maintained by TJ-SP.
+        """
+        ixs: list[int] = []
+        t: Optional[Task] = task
+        while self._parent[t] is not None:
+            ixs.append(self._index[t])
+            t = self._parent[t]
+        ixs.reverse()
+        return tuple(ixs)
+
+    def is_ancestor(self, a: Task, b: Task) -> bool:
+        """True iff *a* is a *proper* ancestor of *b* (Definition 3.7)."""
+        if a == b:
+            return False
+        da, db = self._depth[a], self._depth[b]
+        if da >= db:
+            return False
+        t: Optional[Task] = b
+        for _ in range(db - da):
+            t = self._parent[t]
+        return t == a
+
+    # ------------------------------------------------------------------
+    # Definition 3.14: extended lowest common ancestor
+    # ------------------------------------------------------------------
+    def lca_plus(self, a: Task, b: Task) -> LcaPlus:
+        """Classify the relative tree position of *a* and *b*.
+
+        Returns :class:`AncPlus`, :class:`DecStar` or :class:`Sib` per
+        Definition 3.14.
+        """
+        if a == b:
+            return DecStar()
+        # Lift the deeper node to the other's depth, remembering the last
+        # node stepped from on each side.
+        x, y = a, b
+        bx: Optional[Task] = None  # branch child below the meeting point, a-side
+        by: Optional[Task] = None
+        while self._depth[x] > self._depth[y]:
+            bx, x = x, self._parent[x]
+        while self._depth[y] > self._depth[x]:
+            by, y = y, self._parent[y]
+        if x == y:
+            # One was an ancestor of the other.
+            return AncPlus() if bx is None else DecStar()
+        while x != y:
+            bx, x = x, self._parent[x]
+            by, y = y, self._parent[y]
+        assert bx is not None and by is not None
+        return Sib(bx, by)
+
+    def lca(self, a: Task, b: Task) -> Task:
+        """The traditional lowest common ancestor."""
+        kind = self.lca_plus(a, b)
+        if isinstance(kind, AncPlus):
+            return a
+        if isinstance(kind, DecStar):
+            return b
+        parent = self._parent[kind.a_branch]
+        assert parent is not None
+        return parent
+
+    # ------------------------------------------------------------------
+    # Theorem 3.15: decision procedure for <_T
+    # ------------------------------------------------------------------
+    def less(self, a: Task, b: Task) -> bool:
+        """Decide ``a <_T b`` (equivalently ``t ⊢ a < b``, Theorem 3.17)."""
+        kind = self.lca_plus(a, b)
+        if isinstance(kind, AncPlus):
+            return True
+        if isinstance(kind, DecStar):
+            return False
+        return self._index[kind.a_branch] > self._index[kind.b_branch]
+
+    def preorder(self) -> list[Task]:
+        """All tasks sorted ascending by ``<_T``.
+
+        This is a preorder traversal that visits children in *reverse* fork
+        order, because later-forked siblings are smaller (Theorem 3.15 c).
+        """
+        if self._root is None:
+            return []
+        out: list[Task] = []
+        stack: list[Task] = [self._root]
+        while stack:
+            t = stack.pop()
+            out.append(t)
+            # Children pushed in fork order => popped latest-first, so the
+            # latest fork (smallest) is emitted immediately after its parent.
+            stack.extend(self._children[t])
+        return out
+
+
+def lca_plus(trace: Iterable[Action], a: Task, b: Task) -> LcaPlus:
+    """Convenience: ``lca+`` computed on the fork tree of *trace*."""
+    return ForkTree.from_trace(trace).lca_plus(a, b)

@@ -1,0 +1,222 @@
+"""KJ derivation trees and the constructive proof of Theorem 4.3.
+
+Mirrors :mod:`repro.formal.derivations` for the Known Joins judgment
+``t ⊢ a ≺ b`` (Definition 4.1): proof objects for KJ-child, KJ-inherit,
+KJ-learn and KJ-mono, a provenance-tracking builder, an independent
+checker — and :func:`translate_kj_to_tj`, the paper's proof of
+Theorem 4.3 run as a program:
+
+* KJ-child   becomes TJ-left (reflexive premise);
+* KJ-inherit becomes TJ-right (translated premise);
+* KJ-mono    becomes TJ-mono;
+* KJ-learn at ``join(a, b)`` becomes a *transitive composition*
+  (Lemma 3.8, :func:`~repro.formal.transitivity.compose`) of the
+  translated premise ``b < c`` with ``a < b``, the latter obtained from
+  the trace's KJ-validity (valid-join-R guarantees ``a ≺ b`` before the
+  join; recurse to translate it).
+
+Every translated derivation is validated by the same independent TJ
+checker — the subsumption theorem with its proof steps executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .actions import Action, Fork, Init, Join, Task
+from .derivations import Derivation as TJDerivation
+from .derivations import TJLeft, TJMono, TJRight, build_to
+from .transitivity import compose
+
+__all__ = [
+    "KJChild",
+    "KJInherit",
+    "KJLearn",
+    "KJMono",
+    "KJDerivation",
+    "derive_kj",
+    "check_kj_derivation",
+    "translate_kj_to_tj",
+]
+
+
+@dataclass(frozen=True)
+class KJChild:
+    """``t; fork(a, b) ⊢ a ≺ b``."""
+
+    conclusion: tuple[Task, Task]
+    fork_index: int
+
+
+@dataclass(frozen=True)
+class KJInherit:
+    """``t ⊢ a ≺ c  ⟹  t; fork(a, b) ⊢ b ≺ c``."""
+
+    conclusion: tuple[Task, Task]
+    fork_index: int
+    premise: "KJDerivation"
+
+
+@dataclass(frozen=True)
+class KJLearn:
+    """``t ⊢ b ≺ c  ⟹  t; join(a, b) ⊢ a ≺ c``."""
+
+    conclusion: tuple[Task, Task]
+    join_index: int
+    premise: "KJDerivation"
+
+
+@dataclass(frozen=True)
+class KJMono:
+    """``t1 ⊢ a ≺ b  ⟹  t1; t2 ⊢ a ≺ b``."""
+
+    conclusion: tuple[Task, Task]
+    prefix_len: int
+    premise: "KJDerivation"
+
+
+KJDerivation = Union[KJChild, KJInherit, KJLearn, KJMono]
+
+
+def _use(deriv: KJDerivation) -> int:
+    """Index of the action the outermost rule consumes (monos skipped)."""
+    while isinstance(deriv, KJMono):
+        deriv = deriv.premise
+    if isinstance(deriv, KJLearn):
+        return deriv.join_index
+    return deriv.fork_index
+
+
+def _weaken(deriv: KJDerivation, target_scope: int) -> KJDerivation:
+    """Make *deriv* usable at *target_scope* (KJ-mono is scope-flexible)."""
+    if isinstance(deriv, KJMono):
+        assert deriv.prefix_len <= target_scope
+        return deriv
+    have = _use(deriv) + 1
+    if have == target_scope:
+        return deriv
+    assert have < target_scope
+    return KJMono(deriv.conclusion, have, deriv)
+
+
+def derive_kj(trace: list[Action], a: Task, b: Task) -> Optional[KJDerivation]:
+    """A KJ derivation of ``trace ⊢ a ≺ b``, or None when it is false.
+
+    Replays the trace keeping, for every knowledge pair, the derivation
+    that first established it (knowledge is monotone, so first suffices).
+    Joins are processed unconditionally (like the semantic reference):
+    for traces that are not KJ-valid this still derives the Definition
+    4.1 relation, but :func:`translate_kj_to_tj` additionally requires
+    KJ validity.
+    """
+    prov: dict[Task, dict[Task, KJDerivation]] = {}
+    for i, action in enumerate(trace):
+        if isinstance(action, Init):
+            prov[action.task] = {}
+        elif isinstance(action, Fork):
+            parent, child = action.parent, action.child
+            prov[child] = {
+                y: KJInherit((child, y), i, _weaken(d, i))
+                for y, d in prov[parent].items()
+            }
+            prov[parent][child] = KJChild((parent, child), i)
+        elif isinstance(action, Join):
+            waiter, joinee = action.waiter, action.joinee
+            for y, d in prov[joinee].items():
+                if y not in prov[waiter]:
+                    prov[waiter][y] = KJLearn((waiter, y), i, _weaken(d, i))
+    return prov.get(a, {}).get(b)
+
+
+def check_kj_derivation(trace: list[Action], deriv: KJDerivation) -> bool:
+    """Independently validate a KJ derivation over the whole trace."""
+    return _check(trace, deriv, len(trace))
+
+
+def _check(trace: list[Action], deriv: KJDerivation, scope: int) -> bool:
+    if isinstance(deriv, KJMono):
+        if not (0 < deriv.prefix_len <= scope):
+            return False
+        if deriv.premise.conclusion != deriv.conclusion:
+            return False
+        return _check(trace, deriv.premise, deriv.prefix_len)
+
+    if isinstance(deriv, KJLearn):
+        i = deriv.join_index
+        if not (0 <= i < scope) or scope != i + 1:
+            return False
+        action = trace[i]
+        if not isinstance(action, Join):
+            return False
+        a, c = deriv.conclusion
+        if a != action.waiter:
+            return False
+        if deriv.premise.conclusion != (action.joinee, c):
+            return False
+        return _check(trace, deriv.premise, i)
+
+    i = deriv.fork_index
+    if not (0 <= i < scope) or scope != i + 1:
+        return False
+    action = trace[i]
+    if not isinstance(action, Fork):
+        return False
+    if isinstance(deriv, KJChild):
+        return deriv.conclusion == (action.parent, action.child)
+    assert isinstance(deriv, KJInherit)
+    b, c = deriv.conclusion
+    if b != action.child:
+        return False
+    if deriv.premise.conclusion != (action.parent, c):
+        return False
+    return _check(trace, deriv.premise, i)
+
+
+def translate_kj_to_tj(trace: list[Action], deriv: KJDerivation) -> TJDerivation:
+    """Theorem 4.3, constructively: a TJ derivation of the same pair.
+
+    Requires the *trace* to be KJ-valid at every join the derivation's
+    KJ-learn steps consume (valid-join-R supplies the ``a ≺ b`` those
+    steps lean on).
+    """
+    if isinstance(deriv, KJMono):
+        return TJMono(
+            deriv.conclusion,
+            deriv.prefix_len,
+            translate_kj_to_tj(trace, deriv.premise),
+        )
+    if isinstance(deriv, KJChild):
+        return TJLeft(deriv.conclusion, deriv.fork_index, None)
+    if isinstance(deriv, KJInherit):
+        inner = translate_kj_to_tj(trace, deriv.premise)
+        return TJRight(
+            deriv.conclusion, deriv.fork_index, build_to(inner, deriv.fork_index)
+        )
+    assert isinstance(deriv, KJLearn)
+    i = deriv.join_index
+    action = trace[i]
+    assert isinstance(action, Join)
+    a, c = deriv.conclusion
+    b = action.joinee
+    prefix = trace[:i]
+    # t' ⊢ b < c from the premise
+    d_bc = build_to(translate_kj_to_tj(trace, deriv.premise), i)
+    if a == b:  # degenerate self-join in a non-valid trace; c unchanged
+        return _tj_weaken_to(d_bc, i + 1)
+    # t' ⊢ a ≺ b from KJ validity of the join, then translate
+    kj_ab = derive_kj(prefix, a, b)
+    if kj_ab is None:
+        raise ValueError(
+            f"trace is not KJ-valid at action {i} ({action}); "
+            "Theorem 4.3's hypothesis fails"
+        )
+    d_ab = build_to(translate_kj_to_tj(prefix, kj_ab), i)
+    # Lemma 3.8 composes them within the prefix
+    composed = compose(prefix, d_ab, d_bc)
+    return _tj_weaken_to(composed, i + 1)
+
+
+def _tj_weaken_to(deriv: TJDerivation, scope: int) -> TJDerivation:
+    """Like build_to but tolerant of already-flexible monos."""
+    return build_to(deriv, scope)

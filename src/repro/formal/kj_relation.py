@@ -1,0 +1,93 @@
+"""Executable semantics of the KJ knowledge relation ``t ⊢ a ≺ b``.
+
+Definition 4.1, restated as knowledge sets (the original formulation of
+Cogumbreiro et al.):  ``a ≺ b  iff  b ∈ K(a)`` where
+
+* KJ-child:   on ``fork(a, b)``, add ``b`` to ``K(a)``;
+* KJ-inherit: on ``fork(a, b)``, set ``K(b)`` to a snapshot of ``K(a)``
+  taken *before* KJ-child applies — the hypothesis of KJ-inherit refers to
+  the trace before the fork, so a child does not know itself or learn of
+  itself;
+* KJ-learn:   on ``join(a, b)``, merge ``K(b)`` into ``K(a)``;
+* KJ-mono:    knowledge only grows (sets are only ever extended).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .actions import Action, Fork, Init, Join, Task
+from ..errors import InvalidActionError
+
+__all__ = ["KJKnowledge", "derive_kj_pairs", "kj_knows"]
+
+
+class KJKnowledge:
+    """Incrementally maintained KJ knowledge sets.
+
+    This is the semantic reference for both KJ verifier implementations
+    (KJ-VC and KJ-SS), which represent the same sets more compactly.
+    """
+
+    def __init__(self) -> None:
+        self._k: dict[Task, set[Task]] = {}
+
+    def apply(self, action: Action) -> None:
+        if isinstance(action, Init):
+            self.init(action.task)
+        elif isinstance(action, Fork):
+            self.fork(action.parent, action.child)
+        elif isinstance(action, Join):
+            self.join(action.waiter, action.joinee)
+        else:  # pragma: no cover - defensive
+            raise InvalidActionError(f"unknown action {action!r}")
+
+    def init(self, root: Task) -> None:
+        if self._k:
+            raise InvalidActionError("init must be the first action")
+        self._k[root] = set()
+
+    def fork(self, parent: Task, child: Task) -> None:
+        if parent not in self._k:
+            raise InvalidActionError(f"fork from unknown task {parent!r}")
+        if child in self._k:
+            raise InvalidActionError(f"fork of existing task {child!r}")
+        self._k[child] = set(self._k[parent])  # KJ-inherit (pre-fork snapshot)
+        self._k[parent].add(child)  # KJ-child
+
+    def join(self, waiter: Task, joinee: Task) -> None:
+        """Apply KJ-learn.  Does *not* check permission — see :meth:`knows`."""
+        if waiter not in self._k or joinee not in self._k:
+            raise InvalidActionError(f"join on unknown task ({waiter!r}, {joinee!r})")
+        self._k[waiter] |= self._k[joinee]
+
+    def knows(self, a: Task, b: Task) -> bool:
+        """``t ⊢ a ≺ b`` for the trace applied so far."""
+        return b in self._k[a]
+
+    def knowledge_of(self, a: Task) -> frozenset[Task]:
+        return frozenset(self._k[a])
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._k
+
+    def __len__(self) -> int:
+        return len(self._k)
+
+    @classmethod
+    def from_trace(cls, trace: Iterable[Action]) -> "KJKnowledge":
+        kn = cls()
+        for action in trace:
+            kn.apply(action)
+        return kn
+
+
+def derive_kj_pairs(trace: Iterable[Action]) -> set[tuple[Task, Task]]:
+    """All pairs ``(a, b)`` with ``t ⊢ a ≺ b``."""
+    kn = KJKnowledge.from_trace(trace)
+    return {(a, b) for a in kn._k for b in kn._k[a]}
+
+
+def kj_knows(trace: Iterable[Action], a: Task, b: Task) -> bool:
+    """One-shot query ``t ⊢ a ≺ b``."""
+    return KJKnowledge.from_trace(trace).knows(a, b)

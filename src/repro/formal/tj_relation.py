@@ -1,0 +1,127 @@
+"""Executable semantics of the TJ permission relation ``t ⊢ a < b``.
+
+Two independent implementations are provided, used to cross-check each
+other and every verifier algorithm in the property tests:
+
+* :func:`derive_tj_pairs` — a literal, rule-by-rule inductive computation
+  of the full relation (Definition 3.3).  O(n²) space; only for small
+  traces.
+* :class:`TJOrderOracle` — an incremental ordered list.  The inference
+  rules imply that a freshly forked task sits *immediately after its
+  parent* in the total order:  TJ-left makes everything ``≤ parent``
+  smaller than the child, and TJ-right makes everything ``> parent``
+  larger.  Maintaining that list makes ``less`` a position comparison
+  and doubles as an executable proof sketch of Theorem 3.10.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .actions import Action, Fork, Init, Join, Task
+from ..errors import InvalidActionError
+
+__all__ = ["derive_tj_pairs", "TJOrderOracle", "tj_less"]
+
+
+def derive_tj_pairs(trace: Iterable[Action]) -> set[tuple[Task, Task]]:
+    """All pairs ``(a, b)`` with ``t ⊢ a < b``, by direct rule induction.
+
+    Processing the trace action by action:
+
+    * ``init(a)`` derives nothing (no rule concludes from an init).
+    * ``fork(a, b)`` adds ``{(c, b) : c ≤ a}`` (TJ-left) and
+      ``{(b, c) : a < c}`` (TJ-right); TJ-mono keeps all previous pairs.
+    * ``join`` actions contribute nothing (TJ has no join rule — the key
+      difference from KJ's KJ-learn).
+    """
+    pairs: set[tuple[Task, Task]] = set()
+    seen: set[Task] = set()
+    for action in trace:
+        if isinstance(action, Init):
+            if seen:
+                raise InvalidActionError("init must be the first action")
+            seen.add(action.task)
+        elif isinstance(action, Fork):
+            a, b = action.parent, action.child
+            if a not in seen:
+                raise InvalidActionError(f"fork from unknown task {a!r}")
+            if b in seen:
+                raise InvalidActionError(f"fork of existing task {b!r}")
+            new: set[tuple[Task, Task]] = {(a, b)}  # c = a case of TJ-left
+            for x, y in pairs:
+                if y == a:
+                    new.add((x, b))  # TJ-left with t ⊢ c < a
+                if x == a:
+                    new.add((b, y))  # TJ-right
+            pairs |= new
+            seen.add(b)
+        elif isinstance(action, Join):
+            if action.waiter not in seen or action.joinee not in seen:
+                raise InvalidActionError(f"join on unknown task in {action}")
+        else:  # pragma: no cover - defensive
+            raise InvalidActionError(f"unknown action {action!r}")
+    return pairs
+
+
+class TJOrderOracle:
+    """Incrementally maintained TJ total order (insert-after-parent list).
+
+    ``less(a, b)`` is a position comparison.  Fork costs O(n) here (list
+    insertion); this class is the *reference* implementation the efficient
+    verifier algorithms (TJ-GT/JP/SP/OM) are validated against, not a
+    production verifier itself.
+    """
+
+    def __init__(self) -> None:
+        self._order: list[Task] = []
+        self._pos: dict[Task, int] = {}
+
+    def apply(self, action: Action) -> None:
+        if isinstance(action, Init):
+            self.init(action.task)
+        elif isinstance(action, Fork):
+            self.fork(action.parent, action.child)
+        # joins carry no information for TJ
+
+    def init(self, root: Task) -> None:
+        if self._order:
+            raise InvalidActionError("init must be the first action")
+        self._order.append(root)
+        self._pos[root] = 0
+
+    def fork(self, parent: Task, child: Task) -> None:
+        if parent not in self._pos:
+            raise InvalidActionError(f"fork from unknown task {parent!r}")
+        if child in self._pos:
+            raise InvalidActionError(f"fork of existing task {child!r}")
+        at = self._pos[parent] + 1
+        self._order.insert(at, child)
+        for i in range(at, len(self._order)):
+            self._pos[self._order[i]] = i
+
+    def __contains__(self, task: Task) -> bool:
+        return task in self._pos
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def less(self, a: Task, b: Task) -> bool:
+        """``t ⊢ a < b`` for the trace applied so far."""
+        return self._pos[a] < self._pos[b]
+
+    def sorted_tasks(self) -> list[Task]:
+        """All tasks in ascending ``<`` order."""
+        return list(self._order)
+
+    @classmethod
+    def from_trace(cls, trace: Iterable[Action]) -> "TJOrderOracle":
+        oracle = cls()
+        for action in trace:
+            oracle.apply(action)
+        return oracle
+
+
+def tj_less(trace: Iterable[Action], a: Task, b: Task) -> bool:
+    """One-shot query ``t ⊢ a < b`` (builds the oracle; O(n²))."""
+    return TJOrderOracle.from_trace(trace).less(a, b)

@@ -1,0 +1,199 @@
+"""Trace validity (Definition 3.2) parameterised over a relation family.
+
+A *relation family* ``R`` assigns to each trace prefix ``t`` a binary
+relation ``R_t`` over tasks; a trace is valid w.r.t. ``R`` when
+
+* it begins with exactly one ``init``,
+* every ``fork(a, b)`` has ``a`` existing and ``b`` fresh, and
+* every ``join(a, b)`` satisfies ``R_t(a, b)`` for the prefix ``t``
+  *before* the join.
+
+Instantiating ``R`` with the TJ order gives the TJ policy (Definition
+3.4); instantiating with KJ knowledge gives the KJ policy (Definition
+4.2); instantiating with the always-true relation checks structure only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Protocol, Sequence
+
+from .actions import Action, Fork, Init, Join, Task
+from .kj_relation import KJKnowledge
+from .tj_relation import TJOrderOracle
+from ..errors import InvalidActionError
+
+__all__ = [
+    "RelationFamily",
+    "TJFamily",
+    "KJFamily",
+    "FreeFamily",
+    "Verdict",
+    "ValidationResult",
+    "validate_trace",
+    "is_tj_valid",
+    "is_kj_valid",
+    "is_structurally_valid",
+]
+
+
+class RelationFamily(Protocol):
+    """Incremental evaluator of a trace-indexed relation family ``R``."""
+
+    name: str
+
+    def related(self, a: Task, b: Task) -> bool:
+        """``R_t(a, b)`` where ``t`` is the prefix observed so far."""
+        ...
+
+    def observe(self, action: Action) -> None:
+        """Extend the prefix by one (already structurally valid) action."""
+        ...
+
+
+class TJFamily:
+    """``R_t(a, b) := t ⊢ a < b`` (the Transitive Joins policy)."""
+
+    name = "TJ"
+
+    def __init__(self) -> None:
+        self._oracle = TJOrderOracle()
+
+    def related(self, a: Task, b: Task) -> bool:
+        return self._oracle.less(a, b)
+
+    def observe(self, action: Action) -> None:
+        self._oracle.apply(action)
+
+
+class KJFamily:
+    """``R_t(a, b) := t ⊢ a ≺ b`` (the Known Joins policy)."""
+
+    name = "KJ"
+
+    def __init__(self) -> None:
+        self._knowledge = KJKnowledge()
+
+    def related(self, a: Task, b: Task) -> bool:
+        return self._knowledge.knows(a, b)
+
+    def observe(self, action: Action) -> None:
+        self._knowledge.apply(action)
+
+
+class FreeFamily:
+    """The always-true relation: joins unconstrained, structure still checked."""
+
+    name = "free"
+
+    def related(self, a: Task, b: Task) -> bool:
+        return True
+
+    def observe(self, action: Action) -> None:
+        pass
+
+
+@dataclass(frozen=True, slots=True)
+class Verdict:
+    """Per-action validation outcome."""
+
+    index: int
+    action: Action
+    ok: bool
+    reason: str = ""
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating a whole trace against a relation family."""
+
+    policy: str
+    verdicts: list[Verdict] = field(default_factory=list)
+    tasks: set[Task] = field(default_factory=set)
+
+    @property
+    def valid(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def first_violation(self) -> Optional[Verdict]:
+        return next((v for v in self.verdicts if not v.ok), None)
+
+    @property
+    def rejected_joins(self) -> list[Verdict]:
+        return [v for v in self.verdicts if not v.ok and isinstance(v.action, Join)]
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def validate_trace(
+    trace: Iterable[Action],
+    family: Callable[[], RelationFamily] = TJFamily,
+    *,
+    stop_on_violation: bool = False,
+) -> ValidationResult:
+    """Check *trace* against the valid-* rules for the given family.
+
+    Structural violations (bad init/fork) always stop validation, because
+    the relation state can no longer be advanced meaningfully.  Join
+    violations are recorded; with ``stop_on_violation=False`` (the default)
+    validation continues past them, which mirrors the behaviour of an
+    online verifier running with a precision fallback — useful for counting
+    false positives in a single pass.
+    """
+    rel = family()
+    result = ValidationResult(policy=rel.name)
+    seen: set[Task] = set()
+    initialised = False
+    for i, action in enumerate(trace):
+        ok, reason = True, ""
+        if isinstance(action, Init):
+            if initialised:
+                ok, reason = False, "duplicate init"
+            else:
+                initialised = True
+                seen.add(action.task)
+        elif not initialised:
+            ok, reason = False, "action before init"
+        elif isinstance(action, Fork):
+            if action.parent not in seen:
+                ok, reason = False, f"fork from unknown task {action.parent!r}"
+            elif action.child in seen:
+                ok, reason = False, f"fork of existing task {action.child!r}"
+            else:
+                seen.add(action.child)
+        elif isinstance(action, Join):
+            if action.waiter not in seen or action.joinee not in seen:
+                ok, reason = False, "join on unknown task"
+            elif not rel.related(action.waiter, action.joinee):
+                ok, reason = False, (
+                    f"{rel.name} does not permit join({action.waiter!r}, {action.joinee!r})"
+                )
+        else:  # pragma: no cover - defensive
+            ok, reason = False, f"unknown action {action!r}"
+
+        result.verdicts.append(Verdict(i, action, ok, reason))
+        if not ok:
+            structural = not isinstance(action, Join) or "unknown task" in reason
+            if structural or stop_on_violation:
+                break
+            continue  # policy violation only: skip observe (the join is aborted)
+        rel.observe(action)
+    result.tasks = seen
+    return result
+
+
+def is_tj_valid(trace: Iterable[Action]) -> bool:
+    """Definition 3.4: is *trace* accepted by the Transitive Joins policy?"""
+    return validate_trace(trace, TJFamily, stop_on_violation=True).valid
+
+
+def is_kj_valid(trace: Iterable[Action]) -> bool:
+    """Definition 4.2: is *trace* accepted by the Known Joins policy?"""
+    return validate_trace(trace, KJFamily, stop_on_violation=True).valid
+
+
+def is_structurally_valid(trace: Iterable[Action]) -> bool:
+    """Do the init/fork rules hold, ignoring join permissions?"""
+    return validate_trace(trace, FreeFamily, stop_on_violation=True).valid

@@ -1,0 +1,116 @@
+"""Executable Lemma 3.8: composing TJ derivations transitively.
+
+Given derivations of ``t ⊢ a < b`` and ``t ⊢ b < c``, :func:`compose`
+builds a derivation of ``t ⊢ a < c`` *structurally*, following the
+paper's induction on the trace instead of re-deriving from scratch:
+
+* find the latest fork either derivation consumes; the freshly forked
+  task ``q`` of that fork can play at most one of the three roles in the
+  transitivity triple (it is fresh, so at most one of a, b, c is q);
+* case (i) of the proof — ``q = c``: the right derivation ends in
+  TJ-left with premise ``b ≤ p``; recurse on ``a < b`` and ``b < p``
+  (or use ``a < p`` directly when ``b = p``) and finish with TJ-left;
+* case (ii) — ``q = a``: the left derivation ends in TJ-right with
+  premise ``p < b``; recurse on ``p < b`` and ``b < c`` and finish with
+  TJ-right;
+* case (iii) — ``q = b``: the left ends in TJ-left (``a ≤ p``) and the
+  right in TJ-right (``p < c``); recurse on ``a < p`` and ``p < c`` (or
+  weaken ``p < c`` when ``a = p``);
+* if neither derivation consumes the last action, strip it (TJ-mono in
+  reverse) and recurse on the shorter prefix.
+
+The result is checked by the same independent
+:func:`~repro.formal.derivations.check_derivation` as any other proof
+object — so Lemma 3.8 is not merely asserted by the semantic tests, its
+*proof* runs.
+"""
+
+from __future__ import annotations
+
+from .actions import Action, Fork
+from .derivations import Derivation, TJLeft, TJMono, TJRight, build_to
+
+__all__ = ["compose"]
+
+
+def _outer_rule(deriv: Derivation) -> Derivation:
+    """The first non-mono node (every mono chain bottoms out at a rule)."""
+    while isinstance(deriv, TJMono):
+        deriv = deriv.premise
+    return deriv
+
+
+def _last_use(deriv: Derivation) -> int:
+    """Index of the latest action the outermost rule consumes."""
+    return _outer_rule(deriv).fork_index
+
+
+def compose(trace: list[Action], d_ab: Derivation, d_bc: Derivation) -> Derivation:
+    """Lemma 3.8: a derivation of ``a < c`` from ``a < b`` and ``b < c``.
+
+    Both inputs must be valid over the whole *trace* (as produced by
+    :func:`~repro.formal.derivations.derive` or a previous compose); the
+    output is valid over the whole trace too.
+    """
+    a, b1 = d_ab.conclusion
+    b2, c = d_bc.conclusion
+    if b1 != b2:
+        raise ValueError(f"derivations do not chain: {d_ab.conclusion} / {d_bc.conclusion}")
+    result = _compose_at(trace, d_ab, d_bc, max(_last_use(d_ab), _last_use(d_bc)) + 1)
+    return build_to(result, len(trace))
+
+
+def _compose_at(
+    trace: list[Action], d_ab: Derivation, d_bc: Derivation, scope: int
+) -> Derivation:
+    """Compose within ``trace[:scope]``, where *scope* is exactly one past
+    the latest fork either derivation consumes."""
+    a, b = d_ab.conclusion
+    _, c = d_bc.conclusion
+    action = trace[scope - 1]
+    assert isinstance(action, Fork)
+    p, q = action.parent, action.child
+
+    left = _outer_rule(d_ab)
+    right = _outer_rule(d_bc)
+
+    def recurse(d1: Derivation, d2: Derivation) -> Derivation:
+        """Compose two strictly-earlier derivations; result is scoped to
+        exactly one past their own latest fork."""
+        return _compose_at(trace, d1, d2, max(_last_use(d1), _last_use(d2)) + 1)
+
+    if c == q:
+        # case (i): a < b < q.  The only rule concluding (_, q) is the
+        # TJ-left at this fork, so the right derivation ends with it.
+        assert isinstance(right, TJLeft) and right.fork_index == scope - 1
+        if right.premise is None:
+            # b = p: we need a < p, which is exactly d_ab
+            inner = build_to(d_ab, scope - 1)
+        else:
+            # premise is b < p
+            inner = build_to(recurse(d_ab, right.premise), scope - 1)
+        return TJLeft((a, q), scope - 1, inner)
+
+    if a == q:
+        # case (ii): q < b < c.  The only rule concluding (q, _) is the
+        # TJ-right at this fork.
+        assert isinstance(left, TJRight) and left.fork_index == scope - 1
+        # premise is p < b
+        inner = build_to(recurse(left.premise, d_bc), scope - 1)
+        return TJRight((q, c), scope - 1, inner)
+
+    if b == q:
+        # case (iii): a < q < c.  Left ends in TJ-left (a ≤ p), right in
+        # TJ-right (p < c).
+        assert isinstance(left, TJLeft) and left.fork_index == scope - 1
+        assert isinstance(right, TJRight) and right.fork_index == scope - 1
+        if left.premise is None:
+            # a = p: p < c is the answer
+            return build_to(right.premise, scope - 1)
+        return build_to(recurse(left.premise, right.premise), scope - 1)
+
+    # The fresh task q is none of a, b, c: neither derivation's outermost
+    # rule can conclude at this fork (rules conclude judgments involving
+    # q), so both restrict to the shorter prefix; recurse there.
+    assert left.fork_index < scope - 1 and right.fork_index < scope - 1
+    return recurse(d_ab, d_bc)

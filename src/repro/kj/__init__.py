@@ -1,0 +1,30 @@
+"""Known Joins baselines (Cogumbreiro et al., OOPSLA 2017).
+
+Two verifier implementations of the same KJ policy, differing in how the
+knowledge sets are represented — exactly the two the paper evaluates
+against (Table 1 / Table 2):
+
+* :class:`KJVectorClock` (KJ-VC): O(n) fork, O(n) join, O(n²) space;
+* :class:`KJSnapshotSets` (KJ-SS): O(1) fork, O(n) join, O(n) space.
+
+plus :class:`KJCompactClock` (KJ-CC), an extension exploiting the
+downward closure of KJ knowledge for O(P)-size clocks (P = distinct fork
+sites known).  All are property-tested for exact agreement with the
+formal knowledge semantics in :mod:`repro.formal.kj_relation`.
+"""
+
+from .kj_cc import CCNode, KJCompactClock
+from .kj_ss import KJSnapshotSets, SSNode
+from .kj_vc import KJVectorClock, VCNode
+
+KJ_POLICIES = (KJVectorClock, KJSnapshotSets, KJCompactClock)
+
+__all__ = [
+    "KJVectorClock",
+    "KJSnapshotSets",
+    "KJCompactClock",
+    "VCNode",
+    "SSNode",
+    "CCNode",
+    "KJ_POLICIES",
+]

@@ -1,0 +1,38 @@
+"""Task-parallel futures runtimes (the programming model of Section 2.2).
+
+Two interchangeable runtimes drive the same verification machinery:
+
+* :class:`TaskRuntime` — blocking, thread-per-task (the default for the
+  evaluation benchmarks);
+* :class:`CooperativeRuntime` — deterministic single-threaded generator
+  scheduling (the paper's footnote-4 alternative; also the repository's
+  safe sandbox for real deadlock scenarios).
+"""
+
+from .context import current_task, require_current_task, task_scope
+from .cooperative import CooperativeRuntime
+from .future import Future
+from .task import TaskHandle, TaskState
+from .threaded import TaskRuntime, resolve_policy
+
+__all__ = [
+    "TaskRuntime",
+    "CooperativeRuntime",
+    "WorkSharingRuntime",
+    "AsyncioRuntime",
+    "AsyncFuture",
+    "Future",
+    "TaskHandle",
+    "TaskState",
+    "current_task",
+    "require_current_task",
+    "task_scope",
+    "resolve_policy",
+]
+
+from .asyncio_adapter import AsyncFuture, AsyncioRuntime  # noqa: E402 (cycle-free tail import)
+from .executor import VerifiedExecutor  # noqa: E402
+from .phaser import Phaser  # noqa: E402
+from .pool import WorkSharingRuntime  # noqa: E402
+
+__all__ += ["Phaser", "VerifiedExecutor"]

@@ -1,0 +1,184 @@
+"""Policy-checked futures for asyncio coroutines.
+
+The paper claims TJ "is applicable to a wide range of parallel
+programming models" (abstract, Section 8); this adapter makes that
+concrete for Python's own concurrency model.  ``AsyncioRuntime.fork``
+wraps ``loop.create_task`` and hands back an awaitable whose ``await``
+runs the full verification pipeline: policy gate, Armus cycle filter,
+blocking-edge bookkeeping, KJ-learn (under a KJ policy).
+
+Two coroutines awaiting each other's futures would hang an ordinary
+asyncio program forever; here, the second await raises
+:class:`DeadlockAvoidedError` inside the offending coroutine instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextvars
+from typing import Any, Awaitable, Callable, Generator, Optional, Union
+
+from .task import TaskHandle, TaskState
+from .threaded import resolve_policy
+from ..armus.hybrid import HybridVerifier
+from ..core.policy import JoinPolicy
+from ..core.verifier import Verifier
+from ..errors import RuntimeStateError, TaskFailedError
+
+__all__ = ["AsyncioRuntime", "AsyncFuture"]
+
+_current_task: "contextvars.ContextVar[Optional[TaskHandle]]" = contextvars.ContextVar(
+    "repro_asyncio_current_task", default=None
+)
+
+
+class AsyncFuture:
+    """The joinable handle of one verified asyncio task.
+
+    ``await future`` performs a policy-checked join; so does
+    ``await future.join()``.
+    """
+
+    __slots__ = ("_runtime", "task", "_aio_task")
+
+    def __init__(self, runtime: "AsyncioRuntime", task: TaskHandle, aio_task: "asyncio.Task") -> None:
+        self._runtime = runtime
+        self.task = task
+        self._aio_task = aio_task
+
+    def done(self) -> bool:
+        return self._aio_task.done()
+
+    async def join(self) -> Any:
+        return await self._runtime._join(self)
+
+    def __await__(self) -> Generator[Any, None, Any]:
+        return self.join().__await__()
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"<AsyncFuture of {self.task.name}: {state}>"
+
+
+class AsyncioRuntime:
+    """Deadlock-avoiding task verification for asyncio programs."""
+
+    def __init__(
+        self,
+        policy: Union[None, str, JoinPolicy] = "TJ-SP",
+        *,
+        fallback: bool = True,
+    ) -> None:
+        policy_obj = resolve_policy(policy)
+        self._hybrid: Optional[HybridVerifier] = HybridVerifier(policy_obj) if fallback else None
+        self._verifier: Verifier = self._hybrid.verifier if self._hybrid else Verifier(policy_obj)
+        self._root_started = False
+
+    @property
+    def policy(self) -> JoinPolicy:
+        return self._verifier.policy
+
+    @property
+    def verifier(self) -> Verifier:
+        return self._verifier
+
+    @property
+    def detector(self):
+        return self._hybrid.detector if self._hybrid else None
+
+    @staticmethod
+    def current_task() -> Optional[TaskHandle]:
+        return _current_task.get()
+
+    # ------------------------------------------------------------------
+    async def run(self, fn: Callable[..., Awaitable[Any]], *args: Any, **kwargs: Any) -> Any:
+        """Execute the coroutine function *fn* as the root task."""
+        if self._root_started:
+            raise RuntimeStateError(
+                "this runtime already hosted a root task; create a fresh "
+                "AsyncioRuntime per program run"
+            )
+        self._root_started = True
+        vertex = self._verifier.on_init()
+        root = TaskHandle(vertex, code=fn, name="root")
+        root.state = TaskState.RUNNING
+        token = _current_task.set(root)
+        try:
+            result = await fn(*args, **kwargs)
+            root.state = TaskState.DONE
+            return result
+        except BaseException:
+            root.state = TaskState.FAILED
+            raise
+        finally:
+            _current_task.reset(token)
+
+    def fork(
+        self, fn: Callable[..., Awaitable[Any]], *args: Any, **kwargs: Any
+    ) -> AsyncFuture:
+        """``async fn(*args)``: schedule *fn* as a new verified task."""
+        parent = _current_task.get()
+        if parent is None:
+            raise RuntimeStateError(
+                "fork() must be called from inside a coroutine running under "
+                "AsyncioRuntime.run()"
+            )
+        vertex = self._verifier.on_fork(parent.vertex)
+        handle = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
+
+        async def body():
+            token = _current_task.set(handle)
+            handle.state = TaskState.RUNNING
+            try:
+                result = await fn(*args, **kwargs)
+                handle.state = TaskState.DONE
+                return result
+            except BaseException:
+                handle.state = TaskState.FAILED
+                raise
+            finally:
+                _current_task.reset(token)
+
+        aio_task = asyncio.get_running_loop().create_task(body(), name=handle.name)
+        return AsyncFuture(self, handle, aio_task)
+
+    # ------------------------------------------------------------------
+    async def _join(self, future: AsyncFuture) -> Any:
+        if future._runtime is not self:
+            raise RuntimeStateError("future belongs to a different runtime")
+        joiner = _current_task.get()
+        if joiner is None:
+            raise RuntimeStateError("join outside any task context")
+        joinee = future.task
+        blocked = False
+        if self._hybrid is not None:
+            blocked = self._hybrid.begin_join(
+                joiner, joinee, joiner.vertex, joinee.vertex, joinee_done=future.done()
+            )
+        else:
+            self._verifier.require_join(joiner.vertex, joinee.vertex)
+        prev_state = joiner.state
+        joiner.state = TaskState.BLOCKED
+        try:
+            result = await _outcome(future._aio_task)
+        finally:
+            joiner.state = prev_state
+            if blocked and self._hybrid is not None:
+                self._hybrid.end_join(joiner, joinee)
+        if self._hybrid is not None:
+            self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
+        else:
+            self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
+        if isinstance(result, BaseException):
+            raise TaskFailedError(future.task, result)
+        return result
+
+
+async def _outcome(task: "asyncio.Task") -> Any:
+    """Await a task, returning its exception instead of raising it."""
+    try:
+        return await task
+    except asyncio.CancelledError:
+        raise
+    except BaseException as exc:  # noqa: BLE001 - wrapped by the caller
+        return exc

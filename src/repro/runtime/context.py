@@ -1,0 +1,49 @@
+"""Tracking the currently executing task.
+
+The threaded runtime associates one task with one thread, so a
+thread-local slot suffices; the cooperative runtime multiplexes tasks on
+one thread and sets the slot around each step.  Both go through this
+module so user code has a single :func:`current_task`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, TYPE_CHECKING
+
+from ..errors import RuntimeStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import TaskHandle
+
+__all__ = ["current_task", "require_current_task", "task_scope"]
+
+_tls = threading.local()
+
+
+def current_task() -> Optional["TaskHandle"]:
+    """The task executing on this thread, or None outside any runtime."""
+    return getattr(_tls, "task", None)
+
+
+def require_current_task() -> "TaskHandle":
+    """Like :func:`current_task` but raises outside a task context."""
+    task = current_task()
+    if task is None:
+        raise RuntimeStateError(
+            "no current task: fork/join must be called from inside a runtime "
+            "task (did you call fork() before runtime.run()?)"
+        )
+    return task
+
+
+@contextmanager
+def task_scope(task: "TaskHandle") -> Iterator[None]:
+    """Install *task* as this thread's current task for the duration."""
+    prev = getattr(_tls, "task", None)
+    _tls.task = task
+    try:
+        yield
+    finally:
+        _tls.task = prev

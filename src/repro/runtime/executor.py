@@ -1,0 +1,157 @@
+"""A ``concurrent.futures``-style executor with deadlock avoidance.
+
+Python's standard library has the exact failure mode this paper solves:
+a ``ThreadPoolExecutor`` task that waits on another task's future can
+deadlock — either a genuine join cycle, or pool starvation when all
+workers block on work that is still queued (the documented
+"deadlock when the callable associated with a Future waits on the
+results of another Future" caveat).
+
+:class:`VerifiedExecutor` keeps the familiar ``submit / map / shutdown``
+surface but runs on :class:`~repro.runtime.pool.WorkSharingRuntime`, so
+
+* every ``Future.result()`` is a policy-checked join — cyclic waits
+  raise :class:`~repro.errors.DeadlockAvoidedError` in the offending
+  task instead of hanging;
+* pool starvation cannot happen: blocked workers are compensated or
+  help with queued work.
+
+The futures returned are this package's (joins must be verifiable), not
+``concurrent.futures.Future`` — ``result(timeout=...)`` is the one API
+difference (verification needs the block/unblock bracket, so timeouts
+are not supported).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator, Optional, Union
+
+from .future import Future
+from .pool import WorkSharingRuntime
+from ..core.policy import JoinPolicy
+from ..errors import RuntimeStateError
+
+__all__ = ["VerifiedExecutor"]
+
+
+class VerifiedExecutor:
+    """Drop-in-style executor verified against join deadlocks.
+
+    ::
+
+        with VerifiedExecutor(max_workers=4, policy="TJ-SP") as ex:
+            futs = [ex.submit(work, i) for i in range(10)]
+            print([f.result() for f in futs])
+
+    ``submit`` may be called from outside (the usual pattern) or from
+    *inside* a submitted task (nested parallelism — the case the stdlib
+    pool deadlocks on).
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        policy: Union[None, str, JoinPolicy] = "TJ-SP",
+        *,
+        fallback: bool = True,
+        growth_limit: int = 256,
+    ) -> None:
+        self._rt = WorkSharingRuntime(
+            policy,
+            fallback=fallback,
+            workers=max_workers,
+            max_workers=max(growth_limit, max_workers),
+        )
+        self._shutdown = False
+        self._lock = threading.Lock()
+        # The runtime wants a root task; host one lazily on a driver
+        # thread that lives for the executor's lifetime.
+        self._started = threading.Event()
+        self._stop = threading.Event()
+        self._root_ready = threading.Event()
+        self._root_task = None
+        self._driver = threading.Thread(target=self._driver_main, daemon=True)
+        self._driver.start()
+        self._root_ready.wait()
+
+    def _driver_main(self) -> None:
+        from .context import current_task
+
+        def root():
+            self._root_task = current_task()
+            self._root_ready.set()
+            self._stop.wait()
+
+        self._rt.run(root)
+
+    # ------------------------------------------------------------------
+    @property
+    def runtime(self) -> WorkSharingRuntime:
+        return self._rt
+
+    @property
+    def verifier(self):
+        return self._rt.verifier
+
+    @property
+    def detector(self):
+        return self._rt.detector
+
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; returns a verified Future."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeStateError("cannot submit after shutdown")
+        from .context import current_task, task_scope
+
+        if current_task() is not None:
+            # nested submission: the submitting task is the parent
+            return self._rt.fork(fn, *args, **kwargs)
+        # external submission: attribute to the executor's root task
+        with task_scope(self._root_task):
+            return self._rt.fork(fn, *args, **kwargs)
+
+    def map(
+        self, fn: Callable[..., Any], *iterables: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Like ``Executor.map``: lazy results in submission order."""
+        futures = [self.submit(fn, *args) for args in zip(*iterables)]
+
+        def results():
+            for fut in futures:
+                yield self._join_external(fut)
+
+        return results()
+
+    def _join_external(self, fut: Future) -> Any:
+        """Join from non-task code (e.g. the thread using the executor)."""
+        from .context import current_task, task_scope
+
+        if current_task() is not None:
+            return fut.join()
+        with task_scope(self._root_task):
+            return fut.join()
+
+    def result(self, fut: Future) -> Any:
+        """Convenience verified join usable from any thread."""
+        return self._join_external(fut)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; wait for everything submitted to finish."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        self._stop.set()
+        if wait:
+            self._driver.join()
+
+    def __enter__(self) -> "VerifiedExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown(wait=True)
+        return False

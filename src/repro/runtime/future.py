@@ -1,0 +1,89 @@
+"""Futures — the joinable handles of the programming model (Section 2.2).
+
+``async`` (here: :meth:`TaskRuntime.fork`) immediately returns a Future;
+``Future.join()`` blocks until the associated task terminates and returns
+its result, after the runtime's policy verifier has admitted the join.
+Futures are freely copyable/shareable across tasks — that is precisely
+what creates the arbitrary-join deadlock problem TJ solves.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional, TYPE_CHECKING
+
+from ..errors import TaskFailedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .task import TaskHandle
+
+__all__ = ["Future"]
+
+_PENDING = object()
+
+
+class Future:
+    """The eventual result of an asynchronously executing task."""
+
+    __slots__ = ("task", "_runtime", "_value", "_exc", "_event")
+
+    def __init__(self, runtime: object, task: "TaskHandle") -> None:
+        self.task = task
+        self._runtime = runtime
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._event = threading.Event()
+
+    # ------------------------------------------------------------------
+    # completion (called by the owning runtime)
+    # ------------------------------------------------------------------
+    def _set_result(self, value: Any) -> None:
+        self._value = value
+        self._event.set()
+
+    def _set_exception(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._value = None
+        self._event.set()
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """Has the task terminated (successfully or not)?"""
+        return self._event.is_set()
+
+    def _wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def _result_now(self) -> Any:
+        """The result of a *terminated* task; wraps failures."""
+        assert self._event.is_set()
+        if self._exc is not None:
+            raise TaskFailedError(self.task, self._exc)
+        return self._value
+
+    # ------------------------------------------------------------------
+    # the join operation
+    # ------------------------------------------------------------------
+    def join(self) -> Any:
+        """Block until the task terminates and return its result.
+
+        The join is first checked by the runtime's verifier; a disallowed
+        join faults with :class:`~repro.errors.PolicyViolationError` or —
+        under the hybrid configuration — only a truly cyclic join faults,
+        with :class:`~repro.errors.DeadlockAvoidedError`.
+
+        In the cooperative runtime this method only works from the
+        scheduler thread's currently running task; generator tasks should
+        prefer ``result = yield future``.
+        """
+        return self._runtime.join(self)
+
+    # ``get`` is the Futures-literature name used by some of the paper's
+    # sources; keep it as an alias.
+    get = join
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"<Future of {self.task.name}: {state}>"

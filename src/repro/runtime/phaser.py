@@ -1,0 +1,159 @@
+"""Phasers: barrier synchronisation with deadlock avoidance.
+
+Habanero Java pairs futures with *phasers* — registration-based barriers
+a task can signal and wait on phase by phase.  The TJ paper explicitly
+scopes them out ("it is beyond the scope of this work to consider
+primitives other than Futures", Section 2.4) while gesturing at them as
+the high-level replacement for Listing 2's spin loop.  This module
+implements them on the generalised Armus model, so barrier-only *and*
+mixed join+barrier cycles are avoided, not hung.
+
+Model: advancing from phase ``p`` of phaser ``P`` is the event
+``(P, p)``.  Every registered party impedes ``(P, p)`` until it signals
+for that phase; ``wait()`` blocks the caller on the event after an
+atomic cycle check.  ``signal_and_wait()`` (the classic ``next``)
+signals first — so a task never impedes an event it is about to wait
+for, and single-phaser barriers can never self-deadlock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Hashable, Optional
+
+from ..armus.generalized import GeneralizedDetector
+from ..errors import RuntimeStateError
+from .context import require_current_task
+
+__all__ = ["Phaser"]
+
+_phaser_ids = itertools.count()
+
+
+class Phaser:
+    """A multi-phase barrier with Armus-style avoidance.
+
+    Parties are runtime tasks (the current task is looked up on each
+    operation).  Typical use::
+
+        ph = Phaser(detector)          # share one detector per program
+        ph.register()                  # in each participating task
+        ...
+        ph.signal_and_wait()           # barrier: arrive + await the phase
+        ...
+        ph.deregister()                # stop participating
+
+    ``signal()`` alone supports split-phase (fuzzy) barriers; ``wait()``
+    alone lets non-signalling observers await a phase.
+    """
+
+    def __init__(self, detector: Optional[GeneralizedDetector] = None, *, name: str | None = None) -> None:
+        self.name = name if name is not None else f"phaser-{next(_phaser_ids)}"
+        self.detector = detector if detector is not None else GeneralizedDetector()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._phase = 0
+        #: parties registered, mapped to the next phase they must signal
+        self._parties: dict[Hashable, int] = {}
+        #: signals received for the current phase
+        self._arrived: set[Hashable] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def phase(self) -> int:
+        with self._lock:
+            return self._phase
+
+    def _event(self, phase: int) -> tuple[str, int]:
+        return (self.name, phase)
+
+    # ------------------------------------------------------------------
+    def register(self) -> None:
+        """Enrol the current task as a party of the current phase."""
+        task = require_current_task()
+        with self._lock:
+            if task in self._parties:
+                raise RuntimeStateError(f"{task!r} already registered on {self.name}")
+            self._parties[task] = self._phase
+        self.detector.add_impeder(task, self._event(self._phase))
+
+    def deregister(self) -> None:
+        """Withdraw the current task; may release the waiting parties."""
+        task = require_current_task()
+        with self._lock:
+            phase = self._parties.pop(task, None)
+            if phase is None:
+                raise RuntimeStateError(f"{task!r} not registered on {self.name}")
+            self._arrived.discard(task)
+            current = self._phase
+        self.detector.remove_impeder(task, self._event(current))
+        self._maybe_advance()
+
+    def signal(self) -> int:
+        """Arrive at the current phase without waiting; returns the phase."""
+        task = require_current_task()
+        with self._lock:
+            if task not in self._parties:
+                raise RuntimeStateError(f"{task!r} not registered on {self.name}")
+            if task in self._arrived:
+                return self._phase
+            self._arrived.add(task)
+            phase = self._phase
+        self.detector.remove_impeder(task, self._event(phase))
+        self._maybe_advance()
+        return phase
+
+    def _maybe_advance(self) -> None:
+        """Advance the phase once every registered party has arrived."""
+        with self._cond:
+            if self._parties and self._arrived != set(self._parties):
+                return
+            if not self._parties and not self._arrived:
+                pass  # deregistration of the last party also releases
+            phase = self._phase
+            self._phase += 1
+            self._arrived.clear()
+            # Every party impedes the new phase.  Registered *before*
+            # waiters are notified, so no cycle check ever runs against a
+            # phase whose impeders are still being installed (lock order
+            # is phaser -> detector, never the reverse).
+            new_event = self._event(phase + 1)
+            for party in self._parties:
+                self._parties[party] = self._phase
+                self.detector.add_impeder(party, new_event)
+            self._cond.notify_all()
+
+    def wait(self, phase: Optional[int] = None) -> int:
+        """Block until *phase* (default: the current one) completes.
+
+        The block is first checked against the generalised waits-for
+        state; a true cycle raises
+        :class:`~repro.errors.DeadlockAvoidedError` without blocking.
+        Returns the phase that completed.
+        """
+        task = require_current_task()
+        with self._lock:
+            target = self._phase if phase is None else phase
+            if self._phase > target:
+                return target  # already past it
+        event = self._event(target)
+        self.detector.block(task, event)
+        try:
+            with self._cond:
+                while self._phase <= target:
+                    self._cond.wait()
+        finally:
+            self.detector.unblock(task, event)
+        return target
+
+    def signal_and_wait(self) -> int:
+        """The classic barrier ``next``: arrive, then await everyone."""
+        phase = self.signal()
+        return self.wait(phase)
+
+    # ------------------------------------------------------------------
+    @property
+    def registered_parties(self) -> int:
+        with self._lock:
+            return len(self._parties)

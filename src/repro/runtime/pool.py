@@ -1,0 +1,251 @@
+"""A blocking work-sharing pool runtime (Habanero Java's default model).
+
+The evaluation ran five of six benchmarks on HJ's *blocking work-sharing
+runtime*: a pool of worker threads executing tasks from a shared queue,
+where a worker that blocks in a join is *compensated* by growing the
+pool so queued tasks are never starved of a worker.  The thread-per-task
+runtime (:class:`TaskRuntime`) over-approximates that model; this class
+implements it properly:
+
+* ``fork`` enqueues the task; an idle worker picks it up;
+* a worker about to block in ``join`` checks whether any idle worker
+  remains — if not, it starts a compensation worker (bounded by
+  ``max_workers``) before blocking, preserving progress;
+* join verification is identical to the other runtimes (policy gate,
+  Armus filter, KJ-learn).
+
+Compensation removes *scheduler-induced* deadlocks (all workers blocked
+while runnable tasks wait in the queue); *join-cycle* deadlocks remain
+the policy's job — which is the paper's division of labour.
+"""
+
+from __future__ import annotations
+
+import threading
+from queue import Empty, SimpleQueue
+from typing import Any, Callable, Optional, Union
+
+from .context import require_current_task, task_scope
+from .future import Future
+from .task import TaskHandle, TaskState
+from .threaded import resolve_policy
+from ..armus.hybrid import HybridVerifier
+from ..core.policy import JoinPolicy
+from ..core.verifier import Verifier
+from ..errors import RuntimeStateError
+
+__all__ = ["WorkSharingRuntime"]
+
+_SHUTDOWN = object()
+
+
+class WorkSharingRuntime:
+    """Task-parallel futures on a self-compensating worker pool."""
+
+    def __init__(
+        self,
+        policy: Union[None, str, JoinPolicy] = "TJ-SP",
+        *,
+        fallback: bool = True,
+        workers: int = 4,
+        max_workers: int = 256,
+    ) -> None:
+        if workers < 1 or max_workers < workers:
+            raise ValueError("need 1 <= workers <= max_workers")
+        policy_obj = resolve_policy(policy)
+        self._hybrid: Optional[HybridVerifier] = HybridVerifier(policy_obj) if fallback else None
+        self._verifier: Verifier = self._hybrid.verifier if self._hybrid else Verifier(policy_obj)
+        self._queue: "SimpleQueue" = SimpleQueue()
+        self._lock = threading.Lock()
+        self._idle = 0  # workers currently parked on queue.get
+        self._worker_count = 0
+        self._peak_workers = 0
+        self._compensations = 0
+        self._base_workers = workers
+        self._max_workers = max_workers
+        self._worker_threads: set[int] = set()  # thread idents of pool workers
+        self._outstanding = 0  # forked tasks not yet terminated
+        self._all_done = threading.Condition(self._lock)
+        self._root_started = False
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> JoinPolicy:
+        return self._verifier.policy
+
+    @property
+    def verifier(self) -> Verifier:
+        return self._verifier
+
+    @property
+    def detector(self):
+        return self._hybrid.detector if self._hybrid else None
+
+    @property
+    def peak_workers(self) -> int:
+        """Largest pool size reached (base + compensation threads)."""
+        with self._lock:
+            return self._peak_workers
+
+    @property
+    def compensations(self) -> int:
+        """How many compensation workers blocking joins forced us to add."""
+        with self._lock:
+            return self._compensations
+
+    # ------------------------------------------------------------------
+    # pool machinery
+    # ------------------------------------------------------------------
+    def _spawn_worker(self) -> None:
+        """Start one worker; caller holds the lock."""
+        self._worker_count += 1
+        self._peak_workers = max(self._peak_workers, self._worker_count)
+        thread = threading.Thread(target=self._worker_main, daemon=True)
+        thread.start()
+
+    def _worker_main(self) -> None:
+        self._worker_threads.add(threading.get_ident())
+        while True:
+            with self._lock:
+                self._idle += 1
+            item = self._queue.get()
+            with self._lock:
+                self._idle -= 1
+            if item is _SHUTDOWN:
+                return
+            task, future, fn, args, kwargs = item
+            self._execute(task, future, fn, args, kwargs)
+
+    def _execute(self, task: TaskHandle, future: Future, fn, args, kwargs) -> None:
+        task.state = TaskState.RUNNING
+        with task_scope(task):
+            try:
+                value = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - delivered at join
+                task.state = TaskState.FAILED
+                future._set_exception(exc)
+            else:
+                task.state = TaskState.DONE
+                future._set_result(value)
+        with self._all_done:
+            self._outstanding -= 1
+            if self._outstanding == 0:
+                self._all_done.notify_all()
+
+    def _ensure_capacity_for_block(self) -> None:
+        """A pool worker is about to block: keep the pool progressing."""
+        if threading.get_ident() not in self._worker_threads:
+            return  # the root (or a foreign thread) blocking costs no worker
+        with self._lock:
+            if self._idle == 0 and self._worker_count < self._max_workers:
+                self._compensations += 1
+                self._spawn_worker()
+
+    def _block_on(self, future: Future) -> None:
+        """Wait for *future*, helping with queued tasks from a capped pool.
+
+        Compensation keeps one spare worker per blocked one, but it is
+        bounded by ``max_workers``; past the cap a blocked worker *helps*:
+        it pulls runnable tasks off the queue and executes them inline
+        while polling the future.  Deep fork trees therefore never starve
+        (HJ's runtime solves the same problem with a similar mix of
+        compensation and work assists)."""
+        if threading.get_ident() not in self._worker_threads:
+            future._wait()
+            return
+        while not future._wait(timeout=0.002):
+            try:
+                item = self._queue.get_nowait()
+            except Empty:
+                continue
+            if item is _SHUTDOWN:
+                # shutdown is only initiated once nothing is outstanding,
+                # so this cannot happen while we are blocked; be safe.
+                self._queue.put(item)
+                continue
+            task, item_future, fn, args, kwargs = item
+            self._execute(task, item_future, fn, args, kwargs)
+
+    # ------------------------------------------------------------------
+    # task API (mirrors TaskRuntime)
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute *fn* as the root task in the calling thread.
+
+        Returns after *fn* finishes **and** every forked task has
+        terminated (top-level implicit finish); then stops the pool.
+        """
+        with self._lock:
+            if self._root_started:
+                raise RuntimeStateError(
+                    "this runtime already hosted a root task; create a fresh "
+                    "WorkSharingRuntime per program run"
+                )
+            self._root_started = True
+            for _ in range(self._base_workers):
+                self._spawn_worker()
+        vertex = self._verifier.on_init()
+        root = TaskHandle(vertex, code=fn, name="root")
+        root.state = TaskState.RUNNING
+        try:
+            with task_scope(root):
+                result = fn(*args, **kwargs)
+                root.state = TaskState.DONE
+            return result
+        except BaseException:
+            root.state = TaskState.FAILED
+            raise
+        finally:
+            with self._all_done:
+                while self._outstanding:
+                    self._all_done.wait()
+                self._shutdown = True
+                count = self._worker_count
+            for _ in range(count):
+                self._queue.put(_SHUTDOWN)
+
+    def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        parent = require_current_task()
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeStateError("runtime already shut down")
+        vertex = self._verifier.on_fork(parent.vertex)
+        task = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
+        future = Future(self, task)
+        with self._all_done:
+            self._outstanding += 1
+        self._queue.put((task, future, fn, args, kwargs))
+        return future
+
+    def join(self, future: Future) -> Any:
+        if future._runtime is not self:
+            raise RuntimeStateError("future belongs to a different runtime")
+        joiner = require_current_task()
+        joinee = future.task
+        if self._hybrid is not None:
+            blocked = self._hybrid.begin_join(
+                joiner, joinee, joiner.vertex, joinee.vertex, joinee_done=future.done()
+            )
+            if blocked:
+                self._ensure_capacity_for_block()
+                prev = joiner.state
+                joiner.state = TaskState.BLOCKED
+                try:
+                    self._block_on(future)
+                finally:
+                    self._hybrid.end_join(joiner, joinee)
+                    joiner.state = prev
+            self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
+        else:
+            self._verifier.require_join(joiner.vertex, joinee.vertex)
+            if not future.done():
+                self._ensure_capacity_for_block()
+            prev = joiner.state
+            joiner.state = TaskState.BLOCKED
+            try:
+                self._block_on(future)
+            finally:
+                joiner.state = prev
+            self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
+        return future._result_now()

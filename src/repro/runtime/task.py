@@ -1,0 +1,55 @@
+"""Task records.
+
+A :class:`TaskHandle` is the runtime identity of one asynchronous task —
+the ``{node: u, code: f}`` record of Section 5.1.  ``vertex`` is the
+opaque policy handle returned by ``AddChild``; the handle itself is the
+vertex used in the Armus waits-for graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Any, Callable, Optional
+
+__all__ = ["TaskHandle", "TaskState"]
+
+_uid = itertools.count()
+
+
+class TaskState(Enum):
+    CREATED = "created"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class TaskHandle:
+    """Identity and bookkeeping for one task."""
+
+    __slots__ = ("uid", "name", "vertex", "code", "state", "parent_uid")
+
+    def __init__(
+        self,
+        vertex: object,
+        code: Optional[Callable[..., Any]] = None,
+        *,
+        name: Optional[str] = None,
+        parent_uid: Optional[int] = None,
+    ) -> None:
+        self.uid = next(_uid)
+        self.name = name if name is not None else f"task-{self.uid}"
+        self.vertex = vertex
+        self.code = code
+        self.state = TaskState.CREATED
+        self.parent_uid = parent_uid
+
+    def __repr__(self) -> str:
+        return f"<TaskHandle {self.name} {self.state.value}>"
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other

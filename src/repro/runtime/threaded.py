@@ -1,0 +1,188 @@
+"""The blocking (thread-per-task) runtime.
+
+This is the Python analogue of Habanero-Java's blocking work-sharing
+runtime used for five of the six evaluation benchmarks: every ``fork``
+starts an OS thread, and a join blocks the calling thread until the
+joinee terminates.
+
+Instrumentation: every fork funnels through ``AddChild`` and every join
+through the policy gate (Algorithm 1), optionally composed with the Armus
+fallback (the Section 6 configuration).  With ``policy=None`` joins are
+unchecked — the overhead baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Union
+
+from .context import require_current_task, task_scope
+from .future import Future
+from .task import TaskHandle, TaskState
+from ..armus.hybrid import HybridVerifier
+from ..core.policy import JoinPolicy, NullPolicy, make_policy
+from ..core.verifier import Verifier
+from ..errors import RuntimeStateError
+
+__all__ = ["TaskRuntime", "resolve_policy"]
+
+
+def resolve_policy(policy: Union[None, str, JoinPolicy]) -> JoinPolicy:
+    """Accept a policy instance, a registered name, or None (unchecked)."""
+    if policy is None:
+        return NullPolicy()
+    if isinstance(policy, str):
+        return make_policy(policy)
+    return policy
+
+
+class TaskRuntime:
+    """Thread-per-task futures runtime with pluggable join verification.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`JoinPolicy`, a registered policy name (``"TJ-SP"``,
+        ``"KJ-VC"``, ...), or None for the unchecked baseline.
+    fallback:
+        When True (default), policy rejections are referred to Armus cycle
+        detection: false positives proceed, real cycles raise
+        :class:`~repro.errors.DeadlockAvoidedError`.  When False, a
+        rejection faults immediately with
+        :class:`~repro.errors.PolicyViolationError` (pure Algorithm 1).
+
+    A runtime instance hosts exactly one root task (one :meth:`run` call):
+    the verifier data structures assume a single fork tree.
+    """
+
+    def __init__(
+        self,
+        policy: Union[None, str, JoinPolicy] = "TJ-SP",
+        *,
+        fallback: bool = True,
+    ) -> None:
+        policy_obj = resolve_policy(policy)
+        self._hybrid: Optional[HybridVerifier] = HybridVerifier(policy_obj) if fallback else None
+        self._verifier: Verifier = self._hybrid.verifier if self._hybrid else Verifier(policy_obj)
+        self._root_started = False
+        self._threads_started = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> JoinPolicy:
+        return self._verifier.policy
+
+    @property
+    def verifier(self) -> Verifier:
+        return self._verifier
+
+    @property
+    def detector(self):
+        """The Armus detector, or None when ``fallback=False``."""
+        return self._hybrid.detector if self._hybrid else None
+
+    @property
+    def threads_started(self) -> int:
+        return self._threads_started
+
+    # ------------------------------------------------------------------
+    # task lifecycle
+    # ------------------------------------------------------------------
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute *fn* as the root task in the calling thread.
+
+        Returns *fn*'s result; exceptions propagate unchanged.
+        """
+        with self._lock:
+            if self._root_started:
+                raise RuntimeStateError(
+                    "this runtime already hosted a root task; create a fresh "
+                    "TaskRuntime per program run"
+                )
+            self._root_started = True
+        vertex = self._verifier.on_init()
+        root = TaskHandle(vertex, code=fn, name="root")
+        root.state = TaskState.RUNNING
+        with task_scope(root):
+            try:
+                result = fn(*args, **kwargs)
+                root.state = TaskState.DONE
+                return result
+            except BaseException:
+                root.state = TaskState.FAILED
+                raise
+
+    def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """``async fn(*args)``: start *fn* in a new task; return its Future.
+
+        Must be called from inside a task of this runtime (the forking task
+        determines the new vertex's parent).
+        """
+        parent = require_current_task()
+        vertex = self._verifier.on_fork(parent.vertex)
+        task = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
+        future = Future(self, task)
+        thread = threading.Thread(
+            target=self._task_main,
+            args=(task, future, fn, args, kwargs),
+            name=task.name,
+            daemon=True,
+        )
+        with self._lock:
+            self._threads_started += 1
+        task.state = TaskState.RUNNING
+        thread.start()
+        return future
+
+    def _task_main(
+        self,
+        task: TaskHandle,
+        future: Future,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        with task_scope(task):
+            try:
+                value = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - delivered at join
+                task.state = TaskState.FAILED
+                future._set_exception(exc)
+            else:
+                task.state = TaskState.DONE
+                future._set_result(value)
+
+    # ------------------------------------------------------------------
+    # the join operation (called via Future.join)
+    # ------------------------------------------------------------------
+    def join(self, future: Future) -> Any:
+        if future._runtime is not self:
+            raise RuntimeStateError("future belongs to a different runtime")
+        joiner = require_current_task()
+        joinee = future.task
+        if self._hybrid is not None:
+            blocked = self._hybrid.begin_join(
+                joiner, joinee, joiner.vertex, joinee.vertex, joinee_done=future.done()
+            )
+            if blocked:
+                prev_state = joiner.state
+                joiner.state = TaskState.BLOCKED
+                try:
+                    future._wait()
+                finally:
+                    self._hybrid.end_join(joiner, joinee)
+                    joiner.state = prev_state
+            self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
+        else:
+            self._verifier.require_join(joiner.vertex, joinee.vertex)
+            prev_state = joiner.state
+            joiner.state = TaskState.BLOCKED
+            try:
+                future._wait()
+            finally:
+                joiner.state = prev_state
+            self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
+        return future._result_now()

@@ -1,0 +1,21 @@
+"""Operational tooling: trace recording/replay, visualisation, CLI."""
+
+from .recorder import TraceRecordingPolicy
+from .replay import ReplayOutcome, replay_on_runtime, replay_on_threaded
+from .viz import (
+    fork_tree_dot,
+    render_fork_tree,
+    render_permission_matrix,
+    waits_for_dot,
+)
+
+__all__ = [
+    "TraceRecordingPolicy",
+    "replay_on_runtime",
+    "replay_on_threaded",
+    "ReplayOutcome",
+    "render_fork_tree",
+    "render_permission_matrix",
+    "fork_tree_dot",
+    "waits_for_dot",
+]

@@ -1,0 +1,258 @@
+"""Command-line entry point: ``python -m repro.tools.cli <command>``.
+
+Commands
+--------
+``check <trace-file> [--policy TJ|KJ]``
+    Validate a textual trace against a policy; report violations and
+    whether the trace contains a Definition 3.9 deadlock.
+``viz <trace-file> [--format tree|matrix|dot]``
+    Render the fork tree (with TJ ranks), the TJ/KJ permission matrix,
+    or Graphviz DOT.
+``replay <trace-file> [--policy P] [--no-fallback]``
+    Execute the trace on the cooperative runtime under a verifier and
+    report completed/refused joins and fallback activity.
+``bench <name> [--policy P] [--param k=v ...]``
+    Run one benchmark once and print verification/fallback statistics.
+``table1 [--sizes ...]``
+    Regenerate the empirical complexity table (Table 1).
+``table2 [--reps N] [--scale small|default]``
+    Regenerate the overhead table (Table 2).
+``figure2 [--reps N]``
+    Regenerate the execution-time chart (Figure 2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..analysis import (
+    measure_policy_costs,
+    render_figure2,
+    render_table1,
+    render_table2,
+)
+from ..benchsuite import ALL_BENCHMARKS, Harness, make_benchmark
+from ..formal.actions import parse_trace
+from ..formal.deadlock import find_join_cycle
+from ..formal.generators import balanced_fork_trace, chain_fork_trace, star_fork_trace
+from ..formal.trace import KJFamily, TJFamily, validate_trace
+
+__all__ = ["main"]
+
+_SMALL = {
+    "Jacobi": {"n": 96, "blocks": 4, "iterations": 4},
+    "Smith-Waterman": {"length": 240, "chunks": 6},
+    "Crypt": {"size_bytes": 256 * 1024, "tasks": 128},
+    "Strassen": {"n": 128, "cutoff": 64},
+    "Series": {"coefficients": 400, "samples": 100},
+    "NQueens": {"n": 8, "cutoff": 3},
+}
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    with open(args.trace) as fh:
+        trace = parse_trace(fh.read())
+    family = {"TJ": TJFamily, "KJ": KJFamily}[args.policy]
+    result = validate_trace(trace, family)
+    cycle = find_join_cycle(trace)
+    print(f"policy:        {result.policy}")
+    print(f"actions:       {len(result.verdicts)}")
+    print(f"tasks:         {len(result.tasks)}")
+    print(f"valid:         {result.valid}")
+    for v in result.verdicts:
+        if not v.ok:
+            print(f"  violation at #{v.index}: {v.action}  ({v.reason})")
+    print(f"deadlock:      {'cycle ' + ' -> '.join(map(str, cycle)) if cycle else 'none'}")
+    return 0 if result.valid else 1
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from .viz import fork_tree_dot, render_fork_tree, render_permission_matrix
+
+    with open(args.trace) as fh:
+        trace = parse_trace(fh.read())
+    if args.format == "tree":
+        print(render_fork_tree(trace))
+    elif args.format == "matrix":
+        print(render_permission_matrix(trace))
+    else:
+        print(fork_tree_dot(trace))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .replay import replay_on_runtime
+
+    with open(args.trace) as fh:
+        trace = parse_trace(fh.read())
+    policy = None if args.policy == "none" else args.policy
+    outcome = replay_on_runtime(trace, policy, fallback=not args.no_fallback)
+    rt = outcome.runtime
+    print(f"policy:           {args.policy}")
+    print(f"completed joins:  {len(outcome.completed_joins)}")
+    print(f"refused joins:    {len(outcome.refused_joins)}")
+    for waiter, joinee, kind in outcome.refused_joins:
+        print(f"  join({waiter}, {joinee}) refused: {kind}")
+    if rt.detector is not None:
+        print(f"false positives:  {rt.detector.stats.false_positives}")
+        print(f"deadlocks avoided: {rt.detector.stats.deadlocks_avoided}")
+    return 0 if outcome.clean else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    params = dict(_SMALL.get(args.name, {})) if args.scale == "small" else {}
+    for kv in args.param or []:
+        k, _, v = kv.partition("=")
+        params[k] = int(v) if v.lstrip("-").isdigit() else v
+    bench = make_benchmark(args.name, **params)
+    policy = None if args.policy == "none" else args.policy
+    result, rt = bench.execute(policy)
+    ok = bench.verify(result)
+    print(f"benchmark:       {bench!r}")
+    print(f"policy:          {args.policy}")
+    print(f"verified:        {ok}")
+    print(f"forks:           {rt.verifier.stats.forks}")
+    print(f"joins checked:   {rt.verifier.stats.joins_checked}")
+    print(f"joins rejected:  {rt.verifier.stats.joins_rejected}")
+    if rt.detector is not None:
+        print(f"false positives: {rt.detector.stats.false_positives}")
+        print(f"deadlocks avoided: {rt.detector.stats.deadlocks_avoided}")
+    print(f"verifier space:  {rt.policy.space_units()} units")
+    return 0 if ok else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    sizes = args.sizes or [256, 1024, 4096]
+    shapes = {
+        "chain": chain_fork_trace,
+        "star": star_fork_trace,
+        "balanced": balanced_fork_trace,
+    }
+    points = []
+    for policy in ("KJ-VC", "KJ-SS", "TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM"):
+        for shape, gen in shapes.items():
+            for n in sizes:
+                points.append(
+                    measure_policy_costs(policy, shape, gen(n), queries=args.queries)
+                )
+    print(render_table1(points))
+    return 0
+
+
+def _make_harness(args: argparse.Namespace) -> Harness:
+    return Harness(repetitions=args.reps, warmup=1)
+
+
+def _suite_reports(args: argparse.Namespace):
+    harness = _make_harness(args)
+    overrides = (
+        {name.replace("-", "_"): params for name, params in _SMALL.items()}
+        if args.scale == "small"
+        else {}
+    )
+    names = args.benchmarks or ALL_BENCHMARKS
+    return harness.measure_suite(names, **overrides)
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    reports = _suite_reports(args)
+    print(render_table2(reports))
+    if args.json:
+        from ..analysis.io import save_reports
+
+        save_reports(reports, args.json)
+        print(f"raw samples written to {args.json}")
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    reports = _suite_reports(args)
+    print(render_figure2(reports))
+    if args.svg:
+        from ..analysis.figure2_svg import render_figure2_svg
+
+        with open(args.svg, "w") as fh:
+            fh.write(render_figure2_svg(reports))
+        print(f"SVG chart written to {args.svg}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..analysis.report import ReportConfig, build_report
+
+    text = build_report(ReportConfig(repetitions=args.reps))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="validate a trace file")
+    p.add_argument("trace")
+    p.add_argument("--policy", choices=["TJ", "KJ"], default="TJ")
+    p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("viz", help="render a trace")
+    p.add_argument("trace")
+    p.add_argument("--format", choices=["tree", "matrix", "dot"], default="tree")
+    p.set_defaults(fn=_cmd_viz)
+
+    p = sub.add_parser("replay", help="execute a trace on the runtime")
+    p.add_argument("trace")
+    p.add_argument(
+        "--policy",
+        default="TJ-SP",
+        choices=["none", "TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM", "KJ-VC", "KJ-SS", "KJ-CC"],
+    )
+    p.add_argument("--no-fallback", action="store_true")
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("bench", help="run one benchmark")
+    p.add_argument("name", choices=ALL_BENCHMARKS)
+    p.add_argument(
+        "--policy",
+        default="TJ-SP",
+        choices=["none", "TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM", "KJ-VC", "KJ-SS"],
+    )
+    p.add_argument("--scale", choices=["small", "default"], default="default")
+    p.add_argument("--param", action="append", metavar="k=v")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("table1", help="empirical complexity table")
+    p.add_argument("--sizes", type=int, nargs="*")
+    p.add_argument("--queries", type=int, default=2000)
+    p.set_defaults(fn=_cmd_table1)
+
+    for name, fn in (("table2", _cmd_table2), ("figure2", _cmd_figure2)):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--reps", type=int, default=5)
+        p.add_argument("--scale", choices=["small", "default"], default="small")
+        p.add_argument(
+            "--benchmarks", nargs="*", choices=ALL_BENCHMARKS, metavar="NAME"
+        )
+        if name == "table2":
+            p.add_argument("--json", help="also dump raw samples to this file")
+        else:
+            p.add_argument("--svg", help="also render an SVG chart to this file")
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("report", help="full reproduction report (markdown)")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--out", help="write to a file instead of stdout")
+    p.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Record a live runtime execution as a formal trace.
+
+:class:`TraceRecordingPolicy` wraps any :class:`JoinPolicy` and records
+every ``init``/``fork``/``join`` event as an action, bridging the runtime
+world (Section 5) back to the trace formalism (Section 3).  The recorded
+trace can be re-validated offline against any policy, written to disk in
+the textual format, or fed to the precision experiments.
+
+Join events are recorded at *permission-check* time, tagged with whether
+they were permitted, so an offline KJ/TJ comparison sees exactly what the
+online verifier saw.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..core.policy import JoinPolicy
+from ..formal.actions import Action, Fork, Init, Join
+
+__all__ = ["TraceRecordingPolicy"]
+
+
+class TraceRecordingPolicy(JoinPolicy):
+    """A policy decorator that logs the event stream.
+
+    The wrapper assigns each vertex a stable name (``t0``, ``t1``, ...)
+    in fork order and appends actions under a lock (forks from different
+    tasks may race).  ``permits``/``on_join`` delegate to the inner
+    policy.
+    """
+
+    def __init__(self, inner: JoinPolicy) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.trace: list[Action] = []
+        self._names: dict[int, str] = {}
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def _name_of(self, vertex: object) -> str:
+        return self._names[id(vertex)]
+
+    def add_child(self, parent: Optional[object]) -> object:
+        vertex = self.inner.add_child(parent)
+        with self._lock:
+            name = f"t{self._count}"
+            self._count += 1
+            self._names[id(vertex)] = name
+            if parent is None:
+                self.trace.append(Init(name))
+            else:
+                self.trace.append(Fork(self._name_of(parent), name))
+        return vertex
+
+    def permits(self, joiner: object, joinee: object) -> bool:
+        ok = self.inner.permits(joiner, joinee)
+        with self._lock:
+            self.trace.append(Join(self._name_of(joiner), self._name_of(joinee)))
+        return ok
+
+    def on_join(self, joiner: object, joinee: object) -> None:
+        self.inner.on_join(joiner, joinee)
+
+    def space_units(self) -> int:
+        return self.inner.space_units()
+
+    def snapshot(self) -> list[Action]:
+        """A copy of the trace recorded so far."""
+        with self._lock:
+            return list(self.trace)

@@ -1,0 +1,121 @@
+"""Textual visualisation of fork trees, permission orders and graphs.
+
+Rendering helpers for debugging and teaching: the fork tree with each
+task's TJ rank and spawn path, the permission matrix for small traces,
+and Graphviz DOT export of fork trees and waits-for graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from ..formal.actions import Action, Join, Task
+from ..formal.fork_tree import ForkTree
+from ..formal.kj_relation import KJKnowledge
+from ..formal.tj_relation import TJOrderOracle
+
+__all__ = [
+    "render_fork_tree",
+    "render_permission_matrix",
+    "fork_tree_dot",
+    "waits_for_dot",
+]
+
+
+def render_fork_tree(trace: Iterable[Action], *, show_order: bool = True) -> str:
+    """ASCII fork tree; children in fork order, annotated with TJ rank.
+
+    The rank is the position in the total order ``<`` (0 = minimum =
+    root).  A task may join exactly the tasks of strictly higher rank.
+    """
+    trace = list(trace)
+    tree = ForkTree.from_trace(trace)
+    if tree.root is None:
+        return "(empty tree)"
+    rank = {t: i for i, t in enumerate(tree.preorder())}
+    lines: list[str] = []
+
+    def visit(task: Task, prefix: str, is_last: bool, is_root: bool) -> None:
+        label = str(task)
+        if show_order:
+            label += f"  [rank {rank[task]}, path {tree.spawn_path(task)}]"
+        if is_root:
+            lines.append(label)
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + label)
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        kids = tree.children(task)
+        for i, kid in enumerate(kids):
+            visit(kid, child_prefix, i == len(kids) - 1, False)
+
+    visit(tree.root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_permission_matrix(trace: Iterable[Action]) -> str:
+    """A joint TJ/KJ permission matrix for small traces.
+
+    Cell codes: ``B`` permitted by both, ``T`` TJ only, ``.`` neither
+    (KJ-only cannot occur — Theorem 4.3).  Rows are joiners, columns
+    joinees, both in TJ order.
+    """
+    trace = list(trace)
+    oracle = TJOrderOracle.from_trace(trace)
+    knowledge = KJKnowledge.from_trace(trace)
+    tasks = oracle.sorted_tasks()
+    names = [str(t) for t in tasks]
+    width = max((len(n) for n in names), default=1)
+    header = " " * (width + 1) + " ".join(f"{n:>{width}}" for n in names)
+    lines = [header]
+    for a, an in zip(tasks, names):
+        row = []
+        for b in tasks:
+            if a == b:
+                row.append("-")
+            elif knowledge.knows(a, b):
+                assert oracle.less(a, b)  # Theorem 4.3
+                row.append("B")
+            elif oracle.less(a, b):
+                row.append("T")
+            else:
+                row.append(".")
+        lines.append(
+            f"{an:>{width}} " + " ".join(f"{c:>{width}}" for c in row)
+        )
+    lines.append("B = KJ and TJ, T = TJ only, . = neither, - = self")
+    return "\n".join(lines)
+
+
+def _quote(x: object) -> str:
+    return '"' + str(x).replace('"', r"\"") + '"'
+
+
+def fork_tree_dot(trace: Iterable[Action], *, include_joins: bool = True) -> str:
+    """Graphviz DOT for the fork tree, optionally with join edges dashed."""
+    trace = list(trace)
+    tree = ForkTree.from_trace(trace)
+    lines = ["digraph forktree {", "  rankdir=TB;", "  node [shape=circle];"]
+    for task in tree.tasks():
+        parent = tree.parent(task)
+        if parent is not None:
+            lines.append(f"  {_quote(parent)} -> {_quote(task)};")
+    if include_joins:
+        for action in trace:
+            if isinstance(action, Join):
+                lines.append(
+                    f"  {_quote(action.waiter)} -> {_quote(action.joinee)}"
+                    " [style=dashed, color=forestgreen];"
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def waits_for_dot(edges: Iterable[tuple[Hashable, Hashable]], *, title: str = "waits_for") -> str:
+    """Graphviz DOT for a waits-for edge set (e.g. from an Armus graph)."""
+    lines = [f"digraph {title} {{", "  node [shape=box];"]
+    for waiter, joinee in edges:
+        lines.append(f"  {_quote(waiter)} -> {_quote(joinee)};")
+    lines.append("}")
+    return "\n".join(lines)

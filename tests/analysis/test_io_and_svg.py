@@ -1,0 +1,74 @@
+"""Tests for report serialisation and the SVG Figure 2 renderer."""
+
+import pytest
+
+from repro.analysis.figure2_svg import render_figure2_svg
+from repro.analysis.io import (
+    load_reports,
+    reports_from_json,
+    reports_to_json,
+    save_reports,
+)
+
+from .test_reports import fake_report
+
+
+@pytest.fixture
+def reports():
+    factors = {"KJ-VC": (1.5, 2.0), "KJ-SS": (1.1, 1.3), "TJ-SP": (1.05, 1.1)}
+    return [
+        fake_report("Alpha", 1.0, 1_000_000, factors),
+        fake_report("Beta", 0.5, 2_000_000, factors),
+    ]
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_everything(self, reports):
+        text = reports_to_json(reports)
+        back = reports_from_json(text)
+        assert len(back) == 2
+        for orig, copy in zip(reports, back):
+            assert copy.name == orig.name
+            assert copy.baseline.times == orig.baseline.times
+            assert set(copy.policies) == set(orig.policies)
+            for p in orig.policies:
+                assert copy.policies[p].times == orig.policies[p].times
+                assert copy.time_overhead(p) == pytest.approx(orig.time_overhead(p))
+
+    def test_file_roundtrip(self, reports, tmp_path):
+        path = str(tmp_path / "reports.json")
+        save_reports(reports, path)
+        back = load_reports(path)
+        assert [r.name for r in back] == ["Alpha", "Beta"]
+
+    def test_schema_version_checked(self):
+        with pytest.raises(ValueError, match="unsupported schema"):
+            reports_from_json('{"schema": 99, "reports": []}')
+
+    def test_json_is_deterministic(self, reports):
+        assert reports_to_json(reports) == reports_to_json(reports)
+
+
+class TestSvg:
+    def test_valid_svg_structure(self, reports):
+        svg = render_figure2_svg(reports)
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<rect") >= 2 * 4  # bars for 2 groups x 4 configs
+
+    def test_benchmarks_and_configs_labelled(self, reports):
+        svg = render_figure2_svg(reports)
+        for token in ("Alpha", "Beta", "KJ-VC", "TJ-SP", "baseline"):
+            assert token in svg
+
+    def test_whiskers_present(self, reports):
+        svg = render_figure2_svg(reports)
+        assert "<line" in svg  # CI whiskers
+
+    def test_custom_title_escaped(self, reports):
+        svg = render_figure2_svg(reports, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure2_svg([])

@@ -1,0 +1,90 @@
+"""Tests for deep memory measurement."""
+
+import sys
+
+import pytest
+
+from repro.analysis.memsize import deep_size_of, policy_bytes_per_task
+from repro.core import make_policy
+from repro.formal.actions import Fork, Init
+from repro.formal.generators import chain_fork_trace, star_fork_trace
+
+from ..core.test_policies_common import replay_forks
+
+
+class TestDeepSizeOf:
+    def test_atomic(self):
+        assert deep_size_of(42) == sys.getsizeof(42)
+        assert deep_size_of("hello") == sys.getsizeof("hello")
+
+    def test_list_includes_elements(self):
+        xs = ["a" * 50, "b" * 50]
+        assert deep_size_of(xs) > sys.getsizeof(xs) + 100
+
+    def test_shared_objects_counted_once(self):
+        shared = "x" * 1000
+        assert deep_size_of([shared, shared]) < 2 * sys.getsizeof(shared)
+
+    def test_cycles_terminate(self):
+        a: list = []
+        a.append(a)
+        assert deep_size_of(a) >= sys.getsizeof(a)
+
+    def test_dict_keys_and_values(self):
+        d = {"k" * 100: "v" * 100}
+        assert deep_size_of(d) > sys.getsizeof(d) + 200
+
+    def test_slots_objects(self):
+        class Slotted:
+            __slots__ = ("x", "y")
+
+            def __init__(self):
+                self.x = "payload" * 20
+                self.y = [1, 2, 3]
+
+        obj = Slotted()
+        assert deep_size_of(obj) > sys.getsizeof(obj) + 100
+
+    def test_instance_dict(self):
+        class Plain:
+            def __init__(self):
+                self.data = list(range(100))
+
+        assert deep_size_of(Plain()) > 100 * 28 // 2
+
+
+class TestPolicyBytes:
+    def test_requires_vertices(self):
+        with pytest.raises(ValueError):
+            policy_bytes_per_task(make_policy("TJ-SP"), [])
+
+    def test_tj_sp_chain_costs_more_than_star(self):
+        """O(n h) vs O(n): spawn paths on a chain dwarf those on a star."""
+        n = 300
+        chain_policy = make_policy("TJ-SP")
+        chain_vertices = replay_forks(chain_policy, chain_fork_trace(n)).values()
+        star_policy = make_policy("TJ-SP")
+        star_vertices = replay_forks(star_policy, star_fork_trace(n)).values()
+        chain_bytes = policy_bytes_per_task(chain_policy, chain_vertices)
+        star_bytes = policy_bytes_per_task(star_policy, star_vertices)
+        assert chain_bytes > 10 * star_bytes
+
+    def test_kj_vc_star_heavier_than_kj_ss(self):
+        """Materialised vectors vs O(1) snapshots on the Crypt shape."""
+        n = 300
+        vc = make_policy("KJ-VC")
+        vc_vertices = replay_forks(vc, star_fork_trace(n)).values()
+        ss = make_policy("KJ-SS")
+        ss_vertices = replay_forks(ss, star_fork_trace(n)).values()
+        assert policy_bytes_per_task(vc, vc_vertices) > 5 * policy_bytes_per_task(
+            ss, ss_vertices
+        )
+
+    def test_tj_gt_flat_per_task_cost(self):
+        """O(n) space: bytes per task roughly constant across sizes."""
+        costs = []
+        for n in (100, 800):
+            policy = make_policy("TJ-GT")
+            vertices = replay_forks(policy, chain_fork_trace(n)).values()
+            costs.append(policy_bytes_per_task(policy, vertices))
+        assert costs[1] < costs[0] * 2  # no superlinear growth

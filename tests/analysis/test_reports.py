@@ -1,0 +1,98 @@
+"""Unit tests for the Table 1/Table 2/Figure 2 report generators."""
+
+import pytest
+
+from repro.analysis.figure2 import figure2_data, render_figure2
+from repro.analysis.table1 import measure_policy_costs, render_table1
+from repro.analysis.table2 import overhead_summary, render_table2
+from repro.benchsuite.harness import BenchmarkReport, PolicyMeasurement
+from repro.formal.generators import chain_fork_trace, star_fork_trace
+
+
+def fake_report(name, base_time, base_mem, factors):
+    baseline = PolicyMeasurement(policy=None, times=[base_time] * 3, peak_bytes=base_mem)
+    policies = {
+        p: PolicyMeasurement(
+            policy=p,
+            times=[base_time * tf, base_time * tf * 1.01, base_time * tf * 0.99],
+            peak_bytes=int(base_mem * mf),
+        )
+        for p, (tf, mf) in factors.items()
+    }
+    return BenchmarkReport(name=name, params={}, baseline=baseline, policies=policies)
+
+
+@pytest.fixture
+def reports():
+    factors = {"KJ-VC": (1.5, 2.0), "KJ-SS": (1.1, 1.3), "TJ-SP": (1.05, 1.1)}
+    return [
+        fake_report("Alpha", 1.0, 1_000_000, factors),
+        fake_report("Beta", 0.5, 2_000_000, factors),
+    ]
+
+
+class TestTable2:
+    def test_overheads_computed(self, reports):
+        r = reports[0]
+        assert r.time_overhead("KJ-VC") == pytest.approx(1.5)
+        assert r.memory_overhead("TJ-SP") == pytest.approx(1.1)
+
+    def test_summary_geomeans(self, reports):
+        s = overhead_summary(reports, ["KJ-VC", "TJ-SP"])
+        assert s["KJ-VC"]["time"] == pytest.approx(1.5)
+        assert s["TJ-SP"]["memory"] == pytest.approx(1.1)
+
+    def test_render_contains_all_rows(self, reports):
+        table = render_table2(reports)
+        for token in ("Alpha", "Beta", "KJ-VC", "TJ-SP", "Geom. mean"):
+            assert token in table
+
+    def test_best_factor_marked(self, reports):
+        table = render_table2(reports)
+        # TJ-SP is best on every row; stars must appear next to 1.05x
+        assert "*1.05x" in table
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_table2([])
+
+    def test_zero_baseline_memory_guard(self):
+        r = fake_report("Zed", 1.0, 0, {"TJ-SP": (1.0, 1.0)})
+        assert r.memory_overhead("TJ-SP") == 0.0  # 0 bytes / floor of 1
+
+
+class TestFigure2:
+    def test_data_shape(self, reports):
+        data = figure2_data(reports)
+        assert set(data) == {"Alpha", "Beta"}
+        assert set(data["Alpha"]) == {"baseline", "KJ-VC", "KJ-SS", "TJ-SP"}
+
+    def test_render(self, reports):
+        chart = render_figure2(reports)
+        assert "95% CI" in chart and "Alpha:" in chart
+        # bars scale: the slowest config should reach near full width
+        assert "#" * 20 in chart
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure2([])
+
+
+class TestTable1:
+    def test_measure_policy_costs(self):
+        p = measure_policy_costs("TJ-SP", "chain", chain_fork_trace(100), queries=50)
+        assert p.n_tasks == 100
+        assert p.fork_us > 0 and p.join_us > 0 and p.space_units > 0
+
+    def test_render(self):
+        points = [
+            measure_policy_costs("TJ-GT", "star", star_fork_trace(50), queries=20),
+            measure_policy_costs("KJ-SS", "star", star_fork_trace(50), queries=20),
+        ]
+        text = render_table1(points)
+        assert "TJ-GT" in text and "KJ-SS" in text
+        assert "paper bounds" in text
+
+    def test_render_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_table1([])

@@ -1,0 +1,68 @@
+"""Unit tests for the waits-for graph."""
+
+import threading
+
+from repro.armus.graph import WaitsForGraph
+
+
+class TestWaitsForGraph:
+    def test_empty(self):
+        g = WaitsForGraph()
+        assert len(g) == 0
+        assert not g.has_path("a", "b")
+
+    def test_add_remove(self):
+        g = WaitsForGraph()
+        g.add_edge("a", "b")
+        assert g.edges() == [("a", "b")]
+        g.remove_edge("a", "b")
+        assert len(g) == 0
+
+    def test_remove_missing_is_noop(self):
+        g = WaitsForGraph()
+        g.remove_edge("a", "b")
+        assert len(g) == 0
+
+    def test_trivial_path(self):
+        g = WaitsForGraph()
+        assert g.has_path("x", "x")
+
+    def test_transitive_path(self):
+        g = WaitsForGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "d")
+        assert g.has_path("a", "d")
+        assert not g.has_path("d", "a")
+
+    def test_branching_paths(self):
+        g = WaitsForGraph()
+        g.add_edge("a", "b")
+        g.add_edge("a", "c")
+        g.add_edge("c", "d")
+        assert g.has_path("a", "d")
+        assert not g.has_path("b", "d")
+
+    def test_path_disappears_after_removal(self):
+        g = WaitsForGraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.remove_edge("b", "c")
+        assert not g.has_path("a", "c")
+
+    def test_concurrent_mutation_is_safe(self):
+        g = WaitsForGraph()
+
+        def worker(base):
+            for i in range(300):
+                g.add_edge((base, i), (base, i + 1))
+                g.has_path((base, 0), (base, i + 1))
+            for i in range(300):
+                g.remove_edge((base, i), (base, i + 1))
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(g) == 0

@@ -1,0 +1,92 @@
+"""Unit tests for the benchmark base class and registry."""
+
+import pytest
+
+from repro.benchsuite import (
+    ALL_BENCHMARKS,
+    BENCHMARK_REGISTRY,
+    EXTRA_BENCHMARKS,
+    Benchmark,
+    make_benchmark,
+    register_benchmark,
+)
+from repro.runtime import CooperativeRuntime, TaskRuntime
+
+
+class TestRegistry:
+    def test_all_table2_benchmarks_registered(self):
+        for name in ALL_BENCHMARKS:
+            assert name in BENCHMARK_REGISTRY
+
+    def test_extras_registered(self):
+        for name in EXTRA_BENCHMARKS:
+            assert name in BENCHMARK_REGISTRY
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="known:"):
+            make_benchmark("Nope")
+
+    def test_register_decorator(self):
+        @register_benchmark
+        class Tiny(Benchmark):
+            name = "TinyTestOnly"
+
+            @classmethod
+            def default_params(cls):
+                return {"x": 1}
+
+            def run(self, rt):
+                return self.params["x"]
+
+            def verify(self, result):
+                return result == self.params["x"]
+
+        try:
+            b = make_benchmark("TinyTestOnly", x=5)
+            result, _ = b.execute(None)
+            assert b.verify(result)
+        finally:
+            del BENCHMARK_REGISTRY["TinyTestOnly"]
+
+
+class TestParameterHandling:
+    def test_defaults_applied(self):
+        b = make_benchmark("Series")
+        assert b.params["coefficients"] == 1000
+
+    def test_overrides_applied(self):
+        b = make_benchmark("Series", coefficients=5)
+        assert b.params["coefficients"] == 5
+
+    def test_unknown_parameter_rejected_with_name(self):
+        with pytest.raises(TypeError, match="unknown parameters.*bogus"):
+            make_benchmark("Series", bogus=1)
+
+    def test_paper_params_documented(self):
+        for name in ALL_BENCHMARKS:
+            bench = make_benchmark(name)
+            assert bench.paper_params, f"{name} lacks paper_params"
+
+
+class TestRuntimeSelection:
+    def test_threaded_default(self):
+        b = make_benchmark("Series")
+        assert isinstance(b.make_runtime("TJ-SP"), TaskRuntime)
+
+    def test_nqueens_is_cooperative(self):
+        b = make_benchmark("NQueens")
+        assert isinstance(b.make_runtime("TJ-SP"), CooperativeRuntime)
+
+    def test_fallback_flag_passed_through(self):
+        b = make_benchmark("Series")
+        rt = b.make_runtime("TJ-SP", fallback=False)
+        assert rt.detector is None
+
+    def test_execute_builds_once(self):
+        b = make_benchmark("Series", coefficients=5, samples=50)
+        assert not b._built
+        b.execute(None)
+        assert b._built
+        expected = b.expected_first
+        b.execute(None)  # second run reuses inputs
+        assert b.expected_first == expected

@@ -1,0 +1,128 @@
+"""Integration tests: each benchmark computes the right answer under every
+policy configuration, and its policy-validity profile matches Section 6.1."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS, make_benchmark
+from repro.benchsuite.jacobi import jacobi_reference
+from repro.benchsuite.nqueens import KNOWN_SOLUTIONS, count_queens_sequential
+from repro.benchsuite.smith_waterman import smith_waterman_reference
+from repro.benchsuite.strassen import strassen_sequential
+
+# small-but-meaningful parameters, one per benchmark, for fast CI
+SMALL = {
+    "Jacobi": {"n": 64, "blocks": 2, "iterations": 3},
+    "Smith-Waterman": {"length": 120, "chunks": 4},
+    "Crypt": {"size_bytes": 64 * 1024, "tasks": 32},
+    "Strassen": {"n": 128, "cutoff": 64},
+    "Series": {"coefficients": 60, "samples": 100},
+    "NQueens": {"n": 8, "cutoff": 2},
+}
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestCorrectness:
+    def test_baseline_verifies(self, name):
+        b = make_benchmark(name, **SMALL[name])
+        result, _ = b.execute(None)
+        assert b.verify(result)
+
+    def test_tj_sp_verifies_with_zero_false_positives(self, name):
+        b = make_benchmark(name, **SMALL[name])
+        result, rt = b.execute("TJ-SP")
+        assert b.verify(result)
+        assert rt.detector.stats.false_positives == 0
+        assert rt.detector.stats.deadlocks_avoided == 0
+
+    @pytest.mark.parametrize("policy", ["TJ-GT", "TJ-JP", "TJ-OM"])
+    def test_other_tj_algorithms_verify(self, name, policy):
+        b = make_benchmark(name, **SMALL[name])
+        result, rt = b.execute(policy)
+        assert b.verify(result)
+        assert rt.detector.stats.false_positives == 0
+
+    @pytest.mark.parametrize("policy", ["KJ-VC", "KJ-SS"])
+    def test_kj_verifies(self, name, policy):
+        b = make_benchmark(name, **SMALL[name])
+        result, rt = b.execute(policy)
+        assert b.verify(result)
+        if name == "NQueens":
+            # the one benchmark that trips the KJ fallback (Section 6.1)
+            assert rt.detector.stats.false_positives > 0
+        else:
+            assert rt.detector.stats.false_positives == 0
+        assert rt.detector.stats.deadlocks_avoided == 0
+
+    def test_unknown_param_rejected(self, name):
+        with pytest.raises(TypeError):
+            make_benchmark(name, definitely_not_a_param=1)
+
+
+class TestBenchmarkDetails:
+    def test_unknown_benchmark_name(self):
+        with pytest.raises(KeyError):
+            make_benchmark("NoSuchBench")
+
+    def test_jacobi_reference_keeps_boundary(self):
+        g = np.ones((8, 8))
+        g[0, :] = 5
+        out = jacobi_reference(g, 2)
+        assert (out[0, :] == 5).all()
+
+    def test_jacobi_rejects_bad_blocking(self):
+        b = make_benchmark("Jacobi", n=10, blocks=3)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_smith_waterman_reference_known_case(self):
+        # identical sequences: perfect local alignment of full length
+        a = np.array([0, 1, 2, 3] * 5, dtype=np.int8)
+        assert smith_waterman_reference(a, a) == 2 * len(a)
+
+    def test_smith_waterman_no_match(self):
+        a = np.zeros(10, dtype=np.int8)
+        b = np.ones(10, dtype=np.int8)
+        assert smith_waterman_reference(a, b) == 0
+
+    def test_strassen_sequential_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random((64, 64)), rng.random((64, 64))
+        assert np.allclose(strassen_sequential(a, b, 16), a @ b)
+
+    def test_strassen_rejects_non_power_of_two(self):
+        b = make_benchmark("Strassen", n=100)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_nqueens_sequential_known_counts(self):
+        for n in range(1, 10):
+            assert count_queens_sequential(n) == KNOWN_SOLUTIONS[n]
+
+    def test_nqueens_fifo_order_never_trips_kj(self):
+        b = make_benchmark("NQueens", n=7, cutoff=2, join_order="fifo")
+        result, rt = b.execute("KJ-SS")
+        assert b.verify(result)
+        assert rt.detector.stats.false_positives == 0
+
+    def test_nqueens_random_order_is_seed_deterministic(self):
+        fps = []
+        for _ in range(2):
+            b = make_benchmark("NQueens", n=8, cutoff=2, seed=7)
+            _, rt = b.execute("KJ-SS")
+            fps.append(rt.detector.stats.false_positives)
+        assert fps[0] == fps[1] > 0
+
+    def test_crypt_rejects_indivisible_sizes(self):
+        b = make_benchmark("Crypt", size_bytes=1000, tasks=3)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_series_verify_rejects_wrong_length(self):
+        b = make_benchmark("Series", coefficients=10, samples=50)
+        b.build()
+        assert not b.verify([(2.88, 0.0)])
+
+    def test_repr_shows_params(self):
+        b = make_benchmark("Series", coefficients=10)
+        assert "coefficients=10" in repr(b)

@@ -1,0 +1,64 @@
+"""Tests for the extra (non-Table-2) benchmark programs."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import EXTRA_BENCHMARKS, make_benchmark
+from repro.runtime import WorkSharingRuntime
+
+SMALL = {
+    "Fib": {"n": 12, "cutoff": 6},
+    "MergeSort": {"n": 1 << 11, "cutoff": 1 << 9},
+    "FanInReduce": {"leaves": 16},
+}
+
+
+@pytest.mark.parametrize("name", EXTRA_BENCHMARKS)
+class TestExtras:
+    def test_baseline(self, name):
+        b = make_benchmark(name, **SMALL[name])
+        result, _ = b.execute(None)
+        assert b.verify(result)
+
+    @pytest.mark.parametrize("policy", ["TJ-SP", "KJ-SS"])
+    def test_verified(self, name, policy):
+        b = make_benchmark(name, **SMALL[name])
+        result, rt = b.execute(policy)
+        assert b.verify(result)
+        assert rt.detector.stats.deadlocks_avoided == 0
+
+    def test_tj_never_flags(self, name):
+        b = make_benchmark(name, **SMALL[name])
+        _, rt = b.execute("TJ-SP")
+        assert rt.detector.stats.false_positives == 0
+
+    def test_on_work_sharing_pool(self, name):
+        b = make_benchmark(name, **SMALL[name])
+        b.build()
+        rt = WorkSharingRuntime(policy="TJ-SP", workers=2, max_workers=64)
+        result = rt.run(b.run, rt)
+        assert b.verify(result)
+
+
+class TestExtraDetails:
+    def test_fib_small_values(self):
+        b = make_benchmark("Fib", n=10, cutoff=3)
+        result, _ = b.execute(None)
+        assert result == 55
+
+    def test_mergesort_really_sorts(self):
+        b = make_benchmark("MergeSort", n=512, cutoff=64)
+        b.build()
+        result, _ = b.execute(None)
+        assert b.verify(result)
+
+    def test_fanin_requires_power_of_two(self):
+        b = make_benchmark("FanInReduce", leaves=24)
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_fanin_joins_are_kj_valid(self):
+        """Every reducer joins older siblings: no fallback even under KJ."""
+        b = make_benchmark("FanInReduce", leaves=32)
+        _, rt = b.execute("KJ-VC")
+        assert rt.detector.stats.false_positives == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the measurement harness."""
+
+import pytest
+
+from repro.benchsuite import Harness, make_benchmark
+from repro.benchsuite.harness import PolicyMeasurement
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    harness = Harness(repetitions=2, warmup=1, policies=("TJ-SP", "KJ-SS"))
+    bench = make_benchmark("Series", coefficients=20, samples=50)
+    return harness.measure_benchmark(bench)
+
+
+class TestHarness:
+    def test_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            Harness(repetitions=0)
+
+    def test_report_structure(self, tiny_report):
+        assert tiny_report.name == "Series"
+        assert set(tiny_report.policies) == {"TJ-SP", "KJ-SS"}
+        assert tiny_report.baseline.policy is None
+        assert len(tiny_report.baseline.times) == 2
+
+    def test_all_runs_verified(self, tiny_report):
+        assert tiny_report.baseline.verified
+        assert all(m.verified for m in tiny_report.policies.values())
+
+    def test_overheads_are_positive(self, tiny_report):
+        for p in tiny_report.policies:
+            assert tiny_report.time_overhead(p) > 0
+            assert tiny_report.memory_overhead(p) > 0
+
+    def test_event_counts_recorded(self, tiny_report):
+        m = tiny_report.policies["TJ-SP"]
+        assert m.forks == 21  # root + 20 coefficient tasks
+        assert m.joins_checked == 20
+        assert m.verifier_space_units > 0
+
+    def test_baseline_policy_stores_nothing(self, tiny_report):
+        assert tiny_report.baseline.verifier_space_units == 0
+
+    def test_memory_measured(self, tiny_report):
+        assert tiny_report.baseline.peak_bytes > 0
+
+    def test_memory_can_be_disabled(self):
+        harness = Harness(repetitions=1, warmup=0, policies=(), measure_memory=False)
+        m = harness.measure_policy(make_benchmark("Series", coefficients=5, samples=50), None)
+        assert m.peak_bytes == 0
+
+
+class TestPolicyMeasurement:
+    def test_mean_and_stdev(self):
+        m = PolicyMeasurement(policy="x", times=[1.0, 2.0, 3.0])
+        assert m.mean_time == 2.0
+        assert m.stdev_time == 1.0
+
+    def test_stdev_single_sample(self):
+        m = PolicyMeasurement(policy="x", times=[1.0])
+        assert m.stdev_time == 0.0

@@ -1,0 +1,101 @@
+"""Unit and property tests for the IDEA cipher substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchsuite.idea import (
+    _mul,
+    crypt_blocks,
+    decrypt,
+    encrypt,
+    expand_key,
+    invert_key,
+    random_key,
+)
+
+
+KEY = bytes(range(16))
+
+
+class TestKeySchedule:
+    def test_52_subkeys_in_range(self):
+        ek = expand_key(KEY)
+        assert len(ek) == 52
+        assert ((0 <= ek) & (ek <= 0xFFFF)).all()
+
+    def test_first_eight_subkeys_are_the_user_key(self):
+        ek = expand_key(KEY)
+        for i in range(8):
+            assert ek[i] == (KEY[2 * i] << 8) | KEY[2 * i + 1]
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            expand_key(b"short")
+
+    def test_inverted_key_shape(self):
+        dk = invert_key(expand_key(KEY))
+        assert len(dk) == 52
+        assert ((0 <= dk) & (dk <= 0xFFFF)).all()
+
+
+class TestMulOperator:
+    def test_zero_means_two_to_sixteen(self):
+        # 0 * 0 = 2^16 * 2^16 mod (2^16+1) = 1
+        assert _mul(np.array([0]), 0)[0] == 1
+
+    def test_identity(self):
+        xs = np.arange(1, 200)
+        assert (_mul(xs, 1) == xs).all()
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    def test_matches_scalar_definition(self, a, b):
+        aa = 0x10000 if a == 0 else a
+        bb = 0x10000 if b == 0 else b
+        expected = (aa * bb) % 0x10001
+        if expected == 0x10000:
+            expected = 0
+        assert _mul(np.array([a]), b)[0] == expected
+
+
+class TestRoundTrip:
+    def test_known_key_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=8 * 64, dtype=np.uint8)
+        assert np.array_equal(decrypt(encrypt(data, KEY), KEY), data)
+
+    def test_encryption_changes_data(self):
+        data = np.zeros(8 * 16, dtype=np.uint8)
+        assert not np.array_equal(encrypt(data, KEY), data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=16, max_size=16), st.integers(1, 32))
+    def test_roundtrip_property(self, key, blocks):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, size=8 * blocks, dtype=np.uint8)
+        assert np.array_equal(decrypt(encrypt(data, key), key), data)
+
+    def test_block_independence(self):
+        """ECB mode: per-block results do not depend on neighbours."""
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 256, size=8 * 10, dtype=np.uint8)
+        whole = encrypt(data, KEY)
+        ek = expand_key(KEY)
+        for i in range(10):
+            part = crypt_blocks(data[8 * i : 8 * (i + 1)], ek)
+            assert np.array_equal(part, whole[8 * i : 8 * (i + 1)])
+
+
+class TestInputValidation:
+    def test_rejects_non_uint8(self):
+        with pytest.raises(ValueError):
+            crypt_blocks(np.zeros(8, dtype=np.int32), expand_key(KEY))
+
+    def test_rejects_partial_blocks(self):
+        with pytest.raises(ValueError):
+            crypt_blocks(np.zeros(12, dtype=np.uint8), expand_key(KEY))
+
+    def test_random_key_shape(self):
+        key = random_key(np.random.default_rng(0))
+        assert isinstance(key, bytes) and len(key) == 16

@@ -1,0 +1,84 @@
+"""Tests for Cilk-style spawn/sync."""
+
+import pytest
+
+from repro import TaskRuntime, TaskFailedError
+from repro.constructs import CilkFrame
+
+
+class TestCilkFrame:
+    def test_fib(self):
+        rt = TaskRuntime()
+
+        def fib(n):
+            if n < 2:
+                return n
+            frame = CilkFrame(rt)
+            a = frame.spawn(fib, n - 1)
+            b = frame.spawn(fib, n - 2)
+            frame.sync()
+            return a.join() + b.join()
+
+        assert rt.run(fib, 11) == 89
+
+    def test_sync_returns_results_in_fork_order(self):
+        rt = TaskRuntime()
+
+        def main():
+            frame = CilkFrame(rt)
+            for i in range(5):
+                frame.spawn(lambda i=i: i * 10)
+            assert frame.outstanding == 5
+            results = frame.sync()
+            assert frame.outstanding == 0
+            return results
+
+        assert rt.run(main) == [0, 10, 20, 30, 40]
+
+    def test_fully_strict_runs_are_kj_valid(self):
+        """Cilk's restriction means even KJ never needs the fallback."""
+        rt = TaskRuntime(policy="KJ-SS")
+
+        def fib(n):
+            if n < 2:
+                return n
+            with CilkFrame(rt) as frame:
+                a = frame.spawn(fib, n - 1)
+                b = frame.spawn(fib, n - 2)
+            return a.join() + b.join()
+
+        assert rt.run(fib, 9) == 34
+        assert rt.detector.stats.false_positives == 0
+
+    def test_context_manager_syncs_on_exit(self):
+        rt = TaskRuntime()
+        done = []
+
+        def main():
+            with CilkFrame(rt) as frame:
+                frame.spawn(lambda: done.append(1))
+            return list(done)
+
+        assert rt.run(main) == [1]
+
+    def test_failure_propagates_through_sync(self):
+        rt = TaskRuntime()
+
+        def main():
+            frame = CilkFrame(rt)
+            frame.spawn(lambda: 1 / 0)
+            frame.sync()
+
+        with pytest.raises(TaskFailedError):
+            rt.run(main)
+
+    def test_body_exception_wins_over_task_failure(self):
+        rt = TaskRuntime()
+
+        def main():
+            with CilkFrame(rt) as frame:
+                frame.spawn(lambda: 1 / 0)
+                raise ValueError("body")
+
+        with pytest.raises(ValueError, match="body"):
+            rt.run(main)

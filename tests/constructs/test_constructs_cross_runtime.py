@@ -1,0 +1,59 @@
+"""The high-level constructs work on every blocking runtime."""
+
+import operator
+
+import pytest
+
+from repro.constructs import CilkFrame, FinishAccumulator, finish
+from repro.runtime import TaskRuntime, WorkSharingRuntime
+
+
+def runtimes():
+    return [
+        ("threaded", lambda: TaskRuntime(policy="TJ-SP")),
+        ("pool", lambda: WorkSharingRuntime(policy="TJ-SP", workers=2, max_workers=64)),
+    ]
+
+
+@pytest.mark.parametrize("kind,factory", runtimes(), ids=["threaded", "pool"])
+class TestConstructsAcrossRuntimes:
+    def test_finish(self, kind, factory):
+        rt = factory()
+
+        def main():
+            with finish(rt) as scope:
+                def tree(d):
+                    if d:
+                        scope.async_(tree, d - 1)
+                        scope.async_(tree, d - 1)
+                    return 1
+
+                scope.async_(tree, 4)
+            return len(scope.results)
+
+        assert rt.run(main) == 31
+        assert rt.detector.stats.false_positives == 0
+
+    def test_accumulator(self, kind, factory):
+        rt = factory()
+
+        def main():
+            acc = FinishAccumulator(rt, op=operator.add, initial=0)
+            for i in range(20):
+                acc.put(lambda i=i: i)
+            return acc.get()
+
+        assert rt.run(main) == 190
+
+    def test_cilk(self, kind, factory):
+        rt = factory()
+
+        def fib(n):
+            if n < 2:
+                return n
+            with CilkFrame(rt) as frame:
+                a = frame.spawn(fib, n - 1)
+                b = frame.spawn(fib, n - 2)
+            return a.join() + b.join()
+
+        assert rt.run(fib, 9) == 34

@@ -1,0 +1,130 @@
+"""Cross-algorithm equivalence: every TJ verifier decides the same order.
+
+This is the central correctness property of Section 5: TJ-GT, TJ-JP,
+TJ-SP and TJ-OM are interchangeable implementations of the Theorem 3.15
+decision procedure, which in turn equals the rule-defined relation.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import make_policy
+from repro.formal.actions import Fork, Init
+from repro.formal.generators import (
+    balanced_fork_trace,
+    chain_fork_trace,
+    star_fork_trace,
+)
+from repro.formal.tj_relation import TJOrderOracle
+
+from ..conftest import fork_traces
+
+TJ_NAMES = ["TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM"]
+
+
+def replay_forks(policy, trace):
+    """Feed a fork trace through a policy; return task -> vertex map."""
+    vertices = {}
+    for action in trace:
+        if isinstance(action, Init):
+            vertices[action.task] = policy.add_child(None)
+        elif isinstance(action, Fork):
+            vertices[action.child] = policy.add_child(vertices[action.parent])
+    return vertices
+
+
+@pytest.mark.parametrize("name", TJ_NAMES)
+class TestAgainstOracle:
+    @settings(max_examples=100, deadline=None)
+    @given(trace=fork_traces(max_tasks=35))
+    def test_permits_equals_tj_order(self, name, trace):
+        policy = make_policy(name)
+        vertices = replay_forks(policy, trace)
+        oracle = TJOrderOracle.from_trace(trace)
+        tasks = oracle.sorted_tasks()
+        for a in tasks:
+            for b in tasks:
+                expected = a != b and oracle.less(a, b)
+                assert policy.permits(vertices[a], vertices[b]) == expected, (
+                    f"{name} disagrees on ({a}, {b})"
+                )
+
+    @pytest.mark.parametrize(
+        "shape",
+        [chain_fork_trace(60), star_fork_trace(60), balanced_fork_trace(63)],
+        ids=["chain", "star", "balanced"],
+    )
+    def test_degenerate_shapes(self, name, shape):
+        policy = make_policy(name)
+        vertices = replay_forks(policy, shape)
+        oracle = TJOrderOracle.from_trace(shape)
+        tasks = oracle.sorted_tasks()
+        import random
+
+        rng = random.Random(7)
+        for _ in range(300):
+            a, b = rng.choice(tasks), rng.choice(tasks)
+            expected = a != b and oracle.less(a, b)
+            assert policy.permits(vertices[a], vertices[b]) == expected
+
+    def test_root_is_minimum(self, name):
+        policy = make_policy(name)
+        root = policy.add_child(None)
+        kids = [policy.add_child(root) for _ in range(4)]
+        for k in kids:
+            assert policy.permits(root, k)
+            assert not policy.permits(k, root)
+
+    def test_irreflexive(self, name):
+        policy = make_policy(name)
+        root = policy.add_child(None)
+        child = policy.add_child(root)
+        assert not policy.permits(root, root)
+        assert not policy.permits(child, child)
+
+    def test_younger_sibling_may_join_older_subtree(self, name):
+        """The Section 2.1 closing principle."""
+        policy = make_policy(name)
+        root = policy.add_child(None)
+        older = policy.add_child(root)
+        older_kid = policy.add_child(older)
+        younger = policy.add_child(root)
+        younger_kid = policy.add_child(younger)
+        for lo in (younger, younger_kid):
+            for hi in (older, older_kid):
+                assert policy.permits(lo, hi)
+                assert not policy.permits(hi, lo)
+
+    def test_on_join_is_a_noop(self, name):
+        """Section 7.2: TJ verifiers update no state at joins."""
+        policy = make_policy(name)
+        root = policy.add_child(None)
+        a = policy.add_child(root)
+        b = policy.add_child(a)
+        before = policy.permits(root, b)
+        policy.on_join(root, a)
+        assert policy.permits(root, b) == before
+
+    def test_space_units_grow_with_tasks(self, name):
+        policy = make_policy(name)
+        root = policy.add_child(None)
+        s0 = policy.space_units()
+        node = root
+        for _ in range(20):
+            node = policy.add_child(node)
+        assert policy.space_units() > s0
+
+
+class TestPairwiseAgreement:
+    @settings(max_examples=50, deadline=None)
+    @given(trace=fork_traces(max_tasks=25))
+    def test_all_four_algorithms_agree(self, trace):
+        policies = [make_policy(n) for n in TJ_NAMES]
+        maps = [replay_forks(p, trace) for p in policies]
+        tasks = [a.task if isinstance(a, Init) else a.child for a in trace]
+        for a in tasks:
+            for b in tasks:
+                verdicts = {
+                    p.permits(m[a], m[b]) for p, m in zip(policies, maps)
+                }
+                assert len(verdicts) == 1

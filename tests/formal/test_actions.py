@@ -1,0 +1,64 @@
+"""Unit tests for the action/trace datatypes and the textual format."""
+
+import pytest
+
+from repro.formal.actions import (
+    Fork,
+    Init,
+    Join,
+    format_trace,
+    iter_forks,
+    iter_joins,
+    parse_trace,
+)
+
+
+class TestActionBasics:
+    def test_init_tasks(self):
+        assert Init("a").tasks() == ("a",)
+
+    def test_fork_tasks(self):
+        assert Fork("a", "b").tasks() == ("a", "b")
+
+    def test_join_tasks(self):
+        assert Join("a", "b").tasks() == ("a", "b")
+
+    def test_actions_are_hashable_and_comparable(self):
+        assert Fork("a", "b") == Fork("a", "b")
+        assert Fork("a", "b") != Fork("b", "a")
+        assert len({Init("a"), Init("a"), Join("a", "b")}) == 2
+
+    def test_str_forms(self):
+        assert str(Init("a")) == "init(a)"
+        assert str(Fork("a", "b")) == "fork(a, b)"
+        assert str(Join("x", "y")) == "join(x, y)"
+
+
+class TestTraceFormat:
+    def test_roundtrip(self):
+        trace = [Init("a"), Fork("a", "b"), Join("a", "b")]
+        assert parse_trace(format_trace(trace)) == trace
+
+    def test_parse_ignores_comments_and_blanks(self):
+        text = """
+        # a comment
+        init(a)
+
+        fork(a, b)  # trailing comment
+        join(a, b)
+        """
+        assert parse_trace(text) == [Init("a"), Fork("a", "b"), Join("a", "b")]
+
+    @pytest.mark.parametrize(
+        "bad", ["frk(a, b)", "init(a, b)", "fork(a)", "join a b", "fork(a, b"]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_trace(bad)
+
+
+class TestIterators:
+    def test_iter_forks_and_joins(self):
+        trace = [Init("a"), Fork("a", "b"), Join("a", "b"), Fork("b", "c")]
+        assert list(iter_forks(trace)) == [Fork("a", "b"), Fork("b", "c")]
+        assert list(iter_joins(trace)) == [Join("a", "b")]

@@ -1,0 +1,84 @@
+"""Unit tests for the Definition 3.9 deadlock checker."""
+
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.deadlock import contains_deadlock, find_join_cycle, join_graph
+from repro.formal.generators import random_deadlocking_trace
+
+import random
+
+
+def _base(n):
+    return [Init("t0")] + [Fork("t0", f"t{i}") for i in range(1, n)]
+
+
+class TestJoinGraph:
+    def test_empty(self):
+        assert join_graph(_base(3)) == {}
+
+    def test_edges(self):
+        trace = _base(3) + [Join("t0", "t1"), Join("t1", "t2")]
+        g = join_graph(trace)
+        assert g["t0"] == {"t1"}
+        assert g["t1"] == {"t2"}
+        assert g["t2"] == set()
+
+
+class TestFindJoinCycle:
+    def test_no_joins_no_deadlock(self):
+        assert find_join_cycle(_base(4)) is None
+
+    def test_chain_is_no_deadlock(self):
+        trace = _base(4) + [Join("t0", "t1"), Join("t1", "t2"), Join("t2", "t3")]
+        assert not contains_deadlock(trace)
+
+    def test_self_join_is_a_deadlock(self):
+        """Definition 3.9 with n = 0."""
+        trace = _base(2) + [Join("t1", "t1")]
+        cycle = find_join_cycle(trace)
+        assert cycle == ["t1"]
+
+    def test_two_cycle(self):
+        trace = _base(3) + [Join("t1", "t2"), Join("t2", "t1")]
+        cycle = find_join_cycle(trace)
+        assert cycle is not None and set(cycle) == {"t1", "t2"}
+
+    def test_long_cycle(self):
+        n = 6
+        trace = _base(n)
+        for i in range(1, n):
+            trace.append(Join(f"t{i}", f"t{i % (n - 1) + 1}"))
+        cycle = find_join_cycle(trace)
+        assert cycle is not None
+        assert set(cycle) == {f"t{i}" for i in range(1, n)}
+
+    def test_cycle_off_a_tail(self):
+        # t0 -> t1 -> t2 -> t1 : cycle {t1, t2} reached through a tail
+        trace = _base(3) + [Join("t0", "t1"), Join("t1", "t2"), Join("t2", "t1")]
+        cycle = find_join_cycle(trace)
+        assert cycle is not None and set(cycle) == {"t1", "t2"}
+
+    def test_diamond_without_cycle(self):
+        trace = _base(4) + [
+            Join("t0", "t1"),
+            Join("t0", "t2"),
+            Join("t1", "t3"),
+            Join("t2", "t3"),
+        ]
+        assert not contains_deadlock(trace)
+
+    def test_generator_plants_cycles(self):
+        for seed in range(10):
+            trace = random_deadlocking_trace(random.Random(seed), 12, cycle_len=3)
+            assert contains_deadlock(trace)
+
+    def test_deep_chain_no_recursion_error(self):
+        """The DFS is iterative; a 10k-long chain must not blow the stack."""
+        n = 10_000
+        trace = [Init("t0")]
+        for i in range(1, n):
+            trace.append(Fork(f"t{i-1}", f"t{i}"))
+        for i in range(n - 1):
+            trace.append(Join(f"t{i}", f"t{i+1}"))
+        assert not contains_deadlock(trace)
+        trace.append(Join(f"t{n-1}", "t0"))
+        assert contains_deadlock(trace)

@@ -1,0 +1,172 @@
+"""Tests for explicit TJ derivation trees (proof objects)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.derivations import (
+    Derivation,
+    TJLeft,
+    TJMono,
+    TJRight,
+    check_derivation,
+    derive,
+)
+from repro.formal.tj_relation import TJOrderOracle
+
+from ..conftest import fork_traces
+
+FIG1 = [
+    Init("a"),
+    Fork("a", "b"),
+    Fork("b", "c"),
+    Fork("a", "d"),
+    Fork("d", "e"),
+]
+
+
+class TestDeriveExamples:
+    def test_parent_child(self):
+        trace = [Init("a"), Fork("a", "b")]
+        d = derive(trace, "a", "b")
+        assert isinstance(d, TJLeft)
+        assert d.premise is None  # reflexive half of <=
+        assert check_derivation(trace, d)
+
+    def test_grandchild_uses_two_lefts(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c")]
+        d = derive(trace, "a", "c")
+        assert isinstance(d, TJLeft)
+        assert isinstance(d.premise, TJLeft)
+        assert check_derivation(trace, d)
+
+    def test_sibling_uses_right(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        d = derive(trace, "c", "b")
+        assert isinstance(d, (TJRight, TJMono))
+        assert check_derivation(trace, d)
+
+    def test_figure1_transitive_permission(self):
+        """e < c in Figure 1 (right): the judgment KJ cannot make."""
+        d = derive(FIG1, "e", "c")
+        assert d is not None
+        assert d.conclusion == ("e", "c")
+        assert check_derivation(FIG1, d)
+
+    def test_false_judgments_have_no_derivation(self):
+        assert derive(FIG1, "b", "a") is None  # child on parent
+        assert derive(FIG1, "b", "d") is None  # older sibling on younger
+        assert derive(FIG1, "c", "e") is None
+        assert derive(FIG1, "a", "a") is None  # irreflexive
+        assert derive(FIG1, "a", "zz") is None  # unknown task
+
+    def test_out_of_order_subtrees(self):
+        """b's whole subtree forked before a's branch: the premise order
+        in the sibling case must still respect fork positions."""
+        trace = [
+            Init("r"),
+            Fork("r", "old"),
+            Fork("old", "og1"),
+            Fork("og1", "og2"),
+            Fork("r", "young"),
+            Fork("young", "yg"),
+        ]
+        for lo in ("young", "yg"):
+            for hi in ("old", "og1", "og2"):
+                d = derive(trace, lo, hi)
+                assert d is not None, (lo, hi)
+                assert check_derivation(trace, d), (lo, hi)
+
+    def test_joins_do_not_disturb_derivations(self):
+        trace = FIG1 + [Join("a", "b"), Join("d", "c")]
+        d = derive(trace, "e", "c")
+        assert d is not None and check_derivation(trace, d)
+
+
+class TestCheckerRejectsBogusProofs:
+    def test_wrong_conclusion(self):
+        trace = [Init("a"), Fork("a", "b")]
+        bogus = TJLeft(("b", "a"), 1, None)  # claims b < a
+        assert not check_derivation(trace, bogus)
+
+    def test_fork_index_pointing_at_non_fork(self):
+        trace = [Init("a"), Fork("a", "b")]
+        bogus = TJLeft(("a", "b"), 0, None)  # index 0 is the init
+        assert not check_derivation(trace, bogus)
+
+    def test_reflexive_premise_with_wrong_parent(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c")]
+        bogus = TJLeft(("a", "c"), 2, None)  # claims a = parent(c) = b
+        assert not check_derivation(trace, bogus)
+
+    def test_scope_violation(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        # a < b is derivable at index 1, but a rule node must conclude
+        # exactly at its fork: presenting it as a whole-trace conclusion
+        # without a TJ-mono wrapper is rejected.
+        unweakened = TJLeft(("a", "b"), 1, None)
+        assert not check_derivation(trace, unweakened)
+        weakened = TJMono(("a", "b"), 2, unweakened)
+        assert check_derivation(trace, weakened)
+
+    def test_mono_must_preserve_conclusion(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        inner = TJLeft(("a", "b"), 1, None)
+        bogus = TJMono(("a", "c"), 2, inner)
+        assert not check_derivation(trace, bogus)
+
+    def test_premise_conclusion_mismatch(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c")]
+        wrong_premise = TJLeft(("a", "b"), 1, None)
+        bogus = TJRight(("c", "b"), 2, wrong_premise)  # needs (b, b)
+        assert not check_derivation(trace, bogus)
+
+
+class TestSoundnessAndCompleteness:
+    @settings(max_examples=80, deadline=None)
+    @given(trace=fork_traces(max_tasks=20))
+    def test_derive_complete_and_checkable(self, trace):
+        """A derivation exists exactly for the true judgments, and every
+        constructed derivation passes the independent checker."""
+        oracle = TJOrderOracle.from_trace(trace)
+        tasks = oracle.sorted_tasks()
+        for a in tasks:
+            for b in tasks:
+                d = derive(trace, a, b)
+                if a != b and oracle.less(a, b):
+                    assert d is not None, (a, b)
+                    assert d.conclusion == (a, b)
+                    assert check_derivation(trace, d), (a, b)
+                else:
+                    assert d is None, (a, b)
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace=fork_traces(max_tasks=16))
+    def test_each_rule_consumes_a_distinct_fork(self, trace):
+        """Structural sanity: along any root-to-leaf path of a derivation
+        the consumed fork indices strictly decrease (premises live in
+        strictly shorter prefixes)."""
+        oracle = TJOrderOracle.from_trace(trace)
+        tasks = oracle.sorted_tasks()
+
+        def max_index(d: Derivation) -> int:
+            if isinstance(d, TJMono):
+                return check_path(d.premise, d.prefix_len)
+            return d.fork_index
+
+        def check_path(d: Derivation, scope: int) -> int:
+            if isinstance(d, TJMono):
+                assert d.prefix_len <= scope
+                return check_path(d.premise, d.prefix_len)
+            assert d.fork_index < scope
+            if isinstance(d, TJRight):
+                check_path(d.premise, d.fork_index)
+            elif d.premise is not None:
+                check_path(d.premise, d.fork_index)
+            return d.fork_index
+
+        for a in tasks:
+            for b in tasks:
+                if a != b and oracle.less(a, b):
+                    d = derive(trace, a, b)
+                    check_path(d, len(trace) + 1)

@@ -1,0 +1,75 @@
+"""Small-scope exhaustive verification of the paper's theorems."""
+
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.exhaustive import (
+    check_decision_procedure,
+    check_maximality,
+    check_soundness,
+    check_subsumption,
+    check_total_order,
+    enumerate_traces,
+)
+
+
+class TestEnumeration:
+    def test_counts_for_tiny_scope(self):
+        # 1 task, no joins: just the init trace
+        assert sum(1 for _ in enumerate_traces(1, 0)) == 1
+        # 2 tasks, no joins: init, and init+fork
+        assert sum(1 for _ in enumerate_traces(2, 0)) == 2
+        # 2 tasks, 1 join: adds init+fork+join(a,b) and +join(b,a),
+        # plus join-less prefixes
+        assert sum(1 for _ in enumerate_traces(2, 1)) == 4
+
+    def test_canonical_naming(self):
+        for trace in enumerate_traces(3, 0):
+            forked = [a.child for a in trace if isinstance(a, Fork)]
+            assert forked == [f"t{i}" for i in range(1, len(forked) + 1)]
+
+    def test_all_traces_structurally_valid(self):
+        from repro.formal.trace import is_structurally_valid
+
+        for trace in enumerate_traces(3, 2):
+            assert is_structurally_valid(trace)
+
+    def test_prefix_closed(self):
+        traces = {tuple(t) for t in enumerate_traces(3, 1)}
+        for t in traces:
+            if len(t) > 1:
+                assert t[:-1] in traces
+
+
+class TestTheoremsExhaustively:
+    def test_theorem_311_soundness(self):
+        report = check_soundness(max_tasks=4, max_joins=3)
+        assert report.ok, report.counterexample
+        assert report.traces == 25_600
+        assert report.satisfying > 3000  # plenty of TJ-valid traces seen
+
+    def test_theorem_311_soundness_wider_trees(self):
+        report = check_soundness(max_tasks=5, max_joins=2)
+        assert report.ok, report.counterexample
+        assert report.traces == 29_200
+
+    def test_corollary_44_subsumption(self):
+        report = check_subsumption(max_tasks=4, max_joins=3)
+        assert report.ok, report.counterexample
+        assert report.satisfying > 2000
+
+    def test_kj_valid_strictly_fewer(self):
+        sound = check_soundness(max_tasks=4, max_joins=3)
+        subs = check_subsumption(max_tasks=4, max_joins=3)
+        assert subs.satisfying < sound.satisfying  # KJ-valid ⊊ TJ-valid
+
+    def test_theorem_310_total_order(self):
+        report = check_total_order(max_tasks=5)
+        assert report.ok, report.counterexample
+        assert report.traces == 34  # trees on <= 5 canonical nodes: 1+1+2+6+24
+
+    def test_theorems_315_317_decision_procedure(self):
+        report = check_decision_procedure(max_tasks=5)
+        assert report.ok, report.counterexample
+
+    def test_maximality(self):
+        report = check_maximality(max_tasks=5)
+        assert report.ok, report.counterexample

@@ -1,0 +1,62 @@
+"""Experiment E4: the two example programs of Figure 1 as traces.
+
+Left program: a forks b then d; b forks c; d joins b and then joins c.
+Accepted by both KJ (d learns c by joining b first) and TJ.
+
+Right program: same forks, then d forks e, and e joins c directly without
+any intermediate join.  Accepted only by TJ (transitivity through b).
+"""
+
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.kj_relation import KJKnowledge
+from repro.formal.tj_relation import derive_tj_pairs
+from repro.formal.trace import is_kj_valid, is_tj_valid
+
+FORKS = [
+    Init("a"),
+    Fork("a", "b"),
+    Fork("b", "c"),
+    Fork("a", "d"),
+]
+
+LEFT = FORKS + [Join("d", "b"), Join("d", "c")]
+RIGHT = FORKS + [Fork("d", "e"), Join("e", "c")]
+
+
+class TestFigure1Left:
+    def test_kj_accepts(self):
+        assert is_kj_valid(LEFT)
+
+    def test_tj_accepts(self):
+        assert is_tj_valid(LEFT)
+
+    def test_tj_permits_second_join_even_without_first(self):
+        """Rule III: d < c holds via b whether or not d joins b."""
+        skipping_first_join = FORKS + [Join("d", "c")]
+        assert is_tj_valid(skipping_first_join)
+        assert not is_kj_valid(skipping_first_join)
+
+
+class TestFigure1Right:
+    def test_kj_rejects(self):
+        assert not is_kj_valid(RIGHT)
+
+    def test_tj_accepts(self):
+        assert is_tj_valid(RIGHT)
+
+    def test_e_inherits_permission_on_b_but_not_knowledge_of_c(self):
+        k = KJKnowledge.from_trace(FORKS + [Fork("d", "e")])
+        assert k.knows("e", "b")
+        assert not k.knows("e", "c")
+
+    def test_tj_permission_edges_of_the_figure(self):
+        pairs = derive_tj_pairs(FORKS + [Fork("d", "e")])
+        # every fork edge is a permission edge (rule I)
+        for parent, child in [("a", "b"), ("b", "c"), ("a", "d"), ("d", "e")]:
+            assert (parent, child) in pairs
+        # inheritance (rule II): d and e may join b
+        assert ("d", "b") in pairs and ("e", "b") in pairs
+        # transitivity (rule III): d and e may join c
+        assert ("d", "c") in pairs and ("e", "c") in pairs
+        # and never the other way around
+        assert ("c", "e") not in pairs and ("b", "d") not in pairs

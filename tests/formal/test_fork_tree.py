@@ -1,0 +1,180 @@
+"""Unit and property tests for the fork tree, lca+ and the <_T decision
+procedure (Definitions 3.12-3.14, Theorem 3.15)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidActionError
+from repro.formal.actions import Fork, Init
+from repro.formal.fork_tree import AncPlus, DecStar, ForkTree, Sib
+from repro.formal.tj_relation import TJOrderOracle
+
+from ..conftest import fork_traces
+
+
+@pytest.fixture
+def small_tree():
+    #        a
+    #      / | \
+    #     b  d  f      (fork order: b, d, f)
+    #     |  |
+    #     c  e
+    t = ForkTree()
+    t.add_root("a")
+    t.add_child("a", "b")
+    t.add_child("b", "c")
+    t.add_child("a", "d")
+    t.add_child("d", "e")
+    t.add_child("a", "f")
+    return t
+
+
+class TestConstruction:
+    def test_root(self, small_tree):
+        assert small_tree.root == "a"
+        assert small_tree.parent("a") is None
+        assert small_tree.depth("a") == 0
+
+    def test_parent_child(self, small_tree):
+        assert small_tree.parent("c") == "b"
+        assert small_tree.children("a") == ("b", "d", "f")
+
+    def test_indices_follow_fork_order(self, small_tree):
+        assert small_tree.index("b") == 0
+        assert small_tree.index("d") == 1
+        assert small_tree.index("f") == 2
+
+    def test_depth_and_height(self, small_tree):
+        assert small_tree.depth("e") == 2
+        assert small_tree.height() == 2
+
+    def test_len_and_contains(self, small_tree):
+        assert len(small_tree) == 6
+        assert "e" in small_tree
+        assert "zz" not in small_tree
+
+    def test_duplicate_root_rejected(self, small_tree):
+        with pytest.raises(InvalidActionError):
+            small_tree.add_root("zz")
+
+    def test_fork_of_existing_task_rejected(self, small_tree):
+        with pytest.raises(InvalidActionError):
+            small_tree.add_child("a", "b")
+
+    def test_fork_from_unknown_parent_rejected(self, small_tree):
+        with pytest.raises(InvalidActionError):
+            small_tree.add_child("nope", "x")
+
+    def test_from_trace(self):
+        t = ForkTree.from_trace([Init("a"), Fork("a", "b")])
+        assert t.children("a") == ("b",)
+
+
+class TestPaths:
+    def test_path_from_root(self, small_tree):
+        assert small_tree.path_from_root("e") == ["a", "d", "e"]
+        assert small_tree.path_from_root("a") == ["a"]
+
+    def test_spawn_path(self, small_tree):
+        assert small_tree.spawn_path("a") == ()
+        assert small_tree.spawn_path("c") == (0, 0)
+        assert small_tree.spawn_path("e") == (1, 0)
+        assert small_tree.spawn_path("f") == (2,)
+
+    def test_is_ancestor(self, small_tree):
+        assert small_tree.is_ancestor("a", "e")
+        assert small_tree.is_ancestor("d", "e")
+        assert not small_tree.is_ancestor("e", "d")
+        assert not small_tree.is_ancestor("b", "e")
+        assert not small_tree.is_ancestor("a", "a")
+
+
+class TestLcaPlus:
+    def test_ancestor_case(self, small_tree):
+        assert small_tree.lca_plus("a", "e") == AncPlus()
+        assert small_tree.lca_plus("d", "e") == AncPlus()
+
+    def test_descendant_and_equal_case(self, small_tree):
+        assert small_tree.lca_plus("e", "d") == DecStar()
+        assert small_tree.lca_plus("e", "e") == DecStar()
+
+    def test_sibling_case(self, small_tree):
+        assert small_tree.lca_plus("c", "e") == Sib("b", "d")
+        assert small_tree.lca_plus("e", "c") == Sib("d", "b")
+        assert small_tree.lca_plus("b", "d") == Sib("b", "d")
+
+    def test_sibling_case_mixed_depth(self, small_tree):
+        assert small_tree.lca_plus("c", "f") == Sib("b", "f")
+        assert small_tree.lca_plus("f", "c") == Sib("f", "b")
+
+    def test_lca(self, small_tree):
+        assert small_tree.lca("c", "e") == "a"
+        assert small_tree.lca("a", "e") == "a"
+        assert small_tree.lca("e", "d") == "d"
+
+
+class TestLessDecisionProcedure:
+    """Theorem 3.15 case-by-case."""
+
+    def test_ancestor_is_less(self, small_tree):
+        assert small_tree.less("a", "e")
+        assert small_tree.less("d", "e")
+
+    def test_descendant_is_not_less(self, small_tree):
+        assert not small_tree.less("e", "d")
+        assert not small_tree.less("e", "a")
+
+    def test_irreflexive(self, small_tree):
+        for t in small_tree.tasks():
+            assert not small_tree.less(t, t)
+
+    def test_younger_sibling_subtree_is_less(self, small_tree):
+        # d forked after b => d < b, and d's subtree is below b's subtree
+        assert small_tree.less("d", "b")
+        assert small_tree.less("e", "b")
+        assert small_tree.less("e", "c")
+        assert small_tree.less("f", "e")
+
+    def test_older_sibling_subtree_is_not_less(self, small_tree):
+        assert not small_tree.less("b", "d")
+        assert not small_tree.less("c", "e")
+
+    def test_preorder_matches_expected(self, small_tree):
+        # ascending <: root, then youngest subtree first
+        assert small_tree.preorder() == ["a", "f", "d", "e", "b", "c"]
+
+
+class TestAgainstOracle:
+    @settings(max_examples=150)
+    @given(fork_traces(max_tasks=40))
+    def test_less_matches_order_oracle(self, trace):
+        """Theorem 3.17: the lca+ procedure decides the TJ rule order."""
+        tree = ForkTree.from_trace(trace)
+        oracle = TJOrderOracle.from_trace(trace)
+        tasks = oracle.sorted_tasks()
+        for a in tasks:
+            for b in tasks:
+                assert tree.less(a, b) == (a != b and oracle.less(a, b))
+
+    @settings(max_examples=100)
+    @given(fork_traces(max_tasks=40))
+    def test_preorder_equals_oracle_order(self, trace):
+        tree = ForkTree.from_trace(trace)
+        oracle = TJOrderOracle.from_trace(trace)
+        assert tree.preorder() == oracle.sorted_tasks()
+
+    @settings(max_examples=100)
+    @given(fork_traces(max_tasks=30))
+    def test_lca_plus_total_and_consistent(self, trace):
+        tree = ForkTree.from_trace(trace)
+        tasks = list(tree.tasks())
+        for a in tasks:
+            for b in tasks:
+                kind = tree.lca_plus(a, b)
+                if isinstance(kind, AncPlus):
+                    assert tree.is_ancestor(a, b)
+                elif isinstance(kind, DecStar):
+                    assert a == b or tree.is_ancestor(b, a)
+                else:
+                    assert tree.parent(kind.a_branch) == tree.parent(kind.b_branch)
+                    assert kind.a_branch != kind.b_branch

@@ -1,0 +1,182 @@
+"""KJ proof objects and the executable Theorem 4.3 translation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.derivations import check_derivation
+from repro.formal.kj_derivations import (
+    KJChild,
+    KJInherit,
+    KJLearn,
+    KJMono,
+    check_kj_derivation,
+    derive_kj,
+    translate_kj_to_tj,
+)
+from repro.formal.kj_relation import KJKnowledge
+
+from ..conftest import kj_valid_traces
+
+
+LEARN_TRACE = [
+    Init("a"),
+    Fork("a", "b"),
+    Fork("b", "c"),
+    Join("a", "b"),  # a learns c
+]
+
+
+class TestDeriveKJ:
+    def test_child(self):
+        trace = [Init("a"), Fork("a", "b")]
+        d = derive_kj(trace, "a", "b")
+        assert isinstance(d, KJChild)
+        assert check_kj_derivation(trace, d)
+
+    def test_inherit(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        d = derive_kj(trace, "c", "b")
+        assert isinstance(d, KJInherit)
+        assert check_kj_derivation(trace, d)
+
+    def test_learn(self):
+        d = derive_kj(LEARN_TRACE, "a", "c")
+        assert isinstance(d, KJLearn)
+        assert check_kj_derivation(LEARN_TRACE, d)
+
+    def test_mono_wrapping(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c"), Fork("a", "d")]
+        d = derive_kj(trace, "a", "b")  # established early, queried late
+        assert check_kj_derivation(trace, d) or isinstance(d, KJChild)
+        # the checker requires explicit weakening at full scope:
+        from repro.formal.kj_derivations import _weaken
+
+        assert check_kj_derivation(trace, _weaken(d, len(trace)))
+
+    def test_absent_pairs(self):
+        assert derive_kj(LEARN_TRACE, "b", "a") is None
+        assert derive_kj(LEARN_TRACE, "c", "a") is None
+        assert derive_kj(LEARN_TRACE, "a", "a") is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(trace=kj_valid_traces(max_tasks=12, max_joins=12))
+    def test_matches_semantic_reference(self, trace):
+        knowledge = KJKnowledge.from_trace(trace)
+        tasks = [a.task if isinstance(a, Init) else a.child
+                 for a in trace if not isinstance(a, Join)]
+        from repro.formal.kj_derivations import _weaken
+
+        for a in tasks:
+            for b in tasks:
+                d = derive_kj(trace, a, b)
+                if knowledge.knows(a, b):
+                    assert d is not None
+                    assert d.conclusion == (a, b)
+                    assert check_kj_derivation(trace, _weaken(d, len(trace)))
+                else:
+                    assert d is None
+
+
+class TestKJCheckerRejectsBogus:
+    def test_wrong_child_pair(self):
+        trace = [Init("a"), Fork("a", "b")]
+        assert not check_kj_derivation(trace, KJChild(("b", "a"), 1))
+
+    def test_child_at_non_fork(self):
+        trace = [Init("a"), Fork("a", "b"), Join("a", "b")]
+        assert not check_kj_derivation(trace, KJChild(("a", "b"), 2))
+
+    def test_learn_with_wrong_waiter(self):
+        d = derive_kj(LEARN_TRACE, "a", "c")
+        assert isinstance(d, KJLearn)
+        bogus = KJLearn(("b", "c"), d.join_index, d.premise)
+        assert not check_kj_derivation(LEARN_TRACE, bogus)
+
+    def test_mono_conclusion_mismatch(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        inner = KJChild(("a", "b"), 1)
+        assert not check_kj_derivation(trace, KJMono(("a", "c"), 2, inner))
+
+
+class TestTheorem43Translation:
+    def test_child_translates_to_left(self):
+        trace = [Init("a"), Fork("a", "b")]
+        tj = translate_kj_to_tj(trace, derive_kj(trace, "a", "b"))
+        assert tj.conclusion == ("a", "b")
+        assert check_derivation(trace, tj)
+
+    def test_learn_translates_via_composition(self):
+        from repro.formal.kj_derivations import _weaken
+
+        kj = _weaken(derive_kj(LEARN_TRACE, "a", "c"), len(LEARN_TRACE))
+        tj = translate_kj_to_tj(LEARN_TRACE, kj)
+        assert tj.conclusion == ("a", "c")
+        assert check_derivation(LEARN_TRACE, tj)
+
+    def test_chained_learns(self):
+        trace = [
+            Init("r"),
+            Fork("r", "a"),
+            Fork("a", "b"),
+            Fork("b", "c"),
+            Join("a", "b"),  # a learns c
+            Join("r", "a"),  # r learns b and c
+        ]
+        from repro.formal.kj_derivations import _weaken
+
+        for target in ("a", "b", "c"):
+            kj = derive_kj(trace, "r", target)
+            assert kj is not None
+            tj = translate_kj_to_tj(trace, _weaken(kj, len(trace)))
+            assert tj.conclusion == ("r", target)
+            assert check_derivation(trace, tj)
+
+    def test_invalid_trace_can_even_derive_reflexive_knowledge(self):
+        """On a trace violating valid-join-R, raw KJ-learn can conclude
+        the absurd ``b ≺ b`` (b joins its parent and learns about
+        itself).  Theorem 4.3's hypothesis fails and the translation
+        refuses rather than fabricating a TJ proof — as it must, since
+        ``b < b`` is underivable (Lemma 3.5)."""
+        bad = [
+            Init("r"),
+            Fork("r", "a"),
+            Fork("a", "b"),
+            Fork("b", "c"),
+            Join("b", "a"),  # b joining its parent: never KJ-permitted
+        ]
+        kj = derive_kj(bad, "b", "b")
+        assert isinstance(kj, KJLearn)  # K(a) ∋ b flowed back into b
+        assert check_kj_derivation(bad, kj)  # a real Def-4.1 derivation!
+        with pytest.raises(ValueError, match="not KJ-valid"):
+            translate_kj_to_tj(bad, kj)
+
+    def test_invalid_learn_raises(self):
+        bad = [
+            Init("r"),
+            Fork("r", "a"),
+            Fork("r", "b"),
+            Fork("b", "c"),
+            Join("a", "b"),  # a does NOT know b (b forked later): invalid
+        ]
+        kj = derive_kj(bad, "a", "c")  # derived via the invalid learn
+        assert kj is not None
+        with pytest.raises(ValueError, match="not KJ-valid"):
+            translate_kj_to_tj(bad, kj)
+
+    @settings(max_examples=50, deadline=None)
+    @given(trace=kj_valid_traces(max_tasks=10, max_joins=10))
+    def test_every_kj_pair_translates_and_checks(self, trace):
+        """Theorem 4.3 end to end: every KJ judgment's derivation
+        translates to a checkable TJ derivation of the same pair."""
+        from repro.formal.kj_derivations import _weaken
+
+        knowledge = KJKnowledge.from_trace(trace)
+        tasks = [a.task if isinstance(a, Init) else a.child
+                 for a in trace if not isinstance(a, Join)]
+        for a in tasks:
+            for b in sorted(knowledge.knowledge_of(a), key=str):
+                kj = _weaken(derive_kj(trace, a, b), len(trace))
+                tj = translate_kj_to_tj(trace, kj)
+                assert tj.conclusion == (a, b)
+                assert check_derivation(trace, tj), (a, b)

@@ -1,0 +1,101 @@
+"""Unit tests for the KJ knowledge semantics (Definition 4.1)."""
+
+import pytest
+
+from repro.errors import InvalidActionError
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.kj_relation import KJKnowledge, derive_kj_pairs, kj_knows
+
+
+class TestKJRules:
+    def test_kj_child(self):
+        k = KJKnowledge.from_trace([Init("a"), Fork("a", "b")])
+        assert k.knows("a", "b")
+
+    def test_child_does_not_know_parent(self):
+        k = KJKnowledge.from_trace([Init("a"), Fork("a", "b")])
+        assert not k.knows("b", "a")
+
+    def test_child_does_not_know_itself(self):
+        k = KJKnowledge.from_trace([Init("a"), Fork("a", "b")])
+        assert not k.knows("b", "b")
+
+    def test_kj_inherit_passes_older_siblings(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        k = KJKnowledge.from_trace(trace)
+        assert k.knows("c", "b")  # c inherited a's knowledge of b
+        assert not k.knows("b", "c")  # b forked first, knows nothing of c
+
+    def test_inherit_is_a_snapshot_not_a_reference(self):
+        # d inherits a's knowledge at fork time; a's later knowledge does
+        # not retroactively appear in d.
+        trace = [Init("a"), Fork("a", "d"), Fork("a", "e")]
+        k = KJKnowledge.from_trace(trace)
+        assert not k.knows("d", "e")
+
+    def test_kj_learn_transfers_joinee_knowledge(self):
+        # a forks b, b forks c; a joins b and thereby learns c.
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c")]
+        k = KJKnowledge.from_trace(trace)
+        assert not k.knows("a", "c")  # not before the join
+        k.join("a", "b")
+        assert k.knows("a", "c")  # learned
+
+    def test_no_transitivity_without_join(self):
+        # The Figure 1 (left) scenario: d may not join c under KJ until it
+        # joins b.
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "d"), Fork("b", "c")]
+        k = KJKnowledge.from_trace(trace)
+        assert k.knows("d", "b")
+        assert not k.knows("d", "c")
+        k.join("d", "b")
+        assert k.knows("d", "c")
+
+    def test_nobody_knows_the_root(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c"), Join("b", "c")]
+        k = KJKnowledge.from_trace(trace)
+        for t in ["a", "b", "c"]:
+            assert not k.knows(t, "a")
+
+
+class TestStructuralErrors:
+    def test_double_init(self):
+        k = KJKnowledge()
+        k.init("a")
+        with pytest.raises(InvalidActionError):
+            k.init("b")
+
+    def test_fork_unknown_parent(self):
+        k = KJKnowledge()
+        k.init("a")
+        with pytest.raises(InvalidActionError):
+            k.fork("zz", "b")
+
+    def test_fork_existing_child(self):
+        k = KJKnowledge()
+        k.init("a")
+        with pytest.raises(InvalidActionError):
+            k.fork("a", "a")
+
+    def test_join_unknown_task(self):
+        k = KJKnowledge()
+        k.init("a")
+        with pytest.raises(InvalidActionError):
+            k.join("a", "zz")
+
+
+class TestHelpers:
+    def test_derive_kj_pairs(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        assert derive_kj_pairs(trace) == {("a", "b"), ("a", "c"), ("c", "b")}
+
+    def test_kj_knows_helper(self):
+        trace = [Init("a"), Fork("a", "b")]
+        assert kj_knows(trace, "a", "b")
+        assert not kj_knows(trace, "b", "a")
+
+    def test_knowledge_of(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        k = KJKnowledge.from_trace(trace)
+        assert k.knowledge_of("a") == frozenset({"b", "c"})
+        assert len(k) == 3 and "c" in k

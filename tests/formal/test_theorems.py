@@ -1,0 +1,147 @@
+"""Property-based tests of the paper's lemmas and theorems.
+
+Each test names the statement it checks.  These run on randomly generated
+traces via hypothesis; together with the unit tests they constitute the
+executable counterpart of Section 3 and Section 4.
+"""
+
+from hypothesis import given, settings
+
+from repro.formal.actions import Join
+from repro.formal.deadlock import contains_deadlock
+from repro.formal.fork_tree import ForkTree
+from repro.formal.kj_relation import KJKnowledge
+from repro.formal.tj_relation import TJOrderOracle, derive_tj_pairs
+from repro.formal.trace import is_kj_valid, is_tj_valid
+
+from ..conftest import (
+    fork_traces,
+    kj_valid_traces,
+    tj_valid_traces,
+    traces_with_arbitrary_joins,
+)
+
+
+class TestLemma35Irreflexivity:
+    @settings(max_examples=100)
+    @given(fork_traces(max_tasks=15))
+    def test_a_never_less_than_a(self, trace):
+        pairs = derive_tj_pairs(trace)
+        assert all(a != b for a, b in pairs)
+
+
+class TestLemma38Transitivity:
+    @settings(max_examples=80)
+    @given(fork_traces(max_tasks=14))
+    def test_less_is_transitive(self, trace):
+        pairs = derive_tj_pairs(trace)
+        for a, b in pairs:
+            for b2, c in pairs:
+                if b == b2:
+                    assert (a, c) in pairs
+
+
+class TestTheorem310TotalOrder:
+    @settings(max_examples=100)
+    @given(fork_traces(max_tasks=16))
+    def test_trichotomy(self, trace):
+        pairs = derive_tj_pairs(trace)
+        tasks = TJOrderOracle.from_trace(trace).sorted_tasks()
+        for a in tasks:
+            for b in tasks:
+                if a == b:
+                    assert (a, b) not in pairs
+                else:
+                    assert ((a, b) in pairs) != ((b, a) in pairs)
+
+
+class TestTheorem311DeadlockFreedom:
+    @settings(max_examples=150)
+    @given(tj_valid_traces())
+    def test_tj_valid_traces_contain_no_deadlock(self, trace):
+        assert is_tj_valid(trace)
+        assert not contains_deadlock(trace)
+
+    @settings(max_examples=150)
+    @given(traces_with_arbitrary_joins())
+    def test_deadlocking_traces_are_never_tj_valid(self, trace):
+        """Contrapositive on arbitrary join patterns."""
+        if contains_deadlock(trace):
+            assert not is_tj_valid(trace)
+
+
+class TestTheorem315317Preorder:
+    @settings(max_examples=100)
+    @given(fork_traces(max_tasks=25))
+    def test_rule_relation_is_the_tree_preorder(self, trace):
+        """t ⊢ a < b iff the lca+ decision procedure says a <_T b."""
+        pairs = derive_tj_pairs(trace)
+        tree = ForkTree.from_trace(trace)
+        tasks = list(tree.tasks())
+        for a in tasks:
+            for b in tasks:
+                assert tree.less(a, b) == ((a, b) in pairs)
+
+    @settings(max_examples=100)
+    @given(fork_traces(max_tasks=25))
+    def test_corollary_316_uniqueness(self, trace):
+        """There is at most one <_T: the preorder list is a permutation of
+        the tasks fully determined by the fork tree."""
+        tree = ForkTree.from_trace(trace)
+        order = tree.preorder()
+        assert sorted(map(str, order)) == sorted(map(str, tree.tasks()))
+        # strictly sorted by less:
+        assert all(tree.less(order[i], order[i + 1]) for i in range(len(order) - 1))
+
+
+class TestTheorem43Subsumption:
+    @settings(max_examples=120)
+    @given(kj_valid_traces())
+    def test_kj_knowledge_implies_tj_permission(self, trace):
+        """If t is KJ-valid then a ≺ b implies a < b."""
+        assert is_kj_valid(trace)
+        knowledge = KJKnowledge.from_trace(trace)
+        oracle = TJOrderOracle.from_trace(trace)
+        for a in oracle.sorted_tasks():
+            for b in knowledge.knowledge_of(a):
+                assert oracle.less(a, b)
+
+    @settings(max_examples=120)
+    @given(kj_valid_traces())
+    def test_corollary_44_kj_valid_is_tj_valid(self, trace):
+        assert is_tj_valid(trace)
+
+    def test_subsumption_is_strict(self):
+        """Section 2.3: a TJ-valid trace that is not KJ-valid — the root
+        joins a grandchild before joining the intervening child."""
+        from repro.formal.actions import Fork, Init
+
+        trace = [
+            Init("main"),
+            Fork("main", "child"),
+            Fork("child", "grandchild"),
+            Join("main", "grandchild"),
+        ]
+        assert is_tj_valid(trace)
+        assert not is_kj_valid(trace)
+
+
+class TestMaximality:
+    """Section 4's closing remark: adding any pair to the TJ order admits
+    a deadlock.  We check the trace-level content: for any two distinct
+    tasks with b < a, there is a deadlocking completion that a policy
+    permitting join(a, b) would accept."""
+
+    @settings(max_examples=60)
+    @given(fork_traces(min_tasks=2, max_tasks=10))
+    def test_reverse_pair_completes_to_deadlock(self, trace):
+        oracle = TJOrderOracle.from_trace(trace)
+        tasks = oracle.sorted_tasks()
+        # pick the extremes: a = minimum, b = maximum, so b < a fails
+        a, b = tasks[0], tasks[-1]
+        if a == b:
+            return
+        # join(a, b) is TJ-permitted; join(b, a) is not.  Allowing both
+        # yields a cycle — the witness that the order cannot be extended.
+        bad = list(trace) + [Join(a, b), Join(b, a)]
+        assert contains_deadlock(bad)

@@ -1,0 +1,104 @@
+"""Unit and property tests for the TJ relation implementations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import InvalidActionError
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.tj_relation import TJOrderOracle, derive_tj_pairs, tj_less
+
+from ..conftest import fork_traces
+
+
+class TestDeriveTJPairs:
+    def test_single_task_has_empty_relation(self):
+        assert derive_tj_pairs([Init("a")]) == set()
+
+    def test_parent_less_than_child(self):
+        pairs = derive_tj_pairs([Init("a"), Fork("a", "b")])
+        assert pairs == {("a", "b")}
+
+    def test_tj_left_propagates_through_ancestors(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c")]
+        pairs = derive_tj_pairs(trace)
+        assert ("a", "c") in pairs  # grandparent < grandchild
+
+    def test_tj_right_makes_young_sibling_smaller(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        pairs = derive_tj_pairs(trace)
+        assert ("c", "b") in pairs  # c forked later: c < b
+        assert ("b", "c") not in pairs
+
+    def test_figure1_left_permission(self):
+        # a forks b, then d; b forks c.  d inherits a's permission on b and
+        # transitively on c, without joining b first.
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "d"), Fork("b", "c")]
+        pairs = derive_tj_pairs(trace)
+        assert ("d", "b") in pairs
+        assert ("d", "c") in pairs  # the transitive step KJ lacks
+
+    def test_joins_add_nothing(self):
+        base = [Init("a"), Fork("a", "b"), Fork("b", "c")]
+        with_join = base + [Join("a", "b")]
+        assert derive_tj_pairs(base) == derive_tj_pairs(with_join)
+
+    def test_rejects_fork_from_unknown(self):
+        with pytest.raises(InvalidActionError):
+            derive_tj_pairs([Init("a"), Fork("zz", "b")])
+
+    def test_rejects_duplicate_task(self):
+        with pytest.raises(InvalidActionError):
+            derive_tj_pairs([Init("a"), Fork("a", "a")])
+
+    def test_rejects_action_before_init(self):
+        with pytest.raises(InvalidActionError):
+            derive_tj_pairs([Fork("a", "b")])
+
+
+class TestOrderOracle:
+    def test_insert_after_parent(self):
+        o = TJOrderOracle()
+        o.init("a")
+        o.fork("a", "b")
+        o.fork("a", "c")
+        o.fork("b", "d")
+        # order: a, c, b, d  (c younger sibling of b; d child of b)
+        assert o.sorted_tasks() == ["a", "c", "b", "d"]
+
+    def test_less_is_position_comparison(self):
+        o = TJOrderOracle()
+        o.init("a")
+        o.fork("a", "b")
+        assert o.less("a", "b")
+        assert not o.less("b", "a")
+        assert not o.less("a", "a")
+
+    def test_contains_and_len(self):
+        o = TJOrderOracle()
+        o.init("a")
+        assert "a" in o and "b" not in o and len(o) == 1
+
+    def test_double_init_rejected(self):
+        o = TJOrderOracle()
+        o.init("a")
+        with pytest.raises(InvalidActionError):
+            o.init("b")
+
+    def test_tj_less_helper(self):
+        trace = [Init("a"), Fork("a", "b")]
+        assert tj_less(trace, "a", "b")
+        assert not tj_less(trace, "b", "a")
+
+
+class TestEquivalenceOfImplementations:
+    @settings(max_examples=120)
+    @given(fork_traces(max_tasks=18))
+    def test_rule_derivation_equals_oracle(self, trace):
+        """The inductive rule computation and the insert-after-parent list
+        produce the same relation on every fork tree."""
+        pairs = derive_tj_pairs(trace)
+        order = TJOrderOracle.from_trace(trace).sorted_tasks()
+        expected = {
+            (a, b) for i, a in enumerate(order) for b in order[i + 1 :]
+        }
+        assert pairs == expected

@@ -1,0 +1,116 @@
+"""Unit tests for the Definition 3.2 validation engine."""
+
+import pytest
+
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.trace import (
+    FreeFamily,
+    KJFamily,
+    TJFamily,
+    is_kj_valid,
+    is_structurally_valid,
+    is_tj_valid,
+    validate_trace,
+)
+
+
+GOOD = [Init("a"), Fork("a", "b"), Join("a", "b")]
+
+
+class TestStructuralRules:
+    def test_good_trace(self):
+        assert is_structurally_valid(GOOD)
+
+    def test_empty_trace_is_valid_vacuously(self):
+        assert is_structurally_valid([])
+
+    def test_action_before_init(self):
+        assert not is_structurally_valid([Fork("a", "b")])
+
+    def test_duplicate_init(self):
+        assert not is_structurally_valid([Init("a"), Init("b")])
+
+    def test_fork_from_unknown(self):
+        assert not is_structurally_valid([Init("a"), Fork("zz", "b")])
+
+    def test_fork_of_existing(self):
+        assert not is_structurally_valid([Init("a"), Fork("a", "a")])
+
+    def test_join_on_unknown(self):
+        assert not is_structurally_valid([Init("a"), Join("a", "zz")])
+
+
+class TestPolicyValidation:
+    def test_tj_accepts_parent_child_join(self):
+        assert is_tj_valid(GOOD)
+
+    def test_tj_rejects_child_joining_parent(self):
+        trace = [Init("a"), Fork("a", "b"), Join("b", "a")]
+        assert not is_tj_valid(trace)
+
+    def test_kj_accepts_parent_child_join(self):
+        assert is_kj_valid(GOOD)
+
+    def test_kj_rejects_grandchild_join_without_learning(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c"), Join("a", "c")]
+        assert not is_kj_valid(trace)
+        assert is_tj_valid(trace)
+
+    def test_kj_accepts_after_learning(self):
+        trace = [
+            Init("a"),
+            Fork("a", "b"),
+            Fork("b", "c"),
+            Join("a", "b"),
+            Join("a", "c"),
+        ]
+        assert is_kj_valid(trace)
+
+
+class TestValidationResult:
+    def test_verdicts_enumerate_actions(self):
+        result = validate_trace(GOOD, TJFamily)
+        assert len(result.verdicts) == 3
+        assert result.valid and bool(result)
+        assert result.first_violation is None
+
+    def test_violation_reporting(self):
+        trace = [Init("a"), Fork("a", "b"), Join("b", "a"), Join("a", "b")]
+        result = validate_trace(trace, TJFamily)
+        assert not result.valid
+        v = result.first_violation
+        assert v is not None and v.index == 2
+        assert "does not permit" in v.reason
+        assert len(result.rejected_joins) == 1
+        # validation continued past the rejected join:
+        assert result.verdicts[3].ok
+
+    def test_stop_on_violation(self):
+        trace = [Init("a"), Fork("a", "b"), Join("b", "a"), Join("a", "b")]
+        result = validate_trace(trace, TJFamily, stop_on_violation=True)
+        assert len(result.verdicts) == 3
+
+    def test_rejected_join_does_not_update_kj_state(self):
+        """An aborted join must not leak KJ-learn knowledge."""
+        trace = [
+            Init("a"),
+            Fork("a", "b"),
+            Fork("b", "c"),
+            Fork("a", "d"),
+            # d joining b is KJ-legal; b's knowledge {c} transfers to d.
+            # But first, an *illegal* join by d on c must not grant d
+            # anything even with continue-past-violation semantics.
+            Join("d", "c"),
+            Join("d", "c"),
+        ]
+        result = validate_trace(trace, KJFamily)
+        assert [v.ok for v in result.verdicts] == [True] * 4 + [False, False]
+
+    def test_policy_names(self):
+        assert validate_trace(GOOD, TJFamily).policy == "TJ"
+        assert validate_trace(GOOD, KJFamily).policy == "KJ"
+        assert validate_trace(GOOD, FreeFamily).policy == "free"
+
+    def test_tasks_collected(self):
+        result = validate_trace(GOOD, TJFamily)
+        assert result.tasks == {"a", "b"}

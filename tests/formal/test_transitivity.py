@@ -1,0 +1,89 @@
+"""Executable Lemma 3.8: structural composition of TJ derivations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.formal.actions import Fork, Init
+from repro.formal.derivations import check_derivation, derive
+from repro.formal.tj_relation import TJOrderOracle
+from repro.formal.transitivity import compose
+
+from ..conftest import fork_traces
+
+
+class TestComposeExamples:
+    def test_grandparent_through_parent(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c")]
+        d_ab = derive(trace, "a", "b")
+        d_bc = derive(trace, "b", "c")
+        d_ac = compose(trace, d_ab, d_bc)
+        assert d_ac.conclusion == ("a", "c")
+        assert check_derivation(trace, d_ac)
+
+    def test_through_sibling_order(self):
+        # a forks b then c then d: d < c < b
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c"), Fork("a", "d")]
+        d_dc = derive(trace, "d", "c")
+        d_cb = derive(trace, "c", "b")
+        d_db = compose(trace, d_dc, d_cb)
+        assert d_db.conclusion == ("d", "b")
+        assert check_derivation(trace, d_db)
+
+    def test_mixed_ancestor_and_sibling(self):
+        trace = [
+            Init("r"),
+            Fork("r", "old"),
+            Fork("old", "og"),
+            Fork("r", "young"),
+            Fork("young", "yg"),
+        ]
+        # yg < young < old (sibling), old < og (ancestor)
+        d1 = compose(trace, derive(trace, "yg", "old"), derive(trace, "old", "og"))
+        assert d1.conclusion == ("yg", "og")
+        assert check_derivation(trace, d1)
+
+    def test_non_chaining_inputs_rejected(self):
+        trace = [Init("a"), Fork("a", "b"), Fork("a", "c")]
+        with pytest.raises(ValueError, match="do not chain"):
+            compose(trace, derive(trace, "a", "b"), derive(trace, "a", "c"))
+
+    def test_composition_is_associative_in_validity(self):
+        """(d1;d2);d3 and d1;(d2;d3) both check (trees may differ)."""
+        trace = [Init("a"), Fork("a", "b"), Fork("b", "c"), Fork("c", "d")]
+        d1 = derive(trace, "a", "b")
+        d2 = derive(trace, "b", "c")
+        d3 = derive(trace, "c", "d")
+        left = compose(trace, compose(trace, d1, d2), d3)
+        right = compose(trace, d1, compose(trace, d2, d3))
+        assert left.conclusion == right.conclusion == ("a", "d")
+        assert check_derivation(trace, left)
+        assert check_derivation(trace, right)
+
+
+class TestComposeProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=fork_traces(max_tasks=14))
+    def test_every_adjacent_pair_composes(self, trace):
+        """For all consecutive x < y < z in the total order, composing
+        the two step derivations yields a checkable derivation of x < z
+        — without ever calling derive on the composite pair."""
+        order = TJOrderOracle.from_trace(trace).sorted_tasks()
+        for i in range(len(order) - 2):
+            x, y, z = order[i], order[i + 1], order[i + 2]
+            d = compose(trace, derive(trace, x, y), derive(trace, y, z))
+            assert d.conclusion == (x, z)
+            assert check_derivation(trace, d), (x, y, z)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=fork_traces(max_tasks=10))
+    def test_arbitrary_chains_compose(self, trace):
+        """Fold a whole chain x0 < x1 < ... < xk down to x0 < xk."""
+        order = TJOrderOracle.from_trace(trace).sorted_tasks()
+        if len(order) < 3:
+            return
+        acc = derive(trace, order[0], order[1])
+        for i in range(1, len(order) - 1):
+            step = derive(trace, order[i], order[i + 1])
+            acc = compose(trace, acc, step)
+            assert acc.conclusion == (order[0], order[i + 1])
+            assert check_derivation(trace, acc)

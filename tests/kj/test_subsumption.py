@@ -1,0 +1,39 @@
+"""Theorem 4.3 at the verifier level: whatever a KJ verifier permits, every
+TJ verifier permits too — and strictly more."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import make_policy
+from repro.formal.actions import Fork, Init, Join
+
+from ..conftest import kj_valid_traces
+from .test_kj_policies import replay as replay_kj
+from ..core.test_policies_common import replay_forks
+
+
+@pytest.mark.parametrize("kj_name", ["KJ-VC", "KJ-SS", "KJ-CC"])
+@pytest.mark.parametrize("tj_name", ["TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM"])
+class TestVerifierLevelSubsumption:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=kj_valid_traces())
+    def test_kj_permission_implies_tj_permission(self, kj_name, tj_name, trace):
+        kj = make_policy(kj_name)
+        tj = make_policy(tj_name)
+        kj_vertices = replay_kj(kj, trace)
+        tj_vertices = replay_forks(tj, trace)
+        tasks = list(kj_vertices)
+        for a in tasks:
+            for b in tasks:
+                if kj.permits(kj_vertices[a], kj_vertices[b]):
+                    assert tj.permits(tj_vertices[a], tj_vertices[b])
+
+    def test_strictness_grandchild_join(self, kj_name, tj_name):
+        """The Listing 1/NQueens pattern: root joins a grandchild first."""
+        trace = [Init("r"), Fork("r", "c"), Fork("c", "g")]
+        kj = make_policy(kj_name)
+        tj = make_policy(tj_name)
+        kjv = replay_kj(kj, trace)
+        tjv = replay_forks(tj, trace)
+        assert not kj.permits(kjv["r"], kjv["g"])
+        assert tj.permits(tjv["r"], tjv["g"])

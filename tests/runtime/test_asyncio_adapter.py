@@ -1,0 +1,208 @@
+"""Tests for the asyncio adapter runtime."""
+
+import asyncio
+
+import pytest
+
+from repro import (
+    DeadlockAvoidedError,
+    PolicyViolationError,
+    TaskFailedError,
+)
+from repro.errors import RuntimeStateError
+from repro.runtime import AsyncioRuntime
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestBasics:
+    def test_fork_and_await(self):
+        rt = AsyncioRuntime()
+
+        async def child():
+            return 21
+
+        async def main():
+            fut = rt.fork(child)
+            return 2 * await fut
+
+        assert run(rt.run(main)) == 42
+
+    def test_join_method(self):
+        rt = AsyncioRuntime()
+
+        async def child():
+            return "x"
+
+        async def main():
+            fut = rt.fork(child)
+            return await fut.join()
+
+        assert run(rt.run(main)) == "x"
+
+    def test_nested_forks(self):
+        rt = AsyncioRuntime()
+
+        async def fib(n):
+            if n < 2:
+                return n
+            a = rt.fork(fib, n - 1)
+            b = rt.fork(fib, n - 2)
+            return await a + await b
+
+        assert run(rt.run(fib, 10)) == 55
+
+    def test_current_task_tracking(self):
+        rt = AsyncioRuntime()
+
+        async def child():
+            return rt.current_task().name
+
+        async def main():
+            me = rt.current_task().name
+            other = await rt.fork(child)
+            return me, other
+
+        me, other = run(rt.run(main))
+        assert me == "root" and other != "root"
+
+    def test_failure_wrapped(self):
+        rt = AsyncioRuntime()
+
+        async def bad():
+            raise ValueError("inner")
+
+        async def main():
+            fut = rt.fork(bad)
+            with pytest.raises(TaskFailedError) as exc_info:
+                await fut
+            assert isinstance(exc_info.value.__cause__, ValueError)
+            return "ok"
+
+        assert run(rt.run(main)) == "ok"
+
+    def test_repr_and_done(self):
+        rt = AsyncioRuntime()
+
+        async def main():
+            fut = rt.fork(asyncio.sleep, 0)
+            assert "pending" in repr(fut)
+            await fut
+            assert fut.done() and "done" in repr(fut)
+
+        run(rt.run(main))
+
+
+class TestStateErrors:
+    def test_fork_outside_run(self):
+        rt = AsyncioRuntime()
+
+        async def orphan():
+            with pytest.raises(RuntimeStateError):
+                rt.fork(asyncio.sleep, 0)
+
+        run(orphan())
+
+    def test_run_twice(self):
+        rt = AsyncioRuntime()
+
+        async def main():
+            return 1
+
+        run(rt.run(main))
+        with pytest.raises(RuntimeStateError):
+            run(rt.run(main))
+
+    def test_foreign_future(self):
+        rt1, rt2 = AsyncioRuntime(), AsyncioRuntime()
+
+        async def program():
+            async def child():
+                return 1
+
+            async def main1():
+                return rt1.fork(child)
+
+            fut = await rt1.run(main1)
+
+            async def main2():
+                with pytest.raises(RuntimeStateError):
+                    await rt2._join(fut)
+
+            await rt2.run(main2)
+
+        run(program())
+
+
+class TestDeadlockAvoidance:
+    def test_mutual_await_is_refused_not_hung(self):
+        rt = AsyncioRuntime(policy="TJ-SP")
+
+        async def program():
+            box = {}
+            outcomes = []
+
+            async def worker(me, other):
+                while other not in box:
+                    await asyncio.sleep(0)
+                try:
+                    return await box[other]
+                except DeadlockAvoidedError:
+                    outcomes.append(me)
+                    return f"{me}-recovered"
+
+            async def main():
+                box["a"] = rt.fork(worker, "a", "b")
+                box["b"] = rt.fork(worker, "b", "a")
+                return await box["a"], await box["b"]
+
+            results = await rt.run(main)
+            return outcomes, results
+
+        outcomes, _ = run(program())
+        assert len(outcomes) == 1
+        assert rt.detector.stats.deadlocks_avoided == 1
+
+    def test_policy_violation_without_fallback(self):
+        rt = AsyncioRuntime(policy="TJ-SP", fallback=False)
+
+        async def main():
+            box = {}
+            gate = asyncio.Event()
+
+            async def selfish():
+                await gate.wait()
+                with pytest.raises(PolicyViolationError):
+                    await box["me"]
+                return "faulted"
+
+            box["me"] = rt.fork(selfish)
+            gate.set()
+            return await box["me"]
+
+        assert run(rt.run(main)) == "faulted"
+
+    def test_grandchild_await_tj_vs_kj(self):
+        async def program(policy):
+            rt = AsyncioRuntime(policy=policy)
+            box = {}
+
+            async def child():
+                box["g"] = rt.fork(asyncio.sleep, 0, result=7)
+                return 1
+
+            async def main():
+                rt.fork(child)
+                while "g" not in box:
+                    await asyncio.sleep(0)
+                return await box["g"]
+
+            value = await rt.run(main)
+            return value, rt.detector.stats.false_positives
+
+        value, tj_fp = run(program("TJ-SP"))
+        assert value == 7 and tj_fp == 0
+        value, kj_fp = run(program("KJ-SS"))
+        assert value == 7 and kj_fp == 1

@@ -1,0 +1,70 @@
+"""Unit tests for current-task tracking."""
+
+import threading
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime.context import current_task, require_current_task, task_scope
+from repro.runtime.task import TaskHandle, TaskState
+
+
+def make_task(name):
+    return TaskHandle(vertex=object(), name=name)
+
+
+class TestTaskScope:
+    def test_scope_installs_and_restores(self):
+        t = make_task("t")
+        assert current_task() is None
+        with task_scope(t):
+            assert current_task() is t
+        assert current_task() is None
+
+    def test_nested_scopes(self):
+        outer, inner = make_task("outer"), make_task("inner")
+        with task_scope(outer):
+            with task_scope(inner):
+                assert current_task() is inner
+            assert current_task() is outer
+
+    def test_scope_restores_on_exception(self):
+        t = make_task("t")
+        with pytest.raises(ValueError):
+            with task_scope(t):
+                raise ValueError("boom")
+        assert current_task() is None
+
+    def test_thread_isolation(self):
+        t = make_task("main-thread-task")
+        seen = []
+
+        def other():
+            seen.append(current_task())
+
+        with task_scope(t):
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_require_current_task(self):
+        with pytest.raises(RuntimeStateError, match="no current task"):
+            require_current_task()
+        t = make_task("t")
+        with task_scope(t):
+            assert require_current_task() is t
+
+
+class TestTaskHandle:
+    def test_identity_semantics(self):
+        a, b = make_task("x"), make_task("x")
+        assert a != b and a == a
+        assert len({a, b}) == 2
+
+    def test_unique_uids_and_repr(self):
+        a, b = make_task("a"), make_task("b")
+        assert a.uid != b.uid
+        assert "created" in repr(a)
+        a.state = TaskState.RUNNING
+        assert "running" in repr(a)

@@ -1,0 +1,132 @@
+"""Tests for the concurrent.futures-style verified executor."""
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlockAvoidedError, RuntimeStateError, TaskFailedError
+from repro.runtime.executor import VerifiedExecutor
+
+
+class TestExecutorBasics:
+    def test_submit_and_result(self):
+        with VerifiedExecutor(max_workers=2) as ex:
+            fut = ex.submit(pow, 2, 10)
+            assert ex.result(fut) == 1024
+
+    def test_map_preserves_order(self):
+        with VerifiedExecutor(max_workers=4) as ex:
+            assert list(ex.map(lambda x: x * x, range(8))) == [
+                x * x for x in range(8)
+            ]
+
+    def test_map_multiple_iterables(self):
+        with VerifiedExecutor() as ex:
+            assert list(ex.map(lambda a, b: a + b, [1, 2], [10, 20])) == [11, 22]
+
+    def test_task_failure(self):
+        with VerifiedExecutor() as ex:
+            fut = ex.submit(lambda: 1 / 0)
+            with pytest.raises(TaskFailedError) as exc_info:
+                ex.result(fut)
+            assert isinstance(exc_info.value.__cause__, ZeroDivisionError)
+
+    def test_submit_after_shutdown(self):
+        ex = VerifiedExecutor()
+        ex.shutdown()
+        with pytest.raises(RuntimeStateError):
+            ex.submit(lambda: 1)
+
+    def test_shutdown_waits_for_outstanding_work(self):
+        done = []
+        ex = VerifiedExecutor(max_workers=2)
+        gate = threading.Event()
+
+        def slow():
+            gate.wait()
+            done.append(1)
+
+        for _ in range(4):
+            ex.submit(slow)
+        gate.set()
+        ex.shutdown(wait=True)
+        assert len(done) == 4
+
+    def test_shutdown_is_idempotent(self):
+        ex = VerifiedExecutor()
+        ex.shutdown()
+        ex.shutdown()
+
+
+class TestNestedParallelism:
+    def test_nested_submit_does_not_starve_the_pool(self):
+        """The stdlib ThreadPoolExecutor deadlock case: tasks submitting
+        and waiting on subtasks, with fewer workers than waiters."""
+        with VerifiedExecutor(max_workers=2) as ex:
+
+            def fib(n):
+                if n < 2:
+                    return n
+                a = ex.submit(fib, n - 1)
+                b = ex.submit(fib, n - 2)
+                return a.join() + b.join()
+
+            fut = ex.submit(fib, 10)
+            assert ex.result(fut) == 55
+        assert ex.runtime.compensations > 0 or ex.runtime.peak_workers >= 2
+
+    def test_cyclic_result_waits_are_refused(self):
+        with VerifiedExecutor(max_workers=4) as ex:
+            box = {}
+            ready = threading.Event()
+            outcomes = []
+
+            def t1():
+                ready.wait()
+                try:
+                    return box["f2"].join()
+                except DeadlockAvoidedError:
+                    outcomes.append("t1")
+                    return 1
+
+            def t2():
+                try:
+                    return box["f1"].join()
+                except DeadlockAvoidedError:
+                    outcomes.append("t2")
+                    return 2
+
+            box["f1"] = ex.submit(t1)
+            box["f2"] = ex.submit(t2)
+            ready.set()
+            ex.result(box["f1"])
+            ex.result(box["f2"])
+            assert len(outcomes) == 1
+            assert ex.detector.stats.deadlocks_avoided == 1
+
+    def test_verification_counts(self):
+        with VerifiedExecutor(max_workers=2, policy="TJ-SP") as ex:
+            futs = [ex.submit(lambda: 1) for _ in range(6)]
+            for f in futs:
+                ex.result(f)
+            assert ex.verifier.stats.joins_checked == 6
+            assert ex.detector.stats.false_positives == 0
+
+    def test_external_joins_from_multiple_threads(self):
+        """Several plain threads using the same executor concurrently."""
+        with VerifiedExecutor(max_workers=4) as ex:
+            results = []
+            lock = threading.Lock()
+
+            def user(i):
+                fut = ex.submit(lambda: i * 2)
+                value = ex.result(fut)
+                with lock:
+                    results.append(value)
+
+            threads = [threading.Thread(target=user, args=(i,)) for i in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert sorted(results) == [i * 2 for i in range(8)]

@@ -1,0 +1,131 @@
+"""Tests for schedule exploration — turning the paper's 'may violate KJ'
+claims into checked EXISTS/FORALL statements."""
+
+import pytest
+
+from repro.errors import RuntimeStateError
+from repro.runtime import CooperativeRuntime
+from repro.runtime.explore import explore_schedules, fuzz_schedules
+
+
+def racy_queue_join_program(rt):
+    """A miniature Listing 1: the root drains a queue of futures that
+    tasks append to while running.  Depending on interleaving, the root
+    may pop a grandchild before its parent."""
+    tasks = []
+
+    def f(depth):
+        if depth > 0:
+            tasks.append(rt.fork(f, depth - 1))
+        yield None  # a preemption point between fork and return
+        return 1
+
+    def main():
+        tasks.append(rt.fork(f, 2))
+        total = 0
+        while tasks:
+            total += yield tasks.pop()  # LIFO pop: deepest-first when racy
+        return total
+
+    return main
+
+
+def straight_line_program(rt):
+    def main():
+        a = rt.fork(lambda: 1)
+        b = rt.fork(lambda: 2)
+        va = yield a
+        vb = yield b
+        return va + vb
+
+    return main
+
+
+class TestExploreSchedules:
+    def test_all_schedules_compute_the_same_result(self):
+        result = explore_schedules(racy_queue_join_program, policy="TJ-SP")
+        assert result.exhausted
+        assert result.schedules > 1  # genuinely multiple interleavings
+        assert result.distinct_results() == {"3"}
+
+    def test_tj_is_clean_on_every_schedule(self):
+        """FORALL schedules: no TJ false positives (Listing 1's claim)."""
+        result = explore_schedules(racy_queue_join_program, policy="TJ-SP")
+        assert result.exhausted
+        assert not result.any_fallback
+        assert not result.any_deadlock
+
+    def test_kj_violated_on_some_but_not_all_schedules(self):
+        """EXISTS a schedule violating KJ, and EXISTS one that does not —
+        the literal meaning of 'nondeterministically violates KJ'."""
+        result = explore_schedules(racy_queue_join_program, policy="KJ-SS")
+        assert result.exhausted
+        assert result.any_fallback
+        assert not result.all_fallback
+        assert not result.any_deadlock  # deadlock-free either way
+
+    def test_deterministic_program_has_one_effective_schedule_class(self):
+        result = explore_schedules(straight_line_program, policy="TJ-SP")
+        assert result.exhausted
+        assert result.distinct_results() == {"3"}
+
+    def test_bound_reported_when_hit(self):
+        result = explore_schedules(
+            racy_queue_join_program, policy="TJ-SP", max_schedules=2
+        )
+        assert not result.exhausted
+        assert result.schedules == 2
+
+    def test_schedules_are_distinct(self):
+        result = explore_schedules(racy_queue_join_program, policy="KJ-VC")
+        schedules = [o.schedule for o in result.outcomes]
+        assert len(schedules) == len(set(schedules))
+
+
+class TestFuzzSchedules:
+    def test_fuzzing_is_reproducible(self):
+        r1 = fuzz_schedules(racy_queue_join_program, policy="KJ-SS", runs=10, seed=5)
+        r2 = fuzz_schedules(racy_queue_join_program, policy="KJ-SS", runs=10, seed=5)
+        assert [o.schedule for o in r1.outcomes] == [o.schedule for o in r2.outcomes]
+        assert [o.false_positives for o in r1.outcomes] == [
+            o.false_positives for o in r2.outcomes
+        ]
+
+    def test_fuzzing_finds_the_kj_violation(self):
+        result = fuzz_schedules(racy_queue_join_program, policy="KJ-SS", runs=30)
+        assert result.any_fallback
+
+    def test_results_agree_across_fuzzing(self):
+        result = fuzz_schedules(racy_queue_join_program, policy="TJ-SP", runs=20)
+        assert result.distinct_results() == {"3"}
+
+
+class TestSchedulerHook:
+    def test_custom_scheduler_controls_order(self):
+        log = []
+
+        def lifo_scheduler(width):
+            return width - 1
+
+        rt = CooperativeRuntime(scheduler=lifo_scheduler)
+
+        def worker(i):
+            log.append(i)
+            return i
+
+        def main():
+            futs = [rt.fork(worker, i) for i in range(3)]
+            for f in futs:
+                yield f
+
+        rt.run(main)
+        assert log == [2, 1, 0]  # LIFO ran the youngest first
+
+    def test_bad_scheduler_index_rejected(self):
+        rt = CooperativeRuntime(scheduler=lambda width: width + 5)
+
+        def main():
+            yield rt.fork(lambda: 1)
+
+        with pytest.raises(RuntimeStateError, match="scheduler returned"):
+            rt.run(main)

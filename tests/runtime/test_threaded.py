@@ -1,0 +1,305 @@
+"""Unit and integration tests for the blocking (thread-per-task) runtime."""
+
+import threading
+
+import pytest
+
+from repro import (
+    DeadlockAvoidedError,
+    PolicyViolationError,
+    TaskFailedError,
+    TaskRuntime,
+)
+from repro.errors import RuntimeStateError
+from repro.runtime import current_task
+
+
+class TestBasics:
+    def test_fork_join_result(self):
+        rt = TaskRuntime()
+
+        def main():
+            return rt.fork(lambda: 21).join() * 2
+
+        assert rt.run(main) == 42
+
+    def test_nested_forks(self):
+        rt = TaskRuntime()
+
+        def fib(n):
+            if n < 2:
+                return n
+            a = rt.fork(fib, n - 1)
+            b = rt.fork(fib, n - 2)
+            return a.join() + b.join()
+
+        assert rt.run(fib, 10) == 55
+
+    def test_args_and_kwargs(self):
+        rt = TaskRuntime()
+
+        def child(x, y=0):
+            return x + y
+
+        def main():
+            return rt.fork(child, 1, y=2).join()
+
+        assert rt.run(main) == 3
+
+    def test_get_alias(self):
+        rt = TaskRuntime()
+
+        def main():
+            return rt.fork(lambda: "ok").get()
+
+        assert rt.run(main) == "ok"
+
+    def test_run_returns_root_exceptions(self):
+        rt = TaskRuntime()
+        with pytest.raises(ValueError, match="boom"):
+            rt.run(lambda: (_ for _ in ()).throw(ValueError("boom")))
+
+    def test_task_exception_wrapped_at_join(self):
+        rt = TaskRuntime()
+
+        def bad():
+            raise ValueError("inner")
+
+        def main():
+            fut = rt.fork(bad)
+            with pytest.raises(TaskFailedError) as exc_info:
+                fut.join()
+            assert isinstance(exc_info.value.__cause__, ValueError)
+            return "recovered"
+
+        assert rt.run(main) == "recovered"
+
+    def test_future_repr_and_done(self):
+        rt = TaskRuntime()
+
+        def main():
+            gate = threading.Event()
+            fut = rt.fork(gate.wait)
+            assert not fut.done()
+            assert "pending" in repr(fut)
+            gate.set()
+            fut.join()
+            assert fut.done()
+            assert "done" in repr(fut)
+
+        rt.run(main)
+
+    def test_current_task_inside_and_outside(self):
+        rt = TaskRuntime()
+        assert current_task() is None
+
+        def main():
+            assert current_task() is not None
+            names = rt.fork(lambda: current_task().name).join()
+            return names
+
+        assert rt.run(main).startswith("task-")
+        assert current_task() is None
+
+
+class TestStateErrors:
+    def test_fork_outside_task(self):
+        rt = TaskRuntime()
+        with pytest.raises(RuntimeStateError):
+            rt.fork(lambda: 1)
+
+    def test_join_outside_task(self):
+        rt = TaskRuntime()
+
+        def main():
+            return rt.fork(lambda: 1)
+
+        fut = rt.run(main)
+        with pytest.raises(RuntimeStateError):
+            fut.join()
+
+    def test_run_twice(self):
+        rt = TaskRuntime()
+        rt.run(lambda: None)
+        with pytest.raises(RuntimeStateError, match="already hosted"):
+            rt.run(lambda: None)
+
+    def test_foreign_future(self):
+        rt1 = TaskRuntime()
+        rt2 = TaskRuntime()
+
+        def main1():
+            return rt1.fork(lambda: 1)
+
+        fut = rt1.run(main1)
+
+        def main2():
+            with pytest.raises(RuntimeStateError, match="different runtime"):
+                rt2.join(fut)
+
+        rt2.run(main2)
+
+
+class TestPolicyEnforcement:
+    def test_child_joining_parent_faults_without_fallback(self):
+        rt = TaskRuntime(policy="TJ-SP", fallback=False)
+
+        def main():
+            box = {}
+            started = threading.Event()
+
+            def child():
+                started.wait()
+                with pytest.raises(PolicyViolationError):
+                    box["own_future"].join()
+                return "faulted-as-expected"
+
+            fut = rt.fork(child)
+            # Hand the child a future it must not join: its own (the order
+            # is irreflexive; a permitted self-join would block forever).
+            box["own_future"] = fut
+            started.set()
+            return fut.join()
+
+        assert rt.run(main) == "faulted-as-expected"
+
+    def test_grandchild_join_ok_under_tj_flagged_under_kj(self):
+        def program(rt):
+            def main():
+                grand_fut = {}
+
+                def child():
+                    grand_fut["g"] = rt.fork(lambda: 7)
+                    return 1
+
+                c = rt.fork(child)
+                c.join()
+                return grand_fut["g"].join()
+
+            return rt.run(main)
+
+        tj = TaskRuntime(policy="TJ-SP")
+        assert program(tj) == 7
+        assert tj.detector.stats.false_positives == 0
+
+        kj = TaskRuntime(policy="KJ-SS")
+        assert program(kj) == 7
+        # under KJ the grandchild join is rejected... except the join on the
+        # child transferred knowledge (KJ-learn), so it is actually known.
+        assert kj.detector.stats.false_positives == 0
+
+    def test_unordered_descendant_joins_trip_kj_fallback(self):
+        """The Listing-1 pattern: join the grandchild *before* the child."""
+
+        def program(rt):
+            def main():
+                futures = {}
+
+                def child():
+                    futures["g"] = rt.fork(lambda: 7)
+                    return 1
+
+                futures["c"] = rt.fork(child)
+                # wait (unchecked) for the grandchild future to exist
+                while "g" not in futures:
+                    pass
+                total = futures["g"].join()  # KJ-invalid: g unknown to root
+                total += futures["c"].join()
+                return total
+
+            return rt.run(main)
+
+        tj = TaskRuntime(policy="TJ-SP")
+        assert program(tj) == 8
+        assert tj.detector.stats.false_positives == 0
+
+        kj = TaskRuntime(policy="KJ-VC")
+        assert program(kj) == 8
+        assert kj.detector.stats.false_positives == 1
+
+    def test_real_deadlock_avoided(self):
+        """Two tasks joining each other: one receives DeadlockAvoidedError."""
+        rt = TaskRuntime(policy="TJ-SP")
+
+        def main():
+            box = {}
+            f2_ready = threading.Event()
+            outcome = []
+
+            def task1():
+                f2_ready.wait()
+                try:
+                    return box["f2"].join()
+                except DeadlockAvoidedError:
+                    outcome.append("t1-avoided")
+                    return "t1"
+
+            def task2():
+                try:
+                    return box["f1"].join()
+                except DeadlockAvoidedError:
+                    outcome.append("t2-avoided")
+                    return "t2"
+
+            box["f1"] = rt.fork(task1)
+            box["f2"] = rt.fork(task2)
+            f2_ready.set()
+            r1 = box["f1"].join()
+            r2 = box["f2"].join()
+            return outcome, (r1, r2)
+
+        outcome, _ = rt.run(main)
+        assert len(outcome) == 1  # exactly one side was refused
+        assert rt.detector.stats.deadlocks_avoided == 1
+
+    def test_null_policy_checks_nothing(self):
+        rt = TaskRuntime(policy=None)
+
+        def main():
+            return rt.fork(lambda: 5).join()
+
+        assert rt.run(main) == 5
+        assert rt.verifier.stats.joins_checked == 1
+        assert rt.verifier.stats.joins_rejected == 0
+
+
+class TestScale:
+    def test_many_tasks_star(self):
+        rt = TaskRuntime(policy="TJ-SP")
+        n = 200
+
+        def main():
+            futs = [rt.fork(lambda i=i: i) for i in range(n)]
+            return sum(f.join() for f in futs)
+
+        assert rt.run(main) == n * (n - 1) // 2
+        assert rt.threads_started == n
+
+    def test_join_same_future_twice(self):
+        rt = TaskRuntime(policy="TJ-SP")
+
+        def main():
+            fut = rt.fork(lambda: 9)
+            return fut.join() + fut.join()
+
+        assert rt.run(main) == 18
+
+    def test_many_tasks_join_the_same_future(self):
+        """A future is copyable: many siblings may block on one task
+        concurrently, and all get the result."""
+        rt = TaskRuntime(policy="TJ-SP")
+        gate = threading.Event()
+
+        def main():
+            slow = rt.fork(lambda: (gate.wait(), 13)[1])
+
+            def waiter():
+                return slow.join()
+
+            waiters = [rt.fork(waiter) for _ in range(10)]
+            gate.set()
+            return [w.join() for w in waiters]
+
+        assert rt.run(main) == [13] * 10
+        assert rt.detector.stats.false_positives == 0
+        assert rt.detector.stats.deadlocks_avoided == 0

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.tools.cli import main
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    def write(text):
+        p = tmp_path / "trace.txt"
+        p.write_text(text)
+        return str(p)
+
+    return write
+
+
+GOOD_TRACE = """
+init(a)
+fork(a, b)
+fork(b, c)
+join(a, c)   # grandchild join
+join(a, b)
+"""
+
+
+class TestCheckCommand:
+    def test_tj_accepts_grandchild_join(self, trace_file, capsys):
+        rc = main(["check", trace_file(GOOD_TRACE), "--policy", "TJ"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "valid:         True" in out
+        assert "deadlock:      none" in out
+
+    def test_kj_rejects_grandchild_join(self, trace_file, capsys):
+        rc = main(["check", trace_file(GOOD_TRACE), "--policy", "KJ"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "violation at #3" in out
+
+    def test_deadlock_reported(self, trace_file, capsys):
+        rc = main(
+            [
+                "check",
+                trace_file("init(a)\nfork(a, b)\nfork(a, c)\njoin(b, c)\njoin(c, b)\n"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "cycle" in out
+
+
+class TestBenchCommand:
+    def test_bench_runs_and_verifies(self, capsys):
+        rc = main(
+            ["bench", "NQueens", "--policy", "KJ-SS", "--param", "n=7", "--param", "cutoff=2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified:        True" in out
+        assert "false positives:" in out
+
+    def test_bench_small_scale(self, capsys):
+        rc = main(["bench", "Strassen", "--policy", "none", "--scale", "small"])
+        assert rc == 0
+        assert "verified:        True" in capsys.readouterr().out
+
+
+class TestVizCommand:
+    def test_tree(self, trace_file, capsys):
+        rc = main(["viz", trace_file(GOOD_TRACE), "--format", "tree"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rank" in out and "`--" in out or "|--" in out
+
+    def test_matrix(self, trace_file, capsys):
+        rc = main(["viz", trace_file(GOOD_TRACE), "--format", "matrix"])
+        out = capsys.readouterr().out
+        assert rc == 0 and "TJ only" in out
+
+    def test_dot(self, trace_file, capsys):
+        rc = main(["viz", trace_file(GOOD_TRACE), "--format", "dot"])
+        out = capsys.readouterr().out
+        assert rc == 0 and out.startswith("digraph")
+
+
+class TestReplayCommand:
+    def test_clean_replay(self, trace_file, capsys):
+        rc = main(["replay", trace_file(GOOD_TRACE), "--policy", "TJ-SP"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "completed joins:  2" in out
+        assert "false positives:  0" in out
+
+    def test_kj_replay_uses_fallback(self, trace_file, capsys):
+        rc = main(["replay", trace_file(GOOD_TRACE), "--policy", "KJ-SS"])
+        out = capsys.readouterr().out
+        assert rc == 0  # fallback admits the grandchild join
+        assert "false positives:  1" in out
+
+    def test_no_fallback_refuses(self, trace_file, capsys):
+        rc = main(
+            ["replay", trace_file(GOOD_TRACE), "--policy", "KJ-SS", "--no-fallback"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "PolicyViolationError" in out
+
+
+class TestReportCommands:
+    def test_table1(self, capsys):
+        rc = main(["table1", "--sizes", "64", "128", "--queries", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "paper bounds" in out
+        assert "TJ-SP" in out
+
+    def test_table2_subset(self, capsys):
+        rc = main(
+            ["table2", "--reps", "1", "--benchmarks", "Strassen", "NQueens"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Strassen" in out and "NQueens" in out and "Jacobi" not in out
+        assert "Geom. mean" in out
+
+    def test_figure2_subset(self, capsys):
+        rc = main(["figure2", "--reps", "2", "--benchmarks", "NQueens"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "95% CI" in out and "NQueens" in out
+
+    def test_table2_json_export(self, tmp_path, capsys):
+        from repro.analysis.io import load_reports
+
+        path = str(tmp_path / "raw.json")
+        rc = main(
+            ["table2", "--reps", "1", "--benchmarks", "NQueens", "--json", path]
+        )
+        assert rc == 0
+        reports = load_reports(path)
+        assert [r.name for r in reports] == ["NQueens"]
+        assert len(reports[0].baseline.times) == 1
+
+    def test_figure2_svg_export(self, tmp_path, capsys):
+        path = str(tmp_path / "fig2.svg")
+        rc = main(
+            ["figure2", "--reps", "2", "--benchmarks", "Strassen", "--svg", path]
+        )
+        assert rc == 0
+        content = open(path).read()
+        assert content.startswith("<svg") and "Strassen" in content
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

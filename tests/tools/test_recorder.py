@@ -1,0 +1,58 @@
+"""Unit and integration tests for the trace recorder."""
+
+from repro import TaskRuntime
+from repro.core import TJSpawnPaths
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.trace import is_structurally_valid, is_tj_valid
+from repro.tools import TraceRecordingPolicy
+
+
+class TestRecorderUnit:
+    def test_records_init_and_forks(self):
+        rec = TraceRecordingPolicy(TJSpawnPaths())
+        root = rec.add_child(None)
+        a = rec.add_child(root)
+        rec.add_child(a)
+        assert rec.snapshot() == [Init("t0"), Fork("t0", "t1"), Fork("t1", "t2")]
+
+    def test_records_joins_at_check_time(self):
+        rec = TraceRecordingPolicy(TJSpawnPaths())
+        root = rec.add_child(None)
+        a = rec.add_child(root)
+        assert rec.permits(root, a)
+        assert not rec.permits(a, root)  # recorded even though rejected
+        joins = [x for x in rec.snapshot() if isinstance(x, Join)]
+        assert joins == [Join("t0", "t1"), Join("t1", "t0")]
+
+    def test_delegation(self):
+        inner = TJSpawnPaths()
+        rec = TraceRecordingPolicy(inner)
+        assert rec.name == "TJ-SP"
+        root = rec.add_child(None)
+        rec.add_child(root)
+        assert rec.space_units() == inner.space_units() > 0
+
+    def test_snapshot_is_a_copy(self):
+        rec = TraceRecordingPolicy(TJSpawnPaths())
+        rec.add_child(None)
+        snap = rec.snapshot()
+        snap.clear()
+        assert rec.snapshot() != []
+
+
+class TestRecorderIntegration:
+    def test_recorded_runtime_trace_is_tj_valid(self):
+        rec = TraceRecordingPolicy(TJSpawnPaths())
+        rt = TaskRuntime(policy=rec)
+
+        def fib(n):
+            if n < 2:
+                return n
+            a, b = rt.fork(fib, n - 1), rt.fork(fib, n - 2)
+            return a.join() + b.join()
+
+        assert rt.run(fib, 8) == 21
+        trace = rec.snapshot()
+        assert is_structurally_valid(trace)
+        assert is_tj_valid(trace)
+        assert sum(isinstance(a, Fork) for a in trace) == rt.threads_started

@@ -1,0 +1,135 @@
+"""End-to-end tests: formal traces executed on the real runtime."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import DeadlockDetectedError
+from repro.formal.actions import Fork, Init, Join
+from repro.formal.deadlock import contains_deadlock
+from repro.formal.generators import (
+    random_deadlocking_trace,
+    random_kj_valid_trace,
+    random_tj_valid_trace,
+)
+from repro.tools.replay import replay_on_runtime, replay_on_threaded
+
+from ..conftest import tj_valid_traces
+
+
+class TestReplayBasics:
+    def test_simple_trace(self):
+        trace = [Init("r"), Fork("r", "a"), Join("r", "a")]
+        outcome = replay_on_runtime(trace, "TJ-SP")
+        assert outcome.clean
+        assert outcome.completed_joins == [("r", "a")]
+
+    def test_empty_or_malformed_trace_rejected(self):
+        with pytest.raises(ValueError):
+            replay_on_runtime([], "TJ-SP")
+        with pytest.raises(ValueError):
+            replay_on_runtime([Fork("r", "a")], "TJ-SP")
+
+    def test_join_on_root_is_refused(self):
+        trace = [Init("r"), Fork("r", "a"), Join("a", "r")]
+        outcome = replay_on_runtime(trace, "TJ-SP")
+        assert outcome.refused_joins == [("a", "r", "JoinOnRoot")]
+
+    def test_verifier_saw_every_join(self):
+        trace = random_tj_valid_trace(random.Random(0), 20, 25)
+        outcome = replay_on_runtime(trace, "TJ-SP")
+        joins = sum(isinstance(a, Join) for a in trace)
+        assert len(outcome.completed_joins) == joins
+        assert outcome.runtime.verifier.stats.joins_checked >= joins
+
+
+class TestReplayProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=tj_valid_traces(max_tasks=15, max_joins=15))
+    def test_tj_valid_traces_replay_cleanly_under_tj(self, trace):
+        outcome = replay_on_runtime(trace, "TJ-SP")
+        assert outcome.clean
+        assert outcome.runtime.detector.stats.false_positives == 0
+        assert outcome.runtime.detector.stats.deadlocks_avoided == 0
+
+    def test_kj_valid_traces_replay_cleanly_under_kj(self):
+        """Online KJ knowledge is a superset of the formal at-position
+        knowledge (joins transfer *final* joinee knowledge), so a
+        KJ-valid trace replays with zero flags under both KJ verifiers."""
+        for seed in range(8):
+            trace = random_kj_valid_trace(random.Random(seed), 12, 15)
+            for kj in ("KJ-SS", "KJ-VC"):
+                outcome = replay_on_runtime(trace, kj)
+                assert outcome.clean
+                assert outcome.runtime.detector.stats.false_positives == 0
+
+    def test_deadlocking_trace_avoided_with_policy(self):
+        """A trace with a planted join cycle completes under TJ+Armus,
+        with at least one join refused."""
+        for seed in range(5):
+            trace = random_deadlocking_trace(random.Random(seed), 8, cycle_len=3)
+            assert contains_deadlock(trace)
+            outcome = replay_on_runtime(trace, "TJ-SP")
+            assert not outcome.clean
+            refused = {
+                kind for _, _, kind in outcome.refused_joins
+            }
+            assert refused <= {"PolicyViolationError", "DeadlockAvoidedError"}
+            # the cycle was never allowed to form:
+            assert outcome.runtime.detector.stats.deadlocks_avoided <= len(
+                outcome.refused_joins
+            )
+
+    def test_deadlocking_trace_detected_without_policy(self):
+        """With verification off, the deterministic runtime detects the
+        planted deadlock instead of hanging."""
+        trace = [
+            Init("r"),
+            Fork("r", "a"),
+            Fork("r", "b"),
+            Join("a", "b"),
+            Join("b", "a"),
+        ]
+        with pytest.raises(DeadlockDetectedError):
+            replay_on_runtime(trace, None, fallback=False)
+
+    def test_threaded_replay_matches_cooperative_for_tj(self):
+        """Differential: the same TJ-valid traces replay cleanly with
+        identical completed-join sets on real threads."""
+        for seed in range(6):
+            trace = random_tj_valid_trace(random.Random(seed), 12, 15)
+            coop = replay_on_runtime(trace, "TJ-SP")
+            threaded = replay_on_threaded(trace, "TJ-SP")
+            assert threaded.clean
+            assert sorted(map(str, threaded.completed_joins)) == sorted(
+                map(str, coop.completed_joins)
+            )
+            assert threaded.runtime.detector.stats.false_positives == 0
+
+    def test_threaded_replay_avoids_planted_deadlocks(self):
+        for seed in range(3):
+            trace = random_deadlocking_trace(random.Random(seed), 8, cycle_len=2)
+            outcome = replay_on_threaded(trace, "TJ-SP")
+            assert not outcome.clean  # something was refused, nothing hung
+
+    def test_threaded_replay_join_on_root(self):
+        trace = [Init("r"), Fork("r", "a"), Join("a", "r")]
+        outcome = replay_on_threaded(trace, "TJ-SP")
+        assert outcome.refused_joins == [("a", "r", "JoinOnRoot")]
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=tj_valid_traces(max_tasks=12, max_joins=10))
+    def test_kj_flags_bounded_by_offline_validation(self, trace):
+        """Online KJ knows at least the formal at-position knowledge (a
+        completed join transfers the joinee's *final* set), so at runtime
+        KJ flags at most the joins the offline validator rejects — and
+        with the fallback on, every flag is a counted false positive,
+        never a refusal (the trace is TJ-valid, hence deadlock-free)."""
+        from repro.formal.trace import KJFamily, validate_trace
+
+        offline = validate_trace(trace, KJFamily)
+        outcome = replay_on_runtime(trace, "KJ-SS")
+        assert outcome.clean  # fallback admits everything: no deadlock
+        online_fp = outcome.runtime.detector.stats.false_positives
+        assert online_fp <= len(offline.rejected_joins)

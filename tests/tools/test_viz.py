@@ -1,0 +1,86 @@
+"""Tests for the visualisation helpers."""
+
+from repro.formal.actions import Fork, Init, Join
+from repro.tools.viz import (
+    fork_tree_dot,
+    render_fork_tree,
+    render_permission_matrix,
+    waits_for_dot,
+)
+
+TRACE = [
+    Init("a"),
+    Fork("a", "b"),
+    Fork("b", "c"),
+    Fork("a", "d"),
+    Join("d", "c"),
+]
+
+
+class TestForkTreeRendering:
+    def test_tree_shape(self):
+        text = render_fork_tree(TRACE)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert any("|-- b" in l or "`-- b" in l for l in lines)
+        assert any("`-- c" in l for l in lines)
+
+    def test_ranks_follow_tj_order(self):
+        text = render_fork_tree(TRACE)
+        # order: a < d < b < c  =>  ranks a=0, d=1, b=2, c=3
+        assert "[rank 0" in text.splitlines()[0]
+        d_line = next(l for l in text.splitlines() if "d " in l or "d  " in l)
+        assert "rank 1" in d_line
+
+    def test_spawn_paths_shown(self):
+        text = render_fork_tree(TRACE)
+        assert "path (0, 0)" in text  # c
+
+    def test_no_order_annotations(self):
+        text = render_fork_tree(TRACE, show_order=False)
+        assert "rank" not in text
+
+    def test_empty(self):
+        assert render_fork_tree([]) == "(empty tree)"
+
+
+class TestPermissionMatrix:
+    def test_codes(self):
+        text = render_permission_matrix(TRACE)
+        rows = {
+            line.split()[0]: line.split()[1:]
+            for line in text.splitlines()[1:-1]
+        }
+        tasks = text.splitlines()[0].split()
+        # d may join c under TJ only:
+        d_row = rows["d"]
+        assert d_row[tasks.index("c")] == "T"
+        # a may join b under both:
+        assert rows["a"][tasks.index("b")] == "B"
+        # b may never join a:
+        assert rows["b"][tasks.index("a")] == "."
+        # diagonal:
+        assert rows["a"][tasks.index("a")] == "-"
+
+    def test_legend_present(self):
+        assert "TJ only" in render_permission_matrix(TRACE)
+
+
+class TestDotExport:
+    def test_fork_tree_dot(self):
+        dot = fork_tree_dot(TRACE)
+        assert dot.startswith("digraph")
+        assert '"a" -> "b";' in dot
+        assert '"d" -> "c" [style=dashed' in dot
+
+    def test_fork_tree_dot_without_joins(self):
+        dot = fork_tree_dot(TRACE, include_joins=False)
+        assert "dashed" not in dot
+
+    def test_waits_for_dot(self):
+        dot = waits_for_dot([("x", "y"), ("y", "z")])
+        assert '"x" -> "y";' in dot and '"y" -> "z";' in dot
+
+    def test_quoting(self):
+        dot = waits_for_dot([('we"ird', "ok")])
+        assert r"\"" in dot
