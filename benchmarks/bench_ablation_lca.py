@@ -100,14 +100,16 @@ class TestAblationClaims:
         assert costs["TJ-JP"] < costs["TJ-SP"]
 
     def test_space_ranking_on_deep_chains(self):
-        """O(n) [GT, OM] < O(n log h) [JP] < O(n h) [SP]."""
+        """O(n) [GT, OM, interned SP] < O(n log h) [JP] < O(n h) [legacy SP]."""
         units = {}
-        for algo in TJ_ALGOS:
+        for algo in (*TJ_ALGOS, "TJ-SP-legacy"):
             policy = make_policy(algo)
             _replay(policy, TREES["deep-chain"])
             units[algo] = policy.space_units()
-        assert units["TJ-GT"] < units["TJ-JP"] < units["TJ-SP"]
+        assert units["TJ-GT"] < units["TJ-JP"] < units["TJ-SP-legacy"]
         assert units["TJ-OM"] < units["TJ-JP"]
+        # interning collapses TJ-SP to O(n): one shared node per task
+        assert units["TJ-SP"] < units["TJ-JP"]
 
     def test_kj_cc_space_beats_kj_vc_on_flat_trees(self):
         trace = star_fork_trace(3000)

@@ -1,0 +1,111 @@
+"""Experiment E6 — verifier hot-path microbenchmarks and regression gate.
+
+Measures the fork/join verifier pipeline (``Verifier`` + policy) on four
+synthetic shapes — join-heavy (barrier re-joins), fork-heavy, deep-tree
+and wide-tree — across all TJ variants and the KJ baselines, and
+*asserts* the perf properties this repo's hot-path work claims:
+
+* the interned TJ-SP is at least 1.3x the seed tuple-per-task
+  implementation (kept as ``TJ-SP-legacy``) on the join-heavy shape;
+* interning never *loses* against the seed on any shape (within noise);
+* the two implementations agree on every verdict (spot-checked here;
+  the exhaustive property test lives in
+  ``tests/core/test_interned_paths.py``).
+
+The run also emits ``BENCH_hotpath.json`` (raw repetition times, via
+``repro.analysis.io``) so every future PR has a stored perf trajectory;
+``python -m repro.tools.cli bench-hotpath`` produces the same file from
+the command line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis.hotpath import (
+    HOTPATH_POLICIES,
+    HOTPATH_SHAPES,
+    SHAPE_PARAMS,
+    render_hotpath_table,
+    run_hotpath_suite,
+    run_shape,
+    speedup,
+)
+from repro.analysis.io import hotpath_from_json, save_hotpath
+
+#: the regression gate for the interned representation + verdict caching
+JOIN_HEAVY_GATE = 1.3
+
+OUTPUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_hotpath.json")
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    t0 = time.perf_counter()
+    ms = run_hotpath_suite(repetitions=3)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 60.0, f"hotpath suite must stay under a minute (took {elapsed:.1f}s)"
+    return ms
+
+
+def test_emits_bench_hotpath_json(measurements):
+    save_hotpath(measurements, OUTPUT, SHAPE_PARAMS)
+    with open(OUTPUT) as fh:
+        loaded, params = hotpath_from_json(fh.read())
+    assert len(loaded) == len(HOTPATH_SHAPES) * len(HOTPATH_POLICIES)
+    assert params == SHAPE_PARAMS
+    for m in loaded:
+        assert m.times and m.events > 0
+
+
+def test_join_heavy_speedup_gate(measurements):
+    """Interned + cached TJ-SP must beat the seed by >= 1.3x where it counts."""
+    factor = speedup(measurements, "join-heavy")
+    print("\n" + render_hotpath_table(measurements))
+    assert factor >= JOIN_HEAVY_GATE, (
+        f"join-heavy TJ-SP speedup regressed to {factor:.2f}x "
+        f"(gate: {JOIN_HEAVY_GATE}x over TJ-SP-legacy)"
+    )
+
+
+@pytest.mark.parametrize("shape", HOTPATH_SHAPES)
+def test_interning_never_loses(measurements, shape):
+    """On every shape the interned TJ-SP stays within noise of the seed."""
+    assert speedup(measurements, shape) > 0.7
+
+
+def test_fork_heavy_interning_wins(measurements):
+    """O(1) node allocation must beat the O(h) tuple copy on fork storms."""
+    assert speedup(measurements, "fork-heavy") > 1.1
+
+
+@pytest.mark.parametrize("shape", HOTPATH_SHAPES)
+def test_event_counts_match_across_policies(measurements, shape):
+    """Every policy performed the identical event stream per shape."""
+    events = {m.events for m in measurements if m.shape == shape}
+    assert len(events) == 1
+
+
+def test_smoke_cell_runs_fast():
+    """One tiny cell (the CI smoke probe) completes in well under 10s."""
+    from repro.analysis.hotpath import SMOKE_PARAMS
+
+    t0 = time.perf_counter()
+    m = run_shape("join-heavy", "TJ-SP", repetitions=1, params=SMOKE_PARAMS["join-heavy"])
+    assert time.perf_counter() - t0 < 10.0
+    assert m.events > 0
+
+
+@pytest.mark.parametrize("shape", HOTPATH_SHAPES)
+def test_benchmark_series(benchmark, shape):
+    """pytest-benchmark series for the interned TJ-SP per shape."""
+    benchmark.group = f"hotpath-{shape}"
+    benchmark.pedantic(
+        lambda: run_shape(shape, "TJ-SP", repetitions=1, warmup=0),
+        rounds=3,
+        iterations=1,
+    )

@@ -116,10 +116,17 @@ class TestScalingShape:
             ratio = big.space_units / small.space_units
             assert 7.0 < ratio < 9.0  # exactly 8x tasks -> 8x space
 
-    def test_tj_sp_space_quadratic_on_chains(self):
-        small, big = self._costs("TJ-SP", "chain")
+    def test_tj_sp_legacy_space_quadratic_on_chains(self):
+        """The seed tuple-per-task TJ-SP keeps its O(n·h) chain blow-up."""
+        small, big = self._costs("TJ-SP-legacy", "chain")
         ratio = big.space_units / small.space_units
         assert ratio > 30.0  # O(n h) = O(n^2) on chains: ideal 64x
+
+    def test_tj_sp_interned_space_linear_on_chains(self):
+        """Interning shares path prefixes: one node per task, O(n) space."""
+        small, big = self._costs("TJ-SP", "chain")
+        ratio = big.space_units / small.space_units
+        assert 7.0 < ratio < 9.0  # exactly 8x tasks -> 8x space
 
     def test_kj_vc_fork_slower_than_kj_ss_on_wide_knowledge(self):
         """KJ-VC copies clocks at fork (O(n)); KJ-SS records O(1)."""

@@ -14,7 +14,22 @@ from .table1 import (
     render_table1,
 )
 from .figure2_svg import render_figure2_svg
-from .io import load_reports, reports_from_json, reports_to_json, save_reports
+from .hotpath import (
+    HOTPATH_POLICIES,
+    HOTPATH_SHAPES,
+    HotpathMeasurement,
+    render_hotpath_table,
+    run_hotpath_suite,
+    speedup,
+)
+from .io import (
+    load_hotpath,
+    load_reports,
+    reports_from_json,
+    reports_to_json,
+    save_hotpath,
+    save_reports,
+)
 from .memsize import deep_size_of, policy_bytes_per_task
 from .report import ReportConfig, build_report
 from .table2 import overhead_summary, render_table2
@@ -42,4 +57,12 @@ __all__ = [
     "measure_policy_costs",
     "ComplexityPoint",
     "TABLE1_BOUNDS",
+    "HotpathMeasurement",
+    "HOTPATH_POLICIES",
+    "HOTPATH_SHAPES",
+    "run_hotpath_suite",
+    "render_hotpath_table",
+    "speedup",
+    "save_hotpath",
+    "load_hotpath",
 ]

@@ -13,9 +13,19 @@ from typing import Sequence
 
 from ..benchsuite.harness import BenchmarkReport, PolicyMeasurement
 
-__all__ = ["reports_to_json", "reports_from_json", "save_reports", "load_reports"]
+__all__ = [
+    "reports_to_json",
+    "reports_from_json",
+    "save_reports",
+    "load_reports",
+    "hotpath_to_json",
+    "hotpath_from_json",
+    "save_hotpath",
+    "load_hotpath",
+]
 
 _SCHEMA_VERSION = 1
+_HOTPATH_SCHEMA_VERSION = 1
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -79,3 +89,56 @@ def save_reports(reports: Sequence[BenchmarkReport], path: str) -> None:
 def load_reports(path: str) -> list[BenchmarkReport]:
     with open(path) as fh:
         return reports_from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# hot-path microbenchmark results (BENCH_hotpath.json)
+# ----------------------------------------------------------------------
+def hotpath_to_json(measurements, params=None) -> str:
+    """Serialise :class:`~repro.analysis.hotpath.HotpathMeasurement` s.
+
+    All raw repetition times are preserved (same philosophy as the
+    Table 2 samples) so regressions can be re-analysed offline; the
+    workload parameters are embedded so a stored file documents exactly
+    what it measured.
+    """
+    payload = {
+        "schema": _HOTPATH_SCHEMA_VERSION,
+        "params": params or {},
+        "measurements": [
+            {
+                "shape": m.shape,
+                "policy": m.policy,
+                "times": m.times,
+                "events": m.events,
+            }
+            for m in measurements
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def hotpath_from_json(text: str):
+    """Inverse of :func:`hotpath_to_json`; returns (measurements, params)."""
+    from .hotpath import HotpathMeasurement
+
+    payload = json.loads(text)
+    if payload.get("schema") != _HOTPATH_SCHEMA_VERSION:
+        raise ValueError(f"unsupported hotpath schema {payload.get('schema')!r}")
+    measurements = [
+        HotpathMeasurement(
+            shape=m["shape"], policy=m["policy"], times=m["times"], events=m["events"]
+        )
+        for m in payload["measurements"]
+    ]
+    return measurements, payload.get("params", {})
+
+
+def save_hotpath(measurements, path: str, params=None) -> None:
+    with open(path, "w") as fh:
+        fh.write(hotpath_to_json(measurements, params))
+
+
+def load_hotpath(path: str):
+    with open(path) as fh:
+        return hotpath_from_json(fh.read())

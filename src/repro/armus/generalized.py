@@ -78,6 +78,22 @@ class GeneralizedDetector:
             self._impeders.setdefault(event, set()).add(task)
             self._impedes.setdefault(task, set()).add(event)
 
+    def add_impeders(self, tasks: Iterable[Hashable], event: Hashable) -> None:
+        """Batch :meth:`add_impeder`: all *tasks* impede *event*.
+
+        One lock acquisition covers the whole party list — the phaser's
+        phase advance registers every registered party against the next
+        phase, and paying the lock per party made that O(parties) lock
+        traffic on every barrier round.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        with self._lock:
+            self._impeders.setdefault(event, set()).update(tasks)
+            for task in tasks:
+                self._impedes.setdefault(task, set()).add(event)
+
     def remove_impeder(self, task: Hashable, event: Hashable) -> None:
         """The task acted (arrived / terminated): it no longer impedes."""
         with self._lock:

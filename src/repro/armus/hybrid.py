@@ -61,6 +61,7 @@ class HybridVerifier:
         joinee_vertex: object,
         *,
         joinee_done: bool,
+        flagged: Optional[bool] = None,
     ) -> bool:
         """Gate a join about to block.
 
@@ -68,8 +69,15 @@ class HybridVerifier:
         call :meth:`end_join` after the wait); False when no edge was
         needed because the joinee had already terminated.  Raises
         :class:`DeadlockAvoidedError` for a join that would truly deadlock.
+
+        ``flagged`` lets a caller that already verified the join in a
+        batch (``Verifier.check_joins``) pass the precomputed verdict in,
+        so the policy check — and its statistics — are not repeated.
+        Only sound for ``stable_permits`` policies, where the verdict
+        cannot have changed since the batch check.
         """
-        flagged = not self.verifier.check_join(joiner_vertex, joinee_vertex)
+        if flagged is None:
+            flagged = not self.verifier.check_join(joiner_vertex, joinee_vertex)
         if joinee_done:
             # Terminated joinee: no blocking, no cycle possible.  A flagged
             # join still counts as a (vacuous) false positive — the paper's

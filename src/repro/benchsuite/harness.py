@@ -55,10 +55,24 @@ class PolicyMeasurement:
 
     @property
     def mean_time(self) -> float:
+        """Mean of the timed samples.
+
+        A measurement with no timed samples (e.g. a crashed or skipped
+        run) yields ``nan`` instead of raising ``ZeroDivisionError``,
+        and the measurement is marked unverified so downstream tables
+        cannot silently treat it as a clean result.
+        """
+        if not self.times:
+            self.verified = False
+            return math.nan
         return sum(self.times) / len(self.times)
 
     @property
     def stdev_time(self) -> float:
+        """Sample standard deviation; ``nan`` when there are no samples."""
+        if not self.times:
+            self.verified = False
+            return math.nan
         if len(self.times) < 2:
             return 0.0
         mu = self.mean_time

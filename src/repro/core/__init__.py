@@ -18,7 +18,7 @@ from .policy import JoinPolicy, NullPolicy, POLICY_REGISTRY, make_policy, regist
 from .tj_gt import GTNode, TJGlobalTree
 from .tj_jp import JPNode, TJJumpPointers
 from .tj_om import OMNode, TJOrderMaintenance
-from .tj_sp import SPNode, TJSpawnPaths
+from .tj_sp import LegacySPNode, SPNode, TJSpawnPaths, TJSpawnPathsLegacy
 from .verifier import Verifier, VerifierStats
 
 TJ_POLICIES = (TJGlobalTree, TJJumpPointers, TJSpawnPaths, TJOrderMaintenance)
@@ -32,10 +32,12 @@ __all__ = [
     "TJGlobalTree",
     "TJJumpPointers",
     "TJSpawnPaths",
+    "TJSpawnPathsLegacy",
     "TJOrderMaintenance",
     "GTNode",
     "JPNode",
     "SPNode",
+    "LegacySPNode",
     "OMNode",
     "Verifier",
     "VerifierStats",

@@ -36,6 +36,15 @@ class JoinPolicy(ABC):
     #: short identifier used in reports ("TJ-SP", "KJ-VC", ...)
     name: str = "abstract"
 
+    #: True when the permission relation is fixed at fork time (all TJ
+    #: algorithms: ``<_T`` never changes once both vertices exist).  KJ
+    #: policies learn at joins, so their ``permits`` can flip False→True
+    #: over time and must stay False here.  Batch verification in the
+    #: runtimes pre-checks whole groups of joins only for stable
+    #: policies — for a learning policy an early check could flag a join
+    #: that a later sequential check would have permitted.
+    stable_permits: bool = False
+
     @abstractmethod
     def add_child(self, parent: Optional[object]) -> object:
         """Install and return a new vertex; ``parent=None`` creates the root."""
@@ -43,6 +52,15 @@ class JoinPolicy(ABC):
     @abstractmethod
     def permits(self, joiner: object, joinee: object) -> bool:
         """May the task at *joiner* block on the task at *joinee*?"""
+
+    def permits_many(self, joiner: object, joinees: list) -> list[bool]:
+        """Vectorised ``permits`` for one joiner against many joinees.
+
+        The default just loops; implementations may override to amortise
+        per-call overhead (see :class:`~repro.core.tj_sp.TJSpawnPaths`).
+        """
+        permits = self.permits
+        return [permits(joiner, joinee) for joinee in joinees]
 
     def on_join(self, joiner: object, joinee: object) -> None:
         """State update after a join completes (KJ-learn); default no-op."""
@@ -65,6 +83,7 @@ class NullPolicy(JoinPolicy):
     """
 
     name = "none"
+    stable_permits = True
 
     def __init__(self) -> None:
         self._count = 0
@@ -83,8 +102,23 @@ class NullPolicy(JoinPolicy):
 POLICY_REGISTRY: dict[str, Callable[[], JoinPolicy]] = {}
 
 
-def register_policy(name: str, factory: Callable[[], JoinPolicy]) -> None:
-    """Register a policy factory under *name* (e.g. for the CLI)."""
+def register_policy(
+    name: str, factory: Callable[[], JoinPolicy], *, override: bool = False
+) -> None:
+    """Register a policy factory under *name* (e.g. for the CLI).
+
+    Re-registering an existing name with a *different* factory raises
+    :class:`ValueError` unless ``override=True`` — a silent clobber
+    would make every later ``make_policy(name)`` hand out the wrong
+    implementation.  Re-registering the identical factory object is an
+    idempotent no-op (module re-imports stay safe).
+    """
+    existing = POLICY_REGISTRY.get(name)
+    if existing is not None and existing is not factory and not override:
+        raise ValueError(
+            f"policy {name!r} is already registered to {existing!r}; "
+            "pass override=True to replace it"
+        )
     POLICY_REGISTRY[name] = factory
 
 

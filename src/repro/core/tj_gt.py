@@ -38,6 +38,7 @@ class TJGlobalTree(JoinPolicy):
     """Transitive Joins verified over a global tree of parent pointers."""
 
     name = "TJ-GT"
+    stable_permits = True  # <_T is fixed at fork time
 
     def __init__(self) -> None:
         self._n_nodes = 0

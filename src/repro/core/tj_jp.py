@@ -42,6 +42,7 @@ class TJJumpPointers(JoinPolicy):
     """Transitive Joins verified with a binary-lifting ancestor index."""
 
     name = "TJ-JP"
+    stable_permits = True  # <_T is fixed at fork time
 
     def __init__(self) -> None:
         self._n_nodes = 0

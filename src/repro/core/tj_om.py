@@ -51,6 +51,7 @@ class TJOrderMaintenance(JoinPolicy):
     """Transitive Joins via an order-maintenance labelled list."""
 
     name = "TJ-OM"
+    stable_permits = True  # <_T is fixed at fork time
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

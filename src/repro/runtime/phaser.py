@@ -121,7 +121,9 @@ class Phaser:
             new_event = self._event(phase + 1)
             for party in self._parties:
                 self._parties[party] = self._phase
-                self.detector.add_impeder(party, new_event)
+            # One batched registration (single detector lock acquisition)
+            # instead of one add_impeder call per party per phase.
+            self.detector.add_impeders(list(self._parties), new_event)
             self._cond.notify_all()
 
     def wait(self, phase: Optional[int] = None) -> int:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from queue import Empty, SimpleQueue
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from .context import require_current_task, task_scope
 from .future import Future
@@ -32,7 +32,7 @@ from .threaded import resolve_policy
 from ..armus.hybrid import HybridVerifier
 from ..core.policy import JoinPolicy
 from ..core.verifier import Verifier
-from ..errors import RuntimeStateError
+from ..errors import PolicyViolationError, RuntimeStateError, TaskFailedError
 
 __all__ = ["WorkSharingRuntime"]
 
@@ -222,10 +222,53 @@ class WorkSharingRuntime:
         if future._runtime is not self:
             raise RuntimeStateError("future belongs to a different runtime")
         joiner = require_current_task()
+        return self._join_one(joiner, future, None)
+
+    def join_batch(
+        self, futures: Sequence[Future], *, return_exceptions: bool = False
+    ) -> list:
+        """Join several futures with one batched verification pass.
+
+        Semantics match :meth:`TaskRuntime.join_batch <repro.runtime.threaded.TaskRuntime.join_batch>`:
+        ``stable_permits`` policies are verified in one
+        ``Verifier.check_joins`` call, learning policies per future;
+        results come back in input order; ``return_exceptions=True``
+        collects :class:`~repro.errors.TaskFailedError` s in place.
+        """
+        futures = list(futures)
+        for f in futures:
+            if f._runtime is not self:
+                raise RuntimeStateError("future belongs to a different runtime")
+        if not futures:
+            return []
+        joiner = require_current_task()
+        if self._verifier.policy.stable_permits:
+            verdicts = self._verifier.check_joins(
+                joiner.vertex, [f.task.vertex for f in futures]
+            )
+            flags: list[Optional[bool]] = [not ok for ok in verdicts]
+        else:
+            flags = [None] * len(futures)
+        results = []
+        for future, flagged in zip(futures, flags):
+            try:
+                results.append(self._join_one(joiner, future, flagged))
+            except TaskFailedError as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    def _join_one(self, joiner, future: Future, flagged: Optional[bool]) -> Any:
         joinee = future.task
         if self._hybrid is not None:
             blocked = self._hybrid.begin_join(
-                joiner, joinee, joiner.vertex, joinee.vertex, joinee_done=future.done()
+                joiner,
+                joinee,
+                joiner.vertex,
+                joinee.vertex,
+                joinee_done=future.done(),
+                flagged=flagged,
             )
             if blocked:
                 self._ensure_capacity_for_block()
@@ -238,7 +281,12 @@ class WorkSharingRuntime:
                     joiner.state = prev
             self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
         else:
-            self._verifier.require_join(joiner.vertex, joinee.vertex)
+            if flagged is None:
+                self._verifier.require_join(joiner.vertex, joinee.vertex)
+            elif flagged:
+                raise PolicyViolationError(
+                    self._verifier.policy.name, joiner.vertex, joinee.vertex
+                )
             if not future.done():
                 self._ensure_capacity_for_block()
             prev = joiner.state

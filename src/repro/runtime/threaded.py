@@ -14,7 +14,7 @@ unchecked — the overhead baseline.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from .context import require_current_task, task_scope
 from .future import Future
@@ -22,7 +22,7 @@ from .task import TaskHandle, TaskState
 from ..armus.hybrid import HybridVerifier
 from ..core.policy import JoinPolicy, NullPolicy, make_policy
 from ..core.verifier import Verifier
-from ..errors import RuntimeStateError
+from ..errors import PolicyViolationError, RuntimeStateError, TaskFailedError
 
 __all__ = ["TaskRuntime", "resolve_policy"]
 
@@ -162,10 +162,62 @@ class TaskRuntime:
         if future._runtime is not self:
             raise RuntimeStateError("future belongs to a different runtime")
         joiner = require_current_task()
+        return self._join_one(joiner, future, None)
+
+    def join_batch(
+        self, futures: Sequence[Future], *, return_exceptions: bool = False
+    ) -> list:
+        """Join several futures, verifying the whole batch in one call.
+
+        For ``stable_permits`` policies (all TJ variants and the null
+        baseline) the permission verdicts are precomputed with one
+        ``Verifier.check_joins`` call — one stats update and one pass
+        through the policy's ``permits_many`` for the whole batch —
+        and the joins then proceed without re-checking.  Learning (KJ)
+        policies fall back to per-future verification, since their
+        verdicts may flip as earlier joins in the batch teach knowledge.
+
+        Results are returned in input order.  With
+        ``return_exceptions=True``, a failed task contributes its
+        :class:`~repro.errors.TaskFailedError` in place of a result
+        instead of raising (policy faults and avoided deadlocks always
+        raise).
+        """
+        futures = list(futures)
+        for f in futures:
+            if f._runtime is not self:
+                raise RuntimeStateError("future belongs to a different runtime")
+        if not futures:
+            return []
+        joiner = require_current_task()
+        if self._verifier.policy.stable_permits:
+            verdicts = self._verifier.check_joins(
+                joiner.vertex, [f.task.vertex for f in futures]
+            )
+            flags: list[Optional[bool]] = [not ok for ok in verdicts]
+        else:
+            flags = [None] * len(futures)
+        results = []
+        for future, flagged in zip(futures, flags):
+            try:
+                results.append(self._join_one(joiner, future, flagged))
+            except TaskFailedError as exc:
+                if not return_exceptions:
+                    raise
+                results.append(exc)
+        return results
+
+    def _join_one(self, joiner, future: Future, flagged: Optional[bool]) -> Any:
+        """Join one future; ``flagged`` is a precomputed verdict or None."""
         joinee = future.task
         if self._hybrid is not None:
             blocked = self._hybrid.begin_join(
-                joiner, joinee, joiner.vertex, joinee.vertex, joinee_done=future.done()
+                joiner,
+                joinee,
+                joiner.vertex,
+                joinee.vertex,
+                joinee_done=future.done(),
+                flagged=flagged,
             )
             if blocked:
                 prev_state = joiner.state
@@ -177,7 +229,12 @@ class TaskRuntime:
                     joiner.state = prev_state
             self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
         else:
-            self._verifier.require_join(joiner.vertex, joinee.vertex)
+            if flagged is None:
+                self._verifier.require_join(joiner.vertex, joinee.vertex)
+            elif flagged:
+                raise PolicyViolationError(
+                    self._verifier.policy.name, joiner.vertex, joinee.vertex
+                )
             prev_state = joiner.state
             joiner.state = TaskState.BLOCKED
             try:

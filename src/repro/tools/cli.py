@@ -19,6 +19,10 @@ Commands
     Regenerate the overhead table (Table 2).
 ``figure2 [--reps N]``
     Regenerate the execution-time chart (Figure 2).
+``bench-hotpath [--reps N] [--smoke] [--json PATH]``
+    Run the verifier hot-path microbenchmarks (join-heavy, fork-heavy,
+    deep-tree, wide-tree across all TJ/KJ policies) and write
+    ``BENCH_hotpath.json``.
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from ..analysis import (
     render_table2,
 )
 from ..benchsuite import ALL_BENCHMARKS, Harness, make_benchmark
+from ..core.policy import POLICY_REGISTRY
 from ..formal.actions import parse_trace
 from ..formal.deadlock import find_join_cycle
 from ..formal.generators import balanced_fork_trace, chain_fork_trace, star_fork_trace
@@ -179,6 +184,31 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
+    from ..analysis.hotpath import (
+        SHAPE_PARAMS,
+        SMOKE_PARAMS,
+        render_hotpath_table,
+        run_hotpath_suite,
+        speedup,
+    )
+    from ..analysis.io import save_hotpath
+
+    params = SMOKE_PARAMS if args.smoke else SHAPE_PARAMS
+    measurements = run_hotpath_suite(repetitions=args.reps, params=params)
+    print(render_hotpath_table(measurements))
+    save_hotpath(measurements, args.json, params)
+    print(f"raw samples written to {args.json}")
+    factor = speedup(measurements, "join-heavy")
+    if args.min_speedup and factor < args.min_speedup:
+        print(
+            f"REGRESSION: join-heavy TJ-SP speedup {factor:.2f}x "
+            f"below the {args.min_speedup:.2f}x gate"
+        )
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from ..analysis.report import ReportConfig, build_report
 
@@ -211,7 +241,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument(
         "--policy",
         default="TJ-SP",
-        choices=["none", "TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM", "KJ-VC", "KJ-SS", "KJ-CC"],
+        choices=sorted(POLICY_REGISTRY),
     )
     p.add_argument("--no-fallback", action="store_true")
     p.set_defaults(fn=_cmd_replay)
@@ -221,7 +251,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument(
         "--policy",
         default="TJ-SP",
-        choices=["none", "TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM", "KJ-VC", "KJ-SS"],
+        choices=sorted(POLICY_REGISTRY),
     )
     p.add_argument("--scale", choices=["small", "default"], default="default")
     p.add_argument("--param", action="append", metavar="k=v")
@@ -244,6 +274,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         else:
             p.add_argument("--svg", help="also render an SVG chart to this file")
         p.set_defaults(fn=fn)
+
+    p = sub.add_parser("bench-hotpath", help="verifier hot-path microbenchmarks")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument("--smoke", action="store_true", help="tiny CI-sized workloads")
+    p.add_argument("--json", default="BENCH_hotpath.json", help="output path")
+    p.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help="fail (exit 1) if join-heavy TJ-SP vs TJ-SP-legacy drops below FACTOR",
+    )
+    p.set_defaults(fn=_cmd_bench_hotpath)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--reps", type=int, default=3)

@@ -58,8 +58,19 @@ class TestPolicyBytes:
         with pytest.raises(ValueError):
             policy_bytes_per_task(make_policy("TJ-SP"), [])
 
-    def test_tj_sp_chain_costs_more_than_star(self):
-        """O(n h) vs O(n): spawn paths on a chain dwarf those on a star."""
+    def test_tj_sp_legacy_chain_costs_more_than_star(self):
+        """O(n h) vs O(n): tuple spawn paths on a chain dwarf those on a star."""
+        n = 300
+        chain_policy = make_policy("TJ-SP-legacy")
+        chain_vertices = replay_forks(chain_policy, chain_fork_trace(n)).values()
+        star_policy = make_policy("TJ-SP-legacy")
+        star_vertices = replay_forks(star_policy, star_fork_trace(n)).values()
+        chain_bytes = policy_bytes_per_task(chain_policy, chain_vertices)
+        star_bytes = policy_bytes_per_task(star_policy, star_vertices)
+        assert chain_bytes > 10 * star_bytes
+
+    def test_tj_sp_interned_chain_no_heavier_than_star(self):
+        """Interned prefixes are shared: chains cost O(n) bytes, like stars."""
         n = 300
         chain_policy = make_policy("TJ-SP")
         chain_vertices = replay_forks(chain_policy, chain_fork_trace(n)).values()
@@ -67,7 +78,7 @@ class TestPolicyBytes:
         star_vertices = replay_forks(star_policy, star_fork_trace(n)).values()
         chain_bytes = policy_bytes_per_task(chain_policy, chain_vertices)
         star_bytes = policy_bytes_per_task(star_policy, star_vertices)
-        assert chain_bytes > 10 * star_bytes
+        assert chain_bytes < 3 * star_bytes
 
     def test_kj_vc_star_heavier_than_kj_ss(self):
         """Materialised vectors vs O(1) snapshots on the Crypt shape."""

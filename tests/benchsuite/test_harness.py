@@ -60,3 +60,21 @@ class TestPolicyMeasurement:
     def test_stdev_single_sample(self):
         m = PolicyMeasurement(policy="x", times=[1.0])
         assert m.stdev_time == 0.0
+
+    def test_no_samples_yields_nan_not_zero_division(self):
+        import math
+
+        m = PolicyMeasurement(policy="x")
+        assert math.isnan(m.mean_time)
+        assert math.isnan(m.stdev_time)
+
+    def test_no_samples_marks_measurement_unverified(self):
+        m = PolicyMeasurement(policy="x")
+        assert m.verified  # dataclass default until stats are read
+        m.mean_time
+        assert not m.verified
+
+    def test_samples_keep_measurement_verified(self):
+        m = PolicyMeasurement(policy="x", times=[0.5])
+        m.mean_time, m.stdev_time
+        assert m.verified

@@ -1,0 +1,148 @@
+"""Differential property tests for the interned TJ-SP representation.
+
+The interned prefix-tree ``Less`` (:meth:`TJSpawnPaths._less_nodes`, plus
+its caching layers) must be *semantically identical* to the seed
+Algorithm 3 tuple scan (:meth:`TJSpawnPaths._less`, still exercised via
+the registered ``TJ-SP-legacy`` policy) and to the Algorithm 2 global
+tree — on every task pair of every fork tree.  Seeded ``random`` only,
+no extra dependencies; the acceptance bar is >= 1000 random trees.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.tj_gt import TJGlobalTree
+from repro.core.tj_sp import TJSpawnPaths, TJSpawnPathsLegacy
+
+N_TREES = 1000
+SEED = 0x7315D
+
+
+def _random_parents(rng: random.Random, n_tasks: int) -> list[int]:
+    """parents[k] is the parent index of task k (task 0 is the root)."""
+    return [rng.randrange(k) for k in range(1, n_tasks)]
+
+
+def _grow(policy, parents):
+    vertices = [policy.add_child(None)]
+    for p in parents:
+        vertices.append(policy.add_child(vertices[p]))
+    return vertices
+
+
+class TestInternedLessAgreesWithSeedAndGT:
+    def test_thousand_random_trees(self):
+        rng = random.Random(SEED)
+        trees = pairs_checked = 0
+        for _ in range(N_TREES):
+            n = rng.randint(2, 24)
+            parents = _random_parents(rng, n)
+            interned = TJSpawnPaths()
+            legacy = TJSpawnPathsLegacy()
+            gt = TJGlobalTree()
+            vi = _grow(interned, parents)
+            vl = _grow(legacy, parents)
+            vg = _grow(gt, parents)
+            # a sample of ordered pairs, always including self-pairs and
+            # the root against everyone (the anc+/dec*/equal cases)
+            indices = list(range(n))
+            sample = [(0, j) for j in indices] + [(j, 0) for j in indices]
+            sample += [(j, j) for j in indices]
+            sample += [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)
+            ]
+            for a, b in sample:
+                want = legacy.permits(vl[a], vl[b])
+                assert interned.permits(vi[a], vi[b]) == want, (
+                    f"interned TJ-SP disagrees with seed on pair ({a}, {b}) "
+                    f"of tree {parents}"
+                )
+                assert gt.permits(vg[a], vg[b]) == want, (
+                    f"TJ-GT disagrees on pair ({a}, {b}) of tree {parents}"
+                )
+                pairs_checked += 1
+            trees += 1
+        assert trees == N_TREES
+        assert pairs_checked > 50 * N_TREES
+
+    def test_exhaustive_small_trees(self):
+        """Every ordered pair on every tree of up to 7 tasks (200 trees)."""
+        rng = random.Random(SEED + 1)
+        for _ in range(200):
+            n = rng.randint(2, 7)
+            parents = _random_parents(rng, n)
+            interned = TJSpawnPaths()
+            legacy = TJSpawnPathsLegacy()
+            vi = _grow(interned, parents)
+            vl = _grow(legacy, parents)
+            for a in range(n):
+                for b in range(n):
+                    assert interned.permits(vi[a], vi[b]) == legacy.permits(
+                        vl[a], vl[b]
+                    )
+
+    def test_verdict_cache_is_consistent_on_repeats(self):
+        """Asking the same pair repeatedly (the barrier pattern) never flips."""
+        rng = random.Random(SEED + 2)
+        parents = _random_parents(rng, 40)
+        policy = TJSpawnPaths()
+        vs = _grow(policy, parents)
+        pairs = [(rng.randrange(40), rng.randrange(40)) for _ in range(60)]
+        first = {pair: policy.permits(vs[pair[0]], vs[pair[1]]) for pair in pairs}
+        for _ in range(5):
+            for a, b in pairs:
+                assert policy.permits(vs[a], vs[b]) == first[(a, b)]
+
+    def test_cache_eviction_preserves_verdicts(self):
+        """A capacity-1 cache thrashes constantly yet stays correct."""
+        rng = random.Random(SEED + 3)
+        parents = _random_parents(rng, 30)
+        policy = TJSpawnPaths()
+        policy.CACHE_CAPACITY = 1
+        legacy = TJSpawnPathsLegacy()
+        vi = _grow(policy, parents)
+        vl = _grow(legacy, parents)
+        for _ in range(3):
+            for a in range(30):
+                for b in range(30):
+                    assert policy.permits(vi[a], vi[b]) == legacy.permits(
+                        vl[a], vl[b]
+                    )
+
+
+class TestInternedPathMaterialisation:
+    def test_path_property_matches_legacy_tuples(self):
+        rng = random.Random(SEED + 4)
+        for _ in range(50):
+            n = rng.randint(2, 30)
+            parents = _random_parents(rng, n)
+            vi = _grow(TJSpawnPaths(), parents)
+            vl = _grow(TJSpawnPathsLegacy(), parents)
+            for a, b in zip(vi, vl):
+                assert a.path == b.path
+
+    def test_fork_is_o1_no_tuple_until_asked(self):
+        policy = TJSpawnPaths()
+        node = policy.add_child(None)
+        for _ in range(50):
+            node = policy.add_child(node)
+        assert node._path is None  # nothing materialised by forking alone
+        assert node.path == tuple([0] * 50)
+        assert node._path is not None  # now cached
+
+    def test_space_units_linear_in_tasks(self):
+        """Interned slots are counted once per unique prefix-tree node."""
+        policy = TJSpawnPaths()
+        node = policy.add_child(None)
+        assert policy.space_units() == 4
+        for _ in range(99):
+            node = policy.add_child(node)
+        # 100 nodes x 4 slots — a 100-deep chain under the legacy tuple
+        # accounting would be ~5000 slots
+        assert policy.space_units() == 400
+        legacy = TJSpawnPathsLegacy()
+        lnode = legacy.add_child(None)
+        for _ in range(99):
+            lnode = legacy.add_child(lnode)
+        assert legacy.space_units() > 10 * policy.space_units()

@@ -158,9 +158,42 @@ class TestNullPolicy:
 
 class TestRegistry:
     def test_all_policies_registered(self):
-        for name in ["none", "TJ-GT", "TJ-JP", "TJ-SP", "TJ-OM", "KJ-VC", "KJ-SS", "KJ-CC"]:
+        for name in [
+            "none",
+            "TJ-GT",
+            "TJ-JP",
+            "TJ-SP",
+            "TJ-SP-legacy",
+            "TJ-OM",
+            "KJ-VC",
+            "KJ-SS",
+            "KJ-CC",
+        ]:
             assert make_policy(name).name == name
 
     def test_unknown_name(self):
         with pytest.raises(KeyError, match="unknown policy"):
             make_policy("TJ-XX")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.core.policy import POLICY_REGISTRY, register_policy
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_policy("TJ-SP", TJGlobalTree)
+        # the registry is untouched by the failed attempt
+        assert POLICY_REGISTRY["TJ-SP"] is TJSpawnPaths
+
+    def test_duplicate_registration_with_override(self):
+        from repro.core.policy import POLICY_REGISTRY, register_policy
+
+        original = POLICY_REGISTRY["TJ-SP"]
+        try:
+            register_policy("TJ-SP", TJGlobalTree, override=True)
+            assert POLICY_REGISTRY["TJ-SP"] is TJGlobalTree
+        finally:
+            register_policy("TJ-SP", original, override=True)
+
+    def test_same_factory_reregistration_is_idempotent(self):
+        from repro.core.policy import register_policy
+
+        register_policy(TJSpawnPaths.name, TJSpawnPaths)  # no error

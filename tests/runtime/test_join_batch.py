@@ -1,0 +1,183 @@
+"""The batch join API: ``join_batch`` on the threaded and pool runtimes.
+
+One ``Verifier.check_joins`` call verifies a whole group of joins for
+stable (TJ/none) policies; learning (KJ) policies transparently fall
+back to per-future verification.  Results must match sequential joins
+exactly — order, failures, policy faults and statistics included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructs import finish
+from repro.errors import PolicyViolationError, TaskFailedError
+from repro.runtime import TaskRuntime, WorkSharingRuntime
+
+
+def _square(x):
+    return x * x
+
+
+def _boom():
+    raise ValueError("boom")
+
+
+RUNTIMES = [
+    ("threaded", lambda **kw: TaskRuntime(**kw)),
+    ("pool", lambda **kw: WorkSharingRuntime(workers=2, max_workers=64, **kw)),
+]
+
+
+@pytest.mark.parametrize("label,make_rt", RUNTIMES, ids=[r[0] for r in RUNTIMES])
+class TestJoinBatch:
+    def test_results_in_input_order(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            futures = [rt.fork(_square, i) for i in range(8)]
+            return rt.join_batch(futures)
+
+        assert rt.run(program) == [i * i for i in range(8)]
+
+    def test_empty_batch(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+        assert rt.run(lambda: rt.join_batch([])) == []
+
+    def test_batched_stats_match_sequential(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            futures = [rt.fork(_square, i) for i in range(6)]
+            rt.join_batch(futures)
+
+        rt.run(program)
+        stats = rt.verifier.stats
+        assert stats.forks == 7  # root + 6 children
+        assert stats.joins_checked == 6
+        assert stats.joins_rejected == 0
+
+    def test_return_exceptions_collects_failures_in_place(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            futures = [rt.fork(_square, 3), rt.fork(_boom), rt.fork(_square, 4)]
+            return rt.join_batch(futures, return_exceptions=True)
+
+        nine, failure, sixteen = rt.run(program)
+        assert (nine, sixteen) == (9, 16)
+        assert isinstance(failure, TaskFailedError)
+
+    def test_failure_raises_without_return_exceptions(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            futures = [rt.fork(_boom), rt.fork(_square, 4)]
+            try:
+                rt.join_batch(futures)
+            finally:
+                # drain the sibling so the pool can shut down cleanly
+                futures[1].join()
+
+        with pytest.raises(TaskFailedError):
+            rt.run(program)
+
+    def test_policy_fault_in_batch_without_fallback(self, label, make_rt):
+        """An older sibling joining a younger one faults mid-batch."""
+        rt = make_rt(policy="TJ-SP", fallback=False)
+
+        def child(sibling_future):
+            if sibling_future is not None:
+                rt.join_batch([sibling_future])
+            return 1
+
+        def program():
+            older_box = []
+
+            def older():
+                # forked first => TJ-greater; joining the younger sibling
+                # (forked later, hence TJ-smaller) violates the order
+                while not older_box:
+                    pass
+                return rt.join_batch([older_box[0]])
+
+            older_fut = rt.fork(older)
+            younger_fut = rt.fork(_square, 5)
+            older_box.append(younger_fut)
+            try:
+                older_fut.join()
+            finally:
+                younger_fut.join()
+
+        with pytest.raises(TaskFailedError) as info:
+            rt.run(program)
+        assert isinstance(info.value.__cause__, PolicyViolationError)
+
+    def test_kj_policy_uses_per_future_fallback(self, label, make_rt):
+        """Learning policies still verify batches correctly, one by one."""
+        rt = make_rt(policy="KJ-VC")
+
+        def program():
+            futures = [rt.fork(_square, i) for i in range(5)]
+            return rt.join_batch(futures)
+
+        assert rt.run(program) == [0, 1, 4, 9, 16]
+        assert rt.verifier.stats.joins_checked == 5
+
+    def test_foreign_future_rejected(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+        other = TaskRuntime(policy="TJ-SP")
+
+        def outer():
+            fut = other.fork(_square, 2)
+            try:
+                from repro.errors import RuntimeStateError
+
+                with pytest.raises(RuntimeStateError):
+                    rt.join_batch([fut])
+            finally:
+                fut.join()
+            return True
+
+        assert other.run(outer)
+
+
+@pytest.mark.parametrize("label,make_rt", RUNTIMES, ids=[r[0] for r in RUNTIMES])
+class TestFinishUsesBatchDrain:
+    def test_finish_results_unchanged(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            with finish(rt) as scope:
+                for i in range(10):
+                    scope.async_(_square, i)
+            return sorted(scope.results)
+
+        assert rt.run(program) == sorted(i * i for i in range(10))
+
+    def test_finish_collects_all_failures(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            try:
+                with finish(rt) as scope:
+                    scope.async_(_boom)
+                    scope.async_(_square, 2)
+                    scope.async_(_boom)
+            except TaskFailedError:
+                return len(scope.failures)
+            return 0
+
+        assert rt.run(program) == 2
+
+    def test_finish_batch_verification_counts(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            with finish(rt) as scope:
+                for i in range(7):
+                    scope.async_(_square, i)
+            return True
+
+        assert rt.run(program)
+        assert rt.verifier.stats.joins_checked == 7
