@@ -76,6 +76,17 @@ class ArmusDetector:
             if flagged:
                 self._forced_edges.add((waiter, joinee))
 
+    def count_false_positive(self) -> None:
+        """Record a policy false positive diagnosed without blocking.
+
+        Used when a flagged join targets an already-terminated task: no
+        edge is registered and no cycle is possible, but the (vacuous)
+        false positive still counts toward the precision statistics.
+        Public so callers never have to reach into the detector's lock.
+        """
+        with self._lock:
+            self.stats.false_positives += 1
+
     def unblock(self, waiter: Hashable, joinee: Hashable) -> None:
         """Remove the edge once the join has completed (or was abandoned)."""
         with self._lock:

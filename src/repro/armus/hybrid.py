@@ -83,8 +83,7 @@ class HybridVerifier:
             # join still counts as a (vacuous) false positive — the paper's
             # verifiers pay the check here too.
             if flagged:
-                with self.detector._lock:
-                    self.detector.stats.false_positives += 1
+                self.detector.count_false_positive()
             return False
         self.detector.block(joiner_task, joinee_task, flagged=flagged)
         return True

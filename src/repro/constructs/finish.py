@@ -10,6 +10,14 @@ Soundness of the drain loop (the Listing 1 argument): every task
 registers its children before terminating, and a join only unblocks
 after termination; hence when the queue is observed empty, no registered
 task (nor any of its descendants) is still running.
+
+Failure handling: the drain always awaits *every* spawned task (no task
+is abandoned mid-flight), collects failures, and re-raises the first —
+like an uncaught exception escaping an X10 finish.  With
+``cancel_on_failure=True`` the scope additionally requests cooperative
+cancellation of every still-pending task the moment the first failure is
+observed, so long-running siblings wind down instead of completing
+doomed work.
 """
 
 from __future__ import annotations
@@ -34,9 +42,12 @@ class FinishScope:
         # <- every transitively spawned walk() has terminated here
     """
 
-    def __init__(self, rt: TaskRuntime) -> None:
+    def __init__(self, rt: TaskRuntime, *, cancel_on_failure: bool = False) -> None:
         self._rt = rt
         self._futures: "queue.SimpleQueue[Future]" = queue.SimpleQueue()
+        self._spawned: list[Future] = []
+        self._cancel_on_failure = cancel_on_failure
+        self._cancel_requested = False
         self._closed = False
         self._results: list[Any] = []
         self._failures: list[TaskFailedError] = []
@@ -47,7 +58,26 @@ class FinishScope:
             raise RuntimeStateError("finish scope already completed")
         fut = self._rt.fork(fn, *args, **kwargs)
         self._futures.put(fut)
+        self._spawned.append(fut)
+        if self._cancel_requested:
+            # The scope is already winding down: the newcomer inherits
+            # the cancellation request immediately.
+            fut.cancel()
         return fut
+
+    # ------------------------------------------------------------------
+    def cancel_pending(self) -> int:
+        """Request cooperative cancellation of every unfinished scope task.
+
+        Returns the number of tasks the request reached (futures already
+        terminated are skipped).  Newly spawned tasks are cancelled on
+        arrival from then on.  The drain still joins everything — a
+        cancelled task terminates with
+        :class:`~repro.errors.TaskCancelledError`, collected like any
+        other failure.
+        """
+        self._cancel_requested = True
+        return sum(1 for fut in list(self._spawned) if fut.cancel())
 
     # ------------------------------------------------------------------
     def _drain(self) -> None:
@@ -64,9 +94,13 @@ class FinishScope:
         one call instead of paying per-join verifier overhead — the
         arbitrary-descendant-join pattern of a finish block is exactly
         the join-heavy shape that batching amortises.  Runtimes without
-        ``join_batch`` fall back to one ``join`` per future.
+        ``join_batch`` fall back to one ``join`` per future — as does a
+        ``cancel_on_failure`` scope, which joins one future at a time so
+        the first failure can cancel the others *before* waiting on them.
         """
         join_batch = getattr(self._rt, "join_batch", None)
+        if self._cancel_on_failure:
+            join_batch = None  # per-future joins: cancel promptly
         while True:
             batch: list[Future] = []
             while True:
@@ -88,6 +122,8 @@ class FinishScope:
                         self._results.append(fut.join())
                     except TaskFailedError as exc:
                         self._failures.append(exc)
+                        if self._cancel_on_failure and not self._cancel_requested:
+                            self.cancel_pending()
         self._closed = True
         if self._failures:
             # surface the first failure, like an uncaught exception
@@ -115,10 +151,14 @@ class finish:
             for item in items:
                 scope.async_(process, item)
         total = sum(scope.results)
+
+    ``cancel_on_failure=True`` requests cooperative cancellation of all
+    still-pending scope tasks as soon as the first failure is observed
+    during the drain (the drain still awaits everything).
     """
 
-    def __init__(self, rt: TaskRuntime) -> None:
-        self._scope = FinishScope(rt)
+    def __init__(self, rt: TaskRuntime, *, cancel_on_failure: bool = False) -> None:
+        self._scope = FinishScope(rt, cancel_on_failure=cancel_on_failure)
 
     def __enter__(self) -> FinishScope:
         return self._scope

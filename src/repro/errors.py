@@ -19,8 +19,12 @@ __all__ = [
     "DeadlockError",
     "DeadlockAvoidedError",
     "DeadlockDetectedError",
+    "JoinTimeoutError",
+    "TaskCancelledError",
     "RuntimeStateError",
     "TaskFailedError",
+    "InjectedFaultError",
+    "UnjoinedTaskWarning",
 ]
 
 
@@ -79,12 +83,59 @@ class DeadlockAvoidedError(DeadlockError):
 
 
 class DeadlockDetectedError(DeadlockError):
-    """Raised by the cooperative scheduler when no task can make progress.
+    """Raised when the runtime *detects* an already-formed deadlock.
 
-    This is *detection* (the deadlock already happened); it exists so the
-    deterministic runtime can report unprotected deadlocks in tests instead
-    of hanging.
+    Two sources deliver it: the cooperative scheduler, when no task can
+    make progress, and the :class:`~repro.runtime.supervisor.StallWatchdog`
+    on the blocking runtimes, which diagnoses a cycle of blocked joins and
+    raises this in every blocked task instead of letting them hang.  This
+    is *detection* (the deadlock already happened), as opposed to the
+    avoidance exceptions above — but it is still recoverable: the blocked
+    tasks receive it as an ordinary exception, with the cycle attached.
     """
+
+
+class JoinTimeoutError(ReproError, TimeoutError):
+    """A supervised join gave up waiting before the joinee terminated.
+
+    Carries the blocked edge (``joiner``/``joinee`` tasks, plus the
+    timeout that expired) so callers can diagnose or retry.  The wait-for
+    edge is unregistered before this propagates: the Armus graph and the
+    supervision registry hold no trace of the abandoned join, and the
+    same future may be joined again later.
+    """
+
+    def __init__(
+        self,
+        joiner: object,
+        joinee: object,
+        timeout: float | None,
+        message: str | None = None,
+    ):
+        self.joiner = joiner
+        self.joinee = joinee
+        self.timeout = timeout
+        super().__init__(
+            message
+            or f"join of {joinee!r} by {joiner!r} timed out after {timeout}s"
+        )
+
+
+class TaskCancelledError(ReproError):
+    """A task observed its cooperative cancellation request.
+
+    Raised at cancellation points (fork, join entry, blocked waits, and
+    explicit ``CancelToken.raise_if_cancelled`` calls) inside the
+    cancelled task, and used as the terminal exception of tasks that were
+    cancelled before they started running.
+    """
+
+    def __init__(self, task: object = None, message: str | None = None):
+        self.task = task
+        super().__init__(
+            message
+            or (f"task {task!r} was cancelled" if task is not None else "task was cancelled")
+        )
 
 
 class RuntimeStateError(ReproError):
@@ -92,9 +143,32 @@ class RuntimeStateError(ReproError):
 
 
 class TaskFailedError(ReproError):
-    """A joined task terminated with an exception; wraps the original."""
+    """A joined task terminated with an exception; wraps the original.
+
+    When raised out of ``join_batch``, :attr:`batch_index` holds the
+    position of the failed future within the batch (None elsewhere).
+    """
+
+    #: index of the failed future within a ``join_batch`` call, or None
+    batch_index: int | None = None
 
     def __init__(self, task: object, cause: BaseException):
         self.task = task
         self.__cause__ = cause
         super().__init__(f"task {task!r} failed: {cause!r}")
+
+
+class InjectedFaultError(ReproError):
+    """An artificial failure raised by the fault-injection harness.
+
+    Distinct from every organic error class so chaos tests can tell the
+    storms they seeded apart from genuine runtime misbehaviour.
+    """
+
+    def __init__(self, site: object = None, message: str | None = None):
+        self.site = site
+        super().__init__(message or f"injected fault at {site!r}")
+
+
+class UnjoinedTaskWarning(RuntimeWarning):
+    """A task failed but its future was never joined (reported at shutdown)."""

@@ -12,7 +12,8 @@ Two interchangeable runtimes drive the same verification machinery:
 from .context import current_task, require_current_task, task_scope
 from .cooperative import CooperativeRuntime
 from .future import Future
-from .task import TaskHandle, TaskState
+from .supervisor import BlockedJoin, JoinRegistry, StallWatchdog
+from .task import CancelToken, TaskHandle, TaskState
 from .threaded import TaskRuntime, resolve_policy
 
 __all__ = [
@@ -24,6 +25,10 @@ __all__ = [
     "Future",
     "TaskHandle",
     "TaskState",
+    "CancelToken",
+    "BlockedJoin",
+    "JoinRegistry",
+    "StallWatchdog",
     "current_task",
     "require_current_task",
     "task_scope",

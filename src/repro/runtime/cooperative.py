@@ -39,6 +39,7 @@ from ..core.verifier import Verifier
 from ..errors import (
     DeadlockDetectedError,
     RuntimeStateError,
+    TaskCancelledError,
     TaskFailedError,
 )
 from .threaded import resolve_policy
@@ -125,20 +126,28 @@ class CooperativeRuntime:
         finally:
             self._running = False
         assert root_future.done()
+        root_future._joined = True
         return root_future._result_now()
 
     def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
-        """``async fn(*args)`` from within a running task."""
+        """``async fn(*args)`` from within a running task.
+
+        Forking is a cancellation point: a cancelled task faults here
+        with :class:`~repro.errors.TaskCancelledError`.
+        """
         parent = require_current_task()
+        parent.cancel_token.raise_if_cancelled(parent)
         vertex = self._verifier.on_fork(parent.vertex)
         task = self._make_task(vertex, fn, args, kwargs)
         return self._future[task]
 
-    def join(self, future: Future) -> Any:
+    def join(self, future: Future, *, timeout: Optional[float] = None) -> Any:
         """Synchronous join — only legal on an already-terminated future.
 
         A cooperative task that needs to *wait* must use ``yield future``;
         blocking here would freeze the whole scheduler, so it is refused.
+        ``timeout`` is accepted for interface parity with the blocking
+        runtimes and ignored: a join that is legal here never waits.
         """
         if future._runtime is not self:
             raise RuntimeStateError("future belongs to a different runtime")
@@ -157,6 +166,7 @@ class CooperativeRuntime:
         else:
             self._verifier.require_join(joiner.vertex, joinee.vertex)
             self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
+        future._joined = True
         return future._result_now()
 
     # ------------------------------------------------------------------
@@ -228,6 +238,11 @@ class CooperativeRuntime:
     def _step(self, task: TaskHandle) -> None:
         gen = self._gen[task]
         resume = self._resume.pop(task, _Resume())
+        if task.cancel_token.cancelled() and resume.exc is None:
+            # Scheduling is a cancellation point: deliver the request as
+            # an exception thrown into the generator, so the task can
+            # run its cleanup (or catch and finish gracefully).
+            resume = _Resume(exc=TaskCancelledError(task))
         self._steps += 1
         with task_scope(task):
             try:
@@ -289,6 +304,7 @@ class CooperativeRuntime:
             self._hybrid.on_join_completed(task.vertex, joinee.vertex)
         else:
             self._verifier.on_join_completed(task.vertex, joinee.vertex)
+        future._joined = True
         try:
             value = future._result_now()
         except TaskFailedError as exc:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Optional, TYPE_CHECKING
 
-from ..errors import TaskFailedError
+from ..errors import TaskCancelledError, TaskFailedError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .task import TaskHandle
@@ -25,7 +25,7 @@ _PENDING = object()
 class Future:
     """The eventual result of an asynchronously executing task."""
 
-    __slots__ = ("task", "_runtime", "_value", "_exc", "_event")
+    __slots__ = ("task", "_runtime", "_value", "_exc", "_event", "_joined")
 
     def __init__(self, runtime: object, task: "TaskHandle") -> None:
         self.task = task
@@ -33,6 +33,9 @@ class Future:
         self._value: Any = _PENDING
         self._exc: Optional[BaseException] = None
         self._event = threading.Event()
+        #: set by the first completed join; read by the unjoined-failure
+        #: reaper at runtime shutdown
+        self._joined = False
 
     # ------------------------------------------------------------------
     # completion (called by the owning runtime)
@@ -45,6 +48,9 @@ class Future:
         self._exc = exc
         self._value = None
         self._event.set()
+        note = getattr(self._runtime, "_note_failure", None)
+        if note is not None:
+            note(self)
 
     # ------------------------------------------------------------------
     # observation
@@ -52,6 +58,10 @@ class Future:
     def done(self) -> bool:
         """Has the task terminated (successfully or not)?"""
         return self._event.is_set()
+
+    def cancelled(self) -> bool:
+        """Did the task terminate by observing a cancellation request?"""
+        return self._event.is_set() and isinstance(self._exc, TaskCancelledError)
 
     def _wait(self, timeout: Optional[float] = None) -> bool:
         return self._event.wait(timeout)
@@ -66,7 +76,7 @@ class Future:
     # ------------------------------------------------------------------
     # the join operation
     # ------------------------------------------------------------------
-    def join(self) -> Any:
+    def join(self, timeout: Optional[float] = None) -> Any:
         """Block until the task terminates and return its result.
 
         The join is first checked by the runtime's verifier; a disallowed
@@ -74,15 +84,41 @@ class Future:
         under the hybrid configuration — only a truly cyclic join faults,
         with :class:`~repro.errors.DeadlockAvoidedError`.
 
+        ``timeout`` (seconds) bounds the blocked wait on the blocking
+        runtimes: expiry raises :class:`~repro.errors.JoinTimeoutError`
+        carrying the blocked edge, after the wait-for edge has been
+        unregistered — the same future may be joined again later.  When
+        None, the runtime's ``default_join_timeout`` (if any) applies.
+
         In the cooperative runtime this method only works from the
         scheduler thread's currently running task; generator tasks should
         prefer ``result = yield future``.
         """
-        return self._runtime.join(self)
+        if timeout is None:
+            return self._runtime.join(self)
+        return self._runtime.join(self, timeout=timeout)
 
     # ``get`` is the Futures-literature name used by some of the paper's
     # sources; keep it as an alias.
     get = join
+
+    def cancel(self) -> bool:
+        """Request cooperative cancellation of the task.
+
+        Returns False if the task has already terminated (nothing to
+        cancel), True once the request is recorded.  Cancellation is
+        *cooperative*: a not-yet-started pool task is dropped before its
+        body runs; a running task observes the request at its next
+        cancellation point (fork, join, blocked wait, or an explicit
+        ``current_task().cancel_token.raise_if_cancelled()``) and
+        terminates with :class:`~repro.errors.TaskCancelledError`.
+        A task that never reaches a cancellation point runs to
+        completion regardless.
+        """
+        if self.done():
+            return False
+        self.task.cancel_token.cancel()
+        return True
 
     def __repr__(self) -> str:
         state = "done" if self.done() else "pending"

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from typing import Hashable, Optional
 
 from ..armus.generalized import GeneralizedDetector
-from ..errors import RuntimeStateError
+from ..errors import JoinTimeoutError, RuntimeStateError
 from .context import require_current_task
 
 __all__ = ["Phaser"]
@@ -126,13 +127,17 @@ class Phaser:
             self.detector.add_impeders(list(self._parties), new_event)
             self._cond.notify_all()
 
-    def wait(self, phase: Optional[int] = None) -> int:
+    def wait(self, phase: Optional[int] = None, *, timeout: Optional[float] = None) -> int:
         """Block until *phase* (default: the current one) completes.
 
         The block is first checked against the generalised waits-for
         state; a true cycle raises
         :class:`~repro.errors.DeadlockAvoidedError` without blocking.
-        Returns the phase that completed.
+        ``timeout`` (seconds) bounds the wait: expiry raises
+        :class:`~repro.errors.JoinTimeoutError` whose ``joinee`` is the
+        phase event ``(phaser-name, phase)``, after the waits-for edge
+        has been released — the phaser itself stays usable.  Returns the
+        phase that completed.
         """
         task = require_current_task()
         with self._lock:
@@ -140,19 +145,26 @@ class Phaser:
             if self._phase > target:
                 return target  # already past it
         event = self._event(target)
+        deadline = None if timeout is None else time.monotonic() + timeout
         self.detector.block(task, event)
         try:
             with self._cond:
                 while self._phase <= target:
-                    self._cond.wait()
+                    if deadline is None:
+                        self._cond.wait()
+                        continue
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise JoinTimeoutError(task, event, timeout)
+                    self._cond.wait(remaining)
         finally:
             self.detector.unblock(task, event)
         return target
 
-    def signal_and_wait(self) -> int:
+    def signal_and_wait(self, *, timeout: Optional[float] = None) -> int:
         """The classic barrier ``next``: arrive, then await everyone."""
         phase = self.signal()
-        return self.wait(phase)
+        return self.wait(phase, timeout=timeout)
 
     # ------------------------------------------------------------------
     @property

@@ -16,31 +16,43 @@ implements it properly:
 
 Compensation removes *scheduler-induced* deadlocks (all workers blocked
 while runnable tasks wait in the queue); *join-cycle* deadlocks remain
-the policy's job — which is the paper's division of labour.
+the policy's job — which is the paper's division of labour.  On top of
+that sits the supervision layer (:mod:`repro.runtime.supervisor`): join
+deadlines, cooperative cancellation, a stall watchdog that turns true
+join cycles into :class:`~repro.errors.DeadlockDetectedError` even with
+``policy=None``, and an unjoined-failure reaper at shutdown.
 """
 
 from __future__ import annotations
 
 import threading
 from queue import Empty, SimpleQueue
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Union
 
 from .context import require_current_task, task_scope
 from .future import Future
+from .supervisor import StallWatchdog, SupervisedJoinMixin
 from .task import TaskHandle, TaskState
 from .threaded import resolve_policy
 from ..armus.hybrid import HybridVerifier
 from ..core.policy import JoinPolicy
 from ..core.verifier import Verifier
-from ..errors import PolicyViolationError, RuntimeStateError, TaskFailedError
+from ..errors import RuntimeStateError, TaskCancelledError
 
 __all__ = ["WorkSharingRuntime"]
 
 _SHUTDOWN = object()
 
 
-class WorkSharingRuntime:
-    """Task-parallel futures on a self-compensating worker pool."""
+class WorkSharingRuntime(SupervisedJoinMixin):
+    """Task-parallel futures on a self-compensating worker pool.
+
+    Supervision parameters (``default_join_timeout``, ``watchdog``,
+    ``on_unjoined_failure``) match
+    :class:`~repro.runtime.threaded.TaskRuntime`; unlike there, the
+    unjoined-failure reaper here is exact — :meth:`run` waits for every
+    forked task to terminate before reaping.
+    """
 
     def __init__(
         self,
@@ -49,6 +61,10 @@ class WorkSharingRuntime:
         fallback: bool = True,
         workers: int = 4,
         max_workers: int = 256,
+        default_join_timeout: Optional[float] = None,
+        watchdog: Union[bool, float, StallWatchdog] = True,
+        watchdog_interval: float = 0.1,
+        on_unjoined_failure: str = "warn",
     ) -> None:
         if workers < 1 or max_workers < workers:
             raise ValueError("need 1 <= workers <= max_workers")
@@ -68,6 +84,12 @@ class WorkSharingRuntime:
         self._all_done = threading.Condition(self._lock)
         self._root_started = False
         self._shutdown = False
+        self._init_supervision(
+            default_join_timeout=default_join_timeout,
+            watchdog=watchdog,
+            watchdog_interval=watchdog_interval,
+            on_unjoined_failure=on_unjoined_failure,
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -118,6 +140,15 @@ class WorkSharingRuntime:
             self._execute(task, future, fn, args, kwargs)
 
     def _execute(self, task: TaskHandle, future: Future, fn, args, kwargs) -> None:
+        if task.cancel_token.cancelled():
+            # Cancelled while still queued: never run the body.
+            task.state = TaskState.FAILED
+            future._set_exception(TaskCancelledError(task))
+            with self._all_done:
+                self._outstanding -= 1
+                if self._outstanding == 0:
+                    self._all_done.notify_all()
+            return
         task.state = TaskState.RUNNING
         with task_scope(task):
             try:
@@ -142,30 +173,43 @@ class WorkSharingRuntime:
                 self._compensations += 1
                 self._spawn_worker()
 
-    def _block_on(self, future: Future) -> None:
-        """Wait for *future*, helping with queued tasks from a capped pool.
+    # ------------------------------------------------------------------
+    # supervision hooks (see SupervisedJoinMixin)
+    # ------------------------------------------------------------------
+    def _before_block(self, future: Future) -> None:
+        self._ensure_capacity_for_block()
+
+    def _wait_helper(self) -> Optional[Callable[[], bool]]:
+        """Blocked *workers* help: execute queued tasks between polls.
 
         Compensation keeps one spare worker per blocked one, but it is
-        bounded by ``max_workers``; past the cap a blocked worker *helps*:
-        it pulls runnable tasks off the queue and executes them inline
-        while polling the future.  Deep fork trees therefore never starve
-        (HJ's runtime solves the same problem with a similar mix of
-        compensation and work assists)."""
+        bounded by ``max_workers``; past the cap a blocked worker pulls
+        runnable tasks off the queue and executes them inline while
+        polling the future, so deep fork trees never starve (HJ's
+        runtime solves the same problem with a similar mix of
+        compensation and work assists).
+        """
         if threading.get_ident() not in self._worker_threads:
-            future._wait()
-            return
-        while not future._wait(timeout=0.002):
+            return None
+
+        def helper() -> bool:
+            with self._lock:
+                if self._idle > 0 or self._worker_count < self._max_workers:
+                    return False  # compensation (or an idle worker) has it
             try:
                 item = self._queue.get_nowait()
             except Empty:
-                continue
+                return False
             if item is _SHUTDOWN:
                 # shutdown is only initiated once nothing is outstanding,
                 # so this cannot happen while we are blocked; be safe.
                 self._queue.put(item)
-                continue
-            task, item_future, fn, args, kwargs = item
-            self._execute(task, item_future, fn, args, kwargs)
+                return False
+            task, future, fn, args, kwargs = item
+            self._execute(task, future, fn, args, kwargs)
+            return True
+
+        return helper
 
     # ------------------------------------------------------------------
     # task API (mirrors TaskRuntime)
@@ -174,7 +218,8 @@ class WorkSharingRuntime:
         """Execute *fn* as the root task in the calling thread.
 
         Returns after *fn* finishes **and** every forked task has
-        terminated (top-level implicit finish); then stops the pool.
+        terminated (top-level implicit finish); then stops the pool,
+        reaps unjoined failures, and retires the watchdog.
         """
         with self._lock:
             if self._root_started:
@@ -192,7 +237,6 @@ class WorkSharingRuntime:
             with task_scope(root):
                 result = fn(*args, **kwargs)
                 root.state = TaskState.DONE
-            return result
         except BaseException:
             root.state = TaskState.FAILED
             raise
@@ -204,9 +248,14 @@ class WorkSharingRuntime:
                 count = self._worker_count
             for _ in range(count):
                 self._queue.put(_SHUTDOWN)
+            if self._watchdog is not None:
+                self._watchdog.stop()
+        self._reap_unjoined()
+        return result
 
     def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         parent = require_current_task()
+        parent.cancel_token.raise_if_cancelled(parent)
         with self._lock:
             if self._shutdown:
                 raise RuntimeStateError("runtime already shut down")
@@ -218,82 +267,4 @@ class WorkSharingRuntime:
         self._queue.put((task, future, fn, args, kwargs))
         return future
 
-    def join(self, future: Future) -> Any:
-        if future._runtime is not self:
-            raise RuntimeStateError("future belongs to a different runtime")
-        joiner = require_current_task()
-        return self._join_one(joiner, future, None)
-
-    def join_batch(
-        self, futures: Sequence[Future], *, return_exceptions: bool = False
-    ) -> list:
-        """Join several futures with one batched verification pass.
-
-        Semantics match :meth:`TaskRuntime.join_batch <repro.runtime.threaded.TaskRuntime.join_batch>`:
-        ``stable_permits`` policies are verified in one
-        ``Verifier.check_joins`` call, learning policies per future;
-        results come back in input order; ``return_exceptions=True``
-        collects :class:`~repro.errors.TaskFailedError` s in place.
-        """
-        futures = list(futures)
-        for f in futures:
-            if f._runtime is not self:
-                raise RuntimeStateError("future belongs to a different runtime")
-        if not futures:
-            return []
-        joiner = require_current_task()
-        if self._verifier.policy.stable_permits:
-            verdicts = self._verifier.check_joins(
-                joiner.vertex, [f.task.vertex for f in futures]
-            )
-            flags: list[Optional[bool]] = [not ok for ok in verdicts]
-        else:
-            flags = [None] * len(futures)
-        results = []
-        for future, flagged in zip(futures, flags):
-            try:
-                results.append(self._join_one(joiner, future, flagged))
-            except TaskFailedError as exc:
-                if not return_exceptions:
-                    raise
-                results.append(exc)
-        return results
-
-    def _join_one(self, joiner, future: Future, flagged: Optional[bool]) -> Any:
-        joinee = future.task
-        if self._hybrid is not None:
-            blocked = self._hybrid.begin_join(
-                joiner,
-                joinee,
-                joiner.vertex,
-                joinee.vertex,
-                joinee_done=future.done(),
-                flagged=flagged,
-            )
-            if blocked:
-                self._ensure_capacity_for_block()
-                prev = joiner.state
-                joiner.state = TaskState.BLOCKED
-                try:
-                    self._block_on(future)
-                finally:
-                    self._hybrid.end_join(joiner, joinee)
-                    joiner.state = prev
-            self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
-        else:
-            if flagged is None:
-                self._verifier.require_join(joiner.vertex, joinee.vertex)
-            elif flagged:
-                raise PolicyViolationError(
-                    self._verifier.policy.name, joiner.vertex, joinee.vertex
-                )
-            if not future.done():
-                self._ensure_capacity_for_block()
-            prev = joiner.state
-            joiner.state = TaskState.BLOCKED
-            try:
-                self._block_on(future)
-            finally:
-                joiner.state = prev
-            self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
-        return future._result_now()
+    # join / join_batch / _join_one are provided by SupervisedJoinMixin.

@@ -1,0 +1,545 @@
+"""Supervision for the blocking runtimes: deadlines, watchdog, reaper.
+
+The paper's avoidance machinery guarantees that *verified* joins never
+close a cycle — but with ``policy=None`` (the overhead baseline), with
+``fallback=False`` misconfiguration, or simply with a joinee that never
+terminates, the threaded and pool runtimes could still block an OS
+thread forever with no diagnosis.  This module gives them the same
+no-hang guarantee the cooperative scheduler has had from the start:
+
+* **join deadlines** — every supervised wait accepts a deadline and
+  raises :class:`~repro.errors.JoinTimeoutError` (carrying the blocked
+  edge) when it expires, after unregistering the wait-for edge;
+* **a stall watchdog** — :class:`StallWatchdog`, a background monitor
+  that periodically snapshots the runtime's :class:`JoinRegistry` (an
+  edge registry independent of any policy or detector, so it works even
+  for ``policy=None`` / ``fallback=False``), diagnoses cycles of
+  blocked joins, and delivers :class:`~repro.errors.DeadlockDetectedError`
+  (cycle attached) to every blocked task in the cycle instead of
+  letting them hang;
+* **cooperative cancellation** — blocked waits observe the joiner's
+  :class:`~repro.runtime.task.CancelToken` and abort with
+  :class:`~repro.errors.TaskCancelledError`;
+* **an unjoined-failure reaper** — tasks whose futures fail but are
+  never joined are surfaced at runtime shutdown (warn or raise).
+
+All blocked waits are poll loops with exponential backoff (1 ms up to
+``max_tick``), never bare ``Event.wait()``: that is what makes deadline
+checks, watchdog delivery, cancellation, *and* Ctrl-C on the main
+thread all work while a join is blocked (an untimed ``Event.wait`` can
+swallow ``KeyboardInterrupt`` until the event fires).
+
+:class:`SupervisedJoinMixin` packages the shared join/join_batch
+protocol for :class:`~repro.runtime.threaded.TaskRuntime` and
+:class:`~repro.runtime.pool.WorkSharingRuntime`; the two runtimes
+differ only in the hooks (`_before_block`, `_wait_helper`) the pool
+uses for worker compensation and help-while-blocked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING, Union
+
+from ..errors import (
+    DeadlockDetectedError,
+    JoinTimeoutError,
+    PolicyViolationError,
+    RuntimeStateError,
+    TaskCancelledError,
+    TaskFailedError,
+    UnjoinedTaskWarning,
+)
+from ..formal.deadlock import find_cycle
+from .context import require_current_task
+from .task import TaskState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .future import Future
+    from .task import TaskHandle
+
+__all__ = [
+    "BlockedJoin",
+    "JoinRegistry",
+    "StallWatchdog",
+    "SupervisedJoinMixin",
+    "wait_for_future",
+]
+
+#: first poll interval of a blocked wait (doubles up to ``max_tick``)
+_MIN_TICK = 0.001
+#: default ceiling for the poll interval of a blocked wait
+_MAX_TICK = 0.05
+
+
+class BlockedJoin:
+    """One currently blocked join: the wait-for edge ``joiner -> joinee``.
+
+    ``exc`` is the delivery slot: the watchdog stores an exception here
+    and the blocked task's poll loop raises it.  Attaching the slot to
+    the *record* (not the task) makes delivery race-free: a record is
+    owned by exactly one wait and dies with it, so a diagnosis can never
+    leak into some later, unrelated join of the same task.
+    """
+
+    __slots__ = ("joiner", "joinee", "future", "since", "exc")
+
+    def __init__(self, joiner: "TaskHandle", joinee: "TaskHandle", future: "Future") -> None:
+        self.joiner = joiner
+        self.joinee = joinee
+        self.future = future
+        self.since = time.monotonic()
+        self.exc: Optional[BaseException] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BlockedJoin {self.joiner.name} -> {self.joinee.name}>"
+
+
+class JoinRegistry:
+    """Thread-safe registry of the currently blocked joins of one runtime.
+
+    This is the supervision layer's *own* edge registry: unlike the
+    Armus wait-for graph it exists for every configuration — including
+    ``policy=None`` and ``fallback=False``, where no detector is
+    registered — so the watchdog always has ground truth to scan.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: set[BlockedJoin] = set()
+
+    def register(self, joiner: "TaskHandle", joinee: "TaskHandle", future: "Future") -> BlockedJoin:
+        record = BlockedJoin(joiner, joinee, future)
+        with self._lock:
+            self._records.add(record)
+        return record
+
+    def unregister(self, record: BlockedJoin) -> None:
+        with self._lock:
+            self._records.discard(record)
+
+    def snapshot(self) -> list[BlockedJoin]:
+        """An atomic copy of the current records (for the watchdog)."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class StallWatchdog:
+    """Background monitor that converts true join-cycle stalls into errors.
+
+    Every ``interval`` seconds the watchdog snapshots the registry,
+    builds the task-level wait-for graph, and looks for cycles.  A cycle
+    whose every member's future is still pending can never resolve (each
+    joinee is itself blocked, and an edge only disappears when its
+    joinee terminates), so it is a true deadlock: the watchdog delivers
+    a :class:`DeadlockDetectedError` carrying the cycle to every blocked
+    task in it.  Cycles containing an already-completed future are
+    snapshot transients (the waiter is about to unregister) and are
+    skipped — which is what makes false positives impossible.
+
+    The monitor thread is started lazily by the first blocked join and
+    exits after the registry has stayed empty for ``idle_scans``
+    consecutive scans; it restarts on the next blocked join.  Idle
+    runtimes therefore hold no thread and can be garbage collected.
+    """
+
+    def __init__(
+        self,
+        registry: JoinRegistry,
+        *,
+        interval: float = 0.1,
+        idle_scans: int = 10,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("watchdog interval must be positive")
+        self.registry = registry
+        self.interval = interval
+        self._idle_scans = idle_scans
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        #: total deadlock diagnoses delivered (read by tests/CLI)
+        self.deadlocks_detected = 0
+
+    # ------------------------------------------------------------------
+    def ensure_running(self) -> None:
+        """Start the monitor thread if it is not already alive."""
+        with self._lock:
+            if self._stopped:
+                return
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._thread = threading.Thread(
+                target=self._run, name="repro-watchdog", daemon=True
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Permanently stop the monitor (used at runtime shutdown)."""
+        with self._lock:
+            self._stopped = True
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        idle = 0
+        while True:
+            time.sleep(self.interval)
+            with self._lock:
+                if self._stopped:
+                    return
+            records = self.registry.snapshot()
+            if not records:
+                idle += 1
+                if idle >= self._idle_scans:
+                    return  # lazily restarted by the next blocked join
+                continue
+            idle = 0
+            self.scan(records)
+
+    def scan(self, records: Optional[list[BlockedJoin]] = None) -> list[tuple]:
+        """One diagnosis pass; returns the cycles delivered.
+
+        Exposed for synchronous use in tests — the background thread
+        calls this on every tick.
+        """
+        if records is None:
+            records = self.registry.snapshot()
+        # A task blocks on one join at a time (one thread per task), so
+        # joiner -> record is a function.
+        by_joiner: dict["TaskHandle", BlockedJoin] = {}
+        graph: dict["TaskHandle", set["TaskHandle"]] = {}
+        for record in records:
+            by_joiner[record.joiner] = record
+            graph.setdefault(record.joiner, set()).add(record.joinee)
+            graph.setdefault(record.joinee, set())
+        delivered: list[tuple] = []
+        while True:
+            cycle = find_cycle(graph)
+            if cycle is None:
+                return delivered
+            cycle_records = [by_joiner[t] for t in cycle]
+            # Drop this cycle's edges from the working graph either way,
+            # so the loop terminates and other cycles are still found.
+            for task in cycle:
+                graph[task] = set()
+            if any(r.future.done() for r in cycle_records):
+                continue  # snapshot transient: a waiter is unblocking
+            stall = tuple(r.joiner for r in cycle_records)
+            for record in cycle_records:
+                if record.exc is None:
+                    record.exc = DeadlockDetectedError(cycle=stall)
+            with self._lock:
+                self.deadlocks_detected += len(cycle_records)
+            delivered.append(stall)
+
+
+def wait_for_future(
+    future: "Future",
+    joiner: "TaskHandle",
+    *,
+    registry: Optional[JoinRegistry] = None,
+    watchdog: Optional[StallWatchdog] = None,
+    deadline: Optional[float] = None,
+    timeout_value: Optional[float] = None,
+    helper: Optional[Callable[[], bool]] = None,
+    max_tick: float = _MAX_TICK,
+) -> None:
+    """The supervised blocked wait used by every blocking join.
+
+    Polls the future with exponential backoff while honouring, in
+    priority order: a watchdog-delivered diagnosis (``record.exc``), the
+    joiner's cancellation token, and the deadline.  ``helper``, when
+    given, is invoked between polls and may execute queued work (the
+    pool's help-while-blocked loop); returning True resets the backoff.
+    The registry record is always removed on exit, so no supervision
+    state outlives the wait.
+    """
+    if future._wait(0):
+        return
+    record = registry.register(joiner, future.task, future) if registry is not None else None
+    if watchdog is not None:
+        watchdog.ensure_running()
+    tick = _MIN_TICK
+    try:
+        while True:
+            if record is not None and record.exc is not None:
+                raise record.exc
+            token = joiner.cancel_token
+            if token.cancelled():
+                raise TaskCancelledError(joiner)
+            wait = tick
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise JoinTimeoutError(joiner, future.task, timeout_value)
+                wait = min(wait, remaining)
+            if future._wait(wait):
+                return
+            if helper is not None and helper():
+                tick = _MIN_TICK  # we did useful work; stay responsive
+                continue
+            tick = min(tick * 2, max_tick)
+    finally:
+        if record is not None:
+            registry.unregister(record)
+
+
+class SupervisedJoinMixin:
+    """The shared supervised join protocol of the blocking runtimes.
+
+    Host classes must provide ``_hybrid`` (HybridVerifier or None) and
+    ``_verifier`` and call :meth:`_init_supervision` from ``__init__``.
+    They may override :meth:`_before_block` (called once when a join is
+    about to genuinely block) and :meth:`_wait_helper` (returns the
+    between-polls callback for the current thread, or None).
+    """
+
+    def _init_supervision(
+        self,
+        *,
+        default_join_timeout: Optional[float] = None,
+        watchdog: Union[bool, float, StallWatchdog] = True,
+        watchdog_interval: float = 0.1,
+        on_unjoined_failure: str = "warn",
+    ) -> None:
+        if on_unjoined_failure not in ("warn", "raise", "ignore"):
+            raise ValueError(
+                "on_unjoined_failure must be 'warn', 'raise' or 'ignore', "
+                f"not {on_unjoined_failure!r}"
+            )
+        if default_join_timeout is not None and default_join_timeout < 0:
+            raise ValueError("default_join_timeout must be non-negative")
+        #: runtime-wide deadline applied to joins with no explicit timeout
+        self.default_join_timeout = default_join_timeout
+        self._registry = JoinRegistry()
+        if isinstance(watchdog, StallWatchdog):
+            self._watchdog: Optional[StallWatchdog] = watchdog
+        elif watchdog:
+            interval = (
+                float(watchdog)
+                if not isinstance(watchdog, bool)
+                else watchdog_interval
+            )
+            self._watchdog = StallWatchdog(self._registry, interval=interval)
+        else:
+            self._watchdog = None
+        self._on_unjoined_failure = on_unjoined_failure
+        self._failed_futures: List["Future"] = []
+        self._failed_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def watchdog(self) -> Optional[StallWatchdog]:
+        """The stall watchdog, or None when supervision is disabled."""
+        return self._watchdog
+
+    def blocked_joins(self) -> list[BlockedJoin]:
+        """A snapshot of the joins currently blocked in this runtime."""
+        return self._registry.snapshot()
+
+    # ------------------------------------------------------------------
+    # hooks for the concrete runtimes
+    # ------------------------------------------------------------------
+    def _before_block(self, future: "Future") -> None:
+        """Called once when a join is about to genuinely block."""
+
+    def _wait_helper(self) -> Optional[Callable[[], bool]]:
+        """Between-polls callback for the current thread, or None."""
+        return None
+
+    # ------------------------------------------------------------------
+    # failure bookkeeping (the unjoined-failure reaper)
+    # ------------------------------------------------------------------
+    def _note_failure(self, future: "Future") -> None:
+        with self._failed_lock:
+            self._failed_futures.append(future)
+
+    def _reap_unjoined(self) -> None:
+        """Surface failures of tasks whose futures were never joined.
+
+        Called at runtime shutdown.  Cancelled tasks are exempt — their
+        failure is the deliberate outcome of ``Future.cancel()``.
+        """
+        if self._on_unjoined_failure == "ignore":
+            return
+        with self._failed_lock:
+            failed = list(self._failed_futures)
+        leaked = [
+            f
+            for f in failed
+            if not f._joined and not isinstance(f._exc, TaskCancelledError)
+        ]
+        if not leaked:
+            return
+        if self._on_unjoined_failure == "raise":
+            first = leaked[0]
+            raise TaskFailedError(first.task, first._exc)
+        for f in leaked:
+            warnings.warn(
+                f"task {f.task.name} failed with {f._exc!r} but its future "
+                "was never joined",
+                UnjoinedTaskWarning,
+                stacklevel=2,
+            )
+
+    # ------------------------------------------------------------------
+    # the join operations (called via Future.join / user code)
+    # ------------------------------------------------------------------
+    def _resolve_deadline(
+        self, timeout: Optional[float]
+    ) -> tuple[Optional[float], Optional[float]]:
+        if timeout is None:
+            timeout = self.default_join_timeout
+        if timeout is None:
+            return None, None
+        return time.monotonic() + timeout, timeout
+
+    def join(self, future: "Future", *, timeout: Optional[float] = None):
+        """Join one future; ``timeout`` overrides ``default_join_timeout``."""
+        if future._runtime is not self:
+            raise RuntimeStateError("future belongs to a different runtime")
+        joiner = require_current_task()
+        deadline, timeout_value = self._resolve_deadline(timeout)
+        return self._join_one(joiner, future, None, deadline, timeout_value)
+
+    def join_batch(
+        self,
+        futures: Sequence["Future"],
+        *,
+        return_exceptions: bool = False,
+        timeout: Optional[float] = None,
+        cancel_remaining: bool = False,
+    ) -> list:
+        """Join several futures, verifying the whole batch in one call.
+
+        For ``stable_permits`` policies (all TJ variants and the null
+        baseline) the permission verdicts are precomputed with one
+        ``Verifier.check_joins`` call — one stats update and one pass
+        through the policy's ``permits_many`` for the whole batch —
+        and the joins then proceed without re-checking.  Learning (KJ)
+        policies fall back to per-future verification, since their
+        verdicts may flip as earlier joins in the batch teach knowledge.
+
+        Results are returned in input order.  With
+        ``return_exceptions=True``, a failed task contributes its
+        :class:`~repro.errors.TaskFailedError` in place of a result
+        instead of raising (policy faults, avoided deadlocks, timeouts
+        and watchdog diagnoses always raise).  Any raised
+        ``TaskFailedError`` — and every collected one — carries
+        ``batch_index``, the position of the failed future in the batch.
+
+        ``timeout`` is one deadline shared by the whole batch.  With
+        ``cancel_remaining=True``, an exception that aborts the batch
+        first requests cooperative cancellation of the not-yet-joined
+        futures.
+        """
+        futures = list(futures)
+        for f in futures:
+            if f._runtime is not self:
+                raise RuntimeStateError("future belongs to a different runtime")
+        if not futures:
+            return []
+        joiner = require_current_task()
+        deadline, timeout_value = self._resolve_deadline(timeout)
+        if self._verifier.policy.stable_permits:
+            verdicts = self._verifier.check_joins(
+                joiner.vertex, [f.task.vertex for f in futures]
+            )
+            flags: list[Optional[bool]] = [not ok for ok in verdicts]
+        else:
+            flags = [None] * len(futures)
+        results = []
+        for index, (future, flagged) in enumerate(zip(futures, flags)):
+            try:
+                results.append(
+                    self._join_one(joiner, future, flagged, deadline, timeout_value)
+                )
+            except TaskFailedError as exc:
+                exc.batch_index = index
+                if return_exceptions:
+                    results.append(exc)
+                    continue
+                if cancel_remaining:
+                    for later in futures[index + 1 :]:
+                        later.cancel()
+                raise
+            except BaseException:
+                if cancel_remaining:
+                    for later in futures[index + 1 :]:
+                        later.cancel()
+                raise
+        return results
+
+    def _join_one(
+        self,
+        joiner: "TaskHandle",
+        future: "Future",
+        flagged: Optional[bool],
+        deadline: Optional[float] = None,
+        timeout_value: Optional[float] = None,
+    ):
+        """Join one future; ``flagged`` is a precomputed verdict or None."""
+        joiner.cancel_token.raise_if_cancelled(joiner)
+        joinee = future.task
+        if self._hybrid is not None:
+            blocked = self._hybrid.begin_join(
+                joiner,
+                joinee,
+                joiner.vertex,
+                joinee.vertex,
+                joinee_done=future.done(),
+                flagged=flagged,
+            )
+            if blocked:
+                self._before_block(future)
+                prev_state = joiner.state
+                joiner.state = TaskState.BLOCKED
+                try:
+                    self._supervised_wait(joiner, future, deadline, timeout_value)
+                finally:
+                    self._hybrid.end_join(joiner, joinee)
+                    joiner.state = prev_state
+            self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
+        else:
+            if flagged is None:
+                self._verifier.require_join(joiner.vertex, joinee.vertex)
+            elif flagged:
+                raise PolicyViolationError(
+                    self._verifier.policy.name, joiner.vertex, joinee.vertex
+                )
+            if not future.done():
+                self._before_block(future)
+                prev_state = joiner.state
+                joiner.state = TaskState.BLOCKED
+                try:
+                    self._supervised_wait(joiner, future, deadline, timeout_value)
+                finally:
+                    joiner.state = prev_state
+            self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
+        future._joined = True
+        return future._result_now()
+
+    def _supervised_wait(
+        self,
+        joiner: "TaskHandle",
+        future: "Future",
+        deadline: Optional[float],
+        timeout_value: Optional[float],
+    ) -> None:
+        wait_for_future(
+            future,
+            joiner,
+            registry=self._registry,
+            watchdog=self._watchdog,
+            deadline=deadline,
+            timeout_value=timeout_value,
+            helper=self._wait_helper(),
+        )

@@ -12,7 +12,9 @@ import itertools
 from enum import Enum
 from typing import Any, Callable, Optional
 
-__all__ = ["TaskHandle", "TaskState"]
+from ..errors import TaskCancelledError
+
+__all__ = ["CancelToken", "TaskHandle", "TaskState"]
 
 _uid = itertools.count()
 
@@ -25,10 +27,39 @@ class TaskState(Enum):
     FAILED = "failed"
 
 
+class CancelToken:
+    """A set-once cooperative cancellation flag attached to each task.
+
+    ``cancel()`` only *requests* cancellation; the task observes it at its
+    next cancellation point — fork, join entry, a blocked supervised wait,
+    or an explicit :meth:`raise_if_cancelled` inside the task body.  The
+    flag is monotonic (never cleared), so a plain attribute read suffices:
+    under the GIL a set-once boolean needs no lock, and a racing reader
+    merely observes the request one check later.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._cancelled = True
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def raise_if_cancelled(self, task: object = None) -> None:
+        """Raise :class:`TaskCancelledError` if cancellation was requested."""
+        if self._cancelled:
+            raise TaskCancelledError(task)
+
+
 class TaskHandle:
     """Identity and bookkeeping for one task."""
 
-    __slots__ = ("uid", "name", "vertex", "code", "state", "parent_uid")
+    __slots__ = ("uid", "name", "vertex", "code", "state", "parent_uid", "cancel_token")
 
     def __init__(
         self,
@@ -44,6 +75,7 @@ class TaskHandle:
         self.code = code
         self.state = TaskState.CREATED
         self.parent_uid = parent_uid
+        self.cancel_token = CancelToken()
 
     def __repr__(self) -> str:
         return f"<TaskHandle {self.name} {self.state.value}>"

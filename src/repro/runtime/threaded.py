@@ -9,20 +9,29 @@ Instrumentation: every fork funnels through ``AddChild`` and every join
 through the policy gate (Algorithm 1), optionally composed with the Armus
 fallback (the Section 6 configuration).  With ``policy=None`` joins are
 unchecked — the overhead baseline.
+
+Joins are *supervised* (see :mod:`repro.runtime.supervisor`): they
+accept deadlines, observe cooperative cancellation, and — with the
+watchdog enabled (the default) — a true join cycle terminates every
+blocked task with :class:`~repro.errors.DeadlockDetectedError` instead
+of hanging, even in configurations the avoidance machinery does not
+cover.  All blocked waits are interruptible poll loops, so Ctrl-C works
+while the main thread is blocked in a join.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Optional, Sequence, Union
+from typing import Any, Callable, Optional, Union
 
 from .context import require_current_task, task_scope
 from .future import Future
+from .supervisor import StallWatchdog, SupervisedJoinMixin
 from .task import TaskHandle, TaskState
 from ..armus.hybrid import HybridVerifier
 from ..core.policy import JoinPolicy, NullPolicy, make_policy
 from ..core.verifier import Verifier
-from ..errors import PolicyViolationError, RuntimeStateError, TaskFailedError
+from ..errors import RuntimeStateError
 
 __all__ = ["TaskRuntime", "resolve_policy"]
 
@@ -36,7 +45,7 @@ def resolve_policy(policy: Union[None, str, JoinPolicy]) -> JoinPolicy:
     return policy
 
 
-class TaskRuntime:
+class TaskRuntime(SupervisedJoinMixin):
     """Thread-per-task futures runtime with pluggable join verification.
 
     Parameters
@@ -50,6 +59,20 @@ class TaskRuntime:
         :class:`~repro.errors.DeadlockAvoidedError`.  When False, a
         rejection faults immediately with
         :class:`~repro.errors.PolicyViolationError` (pure Algorithm 1).
+    default_join_timeout:
+        Runtime-wide deadline (seconds) applied to every join that does
+        not pass an explicit ``timeout``; None (default) means unbounded.
+    watchdog:
+        True (default) to supervise blocked joins with a
+        :class:`~repro.runtime.supervisor.StallWatchdog`; a float to set
+        its scan interval; an existing watchdog instance to share one;
+        False to disable.
+    on_unjoined_failure:
+        What :meth:`run` does about tasks that failed but whose futures
+        were never joined: ``"warn"`` (default), ``"raise"`` (re-raise
+        the first such failure as :class:`TaskFailedError`), or
+        ``"ignore"``.  Best-effort on this runtime: ``run`` returns when
+        the *root* returns, so only failures recorded by then are seen.
 
     A runtime instance hosts exactly one root task (one :meth:`run` call):
     the verifier data structures assume a single fork tree.
@@ -60,6 +83,10 @@ class TaskRuntime:
         policy: Union[None, str, JoinPolicy] = "TJ-SP",
         *,
         fallback: bool = True,
+        default_join_timeout: Optional[float] = None,
+        watchdog: Union[bool, float, StallWatchdog] = True,
+        watchdog_interval: float = 0.1,
+        on_unjoined_failure: str = "warn",
     ) -> None:
         policy_obj = resolve_policy(policy)
         self._hybrid: Optional[HybridVerifier] = HybridVerifier(policy_obj) if fallback else None
@@ -67,6 +94,12 @@ class TaskRuntime:
         self._root_started = False
         self._threads_started = 0
         self._lock = threading.Lock()
+        self._init_supervision(
+            default_join_timeout=default_join_timeout,
+            watchdog=watchdog,
+            watchdog_interval=watchdog_interval,
+            on_unjoined_failure=on_unjoined_failure,
+        )
 
     # ------------------------------------------------------------------
     # introspection
@@ -94,7 +127,9 @@ class TaskRuntime:
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Execute *fn* as the root task in the calling thread.
 
-        Returns *fn*'s result; exceptions propagate unchanged.
+        Returns *fn*'s result; exceptions propagate unchanged.  On a
+        clean return, failures of never-joined futures recorded so far
+        are surfaced per ``on_unjoined_failure``.
         """
         with self._lock:
             if self._root_started:
@@ -110,18 +145,23 @@ class TaskRuntime:
             try:
                 result = fn(*args, **kwargs)
                 root.state = TaskState.DONE
-                return result
             except BaseException:
                 root.state = TaskState.FAILED
                 raise
+        self._reap_unjoined()
+        return result
 
     def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """``async fn(*args)``: start *fn* in a new task; return its Future.
 
         Must be called from inside a task of this runtime (the forking task
-        determines the new vertex's parent).
+        determines the new vertex's parent).  Forking is a cancellation
+        point: a cancelled task faults here with
+        :class:`~repro.errors.TaskCancelledError` instead of growing the
+        tree further.
         """
         parent = require_current_task()
+        parent.cancel_token.raise_if_cancelled(parent)
         vertex = self._verifier.on_fork(parent.vertex)
         task = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
         future = Future(self, task)
@@ -155,91 +195,4 @@ class TaskRuntime:
                 task.state = TaskState.DONE
                 future._set_result(value)
 
-    # ------------------------------------------------------------------
-    # the join operation (called via Future.join)
-    # ------------------------------------------------------------------
-    def join(self, future: Future) -> Any:
-        if future._runtime is not self:
-            raise RuntimeStateError("future belongs to a different runtime")
-        joiner = require_current_task()
-        return self._join_one(joiner, future, None)
-
-    def join_batch(
-        self, futures: Sequence[Future], *, return_exceptions: bool = False
-    ) -> list:
-        """Join several futures, verifying the whole batch in one call.
-
-        For ``stable_permits`` policies (all TJ variants and the null
-        baseline) the permission verdicts are precomputed with one
-        ``Verifier.check_joins`` call — one stats update and one pass
-        through the policy's ``permits_many`` for the whole batch —
-        and the joins then proceed without re-checking.  Learning (KJ)
-        policies fall back to per-future verification, since their
-        verdicts may flip as earlier joins in the batch teach knowledge.
-
-        Results are returned in input order.  With
-        ``return_exceptions=True``, a failed task contributes its
-        :class:`~repro.errors.TaskFailedError` in place of a result
-        instead of raising (policy faults and avoided deadlocks always
-        raise).
-        """
-        futures = list(futures)
-        for f in futures:
-            if f._runtime is not self:
-                raise RuntimeStateError("future belongs to a different runtime")
-        if not futures:
-            return []
-        joiner = require_current_task()
-        if self._verifier.policy.stable_permits:
-            verdicts = self._verifier.check_joins(
-                joiner.vertex, [f.task.vertex for f in futures]
-            )
-            flags: list[Optional[bool]] = [not ok for ok in verdicts]
-        else:
-            flags = [None] * len(futures)
-        results = []
-        for future, flagged in zip(futures, flags):
-            try:
-                results.append(self._join_one(joiner, future, flagged))
-            except TaskFailedError as exc:
-                if not return_exceptions:
-                    raise
-                results.append(exc)
-        return results
-
-    def _join_one(self, joiner, future: Future, flagged: Optional[bool]) -> Any:
-        """Join one future; ``flagged`` is a precomputed verdict or None."""
-        joinee = future.task
-        if self._hybrid is not None:
-            blocked = self._hybrid.begin_join(
-                joiner,
-                joinee,
-                joiner.vertex,
-                joinee.vertex,
-                joinee_done=future.done(),
-                flagged=flagged,
-            )
-            if blocked:
-                prev_state = joiner.state
-                joiner.state = TaskState.BLOCKED
-                try:
-                    future._wait()
-                finally:
-                    self._hybrid.end_join(joiner, joinee)
-                    joiner.state = prev_state
-            self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
-        else:
-            if flagged is None:
-                self._verifier.require_join(joiner.vertex, joinee.vertex)
-            elif flagged:
-                raise PolicyViolationError(
-                    self._verifier.policy.name, joiner.vertex, joinee.vertex
-                )
-            prev_state = joiner.state
-            joiner.state = TaskState.BLOCKED
-            try:
-                future._wait()
-            finally:
-                joiner.state = prev_state
-            self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
-        return future._result_now()
+    # join / join_batch / _join_one are provided by SupervisedJoinMixin.

@@ -1,0 +1,36 @@
+"""Deterministic fault injection and chaos testing for the runtimes.
+
+:mod:`repro.testing.faults` provides :class:`FaultPlan` — a seeded,
+site-keyed source of injected crashes, delays and verifier faults — and
+:class:`FaultyPolicy`, a policy wrapper that injects
+:class:`~repro.errors.InjectedFaultError` into the verification path.
+
+:mod:`repro.testing.chaos` generates seeded random fork/join programs
+(deadlock-free by construction) and runs them under any registered
+policy on any blocking runtime, checking a battery of invariants:
+verifier statistics exactly match the program spec, the Armus graph and
+join registry end empty, no task leaks a BLOCKED state, and — for
+``stable_permits`` policies — the permission verdicts are identical
+with and without injected delays.
+"""
+
+from .faults import FaultPlan, FaultyPolicy
+from .chaos import (
+    ChaosInvariantError,
+    ChaosResult,
+    ChaosSpec,
+    generate_spec,
+    run_chaos_program,
+    run_with_verifier_faults,
+)
+
+__all__ = [
+    "ChaosInvariantError",
+    "ChaosResult",
+    "ChaosSpec",
+    "FaultPlan",
+    "FaultyPolicy",
+    "generate_spec",
+    "run_chaos_program",
+    "run_with_verifier_faults",
+]

@@ -1,0 +1,454 @@
+"""Seeded random fork/join programs with invariant checking.
+
+:func:`generate_spec` derives a whole program — task tree, join
+schedule, crash sites — from one integer seed, so a chaos failure is
+reproducible from its seed alone.  Programs are **deadlock-free by
+construction**:
+
+* every parent joins all of its children (so the tree quiesces);
+* a task may additionally join an *older* sibling — the waits-on
+  relation among siblings strictly decreases the sibling index, so no
+  sibling cycle can form (and younger-joins-older is TJ-valid; the
+  reverse direction is the classic TJ violation);
+* a task may join a *grandchild*, but only after joining the child that
+  forked it (a transitive join: TJ-valid, yet flagged by several KJ
+  policies — which is exactly how the suite exercises the Armus
+  false-positive path under load).
+
+Injected crashes fire *after* a task has performed all of its joins, so
+a crashed task never abandons children; every crash is observed by the
+parent's join as :class:`~repro.errors.TaskFailedError` and swallowed by
+the harness, which records it.
+
+After the run, :func:`run_chaos_program` checks the invariants the
+supervised runtimes promise (raising :class:`ChaosInvariantError` on any
+violation):
+
+* every future completed and no task is left in ``BLOCKED`` state;
+* the supervision registry and the Armus waits-for graph are empty, and
+  no forced edge is live;
+* verifier statistics match the spec exactly: ``forks == n_tasks`` and
+  ``joins_checked == total_joins`` (both are computable from the spec
+  because every planned join runs exactly once);
+* the watchdog delivered no diagnosis (the program is deadlock-free);
+* the set of observed failures equals the planned crash set.
+
+For ``stable_permits`` policies the result also carries the post-hoc
+permission verdict of every join edge (queried directly from the policy,
+which is side-effect free), so callers can assert the verdict stream is
+identical with and without injected delays.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..core.policy import JoinPolicy
+from ..core.verifier import VerifierStats
+from ..errors import InjectedFaultError, TaskFailedError
+from ..runtime.context import require_current_task
+from ..runtime.pool import WorkSharingRuntime
+from ..runtime.task import TaskState
+from ..runtime.threaded import TaskRuntime
+from .faults import FaultPlan, FaultyPolicy
+
+__all__ = [
+    "ChaosInvariantError",
+    "ChaosResult",
+    "ChaosSpec",
+    "generate_spec",
+    "run_chaos_program",
+    "run_with_verifier_faults",
+]
+
+RUNTIMES = ("threaded", "pool")
+
+
+class ChaosInvariantError(AssertionError):
+    """A supervised-runtime invariant did not hold after a chaos run."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A fully determined chaos program (everything derives from the seed)."""
+
+    seed: int
+    n_tasks: int
+    #: task id -> ids of the children it forks (ascending)
+    children: dict[int, tuple[int, ...]]
+    #: task id -> older siblings it joins before joining its children
+    sibling_joins: dict[int, tuple[int, ...]]
+    #: task id -> grandchildren it joins after joining its children
+    grandchild_joins: dict[int, tuple[int, ...]]
+    #: parents that join their children via ``join_batch``
+    batch_parents: frozenset[int]
+    #: tasks that raise InjectedFaultError after completing their joins
+    crash_tasks: frozenset[int]
+
+    @property
+    def total_joins(self) -> int:
+        """Join checks the program performs (== expected ``joins_checked``)."""
+        return sum(
+            len(self.children.get(t, ()))
+            + len(self.sibling_joins.get(t, ()))
+            + len(self.grandchild_joins.get(t, ()))
+            for t in range(self.n_tasks)
+        )
+
+    def join_edges(self) -> list[tuple[int, int]]:
+        """Every (joiner, joinee) pair, in a deterministic order."""
+        edges: list[tuple[int, int]] = []
+        for t in range(self.n_tasks):
+            for s in self.sibling_joins.get(t, ()):
+                edges.append((t, s))
+            for c in self.children.get(t, ()):
+                edges.append((t, c))
+            for g in self.grandchild_joins.get(t, ()):
+                edges.append((t, g))
+        return edges
+
+
+@dataclass
+class ChaosResult:
+    """What one chaos run produced (after passing the invariant checks)."""
+
+    spec: ChaosSpec
+    policy_name: str
+    runtime: str
+    stats: VerifierStats
+    #: (joiner, joinee) -> permitted?  Only for stable_permits policies.
+    verdicts: Optional[dict[tuple[int, int], bool]]
+    #: task ids whose failure was observed at a join
+    failures_observed: frozenset[int]
+    false_positives: int = 0
+    deadlocks_avoided: int = 0
+    violations: list[str] = field(default_factory=list)
+
+
+def generate_spec(seed: int, *, max_tasks: int = 12, crash_rate: float = 0.0) -> ChaosSpec:
+    """Derive a deadlock-free program spec from *seed*."""
+    if max_tasks < 3:
+        raise ValueError("max_tasks must be at least 3")
+    rng = random.Random(f"chaos-spec|{seed}")
+    n = rng.randint(3, max_tasks)
+    parent: dict[int, int] = {i: rng.randrange(0, i) for i in range(1, n)}
+    children: dict[int, list[int]] = {t: [] for t in range(n)}
+    for i in range(1, n):
+        children[parent[i]].append(i)
+
+    sibling_joins: dict[int, list[int]] = {}
+    for i in range(1, n):
+        older = [j for j in children[parent[i]] if j < i]
+        if older and rng.random() < 0.35:
+            sibling_joins.setdefault(i, []).append(rng.choice(older))
+
+    grandchild_joins: dict[int, list[int]] = {}
+    for t in range(n):
+        for c in children[t]:
+            for g in children[c]:
+                if rng.random() < 0.3:
+                    grandchild_joins.setdefault(t, []).append(g)
+
+    batch_parents = frozenset(
+        t for t in range(n) if len(children[t]) >= 2 and rng.random() < 0.5
+    )
+    crash_tasks = frozenset(
+        i for i in range(1, n) if crash_rate > 0.0 and rng.random() < crash_rate
+    )
+    return ChaosSpec(
+        seed=seed,
+        n_tasks=n,
+        children={t: tuple(c) for t, c in children.items()},
+        sibling_joins={t: tuple(s) for t, s in sibling_joins.items()},
+        grandchild_joins={t: tuple(g) for t, g in grandchild_joins.items()},
+        batch_parents=batch_parents,
+        crash_tasks=crash_tasks,
+    )
+
+
+def _make_runtime(
+    runtime: str,
+    policy: Union[None, str, JoinPolicy],
+    *,
+    watchdog: Union[bool, float] = True,
+    workers: int = 4,
+):
+    if runtime == "threaded":
+        return TaskRuntime(policy, watchdog=watchdog, on_unjoined_failure="ignore")
+    if runtime == "pool":
+        return WorkSharingRuntime(
+            policy, workers=workers, watchdog=watchdog, on_unjoined_failure="ignore"
+        )
+    raise ValueError(f"unknown runtime {runtime!r}; known: {RUNTIMES}")
+
+
+def _run_spec(spec: ChaosSpec, rt, plan: FaultPlan):
+    """Execute *spec* on runtime *rt*; returns (handles, futures, observed).
+
+    ``handles``/``futures`` map task id -> TaskHandle / Future (the root
+    has a handle but no future); ``observed`` is the set of task ids
+    whose failure surfaced at some join.
+    """
+    futures: dict[int, object] = {}
+    handles: dict[int, object] = {}
+    observed: set[int] = set()
+    guard = threading.Lock()
+
+    def join_observed(future, tid: int) -> None:
+        try:
+            future.join()
+        except TaskFailedError:
+            with guard:
+                observed.add(tid)
+
+    def body(tid: int):
+        handles[tid] = require_current_task()
+        plan.sleep(("start", tid))
+        kids = spec.children.get(tid, ())
+        for cid in kids:
+            futures[cid] = rt.fork(body, cid)
+        for sib in spec.sibling_joins.get(tid, ()):
+            plan.sleep(("pre-join", tid, sib))
+            join_observed(futures[sib], sib)
+        if tid in spec.batch_parents:
+            batch = [futures[c] for c in kids]
+            for c, outcome in zip(kids, rt.join_batch(batch, return_exceptions=True)):
+                if isinstance(outcome, TaskFailedError):
+                    with guard:
+                        observed.add(c)
+        else:
+            for c in kids:
+                plan.sleep(("pre-join", tid, c))
+                join_observed(futures[c], c)
+        for g in spec.grandchild_joins.get(tid, ()):
+            plan.sleep(("pre-join", tid, g))
+            join_observed(futures[g], g)
+        if tid in spec.crash_tasks:
+            raise InjectedFaultError(site=("task", tid))
+        return tid
+
+    rt.run(body, 0)
+    return handles, futures, observed
+
+
+def run_chaos_program(
+    spec_or_seed: Union[int, ChaosSpec],
+    *,
+    policy: Union[None, str, JoinPolicy] = "TJ-SP",
+    runtime: str = "threaded",
+    max_tasks: int = 12,
+    crash_rate: float = 0.0,
+    plan: Optional[FaultPlan] = None,
+    watchdog: Union[bool, float] = True,
+    check: bool = True,
+) -> ChaosResult:
+    """Run one seeded chaos program and verify the runtime's invariants.
+
+    With ``check=True`` (default) any violated invariant raises
+    :class:`ChaosInvariantError`; with ``check=False`` violations are
+    collected into ``result.violations`` instead (the CLI uses this to
+    report all of them).
+    """
+    if isinstance(spec_or_seed, ChaosSpec):
+        spec = spec_or_seed
+    else:
+        spec = generate_spec(spec_or_seed, max_tasks=max_tasks, crash_rate=crash_rate)
+    if plan is None:
+        plan = FaultPlan(seed=spec.seed)
+    rt = _make_runtime(runtime, policy, watchdog=watchdog)
+    handles, futures, observed = _run_spec(spec, rt, plan)
+
+    violations: list[str] = []
+
+    def require(cond: bool, message: str) -> None:
+        if not cond:
+            violations.append(message)
+
+    require(
+        set(futures) == set(range(1, spec.n_tasks)),
+        f"expected futures for tasks 1..{spec.n_tasks - 1}, got {sorted(futures)}",
+    )
+    for tid, fut in futures.items():
+        require(fut.done(), f"task {tid} future not done after run()")
+    for tid, handle in handles.items():
+        require(
+            handle.state is not TaskState.BLOCKED,
+            f"task {tid} left in BLOCKED state",
+        )
+    require(
+        len(rt.blocked_joins()) == 0,
+        f"join registry not empty: {rt.blocked_joins()}",
+    )
+    detector = rt.detector
+    if detector is not None:
+        require(
+            len(detector.graph) == 0,
+            f"Armus graph not empty: {detector.graph.edges()}",
+        )
+        require(
+            detector.live_forced_edges == 0,
+            f"{detector.live_forced_edges} forced edges still live",
+        )
+        require(
+            detector.stats.deadlocks_avoided == 0,
+            "deadlock-free program had a join refused",
+        )
+    stats = rt.verifier.stats
+    require(
+        stats.forks == spec.n_tasks,
+        f"forks {stats.forks} != n_tasks {spec.n_tasks}",
+    )
+    require(
+        stats.joins_checked == spec.total_joins,
+        f"joins_checked {stats.joins_checked} != planned {spec.total_joins}",
+    )
+    if rt.watchdog is not None:
+        require(
+            rt.watchdog.deadlocks_detected == 0,
+            "watchdog diagnosed a deadlock in a deadlock-free program",
+        )
+    require(
+        observed == set(spec.crash_tasks),
+        f"observed failures {sorted(observed)} != planned {sorted(spec.crash_tasks)}",
+    )
+
+    verdicts: Optional[dict[tuple[int, int], bool]] = None
+    policy_obj = rt.policy
+    if policy_obj.stable_permits and not violations:
+        verdicts = {
+            (a, b): policy_obj.permits(handles[a].vertex, handles[b].vertex)
+            for a, b in spec.join_edges()
+        }
+
+    if check and violations:
+        raise ChaosInvariantError(
+            f"seed {spec.seed} policy {policy_obj.name} runtime {runtime}: "
+            + "; ".join(violations)
+        )
+    return ChaosResult(
+        spec=spec,
+        policy_name=policy_obj.name,
+        runtime=runtime,
+        stats=stats,
+        verdicts=verdicts,
+        failures_observed=frozenset(observed),
+        false_positives=detector.stats.false_positives if detector else 0,
+        deadlocks_avoided=detector.stats.deadlocks_avoided if detector else 0,
+        violations=violations,
+    )
+
+
+def run_with_verifier_faults(
+    seed: int,
+    *,
+    policy: Union[str, JoinPolicy] = "TJ-SP",
+    runtime: str = "threaded",
+    max_tasks: int = 10,
+    fault_rate: float = 0.2,
+    max_retries: int = 50,
+) -> ChaosResult:
+    """Chaos run with :class:`FaultyPolicy` faults injected into ``permits``.
+
+    Every join is retried until it succeeds (each retry is a fresh fault
+    site).  A faulted ``permits`` call aborts *before* any statistics or
+    waits-for edge are recorded, so the exact-accounting invariant
+    becomes ``joins_checked == attempts - faults`` — which this function
+    asserts, together with the usual clean-state invariants.
+
+    Uses individual joins only: a fault inside a *batch* ``check_joins``
+    discards the whole batch's accounting, which would make exactness
+    unstateable.
+    """
+    spec = generate_spec(seed, max_tasks=max_tasks, crash_rate=0.0)
+    # Strip batch parents: individual joins keep the accounting exact.
+    spec = ChaosSpec(
+        seed=spec.seed,
+        n_tasks=spec.n_tasks,
+        children=spec.children,
+        sibling_joins=spec.sibling_joins,
+        grandchild_joins=spec.grandchild_joins,
+        batch_parents=frozenset(),
+        crash_tasks=frozenset(),
+    )
+    plan = FaultPlan(seed=seed, verifier_fault_rate=fault_rate)
+    if isinstance(policy, JoinPolicy):
+        inner = policy
+    else:
+        from ..core.policy import make_policy
+
+        inner = make_policy(policy)
+    faulty = FaultyPolicy(inner, plan)
+    rt = _make_runtime(runtime, faulty)
+
+    futures: dict[int, object] = {}
+    handles: dict[int, object] = {}
+    counters = {"attempts": 0, "faults": 0}
+    guard = threading.Lock()
+
+    def join_with_retry(future) -> None:
+        for _ in range(max_retries):
+            with guard:
+                counters["attempts"] += 1
+            try:
+                future.join()
+                return
+            except InjectedFaultError:
+                with guard:
+                    counters["faults"] += 1
+        raise ChaosInvariantError(
+            f"join still faulting after {max_retries} retries (seed {seed})"
+        )
+
+    def body(tid: int):
+        handles[tid] = require_current_task()
+        for cid in spec.children.get(tid, ()):
+            futures[cid] = rt.fork(body, cid)
+        for sib in spec.sibling_joins.get(tid, ()):
+            join_with_retry(futures[sib])
+        for c in spec.children.get(tid, ()):
+            join_with_retry(futures[c])
+        for g in spec.grandchild_joins.get(tid, ()):
+            join_with_retry(futures[g])
+        return tid
+
+    rt.run(body, 0)
+
+    stats = rt.verifier.stats
+    expected = counters["attempts"] - counters["faults"]
+    problems: list[str] = []
+    if stats.joins_checked != expected:
+        problems.append(
+            f"joins_checked {stats.joins_checked} != attempts - faults {expected}"
+        )
+    if counters["faults"] != faulty.faults_injected:
+        problems.append(
+            f"harness saw {counters['faults']} faults, policy injected "
+            f"{faulty.faults_injected}"
+        )
+    if expected != spec.total_joins:
+        problems.append(
+            f"successful joins {expected} != planned {spec.total_joins}"
+        )
+    detector = rt.detector
+    if detector is not None and len(detector.graph) != 0:
+        problems.append(f"Armus graph not empty: {detector.graph.edges()}")
+    if len(rt.blocked_joins()) != 0:
+        problems.append("join registry not empty after faulted run")
+    if problems:
+        raise ChaosInvariantError(
+            f"seed {seed} policy {faulty.name} runtime {runtime}: "
+            + "; ".join(problems)
+        )
+    return ChaosResult(
+        spec=spec,
+        policy_name=faulty.name,
+        runtime=runtime,
+        stats=stats,
+        verdicts=None,
+        failures_observed=frozenset(),
+        false_positives=detector.stats.false_positives if detector else 0,
+        deadlocks_avoided=detector.stats.deadlocks_avoided if detector else 0,
+    )

@@ -23,6 +23,17 @@ Commands
     Run the verifier hot-path microbenchmarks (join-heavy, fork-heavy,
     deep-tree, wide-tree across all TJ/KJ policies) and write
     ``BENCH_hotpath.json``.
+``run <trace-file> [--runtime threaded|pool] [--policy P] [--timeout S]
+[--watchdog-interval S] [--no-watchdog]``
+    Execute the trace on a *blocking* runtime under full supervision:
+    join deadlines, stall watchdog, cancellation.  Joins refused or
+    terminated by the supervision layer are reported, never hung.
+``chaos [--programs N] [--seed S] [--policies ...] [--runtimes ...]
+[--crash-rate R] [--delay-rate R] [--fault-rate R] [--max-tasks N]
+[--smoke]``
+    Run the deterministic fault-injection suite: seeded random fork/join
+    programs across policies and runtimes, checking the supervised-
+    runtime invariants.  Exits 1 on any violation.
 """
 
 from __future__ import annotations
@@ -104,6 +115,109 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         print(f"false positives:  {rt.detector.stats.false_positives}")
         print(f"deadlocks avoided: {rt.detector.stats.deadlocks_avoided}")
     return 0 if outcome.clean else 1
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .replay import replay_on_threaded
+
+    with open(args.trace) as fh:
+        trace = parse_trace(fh.read())
+    policy = None if args.policy == "none" else args.policy
+    watchdog = False if args.no_watchdog else args.watchdog_interval
+    outcome = replay_on_threaded(
+        trace,
+        policy,
+        fallback=not args.no_fallback,
+        runtime=args.runtime,
+        default_join_timeout=args.timeout,
+        watchdog=watchdog,
+    )
+    rt = outcome.runtime
+    print(f"runtime:          {args.runtime}")
+    print(f"policy:           {args.policy}")
+    print(f"completed joins:  {len(outcome.completed_joins)}")
+    print(f"refused joins:    {len(outcome.refused_joins)}")
+    for waiter, joinee, kind in outcome.refused_joins:
+        print(f"  join({waiter}, {joinee}) refused: {kind}")
+    if rt.detector is not None:
+        print(f"false positives:  {rt.detector.stats.false_positives}")
+        print(f"deadlocks avoided: {rt.detector.stats.deadlocks_avoided}")
+    if rt.watchdog is not None:
+        print(f"watchdog stalls:  {rt.watchdog.deadlocks_detected}")
+    return 0 if outcome.clean else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from ..testing.chaos import (
+        RUNTIMES,
+        run_chaos_program,
+        run_with_verifier_faults,
+    )
+    from ..testing.faults import FaultPlan
+
+    if args.smoke:
+        programs = args.programs if args.programs is not None else 2
+        policies = args.policies or ["TJ-SP", "KJ-CC", "none"]
+        runtimes = args.runtimes or list(RUNTIMES)
+        crash_rate = args.crash_rate if args.crash_rate is not None else 0.15
+        delay_rate = args.delay_rate if args.delay_rate is not None else 0.3
+        max_tasks = args.max_tasks or 8
+    else:
+        programs = args.programs if args.programs is not None else 12
+        policies = args.policies or sorted(POLICY_REGISTRY)
+        runtimes = args.runtimes or list(RUNTIMES)
+        crash_rate = args.crash_rate if args.crash_rate is not None else 0.15
+        delay_rate = args.delay_rate if args.delay_rate is not None else 0.25
+        max_tasks = args.max_tasks or 12
+
+    total = 0
+    bad = 0
+    for policy in policies:
+        for runtime in runtimes:
+            for i in range(programs):
+                seed = args.seed + i
+                plan = FaultPlan(seed=seed, delay_rate=delay_rate)
+                result = run_chaos_program(
+                    seed,
+                    policy=None if policy == "none" else policy,
+                    runtime=runtime,
+                    max_tasks=max_tasks,
+                    crash_rate=crash_rate,
+                    plan=plan,
+                    check=False,
+                )
+                total += 1
+                if result.violations:
+                    bad += 1
+                    print(
+                        f"FAIL seed={seed} policy={policy} runtime={runtime}:"
+                    )
+                    for violation in result.violations:
+                        print(f"  {violation}")
+    fault_rate = args.fault_rate if args.fault_rate is not None else 0.2
+    fault_runs = 0
+    if fault_rate > 0:
+        for runtime in runtimes:
+            for i in range(max(1, programs // 2)):
+                seed = args.seed + i
+                try:
+                    run_with_verifier_faults(
+                        seed,
+                        policy="TJ-SP",
+                        runtime=runtime,
+                        max_tasks=max_tasks,
+                        fault_rate=fault_rate,
+                    )
+                except AssertionError as exc:
+                    bad += 1
+                    print(f"FAIL verifier-faults seed={seed} runtime={runtime}: {exc}")
+                total += 1
+                fault_runs += 1
+    print(
+        f"chaos: {total} programs ({fault_runs} with verifier faults), "
+        f"{total - bad} passed, {bad} failed"
+    )
+    return 1 if bad else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -245,6 +359,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p.add_argument("--no-fallback", action="store_true")
     p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("run", help="execute a trace on a supervised blocking runtime")
+    p.add_argument("trace")
+    p.add_argument(
+        "--policy",
+        default="TJ-SP",
+        choices=sorted(POLICY_REGISTRY),
+    )
+    p.add_argument("--runtime", choices=["threaded", "pool"], default="threaded")
+    p.add_argument("--no-fallback", action="store_true")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="runtime-wide default join timeout",
+    )
+    p.add_argument(
+        "--watchdog-interval",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="stall-watchdog scan interval",
+    )
+    p.add_argument("--no-watchdog", action="store_true", help="disable the stall watchdog")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("chaos", help="deterministic fault-injection suite")
+    p.add_argument(
+        "--programs",
+        type=int,
+        default=None,
+        help="seeds per policy x runtime combination",
+    )
+    p.add_argument("--seed", type=int, default=0, help="base seed")
+    p.add_argument("--policies", nargs="*", choices=sorted(POLICY_REGISTRY))
+    p.add_argument("--runtimes", nargs="*", choices=["threaded", "pool"])
+    p.add_argument("--crash-rate", type=float, default=None)
+    p.add_argument("--delay-rate", type=float, default=None)
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        help="verifier-fault injection rate (0 disables the fault sweep)",
+    )
+    p.add_argument("--max-tasks", type=int, default=None)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fixed configuration for CI",
+    )
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("bench", help="run one benchmark")
     p.add_argument("name", choices=ALL_BENCHMARKS)

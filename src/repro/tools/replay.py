@@ -22,11 +22,17 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from ..core.policy import JoinPolicy
-from ..errors import DeadlockAvoidedError, PolicyViolationError, TaskFailedError
+from ..errors import (
+    DeadlockAvoidedError,
+    DeadlockDetectedError,
+    JoinTimeoutError,
+    PolicyViolationError,
+    TaskFailedError,
+)
 from ..formal.actions import Action, Fork, Init, Join, Task
 from ..runtime.cooperative import CooperativeRuntime
 
-__all__ = ["ReplayOutcome", "replay_on_runtime"]
+__all__ = ["ReplayOutcome", "replay_on_runtime", "replay_on_threaded"]
 
 
 class ReplayOutcome:
@@ -111,12 +117,14 @@ def _await_quiescence(futures: dict) -> None:
     Unlike the cooperative scheduler, the blocking runtime returns when
     the *root* returns; tasks nobody joins may still be finishing their
     trailing actions — and forking more.  Iterate until the future set
-    is stable and fully terminated.
+    is stable and fully terminated.  Waits in short timed slices, never
+    a bare event wait, so Ctrl-C interrupts a replay gone wrong.
     """
     while True:
         snapshot = list(futures.values())
         for fut in snapshot:
-            fut._wait()
+            while not fut._wait(0.05):
+                pass
         if len(futures) == len(snapshot):
             return
 
@@ -126,23 +134,47 @@ def replay_on_threaded(
     policy: Union[None, str, JoinPolicy] = "TJ-SP",
     *,
     fallback: bool = True,
+    runtime: str = "threaded",
+    default_join_timeout: Optional[float] = None,
+    watchdog: Union[bool, float] = True,
 ) -> ReplayOutcome:
-    """Run *trace* on a fresh (blocking, thread-per-task)
-    :class:`~repro.runtime.threaded.TaskRuntime`.
+    """Run *trace* on a fresh blocking runtime (``"threaded"`` —
+    thread-per-task :class:`~repro.runtime.threaded.TaskRuntime`, the
+    default — or ``"pool"`` —
+    :class:`~repro.runtime.pool.WorkSharingRuntime`).
 
     Same per-task program-order semantics as :func:`replay_on_runtime`,
     with real threads and real blocking — the differential-testing
     counterpart: the set of policy verdicts must agree with the
     cooperative replay up to scheduling (TJ exactly; KJ within the
     at-position/final-knowledge envelope).  Joins refused by the
-    verifier are recorded and skipped.  Do not call with verification
-    disabled on a deadlocking trace: real threads would really block.
+    verifier are recorded and skipped — as are joins terminated by the
+    supervision layer (``JoinTimeoutError``, a watchdog
+    ``DeadlockDetectedError``), so replaying a deadlocking trace with
+    verification disabled terminates with the stalls on record instead
+    of hanging the process.
     """
     import threading
 
+    from ..runtime.pool import WorkSharingRuntime
     from ..runtime.threaded import TaskRuntime
 
-    rt = TaskRuntime(policy, fallback=fallback)
+    if runtime == "threaded":
+        rt = TaskRuntime(
+            policy,
+            fallback=fallback,
+            default_join_timeout=default_join_timeout,
+            watchdog=watchdog,
+        )
+    elif runtime == "pool":
+        rt = WorkSharingRuntime(
+            policy,
+            fallback=fallback,
+            default_join_timeout=default_join_timeout,
+            watchdog=watchdog,
+        )
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}; use 'threaded' or 'pool'")
     outcome = ReplayOutcome()
     outcome.runtime = rt  # type: ignore[assignment]
 
@@ -177,13 +209,27 @@ def replay_on_threaded(
                         (action.waiter, action.joinee, "JoinOnRoot")
                     )
                 continue
-            issued[action.joinee].wait()
+            while not issued[action.joinee].wait(0.05):
+                pass
             try:
                 futures[action.joinee].join()
-            except (PolicyViolationError, DeadlockAvoidedError) as exc:
+            except (
+                PolicyViolationError,
+                DeadlockAvoidedError,
+                DeadlockDetectedError,
+                JoinTimeoutError,
+            ) as exc:
                 with lock:
                     outcome.refused_joins.append(
                         (action.waiter, action.joinee, type(exc).__name__)
+                    )
+            except TaskFailedError as exc:
+                # A joinee terminated by the supervision layer (watchdog
+                # diagnosis, timeout, cancellation) surfaces here; record
+                # the underlying refusal instead of crashing the replay.
+                with lock:
+                    outcome.refused_joins.append(
+                        (action.waiter, action.joinee, type(exc.__cause__ or exc).__name__)
                     )
             else:
                 with lock:

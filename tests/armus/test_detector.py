@@ -84,3 +84,33 @@ class TestPermittedJoinChecking:
         with pytest.raises(DeadlockAvoidedError):
             d.block("a", "b", flagged=False)
         assert d.stats.deadlocks_avoided == 1
+
+
+class TestVacuousFalsePositives:
+    def test_count_false_positive_touches_stats_only(self):
+        d = ArmusDetector()
+        d.count_false_positive()
+        d.count_false_positive()
+        assert d.stats.false_positives == 2
+        # no edge, no cycle check, no forced-edge bookkeeping
+        assert len(d.graph) == 0
+        assert d.stats.cycle_checks == 0
+        assert d.live_forced_edges == 0
+
+    def test_hybrid_terminated_joinee_uses_the_public_counter(self):
+        """A flagged join whose joinee already terminated never blocks,
+        but the false positive is still recorded — through the public
+        API, not by reaching into the detector's lock."""
+        from repro.armus.hybrid import HybridVerifier
+        from repro.core.policy import POLICY_REGISTRY
+
+        hybrid = HybridVerifier(POLICY_REGISTRY["TJ-SP"]())
+        root = hybrid.on_init()
+        child = hybrid.on_fork(root)
+        # older sibling joining a younger one: TJ flags it
+        younger = hybrid.on_fork(root)
+        blocked = hybrid.begin_join("child", "younger", child, younger, joinee_done=True)
+        assert blocked is False
+        assert hybrid.detector.stats.false_positives == 1
+        assert len(hybrid.detector.graph) == 0
+        assert hybrid.detector.live_forced_edges == 0

@@ -1,0 +1,280 @@
+"""Cooperative cancellation: tokens, propagation, and the reaper.
+
+``Future.cancel()`` requests cancellation; the task observes it at its
+next cancellation point (fork, join entry, blocked wait, cooperative
+scheduling step, or an explicit token check) and terminates with
+:class:`TaskCancelledError`.  A queued-but-unstarted pool task is
+dropped without ever running its body.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.constructs import finish
+from repro.errors import (
+    TaskCancelledError,
+    TaskFailedError,
+    UnjoinedTaskWarning,
+)
+from repro.runtime import (
+    CooperativeRuntime,
+    TaskRuntime,
+    WorkSharingRuntime,
+    require_current_task,
+)
+
+RUNTIMES = [
+    ("threaded", lambda **kw: TaskRuntime(**kw)),
+    ("pool", lambda **kw: WorkSharingRuntime(workers=2, max_workers=64, **kw)),
+]
+
+
+def _boom():
+    raise ValueError("boom")
+
+
+def _cancellable_loop():
+    task = require_current_task()
+    while True:
+        task.cancel_token.raise_if_cancelled(task)
+        time.sleep(0.002)
+
+
+class TestPoolQueuedCancellation:
+    def test_queued_task_never_runs(self):
+        rt = WorkSharingRuntime(policy="TJ-SP", workers=1, max_workers=1)
+        ran = []
+        gate = threading.Event()
+
+        def blocker():
+            gate.wait(5)
+            return "blocked"
+
+        def victim():
+            ran.append(True)  # pragma: no cover - must not execute
+
+        def program():
+            b = rt.fork(blocker)  # occupies the only worker
+            v = rt.fork(victim)  # stays queued
+            assert v.cancel() is True
+            gate.set()
+            with pytest.raises(TaskFailedError) as info:
+                v.join()
+            assert isinstance(info.value.__cause__, TaskCancelledError)
+            assert v.cancelled()
+            return b.join()
+
+        assert rt.run(program) == "blocked"
+        assert ran == []
+
+    def test_cancel_after_completion_returns_false(self):
+        rt = TaskRuntime(policy="TJ-SP")
+
+        def program():
+            fut = rt.fork(lambda: 42)
+            assert fut.join() == 42
+            assert fut.cancel() is False
+            assert not fut.cancelled()
+            return True
+
+        assert rt.run(program)
+
+
+@pytest.mark.parametrize("label,make_rt", RUNTIMES, ids=[r[0] for r in RUNTIMES])
+class TestRunningTaskCancellation:
+    def test_blocked_join_aborts_on_cancellation(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+        release = threading.Event()
+
+        def slow():
+            release.wait(5)
+            return "slow"
+
+        def waiter(slow_fut):
+            return slow_fut.join()  # blocks; cancellation aborts the wait
+
+        def program():
+            slow_fut = rt.fork(slow)
+            waiter_fut = rt.fork(waiter, slow_fut)
+            time.sleep(0.05)  # let the waiter block
+            waiter_fut.cancel()
+            with pytest.raises(TaskFailedError) as info:
+                waiter_fut.join()
+            assert isinstance(info.value.__cause__, TaskCancelledError)
+            release.set()
+            assert slow_fut.join() == "slow"
+            # the abandoned wait left no supervision or detector state
+            assert rt.blocked_joins() == []
+            assert len(rt.detector.graph) == 0
+            return True
+
+        assert rt.run(program)
+
+    def test_fork_is_a_cancellation_point(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+        proceed = threading.Event()
+
+        def forker():
+            proceed.wait(5)
+            rt.fork(lambda: None)  # pragma: no cover - fork must refuse
+
+        def program():
+            fut = rt.fork(forker)
+            fut.cancel()
+            proceed.set()
+            with pytest.raises(TaskFailedError) as info:
+                fut.join()
+            assert isinstance(info.value.__cause__, TaskCancelledError)
+            return True
+
+        assert rt.run(program)
+
+    def test_explicit_token_poll(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            fut = rt.fork(_cancellable_loop)
+            time.sleep(0.02)
+            fut.cancel()
+            with pytest.raises(TaskFailedError):
+                fut.join()
+            assert fut.cancelled()
+            return True
+
+        assert rt.run(program)
+
+    def test_join_batch_cancel_remaining(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            doomed = rt.fork(_boom)
+            rest = [rt.fork(_cancellable_loop) for _ in range(2)]
+            with pytest.raises(TaskFailedError) as info:
+                rt.join_batch([doomed] + rest, cancel_remaining=True)
+            assert info.value.batch_index == 0
+            for fut in rest:
+                with pytest.raises(TaskFailedError):
+                    fut.join()
+                assert fut.cancelled()
+            return True
+
+        assert rt.run(program)
+
+    def test_finish_cancel_on_failure(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            with pytest.raises(TaskFailedError):
+                with finish(rt, cancel_on_failure=True) as scope:
+                    scope.async_(_boom)
+                    for _ in range(3):
+                        scope.async_(_cancellable_loop)
+            cancelled = [f for f in scope.failures if isinstance(f.__cause__, TaskCancelledError)]
+            assert len(cancelled) == 3
+            return True
+
+        assert rt.run(program)
+
+
+class TestCooperativeCancellation:
+    def test_scheduling_step_delivers_cancellation(self):
+        rt = CooperativeRuntime(policy="TJ-SP")
+
+        def spinner():
+            while True:
+                yield None
+
+        def program():
+            fut = rt.fork(spinner)
+            yield None  # let the spinner start
+            assert fut.cancel() is True
+            yield None  # next step throws into the generator
+            assert fut.done()
+            assert fut.cancelled()
+            return True
+
+        assert rt.run(program)
+
+    def test_task_can_catch_and_finish_gracefully(self):
+        rt = CooperativeRuntime(policy="TJ-SP")
+
+        def stubborn():
+            try:
+                while True:
+                    yield None
+            except TaskCancelledError:
+                return "cleaned up"
+
+        def program():
+            fut = rt.fork(stubborn)
+            yield None
+            fut.cancel()
+            yield None
+            result = yield fut
+            return result
+
+        assert rt.run(program) == "cleaned up"
+
+
+class TestUnjoinedFailureReaper:
+    def test_warn_mode_surfaces_leaked_failures(self):
+        rt = WorkSharingRuntime(policy="TJ-SP", workers=2)
+
+        def program():
+            rt.fork(_boom)  # never joined
+            return True
+
+        with pytest.warns(UnjoinedTaskWarning, match="never joined"):
+            assert rt.run(program)
+
+    def test_raise_mode_fails_the_run(self):
+        rt = WorkSharingRuntime(policy="TJ-SP", workers=2, on_unjoined_failure="raise")
+
+        def program():
+            rt.fork(_boom)
+            return True
+
+        with pytest.raises(TaskFailedError) as info:
+            rt.run(program)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_ignore_mode(self):
+        rt = WorkSharingRuntime(policy="TJ-SP", workers=2, on_unjoined_failure="ignore")
+
+        def program():
+            rt.fork(_boom)
+            return True
+
+        assert rt.run(program)
+
+    def test_cancelled_tasks_are_exempt(self):
+        rt = WorkSharingRuntime(policy="TJ-SP", workers=2, on_unjoined_failure="raise")
+
+        def program():
+            fut = rt.fork(_cancellable_loop)
+            time.sleep(0.02)
+            fut.cancel()
+            while not fut.done():
+                time.sleep(0.005)
+            return True  # cancelled + unjoined: the reaper must not raise
+
+        assert rt.run(program)
+
+    def test_joined_failures_are_not_reaped(self):
+        rt = WorkSharingRuntime(policy="TJ-SP", workers=2, on_unjoined_failure="raise")
+
+        def program():
+            fut = rt.fork(_boom)
+            with pytest.raises(TaskFailedError):
+                fut.join()
+            return True
+
+        assert rt.run(program)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            TaskRuntime(policy="TJ-SP", on_unjoined_failure="explode")

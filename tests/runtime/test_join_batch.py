@@ -181,3 +181,49 @@ class TestFinishUsesBatchDrain:
 
         assert rt.run(program)
         assert rt.verifier.stats.joins_checked == 7
+
+
+@pytest.mark.parametrize("label,make_rt", RUNTIMES, ids=[r[0] for r in RUNTIMES])
+class TestBatchIndex:
+    """``TaskFailedError.batch_index`` pinpoints the failing position."""
+
+    def test_raised_failure_carries_its_index(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            futures = [rt.fork(_square, 1), rt.fork(_boom), rt.fork(_square, 2)]
+            try:
+                rt.join_batch(futures)
+            except TaskFailedError as exc:
+                return exc.batch_index
+            finally:
+                for fut in futures:
+                    if not fut.done():
+                        fut._wait(5.0)
+
+        assert rt.run(program) == 1
+
+    def test_collected_failures_carry_their_indices(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            futures = [rt.fork(_boom), rt.fork(_square, 3), rt.fork(_boom)]
+            results = rt.join_batch(futures, return_exceptions=True)
+            return [
+                r.batch_index if isinstance(r, TaskFailedError) else r
+                for r in results
+            ]
+
+        assert rt.run(program) == [0, 9, 2]
+
+    def test_individual_join_has_no_batch_index(self, label, make_rt):
+        rt = make_rt(policy="TJ-SP")
+
+        def program():
+            fut = rt.fork(_boom)
+            try:
+                fut.join()
+            except TaskFailedError as exc:
+                return exc.batch_index
+
+        assert rt.run(program) is None

@@ -154,3 +154,87 @@ class TestReportCommands:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestRunCommand:
+    def test_clean_trace_on_threaded(self, trace_file, capsys):
+        rc = main(["run", trace_file(GOOD_TRACE), "--policy", "TJ-SP"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "completed joins:  2" in out
+        assert "refused joins:    0" in out
+
+    def test_clean_trace_on_pool(self, trace_file, capsys):
+        rc = main(
+            ["run", trace_file(GOOD_TRACE), "--policy", "KJ-CC", "--runtime", "pool"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "runtime:          pool" in out
+        # the grandchild join is KJ's known false positive
+        assert "false positives:  1" in out
+
+    def test_true_deadlock_under_no_policy_is_diagnosed(self, trace_file, capsys):
+        """policy=none disarms avoidance; the watchdog must still end
+        the run with a diagnosis instead of a hang."""
+        rc = main(
+            [
+                "run",
+                trace_file("init(a)\nfork(a, b)\nfork(a, c)\njoin(b, c)\njoin(c, b)\n"),
+                "--policy",
+                "none",
+                "--watchdog-interval",
+                "0.02",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        # both blocked tasks get the diagnosis, but whichever handles it
+        # first completes (the replay body catches the error), letting
+        # the other's join succeed — so 1 or 2 joins report refused.
+        assert "DeadlockDetectedError" in out
+        assert "watchdog stalls:  2" in out
+
+    def test_join_timeout_flag(self, trace_file, capsys):
+        rc = main(
+            [
+                "run",
+                trace_file("init(a)\nfork(a, b)\nfork(a, c)\njoin(b, c)\njoin(c, b)\n"),
+                "--policy",
+                "none",
+                "--no-watchdog",
+                "--timeout",
+                "0.05",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "JoinTimeoutError" in out
+
+
+class TestChaosCommand:
+    def test_smoke_sweep_passes(self, capsys):
+        rc = main(["chaos", "--smoke", "--programs", "1", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "passed" in out and "0 failed" in out
+
+    def test_narrow_sweep_with_faults(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--programs",
+                "1",
+                "--policies",
+                "TJ-SP",
+                "--runtimes",
+                "threaded",
+                "--fault-rate",
+                "0.2",
+                "--max-tasks",
+                "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "with verifier faults" in out
