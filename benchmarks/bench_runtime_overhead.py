@@ -1,0 +1,149 @@
+"""Experiment E7 — end-to-end runtime overhead and the wakeup gate.
+
+Measures whole programs on the real runtimes with the supervision layer
+in the loop, and *asserts* the perf properties the event-driven runtime
+rewrite claims:
+
+* the event-driven wait protocol is at least 2x faster than the
+  poll-loop baseline on the join-latency microshape (a fork-chain
+  unwind whose wakeup lags compound under polling);
+* TJ-SP's end-to-end geomean overhead over ``policy=None`` on the
+  Table-2-style configs stays under a stated bound — the number the
+  paper's 1.06x headline rests on;
+* swapping wait protocols never changes program results (checked inside
+  the microshape runner).
+
+The run also emits ``BENCH_runtime.json`` (raw samples, via
+``repro.analysis.io``) so every future PR has a stored perf trajectory;
+``python -m repro.tools.cli bench-runtime`` produces the same file from
+the command line, and running this file directly (``python
+benchmarks/bench_runtime_overhead.py --smoke``) delegates to that CLI —
+which is what the ``runtime-bench-smoke`` CI job does.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # script mode: make `repro` importable
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.analysis.io import runtime_from_json, save_runtime
+from repro.analysis.runtime_overhead import (
+    OVERHEAD_PARAMS,
+    RUNTIME_POLICIES,
+    WAIT_MODES,
+    join_wakeup_speedup,
+    measure_join_chain,
+    overhead_factor,
+    render_runtime_table,
+    run_runtime_suite,
+)
+
+#: the headline regression gate: event-driven joins vs the poll loop
+JOIN_WAKEUP_GATE = 2.0
+
+#: end-to-end TJ-SP geomean overhead bound on these configs (measured
+#: ~1.05x on an idle machine; the bound leaves room for CI noise while
+#: still catching a runtime-layer regression outright)
+TJSP_OVERHEAD_BOUND = 2.0
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_runtime.json"
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    t0 = time.perf_counter()
+    res = run_runtime_suite(repetitions=3)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 120.0, f"runtime suite must stay brisk (took {elapsed:.1f}s)"
+    return res
+
+
+def test_emits_bench_runtime_json(result):
+    save_runtime(result, OUTPUT)
+    with open(OUTPUT) as fh:
+        loaded = runtime_from_json(fh.read())
+    assert set(loaded.join_chain) == set(WAIT_MODES)
+    assert len(loaded.reports) == len(OVERHEAD_PARAMS)
+    for m in loaded.join_chain.values():
+        assert m.times
+    for report in loaded.reports:
+        assert report.baseline.times
+        for policy in RUNTIME_POLICIES:
+            assert report.policies[policy].times
+    # the serialised factors must survive the round trip exactly
+    assert loaded.join_speedup == pytest.approx(result.join_speedup)
+    assert loaded.overhead("TJ-SP") == pytest.approx(result.overhead("TJ-SP"))
+
+
+def test_join_wakeup_speedup_gate(result):
+    """Targeted wakeups must beat the poll loop by >= 2x on the unwind."""
+    factor = result.join_speedup
+    print("\n" + render_runtime_table(result))
+    assert factor >= JOIN_WAKEUP_GATE, (
+        f"event-driven join speedup regressed to {factor:.2f}x "
+        f"(gate: {JOIN_WAKEUP_GATE}x over the polling baseline)"
+    )
+
+
+def test_event_unwind_is_tickless(result):
+    """The event-driven unwind costs far less than one 50 ms poll tick
+    beyond the leaf sleep, even with a whole chain of joins stacked."""
+    assert result.join_chain["event"].unwind_overhead < 0.05
+
+
+def test_tjsp_end_to_end_overhead_bound(result):
+    """TJ-SP whole-program overhead stays bounded on the smoke-scale
+    configs (the paper-scale analogue of Table 2's 1.06x geomean)."""
+    factor = result.overhead("TJ-SP")
+    assert factor <= TJSP_OVERHEAD_BOUND, (
+        f"TJ-SP end-to-end overhead regressed to {factor:.3f}x "
+        f"(bound: {TJSP_OVERHEAD_BOUND}x over policy=None)"
+    )
+
+
+def test_every_policy_reported(result):
+    """Each report carries a factor for every policy in the grid."""
+    for report in result.reports:
+        for policy in RUNTIME_POLICIES:
+            assert overhead_factor(report, policy) > 0
+
+
+def test_smoke_suite_runs_fast():
+    """The CI smoke probe (one microshape cell) completes quickly."""
+    t0 = time.perf_counter()
+    m = measure_join_chain("event", depth=4, leaf_sleep=0.01, repetitions=1)
+    assert time.perf_counter() - t0 < 10.0
+    assert m.times
+
+
+def test_speedup_helper_matches_manual(result):
+    chain = result.join_chain
+    manual = chain["polling"].best_time / chain["event"].best_time
+    assert join_wakeup_speedup(chain) == pytest.approx(manual)
+
+
+if __name__ == "__main__":
+    from repro.tools.cli import main
+
+    argv = sys.argv[1:]
+    cli_args = ["bench-runtime", "--json", OUTPUT]
+    if "--smoke" in argv:
+        argv.remove("--smoke")
+        cli_args.append("--smoke")
+    cli_args += [
+        "--min-join-speedup",
+        str(JOIN_WAKEUP_GATE),
+        "--max-overhead",
+        str(TJSP_OVERHEAD_BOUND),
+    ] + argv
+    sys.exit(main(cli_args))

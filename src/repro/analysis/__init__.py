@@ -25,10 +25,20 @@ from .hotpath import (
 from .io import (
     load_hotpath,
     load_reports,
+    load_runtime,
     reports_from_json,
     reports_to_json,
     save_hotpath,
     save_reports,
+    save_runtime,
+)
+from .runtime_overhead import (
+    RUNTIME_POLICIES,
+    JoinChainMeasurement,
+    RuntimeOverheadResult,
+    join_wakeup_speedup,
+    render_runtime_table,
+    run_runtime_suite,
 )
 from .memsize import deep_size_of, policy_bytes_per_task
 from .report import ReportConfig, build_report
@@ -65,4 +75,12 @@ __all__ = [
     "speedup",
     "save_hotpath",
     "load_hotpath",
+    "save_runtime",
+    "load_runtime",
+    "JoinChainMeasurement",
+    "RuntimeOverheadResult",
+    "RUNTIME_POLICIES",
+    "run_runtime_suite",
+    "render_runtime_table",
+    "join_wakeup_speedup",
 ]

@@ -22,10 +22,15 @@ __all__ = [
     "hotpath_from_json",
     "save_hotpath",
     "load_hotpath",
+    "runtime_to_json",
+    "runtime_from_json",
+    "save_runtime",
+    "load_runtime",
 ]
 
 _SCHEMA_VERSION = 1
 _HOTPATH_SCHEMA_VERSION = 1
+_RUNTIME_SCHEMA_VERSION = 1
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -142,3 +147,89 @@ def save_hotpath(measurements, path: str, params=None) -> None:
 def load_hotpath(path: str):
     with open(path) as fh:
         return hotpath_from_json(fh.read())
+
+
+# ----------------------------------------------------------------------
+# end-to-end runtime overhead results (BENCH_runtime.json)
+# ----------------------------------------------------------------------
+def runtime_to_json(result) -> str:
+    """Serialise a :class:`~repro.analysis.runtime_overhead.RuntimeOverheadResult`.
+
+    Both instruments keep every raw sample — the microshape's per-mode
+    repetition times and the full Table-2-style per-policy samples — so
+    a stored file can be re-analysed offline, and the parameters are
+    embedded so it documents exactly what it measured.
+    """
+    payload = {
+        "schema": _RUNTIME_SCHEMA_VERSION,
+        "join_chain": {
+            "params": dict(result.join_chain_params),
+            "measurements": [
+                {
+                    "mode": m.mode,
+                    "depth": m.depth,
+                    "leaf_sleep": m.leaf_sleep,
+                    "times": m.times,
+                }
+                for m in result.join_chain.values()
+            ],
+        },
+        "overhead": {
+            "params": {k: dict(v) for k, v in result.overhead_params.items()},
+            "reports": [
+                {
+                    "name": r.name,
+                    "params": {k: v for k, v in r.params.items()},
+                    "baseline": _measurement_dict(r.baseline),
+                    "policies": {
+                        p: _measurement_dict(m) for p, m in r.policies.items()
+                    },
+                }
+                for r in result.reports
+            ],
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def runtime_from_json(text: str):
+    """Inverse of :func:`runtime_to_json`; returns a RuntimeOverheadResult."""
+    from .runtime_overhead import JoinChainMeasurement, RuntimeOverheadResult
+
+    payload = json.loads(text)
+    if payload.get("schema") != _RUNTIME_SCHEMA_VERSION:
+        raise ValueError(f"unsupported runtime schema {payload.get('schema')!r}")
+    chain = {
+        m["mode"]: JoinChainMeasurement(
+            mode=m["mode"],
+            depth=m["depth"],
+            leaf_sleep=m["leaf_sleep"],
+            times=m["times"],
+        )
+        for m in payload["join_chain"]["measurements"]
+    }
+    reports = [
+        BenchmarkReport(
+            name=r["name"],
+            params=r["params"],
+            baseline=_measurement_from(r["baseline"]),
+            policies={p: _measurement_from(m) for p, m in r["policies"].items()},
+        )
+        for r in payload["overhead"]["reports"]
+    ]
+    return RuntimeOverheadResult(
+        join_chain=chain,
+        reports=reports,
+        join_chain_params=payload["join_chain"].get("params", {}),
+        overhead_params=payload["overhead"].get("params", {}),
+    )
+
+
+def save_runtime(result, path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(runtime_to_json(result))
+
+
+def load_runtime(path: str):
+    with open(path) as fh:
+        return runtime_from_json(fh.read())

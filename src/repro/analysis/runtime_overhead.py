@@ -1,0 +1,350 @@
+"""End-to-end runtime overhead benchmarks (``BENCH_runtime.json``).
+
+Where :mod:`repro.analysis.hotpath` measures the verifier in isolation,
+this module measures what the paper actually reports: whole programs on
+real runtimes, with the supervision layer in the loop.  Two instruments:
+
+* **join-latency microshape** — a fork chain of depth *d* whose leaf
+  sleeps briefly; every other task immediately joins its child, so the
+  unwind is a cascade of blocked joins where each wakeup gates the next.
+  The shape is run under two wait protocols: the live event-driven one
+  (targeted wakeups; :func:`~repro.runtime.supervisor.wait_for_future`)
+  and the poll-loop baseline it replaced
+  (:func:`~repro.runtime.supervisor.wait_for_future_polling`, which
+  observes every condition only at 1 ms → 50 ms backoff ticks).  Under
+  polling each unwind level eats up to a full tick of wakeup lag and the
+  lags *compound* up the chain; under targeted wakeups the whole unwind
+  costs microseconds beyond the leaf sleep.  The headline regression
+  gate asserts the event protocol is at least 2× faster end-to-end on
+  this shape (in practice it is far more).
+
+* **Table-2-style overhead configs** — small configurations of the
+  benchsuite programs run with ``policy=None`` against each verified
+  policy through :class:`~repro.benchsuite.harness.Harness`, reported as
+  per-benchmark and geomean best-time overhead factors.  This is the
+  number the paper's credibility rests on (1.06× geomean for TJ-SP at
+  paper scale); the gate keeps the smoke configuration under a stated
+  bound so runtime-layer regressions fail PRs even when the verifier
+  microbenchmarks stay flat.
+
+Results serialise to ``BENCH_runtime.json`` via :mod:`repro.analysis.io`;
+``benchmarks/bench_runtime_overhead.py`` asserts the gates and
+``python -m repro.tools.cli bench-runtime`` produces the same file from
+the command line.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..benchsuite import make_benchmark
+from ..benchsuite.harness import BenchmarkReport, Harness, PolicyMeasurement
+from ..runtime import supervisor
+from ..runtime.threaded import TaskRuntime
+
+__all__ = [
+    "WAIT_MODES",
+    "RUNTIME_POLICIES",
+    "JOIN_CHAIN_PARAMS",
+    "SMOKE_JOIN_CHAIN_PARAMS",
+    "OVERHEAD_PARAMS",
+    "SMOKE_OVERHEAD_PARAMS",
+    "JoinChainMeasurement",
+    "RuntimeOverheadResult",
+    "wait_protocol",
+    "measure_join_chain",
+    "run_join_chain_suite",
+    "join_wakeup_speedup",
+    "run_overhead_suite",
+    "best_time",
+    "overhead_factor",
+    "geomean_overhead",
+    "run_runtime_suite",
+    "render_runtime_table",
+]
+
+#: the two wait protocols the microshape compares
+WAIT_MODES = ("event", "polling")
+
+#: policies measured against the ``policy=None`` baseline
+RUNTIME_POLICIES = ("TJ-SP", "TJ-OM", "KJ-VC", "KJ-SS")
+
+#: join-latency microshape: chain depth and leaf sleep (seconds).  The
+#: leaf sleep is sized so the polling baseline's backoff reaches its
+#: 50 ms ceiling before the unwind starts — each level then pays a large
+#: fraction of a tick, and the lags compound up the chain.
+JOIN_CHAIN_PARAMS: dict[str, float] = {"depth": 8, "leaf_sleep": 0.03}
+
+#: smaller microshape for CI smoke runs (still far beyond the 2× gate).
+SMOKE_JOIN_CHAIN_PARAMS: dict[str, float] = {"depth": 6, "leaf_sleep": 0.02}
+
+#: Table-2-style end-to-end configurations (benchmark name -> params);
+#: kept small enough that the whole policy grid finishes in seconds.
+OVERHEAD_PARAMS: dict[str, dict[str, int]] = {
+    "Series": {"coefficients": 400, "samples": 100},
+    "Crypt": {"size_bytes": 256 * 1024, "tasks": 128},
+    "NQueens": {"n": 8, "cutoff": 3},
+}
+
+#: tiny configurations for the CI smoke gate.
+SMOKE_OVERHEAD_PARAMS: dict[str, dict[str, int]] = {
+    "Series": {"coefficients": 160, "samples": 40},
+    "NQueens": {"n": 7, "cutoff": 3},
+}
+
+
+# ----------------------------------------------------------------------
+# wait-protocol selection
+# ----------------------------------------------------------------------
+@contextmanager
+def wait_protocol(mode: str) -> Iterator[None]:
+    """Run the enclosed block under the given blocked-wait protocol.
+
+    ``"event"`` is the live protocol (no change); ``"polling"`` swaps
+    the supervisor's module-global ``wait_for_future`` for the poll-loop
+    baseline — ``SupervisedJoinMixin._supervised_wait`` looks the global
+    up at call time precisely so this benchmark can do the swap.
+    Restores the live protocol on exit, exception or not.
+    """
+    if mode not in WAIT_MODES:
+        raise ValueError(f"unknown wait mode {mode!r}; known: {WAIT_MODES}")
+    if mode == "event":
+        yield
+        return
+    original = supervisor.wait_for_future
+    supervisor.wait_for_future = supervisor.wait_for_future_polling
+    try:
+        yield
+    finally:
+        supervisor.wait_for_future = original
+
+
+# ----------------------------------------------------------------------
+# the join-latency microshape
+# ----------------------------------------------------------------------
+@dataclass
+class JoinChainMeasurement:
+    """All timed repetitions of the chain unwind under one wait mode."""
+
+    mode: str
+    depth: int
+    leaf_sleep: float
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def best_time(self) -> float:
+        return min(self.times) if self.times else math.nan
+
+    @property
+    def mean_time(self) -> float:
+        return sum(self.times) / len(self.times) if self.times else math.nan
+
+    @property
+    def unwind_overhead(self) -> float:
+        """Best wall time beyond the leaf sleep — pure supervision cost."""
+        return self.best_time - self.leaf_sleep
+
+
+def _chain_main(rt: TaskRuntime, depth: int, leaf_sleep: float):
+    """Build the chain program: depth tasks, each joining its child."""
+
+    def level(d: int) -> int:
+        if d == 0:
+            time.sleep(leaf_sleep)
+            return 1
+        return rt.fork(level, d - 1).join() + 1
+
+    def main() -> int:
+        return rt.fork(level, depth - 1).join()
+
+    return main
+
+
+def measure_join_chain(
+    mode: str,
+    *,
+    depth: int = 8,
+    leaf_sleep: float = 0.03,
+    repetitions: int = 3,
+    warmup: int = 1,
+) -> JoinChainMeasurement:
+    """Time the chain unwind under one wait protocol.
+
+    Every repetition uses a fresh runtime (runtimes host one root run),
+    and the result is checked — a protocol that mis-delivers a wakeup
+    cannot pass by being fast.
+    """
+    m = JoinChainMeasurement(mode=mode, depth=depth, leaf_sleep=leaf_sleep)
+    with wait_protocol(mode):
+        for i in range(warmup + repetitions):
+            rt = TaskRuntime(policy=None)
+            t0 = time.perf_counter()
+            result = rt.run(_chain_main(rt, depth, leaf_sleep))
+            elapsed = time.perf_counter() - t0
+            if result != depth:
+                raise RuntimeError(
+                    f"join chain returned {result!r}, expected {depth}"
+                )
+            if i >= warmup:
+                m.times.append(elapsed)
+    return m
+
+
+def run_join_chain_suite(
+    *,
+    params: Optional[dict[str, float]] = None,
+    repetitions: int = 3,
+    warmup: int = 1,
+) -> dict[str, JoinChainMeasurement]:
+    """The microshape under both protocols; returns mode -> measurement."""
+    p = dict(params if params is not None else JOIN_CHAIN_PARAMS)
+    return {
+        mode: measure_join_chain(
+            mode,
+            depth=int(p["depth"]),
+            leaf_sleep=float(p["leaf_sleep"]),
+            repetitions=repetitions,
+            warmup=warmup,
+        )
+        for mode in WAIT_MODES
+    }
+
+
+def join_wakeup_speedup(chain: dict[str, JoinChainMeasurement]) -> float:
+    """Best-time factor of the event protocol over the polling baseline."""
+    return chain["polling"].best_time / chain["event"].best_time
+
+
+# ----------------------------------------------------------------------
+# Table-2-style end-to-end overheads
+# ----------------------------------------------------------------------
+def run_overhead_suite(
+    *,
+    params: Optional[dict[str, dict[str, int]]] = None,
+    policies: Sequence[str] = RUNTIME_POLICIES,
+    repetitions: int = 3,
+    warmup: int = 1,
+) -> list[BenchmarkReport]:
+    """policy=None vs each policy on small benchsuite configurations.
+
+    Memory tracing is off: this suite gates *time* overhead (the memory
+    side is Table 2's job), and a tracemalloc pass would double the run
+    count.
+    """
+    table = params if params is not None else OVERHEAD_PARAMS
+    harness = Harness(
+        repetitions=repetitions,
+        warmup=warmup,
+        policies=tuple(policies),
+        measure_memory=False,
+    )
+    return [
+        harness.measure_benchmark(make_benchmark(name, **p))
+        for name, p in table.items()
+    ]
+
+
+def best_time(m: PolicyMeasurement) -> float:
+    """Fastest sample — the steadiest estimator on noisy CI machines."""
+    return min(m.times) if m.times else math.nan
+
+
+def overhead_factor(report: BenchmarkReport, policy: str) -> float:
+    """Best-time factor of *policy* over the unverified baseline."""
+    return best_time(report.policies[policy]) / best_time(report.baseline)
+
+
+def geomean_overhead(reports: Sequence[BenchmarkReport], policy: str) -> float:
+    """Geometric-mean overhead factor across benchmarks (Table 2 style)."""
+    factors = [overhead_factor(r, policy) for r in reports]
+    return math.exp(sum(math.log(f) for f in factors) / len(factors))
+
+
+# ----------------------------------------------------------------------
+# the combined suite
+# ----------------------------------------------------------------------
+@dataclass
+class RuntimeOverheadResult:
+    """One full run: the microshape under both protocols + the overhead
+    grid, with the parameters that produced them embedded."""
+
+    join_chain: dict[str, JoinChainMeasurement]
+    reports: list[BenchmarkReport]
+    join_chain_params: dict[str, float]
+    overhead_params: dict[str, dict[str, int]]
+
+    @property
+    def join_speedup(self) -> float:
+        return join_wakeup_speedup(self.join_chain)
+
+    def overhead(self, policy: str) -> float:
+        return geomean_overhead(self.reports, policy)
+
+    @property
+    def policies(self) -> list[str]:
+        seen: list[str] = []
+        for report in self.reports:
+            for p in report.policies:
+                if p not in seen:
+                    seen.append(p)
+        return seen
+
+
+def run_runtime_suite(
+    *,
+    smoke: bool = False,
+    repetitions: int = 3,
+    warmup: int = 1,
+    policies: Sequence[str] = RUNTIME_POLICIES,
+) -> RuntimeOverheadResult:
+    """Run both instruments and bundle the result for serialisation."""
+    chain_params = SMOKE_JOIN_CHAIN_PARAMS if smoke else JOIN_CHAIN_PARAMS
+    overhead_params = SMOKE_OVERHEAD_PARAMS if smoke else OVERHEAD_PARAMS
+    return RuntimeOverheadResult(
+        join_chain=run_join_chain_suite(
+            params=chain_params, repetitions=repetitions, warmup=warmup
+        ),
+        reports=run_overhead_suite(
+            params=overhead_params,
+            policies=policies,
+            repetitions=repetitions,
+            warmup=warmup,
+        ),
+        join_chain_params=dict(chain_params),
+        overhead_params={k: dict(v) for k, v in overhead_params.items()},
+    )
+
+
+def render_runtime_table(result: RuntimeOverheadResult) -> str:
+    """ASCII summary: microshape times, then the overhead-factor grid."""
+    lines = [
+        f"join-latency microshape (depth={result.join_chain_params['depth']}, "
+        f"leaf_sleep={result.join_chain_params['leaf_sleep'] * 1e3:.0f}ms)",
+        f"{'protocol':<10} {'best ms':>9} {'mean ms':>9} {'unwind ms':>10}",
+        "-" * 42,
+    ]
+    for mode in WAIT_MODES:
+        m = result.join_chain[mode]
+        lines.append(
+            f"{mode:<10} {m.best_time * 1e3:>9.2f} {m.mean_time * 1e3:>9.2f} "
+            f"{m.unwind_overhead * 1e3:>10.2f}"
+        )
+    lines.append(f"event-driven join speedup: {result.join_speedup:.2f}x")
+    lines.append("")
+    policies = result.policies
+    header = f"{'benchmark':<16} " + " ".join(f"{p:>8}" for p in policies)
+    lines.append("end-to-end overhead factors (best times, vs policy=None)")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for report in result.reports:
+        cells = " ".join(
+            f"{overhead_factor(report, p):>8.3f}" for p in policies
+        )
+        lines.append(f"{report.name:<16} {cells}")
+    geo = " ".join(f"{result.overhead(p):>8.3f}" for p in policies)
+    lines.append(f"{'geomean':<16} {geo}")
+    return "\n".join(lines)

@@ -93,7 +93,11 @@ class FinishScope:
         available), which verifies the whole group against the policy in
         one call instead of paying per-join verifier overhead — the
         arbitrary-descendant-join pattern of a finish block is exactly
-        the join-heavy shape that batching amortises.  Runtimes without
+        the join-heavy shape that batching amortises.  On the blocking
+        runtimes the batch also *blocks* collectively: ``join_batch``
+        parks the draining task on one countdown latch, so a batch of N
+        pending children costs a single wakeup (delivered when the last
+        one terminates), not N sleeps.  Runtimes without
         ``join_batch`` fall back to one ``join`` per future — as does a
         ``cancel_on_failure`` scope, which joins one future at a time so
         the first failure can cancel the others *before* waiting on them.

@@ -57,12 +57,14 @@ class VerifierStats:
 class _StatsShard:
     """One thread's private counters; written lock-free by its owner."""
 
-    __slots__ = ("forks", "joins_checked", "joins_rejected")
+    __slots__ = ("forks", "joins_checked", "joins_rejected", "owner")
 
-    def __init__(self) -> None:
+    def __init__(self, owner: "threading.Thread | None" = None) -> None:
         self.forks = 0
         self.joins_checked = 0
         self.joins_rejected = 0
+        #: the owning thread, or None for the retired-counts accumulator
+        self.owner = owner
 
 
 class Verifier:
@@ -72,7 +74,12 @@ class Verifier:
         self.policy = policy
         # Sharded statistics: one shard per thread, registered once under
         # a lock, then incremented lock-free (single-writer per shard).
+        # Shards of dead threads are folded into `_retired` (a thread's
+        # writes all happen-before its death, so the fold is exact) —
+        # without the fold, thread-per-task runtimes would leak one shard
+        # per task forever.
         self._shards: list[_StatsShard] = []
+        self._retired = _StatsShard()
         self._shards_lock = threading.Lock()
         self._local = threading.local()
 
@@ -83,26 +90,52 @@ class Verifier:
     # ------------------------------------------------------------------
     # sharded statistics
     # ------------------------------------------------------------------
+    def _fold_dead_shards(self) -> None:
+        """Fold dead threads' shards into the retired counters.
+
+        Caller holds ``_shards_lock``.  A dead thread can never write
+        its shard again, so moving the counts is race-free and exact.
+        """
+        live: list[_StatsShard] = []
+        retired = self._retired
+        for shard in self._shards:
+            if shard.owner is not None and shard.owner.is_alive():
+                live.append(shard)
+            else:
+                retired.forks += shard.forks
+                retired.joins_checked += shard.joins_checked
+                retired.joins_rejected += shard.joins_rejected
+        self._shards = live
+
     def _shard(self) -> _StatsShard:
         shard = getattr(self._local, "shard", None)
         if shard is None:
-            shard = _StatsShard()
+            shard = _StatsShard(threading.current_thread())
             with self._shards_lock:
+                self._fold_dead_shards()
                 self._shards.append(shard)
             self._local.shard = shard
         return shard
 
     @property
     def stats(self) -> VerifierStats:
-        """Aggregate every thread's shard into one exact snapshot.
+        """Aggregate retired counts and every live shard into one exact
+        snapshot.
 
-        Shards are retained for the verifier's lifetime (threads die,
-        their counts do not), so the sum over shards is exactly the sum
-        of all events ever recorded.
+        Threads die, their counts do not: a dead thread's shard is
+        folded into the retired accumulator (here and at shard
+        registration), so the sum is exactly the number of events ever
+        recorded while the shard list stays bounded by live threads.
         """
         with self._shards_lock:
+            self._fold_dead_shards()
             shards = list(self._shards)
-        snap = VerifierStats()
+            retired = self._retired
+            snap = VerifierStats(
+                forks=retired.forks,
+                joins_checked=retired.joins_checked,
+                joins_rejected=retired.joins_rejected,
+            )
         for s in shards:
             snap.forks += s.forks
             snap.joins_checked += s.joins_checked

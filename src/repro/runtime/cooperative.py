@@ -22,6 +22,13 @@ and with verification enabled the same program receives a recoverable
 :class:`DeadlockAvoidedError`/:class:`PolicyViolationError` at the
 offending ``yield`` — tasks can catch it, exactly the recovery story of
 Section 1.
+
+Being single-threaded, this runtime never sleeps on a future: the
+scheduler observes completion synchronously at each scheduling step, so
+the event-driven waker protocol on :class:`~repro.runtime.future.Future`
+(targeted wakes for the blocking runtimes' supervised waits) is simply
+unused here — blocked generators are parked in data structures and
+resumed when their future's task terminates.
 """
 
 from __future__ import annotations

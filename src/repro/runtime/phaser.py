@@ -14,6 +14,13 @@ for that phase; ``wait()`` blocks the caller on the event after an
 atomic cycle check.  ``signal_and_wait()`` (the classic ``next``)
 signals first — so a task never impedes an event it is about to wait
 for, and single-phaser barriers can never self-deadlock.
+
+Wakeups are batched per phase: each awaited phase owns one
+``threading.Event`` that the completing advance sets exactly once, so a
+waiter wakes once per phase it awaits — never for other phases'
+advances (a shared condition variable would wake *every* waiter at
+*every* advance, O(waiters × advances) spurious wakeups on split-phase
+programs).  ``notifies`` counts the advance-side notifications issued.
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ from .context import require_current_task
 __all__ = ["Phaser"]
 
 _phaser_ids = itertools.count()
+
+#: main-thread re-check cadence, purely for Ctrl-C delivery
+_MAIN_TICK = 0.05
 
 
 class Phaser:
@@ -53,12 +63,19 @@ class Phaser:
         self.name = name if name is not None else f"phaser-{next(_phaser_ids)}"
         self.detector = detector if detector is not None else GeneralizedDetector()
         self._lock = threading.Lock()
-        self._cond = threading.Condition(self._lock)
         self._phase = 0
         #: parties registered, mapped to the next phase they must signal
         self._parties: dict[Hashable, int] = {}
         #: signals received for the current phase
         self._arrived: set[Hashable] = set()
+        #: one wake event per phase with live waiters; set (and dropped)
+        #: exactly once, by the advance that completes the phase
+        self._phase_events: dict[int, threading.Event] = {}
+        #: phase-advance notifications issued (one per completed phase
+        #: with waiters); tests assert single-wakeup behaviour with this
+        self.notifies = 0
+        #: total OS-level waits returned across all ``wait`` calls
+        self.wakeups = 0
 
     # ------------------------------------------------------------------
     @property
@@ -68,6 +85,13 @@ class Phaser:
 
     def _event(self, phase: int) -> tuple[str, int]:
         return (self.name, phase)
+
+    def _phase_wake(self, phase: int) -> threading.Event:
+        """The wake event of *phase*; caller holds the lock."""
+        wake = self._phase_events.get(phase)
+        if wake is None:
+            wake = self._phase_events[phase] = threading.Event()
+        return wake
 
     # ------------------------------------------------------------------
     def register(self) -> None:
@@ -107,7 +131,7 @@ class Phaser:
 
     def _maybe_advance(self) -> None:
         """Advance the phase once every registered party has arrived."""
-        with self._cond:
+        with self._lock:
             if self._parties and self._arrived != set(self._parties):
                 return
             if not self._parties and not self._arrived:
@@ -116,7 +140,7 @@ class Phaser:
             self._phase += 1
             self._arrived.clear()
             # Every party impedes the new phase.  Registered *before*
-            # waiters are notified, so no cycle check ever runs against a
+            # waiters are woken, so no cycle check ever runs against a
             # phase whose impeders are still being installed (lock order
             # is phaser -> detector, never the reverse).
             new_event = self._event(phase + 1)
@@ -125,7 +149,12 @@ class Phaser:
             # One batched registration (single detector lock acquisition)
             # instead of one add_impeder call per party per phase.
             self.detector.add_impeders(list(self._parties), new_event)
-            self._cond.notify_all()
+            # One notify for the whole phase: set (and retire) the
+            # completed phase's event.  Waiters of other phases sleep on.
+            wake = self._phase_events.pop(phase, None)
+            if wake is not None:
+                self.notifies += 1
+                wake.set()
 
     def wait(self, phase: Optional[int] = None, *, timeout: Optional[float] = None) -> int:
         """Block until *phase* (default: the current one) completes.
@@ -133,33 +162,43 @@ class Phaser:
         The block is first checked against the generalised waits-for
         state; a true cycle raises
         :class:`~repro.errors.DeadlockAvoidedError` without blocking.
-        ``timeout`` (seconds) bounds the wait: expiry raises
-        :class:`~repro.errors.JoinTimeoutError` whose ``joinee`` is the
-        phase event ``(phaser-name, phase)``, after the waits-for edge
-        has been released — the phaser itself stays usable.  Returns the
-        phase that completed.
+        The wait is event-driven: the advance completing the awaited
+        phase delivers one targeted notify, so a waiter performs O(1)
+        wakeups (the main thread additionally re-checks on a coarse
+        tick so Ctrl-C is honoured).  ``timeout`` (seconds) bounds the
+        wait: expiry raises :class:`~repro.errors.JoinTimeoutError`
+        whose ``joinee`` is the phase event ``(phaser-name, phase)``,
+        after the waits-for edge has been released — the phaser itself
+        stays usable.  Returns the phase that completed.
         """
         task = require_current_task()
         with self._lock:
             target = self._phase if phase is None else phase
             if self._phase > target:
                 return target  # already past it
+            wake = self._phase_wake(target)
         event = self._event(target)
         deadline = None if timeout is None else time.monotonic() + timeout
+        on_main = threading.current_thread() is threading.main_thread()
         self.detector.block(task, event)
         try:
-            with self._cond:
-                while self._phase <= target:
-                    if deadline is None:
-                        self._cond.wait()
-                        continue
+            while True:
+                with self._lock:
+                    if self._phase > target:
+                        return target
+                wait_t = None
+                if deadline is not None:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         raise JoinTimeoutError(task, event, timeout)
-                    self._cond.wait(remaining)
+                    wait_t = remaining
+                if on_main and (wait_t is None or _MAIN_TICK < wait_t):
+                    wait_t = _MAIN_TICK
+                wake.wait(wait_t)
+                with self._lock:
+                    self.wakeups += 1
         finally:
             self.detector.unblock(task, event)
-        return target
 
     def signal_and_wait(self, *, timeout: Optional[float] = None) -> int:
         """The classic barrier ``next``: arrive, then await everyone."""

@@ -179,15 +179,33 @@ class WorkSharingRuntime(SupervisedJoinMixin):
     def _before_block(self, future: Future) -> None:
         self._ensure_capacity_for_block()
 
+    def _helper_tick(self) -> Optional[Callable[[], bool]]:
+        """Does the blocked wait need to poll for help-work right now?
+
+        Only a *saturated* pool does: no idle worker to take queued
+        tasks and no headroom left to compensate.  Every other state
+        lets the event-driven wait sleep untimed — the last worker to
+        block at the cap always sees saturation here and keeps ticking,
+        which is what preserves progress (see ``_wait_helper``).
+        """
+        if threading.get_ident() not in self._worker_threads:
+            return None
+
+        def saturated() -> bool:
+            with self._lock:
+                return self._idle == 0 and self._worker_count >= self._max_workers
+
+        return saturated
+
     def _wait_helper(self) -> Optional[Callable[[], bool]]:
-        """Blocked *workers* help: execute queued tasks between polls.
+        """Blocked *workers* help: execute queued tasks between wakeups.
 
         Compensation keeps one spare worker per blocked one, but it is
         bounded by ``max_workers``; past the cap a blocked worker pulls
-        runnable tasks off the queue and executes them inline while
-        polling the future, so deep fork trees never starve (HJ's
-        runtime solves the same problem with a similar mix of
-        compensation and work assists).
+        runnable tasks off the queue and executes them inline between
+        the ticks ``_helper_tick`` requests, so deep fork trees never
+        starve (HJ's runtime solves the same problem with a similar mix
+        of compensation and work assists).
         """
         if threading.get_ident() not in self._worker_threads:
             return None

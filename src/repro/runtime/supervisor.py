@@ -23,17 +23,46 @@ no-hang guarantee the cooperative scheduler has had from the start:
 * **an unjoined-failure reaper** — tasks whose futures fail but are
   never joined are surfaced at runtime shutdown (warn or raise).
 
-All blocked waits are poll loops with exponential backoff (1 ms up to
-``max_tick``), never bare ``Event.wait()``: that is what makes deadline
-checks, watchdog delivery, cancellation, *and* Ctrl-C on the main
-thread all work while a join is blocked (an untimed ``Event.wait`` can
-swallow ``KeyboardInterrupt`` until the event fires).
+Blocked waits are **event-driven**: each :class:`BlockedJoin` record
+carries a wake event, and every source that can end the wait delivers a
+*targeted notify* to it — task completion (via the future's waker list),
+cancellation (via the token's waker list), and watchdog verdicts (via
+:meth:`BlockedJoin.deliver`).  Deadlines bound the OS-level wait
+directly.  A wait therefore performs O(1) wakeups per state change, not
+O(duration / tick) polls, and a join unblocks the moment its joinee
+terminates.  Two deliberate exceptions re-introduce a bounded tick:
+
+* the **main thread** re-checks every ``_MAIN_TICK`` seconds so Ctrl-C
+  is honoured promptly on every platform (an untimed lock wait can
+  swallow ``KeyboardInterrupt`` on some of them);
+* a **saturated pool worker** (no idle worker, no headroom to
+  compensate) ticks at ``_MIN_TICK``..``max_tick`` with exponential
+  backoff and runs the runtime's *helper* callback between waits, so
+  queued work is never starved past the compensation cap (see
+  ``WorkSharingRuntime._helper_tick``).
+
+The waker protocol is lock-free under the GIL by ordering alone: every
+writer sets its condition flag (``future._done``, ``token._cancelled``,
+``record.exc``) *before* firing the wake event, and the waiter clears
+the event *before* re-checking the flags — a wake that lands during the
+re-check leaves the event set, so the next wait falls through.
+
+``join_batch`` adds a **collective pre-wait**: all blocking edges of a
+batch are registered at once against one shared wake event, and a
+countdown latch fires a *single* notify when the last joinee completes
+(or the first failure arrives, when failures abort the batch) — one
+wakeup per drain instead of one blocked wait per future.  The harvest
+that follows replays the exact sequential verification protocol with
+every joinee already terminated.
 
 :class:`SupervisedJoinMixin` packages the shared join/join_batch
 protocol for :class:`~repro.runtime.threaded.TaskRuntime` and
 :class:`~repro.runtime.pool.WorkSharingRuntime`; the two runtimes
-differ only in the hooks (`_before_block`, `_wait_helper`) the pool
-uses for worker compensation and help-while-blocked.
+differ only in the hooks (`_before_block`, `_wait_helper`,
+`_helper_tick`) the pool uses for worker compensation and
+help-while-blocked.  :func:`wait_for_future_polling` preserves the
+PR 2 poll-loop implementation as the measured baseline of
+``benchmarks/bench_runtime_overhead.py``.
 """
 
 from __future__ import annotations
@@ -66,32 +95,62 @@ __all__ = [
     "StallWatchdog",
     "SupervisedJoinMixin",
     "wait_for_future",
+    "wait_for_future_polling",
 ]
 
-#: first poll interval of a blocked wait (doubles up to ``max_tick``)
+#: first poll interval of a saturated-pool (or legacy polling) wait
 _MIN_TICK = 0.001
-#: default ceiling for the poll interval of a blocked wait
+#: ceiling for the poll interval of a saturated-pool (or legacy) wait
 _MAX_TICK = 0.05
+#: re-check cadence on the main thread, purely for Ctrl-C delivery —
+#: completion still wakes the wait immediately via the event
+_MAIN_TICK = 0.05
 
 
 class BlockedJoin:
     """One currently blocked join: the wait-for edge ``joiner -> joinee``.
 
-    ``exc`` is the delivery slot: the watchdog stores an exception here
-    and the blocked task's poll loop raises it.  Attaching the slot to
-    the *record* (not the task) makes delivery race-free: a record is
-    owned by exactly one wait and dies with it, so a diagnosis can never
-    leak into some later, unrelated join of the same task.
+    The record doubles as the wait's *wake slot*: ``_wake`` is the event
+    the blocked thread sleeps on, and :meth:`set` (the waker protocol)
+    is what the joinee's future and the joiner's cancel token fire.
+    ``exc`` is the delivery slot: the watchdog stores an exception via
+    :meth:`deliver` and the blocked task raises it on wakeup.  Attaching
+    both slots to the *record* (not the task) makes delivery race-free:
+    a record is owned by exactly one wait and dies with it, so a
+    diagnosis can never leak into some later, unrelated join of the same
+    task.
+
+    Batch pre-waits share one wake event across all their records
+    (``wake=`` argument), so the whole batch sleeps — and wakes — as one.
+    ``wakeups`` counts how many times the owning wait returned from an
+    OS-level sleep; the no-busy-wait tests read it.
     """
 
-    __slots__ = ("joiner", "joinee", "future", "since", "exc")
+    __slots__ = ("joiner", "joinee", "future", "since", "exc", "wakeups", "_wake")
 
-    def __init__(self, joiner: "TaskHandle", joinee: "TaskHandle", future: "Future") -> None:
+    def __init__(
+        self,
+        joiner: "TaskHandle",
+        joinee: "TaskHandle",
+        future: "Future",
+        wake: Optional[threading.Event] = None,
+    ) -> None:
         self.joiner = joiner
         self.joinee = joinee
         self.future = future
         self.since = time.monotonic()
         self.exc: Optional[BaseException] = None
+        self.wakeups = 0
+        self._wake = wake if wake is not None else threading.Event()
+
+    def set(self) -> None:
+        """Waker protocol: wake the blocked thread (idempotent)."""
+        self._wake.set()
+
+    def deliver(self, exc: BaseException) -> None:
+        """Store *exc* for the blocked task and wake it immediately."""
+        self.exc = exc  # flag before wake: the waiter re-checks after clear
+        self._wake.set()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<BlockedJoin {self.joiner.name} -> {self.joinee.name}>"
@@ -112,9 +171,12 @@ class JoinRegistry:
 
     def register(self, joiner: "TaskHandle", joinee: "TaskHandle", future: "Future") -> BlockedJoin:
         record = BlockedJoin(joiner, joinee, future)
+        self.add(record)
+        return record
+
+    def add(self, record: BlockedJoin) -> None:
         with self._lock:
             self._records.add(record)
-        return record
 
     def unregister(self, record: BlockedJoin) -> None:
         with self._lock:
@@ -139,9 +201,10 @@ class StallWatchdog:
     joinee is itself blocked, and an edge only disappears when its
     joinee terminates), so it is a true deadlock: the watchdog delivers
     a :class:`DeadlockDetectedError` carrying the cycle to every blocked
-    task in it.  Cycles containing an already-completed future are
-    snapshot transients (the waiter is about to unregister) and are
-    skipped — which is what makes false positives impossible.
+    task in it — a targeted wake, not a flag the waits must poll for.
+    Cycles containing an already-completed future are snapshot
+    transients (the waiter is about to unregister) and are skipped —
+    which is what makes false positives impossible.
 
     The monitor thread is started lazily by the first blocked join and
     exits after the registry has stayed empty for ``idle_scans``
@@ -163,18 +226,25 @@ class StallWatchdog:
         self._idle_scans = idle_scans
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
+        self._running = False
         self._stopped = False
         #: total deadlock diagnoses delivered (read by tests/CLI)
         self.deadlocks_detected = 0
 
     # ------------------------------------------------------------------
     def ensure_running(self) -> None:
-        """Start the monitor thread if it is not already alive."""
+        """Start the monitor thread if it is not already alive.
+
+        The running flag — not ``Thread.is_alive()`` — is the source of
+        truth: the monitor only clears it under the lock *after*
+        re-checking that the registry is empty, so a join registered
+        concurrently with the monitor's idle exit can never be left
+        unwatched.
+        """
         with self._lock:
-            if self._stopped:
+            if self._stopped or self._running:
                 return
-            if self._thread is not None and self._thread.is_alive():
-                return
+            self._running = True
             self._thread = threading.Thread(
                 target=self._run, name="repro-watchdog", daemon=True
             )
@@ -192,12 +262,22 @@ class StallWatchdog:
             time.sleep(self.interval)
             with self._lock:
                 if self._stopped:
+                    self._running = False
                     return
             records = self.registry.snapshot()
             if not records:
                 idle += 1
                 if idle >= self._idle_scans:
-                    return  # lazily restarted by the next blocked join
+                    with self._lock:
+                        # Atomic with ensure_running: a waiter that
+                        # registered after our snapshot either sees
+                        # _running still True here (and the non-empty
+                        # registry keeps us alive), or takes the lock
+                        # after us and starts a fresh monitor.
+                        if len(self.registry) == 0:
+                            self._running = False
+                            return
+                    idle = 0
                 continue
             idle = 0
             self.scan(records)
@@ -210,12 +290,12 @@ class StallWatchdog:
         """
         if records is None:
             records = self.registry.snapshot()
-        # A task blocks on one join at a time (one thread per task), so
-        # joiner -> record is a function.
-        by_joiner: dict["TaskHandle", BlockedJoin] = {}
+        # A batch pre-wait blocks one joiner on many joinees at once, so
+        # records are keyed by *edge*, not by joiner.
+        by_edge: dict[tuple, BlockedJoin] = {}
         graph: dict["TaskHandle", set["TaskHandle"]] = {}
         for record in records:
-            by_joiner[record.joiner] = record
+            by_edge[(record.joiner, record.joinee)] = record
             graph.setdefault(record.joiner, set()).add(record.joinee)
             graph.setdefault(record.joinee, set())
         delivered: list[tuple] = []
@@ -223,17 +303,21 @@ class StallWatchdog:
             cycle = find_cycle(graph)
             if cycle is None:
                 return delivered
-            cycle_records = [by_joiner[t] for t in cycle]
+            n = len(cycle)
+            edges = [(cycle[i], cycle[(i + 1) % n]) for i in range(n)]
             # Drop this cycle's edges from the working graph either way,
             # so the loop terminates and other cycles are still found.
-            for task in cycle:
-                graph[task] = set()
+            for joiner, joinee in edges:
+                graph[joiner].discard(joinee)
+            cycle_records = [by_edge[e] for e in edges if e in by_edge]
+            if len(cycle_records) < n:
+                continue  # an edge raced away between snapshot and scan
             if any(r.future.done() for r in cycle_records):
                 continue  # snapshot transient: a waiter is unblocking
-            stall = tuple(r.joiner for r in cycle_records)
+            stall = tuple(cycle)
             for record in cycle_records:
                 if record.exc is None:
-                    record.exc = DeadlockDetectedError(cycle=stall)
+                    record.deliver(DeadlockDetectedError(cycle=stall))
             with self._lock:
                 self.deadlocks_detected += len(cycle_records)
             delivered.append(stall)
@@ -248,19 +332,98 @@ def wait_for_future(
     deadline: Optional[float] = None,
     timeout_value: Optional[float] = None,
     helper: Optional[Callable[[], bool]] = None,
+    helper_tick: Optional[Callable[[], bool]] = None,
     max_tick: float = _MAX_TICK,
+    main_tick: float = _MAIN_TICK,
 ) -> None:
     """The supervised blocked wait used by every blocking join.
 
-    Polls the future with exponential backoff while honouring, in
-    priority order: a watchdog-delivered diagnosis (``record.exc``), the
-    joiner's cancellation token, and the deadline.  ``helper``, when
-    given, is invoked between polls and may execute queued work (the
-    pool's help-while-blocked loop); returning True resets the backoff.
-    The registry record is always removed on exit, so no supervision
-    state outlives the wait.
+    Sleeps on the record's wake event and re-checks, in priority order:
+    a watchdog-delivered diagnosis (``record.exc``), the joiner's
+    cancellation token, completion, and the deadline.  All three notify
+    sources deliver targeted wakes, so off the main thread an unbounded
+    wait performs exactly one OS sleep.  ``helper``, when given, is
+    invoked after each wakeup and may execute queued work (the pool's
+    help-while-blocked loop); ``helper_tick`` reports whether the
+    current pool state requires the wait to poll for such work (with
+    ``_MIN_TICK``..``max_tick`` backoff).  The registry record is always
+    removed on exit, so no supervision state outlives the wait.
     """
-    if future._wait(0):
+    if future._done:
+        return
+    joinee = future.task
+    record = BlockedJoin(joiner, joinee, future)
+    if registry is not None:
+        registry.add(record)
+    if watchdog is not None:
+        watchdog.ensure_running()
+    token = joiner.cancel_token
+    future._add_waiter(record)
+    token._add_waker(record)
+    on_main = threading.current_thread() is threading.main_thread()
+    backoff = _MIN_TICK
+    try:
+        while True:
+            record._wake.clear()
+            # Re-check every condition after the clear: a waker firing in
+            # between re-sets the event, so the next wait falls through.
+            if record.exc is not None:
+                raise record.exc
+            if token.cancelled():
+                raise TaskCancelledError(joiner)
+            if future._done:
+                return
+            wait = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise JoinTimeoutError(joiner, joinee, timeout_value)
+                wait = remaining
+            if on_main and (wait is None or main_tick < wait):
+                wait = main_tick
+            if helper_tick is not None and helper_tick():
+                if wait is None or backoff < wait:
+                    wait = backoff
+            record._wake.wait(wait)
+            record.wakeups += 1
+            if helper is not None and helper():
+                backoff = _MIN_TICK  # we did useful work; stay responsive
+            else:
+                backoff = min(backoff * 2, max_tick)
+    finally:
+        if registry is not None:
+            registry.unregister(record)
+        future._discard_waiter(record)
+        token._discard_waker(record)
+
+
+def wait_for_future_polling(
+    future: "Future",
+    joiner: "TaskHandle",
+    *,
+    registry: Optional[JoinRegistry] = None,
+    watchdog: Optional[StallWatchdog] = None,
+    deadline: Optional[float] = None,
+    timeout_value: Optional[float] = None,
+    helper: Optional[Callable[[], bool]] = None,
+    helper_tick: Optional[Callable[[], bool]] = None,
+    max_tick: float = _MAX_TICK,
+    main_tick: float = _MAIN_TICK,
+) -> None:
+    """The poll-loop wait protocol the event rewrite replaced, kept as
+    the measured baseline.
+
+    Every condition — completion included — is observed only at poll
+    ticks: the loop sleeps ``_MIN_TICK`` doubling up to ``max_tick`` and
+    re-checks, with no wake event anywhere.  This is the uniform
+    embodiment of the pre-rewrite supervision protocol (which delivered
+    cancellation, deadlines and watchdog verdicts at exactly this
+    cadence), so the difference against :func:`wait_for_future` isolates
+    the wakeup mechanism itself — which is what
+    ``benchmarks/bench_runtime_overhead.py`` measures (the ≥2×
+    join-wakeup gate).  Not used by the runtimes.
+    """
+    if future._done:
         return
     record = registry.register(joiner, future.task, future) if registry is not None else None
     if watchdog is not None:
@@ -273,14 +436,17 @@ def wait_for_future(
             token = joiner.cancel_token
             if token.cancelled():
                 raise TaskCancelledError(joiner)
+            if future._done:
+                return
             wait = tick
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise JoinTimeoutError(joiner, future.task, timeout_value)
                 wait = min(wait, remaining)
-            if future._wait(wait):
-                return
+            time.sleep(wait)
+            if record is not None:
+                record.wakeups += 1
             if helper is not None and helper():
                 tick = _MIN_TICK  # we did useful work; stay responsive
                 continue
@@ -290,14 +456,68 @@ def wait_for_future(
             registry.unregister(record)
 
 
+class _LatchArm:
+    """Per-future waker of a batch pre-wait; fires its latch once."""
+
+    __slots__ = ("_latch", "_future", "_fired")
+
+    def __init__(self, latch: "_CountdownLatch", future: "Future") -> None:
+        self._latch = latch
+        self._future = future
+        self._fired = False
+
+    def set(self) -> None:
+        self._latch._arm_fired(self)
+
+
+class _CountdownLatch:
+    """Counts a batch's pending futures down; one wakeup per drain.
+
+    The shared wake event fires exactly once on the happy path — when
+    the *last* pending future completes — or early, on the *first*
+    failure, when the batch aborts on failure (``fail_fast``).  Arms are
+    idempotent (``_fired`` guarded by the latch lock), because the waker
+    protocol may fire the same arm from both the registration re-check
+    and the completion snapshot.
+    """
+
+    __slots__ = ("_lock", "_remaining", "_wake", "_fail_fast", "failed")
+
+    def __init__(self, count: int, wake: threading.Event, *, fail_fast: bool) -> None:
+        self._lock = threading.Lock()
+        self._remaining = count
+        self._wake = wake
+        self._fail_fast = fail_fast
+        self.failed = False
+
+    @property
+    def remaining(self) -> int:
+        return self._remaining
+
+    def _arm_fired(self, arm: _LatchArm) -> None:
+        with self._lock:
+            if arm._fired:
+                return
+            arm._fired = True
+            self._remaining -= 1
+            fire = self._remaining == 0
+            if self._fail_fast and arm._future._exc is not None:
+                self.failed = True  # flag before wake
+                fire = True
+        if fire:
+            self._wake.set()
+
+
 class SupervisedJoinMixin:
     """The shared supervised join protocol of the blocking runtimes.
 
     Host classes must provide ``_hybrid`` (HybridVerifier or None) and
     ``_verifier`` and call :meth:`_init_supervision` from ``__init__``.
     They may override :meth:`_before_block` (called once when a join is
-    about to genuinely block) and :meth:`_wait_helper` (returns the
-    between-polls callback for the current thread, or None).
+    about to genuinely block), :meth:`_wait_helper` (returns the
+    after-wakeup work callback for the current thread, or None) and
+    :meth:`_helper_tick` (returns a predicate saying whether the blocked
+    wait currently needs to poll for helper work, or None).
     """
 
     def _init_supervision(
@@ -352,7 +572,11 @@ class SupervisedJoinMixin:
         """Called once when a join is about to genuinely block."""
 
     def _wait_helper(self) -> Optional[Callable[[], bool]]:
-        """Between-polls callback for the current thread, or None."""
+        """After-wakeup work callback for the current thread, or None."""
+        return None
+
+    def _helper_tick(self) -> Optional[Callable[[], bool]]:
+        """Predicate: must the blocked wait poll for helper work now?"""
         return None
 
     # ------------------------------------------------------------------
@@ -428,6 +652,15 @@ class SupervisedJoinMixin:
         policies fall back to per-future verification, since their
         verdicts may flip as earlier joins in the batch teach knowledge.
 
+        When every verdict in the batch is known permitted, the batch
+        first blocks *collectively*: all wait-for edges are registered
+        against one shared wake event and a countdown latch delivers a
+        single wakeup when the last joinee completes (or the first
+        failure arrives, if failures abort the batch) — after which the
+        per-future joins below run without blocking.  Flagged or
+        unknown verdicts skip the pre-wait so policy faults and Armus
+        referrals fire at exactly the sequential position.
+
         Results are returned in input order.  With
         ``return_exceptions=True``, a failed task contributes its
         :class:`~repro.errors.TaskFailedError` in place of a result
@@ -456,6 +689,15 @@ class SupervisedJoinMixin:
             flags: list[Optional[bool]] = [not ok for ok in verdicts]
         else:
             flags = [None] * len(futures)
+        if len(futures) > 1 and all(flag is False for flag in flags):
+            # Every join is known permitted: safe to park once on the
+            # whole batch before harvesting.  (A flagged or unknown
+            # verdict must instead fault / refer to Armus at its own
+            # sequential position, possibly before later joinees ever
+            # complete — pre-waiting on those could hang.)
+            self._batch_prewait(
+                joiner, futures, deadline, fail_fast=not return_exceptions
+            )
         results = []
         for index, (future, flagged) in enumerate(zip(futures, flags)):
             try:
@@ -477,6 +719,90 @@ class SupervisedJoinMixin:
                         later.cancel()
                 raise
         return results
+
+    def _batch_prewait(
+        self,
+        joiner: "TaskHandle",
+        futures: Sequence["Future"],
+        deadline: Optional[float],
+        *,
+        fail_fast: bool,
+    ) -> None:
+        """Collectively block on a batch of known-permitted joins.
+
+        Registers one :class:`BlockedJoin` per pending future — all
+        sharing one wake event, so the watchdog sees every edge — and
+        sleeps until the countdown latch fires.  Never raises timeouts
+        or task failures itself: on deadline expiry or a fail-fast
+        failure it simply returns, and the sequential harvest reproduces
+        the exact sequential outcome (the earliest failing or still
+        pending future in input order wins).  Watchdog diagnoses and
+        cancellation do raise here, as they would in any blocked wait.
+        """
+        pending = [f for f in futures if not f._done]
+        if not pending:
+            return
+        if fail_fast and any(f._done and f._exc is not None for f in futures):
+            # A failure is already in hand and failures abort the batch:
+            # the harvest must raise it (and e.g. cancel the remaining
+            # futures) *now* — pre-waiting on siblings that might only
+            # wind down after that cancellation would deadlock.
+            return
+        wake = threading.Event()
+        latch = _CountdownLatch(len(pending), wake, fail_fast=fail_fast)
+        token = joiner.cancel_token
+        records = [BlockedJoin(joiner, f.task, f, wake=wake) for f in pending]
+        arms = [_LatchArm(latch, f) for f in pending]
+        registry = self._registry
+        for record in records:
+            registry.add(record)
+        if self._watchdog is not None:
+            self._watchdog.ensure_running()
+        self._before_block(pending[0])
+        helper = self._wait_helper()
+        helper_tick = self._helper_tick()
+        on_main = threading.current_thread() is threading.main_thread()
+        backoff = _MIN_TICK
+        prev_state = joiner.state
+        joiner.state = TaskState.BLOCKED
+        try:
+            for future, arm in zip(pending, arms):
+                future._add_waiter(arm)
+            token._add_waker(wake)
+            while True:
+                wake.clear()
+                for record in records:
+                    if record.exc is not None:
+                        raise record.exc
+                if token.cancelled():
+                    raise TaskCancelledError(joiner)
+                if latch.remaining == 0 or latch.failed:
+                    return
+                wait = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return  # harvest raises the precise JoinTimeoutError
+                    wait = remaining
+                if on_main and (wait is None or _MAIN_TICK < wait):
+                    wait = _MAIN_TICK
+                if helper_tick is not None and helper_tick():
+                    if wait is None or backoff < wait:
+                        wait = backoff
+                wake.wait(wait)
+                for record in records:
+                    record.wakeups += 1
+                if helper is not None and helper():
+                    backoff = _MIN_TICK
+                else:
+                    backoff = min(backoff * 2, _MAX_TICK)
+        finally:
+            joiner.state = prev_state
+            token._discard_waker(wake)
+            for future, arm in zip(pending, arms):
+                future._discard_waiter(arm)
+            for record in records:
+                registry.unregister(record)
 
     def _join_one(
         self,
@@ -534,6 +860,8 @@ class SupervisedJoinMixin:
         deadline: Optional[float],
         timeout_value: Optional[float],
     ) -> None:
+        # Module-level lookup on purpose: the runtime-overhead benchmark
+        # swaps in wait_for_future_polling to measure the old protocol.
         wait_for_future(
             future,
             joiner,
@@ -542,4 +870,5 @@ class SupervisedJoinMixin:
             deadline=deadline,
             timeout_value=timeout_value,
             helper=self._wait_helper(),
+            helper_tick=self._helper_tick(),
         )

@@ -36,19 +36,49 @@ class CancelToken:
     flag is monotonic (never cleared), so a plain attribute read suffices:
     under the GIL a set-once boolean needs no lock, and a racing reader
     merely observes the request one check later.
+
+    A blocked supervised wait registers a *waker* (:meth:`_add_waker`) so
+    ``cancel()`` interrupts the wait immediately instead of on the next
+    poll tick.  The waker list is allocated lazily: the common task never
+    blocks-and-registers, and the single-writer discipline (a task blocks
+    on at most one join at a time, and registers its own waker) makes the
+    lazy ``None -> []`` transition race-free under the GIL.
     """
 
-    __slots__ = ("_cancelled",)
+    __slots__ = ("_cancelled", "_wakers")
 
     def __init__(self) -> None:
         self._cancelled = False
+        self._wakers: Optional[list] = None
 
     def cancel(self) -> None:
-        """Request cancellation (idempotent)."""
+        """Request cancellation (idempotent) and wake any blocked wait."""
         self._cancelled = True
+        # Flag first, then wake: a waiter registered concurrently either
+        # lands in this snapshot or re-checks the flag after appending.
+        wakers = self._wakers
+        if wakers:
+            for waker in list(wakers):
+                waker.set()
 
     def cancelled(self) -> bool:
         return self._cancelled
+
+    def _add_waker(self, waker) -> None:
+        """Register *waker* to be ``set()`` when cancellation is requested."""
+        if self._wakers is None:
+            self._wakers = []
+        self._wakers.append(waker)
+        if self._cancelled:
+            waker.set()
+
+    def _discard_waker(self, waker) -> None:
+        if self._wakers is None:
+            return
+        try:
+            self._wakers.remove(waker)
+        except ValueError:
+            pass
 
     def raise_if_cancelled(self, task: object = None) -> None:
         """Raise :class:`TaskCancelledError` if cancellation was requested."""
@@ -57,9 +87,15 @@ class CancelToken:
 
 
 class TaskHandle:
-    """Identity and bookkeeping for one task."""
+    """Identity and bookkeeping for one task.
 
-    __slots__ = ("uid", "name", "vertex", "code", "state", "parent_uid", "cancel_token")
+    ``name`` is materialised lazily: the default ``task-<uid>`` string is
+    only interpolated when something actually reads it (reprs, watchdog
+    diagnoses, error messages), which keeps the fork fast path free of
+    string formatting.
+    """
+
+    __slots__ = ("uid", "_name", "vertex", "code", "state", "parent_uid", "cancel_token")
 
     def __init__(
         self,
@@ -70,12 +106,19 @@ class TaskHandle:
         parent_uid: Optional[int] = None,
     ) -> None:
         self.uid = next(_uid)
-        self.name = name if name is not None else f"task-{self.uid}"
+        self._name = name
         self.vertex = vertex
         self.code = code
         self.state = TaskState.CREATED
         self.parent_uid = parent_uid
         self.cancel_token = CancelToken()
+
+    @property
+    def name(self) -> str:
+        name = self._name
+        if name is None:
+            name = self._name = f"task-{self.uid}"
+        return name
 
     def __repr__(self) -> str:
         return f"<TaskHandle {self.name} {self.state.value}>"

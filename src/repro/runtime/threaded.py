@@ -2,8 +2,17 @@
 
 This is the Python analogue of Habanero-Java's blocking work-sharing
 runtime used for five of the six evaluation benchmarks: every ``fork``
-starts an OS thread, and a join blocks the calling thread until the
-joinee terminates.
+gives the task a dedicated OS thread for its whole lifetime, and a join
+blocks the calling thread until the joinee terminates.
+
+``fork`` itself runs on a **pooled fast path**: a terminated task's
+thread parks on a private handoff channel for ``idle_timeout`` seconds
+(bounded to ``max_idle`` parked threads) and the next fork hands its
+task straight to a parked thread instead of paying OS thread start-up
+cost.  The model is unchanged — a running task still owns one thread
+exclusively — only thread *creation* is amortised, which is where most
+of the baseline fork cost went.  ``tasks_started`` counts forks;
+``threads_started`` counts real OS threads (``<=`` forks).
 
 Instrumentation: every fork funnels through ``AddChild`` and every join
 through the policy gate (Algorithm 1), optionally composed with the Armus
@@ -15,13 +24,15 @@ accept deadlines, observe cooperative cancellation, and — with the
 watchdog enabled (the default) — a true join cycle terminates every
 blocked task with :class:`~repro.errors.DeadlockDetectedError` instead
 of hanging, even in configurations the avoidance machinery does not
-cover.  All blocked waits are interruptible poll loops, so Ctrl-C works
-while the main thread is blocked in a join.
+cover.  Blocked waits are event-driven (a targeted notify per state
+change); the main thread additionally re-checks on a coarse tick so
+Ctrl-C works while it is blocked in a join.
 """
 
 from __future__ import annotations
 
 import threading
+from queue import Empty, SimpleQueue
 from typing import Any, Callable, Optional, Union
 
 from .context import require_current_task, task_scope
@@ -34,6 +45,8 @@ from ..core.verifier import Verifier
 from ..errors import RuntimeStateError
 
 __all__ = ["TaskRuntime", "resolve_policy"]
+
+_STOP = object()
 
 
 def resolve_policy(policy: Union[None, str, JoinPolicy]) -> JoinPolicy:
@@ -59,6 +72,13 @@ class TaskRuntime(SupervisedJoinMixin):
         :class:`~repro.errors.DeadlockAvoidedError`.  When False, a
         rejection faults immediately with
         :class:`~repro.errors.PolicyViolationError` (pure Algorithm 1).
+    idle_timeout:
+        How long (seconds) a thread whose task terminated stays parked
+        awaiting reuse by a later fork; 0 disables pooling entirely
+        (every fork starts a thread, the seed behaviour).
+    max_idle:
+        Bound on concurrently parked idle threads; excess threads exit
+        as soon as their task terminates.
     default_join_timeout:
         Runtime-wide deadline (seconds) applied to every join that does
         not pass an explicit ``timeout``; None (default) means unbounded.
@@ -83,16 +103,29 @@ class TaskRuntime(SupervisedJoinMixin):
         policy: Union[None, str, JoinPolicy] = "TJ-SP",
         *,
         fallback: bool = True,
+        idle_timeout: float = 2.0,
+        max_idle: int = 32,
         default_join_timeout: Optional[float] = None,
         watchdog: Union[bool, float, StallWatchdog] = True,
         watchdog_interval: float = 0.1,
         on_unjoined_failure: str = "warn",
     ) -> None:
+        if idle_timeout < 0:
+            raise ValueError("idle_timeout must be non-negative")
+        if max_idle < 0:
+            raise ValueError("max_idle must be non-negative")
         policy_obj = resolve_policy(policy)
         self._hybrid: Optional[HybridVerifier] = HybridVerifier(policy_obj) if fallback else None
         self._verifier: Verifier = self._hybrid.verifier if self._hybrid else Verifier(policy_obj)
         self._root_started = False
         self._threads_started = 0
+        self._tasks_started = 0
+        self._idle_timeout = idle_timeout
+        self._max_idle = max_idle
+        # LIFO stack of parked workers' handoff channels: the most
+        # recently parked thread (warmest stack/caches) is reused first.
+        self._idle_workers: list[SimpleQueue] = []
+        self._idle_enabled = idle_timeout > 0 and max_idle > 0
         self._lock = threading.Lock()
         self._init_supervision(
             default_join_timeout=default_join_timeout,
@@ -119,7 +152,19 @@ class TaskRuntime(SupervisedJoinMixin):
 
     @property
     def threads_started(self) -> int:
+        """OS threads actually created (``<= tasks_started`` with pooling)."""
         return self._threads_started
+
+    @property
+    def tasks_started(self) -> int:
+        """Tasks forked (the seed's per-fork thread count)."""
+        return self._tasks_started
+
+    @property
+    def idle_threads(self) -> int:
+        """Threads currently parked awaiting reuse."""
+        with self._lock:
+            return len(self._idle_workers)
 
     # ------------------------------------------------------------------
     # task lifecycle
@@ -127,9 +172,11 @@ class TaskRuntime(SupervisedJoinMixin):
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Execute *fn* as the root task in the calling thread.
 
-        Returns *fn*'s result; exceptions propagate unchanged.  On a
-        clean return, failures of never-joined futures recorded so far
-        are surfaced per ``on_unjoined_failure``.
+        Returns *fn*'s result; exceptions propagate unchanged.  On exit
+        the idle thread pool is drained (parked threads stop; tasks
+        still running are unaffected) and, on a clean return, failures
+        of never-joined futures recorded so far are surfaced per
+        ``on_unjoined_failure``.
         """
         with self._lock:
             if self._root_started:
@@ -141,15 +188,26 @@ class TaskRuntime(SupervisedJoinMixin):
         vertex = self._verifier.on_init()
         root = TaskHandle(vertex, code=fn, name="root")
         root.state = TaskState.RUNNING
-        with task_scope(root):
-            try:
-                result = fn(*args, **kwargs)
-                root.state = TaskState.DONE
-            except BaseException:
-                root.state = TaskState.FAILED
-                raise
+        try:
+            with task_scope(root):
+                try:
+                    result = fn(*args, **kwargs)
+                    root.state = TaskState.DONE
+                except BaseException:
+                    root.state = TaskState.FAILED
+                    raise
+        finally:
+            self._drain_idle_workers()
         self._reap_unjoined()
         return result
+
+    def _drain_idle_workers(self) -> None:
+        with self._lock:
+            self._idle_enabled = False
+            channels = list(self._idle_workers)
+            self._idle_workers.clear()
+        for channel in channels:
+            channel.put(_STOP)
 
     def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
         """``async fn(*args)``: start *fn* in a new task; return its Future.
@@ -165,34 +223,62 @@ class TaskRuntime(SupervisedJoinMixin):
         vertex = self._verifier.on_fork(parent.vertex)
         task = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
         future = Future(self, task)
-        thread = threading.Thread(
-            target=self._task_main,
-            args=(task, future, fn, args, kwargs),
-            name=task.name,
-            daemon=True,
-        )
-        with self._lock:
-            self._threads_started += 1
+        item = (task, future, fn, args, kwargs)
         task.state = TaskState.RUNNING
-        thread.start()
+        with self._lock:
+            self._tasks_started += 1
+            channel = self._idle_workers.pop() if self._idle_workers else None
+            if channel is None:
+                self._threads_started += 1
+                count = self._threads_started
+        if channel is not None:
+            channel.put(item)
+        else:
+            threading.Thread(
+                target=self._worker_main,
+                args=(item,),
+                name=f"repro-worker-{count}",
+                daemon=True,
+            ).start()
         return future
 
-    def _task_main(
-        self,
-        task: TaskHandle,
-        future: Future,
-        fn: Callable[..., Any],
-        args: tuple,
-        kwargs: dict,
-    ) -> None:
-        with task_scope(task):
+    def _worker_main(self, item: tuple) -> None:
+        channel: Optional[SimpleQueue] = None
+        while True:
+            task, future, fn, args, kwargs = item
+            with task_scope(task):
+                try:
+                    value = fn(*args, **kwargs)
+                except BaseException as exc:  # noqa: BLE001 - delivered at join
+                    task.state = TaskState.FAILED
+                    future._set_exception(exc)
+                else:
+                    task.state = TaskState.DONE
+                    future._set_result(value)
+            # Park for reuse: publish our handoff channel and wait for
+            # the next fork (bounded by idle_timeout / max_idle).
+            if channel is None:
+                channel = SimpleQueue()
+            with self._lock:
+                if not self._idle_enabled or len(self._idle_workers) >= self._max_idle:
+                    return
+                self._idle_workers.append(channel)
             try:
-                value = fn(*args, **kwargs)
-            except BaseException as exc:  # noqa: BLE001 - delivered at join
-                task.state = TaskState.FAILED
-                future._set_exception(exc)
-            else:
-                task.state = TaskState.DONE
-                future._set_result(value)
+                item = channel.get(timeout=self._idle_timeout)
+            except Empty:
+                with self._lock:
+                    try:
+                        self._idle_workers.remove(channel)
+                    except ValueError:
+                        claimed = True  # a fork popped us as we timed out
+                    else:
+                        claimed = False
+                if not claimed:
+                    return
+                # The racing fork's item (or the drain's stop token) is
+                # already in flight to our channel; take it.
+                item = channel.get()
+            if item is _STOP:
+                return
 
     # join / join_batch / _join_one are provided by SupervisedJoinMixin.

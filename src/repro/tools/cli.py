@@ -23,6 +23,12 @@ Commands
     Run the verifier hot-path microbenchmarks (join-heavy, fork-heavy,
     deep-tree, wide-tree across all TJ/KJ policies) and write
     ``BENCH_hotpath.json``.
+``bench-runtime [--reps N] [--smoke] [--json PATH] [--min-join-speedup F]
+[--max-overhead F]``
+    Run the end-to-end runtime overhead suite: the join-latency
+    microshape under the event-driven and polling wait protocols, plus
+    Table-2-style policy-vs-baseline configs; writes
+    ``BENCH_runtime.json`` and enforces the regression gates.
 ``run <trace-file> [--runtime threaded|pool] [--policy P] [--timeout S]
 [--watchdog-interval S] [--no-watchdog]``
     Execute the trace on a *blocking* runtime under full supervision:
@@ -323,6 +329,36 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_runtime(args: argparse.Namespace) -> int:
+    from ..analysis.io import save_runtime
+    from ..analysis.runtime_overhead import (
+        render_runtime_table,
+        run_runtime_suite,
+    )
+
+    result = run_runtime_suite(smoke=args.smoke, repetitions=args.reps)
+    print(render_runtime_table(result))
+    save_runtime(result, args.json)
+    print(f"raw samples written to {args.json}")
+    status = 0
+    speedup = result.join_speedup
+    if args.min_join_speedup and speedup < args.min_join_speedup:
+        print(
+            f"REGRESSION: event-driven join speedup {speedup:.2f}x "
+            f"below the {args.min_join_speedup:.2f}x gate"
+        )
+        status = 1
+    if args.max_overhead:
+        factor = result.overhead("TJ-SP")
+        if factor > args.max_overhead:
+            print(
+                f"REGRESSION: TJ-SP end-to-end overhead {factor:.3f}x "
+                f"above the {args.max_overhead:.2f}x bound"
+            )
+            status = 1
+    return status
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from ..analysis.report import ReportConfig, build_report
 
@@ -453,6 +489,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="fail (exit 1) if join-heavy TJ-SP vs TJ-SP-legacy drops below FACTOR",
     )
     p.set_defaults(fn=_cmd_bench_hotpath)
+
+    p = sub.add_parser("bench-runtime", help="end-to-end runtime overhead suite")
+    p.add_argument("--reps", type=int, default=3)
+    p.add_argument(
+        "--smoke", action="store_true", help="tiny CI-sized configurations"
+    )
+    p.add_argument("--json", default="BENCH_runtime.json", help="output path")
+    p.add_argument(
+        "--min-join-speedup",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help="fail (exit 1) if the event-driven join speedup over the "
+        "polling baseline drops below FACTOR",
+    )
+    p.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help="fail (exit 1) if the TJ-SP end-to-end geomean overhead "
+        "exceeds FACTOR",
+    )
+    p.set_defaults(fn=_cmd_bench_runtime)
 
     p = sub.add_parser("report", help="full reproduction report (markdown)")
     p.add_argument("--reps", type=int, default=3)

@@ -133,3 +133,63 @@ class TestShardedCountsExact:
             t.start()
             t.join()
         assert verifier.stats.joins_checked == 5
+
+
+class TestShardRetirement:
+    """Dead threads' shards are folded away, not leaked (thread-per-task
+    runtimes would otherwise accumulate one shard per task forever)."""
+
+    def test_shard_list_stays_bounded_under_thread_churn(self, verifier):
+        root = verifier.on_init()
+
+        def once() -> None:
+            verifier.check_join(root, root)
+
+        for _ in range(100):
+            t = threading.Thread(target=once)
+            t.start()
+            t.join()
+            verifier.stats  # reads fold dead shards as they go
+        # every one of the 100 worker shards has been retired; at most
+        # the current (main) thread's shard may remain live
+        assert len(verifier._shards) <= 1
+
+    def test_folding_is_exact_under_churn_and_concurrency(self, verifier):
+        """Retirement must not lose or double-count a single event, even
+        with reads interleaved with waves of short-lived writers."""
+        root = verifier.on_init()
+        waves, per_wave, checks = 10, 6, 37
+
+        def storm() -> None:
+            sub = verifier.on_fork(root)
+            for _ in range(checks):
+                verifier.check_join(sub, root)
+
+        for _ in range(waves):
+            threads = [threading.Thread(target=storm) for _ in range(per_wave)]
+            for t in threads:
+                t.start()
+            verifier.stats  # concurrent read while writers live
+            for t in threads:
+                t.join()
+        stats = verifier.stats
+        assert stats.forks == 1 + waves * per_wave
+        assert stats.joins_checked == waves * per_wave * checks
+        assert stats.joins_rejected == waves * per_wave * checks
+        assert len(verifier._shards) <= 1
+
+    def test_registration_also_folds(self, verifier):
+        """Folding happens at shard registration too, so a runtime that
+        never reads stats still cannot leak shards."""
+        root = verifier.on_init()
+
+        def once() -> None:
+            verifier.check_join(root, root)
+
+        for _ in range(50):
+            t = threading.Thread(target=once)
+            t.start()
+            t.join()
+        # no stats read in the loop: the next registration prunes
+        assert len(verifier._shards) <= 2  # last dead shard + main's
+        assert verifier.stats.joins_checked == 50

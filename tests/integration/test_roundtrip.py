@@ -78,7 +78,7 @@ class TestRoundTrip:
         recorded_joins = sum(isinstance(a, Join) for a in trace)
         assert recorded_joins == rt.verifier.stats.joins_checked
         recorded_forks = sum(isinstance(a, Fork) for a in trace)
-        assert recorded_forks == rt.threads_started
+        assert recorded_forks == rt.tasks_started
 
     def test_double_roundtrip_is_stable(self):
         """Recording the replay of a recording yields an isomorphic fork

@@ -273,7 +273,10 @@ class TestScale:
             return sum(f.join() for f in futs)
 
         assert rt.run(main) == n * (n - 1) // 2
-        assert rt.threads_started == n
+        assert rt.tasks_started == n
+        # the pooled fork fast path reuses parked threads: far fewer OS
+        # threads than tasks on a sequential fork/join star
+        assert rt.threads_started <= n
 
     def test_join_same_future_twice(self):
         rt = TaskRuntime(policy="TJ-SP")

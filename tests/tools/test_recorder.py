@@ -55,4 +55,4 @@ class TestRecorderIntegration:
         trace = rec.snapshot()
         assert is_structurally_valid(trace)
         assert is_tj_valid(trace)
-        assert sum(isinstance(a, Fork) for a in trace) == rt.threads_started
+        assert sum(isinstance(a, Fork) for a in trace) == rt.tasks_started
