@@ -10,6 +10,10 @@ rewrite claims:
 * TJ-SP's end-to-end geomean overhead over ``policy=None`` on the
   Table-2-style configs stays under a stated bound — the number the
   paper's 1.06x headline rests on;
+* the crash-consistent trace journal costs at most 1.25x on the fork
+  chain — the journal's durability worst case, since every level blocks
+  and so pays a critical flush-before-sleep ``block`` record on top of
+  fork/verdict/unblock/join;
 * swapping wait protocols never changes program results (checked inside
   the microshape runner).
 
@@ -36,6 +40,7 @@ import pytest
 
 from repro.analysis.io import runtime_from_json, save_runtime
 from repro.analysis.runtime_overhead import (
+    JOURNAL_MODES,
     OVERHEAD_PARAMS,
     RUNTIME_POLICIES,
     WAIT_MODES,
@@ -53,6 +58,12 @@ JOIN_WAKEUP_GATE = 2.0
 #: ~1.05x on an idle machine; the bound leaves room for CI noise while
 #: still catching a runtime-layer regression outright)
 TJSP_OVERHEAD_BOUND = 2.0
+
+#: journal-on vs journal-off bound on the fork chain (measured ~1.03x;
+#: every chain level pays the journal's priciest path — a critical
+#: flush-before-sleep block record — so a breach here means the write
+#: path itself regressed, e.g. per-record fsync or unbatched writes)
+JOURNAL_OVERHEAD_GATE = 1.25
 
 OUTPUT = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_runtime.json"
@@ -80,9 +91,13 @@ def test_emits_bench_runtime_json(result):
         assert report.baseline.times
         for policy in RUNTIME_POLICIES:
             assert report.policies[policy].times
+    assert set(loaded.journal) == set(JOURNAL_MODES)
+    for m in loaded.journal.values():
+        assert m.times
     # the serialised factors must survive the round trip exactly
     assert loaded.join_speedup == pytest.approx(result.join_speedup)
     assert loaded.overhead("TJ-SP") == pytest.approx(result.overhead("TJ-SP"))
+    assert loaded.journal_overhead == pytest.approx(result.journal_overhead)
 
 
 def test_join_wakeup_speedup_gate(result):
@@ -109,6 +124,18 @@ def test_tjsp_end_to_end_overhead_bound(result):
         f"TJ-SP end-to-end overhead regressed to {factor:.3f}x "
         f"(bound: {TJSP_OVERHEAD_BOUND}x over policy=None)"
     )
+
+
+def test_journal_overhead_gate(result):
+    """The trace journal's durability worst case stays under 1.25x."""
+    factor = result.journal_overhead
+    assert factor <= JOURNAL_OVERHEAD_GATE, (
+        f"journal-on overhead regressed to {factor:.3f}x on the fork chain "
+        f"(gate: {JOURNAL_OVERHEAD_GATE}x over journal-off)"
+    )
+    # and the journal-on runs actually journalled something
+    assert result.journal["on"].records > 0
+    assert result.journal["off"].records == 0
 
 
 def test_every_policy_reported(result):
@@ -145,5 +172,7 @@ if __name__ == "__main__":
         str(JOIN_WAKEUP_GATE),
         "--max-overhead",
         str(TJSP_OVERHEAD_BOUND),
+        "--max-journal-overhead",
+        str(JOURNAL_OVERHEAD_GATE),
     ] + argv
     sys.exit(main(cli_args))

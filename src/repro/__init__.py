@@ -48,6 +48,8 @@ from .errors import (
     DeadlockAvoidedError,
     DeadlockDetectedError,
     DeadlockError,
+    PolicyQuarantinedError,
+    PolicyQuarantineWarning,
     PolicyViolationError,
     ReproError,
     TaskFailedError,
@@ -58,6 +60,7 @@ from .runtime import (
     AsyncioRuntime,
     CooperativeRuntime,
     Future,
+    RetryPolicy,
     TaskRuntime,
     VerifiedExecutor,
     WorkSharingRuntime,
@@ -92,9 +95,12 @@ __all__ = [
     "CilkFrame",
     "ReproError",
     "PolicyViolationError",
+    "PolicyQuarantinedError",
+    "PolicyQuarantineWarning",
     "DeadlockError",
     "DeadlockAvoidedError",
     "DeadlockDetectedError",
     "TaskFailedError",
+    "RetryPolicy",
     "__version__",
 ]

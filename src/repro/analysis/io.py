@@ -30,7 +30,9 @@ __all__ = [
 
 _SCHEMA_VERSION = 1
 _HOTPATH_SCHEMA_VERSION = 1
-_RUNTIME_SCHEMA_VERSION = 1
+#: v2 added the journal-overhead microshape block (absent in v1 files,
+#: which still load — the journal fields default to unmeasured)
+_RUNTIME_SCHEMA_VERSION = 2
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -189,15 +191,33 @@ def runtime_to_json(result) -> str:
             ],
         },
     }
+    if result.journal is not None:
+        payload["journal"] = {
+            "params": dict(result.journal_params),
+            "measurements": [
+                {
+                    "mode": m.mode,
+                    "depth": m.depth,
+                    "leaf_sleep": m.leaf_sleep,
+                    "times": m.times,
+                    "records": m.records,
+                }
+                for m in result.journal.values()
+            ],
+        }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
 def runtime_from_json(text: str):
     """Inverse of :func:`runtime_to_json`; returns a RuntimeOverheadResult."""
-    from .runtime_overhead import JoinChainMeasurement, RuntimeOverheadResult
+    from .runtime_overhead import (
+        JoinChainMeasurement,
+        JournalOverheadMeasurement,
+        RuntimeOverheadResult,
+    )
 
     payload = json.loads(text)
-    if payload.get("schema") != _RUNTIME_SCHEMA_VERSION:
+    if payload.get("schema") not in (1, _RUNTIME_SCHEMA_VERSION):
         raise ValueError(f"unsupported runtime schema {payload.get('schema')!r}")
     chain = {
         m["mode"]: JoinChainMeasurement(
@@ -217,11 +237,25 @@ def runtime_from_json(text: str):
         )
         for r in payload["overhead"]["reports"]
     ]
+    journal = None
+    if "journal" in payload:
+        journal = {
+            m["mode"]: JournalOverheadMeasurement(
+                mode=m["mode"],
+                depth=m["depth"],
+                leaf_sleep=m["leaf_sleep"],
+                times=m["times"],
+                records=m.get("records", 0),
+            )
+            for m in payload["journal"]["measurements"]
+        }
     return RuntimeOverheadResult(
         join_chain=chain,
         reports=reports,
         join_chain_params=payload["join_chain"].get("params", {}),
         overhead_params=payload["overhead"].get("params", {}),
+        journal=journal,
+        journal_params=payload.get("journal", {}).get("params", {}),
     )
 
 

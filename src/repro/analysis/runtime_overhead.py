@@ -18,6 +18,18 @@ real runtimes, with the supervision layer in the loop.  Two instruments:
   gate asserts the event protocol is at least 2× faster end-to-end on
   this shape (in practice it is far more).
 
+* **journal overhead on the fork chain** — the same fork-chain
+  microshape (with a short leaf sleep) run with the crash-consistent
+  trace journal off and on.  The chain is the journal's *durability*
+  worst case: every level blocks, so every level pays a critical
+  "flush before you sleep" ``block`` record plus fork/verdict/unblock/
+  join records.  The gate bounds the journal-on/journal-off median-time
+  factor at 1.25×; repetitions interleave the two modes so machine-load
+  drift cancels out of the ratio.  (The journal's per-record CPU cost
+  is priced separately: the append path is f-string formatting plus a
+  list append — see :meth:`repro.tools.journal.TraceJournal._emit` —
+  which keeps even record-dense fork fans near a 1.2× factor.)
+
 * **Table-2-style overhead configs** — small configurations of the
   benchsuite programs run with ``policy=None`` against each verified
   policy through :class:`~repro.benchsuite.harness.Harness`, reported as
@@ -48,17 +60,24 @@ from ..runtime.threaded import TaskRuntime
 
 __all__ = [
     "WAIT_MODES",
+    "JOURNAL_MODES",
     "RUNTIME_POLICIES",
     "JOIN_CHAIN_PARAMS",
     "SMOKE_JOIN_CHAIN_PARAMS",
+    "JOURNAL_PARAMS",
+    "SMOKE_JOURNAL_PARAMS",
     "OVERHEAD_PARAMS",
     "SMOKE_OVERHEAD_PARAMS",
     "JoinChainMeasurement",
+    "JournalOverheadMeasurement",
     "RuntimeOverheadResult",
     "wait_protocol",
     "measure_join_chain",
     "run_join_chain_suite",
     "join_wakeup_speedup",
+    "measure_journal_mode",
+    "run_journal_suite",
+    "journal_overhead_factor",
     "run_overhead_suite",
     "best_time",
     "overhead_factor",
@@ -81,6 +100,17 @@ JOIN_CHAIN_PARAMS: dict[str, float] = {"depth": 8, "leaf_sleep": 0.03}
 
 #: smaller microshape for CI smoke runs (still far beyond the 2× gate).
 SMOKE_JOIN_CHAIN_PARAMS: dict[str, float] = {"depth": 6, "leaf_sleep": 0.02}
+
+#: the journal instrument's two configurations
+JOURNAL_MODES = ("off", "on")
+
+#: journal microshape: the fork chain again, TJ-SP-verified.  Every
+#: level blocks on its child, so every level writes the full record
+#: complement — fork, verdict, block (critical flush), unblock, join.
+JOURNAL_PARAMS: dict[str, float] = {"depth": 8, "leaf_sleep": 0.01}
+
+#: smaller chain for CI smoke runs.
+SMOKE_JOURNAL_PARAMS: dict[str, float] = {"depth": 6, "leaf_sleep": 0.005}
 
 #: Table-2-style end-to-end configurations (benchmark name -> params);
 #: kept small enough that the whole policy grid finishes in seconds.
@@ -220,6 +250,139 @@ def join_wakeup_speedup(chain: dict[str, JoinChainMeasurement]) -> float:
 
 
 # ----------------------------------------------------------------------
+# the journal-overhead microshape
+# ----------------------------------------------------------------------
+@dataclass
+class JournalOverheadMeasurement:
+    """All timed repetitions of the fork chain with the journal off/on."""
+
+    mode: str
+    depth: int
+    leaf_sleep: float
+    times: list[float] = field(default_factory=list)
+    #: records the journal wrote in the last repetition (0 when off)
+    records: int = 0
+
+    @property
+    def best_time(self) -> float:
+        return min(self.times) if self.times else math.nan
+
+    @property
+    def median_time(self) -> float:
+        """The gate's estimator: a *ratio* of two measurements is wrecked
+        by a single lucky outlier in the denominator, which best-time
+        admits and the median does not."""
+        if not self.times:
+            return math.nan
+        ordered = sorted(self.times)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    @property
+    def mean_time(self) -> float:
+        return sum(self.times) / len(self.times) if self.times else math.nan
+
+
+def _time_chain_once(
+    mode: str, depth: int, leaf_sleep: float, path: str
+) -> tuple[float, int]:
+    """One timed chain run; returns (elapsed, journal records written).
+
+    The result is checked — a journal that corrupted execution could not
+    pass by being fast.
+    """
+    import os
+
+    rt = TaskRuntime(policy="TJ-SP", journal=path if mode == "on" else None)
+    t0 = time.perf_counter()
+    result = rt.run(_chain_main(rt, depth, leaf_sleep))
+    elapsed = time.perf_counter() - t0
+    if result != depth:
+        raise RuntimeError(f"fork chain returned {result!r}, expected {depth}")
+    records = 0
+    if mode == "on":
+        records = rt.journal.records_written if rt.journal else 0
+        os.unlink(path)
+    return elapsed, records
+
+
+def measure_journal_mode(
+    mode: str,
+    *,
+    depth: int = 8,
+    leaf_sleep: float = 0.01,
+    repetitions: int = 3,
+    warmup: int = 1,
+) -> JournalOverheadMeasurement:
+    """Time the fork chain under TJ-SP with the trace journal off or on.
+
+    ``"on"`` gives every repetition a fresh journal file in a temporary
+    directory (a fresh runtime cannot append to a used journal anyway);
+    the file is removed after timing, so the measurement includes every
+    write the journal performs but keeps nothing.
+    """
+    if mode not in JOURNAL_MODES:
+        raise ValueError(f"unknown journal mode {mode!r}; known: {JOURNAL_MODES}")
+    import os
+    import tempfile
+
+    m = JournalOverheadMeasurement(mode=mode, depth=depth, leaf_sleep=leaf_sleep)
+    with tempfile.TemporaryDirectory(prefix="repro-journal-bench-") as tmp:
+        for i in range(warmup + repetitions):
+            elapsed, records = _time_chain_once(
+                mode, depth, leaf_sleep, os.path.join(tmp, f"rep{i}.jsonl")
+            )
+            if mode == "on":
+                m.records = records
+            if i >= warmup:
+                m.times.append(elapsed)
+    return m
+
+
+def run_journal_suite(
+    *,
+    params: Optional[dict[str, float]] = None,
+    repetitions: int = 3,
+    warmup: int = 1,
+) -> dict[str, JournalOverheadMeasurement]:
+    """The chain under both journal modes; returns mode -> measurement.
+
+    Repetitions are *interleaved* (off, on, off, on, ...) rather than
+    run as two blocks: the gate is a ratio of the two modes, and
+    machine-load drift between two sequential blocks shows up directly
+    in the ratio, whereas interleaved samples see the same drift.
+    """
+    import os
+    import tempfile
+
+    p = dict(params if params is not None else JOURNAL_PARAMS)
+    depth = int(p["depth"])
+    leaf_sleep = float(p["leaf_sleep"])
+    out = {
+        mode: JournalOverheadMeasurement(mode=mode, depth=depth, leaf_sleep=leaf_sleep)
+        for mode in JOURNAL_MODES
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-journal-bench-") as tmp:
+        for i in range(warmup + repetitions):
+            for mode in JOURNAL_MODES:
+                elapsed, records = _time_chain_once(
+                    mode, depth, leaf_sleep, os.path.join(tmp, f"rep{i}.jsonl")
+                )
+                if mode == "on":
+                    out[mode].records = records
+                if i >= warmup:
+                    out[mode].times.append(elapsed)
+    return out
+
+
+def journal_overhead_factor(journal: dict[str, JournalOverheadMeasurement]) -> float:
+    """Median-time factor of journal-on over journal-off."""
+    return journal["on"].median_time / journal["off"].median_time
+
+
+# ----------------------------------------------------------------------
 # Table-2-style end-to-end overheads
 # ----------------------------------------------------------------------
 def run_overhead_suite(
@@ -276,10 +439,20 @@ class RuntimeOverheadResult:
     reports: list[BenchmarkReport]
     join_chain_params: dict[str, float]
     overhead_params: dict[str, dict[str, int]]
+    #: journal-off/on chain measurements; None in files from schema v1
+    journal: Optional[dict[str, JournalOverheadMeasurement]] = None
+    journal_params: dict[str, float] = field(default_factory=dict)
 
     @property
     def join_speedup(self) -> float:
         return join_wakeup_speedup(self.join_chain)
+
+    @property
+    def journal_overhead(self) -> float:
+        """Journal-on over journal-off best-time factor (NaN if unmeasured)."""
+        if not self.journal:
+            return math.nan
+        return journal_overhead_factor(self.journal)
 
     def overhead(self, policy: str) -> float:
         return geomean_overhead(self.reports, policy)
@@ -303,6 +476,7 @@ def run_runtime_suite(
 ) -> RuntimeOverheadResult:
     """Run both instruments and bundle the result for serialisation."""
     chain_params = SMOKE_JOIN_CHAIN_PARAMS if smoke else JOIN_CHAIN_PARAMS
+    journal_params = SMOKE_JOURNAL_PARAMS if smoke else JOURNAL_PARAMS
     overhead_params = SMOKE_OVERHEAD_PARAMS if smoke else OVERHEAD_PARAMS
     return RuntimeOverheadResult(
         join_chain=run_join_chain_suite(
@@ -316,6 +490,12 @@ def run_runtime_suite(
         ),
         join_chain_params=dict(chain_params),
         overhead_params={k: dict(v) for k, v in overhead_params.items()},
+        # The chain runs in tens of milliseconds, so extra repetitions
+        # are cheap — and the gate's median needs samples under CI noise.
+        journal=run_journal_suite(
+            params=journal_params, repetitions=max(repetitions, 5), warmup=warmup
+        ),
+        journal_params=dict(journal_params),
     )
 
 
@@ -335,6 +515,24 @@ def render_runtime_table(result: RuntimeOverheadResult) -> str:
         )
     lines.append(f"event-driven join speedup: {result.join_speedup:.2f}x")
     lines.append("")
+    if result.journal:
+        on = result.journal["on"]
+        lines.append(
+            f"journal overhead microshape (fork chain, depth={on.depth}, "
+            f"leaf_sleep={on.leaf_sleep * 1e3:.0f}ms)"
+        )
+        lines.append(
+            f"{'journal':<10} {'best ms':>9} {'median ms':>10} {'records':>8}"
+        )
+        lines.append("-" * 41)
+        for mode in JOURNAL_MODES:
+            m = result.journal[mode]
+            lines.append(
+                f"{mode:<10} {m.best_time * 1e3:>9.2f} {m.median_time * 1e3:>10.2f} "
+                f"{m.records:>8}"
+            )
+        lines.append(f"journal-on overhead factor: {result.journal_overhead:.3f}x")
+        lines.append("")
     policies = result.policies
     header = f"{'benchmark':<16} " + " ".join(f"{p:>8}" for p in policies)
     lines.append("end-to-end overhead factors (best times, vs policy=None)")

@@ -54,16 +54,22 @@ class ArmusDetector:
         self._lock = self.graph.lock
 
     # ------------------------------------------------------------------
-    def block(self, waiter: Hashable, joinee: Hashable, *, flagged: bool) -> None:
+    def block(
+        self, waiter: Hashable, joinee: Hashable, *, flagged: bool, force_check: bool = False
+    ) -> None:
         """Atomically verify and register the blocking edge ``waiter->joinee``.
 
         ``flagged`` says the conservative policy rejected this join and the
-        caller is falling back to precise detection.  Raises
+        caller is falling back to precise detection.  ``force_check`` runs
+        the cycle check regardless of the verdict — used when the policy
+        is quarantined and its soundness theorem no longer applies, so
+        *every* blocking edge must be checked (Armus-only degradation).
+        A forced check does not count as a policy false positive.  Raises
         :class:`DeadlockAvoidedError` (and registers nothing) if the edge
         would close a cycle.
         """
         with self._lock:
-            if flagged or self._live_forced:
+            if flagged or force_check or self._live_forced:
                 self.stats.cycle_checks += 1
                 path = self.graph._find_path(joinee, waiter)
                 if path is not None:
@@ -75,6 +81,26 @@ class ArmusDetector:
             self.graph._add_edge(waiter, joinee)
             if flagged:
                 self._forced_edges.add((waiter, joinee))
+
+    def force_edge(self, waiter: Hashable, joinee: Hashable) -> bool:
+        """Upgrade an already-registered edge to *forced* status.
+
+        Used when a blocked edge's policy verdict goes stale — a task
+        retry gives the joinee a fresh vertex, and a join verified
+        against the old vertex may no longer be permitted against the
+        new one.  Marking the edge forced makes every later permitted
+        join pay the cycle check while the stale edge lives (the
+        ``_live_forced`` mechanism), restoring the avoidance guarantee.
+        Returns False (and does nothing) when the edge is not currently
+        registered or is already forced.
+        """
+        with self._lock:
+            edge = (waiter, joinee)
+            if edge in self._forced_edges or not self.graph._has_edge(waiter, joinee):
+                return False
+            self._forced_edges.add(edge)
+            self._live_forced += 1
+            return True
 
     def count_false_positive(self) -> None:
         """Record a policy false positive diagnosed without blocking.

@@ -37,6 +37,10 @@ class WaitsForGraph:
     def _add_edge(self, waiter: Hashable, joinee: Hashable) -> None:
         self._succ.setdefault(waiter, set()).add(joinee)
 
+    def _has_edge(self, waiter: Hashable, joinee: Hashable) -> bool:
+        succs = self._succ.get(waiter)
+        return succs is not None and joinee in succs
+
     def _remove_edge(self, waiter: Hashable, joinee: Hashable) -> None:
         succs = self._succ.get(waiter)
         if succs is not None:

@@ -32,9 +32,20 @@ __all__ = ["HybridVerifier", "replay_trace"]
 class HybridVerifier:
     """A :class:`Verifier` plus an :class:`ArmusDetector` fallback."""
 
-    def __init__(self, policy: JoinPolicy, detector: Optional[ArmusDetector] = None) -> None:
-        self.verifier = Verifier(policy)
+    def __init__(
+        self,
+        policy: JoinPolicy,
+        detector: Optional[ArmusDetector] = None,
+        *,
+        fail_mode: str = "raise",
+        journal: "object | None" = None,
+    ) -> None:
+        self.verifier = Verifier(policy, fail_mode=fail_mode, journal=journal)
         self.detector = detector if detector is not None else ArmusDetector()
+
+    @property
+    def journal(self) -> "object | None":
+        return self.verifier.journal
 
     @property
     def name(self) -> str:
@@ -85,7 +96,14 @@ class HybridVerifier:
             if flagged:
                 self.detector.count_false_positive()
             return False
-        self.detector.block(joiner_task, joinee_task, flagged=flagged)
+        # Under quarantine the policy's soundness theorem is void: every
+        # blocking edge must face the precise cycle check (Armus-only mode).
+        self.detector.block(
+            joiner_task,
+            joinee_task,
+            flagged=flagged,
+            force_check=self.verifier.quarantined,
+        )
         return True
 
     def end_join(self, joiner_task: Hashable, joinee_task: Hashable) -> None:

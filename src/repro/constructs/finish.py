@@ -26,7 +26,7 @@ import queue
 from typing import Any, Callable, Optional, Union
 
 from ..errors import RuntimeStateError, TaskFailedError
-from ..runtime import Future, TaskRuntime
+from ..runtime import Future, RetryPolicy, TaskRuntime
 
 __all__ = ["FinishScope", "finish"]
 
@@ -42,12 +42,19 @@ class FinishScope:
         # <- every transitively spawned walk() has terminated here
     """
 
-    def __init__(self, rt: TaskRuntime, *, cancel_on_failure: bool = False) -> None:
+    def __init__(
+        self,
+        rt: TaskRuntime,
+        *,
+        cancel_on_failure: bool = False,
+        retry: Optional["RetryPolicy"] = None,
+    ) -> None:
         self._rt = rt
         self._futures: "queue.SimpleQueue[Future]" = queue.SimpleQueue()
         self._spawned: list[Future] = []
         self._cancel_on_failure = cancel_on_failure
         self._cancel_requested = False
+        self._retry = retry
         self._closed = False
         self._results: list[Any] = []
         self._failures: list[TaskFailedError] = []
@@ -56,7 +63,12 @@ class FinishScope:
         """Spawn *fn* as a task awaited by the enclosing finish block."""
         if self._closed:
             raise RuntimeStateError("finish scope already completed")
-        fut = self._rt.fork(fn, *args, **kwargs)
+        if self._retry is not None:
+            # Only forwarded when set: runtimes without fork(retry=)
+            # (e.g. the cooperative scheduler) keep working untouched.
+            fut = self._rt.fork(fn, *args, retry=self._retry, **kwargs)
+        else:
+            fut = self._rt.fork(fn, *args, **kwargs)
         self._futures.put(fut)
         self._spawned.append(fut)
         if self._cancel_requested:
@@ -159,10 +171,20 @@ class finish:
     ``cancel_on_failure=True`` requests cooperative cancellation of all
     still-pending scope tasks as soon as the first failure is observed
     during the drain (the drain still awaits everything).
+
+    ``retry`` (a :class:`~repro.runtime.retry.RetryPolicy`) is forwarded
+    to every ``fork`` the scope performs: failing scope tasks are re-run
+    with backoff and the drain only sees each task's final outcome.
     """
 
-    def __init__(self, rt: TaskRuntime, *, cancel_on_failure: bool = False) -> None:
-        self._scope = FinishScope(rt, cancel_on_failure=cancel_on_failure)
+    def __init__(
+        self,
+        rt: TaskRuntime,
+        *,
+        cancel_on_failure: bool = False,
+        retry: Optional["RetryPolicy"] = None,
+    ) -> None:
+        self._scope = FinishScope(rt, cancel_on_failure=cancel_on_failure, retry=retry)
 
     def __enter__(self) -> FinishScope:
         return self._scope

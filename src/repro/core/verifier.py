@@ -23,18 +23,50 @@ shard is single-writer, so the counts stay exact), and the public
 global ``threading.Lock`` around every event — measurable overhead on
 the hot path that bought nothing, since reads are rare and writes never
 contend within a shard.
+
+Policy quarantine (graceful degradation)
+----------------------------------------
+A policy verdict and a policy *bug* are different failures.
+:class:`PolicyViolationError` is the former — Algorithm 1's ``fault``,
+raised by the verifier itself from a False verdict.  Any other exception
+escaping a policy call is the latter: the policy implementation broke.
+Every policy call here sits behind a fault boundary whose behaviour is
+chosen by ``fail_mode``:
+
+* ``"raise"`` (default) — propagate the policy's exception unchanged,
+  exactly like the seed.  Fault-injection harnesses rely on this.
+* ``"open"`` — *quarantine* the policy: record a
+  :class:`PolicyQuarantinedError` (with the original traceback), emit a
+  :class:`PolicyQuarantineWarning`, and degrade: every later policy call
+  is answered without consulting the policy (joins permitted, forks get
+  placeholder vertices).  Soundness then rests on the Armus fallback —
+  :class:`~repro.armus.hybrid.HybridVerifier` notices ``quarantined``
+  and force-checks *every* blocking join against the wait-for graph, so
+  true deadlocks are still caught (detection precision, avoidance lost).
+* ``"closed"`` — quarantine, then raise the stored
+  :class:`PolicyQuarantinedError` on the faulting call and
+  deterministically on every policy-facing call thereafter.
+
+Quarantine trips on the first internal error and is permanent for the
+verifier's lifetime; ``stats.policy_faults`` counts the internal errors
+observed (>1 only when threads fault concurrently).
 """
 
 from __future__ import annotations
 
 import threading
+import traceback
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 from .policy import JoinPolicy
-from ..errors import PolicyViolationError
+from ..errors import PolicyQuarantinedError, PolicyQuarantineWarning, PolicyViolationError
 
-__all__ = ["Verifier", "VerifierStats"]
+__all__ = ["Verifier", "VerifierStats", "FAIL_MODES"]
+
+#: accepted values for ``Verifier(fail_mode=...)``
+FAIL_MODES = ("raise", "open", "closed")
 
 
 @dataclass
@@ -44,6 +76,7 @@ class VerifierStats:
     forks: int = 0
     joins_checked: int = 0
     joins_rejected: int = 0
+    policy_faults: int = 0
 
     @property
     def joins_permitted(self) -> int:
@@ -57,21 +90,67 @@ class VerifierStats:
 class _StatsShard:
     """One thread's private counters; written lock-free by its owner."""
 
-    __slots__ = ("forks", "joins_checked", "joins_rejected", "owner")
+    __slots__ = ("forks", "joins_checked", "joins_rejected", "policy_faults", "owner")
 
     def __init__(self, owner: "threading.Thread | None" = None) -> None:
         self.forks = 0
         self.joins_checked = 0
         self.joins_rejected = 0
+        self.policy_faults = 0
         #: the owning thread, or None for the retired-counts accumulator
         self.owner = owner
 
 
-class Verifier:
-    """Online policy verifier (Algorithm 1) around a pluggable policy."""
+class _FallbackVertex:
+    """Placeholder vertex handed out while the policy is quarantined.
 
-    def __init__(self, policy: JoinPolicy) -> None:
+    Carries no policy state — under degradation the policy never sees it.
+    It only needs identity (the journal and runtimes key vertices by
+    ``id``) and a parent link for debugging.
+    """
+
+    __slots__ = ("parent",)
+
+    def __init__(self, parent: object = None) -> None:
+        self.parent = parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<fallback-vertex at {id(self):#x}>"
+
+
+class Verifier:
+    """Online policy verifier (Algorithm 1) around a pluggable policy.
+
+    Parameters
+    ----------
+    policy:
+        The join policy to consult.
+    fail_mode:
+        What to do when the policy raises an *internal* error (anything
+        but :class:`PolicyViolationError`): ``"raise"`` propagates it
+        (seed behaviour), ``"open"`` quarantines and degrades to
+        permit-everything (Armus takes over soundness), ``"closed"``
+        quarantines and fails every subsequent call deterministically.
+    journal:
+        Optional :class:`~repro.tools.journal.TraceJournal`; when set,
+        init/fork/verdict/quarantine events are written through as they
+        happen.
+    """
+
+    def __init__(
+        self,
+        policy: JoinPolicy,
+        *,
+        fail_mode: str = "raise",
+        journal: "object | None" = None,
+    ) -> None:
+        if fail_mode not in FAIL_MODES:
+            raise ValueError(f"fail_mode must be one of {FAIL_MODES}, got {fail_mode!r}")
         self.policy = policy
+        self.fail_mode = fail_mode
+        self.journal = journal
+        self._quarantine: Optional[PolicyQuarantinedError] = None
+        self._quarantine_lock = threading.Lock()
         # Sharded statistics: one shard per thread, registered once under
         # a lock, then incremented lock-free (single-writer per shard).
         # Shards of dead threads are folded into `_retired` (a thread's
@@ -105,6 +184,7 @@ class Verifier:
                 retired.forks += shard.forks
                 retired.joins_checked += shard.joins_checked
                 retired.joins_rejected += shard.joins_rejected
+                retired.policy_faults += shard.policy_faults
         self._shards = live
 
     def _shard(self) -> _StatsShard:
@@ -135,32 +215,127 @@ class Verifier:
                 forks=retired.forks,
                 joins_checked=retired.joins_checked,
                 joins_rejected=retired.joins_rejected,
+                policy_faults=retired.policy_faults,
             )
         for s in shards:
             snap.forks += s.forks
             snap.joins_checked += s.joins_checked
             snap.joins_rejected += s.joins_rejected
+            snap.policy_faults += s.policy_faults
         return snap
+
+    # ------------------------------------------------------------------
+    # the quarantine fault boundary
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> bool:
+        """True once the policy has been taken out of service."""
+        return self._quarantine is not None
+
+    @property
+    def quarantine_error(self) -> Optional[PolicyQuarantinedError]:
+        """The stored quarantine diagnosis, or None while healthy."""
+        return self._quarantine
+
+    def _degraded(self) -> bool:
+        """Entry guard for every policy-facing call.
+
+        Returns True when the caller must use degraded (policy-free)
+        behaviour; raises under ``fail_mode="closed"``.
+        """
+        q = self._quarantine
+        if q is None:
+            return False
+        if self.fail_mode == "closed":
+            raise q
+        return True
+
+    def _policy_fault(self, site: str, exc: BaseException) -> "PolicyQuarantinedError | None":
+        """Handle an internal policy error according to ``fail_mode``.
+
+        Returns None when the caller should re-raise the original
+        exception (``fail_mode="raise"``); otherwise quarantines (first
+        fault wins, later faults reuse the stored diagnosis) and returns
+        the error — the caller raises it under ``"closed"`` and swallows
+        it under ``"open"``.
+        """
+        if self.fail_mode == "raise":
+            return None
+        self._shard().policy_faults += 1
+        with self._quarantine_lock:
+            q = self._quarantine
+            if q is None:
+                q = PolicyQuarantinedError(
+                    self.policy.name, site, original=traceback.format_exc()
+                )
+                q.__cause__ = exc
+                self._quarantine = q
+                if self.journal is not None:
+                    self.journal.log_quarantine(self.policy.name, site, repr(exc))
+        if q.__cause__ is exc:  # warn only for the fault that tripped it
+            warnings.warn(
+                f"policy {self.policy.name!r} quarantined after {site}() raised "
+                f"{exc!r}; degrading to {'closed failure' if self.fail_mode == 'closed' else 'Armus-only checking'}",
+                PolicyQuarantineWarning,
+                stacklevel=3,
+            )
+        if self.fail_mode == "closed":
+            raise q
+        return q
 
     # ------------------------------------------------------------------
     def on_init(self) -> object:
         """Create the root vertex (``Fork(null, f)`` in Algorithm 1)."""
         self._shard().forks += 1
-        return self.policy.add_child(None)
+        if self._degraded():
+            vertex = _FallbackVertex()
+        else:
+            try:
+                vertex = self.policy.add_child(None)
+            except Exception as exc:
+                if self._policy_fault("add_child", exc) is None:
+                    raise
+                vertex = _FallbackVertex()
+        if self.journal is not None:
+            self.journal.log_init(vertex)
+        return vertex
 
     def on_fork(self, parent: object) -> object:
         """Create a vertex for a task forked by the task at *parent*."""
         self._shard().forks += 1
-        return self.policy.add_child(parent)
+        if self._degraded():
+            vertex = _FallbackVertex(parent)
+        else:
+            try:
+                vertex = self.policy.add_child(parent)
+            except Exception as exc:
+                if self._policy_fault("add_child", exc) is None:
+                    raise
+                vertex = _FallbackVertex(parent)
+        if self.journal is not None:
+            self.journal.log_fork(parent, vertex)
+        return vertex
 
     # ------------------------------------------------------------------
     def check_join(self, joiner: object, joinee: object) -> bool:
         """Is the join permitted?  Records the verdict in the stats."""
-        ok = self.policy.permits(joiner, joinee)
+        if self._degraded():
+            ok = True
+        else:
+            try:
+                ok = self.policy.permits(joiner, joinee)
+            except PolicyViolationError:
+                raise
+            except Exception as exc:
+                if self._policy_fault("permits", exc) is None:
+                    raise
+                ok = True
         shard = self._shard()
         shard.joins_checked += 1
         if not ok:
             shard.joins_rejected += 1
+        if self.journal is not None:
+            self.journal.log_verdict(joiner, joinee, ok)
         return ok
 
     def check_joins(self, joiner: object, joinees: Sequence[object]) -> list[bool]:
@@ -170,10 +345,24 @@ class Verifier:
         ``permits_many`` gets the chance to amortise its own per-call
         overhead.  Verdicts are returned in joinee order.
         """
-        verdicts = self.policy.permits_many(joiner, list(joinees))
+        joinees = list(joinees)
+        if self._degraded():
+            verdicts = [True] * len(joinees)
+        else:
+            try:
+                verdicts = self.policy.permits_many(joiner, joinees)
+            except PolicyViolationError:
+                raise
+            except Exception as exc:
+                if self._policy_fault("permits", exc) is None:
+                    raise
+                verdicts = [True] * len(joinees)
         shard = self._shard()
         shard.joins_checked += len(verdicts)
         shard.joins_rejected += verdicts.count(False)
+        if self.journal is not None:
+            for joinee, ok in zip(joinees, verdicts):
+                self.journal.log_verdict(joiner, joinee, ok)
         return verdicts
 
     def require_join(self, joiner: object, joinee: object) -> None:
@@ -190,4 +379,10 @@ class Verifier:
 
     def on_join_completed(self, joiner: object, joinee: object) -> None:
         """Propagate post-join knowledge (KJ-learn); no-op under TJ."""
-        self.policy.on_join(joiner, joinee)
+        if self._degraded():
+            return
+        try:
+            self.policy.on_join(joiner, joinee)
+        except Exception as exc:
+            if self._policy_fault("on_join", exc) is None:
+                raise

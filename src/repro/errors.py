@@ -16,10 +16,14 @@ __all__ = [
     "TraceError",
     "InvalidActionError",
     "PolicyViolationError",
+    "PolicyQuarantinedError",
+    "PolicyQuarantineWarning",
     "DeadlockError",
     "DeadlockAvoidedError",
     "DeadlockDetectedError",
     "JoinTimeoutError",
+    "JournalError",
+    "JournalCorruptError",
     "TaskCancelledError",
     "RuntimeStateError",
     "TaskFailedError",
@@ -61,6 +65,57 @@ class PolicyViolationError(ReproError):
         )
 
 
+class PolicyQuarantinedError(ReproError):
+    """A policy raised an *internal* error and was taken out of service.
+
+    Distinct from :class:`PolicyViolationError` (a verdict): this means
+    the policy implementation itself misbehaved — a bug, not a fault.
+    Under ``fail_mode="open"`` the verifier degrades to Armus-only cycle
+    detection and this error is only *recorded* (plus a
+    :class:`PolicyQuarantineWarning`); under ``fail_mode="closed"`` it
+    is raised on the failing call and deterministically on every policy
+    call thereafter.  ``original`` carries the formatted traceback of
+    the triggering exception, so a post-mortem (or a journal replay in
+    another process) still sees where the policy broke.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        site: str,
+        original: str | None = None,
+        message: str | None = None,
+    ):
+        self.policy = policy
+        self.site = site
+        self.original = original
+        super().__init__(
+            message
+            or f"policy {policy!r} quarantined after an internal error in {site}()"
+        )
+
+    def __reduce__(self):
+        # The default reduce would re-call __init__ with args=(message,),
+        # scrambling the fields; rebuild from the real constructor
+        # arguments instead (the traceback travels as a plain string).
+        return (type(self), (self.policy, self.site, self.original, str(self)))
+
+
+class PolicyQuarantineWarning(RuntimeWarning):
+    """A policy was quarantined; the run degraded to Armus-only checking."""
+
+
+def _picklable_cycle(cycle: tuple | None) -> tuple | None:
+    """Cycle members reduced to their names (task handles don't pickle)."""
+    if cycle is None:
+        return None
+    return tuple(
+        m if isinstance(m, (str, int, float, bool, type(None)))
+        else getattr(m, "name", None) or repr(m)
+        for m in cycle
+    )
+
+
 class DeadlockError(ReproError):
     """Base class for both flavours of deadlock diagnosis."""
 
@@ -72,6 +127,13 @@ class DeadlockError(ReproError):
             else:
                 message = "deadlock"
         super().__init__(message)
+
+    def __reduce__(self):
+        # Cycle members are live TaskHandles (unpicklable, and pinned to
+        # one process anyway); cross the boundary by name.  Without this
+        # the default reduce would also misparse args=(message,) as the
+        # ``cycle`` argument.
+        return (type(self), (_picklable_cycle(self.cycle), str(self)))
 
 
 class DeadlockAvoidedError(DeadlockError):
@@ -119,6 +181,20 @@ class JoinTimeoutError(ReproError, TimeoutError):
             message
             or f"join of {joinee!r} by {joiner!r} timed out after {timeout}s"
         )
+
+
+class JournalError(ReproError):
+    """Base class for trace-journal failures (I/O misuse, bad records)."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal is damaged beyond the torn-tail tolerance.
+
+    A truncated *final* record is expected after a crash and silently
+    dropped by the reader; garbage or a sequence-number gap anywhere
+    before the tail means the file was corrupted (or interleaved by two
+    writers) and raises this instead of guessing.
+    """
 
 
 class TaskCancelledError(ReproError):

@@ -10,8 +10,8 @@ cheap to generate in property-based tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Optional, Sequence, Union
 
 __all__ = ["Task", "Init", "Fork", "Join", "Action", "Trace", "parse_trace", "format_trace"]
 
@@ -47,10 +47,18 @@ class Fork:
 
 @dataclass(frozen=True, slots=True)
 class Join:
-    """``join(a, b)``: task *a* blocks awaiting the termination of *b*."""
+    """``join(a, b)``: task *a* blocks awaiting the termination of *b*.
+
+    ``permitted`` is an optional *annotation* carried by recorded traces:
+    the verdict the online verifier reached at check time (None for
+    formal traces, False for a join recorded while the policy raised).
+    It is excluded from equality and hashing, so an annotated recording
+    still compares equal to the formal trace it witnesses.
+    """
 
     waiter: Task
     joinee: Task
+    permitted: Optional[bool] = field(default=None, compare=False)
 
     def tasks(self) -> tuple[Task, ...]:
         return (self.waiter, self.joinee)

@@ -12,12 +12,14 @@ Two interchangeable runtimes drive the same verification machinery:
 from .context import current_task, require_current_task, task_scope
 from .cooperative import CooperativeRuntime
 from .future import Future
+from .retry import RetryPolicy
 from .supervisor import BlockedJoin, JoinRegistry, StallWatchdog
 from .task import CancelToken, TaskHandle, TaskState
 from .threaded import TaskRuntime, resolve_policy
 
 __all__ = [
     "TaskRuntime",
+    "RetryPolicy",
     "CooperativeRuntime",
     "WorkSharingRuntime",
     "AsyncioRuntime",

@@ -40,7 +40,17 @@ _PENDING = object()
 class Future:
     """The eventual result of an asynchronously executing task."""
 
-    __slots__ = ("task", "_runtime", "_value", "_exc", "_done", "_waiters", "_joined")
+    __slots__ = (
+        "task",
+        "_runtime",
+        "_value",
+        "_exc",
+        "_done",
+        "_waiters",
+        "_joined",
+        "_retry",
+        "_retry_attempt",
+    )
 
     def __init__(self, runtime: object, task: "TaskHandle") -> None:
         self.task = task
@@ -53,6 +63,13 @@ class Future:
         #: set by the first completed join; read by the unjoined-failure
         #: reaper at runtime shutdown
         self._joined = False
+        #: retry configuration: None, or (RetryPolicy, parent TaskHandle).
+        #: While a retry is pending the future stays *undone* — joiners
+        #: keep blocking across attempts — and ``task`` is re-pointed at
+        #: each fresh attempt's handle.
+        self._retry = None
+        #: number of retries already consumed (0 = first attempt running)
+        self._retry_attempt = 0
 
     # ------------------------------------------------------------------
     # completion (called by the owning runtime)

@@ -31,6 +31,7 @@ from typing import Any, Callable, Optional, Union
 
 from .context import require_current_task, task_scope
 from .future import Future
+from .retry import RetryPolicy
 from .supervisor import StallWatchdog, SupervisedJoinMixin
 from .task import TaskHandle, TaskState
 from .threaded import resolve_policy
@@ -59,6 +60,8 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         policy: Union[None, str, JoinPolicy] = "TJ-SP",
         *,
         fallback: bool = True,
+        fail_mode: str = "raise",
+        journal: Union[None, str, object] = None,
         workers: int = 4,
         max_workers: int = 256,
         default_join_timeout: Optional[float] = None,
@@ -69,8 +72,28 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         if workers < 1 or max_workers < workers:
             raise ValueError("need 1 <= workers <= max_workers")
         policy_obj = resolve_policy(policy)
-        self._hybrid: Optional[HybridVerifier] = HybridVerifier(policy_obj) if fallback else None
-        self._verifier: Verifier = self._hybrid.verifier if self._hybrid else Verifier(policy_obj)
+        self._owns_journal = isinstance(journal, str)
+        if self._owns_journal:
+            from ..tools.journal import TraceJournal  # deferred: import cycle
+
+            journal = TraceJournal(journal)
+        self._journal = journal
+        self._hybrid: Optional[HybridVerifier] = (
+            HybridVerifier(policy_obj, fail_mode=fail_mode, journal=journal)
+            if fallback
+            else None
+        )
+        self._verifier: Verifier = (
+            self._hybrid.verifier
+            if self._hybrid
+            else Verifier(policy_obj, fail_mode=fail_mode, journal=journal)
+        )
+        if journal is not None:
+            journal.log_start(
+                policy=policy_obj.name,
+                runtime=type(self).__name__,
+                fail_mode=fail_mode,
+            )
         self._queue: "SimpleQueue" = SimpleQueue()
         self._lock = threading.Lock()
         self._idle = 0  # workers currently parked on queue.get
@@ -103,6 +126,11 @@ class WorkSharingRuntime(SupervisedJoinMixin):
     @property
     def detector(self):
         return self._hybrid.detector if self._hybrid else None
+
+    @property
+    def journal(self):
+        """The trace journal, or None when journaling is disabled."""
+        return self._journal
 
     @property
     def peak_workers(self) -> int:
@@ -155,6 +183,21 @@ class WorkSharingRuntime(SupervisedJoinMixin):
                 value = fn(*args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - delivered at join
                 task.state = TaskState.FAILED
+                retry_delay = self._prepare_retry(future, exc)
+                if retry_delay is not None:
+                    # Requeue the attempt instead of completing the
+                    # future.  The task stays *outstanding* — run() must
+                    # not shut the pool down between attempts — and the
+                    # cancel check at the top of _execute drops retries
+                    # cancelled during the backoff.
+                    item = (task, future, fn, args, kwargs)
+                    if retry_delay > 0.0:
+                        timer = threading.Timer(retry_delay, self._queue.put, args=(item,))
+                        timer.daemon = True
+                        timer.start()
+                    else:
+                        self._queue.put(item)
+                    return
                 future._set_exception(exc)
             else:
                 task.state = TaskState.DONE
@@ -268,18 +311,33 @@ class WorkSharingRuntime(SupervisedJoinMixin):
                 self._queue.put(_SHUTDOWN)
             if self._watchdog is not None:
                 self._watchdog.stop()
+            if self._journal is not None and self._owns_journal:
+                self._journal.close()
         self._reap_unjoined()
         return result
 
-    def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+    def fork(
+        self, fn: Callable[..., Any], *args: Any, retry: Optional[RetryPolicy] = None, **kwargs: Any
+    ) -> Future:
         parent = require_current_task()
         parent.cancel_token.raise_if_cancelled(parent)
         with self._lock:
             if self._shutdown:
                 raise RuntimeStateError("runtime already shut down")
-        vertex = self._verifier.on_fork(parent.vertex)
+        if retry is not None and parent.fork_lock is None:
+            # Retry re-forks race the parent's own forks; Section 5.1
+            # forbids concurrent AddChild calls on one parent.
+            parent.fork_lock = threading.Lock()
+        lock = parent.fork_lock
+        if lock is not None:
+            with lock:
+                vertex = self._verifier.on_fork(parent.vertex)
+        else:
+            vertex = self._verifier.on_fork(parent.vertex)
         task = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
         future = Future(self, task)
+        if retry is not None:
+            future._retry = (retry, parent)
         with self._all_done:
             self._outstanding += 1
         self._queue.put((task, future, fn, args, kwargs))

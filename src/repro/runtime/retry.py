@@ -1,0 +1,103 @@
+"""Task retry with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` passed to ``TaskRuntime.fork(retry=...)`` (or
+``finish(retry=...)``) makes a failing task body re-run instead of
+failing its future.  The crucial property for the verifier: a retried
+task is a **fresh fork** — the runtime asks the policy for a *new*
+vertex (a new spawn path under the same parent), so the retry is
+re-verified by TJ exactly like any younger sibling of the failed
+attempt.  Retries therefore never *widen* the permitted-join relation:
+under TJ-SP, any task permitted to join attempt *n+1* (spawn path
+``P + (j,)``) was already permitted to join attempt *n* (``P + (i,)``
+with ``i < j``), because the two paths agree up to the parent and the
+retry only moves to a *later* sibling index.  ``tests/runtime/
+test_retry.py`` checks that differentially against the policy family.
+
+Backoff is exponential with bounded, *seeded* jitter: the delay before
+attempt ``k`` is ``min(base_delay * multiplier**(k-1), max_delay)``
+scaled by a factor drawn deterministically from the (seed, site,
+attempt) triple — reruns of a chaos program reproduce the exact same
+schedule, matching the determinism contract of
+:class:`repro.testing.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import (
+    DeadlockError,
+    PolicyQuarantinedError,
+    PolicyViolationError,
+    TaskCancelledError,
+)
+
+__all__ = ["RetryPolicy", "DEFAULT_NON_RETRYABLE"]
+
+#: exception types that must never be retried: verdicts and cancellations
+#: are properties of the task *graph*, not transient failures — re-running
+#: the body cannot change them, and retrying a deadlock diagnosis would
+#: re-block the very edge the verifier just refused.
+DEFAULT_NON_RETRYABLE = (
+    TaskCancelledError,
+    PolicyViolationError,
+    PolicyQuarantinedError,
+    DeadlockError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) a failed task body is re-run.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first; ``max_attempts=3`` means up
+        to two retries.
+    base_delay / multiplier / max_delay:
+        Exponential backoff: attempt ``k`` (the k-th *retry*) waits
+        ``min(base_delay * multiplier**(k-1), max_delay)`` seconds
+        before jitter.
+    jitter:
+        Fractional jitter amplitude in ``[0, 1]``: the delay is scaled
+        by a factor uniform in ``[1-jitter, 1+jitter]``, drawn from a
+        deterministic per-(seed, site, attempt) stream.
+    seed:
+        Seeds the jitter stream; same seed, same schedule.
+    retry_on:
+        Only exceptions matching these types are retried...
+    non_retryable:
+        ...unless they also match one of these (checked second, wins).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.001
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.5
+    seed: int = 0
+    retry_on: tuple = (Exception,)
+    non_retryable: tuple = field(default=DEFAULT_NON_RETRYABLE)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def retryable(self, exc: BaseException) -> bool:
+        """Should a failure with *exc* be retried (attempt budget aside)?"""
+        return isinstance(exc, self.retry_on) and not isinstance(exc, self.non_retryable)
+
+    def delay(self, attempt: int, site: Optional[str] = None) -> float:
+        """Seconds to wait before retry number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1), self.max_delay)
+        if self.jitter == 0.0:
+            return raw
+        rng = random.Random(f"{self.seed}|{site!r}|{attempt}")
+        return raw * (1.0 + self.jitter * (rng.random() * 2.0 - 1.0))

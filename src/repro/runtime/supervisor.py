@@ -73,6 +73,7 @@ import warnings
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING, Union
 
 from ..errors import (
+    DeadlockAvoidedError,
     DeadlockDetectedError,
     JoinTimeoutError,
     PolicyViolationError,
@@ -552,6 +553,7 @@ class SupervisedJoinMixin:
         self._on_unjoined_failure = on_unjoined_failure
         self._failed_futures: List["Future"] = []
         self._failed_lock = threading.Lock()
+        self._tasks_retried_count = 0
 
     # ------------------------------------------------------------------
     # introspection
@@ -564,6 +566,11 @@ class SupervisedJoinMixin:
     def blocked_joins(self) -> list[BlockedJoin]:
         """A snapshot of the joins currently blocked in this runtime."""
         return self._registry.snapshot()
+
+    @property
+    def tasks_retried(self) -> int:
+        """Retry attempts executed (a task retried twice counts twice)."""
+        return self._tasks_retried_count
 
     # ------------------------------------------------------------------
     # hooks for the concrete runtimes
@@ -613,6 +620,75 @@ class SupervisedJoinMixin:
                 UnjoinedTaskWarning,
                 stacklevel=2,
             )
+
+    # ------------------------------------------------------------------
+    # task retry (used by the runtimes' worker loops)
+    # ------------------------------------------------------------------
+    def _prepare_retry(self, future: "Future", exc: BaseException) -> Optional[float]:
+        """Decide whether a failed task body should be re-run.
+
+        Returns the backoff delay (seconds) when a retry is due — with
+        the future's task already re-pointed at a **fresh vertex** (a new
+        ``AddChild`` under the original parent, so TJ re-verifies the
+        retry like any younger sibling) — or None when the failure is
+        final and the caller must complete the future with *exc*.
+
+        The :class:`~repro.runtime.task.TaskHandle` itself is reused
+        across attempts: runtime identity (the Armus wait-for graph, the
+        join registry, blocked joiners' records) must stay stable so a
+        join blocked across the retry still names the right task and the
+        watchdog still sees true cycles.  Only the *policy* identity —
+        the vertex — is fresh.
+
+        A join already blocked on this future was verified against the
+        *old* vertex, and the retry can only narrow the permitted
+        relation (the no-widening property), never widen it — so such a
+        verdict may go stale in the safe direction only.  To keep full
+        avoidance (not just watchdog detection) for those edges, any
+        blocked edge whose verdict does not hold against the new vertex
+        is upgraded to a *forced* edge in the detector, which re-enables
+        cycle checking on every join while it lives.
+        """
+        state = future._retry
+        if state is None:
+            return None
+        spec, parent = state
+        task = future.task
+        if task.cancel_token.cancelled() or not spec.retryable(exc):
+            return None
+        attempt = future._retry_attempt + 1
+        if attempt >= spec.max_attempts:
+            return None
+        old_vertex = task.vertex
+        # fork_lock was created by the retry-enabled fork (which
+        # happens-before this failure), so it is always present here.
+        with parent.fork_lock:
+            new_vertex = self._verifier.on_fork(parent.vertex)
+        detector = self._hybrid.detector if self._hybrid is not None else None
+        if detector is not None:
+            for record in self._registry.snapshot():
+                if record.future is not future:
+                    continue
+                still_ok = False
+                if not self._verifier.quarantined:
+                    try:
+                        still_ok = self._verifier.policy.permits(
+                            record.joiner.vertex, new_vertex
+                        )
+                    except Exception:  # broken policy: be conservative
+                        still_ok = False
+                if not still_ok:
+                    detector.force_edge(record.joiner, task)
+        delay = spec.delay(attempt, site=getattr(task.code, "__name__", None))
+        task.vertex = new_vertex
+        task.state = TaskState.RUNNING
+        future._retry_attempt = attempt
+        with self._failed_lock:
+            self._tasks_retried_count += 1
+        journal = self._verifier.journal
+        if journal is not None:
+            journal.log_retry(old_vertex, new_vertex, attempt, repr(exc))
+        return delay
 
     # ------------------------------------------------------------------
     # the join operations (called via Future.join / user code)
@@ -756,6 +832,14 @@ class SupervisedJoinMixin:
         registry = self._registry
         for record in records:
             registry.add(record)
+        journal = self._verifier.journal
+        # Edge keys are captured once so the unblock below pairs exactly
+        # with the block even if a retry re-points a vertex mid-wait.
+        journal_edges = (
+            [(joiner.vertex, f.task.vertex) for f in pending] if journal is not None else ()
+        )
+        for a, b in journal_edges:
+            journal.log_block(a, b)
         if self._watchdog is not None:
             self._watchdog.ensure_running()
         self._before_block(pending[0])
@@ -803,6 +887,8 @@ class SupervisedJoinMixin:
                 future._discard_waiter(arm)
             for record in records:
                 registry.unregister(record)
+            for a, b in journal_edges:
+                journal.log_unblock(a, b)
 
     def _join_one(
         self,
@@ -815,16 +901,25 @@ class SupervisedJoinMixin:
         """Join one future; ``flagged`` is a precomputed verdict or None."""
         joiner.cancel_token.raise_if_cancelled(joiner)
         joinee = future.task
+        journal = self._verifier.journal
         if self._hybrid is not None:
-            blocked = self._hybrid.begin_join(
-                joiner,
-                joinee,
-                joiner.vertex,
-                joinee.vertex,
-                joinee_done=future.done(),
-                flagged=flagged,
-            )
+            joiner_vertex, joinee_vertex = joiner.vertex, joinee.vertex
+            try:
+                blocked = self._hybrid.begin_join(
+                    joiner,
+                    joinee,
+                    joiner_vertex,
+                    joinee_vertex,
+                    joinee_done=future.done(),
+                    flagged=flagged,
+                )
+            except DeadlockAvoidedError:
+                if journal is not None:
+                    journal.log_avoided(joiner_vertex, joinee_vertex)
+                raise
             if blocked:
+                if journal is not None:
+                    journal.log_block(joiner_vertex, joinee_vertex)
                 self._before_block(future)
                 prev_state = joiner.state
                 joiner.state = TaskState.BLOCKED
@@ -833,7 +928,11 @@ class SupervisedJoinMixin:
                 finally:
                     self._hybrid.end_join(joiner, joinee)
                     joiner.state = prev_state
+                    if journal is not None:
+                        journal.log_unblock(joiner_vertex, joinee_vertex)
             self._hybrid.on_join_completed(joiner.vertex, joinee.vertex)
+            if journal is not None:
+                journal.log_join(joiner_vertex, joinee_vertex)
         else:
             if flagged is None:
                 self._verifier.require_join(joiner.vertex, joinee.vertex)
@@ -842,6 +941,9 @@ class SupervisedJoinMixin:
                     self._verifier.policy.name, joiner.vertex, joinee.vertex
                 )
             if not future.done():
+                joiner_vertex, joinee_vertex = joiner.vertex, joinee.vertex
+                if journal is not None:
+                    journal.log_block(joiner_vertex, joinee_vertex)
                 self._before_block(future)
                 prev_state = joiner.state
                 joiner.state = TaskState.BLOCKED
@@ -849,7 +951,11 @@ class SupervisedJoinMixin:
                     self._supervised_wait(joiner, future, deadline, timeout_value)
                 finally:
                     joiner.state = prev_state
+                    if journal is not None:
+                        journal.log_unblock(joiner_vertex, joinee_vertex)
             self._verifier.on_join_completed(joiner.vertex, joinee.vertex)
+            if journal is not None:
+                journal.log_join(joiner.vertex, joinee.vertex)
         future._joined = True
         return future._result_now()
 

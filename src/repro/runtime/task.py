@@ -95,7 +95,16 @@ class TaskHandle:
     string formatting.
     """
 
-    __slots__ = ("uid", "_name", "vertex", "code", "state", "parent_uid", "cancel_token")
+    __slots__ = (
+        "uid",
+        "_name",
+        "vertex",
+        "code",
+        "state",
+        "parent_uid",
+        "cancel_token",
+        "fork_lock",
+    )
 
     def __init__(
         self,
@@ -112,6 +121,13 @@ class TaskHandle:
         self.state = TaskState.CREATED
         self.parent_uid = parent_uid
         self.cancel_token = CancelToken()
+        #: serialises AddChild calls on this task's vertex (Section 5.1:
+        #: no two add_child calls may share a parent concurrently).  Plain
+        #: forks run only in the parent itself, so the lock is allocated
+        #: lazily at the first *retry-enabled* fork — the one case where a
+        #: re-fork (issued by whatever thread observed the failure) can
+        #: race the parent's own forks.
+        self.fork_lock = None
 
     @property
     def name(self) -> str:

@@ -32,11 +32,13 @@ Ctrl-C works while it is blocked in a join.
 from __future__ import annotations
 
 import threading
+import time
 from queue import Empty, SimpleQueue
 from typing import Any, Callable, Optional, Union
 
 from .context import require_current_task, task_scope
 from .future import Future
+from .retry import RetryPolicy
 from .supervisor import StallWatchdog, SupervisedJoinMixin
 from .task import TaskHandle, TaskState
 from ..armus.hybrid import HybridVerifier
@@ -79,6 +81,17 @@ class TaskRuntime(SupervisedJoinMixin):
     max_idle:
         Bound on concurrently parked idle threads; excess threads exit
         as soon as their task terminates.
+    fail_mode:
+        Fault boundary around policy internals (see
+        :class:`~repro.core.verifier.Verifier`): ``"raise"`` (default)
+        propagates policy bugs, ``"open"`` quarantines the policy and
+        degrades to Armus-only checking, ``"closed"`` quarantines and
+        fails every later verification deterministically with
+        :class:`~repro.errors.PolicyQuarantinedError`.
+    journal:
+        A :class:`~repro.tools.journal.TraceJournal`, or a path string
+        (the runtime then creates the journal and closes it when
+        :meth:`run` exits); None (default) disables journaling.
     default_join_timeout:
         Runtime-wide deadline (seconds) applied to every join that does
         not pass an explicit ``timeout``; None (default) means unbounded.
@@ -103,6 +116,8 @@ class TaskRuntime(SupervisedJoinMixin):
         policy: Union[None, str, JoinPolicy] = "TJ-SP",
         *,
         fallback: bool = True,
+        fail_mode: str = "raise",
+        journal: Union[None, str, object] = None,
         idle_timeout: float = 2.0,
         max_idle: int = 32,
         default_join_timeout: Optional[float] = None,
@@ -115,8 +130,28 @@ class TaskRuntime(SupervisedJoinMixin):
         if max_idle < 0:
             raise ValueError("max_idle must be non-negative")
         policy_obj = resolve_policy(policy)
-        self._hybrid: Optional[HybridVerifier] = HybridVerifier(policy_obj) if fallback else None
-        self._verifier: Verifier = self._hybrid.verifier if self._hybrid else Verifier(policy_obj)
+        self._owns_journal = isinstance(journal, str)
+        if self._owns_journal:
+            from ..tools.journal import TraceJournal  # deferred: import cycle
+
+            journal = TraceJournal(journal)
+        self._journal = journal
+        self._hybrid: Optional[HybridVerifier] = (
+            HybridVerifier(policy_obj, fail_mode=fail_mode, journal=journal)
+            if fallback
+            else None
+        )
+        self._verifier: Verifier = (
+            self._hybrid.verifier
+            if self._hybrid
+            else Verifier(policy_obj, fail_mode=fail_mode, journal=journal)
+        )
+        if journal is not None:
+            journal.log_start(
+                policy=policy_obj.name,
+                runtime=type(self).__name__,
+                fail_mode=fail_mode,
+            )
         self._root_started = False
         self._threads_started = 0
         self._tasks_started = 0
@@ -149,6 +184,11 @@ class TaskRuntime(SupervisedJoinMixin):
     def detector(self):
         """The Armus detector, or None when ``fallback=False``."""
         return self._hybrid.detector if self._hybrid else None
+
+    @property
+    def journal(self):
+        """The trace journal, or None when journaling is disabled."""
+        return self._journal
 
     @property
     def threads_started(self) -> int:
@@ -198,6 +238,8 @@ class TaskRuntime(SupervisedJoinMixin):
                     raise
         finally:
             self._drain_idle_workers()
+            if self._journal is not None and self._owns_journal:
+                self._journal.close()
         self._reap_unjoined()
         return result
 
@@ -209,7 +251,9 @@ class TaskRuntime(SupervisedJoinMixin):
         for channel in channels:
             channel.put(_STOP)
 
-    def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+    def fork(
+        self, fn: Callable[..., Any], *args: Any, retry: Optional[RetryPolicy] = None, **kwargs: Any
+    ) -> Future:
         """``async fn(*args)``: start *fn* in a new task; return its Future.
 
         Must be called from inside a task of this runtime (the forking task
@@ -217,12 +261,30 @@ class TaskRuntime(SupervisedJoinMixin):
         point: a cancelled task faults here with
         :class:`~repro.errors.TaskCancelledError` instead of growing the
         tree further.
+
+        ``retry`` (a :class:`~repro.runtime.retry.RetryPolicy`) makes a
+        failing task body re-run with exponential backoff; each attempt
+        is a fresh fork policy-wise (new vertex under the same parent),
+        and the future only completes with the final attempt's outcome —
+        joiners block straight through intermediate failures.
         """
         parent = require_current_task()
         parent.cancel_token.raise_if_cancelled(parent)
-        vertex = self._verifier.on_fork(parent.vertex)
+        if retry is not None and parent.fork_lock is None:
+            # Retry re-forks run on whatever thread observed the failure
+            # and race the parent's own forks; Section 5.1 forbids two
+            # concurrent AddChild calls on one parent, so serialise them.
+            parent.fork_lock = threading.Lock()
+        lock = parent.fork_lock
+        if lock is not None:
+            with lock:
+                vertex = self._verifier.on_fork(parent.vertex)
+        else:
+            vertex = self._verifier.on_fork(parent.vertex)
         task = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
         future = Future(self, task)
+        if retry is not None:
+            future._retry = (retry, parent)
         item = (task, future, fn, args, kwargs)
         task.state = TaskState.RUNNING
         with self._lock:
@@ -246,15 +308,25 @@ class TaskRuntime(SupervisedJoinMixin):
         channel: Optional[SimpleQueue] = None
         while True:
             task, future, fn, args, kwargs = item
+            retry_delay: Optional[float] = None
             with task_scope(task):
                 try:
                     value = fn(*args, **kwargs)
                 except BaseException as exc:  # noqa: BLE001 - delivered at join
                     task.state = TaskState.FAILED
-                    future._set_exception(exc)
+                    retry_delay = self._prepare_retry(future, exc)
+                    if retry_delay is None:
+                        future._set_exception(exc)
                 else:
                     task.state = TaskState.DONE
                     future._set_result(value)
+            if retry_delay is not None:
+                # Re-run the same item inline: the future is still
+                # pending (joiners keep blocking) and _prepare_retry has
+                # already re-pointed the task at a fresh vertex.
+                if retry_delay > 0.0:
+                    time.sleep(retry_delay)
+                continue
             # Park for reuse: publish our handoff channel and wait for
             # the next fork (bounded by idle_timeout / max_idle).
             if channel is None:

@@ -14,13 +14,15 @@ join registry end empty, no task leaks a BLOCKED state, and — for
 with and without injected delays.
 """
 
-from .faults import FaultPlan, FaultyPolicy
+from .faults import FaultPlan, FaultyPolicy, PolicyBugError
 from .chaos import (
     ChaosInvariantError,
     ChaosResult,
     ChaosSpec,
     generate_spec,
     run_chaos_program,
+    run_with_policy_quarantine,
+    run_with_task_retries,
     run_with_verifier_faults,
 )
 
@@ -30,7 +32,10 @@ __all__ = [
     "ChaosSpec",
     "FaultPlan",
     "FaultyPolicy",
+    "PolicyBugError",
     "generate_spec",
     "run_chaos_program",
+    "run_with_policy_quarantine",
+    "run_with_task_retries",
     "run_with_verifier_faults",
 ]

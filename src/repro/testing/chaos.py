@@ -43,14 +43,22 @@ from __future__ import annotations
 
 import random
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..core.policy import JoinPolicy
 from ..core.verifier import VerifierStats
-from ..errors import InjectedFaultError, TaskFailedError
+from ..errors import (
+    DeadlockAvoidedError,
+    InjectedFaultError,
+    PolicyQuarantinedError,
+    PolicyQuarantineWarning,
+    TaskFailedError,
+)
 from ..runtime.context import require_current_task
 from ..runtime.pool import WorkSharingRuntime
+from ..runtime.retry import RetryPolicy
 from ..runtime.task import TaskState
 from ..runtime.threaded import TaskRuntime
 from .faults import FaultPlan, FaultyPolicy
@@ -59,8 +67,12 @@ __all__ = [
     "ChaosInvariantError",
     "ChaosResult",
     "ChaosSpec",
+    "QuarantineChaosResult",
+    "RetryChaosResult",
     "generate_spec",
     "run_chaos_program",
+    "run_with_policy_quarantine",
+    "run_with_task_retries",
     "run_with_verifier_faults",
 ]
 
@@ -451,4 +463,353 @@ def run_with_verifier_faults(
         failures_observed=frozenset(),
         false_positives=detector.stats.false_positives if detector else 0,
         deadlocks_avoided=detector.stats.deadlocks_avoided if detector else 0,
+    )
+
+
+@dataclass
+class QuarantineChaosResult:
+    """Outcome of one :func:`run_with_policy_quarantine` run."""
+
+    seed: int
+    policy_name: str
+    runtime: str
+    fail_mode: str
+    stats: VerifierStats
+    #: true deadlock pairs seeded after quarantine (fail-open only)
+    deadlock_pairs: int
+    #: refusals delivered by the Armus fallback (fail-open only)
+    deadlocks_avoided: int
+    #: joins that raised PolicyQuarantinedError (fail-closed only)
+    quarantined_joins: int
+
+
+def run_with_policy_quarantine(
+    seed: int,
+    *,
+    policy: Union[str, JoinPolicy] = "TJ-SP",
+    runtime: str = "threaded",
+    fail_mode: str = "open",
+    n_pairs: int = 3,
+    n_children: int = 4,
+) -> QuarantineChaosResult:
+    """Crash the policy on its first ``permits`` call and prove degradation.
+
+    The wrapped policy raises :class:`~repro.testing.faults.PolicyBugError`
+    on *every* ``permits`` call (``policy_crash_rate=1.0``), so the very
+    first join trips the verifier's quarantine.  What must happen next
+    depends on ``fail_mode``:
+
+    * ``"open"`` — the run degrades to Armus-only detection.  After a
+      sacrificial join trips the quarantine, the program forks *n_pairs*
+      genuine deadlock pairs (two tasks joining each other through
+      exchanged futures).  The TJ layer is gone — every verdict is a
+      blanket permit — yet the Armus fallback must refuse **exactly one**
+      join per pair with :class:`~repro.errors.DeadlockAvoidedError`,
+      proving the degraded run still catches every true deadlock.
+    * ``"closed"`` — after the quarantine trips, every later
+      policy-facing call must raise the *stored*
+      :class:`~repro.errors.PolicyQuarantinedError` deterministically.
+      The program forks *n_children* leaves up-front, then counts one
+      quarantine error per attempted join.
+
+    Either way the run must terminate with empty supervision state.
+    """
+    if fail_mode not in ("open", "closed"):
+        raise ValueError(f"fail_mode must be 'open' or 'closed', got {fail_mode!r}")
+    plan = FaultPlan(seed=seed, policy_crash_rate=1.0)
+    if isinstance(policy, JoinPolicy):
+        inner = policy
+    else:
+        from ..core.policy import make_policy
+
+        inner = make_policy(policy)
+    faulty = FaultyPolicy(inner, plan)
+    if runtime == "threaded":
+        rt = TaskRuntime(faulty, fail_mode=fail_mode, on_unjoined_failure="ignore")
+    elif runtime == "pool":
+        rt = WorkSharingRuntime(
+            faulty, workers=max(4, 2 * n_pairs + 1), fail_mode=fail_mode,
+            on_unjoined_failure="ignore",
+        )
+    else:
+        raise ValueError(f"unknown runtime {runtime!r}; known: {RUNTIMES}")
+
+    quarantined_joins = 0
+    avoided = 0
+
+    def leaf(value: int) -> int:
+        return value
+
+    def pair_member(idx: int, box: list, ready: threading.Event) -> str:
+        ready.wait()
+        try:
+            box[1 - idx].join()
+        except DeadlockAvoidedError:
+            return "avoided"
+        return "joined"
+
+    def body_open():
+        # 1. Trip the quarantine on a harmless join.
+        sacrificial = rt.fork(leaf, -1)
+        sacrificial.join()
+        if not rt.verifier.quarantined:
+            raise ChaosInvariantError(
+                f"seed {seed}: sacrificial join did not trip the quarantine"
+            )
+        # 2. Seed true deadlocks under the degraded verifier.
+        outcomes: list[tuple[str, str]] = []
+        for _ in range(n_pairs):
+            box: list = [None, None]
+            ready = threading.Event()
+            box[0] = rt.fork(pair_member, 0, box, ready)
+            box[1] = rt.fork(pair_member, 1, box, ready)
+            ready.set()
+            outcomes.append((box[0].join(), box[1].join()))
+        return outcomes
+
+    def body_closed():
+        nonlocal quarantined_joins
+        # Fork everything *before* the first join: once quarantined, a
+        # fail-closed verifier refuses on_fork too.
+        futures = [rt.fork(leaf, i) for i in range(n_children)]
+        for fut in futures:
+            try:
+                fut.join()
+            except PolicyQuarantinedError:
+                quarantined_joins += 1
+        return quarantined_joins
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", PolicyQuarantineWarning)
+        outcomes = rt.run(body_open if fail_mode == "open" else body_closed)
+
+    problems: list[str] = []
+    stats = rt.verifier.stats
+    if not rt.verifier.quarantined:
+        problems.append("verifier not quarantined after guaranteed policy crash")
+    if stats.policy_faults < 1:
+        problems.append(f"policy_faults {stats.policy_faults} < 1")
+    detector = rt.detector
+    if fail_mode == "open":
+        avoided = detector.stats.deadlocks_avoided if detector else 0
+        if avoided != n_pairs:
+            problems.append(
+                f"degraded run avoided {avoided} deadlocks, expected {n_pairs}"
+            )
+        for i, pair in enumerate(outcomes):
+            if sorted(pair) != ["avoided", "joined"]:
+                problems.append(f"pair {i} outcomes {pair}, expected one refusal")
+    else:
+        if quarantined_joins != n_children:
+            problems.append(
+                f"{quarantined_joins} joins raised PolicyQuarantinedError, "
+                f"expected {n_children}"
+            )
+        if stats.policy_faults != 1:
+            problems.append(
+                f"fail-closed policy_faults {stats.policy_faults} != 1 "
+                "(stored error should be re-raised, not re-diagnosed)"
+            )
+    if detector is not None:
+        if len(detector.graph) != 0:
+            problems.append(f"Armus graph not empty: {detector.graph.edges()}")
+        if detector.live_forced_edges != 0:
+            problems.append(f"{detector.live_forced_edges} forced edges still live")
+    if len(rt.blocked_joins()) != 0:
+        problems.append("join registry not empty after quarantined run")
+    if rt.watchdog is not None and rt.watchdog.deadlocks_detected != 0:
+        problems.append("watchdog fired in a run the fallback should have handled")
+    if problems:
+        raise ChaosInvariantError(
+            f"seed {seed} policy {faulty.name} runtime {runtime} "
+            f"fail_mode {fail_mode}: " + "; ".join(problems)
+        )
+    return QuarantineChaosResult(
+        seed=seed,
+        policy_name=faulty.name,
+        runtime=runtime,
+        fail_mode=fail_mode,
+        stats=stats,
+        deadlock_pairs=n_pairs if fail_mode == "open" else 0,
+        deadlocks_avoided=avoided,
+        quarantined_joins=quarantined_joins,
+    )
+
+
+@dataclass
+class RetryChaosResult:
+    """Outcome of one :func:`run_with_task_retries` run."""
+
+    spec: ChaosSpec
+    policy_name: str
+    runtime: str
+    stats: VerifierStats
+    #: leaf tasks given a retry policy (each fails ``fail_attempts`` times)
+    flaky_tasks: frozenset[int]
+    #: total re-forks performed by the supervisor
+    retries: int
+
+
+def run_with_task_retries(
+    seed: int,
+    *,
+    policy: Union[str, JoinPolicy] = "TJ-SP",
+    runtime: str = "threaded",
+    max_tasks: int = 12,
+    fail_attempts: int = 2,
+    flaky_rate: float = 0.6,
+) -> RetryChaosResult:
+    """Chaos run where flaky leaf tasks succeed only after retries.
+
+    A deterministic subset of *join-free leaves* (no children, no sibling
+    joins — so a re-run of the task body performs no joins and forks no
+    tasks) is forked with a :class:`~repro.runtime.retry.RetryPolicy` and
+    made to fail ``fail_attempts`` times before succeeding.  Because each
+    retry is a fresh fork re-verified by the policy, the exact-accounting
+    invariants become:
+
+    * ``forks == n_tasks + retries`` where
+      ``retries == fail_attempts * len(flaky)``;
+    * ``joins_checked == spec.total_joins`` exactly (retried bodies
+      perform no joins);
+    * zero failures observed at any join (retries exhaust *before* the
+      parent sees anything);
+    * supervision state drains: empty registry, empty Armus graph, **no
+      live forced edges** (stale-verdict edges forced during a retry must
+      be discharged by the joiner's wakeup), no watchdog diagnosis.
+    """
+    spec = generate_spec(seed, max_tasks=max_tasks, crash_rate=0.0)
+    leaves = [t for t in range(1, spec.n_tasks) if not spec.children.get(t)]
+    eligible = [t for t in leaves if not spec.sibling_joins.get(t)]
+    if not eligible:
+        # Every leaf joins a sibling: free the youngest leaf of its
+        # sibling joins so at least one flaky candidate exists.
+        victim = leaves[-1]
+        sibling_joins = {
+            t: s for t, s in spec.sibling_joins.items() if t != victim
+        }
+        spec = ChaosSpec(
+            seed=spec.seed,
+            n_tasks=spec.n_tasks,
+            children=spec.children,
+            sibling_joins=sibling_joins,
+            grandchild_joins=spec.grandchild_joins,
+            batch_parents=spec.batch_parents,
+            crash_tasks=frozenset(),
+        )
+        eligible = [victim]
+    rng = random.Random(f"chaos-retry|{seed}")
+    n_flaky = max(1, round(len(eligible) * flaky_rate))
+    flaky = frozenset(rng.sample(eligible, n_flaky))
+    retry_spec = RetryPolicy(
+        max_attempts=fail_attempts + 1,
+        base_delay=0.0005,
+        max_delay=0.002,
+        seed=seed,
+    )
+
+    if isinstance(policy, JoinPolicy):
+        inner = policy
+    else:
+        from ..core.policy import make_policy
+
+        inner = make_policy(policy)
+    rt = _make_runtime(runtime, inner)
+
+    futures: dict[int, object] = {}
+    attempts: dict[int, int] = {}
+    failures_seen: list[int] = []
+    guard = threading.Lock()
+
+    def body(tid: int):
+        require_current_task()
+        for cid in spec.children.get(tid, ()):
+            if cid in flaky:
+                futures[cid] = rt.fork(body, cid, retry=retry_spec)
+            else:
+                futures[cid] = rt.fork(body, cid)
+        for sib in spec.sibling_joins.get(tid, ()):
+            try:
+                futures[sib].join()
+            except TaskFailedError:
+                with guard:
+                    failures_seen.append(sib)
+        if tid in spec.batch_parents:
+            kids = spec.children.get(tid, ())
+            batch = [futures[c] for c in kids]
+            for c, outcome in zip(kids, rt.join_batch(batch, return_exceptions=True)):
+                if isinstance(outcome, TaskFailedError):
+                    with guard:
+                        failures_seen.append(c)
+        else:
+            for c in spec.children.get(tid, ()):
+                try:
+                    futures[c].join()
+                except TaskFailedError:
+                    with guard:
+                        failures_seen.append(c)
+        for g in spec.grandchild_joins.get(tid, ()):
+            try:
+                futures[g].join()
+            except TaskFailedError:
+                with guard:
+                    failures_seen.append(g)
+        if tid in flaky:
+            with guard:
+                attempts[tid] = attempts.get(tid, 0) + 1
+                attempt = attempts[tid]
+            if attempt <= fail_attempts:
+                raise RuntimeError(f"flaky task {tid} attempt {attempt}")
+        return tid
+
+    rt.run(body, 0)
+
+    expected_retries = fail_attempts * len(flaky)
+    stats = rt.verifier.stats
+    problems: list[str] = []
+    if failures_seen:
+        problems.append(f"joins observed failures {sorted(failures_seen)}")
+    if rt.tasks_retried != expected_retries:
+        problems.append(
+            f"tasks_retried {rt.tasks_retried} != expected {expected_retries}"
+        )
+    if stats.forks != spec.n_tasks + expected_retries:
+        problems.append(
+            f"forks {stats.forks} != n_tasks + retries "
+            f"{spec.n_tasks + expected_retries}"
+        )
+    if stats.joins_checked != spec.total_joins:
+        problems.append(
+            f"joins_checked {stats.joins_checked} != planned {spec.total_joins}"
+        )
+    for tid in flaky:
+        if attempts.get(tid, 0) != fail_attempts + 1:
+            problems.append(
+                f"flaky task {tid} ran {attempts.get(tid, 0)} attempts, "
+                f"expected {fail_attempts + 1}"
+            )
+    detector = rt.detector
+    if detector is not None:
+        if len(detector.graph) != 0:
+            problems.append(f"Armus graph not empty: {detector.graph.edges()}")
+        if detector.live_forced_edges != 0:
+            problems.append(f"{detector.live_forced_edges} forced edges still live")
+        if detector.stats.deadlocks_avoided != 0:
+            problems.append("deadlock-free retry program had a join refused")
+    if len(rt.blocked_joins()) != 0:
+        problems.append("join registry not empty after retry run")
+    if rt.watchdog is not None and rt.watchdog.deadlocks_detected != 0:
+        problems.append("watchdog diagnosed a deadlock in a retry run")
+    if problems:
+        raise ChaosInvariantError(
+            f"seed {seed} policy {inner.name} runtime {runtime}: "
+            + "; ".join(problems)
+        )
+    return RetryChaosResult(
+        spec=spec,
+        policy_name=inner.name,
+        runtime=runtime,
+        stats=stats,
+        flaky_tasks=flaky,
+        retries=rt.tasks_retried,
     )

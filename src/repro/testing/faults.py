@@ -27,7 +27,24 @@ from typing import Optional
 from ..core.policy import JoinPolicy
 from ..errors import InjectedFaultError
 
-__all__ = ["FaultPlan", "FaultyPolicy"]
+__all__ = ["FaultPlan", "FaultyPolicy", "PolicyBugError"]
+
+
+class PolicyBugError(RuntimeError):
+    """An injected *internal* policy failure (a simulated implementation bug).
+
+    Deliberately a plain :class:`RuntimeError`, **not** a
+    :class:`~repro.errors.ReproError` and not an
+    :class:`~repro.errors.InjectedFaultError`: it models a third-party
+    policy blowing up with an arbitrary exception, which is exactly what
+    the verifier's quarantine fault boundary must catch.  (The chaos
+    suite's ``InjectedFaultError`` contract — faults propagate unchanged
+    under the default ``fail_mode="raise"`` — is unaffected.)
+    """
+
+    def __init__(self, site: object = None):
+        self.site = site
+        super().__init__(f"injected policy bug at {site!r}")
 
 
 @dataclass(frozen=True)
@@ -41,7 +58,13 @@ class FaultPlan:
     * ``delay_rate`` / ``max_delay`` — probability and bound (seconds)
       of a :meth:`sleep` at a site;
     * ``verifier_fault_rate`` — probability a :class:`FaultyPolicy`
-      ``permits`` call raises instead of answering.
+      ``permits`` call raises instead of answering;
+    * ``policy_crash_rate`` — probability a :class:`FaultyPolicy`
+      ``permits`` call raises :class:`PolicyBugError` (a simulated
+      *internal* policy bug, the kind the verifier's quarantine fault
+      boundary must absorb — as opposed to an ``InjectedFaultError``,
+      which the chaos contract requires to propagate unchanged under
+      ``fail_mode="raise"``).
     """
 
     seed: int = 0
@@ -49,6 +72,7 @@ class FaultPlan:
     delay_rate: float = 0.0
     max_delay: float = 0.002
     verifier_fault_rate: float = 0.0
+    policy_crash_rate: float = 0.0
 
     def _rng(self, site: object) -> random.Random:
         return random.Random(f"{self.seed}|{site!r}")
@@ -84,6 +108,9 @@ class FaultPlan:
     def verifier_fault(self, site: object) -> bool:
         return self.decide(("verifier", site), self.verifier_fault_rate)
 
+    def policy_crash(self, site: object) -> bool:
+        return self.decide(("policy-crash", site), self.policy_crash_rate)
+
     # ------------------------------------------------------------------
     def without_delays(self) -> "FaultPlan":
         """The same plan with delays stripped; crash/fault decisions are
@@ -92,7 +119,13 @@ class FaultPlan:
 
     def without_faults(self) -> "FaultPlan":
         """The same plan with every injection disabled (delays included)."""
-        return replace(self, crash_rate=0.0, delay_rate=0.0, verifier_fault_rate=0.0)
+        return replace(
+            self,
+            crash_rate=0.0,
+            delay_rate=0.0,
+            verifier_fault_rate=0.0,
+            policy_crash_rate=0.0,
+        )
 
 
 class FaultyPolicy(JoinPolicy):
@@ -120,6 +153,8 @@ class FaultyPolicy(JoinPolicy):
         self._calls = 0
         #: permits calls that raised an injected fault
         self.faults_injected = 0
+        #: permits calls that raised a simulated policy bug
+        self.bugs_injected = 0
 
     def _next_call(self) -> int:
         with self._lock:
@@ -135,6 +170,10 @@ class FaultyPolicy(JoinPolicy):
             with self._lock:
                 self.faults_injected += 1
             raise InjectedFaultError(site=("permits", index))
+        if self.plan.policy_crash(("permits", index)):
+            with self._lock:
+                self.bugs_injected += 1
+            raise PolicyBugError(site=("permits", index))
         return self.inner.permits(joiner, joinee)
 
     def permits_many(self, joiner: object, joinees: list) -> list[bool]:

@@ -1,7 +1,14 @@
 """Operational tooling: trace recording/replay, visualisation, CLI."""
 
+from .journal import JournalReadResult, TraceJournal, read_journal
 from .recorder import TraceRecordingPolicy
-from .replay import ReplayOutcome, replay_on_runtime, replay_on_threaded
+from .replay import (
+    JournalReplay,
+    ReplayOutcome,
+    replay_journal,
+    replay_on_runtime,
+    replay_on_threaded,
+)
 from .viz import (
     fork_tree_dot,
     render_fork_tree,
@@ -10,7 +17,12 @@ from .viz import (
 )
 
 __all__ = [
+    "TraceJournal",
     "TraceRecordingPolicy",
+    "JournalReadResult",
+    "JournalReplay",
+    "read_journal",
+    "replay_journal",
     "replay_on_runtime",
     "replay_on_threaded",
     "ReplayOutcome",

@@ -24,22 +24,32 @@ Commands
     deep-tree, wide-tree across all TJ/KJ policies) and write
     ``BENCH_hotpath.json``.
 ``bench-runtime [--reps N] [--smoke] [--json PATH] [--min-join-speedup F]
-[--max-overhead F]``
+[--max-overhead F] [--max-journal-overhead F]``
     Run the end-to-end runtime overhead suite: the join-latency
-    microshape under the event-driven and polling wait protocols, plus
-    Table-2-style policy-vs-baseline configs; writes
-    ``BENCH_runtime.json`` and enforces the regression gates.
+    microshape under the event-driven and polling wait protocols, the
+    journal-on vs journal-off fork chain, plus Table-2-style
+    policy-vs-baseline configs; writes ``BENCH_runtime.json`` and
+    enforces the regression gates.
 ``run <trace-file> [--runtime threaded|pool] [--policy P] [--timeout S]
-[--watchdog-interval S] [--no-watchdog]``
+[--watchdog-interval S] [--no-watchdog] [--fail-mode raise|open|closed]
+[--journal PATH]``
     Execute the trace on a *blocking* runtime under full supervision:
     join deadlines, stall watchdog, cancellation.  Joins refused or
     terminated by the supervision layer are reported, never hung.
+    ``--journal`` writes a crash-consistent trace journal of the run.
+``journal-replay <journal-file>``
+    Reconstruct verifier state from a trace journal (tolerating a
+    crash-torn tail) and print the post-mortem: blocked edges at death,
+    quarantine/retry events, and re-derived verdicts.  Exits 1 if any
+    journalled verdict disagrees with a fresh policy instance.
 ``chaos [--programs N] [--seed S] [--policies ...] [--runtimes ...]
 [--crash-rate R] [--delay-rate R] [--fault-rate R] [--max-tasks N]
-[--smoke]``
+[--smoke] [--recovery]``
     Run the deterministic fault-injection suite: seeded random fork/join
     programs across policies and runtimes, checking the supervised-
-    runtime invariants.  Exits 1 on any violation.
+    runtime invariants.  ``--recovery`` adds the self-healing slice:
+    policy-crash quarantine (fail-open and fail-closed) plus flaky-task
+    retry programs.  Exits 1 on any violation.
 """
 
 from __future__ import annotations
@@ -137,6 +147,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         runtime=args.runtime,
         default_join_timeout=args.timeout,
         watchdog=watchdog,
+        fail_mode=args.fail_mode,
+        journal=args.journal,
     )
     rt = outcome.runtime
     print(f"runtime:          {args.runtime}")
@@ -150,13 +162,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"deadlocks avoided: {rt.detector.stats.deadlocks_avoided}")
     if rt.watchdog is not None:
         print(f"watchdog stalls:  {rt.watchdog.deadlocks_detected}")
+    if rt.verifier.quarantined:
+        print(f"QUARANTINED:      {rt.verifier.quarantine_error}")
+    if args.journal:
+        print(f"journal:          {args.journal}")
     return 0 if outcome.clean else 1
+
+
+def _cmd_journal_replay(args: argparse.Namespace) -> int:
+    from .replay import replay_journal
+
+    replay = replay_journal(args.journal)
+    print(replay.report())
+    return 1 if replay.recheck_mismatches else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from ..testing.chaos import (
         RUNTIMES,
         run_chaos_program,
+        run_with_policy_quarantine,
+        run_with_task_retries,
         run_with_verifier_faults,
     )
     from ..testing.faults import FaultPlan
@@ -219,9 +245,41 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     print(f"FAIL verifier-faults seed={seed} runtime={runtime}: {exc}")
                 total += 1
                 fault_runs += 1
+    recovery_runs = 0
+    if args.recovery:
+        recovery_policies = [p for p in policies if p != "none"]
+        for runtime in runtimes:
+            for policy in recovery_policies:
+                for fail_mode in ("open", "closed"):
+                    try:
+                        run_with_policy_quarantine(
+                            args.seed,
+                            policy=policy,
+                            runtime=runtime,
+                            fail_mode=fail_mode,
+                        )
+                    except AssertionError as exc:
+                        bad += 1
+                        print(
+                            f"FAIL quarantine policy={policy} runtime={runtime} "
+                            f"fail_mode={fail_mode}: {exc}"
+                        )
+                    total += 1
+                    recovery_runs += 1
+            for i in range(max(1, programs // 2)):
+                seed = args.seed + i
+                try:
+                    run_with_task_retries(
+                        seed, policy="TJ-SP", runtime=runtime, max_tasks=max_tasks
+                    )
+                except AssertionError as exc:
+                    bad += 1
+                    print(f"FAIL retries seed={seed} runtime={runtime}: {exc}")
+                total += 1
+                recovery_runs += 1
     print(
-        f"chaos: {total} programs ({fault_runs} with verifier faults), "
-        f"{total - bad} passed, {bad} failed"
+        f"chaos: {total} programs ({fault_runs} with verifier faults, "
+        f"{recovery_runs} recovery), {total - bad} passed, {bad} failed"
     )
     return 1 if bad else 0
 
@@ -356,6 +414,14 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
                 f"above the {args.max_overhead:.2f}x bound"
             )
             status = 1
+    if args.max_journal_overhead:
+        factor = result.journal_overhead
+        if factor > args.max_journal_overhead:
+            print(
+                f"REGRESSION: journal-on overhead {factor:.3f}x "
+                f"above the {args.max_journal_overhead:.2f}x bound"
+            )
+            status = 1
     return status
 
 
@@ -420,7 +486,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="stall-watchdog scan interval",
     )
     p.add_argument("--no-watchdog", action="store_true", help="disable the stall watchdog")
+    p.add_argument(
+        "--fail-mode",
+        choices=["raise", "open", "closed"],
+        default="raise",
+        help="policy fault boundary: propagate, degrade to Armus, or refuse",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="write a crash-consistent trace journal of the run",
+    )
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "journal-replay", help="post-mortem replay of a trace journal"
+    )
+    p.add_argument("journal")
+    p.set_defaults(fn=_cmd_journal_replay)
 
     p = sub.add_parser("chaos", help="deterministic fault-injection suite")
     p.add_argument(
@@ -445,6 +528,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--smoke",
         action="store_true",
         help="small fixed configuration for CI",
+    )
+    p.add_argument(
+        "--recovery",
+        action="store_true",
+        help="add the quarantine + retry self-healing slice",
     )
     p.set_defaults(fn=_cmd_chaos)
 
@@ -510,6 +598,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=0.0,
         metavar="FACTOR",
         help="fail (exit 1) if the TJ-SP end-to-end geomean overhead "
+        "exceeds FACTOR",
+    )
+    p.add_argument(
+        "--max-journal-overhead",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help="fail (exit 1) if journal-on vs journal-off on the fork chain "
         "exceeds FACTOR",
     )
     p.set_defaults(fn=_cmd_bench_runtime)

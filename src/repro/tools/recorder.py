@@ -55,9 +55,22 @@ class TraceRecordingPolicy(JoinPolicy):
         return vertex
 
     def permits(self, joiner: object, joinee: object) -> bool:
-        ok = self.inner.permits(joiner, joinee)
+        try:
+            ok = self.inner.permits(joiner, joinee)
+        except BaseException:
+            # Record the attempt even when the inner policy blows up, so
+            # a trace of a crashed run is complete; tag it denied — the
+            # verifier treats an exception as "no verdict reached", and
+            # an offline reader must not mistake it for a permit.
+            with self._lock:
+                self.trace.append(
+                    Join(self._name_of(joiner), self._name_of(joinee), permitted=False)
+                )
+            raise
         with self._lock:
-            self.trace.append(Join(self._name_of(joiner), self._name_of(joinee)))
+            self.trace.append(
+                Join(self._name_of(joiner), self._name_of(joinee), permitted=ok)
+            )
         return ok
 
     def on_join(self, joiner: object, joinee: object) -> None:

@@ -19,6 +19,7 @@ runtime rather than hanging.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..core.policy import JoinPolicy
@@ -32,7 +33,13 @@ from ..errors import (
 from ..formal.actions import Action, Fork, Init, Join, Task
 from ..runtime.cooperative import CooperativeRuntime
 
-__all__ = ["ReplayOutcome", "replay_on_runtime", "replay_on_threaded"]
+__all__ = [
+    "JournalReplay",
+    "ReplayOutcome",
+    "replay_journal",
+    "replay_on_runtime",
+    "replay_on_threaded",
+]
 
 
 class ReplayOutcome:
@@ -137,6 +144,8 @@ def replay_on_threaded(
     runtime: str = "threaded",
     default_join_timeout: Optional[float] = None,
     watchdog: Union[bool, float] = True,
+    fail_mode: str = "raise",
+    journal: Optional[str] = None,
 ) -> ReplayOutcome:
     """Run *trace* on a fresh blocking runtime (``"threaded"`` —
     thread-per-task :class:`~repro.runtime.threaded.TaskRuntime`, the
@@ -165,6 +174,8 @@ def replay_on_threaded(
             fallback=fallback,
             default_join_timeout=default_join_timeout,
             watchdog=watchdog,
+            fail_mode=fail_mode,
+            journal=journal,
         )
     elif runtime == "pool":
         rt = WorkSharingRuntime(
@@ -172,6 +183,8 @@ def replay_on_threaded(
             fallback=fallback,
             default_join_timeout=default_join_timeout,
             watchdog=watchdog,
+            fail_mode=fail_mode,
+            journal=journal,
         )
     else:
         raise ValueError(f"unknown runtime {runtime!r}; use 'threaded' or 'pool'")
@@ -239,3 +252,191 @@ def replay_on_threaded(
     rt.run(body, trace[0].task)
     _await_quiescence(futures)
     return outcome
+
+
+# ----------------------------------------------------------------------
+# journal replay: the crash post-mortem
+# ----------------------------------------------------------------------
+@dataclass
+class JournalReplay:
+    """Verifier state reconstructed from a (possibly crash-torn) journal.
+
+    The load-bearing field is :attr:`blocked_at_death`: every edge whose
+    ``block`` record is durable but whose ``unblock`` is not — i.e. the
+    joins the process was sleeping on at the moment it died.  For a run
+    that exited cleanly the set is empty.
+    """
+
+    path: str
+    #: the ``start`` record (policy / runtime / fail_mode), if durable
+    header: Optional[dict]
+    #: the final record was cut mid-write (the classic ``kill -9`` tail)
+    torn_tail: bool
+    #: complete records recovered
+    records: int
+    #: journal task names, in fork order
+    tasks: list[str] = field(default_factory=list)
+    forks: int = 0
+    #: permission checks that answered "denied"
+    denied: list[tuple[str, str]] = field(default_factory=list)
+    #: joins refused because they would have closed a cycle
+    avoided: list[tuple[str, str]] = field(default_factory=list)
+    #: (waiter, joinee) edges blocked when the journal ends
+    blocked_at_death: list[tuple[str, str]] = field(default_factory=list)
+    #: the quarantine record, when the policy was quarantined mid-run
+    quarantine: Optional[dict] = None
+    #: retry records (old task, reborn task, attempt, error)
+    retries: list[dict] = field(default_factory=list)
+    #: stable-policy verdicts re-derived during replay
+    rechecked: int = 0
+    #: (waiter, joinee, journalled, rederived) disagreements — must be empty
+    recheck_mismatches: list[tuple[str, str, bool, bool]] = field(default_factory=list)
+
+    @property
+    def died_blocked(self) -> bool:
+        return bool(self.blocked_at_death)
+
+    def report(self) -> str:
+        """A human-readable post-mortem."""
+        lines = [f"journal post-mortem: {self.path}"]
+        if self.header is not None:
+            lines.append(
+                f"  run: policy={self.header.get('policy')} "
+                f"runtime={self.header.get('runtime')} "
+                f"fail_mode={self.header.get('fail_mode')}"
+            )
+        lines.append(
+            f"  records: {self.records} complete"
+            + (" + torn tail (crash mid-write)" if self.torn_tail else "")
+        )
+        lines.append(f"  tasks: {len(self.tasks)}  forks: {self.forks}")
+        if self.quarantine is not None:
+            lines.append(
+                f"  QUARANTINE at {self.quarantine.get('site')!r}: policy "
+                f"{self.quarantine.get('policy')!r} was degraded to Armus-only"
+            )
+        for rec in self.retries:
+            lines.append(
+                f"  retry: {rec.get('task')} reborn as {rec.get('reborn')} "
+                f"(attempt {rec.get('attempt')}) after {rec.get('error')}"
+            )
+        for waiter, joinee in self.denied:
+            lines.append(f"  denied: {waiter} may not join {joinee}")
+        for waiter, joinee in self.avoided:
+            lines.append(f"  avoided deadlock: {waiter} join {joinee} refused")
+        if self.blocked_at_death:
+            lines.append("  blocked at death:")
+            for waiter, joinee in self.blocked_at_death:
+                lines.append(f"    {waiter} was waiting on {joinee}")
+        else:
+            lines.append("  blocked at death: none")
+        if self.rechecked:
+            lines.append(
+                f"  recheck: {self.rechecked} verdicts re-derived, "
+                f"{len(self.recheck_mismatches)} mismatches"
+            )
+            for waiter, joinee, logged, fresh in self.recheck_mismatches:
+                lines.append(
+                    f"    MISMATCH {waiter} join {joinee}: journal says "
+                    f"{logged}, policy says {fresh}"
+                )
+        return "\n".join(lines)
+
+
+def replay_journal(path: str) -> JournalReplay:
+    """Reconstruct verifier state from a trace journal.
+
+    Reads the journal with :func:`~repro.tools.journal.read_journal`
+    (tolerating a crash-torn final record), re-derives the blocked-edge
+    set at death (durable blocks minus durable unblocks), and — when the
+    header names a reconstructible ``stable_permits`` policy — rebuilds
+    the fork tree through a fresh policy instance and re-derives every
+    journalled verdict, reporting any disagreement.  Replay stops feeding
+    the policy at a quarantine record: from that point the original run
+    was using fallback placeholder vertices, so later forks are tracked
+    by name only and later verdicts (blanket permits) are not rechecked.
+    """
+    from ..core.policy import make_policy
+    from .journal import read_journal
+
+    read = read_journal(path)
+    replay = JournalReplay(
+        path=path,
+        header=None,
+        torn_tail=read.torn_tail,
+        records=len(read.records),
+    )
+    policy: Optional[JoinPolicy] = None
+    vertices: dict[str, object] = {}
+    placeholders: set[str] = set()
+    quarantined = False
+    blocked: dict[tuple[str, str], int] = {}
+
+    for rec in read.records:
+        kind = rec.get("kind")
+        if kind == "start":
+            replay.header = rec
+            try:
+                policy = make_policy(rec.get("policy"))
+            except Exception:
+                policy = None  # wrapped / unknown policy: names-only replay
+        elif kind == "init":
+            name = rec["task"]
+            replay.tasks.append(name)
+            if policy is not None and not quarantined:
+                vertices[name] = policy.add_child(None)
+            else:
+                placeholders.add(name)
+        elif kind == "fork":
+            parent, child = rec["parent"], rec["child"]
+            replay.tasks.append(child)
+            replay.forks += 1
+            if (
+                policy is not None
+                and not quarantined
+                and parent in vertices
+                and parent not in placeholders
+            ):
+                vertices[child] = policy.add_child(vertices[parent])
+            else:
+                placeholders.add(child)
+        elif kind == "verdict":
+            edge = (rec["waiter"], rec["joinee"])
+            if not rec["ok"]:
+                replay.denied.append(edge)
+            if (
+                policy is not None
+                and policy.stable_permits
+                and not quarantined
+                and edge[0] in vertices
+                and edge[1] in vertices
+            ):
+                replay.rechecked += 1
+                fresh = policy.permits(vertices[edge[0]], vertices[edge[1]])
+                if bool(fresh) != bool(rec["ok"]):
+                    replay.recheck_mismatches.append(
+                        (edge[0], edge[1], bool(rec["ok"]), bool(fresh))
+                    )
+        elif kind == "join":
+            a, b = rec["waiter"], rec["joinee"]
+            if policy is not None and not quarantined and a in vertices and b in vertices:
+                policy.on_join(vertices[a], vertices[b])
+        elif kind == "block":
+            edge = (rec["waiter"], rec["joinee"])
+            blocked[edge] = blocked.get(edge, 0) + 1
+        elif kind == "unblock":
+            edge = (rec["waiter"], rec["joinee"])
+            blocked[edge] = blocked.get(edge, 0) - 1
+        elif kind == "avoided":
+            replay.avoided.append((rec["waiter"], rec["joinee"]))
+        elif kind == "quarantine":
+            quarantined = True
+            replay.quarantine = rec
+        elif kind == "retry":
+            replay.retries.append(rec)
+
+    replay.blocked_at_death = sorted(
+        (edge for edge, n in blocked.items() if n > 0),
+        key=lambda e: (int(e[0][1:]) if e[0][1:].isdigit() else 0, e[1]),
+    )
+    return replay

@@ -1,0 +1,66 @@
+"""Errors that cross process boundaries must survive pickling intact.
+
+The deadlock diagnoses carry live :class:`TaskHandle` objects in their
+``cycle`` and the quarantine error carries a formatted traceback; both
+classes define ``__reduce__`` so a pickle round trip (as used by
+``multiprocessing`` result queues and the kill-9 journal harness)
+neither fails nor scrambles the constructor arguments.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    DeadlockAvoidedError,
+    DeadlockDetectedError,
+    PolicyQuarantinedError,
+)
+
+
+class _Handle:
+    """Stand-in for a TaskHandle: unpicklable, but carries a name."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __reduce__(self):
+        raise TypeError("task handles are pinned to one process")
+
+
+@pytest.mark.parametrize("cls", [DeadlockAvoidedError, DeadlockDetectedError])
+def test_deadlock_errors_pickle_with_live_handles(cls):
+    cycle = (_Handle("task-1"), _Handle("task-2"), _Handle("task-1"))
+    err = cls(cycle=cycle)
+    back = pickle.loads(pickle.dumps(err))
+    assert type(back) is cls
+    # handles crossed the boundary by name
+    assert back.cycle == ("task-1", "task-2", "task-1")
+    assert str(back) == str(err)
+
+
+@pytest.mark.parametrize("cls", [DeadlockAvoidedError, DeadlockDetectedError])
+def test_deadlock_errors_pickle_without_a_cycle(cls):
+    back = pickle.loads(pickle.dumps(cls()))
+    assert back.cycle is None
+    assert type(back) is cls
+
+
+def test_deadlock_cycle_of_plain_values_passes_through():
+    err = DeadlockDetectedError(cycle=("a", "b", "a"))
+    back = pickle.loads(pickle.dumps(err))
+    assert back.cycle == ("a", "b", "a")
+
+
+def test_quarantine_error_pickles_all_fields():
+    err = PolicyQuarantinedError(
+        "TJ-SP", "permits", original="Traceback (most recent call last): boom"
+    )
+    back = pickle.loads(pickle.dumps(err))
+    assert type(back) is PolicyQuarantinedError
+    assert back.policy == "TJ-SP"
+    assert back.site == "permits"
+    assert back.original == err.original
+    assert str(back) == str(err)

@@ -1,0 +1,243 @@
+"""The trace journal: writer batching, torn-tail reader, clean replay.
+
+The durability contract under test: records are buffered, *critical*
+records (start, denied verdicts, block, avoided, quarantine, retry)
+reach the OS immediately, and the reader tolerates exactly the damage a
+``kill -9`` can cause — one truncated final record — while refusing to
+paper over anything else.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalCorruptError, JournalError
+from repro.runtime.threaded import TaskRuntime
+from repro.tools.journal import TraceJournal, read_journal
+from repro.tools.replay import replay_journal
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "trace.jsonl")
+
+
+def _durable_lines(path):
+    """Lines currently visible in the file (what kill -9 would preserve)."""
+    with open(path) as fh:
+        return [line for line in fh.read().split("\n") if line]
+
+
+class _V:
+    """Minimal vertex stand-in with identity."""
+
+
+# ----------------------------------------------------------------------
+# writer
+# ----------------------------------------------------------------------
+class TestWriter:
+    def test_round_trip_of_every_record_kind(self, path):
+        a, b, c = _V(), _V(), _V()
+        with TraceJournal(path) as j:
+            j.log_start(policy="TJ-SP", runtime="TaskRuntime", fail_mode="open")
+            j.log_init(a)
+            j.log_fork(a, b)
+            j.log_fork(a, c)
+            j.log_verdict(b, c, False)
+            j.log_verdict(a, b, True)
+            j.log_block(a, b)
+            j.log_unblock(a, b)
+            j.log_join(a, b)
+            j.log_avoided(b, c)
+            j.log_quarantine("TJ-SP", "permits", "ZeroDivisionError('x')")
+            j.log_retry(b, c, 1, "RuntimeError('down')")
+        result = read_journal(path)
+        assert not result.torn_tail
+        kinds = [r["kind"] for r in result.records]
+        assert kinds == [
+            "start", "init", "fork", "fork", "verdict", "verdict",
+            "block", "unblock", "join", "avoided", "quarantine", "retry",
+        ]
+        assert [r["seq"] for r in result.records] == list(range(12))
+        # names are interned in first-seen order and stay stable
+        assert result.records[1]["task"] == "t0"
+        assert result.records[2] == {
+            "kind": "fork", "parent": "t0", "child": "t1", "seq": 2,
+        }
+        assert result.records[4]["ok"] is False
+        assert result.records[11]["attempt"] == 1
+
+    def test_arbitrary_strings_are_json_quoted(self, path):
+        with TraceJournal(path) as j:
+            j.log_start(policy='we"ird\\name', runtime="x\ny", fail_mode="open")
+            j.log_quarantine("p", "permits", 'Err("quoted \\ stuff")')
+        records = read_journal(path).records
+        assert records[0]["policy"] == 'we"ird\\name'
+        assert records[0]["runtime"] == "x\ny"
+        assert records[1]["error"] == 'Err("quoted \\ stuff")'
+
+    def test_noncritical_records_batch_critical_flush_now(self, path):
+        a, b = _V(), _V()
+        j = TraceJournal(path, flush_every=64)
+        j.log_init(a)
+        j.log_fork(a, b)
+        assert _durable_lines(path) == []  # buffered, not yet durable
+        j.log_block(a, b)  # critical: flush before you sleep
+        durable = _durable_lines(path)
+        assert len(durable) == 3  # the flush carries the buffer with it
+        assert json.loads(durable[-1])["kind"] == "block"
+        j.close()
+
+    def test_flush_every_bound_is_honoured(self, path):
+        vs = [_V() for _ in range(8)]
+        j = TraceJournal(path, flush_every=4)
+        j.log_init(vs[0])
+        for v in vs[1:4]:
+            j.log_fork(vs[0], v)
+        assert len(_durable_lines(path)) == 4  # 4th append hit the bound
+        j.close()
+
+    def test_closed_journal_refuses_appends(self, path):
+        j = TraceJournal(path)
+        j.close()
+        j.close()  # idempotent
+        with pytest.raises(JournalError):
+            j.log_init(_V())
+
+    def test_flush_every_validated(self, path):
+        with pytest.raises(ValueError):
+            TraceJournal(path, flush_every=0)
+
+    def test_interned_names_survive_id_reuse(self, path):
+        """The journal pins vertices, so a GC'd vertex's recycled id()
+        can never alias a dead task's name."""
+        j = TraceJournal(path)
+        names = set()
+        for _ in range(64):
+            names.add(j.name_of(_V()))  # vertices die immediately
+        assert len(names) == 64
+        j.close()
+
+
+# ----------------------------------------------------------------------
+# reader: exactly crash-shaped damage is tolerated
+# ----------------------------------------------------------------------
+class TestReader:
+    def _journal(self, path, n=4):
+        vs = [_V() for _ in range(n)]
+        with TraceJournal(path) as j:
+            j.log_init(vs[0])
+            for v in vs[1:]:
+                j.log_fork(vs[0], v)
+        return path
+
+    def test_empty_file_is_an_empty_journal(self, path):
+        open(path, "w").close()
+        result = read_journal(path)
+        assert result.records == [] and not result.torn_tail
+
+    def test_torn_tail_without_newline_is_dropped(self, path):
+        self._journal(path)
+        with open(path) as fh:
+            text = fh.read()
+        with open(path, "w") as fh:
+            fh.write(text[:-20])  # cut inside the final record
+        result = read_journal(path)
+        assert result.torn_tail
+        assert len(result.records) == 3
+        assert result.tail  # the fragment is kept for diagnostics
+
+    def test_unparsable_final_complete_line_is_a_torn_tail(self, path):
+        """A crash can land inside the payload but after a newline made
+        it to disk from a previous write: still tail damage, not corruption."""
+        self._journal(path)
+        with open(path, "a") as fh:
+            fh.write('{"kind":"blo\n')
+        result = read_journal(path)
+        assert result.torn_tail
+        assert len(result.records) == 4
+
+    def test_midfile_garbage_is_corruption(self, path):
+        self._journal(path)
+        lines = _durable_lines(path)
+        lines[1] = lines[1][:-5] + "@@@@}"
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+
+    def test_sequence_gap_is_corruption(self, path):
+        self._journal(path)
+        lines = _durable_lines(path)
+        del lines[1]  # a missing record must not be silently skipped
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptError):
+            read_journal(path)
+
+
+# ----------------------------------------------------------------------
+# runtime integration + clean-run replay
+# ----------------------------------------------------------------------
+class TestRuntimeIntegration:
+    def test_run_writes_and_closes_a_path_journal(self, path):
+        rt = TaskRuntime(policy="TJ-SP", journal=path)
+
+        def main():
+            futures = [rt.fork(lambda i=i: i) for i in range(3)]
+            return sum(f.join() for f in futures)
+
+        assert rt.run(main) == 3
+        result = read_journal(path)  # closed + flushed: fully durable
+        kinds = [r["kind"] for r in result.records]
+        assert kinds[0] == "start"
+        assert kinds.count("fork") == 3
+        assert kinds.count("verdict") == 3
+        assert kinds.count("join") == 3
+        header = result.records[0]
+        assert header["policy"] == "TJ-SP"
+        assert header["fail_mode"] == "raise"
+        with pytest.raises(JournalError):
+            rt.journal.log_init(_V())  # the runtime closed its own journal
+
+    def test_clean_run_replay_reconstructs_and_rechecks(self, path):
+        rt = TaskRuntime(policy="TJ-SP", journal=path)
+
+        def main():
+            futures = [rt.fork(lambda i=i: i) for i in range(4)]
+            return [f.join() for f in futures]
+
+        rt.run(main)
+        replay = replay_journal(path)
+        assert not replay.died_blocked
+        assert replay.blocked_at_death == []
+        assert replay.forks == 4
+        assert len(replay.tasks) == 5  # root + 4 children
+        assert replay.quarantine is None
+        # TJ-SP is stable: every journalled verdict was re-derived fresh
+        assert replay.rechecked == 4
+        assert replay.recheck_mismatches == []
+        assert "blocked at death: none" in replay.report()
+
+    def test_replay_flags_a_forged_verdict(self, path):
+        rt = TaskRuntime(policy="TJ-SP", journal=path)
+
+        def main():
+            return rt.fork(lambda: 1).join()
+
+        rt.run(main)
+        lines = _durable_lines(path)
+        doctored = []
+        for line in lines:
+            rec = json.loads(line)
+            if rec["kind"] == "verdict":
+                rec["ok"] = not rec["ok"]  # forge the verdict
+            doctored.append(json.dumps(rec))
+        with open(path, "w") as fh:
+            fh.write("\n".join(doctored) + "\n")
+        replay = replay_journal(path)
+        assert len(replay.recheck_mismatches) == 1
+        assert "MISMATCH" in replay.report()

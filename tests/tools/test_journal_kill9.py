@@ -1,0 +1,125 @@
+"""The acceptance scenario: ``kill -9`` a blocked run, replay its journal.
+
+A child process starts a journalled run whose root blocks joining a
+task that will never finish.  The ``block`` record is critical — the
+journal flushes it before the thread sleeps — so once it is visible in
+the file the parent can SIGKILL the child at the worst possible moment
+and the journal still names the exact edge the process died waiting on.
+``replay_journal`` must reconstruct that blocked-edge set (and tolerate
+whatever torn tail the kill produced).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.tools.journal import read_journal
+from repro.tools.replay import replay_journal
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src")
+
+# The child: root forks a task that waits forever, then joins it.  The
+# extra leaf fork gives the journal some buffered (non-critical) records
+# so the kill also exercises the torn/unflushed-tail path.
+CHILD = """
+import sys, threading
+sys.path.insert(0, {src!r})
+from repro.runtime.threaded import TaskRuntime
+
+rt = TaskRuntime(policy="TJ-SP", journal={path!r}, watchdog=False)
+
+def main():
+    rt.fork(lambda: 7).join()          # one completed join for contrast
+    never = threading.Event()
+    stuck = rt.fork(never.wait)        # never finishes
+    stuck.join()                       # root blocks here, forever
+
+rt.run(main)
+"""
+
+
+def _wait_for_durable_block(path, proc, timeout=20.0):
+    """Poll the journal until a ``block`` record is visible on disk."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"child exited early (rc={proc.returncode}) instead of blocking"
+            )
+        if os.path.exists(path):
+            with open(path) as fh:
+                for line in fh.read().split("\n"):
+                    if '"kind":"block"' in line:
+                        return json.loads(line)
+        time.sleep(0.01)
+    raise AssertionError("no durable block record appeared before the deadline")
+
+
+@pytest.fixture
+def killed_journal(tmp_path):
+    """Run the child to its blocked state, SIGKILL it, return the path."""
+    path = str(tmp_path / "killed.jsonl")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD.format(src=SRC, path=path)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        block = _wait_for_durable_block(path, proc)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait(timeout=10)
+    assert proc.returncode == -signal.SIGKILL
+    return path, block
+
+
+def test_replay_reconstructs_the_exact_blocked_edge_set(killed_journal):
+    path, block = killed_journal
+    replay = replay_journal(path)
+    # the exact edge the process died sleeping on — and nothing else
+    assert replay.died_blocked
+    assert replay.blocked_at_death == [(block["waiter"], block["joinee"])]
+    # the completed join is NOT in the death set: its unblock/join were
+    # durable (or it never blocked at all)
+    assert replay.forks == 2
+    assert replay.quarantine is None
+    assert replay.recheck_mismatches == []
+    report = replay.report()
+    assert "blocked at death:" in report
+    assert f"{block['waiter']} was waiting on {block['joinee']}" in report
+
+
+def test_killed_journal_reads_without_corruption_errors(killed_journal):
+    path, _ = killed_journal
+    result = read_journal(path)  # may or may not have a torn tail
+    kinds = [r["kind"] for r in result.records]
+    assert kinds[0] == "start"
+    assert "block" in kinds
+    # seq density held on everything that reached the disk
+    assert [r["seq"] for r in result.records] == list(range(len(result.records)))
+
+
+def test_journal_replay_cli_post_mortem(killed_journal):
+    """The ``repro journal-replay`` CLI prints the post-mortem and exits 0
+    (mismatches, not crash damage, are the failure condition)."""
+    path, block = killed_journal
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.tools.cli", "journal-replay", path],
+        env={**os.environ, "PYTHONPATH": SRC},
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "blocked at death:" in proc.stdout
+    assert f"{block['waiter']} was waiting on {block['joinee']}" in proc.stdout

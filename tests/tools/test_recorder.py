@@ -24,6 +24,34 @@ class TestRecorderUnit:
         joins = [x for x in rec.snapshot() if isinstance(x, Join)]
         assert joins == [Join("t0", "t1"), Join("t1", "t0")]
 
+    def test_records_join_when_inner_policy_raises(self):
+        """A crashing inner policy still leaves the attempt in the trace,
+        tagged denied — an exception is 'no verdict reached', and an
+        offline reader must never mistake it for a permit."""
+
+        class Exploding(TJSpawnPaths):
+            def permits(self, joiner, joinee):
+                raise ZeroDivisionError("synthetic policy bug")
+
+        rec = TraceRecordingPolicy(Exploding())
+        root = rec.add_child(None)
+        a = rec.add_child(root)
+        try:
+            rec.permits(root, a)
+        except ZeroDivisionError:
+            pass
+        else:  # pragma: no cover - the recorder must re-raise
+            raise AssertionError("recorder swallowed the policy bug")
+        joins = [x for x in rec.snapshot() if isinstance(x, Join)]
+        assert joins == [Join("t0", "t1")]
+        assert joins[0].permitted is False
+
+    def test_join_permitted_tag_does_not_affect_equality(self):
+        """`permitted` is diagnostic metadata: traces recorded online
+        compare equal to offline-built ones that never saw verdicts."""
+        assert Join("t0", "t1", permitted=False) == Join("t0", "t1")
+        assert Join("t0", "t1", permitted=True) == Join("t0", "t1", permitted=False)
+
     def test_delegation(self):
         inner = TJSpawnPaths()
         rec = TraceRecordingPolicy(inner)
