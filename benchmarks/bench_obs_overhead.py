@@ -1,0 +1,187 @@
+"""Experiment E8 — telemetry overhead gates.
+
+Runs the observability-overhead instrument from
+:mod:`repro.analysis.runtime_overhead`: the fork-chain and join-heavy
+microshapes under three interleaved telemetry arms — ``off`` (no session
+active), ``metrics`` (counters + histograms, no tracer), and ``full``
+(metrics + span tracing) — and *asserts* the costs the telemetry
+subsystem claims:
+
+* metrics-only telemetry costs at most 1.05x the disabled baseline
+  (median times, worst shape) — counters are per-thread sharded and
+  histograms are one ``bisect`` + two adds, so breaching this means a
+  lock or allocation crept onto the fork/join hot path;
+* full telemetry (metrics + ring-buffer tracing) costs at most 1.25x —
+  spans add contextvar set/reset plus one deque append per event;
+* telemetry never changes program results (checked inside the runner).
+
+The complementary *qualitative* claim — disabled telemetry allocates
+nothing at all on the hot path — is pinned by the ``tracemalloc`` test
+in ``tests/obs/test_disabled_overhead.py``, not by a timing ratio.
+
+Results are persisted into ``BENCH_runtime.json`` (schema v3's ``obs``
+block): when the file already holds a run of the full suite the obs
+block is merged into it, otherwise a minimal file carrying only the obs
+instrument is written.  Running this file directly (``python
+benchmarks/bench_obs_overhead.py --smoke``) is what the ``obs-smoke``
+CI job does.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # script mode: make `repro` importable
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.analysis.io import load_runtime, save_runtime
+from repro.analysis.runtime_overhead import (
+    OBS_MODES,
+    OBS_PARAMS,
+    SMOKE_OBS_PARAMS,
+    RuntimeOverheadResult,
+    obs_overhead_factor,
+    render_runtime_table,
+    run_obs_suite,
+)
+
+#: metrics-only telemetry vs disabled, median times, worst shape
+OBS_OFF_GATE = 1.05
+
+#: full telemetry (metrics + tracing) vs disabled
+OBS_ON_GATE = 1.25
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_runtime.json"
+)
+
+
+def persist_obs(obs, obs_params, path: str = OUTPUT) -> RuntimeOverheadResult:
+    """Merge the obs measurements into *path* (create it if needed).
+
+    An existing ``BENCH_runtime.json`` from the full suite keeps all its
+    other instruments; a missing or unreadable file is replaced by a
+    minimal result carrying only the obs block (the loader and renderer
+    both tolerate the empty join-chain/overhead sections).
+    """
+    result = None
+    if os.path.exists(path):
+        try:
+            result = load_runtime(path)
+        except (ValueError, KeyError, OSError):
+            result = None  # unreadable or pre-v1: start fresh
+    if result is None:
+        result = RuntimeOverheadResult(
+            join_chain={},
+            reports=[],
+            join_chain_params={},
+            overhead_params={},
+        )
+    result.obs = obs
+    result.obs_params = {k: dict(v) for k, v in obs_params.items()}
+    save_runtime(result, path)
+    return result
+
+
+@pytest.fixture(scope="module")
+def suite():
+    t0 = time.perf_counter()
+    obs = run_obs_suite(params=OBS_PARAMS, repetitions=7, warmup=1)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 120.0, f"obs suite must stay brisk (took {elapsed:.1f}s)"
+    return obs
+
+
+def test_telemetry_off_gate(suite):
+    """Metrics-only telemetry stays within 1.05x of disabled (medians)."""
+    for shape in suite:
+        factor = obs_overhead_factor(suite, shape, "metrics")
+        assert factor <= OBS_OFF_GATE, (
+            f"metrics telemetry overhead regressed to {factor:.3f}x on "
+            f"{shape} (gate: {OBS_OFF_GATE}x over disabled)"
+        )
+
+
+def test_telemetry_on_gate(suite):
+    """Full telemetry stays within 1.25x of disabled (medians)."""
+    for shape in suite:
+        factor = obs_overhead_factor(suite, shape, "full")
+        assert factor <= OBS_ON_GATE, (
+            f"full telemetry overhead regressed to {factor:.3f}x on "
+            f"{shape} (gate: {OBS_ON_GATE}x over disabled)"
+        )
+
+
+def test_all_arms_measured(suite):
+    for shape, arms in suite.items():
+        assert set(arms) == set(OBS_MODES)
+        for m in arms.values():
+            assert m.times, f"{shape}/{m.mode} collected no samples"
+            assert all(t > 0 for t in m.times)
+
+
+def test_persisted_into_bench_runtime(suite, tmp_path):
+    """The obs block survives a save/load round trip, standalone or merged."""
+    path = str(tmp_path / "BENCH_runtime.json")
+    result = persist_obs(suite, OBS_PARAMS, path)
+    loaded = load_runtime(path)
+    assert set(loaded.obs) == set(suite)
+    for shape in suite:
+        for mode in OBS_MODES:
+            assert loaded.obs[shape][mode].times == suite[shape][mode].times
+    assert loaded.telemetry_off_overhead == pytest.approx(
+        result.telemetry_off_overhead
+    )
+    assert loaded.telemetry_on_overhead == pytest.approx(result.telemetry_on_overhead)
+    # a minimal (obs-only) file still renders
+    assert "telemetry overhead" in render_runtime_table(loaded)
+    # and merging into it again preserves the obs params
+    again = persist_obs(suite, OBS_PARAMS, path)
+    assert again.obs_params == {k: dict(v) for k, v in OBS_PARAMS.items()}
+
+
+def test_smoke_suite_runs_fast():
+    """The CI smoke configuration completes quickly."""
+    t0 = time.perf_counter()
+    obs = run_obs_suite(params=SMOKE_OBS_PARAMS, repetitions=1, warmup=0)
+    assert time.perf_counter() - t0 < 30.0
+    for arms in obs.values():
+        for m in arms.values():
+            assert m.times
+
+
+def _main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    params = SMOKE_OBS_PARAMS if smoke else OBS_PARAMS
+    reps = 7 if smoke else 9
+    obs = run_obs_suite(params=params, repetitions=reps, warmup=1)
+    result = persist_obs(obs, params)
+    print(render_runtime_table(result))
+    print(f"raw samples merged into {OUTPUT}")
+    status = 0
+    for shape in obs:
+        off_factor = obs_overhead_factor(obs, shape, "metrics")
+        on_factor = obs_overhead_factor(obs, shape, "full")
+        if off_factor > OBS_OFF_GATE:
+            print(
+                f"REGRESSION: metrics telemetry {off_factor:.3f}x on {shape} "
+                f"(gate: {OBS_OFF_GATE}x)"
+            )
+            status = 1
+        if on_factor > OBS_ON_GATE:
+            print(
+                f"REGRESSION: full telemetry {on_factor:.3f}x on {shape} "
+                f"(gate: {OBS_ON_GATE}x)"
+            )
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

@@ -30,9 +30,11 @@ __all__ = [
 
 _SCHEMA_VERSION = 1
 _HOTPATH_SCHEMA_VERSION = 1
-#: v2 added the journal-overhead microshape block (absent in v1 files,
-#: which still load — the journal fields default to unmeasured)
-_RUNTIME_SCHEMA_VERSION = 2
+#: v2 added the journal-overhead microshape block; v3 the telemetry
+#: ("obs") block.  Both are optional on load — older files still load
+#: with the missing instruments defaulting to unmeasured.
+_RUNTIME_SCHEMA_VERSION = 3
+_RUNTIME_SCHEMAS = (1, 2, 3)
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -205,6 +207,15 @@ def runtime_to_json(result) -> str:
                 for m in result.journal.values()
             ],
         }
+    if result.obs is not None:
+        payload["obs"] = {
+            "params": {k: dict(v) for k, v in result.obs_params.items()},
+            "measurements": [
+                {"shape": m.shape, "mode": m.mode, "times": m.times}
+                for arms in result.obs.values()
+                for m in arms.values()
+            ],
+        }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -213,11 +224,12 @@ def runtime_from_json(text: str):
     from .runtime_overhead import (
         JoinChainMeasurement,
         JournalOverheadMeasurement,
+        ObsOverheadMeasurement,
         RuntimeOverheadResult,
     )
 
     payload = json.loads(text)
-    if payload.get("schema") not in (1, _RUNTIME_SCHEMA_VERSION):
+    if payload.get("schema") not in _RUNTIME_SCHEMAS:
         raise ValueError(f"unsupported runtime schema {payload.get('schema')!r}")
     chain = {
         m["mode"]: JoinChainMeasurement(
@@ -249,6 +261,13 @@ def runtime_from_json(text: str):
             )
             for m in payload["journal"]["measurements"]
         }
+    obs = None
+    if "obs" in payload:
+        obs = {}
+        for m in payload["obs"]["measurements"]:
+            obs.setdefault(m["shape"], {})[m["mode"]] = ObsOverheadMeasurement(
+                shape=m["shape"], mode=m["mode"], times=m["times"]
+            )
     return RuntimeOverheadResult(
         join_chain=chain,
         reports=reports,
@@ -256,6 +275,8 @@ def runtime_from_json(text: str):
         overhead_params=payload["overhead"].get("params", {}),
         journal=journal,
         journal_params=payload.get("journal", {}).get("params", {}),
+        obs=obs,
+        obs_params=payload.get("obs", {}).get("params", {}),
     )
 
 

@@ -39,6 +39,17 @@ real runtimes, with the supervision layer in the loop.  Two instruments:
   bound so runtime-layer regressions fail PRs even when the verifier
   microbenchmarks stay flat.
 
+* **telemetry overhead** — the fork-chain and a join-heavy fan shape run
+  under three interleaved telemetry arms: ``off`` (no session active —
+  every instrumentation site is one ``is None`` test), ``metrics``
+  (counters + histograms, no tracer), and ``full`` (metrics + span
+  tracing into the ring buffer).  Gates: ``metrics``/``off`` median
+  factor ≤ 1.05× and ``full``/``off`` ≤ 1.25× on every shape
+  (``benchmarks/bench_obs_overhead.py``).  Arms interleave per
+  repetition for the same drift-cancellation reason as the journal
+  instrument; the qualitative "off is free" claim is separately pinned
+  by the tracemalloc test in ``tests/obs/``.
+
 Results serialise to ``BENCH_runtime.json`` via :mod:`repro.analysis.io`;
 ``benchmarks/bench_runtime_overhead.py`` asserts the gates and
 ``python -m repro.tools.cli bench-runtime`` produces the same file from
@@ -68,8 +79,12 @@ __all__ = [
     "SMOKE_JOURNAL_PARAMS",
     "OVERHEAD_PARAMS",
     "SMOKE_OVERHEAD_PARAMS",
+    "OBS_MODES",
+    "OBS_PARAMS",
+    "SMOKE_OBS_PARAMS",
     "JoinChainMeasurement",
     "JournalOverheadMeasurement",
+    "ObsOverheadMeasurement",
     "RuntimeOverheadResult",
     "wait_protocol",
     "measure_join_chain",
@@ -78,6 +93,8 @@ __all__ = [
     "measure_journal_mode",
     "run_journal_suite",
     "journal_overhead_factor",
+    "run_obs_suite",
+    "obs_overhead_factor",
     "run_overhead_suite",
     "best_time",
     "overhead_factor",
@@ -124,6 +141,26 @@ OVERHEAD_PARAMS: dict[str, dict[str, int]] = {
 SMOKE_OVERHEAD_PARAMS: dict[str, dict[str, int]] = {
     "Series": {"coefficients": 160, "samples": 40},
     "NQueens": {"n": 7, "cutoff": 3},
+}
+
+#: the three telemetry arms of the observability-overhead instrument
+OBS_MODES = ("off", "metrics", "full")
+
+#: telemetry microshapes.  The fork chain carries the same leaf sleep as
+#: the journal instrument (every level blocks, so every level pays the
+#: full instrumentation complement — fork/check histograms plus the
+#: blocked-wait path — against a realistically-blocking program); the
+#: join-heavy fan is the zero-work density shape (width x rounds noop
+#: forks, all joined — maximum fork/check events per unit work).
+OBS_PARAMS: dict[str, dict[str, float]] = {
+    "fork_chain": {"depth": 8, "leaf_sleep": 0.01},
+    "join_heavy": {"width": 16, "rounds": 4, "leaf_sleep": 0.002},
+}
+
+#: smaller shapes for CI smoke runs.
+SMOKE_OBS_PARAMS: dict[str, dict[str, float]] = {
+    "fork_chain": {"depth": 6, "leaf_sleep": 0.01},
+    "join_heavy": {"width": 8, "rounds": 3, "leaf_sleep": 0.004},
 }
 
 
@@ -383,6 +420,126 @@ def journal_overhead_factor(journal: dict[str, JournalOverheadMeasurement]) -> f
 
 
 # ----------------------------------------------------------------------
+# the telemetry-overhead microshapes
+# ----------------------------------------------------------------------
+@dataclass
+class ObsOverheadMeasurement:
+    """Timed repetitions of one shape under one telemetry arm."""
+
+    shape: str
+    mode: str
+    times: list[float] = field(default_factory=list)
+
+    @property
+    def best_time(self) -> float:
+        return min(self.times) if self.times else math.nan
+
+    @property
+    def median_time(self) -> float:
+        """The gate's estimator (see JournalOverheadMeasurement)."""
+        if not self.times:
+            return math.nan
+        ordered = sorted(self.times)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+    @property
+    def mean_time(self) -> float:
+        return sum(self.times) / len(self.times) if self.times else math.nan
+
+
+def _join_heavy_main(rt: TaskRuntime, width: int, rounds: int, leaf_sleep: float):
+    """Fan shape: each round forks *width* brief tasks and joins them all."""
+
+    def leaf() -> int:
+        if leaf_sleep:
+            time.sleep(leaf_sleep)
+        return 1
+
+    def main() -> int:
+        total = 0
+        for _ in range(rounds):
+            futures = [rt.fork(leaf) for _ in range(width)]
+            total += sum(f.join() for f in futures)
+        return total
+
+    return main
+
+
+def _time_obs_once(shape: str, shape_params: dict, mode: str) -> float:
+    """One timed, result-checked run of *shape* under telemetry arm *mode*.
+
+    Each run gets a *fresh* session (or none): components capture the
+    active session at construction, so reusing one across repetitions
+    would let ring-buffer/shard state accumulate across samples.
+    """
+    from .. import obs
+
+    session = None
+    if mode == "metrics":
+        session = obs.Telemetry(tracing=False)
+    elif mode == "full":
+        session = obs.Telemetry(tracing=True)
+    elif mode != "off":
+        raise ValueError(f"unknown obs mode {mode!r}; known: {OBS_MODES}")
+    with obs.using(session):
+        rt = TaskRuntime(policy="TJ-SP")
+        if shape == "fork_chain":
+            depth = int(shape_params["depth"])
+            main = _chain_main(rt, depth, float(shape_params["leaf_sleep"]))
+            expected = depth
+        elif shape == "join_heavy":
+            width = int(shape_params["width"])
+            rounds = int(shape_params["rounds"])
+            main = _join_heavy_main(
+                rt, width, rounds, float(shape_params.get("leaf_sleep", 0.0))
+            )
+            expected = width * rounds
+        else:
+            raise ValueError(f"unknown obs shape {shape!r}")
+        t0 = time.perf_counter()
+        result = rt.run(main)
+        elapsed = time.perf_counter() - t0
+    if result != expected:
+        raise RuntimeError(f"{shape} returned {result!r}, expected {expected}")
+    return elapsed
+
+
+def run_obs_suite(
+    *,
+    params: Optional[dict[str, dict[str, float]]] = None,
+    repetitions: int = 5,
+    warmup: int = 1,
+) -> dict[str, dict[str, ObsOverheadMeasurement]]:
+    """Both shapes under all three arms; shape -> mode -> measurement.
+
+    Arms interleave per repetition (off, metrics, full, off, ...) so the
+    gate ratios see the same machine-load drift on both sides.
+    """
+    p = params if params is not None else OBS_PARAMS
+    out = {
+        shape: {mode: ObsOverheadMeasurement(shape=shape, mode=mode) for mode in OBS_MODES}
+        for shape in p
+    }
+    for i in range(warmup + repetitions):
+        for shape, shape_params in p.items():
+            for mode in OBS_MODES:
+                elapsed = _time_obs_once(shape, shape_params, mode)
+                if i >= warmup:
+                    out[shape][mode].times.append(elapsed)
+    return out
+
+
+def obs_overhead_factor(
+    obs: dict[str, dict[str, ObsOverheadMeasurement]], shape: str, mode: str
+) -> float:
+    """Median-time factor of telemetry arm *mode* over ``off`` on *shape*."""
+    return obs[shape][mode].median_time / obs[shape]["off"].median_time
+
+
+# ----------------------------------------------------------------------
 # Table-2-style end-to-end overheads
 # ----------------------------------------------------------------------
 def run_overhead_suite(
@@ -442,6 +599,9 @@ class RuntimeOverheadResult:
     #: journal-off/on chain measurements; None in files from schema v1
     journal: Optional[dict[str, JournalOverheadMeasurement]] = None
     journal_params: dict[str, float] = field(default_factory=dict)
+    #: telemetry-arm measurements; None in files from schema v1/v2
+    obs: Optional[dict[str, dict[str, ObsOverheadMeasurement]]] = None
+    obs_params: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def join_speedup(self) -> float:
@@ -453,6 +613,27 @@ class RuntimeOverheadResult:
         if not self.journal:
             return math.nan
         return journal_overhead_factor(self.journal)
+
+    def obs_overhead(self, mode: str) -> float:
+        """Worst per-shape median factor of arm *mode* over ``off``.
+
+        The gate takes the max across shapes: a telemetry regression
+        that hits only one shape must still fail it.  NaN if the obs
+        instrument was not run.
+        """
+        if not self.obs:
+            return math.nan
+        return max(obs_overhead_factor(self.obs, shape, mode) for shape in self.obs)
+
+    @property
+    def telemetry_off_overhead(self) -> float:
+        """Metrics-only over disabled — the ≤1.05× gate's number."""
+        return self.obs_overhead("metrics")
+
+    @property
+    def telemetry_on_overhead(self) -> float:
+        """Full telemetry over disabled — the ≤1.25× gate's number."""
+        return self.obs_overhead("full")
 
     def overhead(self, policy: str) -> float:
         return geomean_overhead(self.reports, policy)
@@ -478,6 +659,7 @@ def run_runtime_suite(
     chain_params = SMOKE_JOIN_CHAIN_PARAMS if smoke else JOIN_CHAIN_PARAMS
     journal_params = SMOKE_JOURNAL_PARAMS if smoke else JOURNAL_PARAMS
     overhead_params = SMOKE_OVERHEAD_PARAMS if smoke else OVERHEAD_PARAMS
+    obs_params = SMOKE_OBS_PARAMS if smoke else OBS_PARAMS
     return RuntimeOverheadResult(
         join_chain=run_join_chain_suite(
             params=chain_params, repetitions=repetitions, warmup=warmup
@@ -496,25 +678,36 @@ def run_runtime_suite(
             params=journal_params, repetitions=max(repetitions, 5), warmup=warmup
         ),
         journal_params=dict(journal_params),
+        obs=run_obs_suite(
+            params=obs_params, repetitions=max(repetitions, 5), warmup=warmup
+        ),
+        obs_params={k: dict(v) for k, v in obs_params.items()},
     )
 
 
 def render_runtime_table(result: RuntimeOverheadResult) -> str:
-    """ASCII summary: microshape times, then the overhead-factor grid."""
-    lines = [
-        f"join-latency microshape (depth={result.join_chain_params['depth']}, "
-        f"leaf_sleep={result.join_chain_params['leaf_sleep'] * 1e3:.0f}ms)",
-        f"{'protocol':<10} {'best ms':>9} {'mean ms':>9} {'unwind ms':>10}",
-        "-" * 42,
-    ]
-    for mode in WAIT_MODES:
-        m = result.join_chain[mode]
-        lines.append(
-            f"{mode:<10} {m.best_time * 1e3:>9.2f} {m.mean_time * 1e3:>9.2f} "
-            f"{m.unwind_overhead * 1e3:>10.2f}"
-        )
-    lines.append(f"event-driven join speedup: {result.join_speedup:.2f}x")
-    lines.append("")
+    """ASCII summary: microshape times, then the overhead-factor grid.
+
+    Every section renders only when its instrument ran — a file holding
+    just the telemetry block (``bench_obs_overhead.py`` standalone mode)
+    still renders.
+    """
+    lines: list[str] = []
+    if result.join_chain:
+        lines += [
+            f"join-latency microshape (depth={result.join_chain_params['depth']}, "
+            f"leaf_sleep={result.join_chain_params['leaf_sleep'] * 1e3:.0f}ms)",
+            f"{'protocol':<10} {'best ms':>9} {'mean ms':>9} {'unwind ms':>10}",
+            "-" * 42,
+        ]
+        for mode in WAIT_MODES:
+            m = result.join_chain[mode]
+            lines.append(
+                f"{mode:<10} {m.best_time * 1e3:>9.2f} {m.mean_time * 1e3:>9.2f} "
+                f"{m.unwind_overhead * 1e3:>10.2f}"
+            )
+        lines.append(f"event-driven join speedup: {result.join_speedup:.2f}x")
+        lines.append("")
     if result.journal:
         on = result.journal["on"]
         lines.append(
@@ -533,16 +726,35 @@ def render_runtime_table(result: RuntimeOverheadResult) -> str:
             )
         lines.append(f"journal-on overhead factor: {result.journal_overhead:.3f}x")
         lines.append("")
-    policies = result.policies
-    header = f"{'benchmark':<16} " + " ".join(f"{p:>8}" for p in policies)
-    lines.append("end-to-end overhead factors (best times, vs policy=None)")
-    lines.append(header)
-    lines.append("-" * len(header))
-    for report in result.reports:
-        cells = " ".join(
-            f"{overhead_factor(report, p):>8.3f}" for p in policies
+    if result.obs:
+        lines.append("telemetry overhead (median times per arm)")
+        lines.append(
+            f"{'shape':<12} " + " ".join(f"{mode + ' ms':>11}" for mode in OBS_MODES)
         )
-        lines.append(f"{report.name:<16} {cells}")
-    geo = " ".join(f"{result.overhead(p):>8.3f}" for p in policies)
-    lines.append(f"{'geomean':<16} {geo}")
+        lines.append("-" * (12 + 12 * len(OBS_MODES)))
+        for shape in result.obs:
+            cells = " ".join(
+                f"{result.obs[shape][mode].median_time * 1e3:>11.3f}"
+                for mode in OBS_MODES
+            )
+            lines.append(f"{shape:<12} {cells}")
+        lines.append(
+            f"telemetry overhead factors: metrics "
+            f"{result.telemetry_off_overhead:.3f}x, "
+            f"full {result.telemetry_on_overhead:.3f}x (worst shape)"
+        )
+        lines.append("")
+    if result.reports:
+        policies = result.policies
+        header = f"{'benchmark':<16} " + " ".join(f"{p:>8}" for p in policies)
+        lines.append("end-to-end overhead factors (best times, vs policy=None)")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for report in result.reports:
+            cells = " ".join(
+                f"{overhead_factor(report, p):>8.3f}" for p in policies
+            )
+            lines.append(f"{report.name:<16} {cells}")
+        geo = " ".join(f"{result.overhead(p):>8.3f}" for p in policies)
+        lines.append(f"{'geomean':<16} {geo}")
     return "\n".join(lines)

@@ -15,11 +15,13 @@ close a cycle (a classic TOCTOU race).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from time import perf_counter_ns
 from typing import Hashable
 
 from .graph import WaitsForGraph
 from ..errors import DeadlockAvoidedError
+from ..obs import active as _active_telemetry
 
 __all__ = ["ArmusDetector", "ArmusStats"]
 
@@ -35,6 +37,10 @@ class ArmusStats:
     #: full cycle checks executed (the expensive operation Table 2 pays for)
     cycle_checks: int = 0
 
+    def snapshot(self) -> dict:
+        """The uniform stats-source protocol: a flat field dict."""
+        return asdict(self)
+
 
 class ArmusDetector:
     """Waits-for-graph cycle detection with atomic blocking registration."""
@@ -42,6 +48,10 @@ class ArmusDetector:
     def __init__(self) -> None:
         self.graph = WaitsForGraph()
         self.stats = ArmusStats()
+        obs = _active_telemetry()
+        self._obs = obs
+        if obs is not None:
+            obs.registry.add_source("armus", self.stats.snapshot)
         #: number of currently blocked edges that a policy had flagged.
         #: While this is zero, every blocked edge is policy-consistent and
         #: the policy's soundness theorem guarantees acyclicity, so checks
@@ -70,8 +80,13 @@ class ArmusDetector:
         """
         with self._lock:
             if flagged or force_check or self._live_forced:
+                obs = self._obs
+                if obs is not None:
+                    t0 = perf_counter_ns()
                 self.stats.cycle_checks += 1
                 path = self.graph._find_path(joinee, waiter)
+                if obs is not None:
+                    obs.cycle_check_ns.observe(perf_counter_ns() - t0)
                 if path is not None:
                     self.stats.deadlocks_avoided += 1
                     raise DeadlockAvoidedError(cycle=tuple(path) + (joinee,))

@@ -29,10 +29,12 @@ of scope.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from time import perf_counter_ns
 from typing import Hashable, Iterable, Literal, Optional
 
 from ..errors import DeadlockAvoidedError
+from ..obs import active as _active_telemetry
 
 __all__ = ["GeneralizedDetector", "GeneralizedStats", "GraphModel"]
 
@@ -45,6 +47,10 @@ class GeneralizedStats:
     deadlocks_avoided: int = 0
     wfg_checks: int = 0
     sg_checks: int = 0
+
+    def snapshot(self) -> dict:
+        """The uniform stats-source protocol: a flat field dict."""
+        return asdict(self)
 
 
 class GeneralizedDetector:
@@ -61,6 +67,10 @@ class GeneralizedDetector:
             raise ValueError(f"unknown graph model {model!r}")
         self.model = model
         self.stats = GeneralizedStats()
+        obs = _active_telemetry()
+        self._obs = obs
+        if obs is not None:
+            obs.registry.add_source("generalized", self.stats.snapshot)
         self._lock = threading.Lock()
         #: task -> set of events the task is blocked waiting for
         self._waits: dict[Hashable, set[Hashable]] = {}
@@ -118,8 +128,13 @@ class GeneralizedDetector:
         new edge would close an alternating wait/impede cycle.
         """
         with self._lock:
+            obs = self._obs
+            if obs is not None:
+                t0 = perf_counter_ns()
             self.stats.cycle_checks += 1
             cycle = self._find_cycle_with(task, event)
+            if obs is not None:
+                obs.cycle_check_ns.observe(perf_counter_ns() - t0)
             if cycle is not None:
                 self.stats.deadlocks_avoided += 1
                 raise DeadlockAvoidedError(cycle=tuple(cycle))

@@ -16,13 +16,19 @@ the fork/join protocol the runtimes drive:
 
 It also counts events, which the evaluation harness and the precision
 ablation read off.  The counters are *sharded per thread*: each thread
-owns a private :class:`_StatsShard` it increments without any lock (the
-shard is single-writer, so the counts stay exact), and the public
-:attr:`stats` property aggregates all shards lazily into a
-:class:`VerifierStats` snapshot on read.  The seed implementation took a
-global ``threading.Lock`` around every event — measurable overhead on
-the hot path that bought nothing, since reads are rare and writes never
-contend within a shard.
+owns a private cell it increments without any lock (the cell is
+single-writer, so the counts stay exact), and the public :attr:`stats`
+property aggregates all cells lazily into a :class:`VerifierStats`
+snapshot on read.  The seed implementation took a global
+``threading.Lock`` around every event — measurable overhead on the hot
+path that bought nothing, since reads are rare and writes never contend
+within a cell.  The sharding itself now lives in
+:class:`repro.obs.metrics.CounterGroup` (dead-thread cells fold into a
+retired accumulator there, exactly as before), so the verifier, the
+runtimes, and the telemetry registry share one stats mechanism; when a
+:class:`repro.obs.Telemetry` session is active at construction time the
+verifier additionally registers its counters as a registry source and
+records per-policy join-check latency histograms.
 
 Policy quarantine (graceful degradation)
 ----------------------------------------
@@ -57,11 +63,14 @@ from __future__ import annotations
 import threading
 import traceback
 import warnings
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from time import perf_counter_ns
 from typing import Optional, Sequence
 
 from .policy import JoinPolicy
 from ..errors import PolicyQuarantinedError, PolicyQuarantineWarning, PolicyViolationError
+from ..obs import active as _active_telemetry
+from ..obs.metrics import CounterGroup
 
 __all__ = ["Verifier", "VerifierStats", "FAIL_MODES"]
 
@@ -86,19 +95,13 @@ class VerifierStats:
     def rejection_rate(self) -> float:
         return self.joins_rejected / self.joins_checked if self.joins_checked else 0.0
 
+    def snapshot(self) -> dict:
+        """The uniform stats-source protocol: a flat field dict."""
+        return asdict(self)
 
-class _StatsShard:
-    """One thread's private counters; written lock-free by its owner."""
 
-    __slots__ = ("forks", "joins_checked", "joins_rejected", "policy_faults", "owner")
-
-    def __init__(self, owner: "threading.Thread | None" = None) -> None:
-        self.forks = 0
-        self.joins_checked = 0
-        self.joins_rejected = 0
-        self.policy_faults = 0
-        #: the owning thread, or None for the retired-counts accumulator
-        self.owner = owner
+#: the counter fields every verifier shards per thread
+_EVENT_FIELDS = ("forks", "joins_checked", "joins_rejected", "policy_faults")
 
 
 class _FallbackVertex:
@@ -151,16 +154,24 @@ class Verifier:
         self.journal = journal
         self._quarantine: Optional[PolicyQuarantinedError] = None
         self._quarantine_lock = threading.Lock()
-        # Sharded statistics: one shard per thread, registered once under
-        # a lock, then incremented lock-free (single-writer per shard).
-        # Shards of dead threads are folded into `_retired` (a thread's
-        # writes all happen-before its death, so the fold is exact) —
-        # without the fold, thread-per-task runtimes would leak one shard
-        # per task forever.
-        self._shards: list[_StatsShard] = []
-        self._retired = _StatsShard()
-        self._shards_lock = threading.Lock()
-        self._local = threading.local()
+        # Sharded statistics: one cell per thread, registered once under
+        # a lock, then incremented lock-free (single-writer per cell).
+        # Cells of dead threads are folded into a retired accumulator (a
+        # thread's writes all happen-before its death, so the fold is
+        # exact) — without the fold, thread-per-task runtimes would leak
+        # one cell per task forever.  The mechanism is the registry's
+        # CounterGroup, so telemetry and `stats` read the same counters.
+        self._events = CounterGroup(_EVENT_FIELDS)
+        self._shard = self._events.cell  # bound method: the hot-path handle
+        obs = _active_telemetry()
+        self._obs = obs
+        if obs is not None:
+            obs.registry.add_source("verifier", self._events.totals)
+            self._check_hist = obs.registry.histogram(
+                "repro_verifier_join_check_ns", labels={"policy": policy.name}
+            )
+        else:
+            self._check_hist = None
 
     @property
     def name(self) -> str:
@@ -169,60 +180,22 @@ class Verifier:
     # ------------------------------------------------------------------
     # sharded statistics
     # ------------------------------------------------------------------
-    def _fold_dead_shards(self) -> None:
-        """Fold dead threads' shards into the retired counters.
-
-        Caller holds ``_shards_lock``.  A dead thread can never write
-        its shard again, so moving the counts is race-free and exact.
-        """
-        live: list[_StatsShard] = []
-        retired = self._retired
-        for shard in self._shards:
-            if shard.owner is not None and shard.owner.is_alive():
-                live.append(shard)
-            else:
-                retired.forks += shard.forks
-                retired.joins_checked += shard.joins_checked
-                retired.joins_rejected += shard.joins_rejected
-                retired.policy_faults += shard.policy_faults
-        self._shards = live
-
-    def _shard(self) -> _StatsShard:
-        shard = getattr(self._local, "shard", None)
-        if shard is None:
-            shard = _StatsShard(threading.current_thread())
-            with self._shards_lock:
-                self._fold_dead_shards()
-                self._shards.append(shard)
-            self._local.shard = shard
-        return shard
+    @property
+    def _shards(self) -> list:
+        """The live per-thread counter cells (bounded by live threads)."""
+        return self._events._cells
 
     @property
     def stats(self) -> VerifierStats:
-        """Aggregate retired counts and every live shard into one exact
+        """Aggregate retired counts and every live cell into one exact
         snapshot.
 
-        Threads die, their counts do not: a dead thread's shard is
-        folded into the retired accumulator (here and at shard
+        Threads die, their counts do not: a dead thread's cell is folded
+        into the retired accumulator (on snapshot and at cell
         registration), so the sum is exactly the number of events ever
-        recorded while the shard list stays bounded by live threads.
+        recorded while the cell list stays bounded by live threads.
         """
-        with self._shards_lock:
-            self._fold_dead_shards()
-            shards = list(self._shards)
-            retired = self._retired
-            snap = VerifierStats(
-                forks=retired.forks,
-                joins_checked=retired.joins_checked,
-                joins_rejected=retired.joins_rejected,
-                policy_faults=retired.policy_faults,
-            )
-        for s in shards:
-            snap.forks += s.forks
-            snap.joins_checked += s.joins_checked
-            snap.joins_rejected += s.joins_rejected
-            snap.policy_faults += s.policy_faults
-        return snap
+        return VerifierStats(**self._events.totals())
 
     # ------------------------------------------------------------------
     # the quarantine fault boundary
@@ -262,6 +235,15 @@ class Verifier:
         if self.fail_mode == "raise":
             return None
         self._shard().policy_faults += 1
+        obs = self._obs
+        if obs is not None:
+            obs.quarantines.inc()
+            if obs.tracer is not None:
+                obs.tracer.instant(
+                    "quarantine",
+                    cat="verifier",
+                    args={"policy": self.policy.name, "site": site},
+                )
         with self._quarantine_lock:
             q = self._quarantine
             if q is None:
@@ -319,6 +301,9 @@ class Verifier:
     # ------------------------------------------------------------------
     def check_join(self, joiner: object, joinee: object) -> bool:
         """Is the join permitted?  Records the verdict in the stats."""
+        hist = self._check_hist
+        if hist is not None:
+            t0 = perf_counter_ns()
         if self._degraded():
             ok = True
         else:
@@ -334,6 +319,8 @@ class Verifier:
         shard.joins_checked += 1
         if not ok:
             shard.joins_rejected += 1
+        if hist is not None:
+            hist.observe(perf_counter_ns() - t0)
         if self.journal is not None:
             self.journal.log_verdict(joiner, joinee, ok)
         return ok
@@ -346,6 +333,9 @@ class Verifier:
         overhead.  Verdicts are returned in joinee order.
         """
         joinees = list(joinees)
+        hist = self._check_hist
+        if hist is not None:
+            t0 = perf_counter_ns()
         if self._degraded():
             verdicts = [True] * len(joinees)
         else:
@@ -360,6 +350,8 @@ class Verifier:
         shard = self._shard()
         shard.joins_checked += len(verdicts)
         shard.joins_rejected += verdicts.count(False)
+        if hist is not None:
+            hist.observe(perf_counter_ns() - t0)
         if self.journal is not None:
             for joinee, ok in zip(joinees, verdicts):
                 self.journal.log_verdict(joiner, joinee, ok)

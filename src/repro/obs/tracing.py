@@ -1,0 +1,182 @@
+"""Span-based task-lifecycle tracing with a ring-buffer collector.
+
+Spans cover the lifecycle events the runtime stack actually has —
+``fork``, task ``run``, ``block``/``wake`` around supervised joins,
+``verdict``/``quarantine``/``retry`` from the verifier — and are
+collected into a bounded ring buffer (a ``deque(maxlen=...)``; appends
+are GIL-atomic, old events fall off the head under pressure).  The
+ambient span is carried via :mod:`contextvars`, so nested spans record
+their parent id and the exporter can reconstruct causality even across
+``contextvars.copy_context`` boundaries.
+
+Events store raw ``perf_counter_ns`` timestamps plus the OS thread id;
+:meth:`Tracer.to_chrome_trace` converts them to the Chrome trace event
+format (``"X"`` complete events, ``"i"`` instants, ``"M"`` thread-name
+metadata) that ``ui.perfetto.dev`` and ``chrome://tracing`` both open
+directly.  Perfetto nests same-thread ``X`` events by duration
+containment, which the block/run span timestamps guarantee.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from time import perf_counter_ns
+from typing import Optional
+
+__all__ = ["Tracer", "SpanCtx", "current_span"]
+
+#: the ambient span (innermost open span in this context), used to
+#: stamp ``parent`` ids on nested spans and instants.
+_span_var: ContextVar[Optional["SpanCtx"]] = ContextVar("repro_obs_span", default=None)
+
+_span_ids = itertools.count(1)
+
+
+class SpanCtx:
+    """The ambient identity of an open span (carried in contextvars)."""
+
+    __slots__ = ("id", "name")
+
+    def __init__(self, name: str):
+        self.id = next(_span_ids)
+        self.name = name
+
+
+def current_span() -> Optional[SpanCtx]:
+    """The innermost open span in the current context, if any."""
+    return _span_var.get()
+
+
+class Tracer:
+    """Bounded collector of trace events.
+
+    Events are tuples ``(ph, name, cat, ts_ns, dur_ns, tid, args)``
+    appended to a ``deque(maxlen=capacity)`` — the append is atomic
+    under the GIL, so the hot path takes no lock; when the buffer is
+    full the oldest events are dropped (``dropped_events`` estimates how
+    many).
+    """
+
+    def __init__(self, capacity: int = 65536):
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._t0 = perf_counter_ns()
+        self._pid = os.getpid()
+        self._tid_names: dict[int, str] = {}
+        self._appends = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped_events(self) -> int:
+        return max(0, self._appends - len(self._events))
+
+    def _note_thread(self) -> int:
+        tid = threading.get_ident()
+        if tid not in self._tid_names:
+            self._tid_names[tid] = threading.current_thread().name
+        return tid
+
+    # emission ----------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        t0_ns: int,
+        dur_ns: int,
+        cat: str = "task",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a finished span (``"X"`` complete event)."""
+        tid = self._note_thread()
+        self._appends += 1
+        self._events.append(("X", name, cat, t0_ns, dur_ns, tid, args))
+
+    def instant(self, name: str, cat: str = "event", args: Optional[dict] = None) -> None:
+        """Record a point-in-time event (``"i"`` instant)."""
+        tid = self._note_thread()
+        parent = _span_var.get()
+        if parent is not None:
+            args = dict(args) if args else {}
+            args.setdefault("parent", parent.id)
+        self._appends += 1
+        self._events.append(("i", name, cat, perf_counter_ns(), 0, tid, args))
+
+    def begin_span(self, name: str) -> tuple:
+        """Open a span explicitly; pair with :meth:`end_span`.
+
+        The explicit form exists for instrumentation sites that must not
+        allocate a context manager when telemetry is disabled — they
+        guard the begin/end pair behind an ``is None`` test instead.
+        Returns an opaque handle ``(ctx, reset_token, t0_ns)``.
+        """
+        ctx = SpanCtx(name)
+        token = _span_var.set(ctx)
+        return (ctx, token, perf_counter_ns())
+
+    def end_span(self, handle: tuple, cat: str = "task", args: Optional[dict] = None) -> None:
+        """Close a span opened with :meth:`begin_span` and emit it."""
+        ctx, token, t0 = handle
+        dur = perf_counter_ns() - t0
+        parent = token.old_value
+        _span_var.reset(token)
+        payload = dict(args) if args else {}
+        payload["span_id"] = ctx.id
+        if parent is not None and parent is not token.MISSING:
+            payload["parent"] = parent.id
+        self.complete(ctx.name, t0, dur, cat=cat, args=payload)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "task", **args):
+        """Open a span; on exit emit it as a complete event.
+
+        The span becomes the ambient span (contextvars) for its dynamic
+        extent, so nested spans and instants record ``parent`` links.
+        """
+        handle = self.begin_span(name)
+        try:
+            yield handle[0]
+        finally:
+            self.end_span(handle, cat=cat, args=dict(args) if args else None)
+
+    # export ------------------------------------------------------------
+    def snapshot(self) -> list:
+        """A stable copy of the buffered events (oldest first)."""
+        return list(self._events)
+
+    def to_chrome_trace(self) -> dict:
+        """Render buffered events as a Chrome trace / Perfetto JSON dict."""
+        events = []
+        for tid, tname in sorted(self._tid_names.items()):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": self._pid,
+                    "tid": tid,
+                    "args": {"name": tname},
+                }
+            )
+        t0 = self._t0
+        for ph, name, cat, ts, dur, tid, args in self._events:
+            ev = {
+                "ph": ph,
+                "name": name,
+                "cat": cat,
+                "ts": (ts - t0) / 1000.0,  # chrome trace wants microseconds
+                "pid": self._pid,
+                "tid": tid,
+            }
+            if ph == "X":
+                ev["dur"] = dur / 1000.0
+            elif ph == "i":
+                ev["s"] = "t"  # thread-scoped instant
+            if args:
+                ev["args"] = args
+            events.append(ev)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}

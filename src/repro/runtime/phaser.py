@@ -28,10 +28,12 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from time import perf_counter_ns
 from typing import Hashable, Optional
 
 from ..armus.generalized import GeneralizedDetector
 from ..errors import JoinTimeoutError, RuntimeStateError
+from ..obs import active as _active_telemetry
 from .context import require_current_task
 
 __all__ = ["Phaser"]
@@ -76,6 +78,19 @@ class Phaser:
         self.notifies = 0
         #: total OS-level waits returned across all ``wait`` calls
         self.wakeups = 0
+        obs = _active_telemetry()
+        self._obs = obs
+        if obs is not None:
+            obs.registry.add_source("phaser", self.metrics_snapshot)
+
+    def metrics_snapshot(self) -> dict:
+        """Uniform stats-source protocol for the notify/wakeup counters."""
+        with self._lock:
+            return {
+                "notifies": self.notifies,
+                "wakeups": self.wakeups,
+                "registered_parties": len(self._parties),
+            }
 
     # ------------------------------------------------------------------
     @property
@@ -181,6 +196,8 @@ class Phaser:
         deadline = None if timeout is None else time.monotonic() + timeout
         on_main = threading.current_thread() is threading.main_thread()
         self.detector.block(task, event)
+        obs = self._obs
+        t0 = perf_counter_ns() if obs is not None else 0
         try:
             while True:
                 with self._lock:
@@ -199,6 +216,17 @@ class Phaser:
                     self.wakeups += 1
         finally:
             self.detector.unblock(task, event)
+            if obs is not None:
+                dur = perf_counter_ns() - t0
+                obs.blocked_wait_ns.observe(dur)
+                if obs.tracer is not None:
+                    obs.tracer.complete(
+                        "phaser_wait",
+                        t0,
+                        dur,
+                        cat="phaser",
+                        args={"phaser": self.name, "phase": target},
+                    )
 
     def signal_and_wait(self, *, timeout: Optional[float] = None) -> int:
         """The classic barrier ``next``: arrive, then await everyone."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import threading
 from queue import Empty, SimpleQueue
+from time import perf_counter_ns
 from typing import Any, Callable, Optional, Union
 
 from .context import require_current_task, task_scope
@@ -144,6 +145,15 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         with self._lock:
             return self._compensations
 
+    def _metrics_snapshot(self) -> dict:
+        out = super()._metrics_snapshot()
+        with self._lock:
+            out["workers"] = self._worker_count
+            out["peak_workers"] = self._peak_workers
+            out["compensations"] = self._compensations
+            out["outstanding"] = self._outstanding
+        return out
+
     # ------------------------------------------------------------------
     # pool machinery
     # ------------------------------------------------------------------
@@ -178,7 +188,10 @@ class WorkSharingRuntime(SupervisedJoinMixin):
                     self._all_done.notify_all()
             return
         task.state = TaskState.RUNNING
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
         with task_scope(task):
+            handle = tracer.begin_span("run") if tracer is not None else None
             try:
                 value = fn(*args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - delivered at join
@@ -202,6 +215,9 @@ class WorkSharingRuntime(SupervisedJoinMixin):
             else:
                 task.state = TaskState.DONE
                 future._set_result(value)
+            finally:
+                if tracer is not None:
+                    tracer.end_span(handle, args={"task": task.name})
         with self._all_done:
             self._outstanding -= 1
             if self._outstanding == 0:
@@ -294,10 +310,17 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         vertex = self._verifier.on_init()
         root = TaskHandle(vertex, code=fn, name="root")
         root.state = TaskState.RUNNING
+        obs = self._obs
+        tracer = obs.tracer if obs is not None else None
         try:
             with task_scope(root):
-                result = fn(*args, **kwargs)
-                root.state = TaskState.DONE
+                handle = tracer.begin_span("run") if tracer is not None else None
+                try:
+                    result = fn(*args, **kwargs)
+                    root.state = TaskState.DONE
+                finally:
+                    if tracer is not None:
+                        tracer.end_span(handle, args={"task": root.name})
         except BaseException:
             root.state = TaskState.FAILED
             raise
@@ -321,6 +344,9 @@ class WorkSharingRuntime(SupervisedJoinMixin):
     ) -> Future:
         parent = require_current_task()
         parent.cancel_token.raise_if_cancelled(parent)
+        obs = self._obs
+        if obs is not None:
+            _t0 = perf_counter_ns()
         with self._lock:
             if self._shutdown:
                 raise RuntimeStateError("runtime already shut down")
@@ -341,6 +367,16 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         with self._all_done:
             self._outstanding += 1
         self._queue.put((task, future, fn, args, kwargs))
+        if obs is not None:
+            dur = perf_counter_ns() - _t0
+            obs.fork_ns.observe(dur)
+            if obs.tracer is not None:
+                obs.tracer.complete(
+                    "fork",
+                    _t0,
+                    dur,
+                    args={"child": task.name, "parent": parent.name},
+                )
         return future
 
     # join / join_batch / _join_one are provided by SupervisedJoinMixin.

@@ -70,8 +70,10 @@ from __future__ import annotations
 import threading
 import time
 import warnings
+from time import perf_counter_ns
 from typing import Callable, List, Optional, Sequence, TYPE_CHECKING, Union
 
+from ..obs import active as _active_telemetry
 from ..errors import (
     DeadlockAvoidedError,
     DeadlockDetectedError,
@@ -336,7 +338,7 @@ def wait_for_future(
     helper_tick: Optional[Callable[[], bool]] = None,
     max_tick: float = _MAX_TICK,
     main_tick: float = _MAIN_TICK,
-) -> None:
+) -> int:
     """The supervised blocked wait used by every blocking join.
 
     Sleeps on the record's wake event and re-checks, in priority order:
@@ -349,9 +351,11 @@ def wait_for_future(
     current pool state requires the wait to poll for such work (with
     ``_MIN_TICK``..``max_tick`` backoff).  The registry record is always
     removed on exit, so no supervision state outlives the wait.
+    Returns the number of OS-level wakeups the wait performed (telemetry
+    feeds this into the ``repro_runtime_wakeups_total`` counter).
     """
     if future._done:
-        return
+        return 0
     joinee = future.task
     record = BlockedJoin(joiner, joinee, future)
     if registry is not None:
@@ -373,7 +377,7 @@ def wait_for_future(
             if token.cancelled():
                 raise TaskCancelledError(joiner)
             if future._done:
-                return
+                return record.wakeups
             wait = None
             if deadline is not None:
                 remaining = deadline - time.monotonic()
@@ -410,7 +414,7 @@ def wait_for_future_polling(
     helper_tick: Optional[Callable[[], bool]] = None,
     max_tick: float = _MAX_TICK,
     main_tick: float = _MAIN_TICK,
-) -> None:
+) -> int:
     """The poll-loop wait protocol the event rewrite replaced, kept as
     the measured baseline.
 
@@ -425,11 +429,12 @@ def wait_for_future_polling(
     join-wakeup gate).  Not used by the runtimes.
     """
     if future._done:
-        return
+        return 0
     record = registry.register(joiner, future.task, future) if registry is not None else None
     if watchdog is not None:
         watchdog.ensure_running()
     tick = _MIN_TICK
+    wakeups = 0
     try:
         while True:
             if record is not None and record.exc is not None:
@@ -438,7 +443,7 @@ def wait_for_future_polling(
             if token.cancelled():
                 raise TaskCancelledError(joiner)
             if future._done:
-                return
+                return wakeups
             wait = tick
             if deadline is not None:
                 remaining = deadline - time.monotonic()
@@ -446,6 +451,7 @@ def wait_for_future_polling(
                     raise JoinTimeoutError(joiner, future.task, timeout_value)
                 wait = min(wait, remaining)
             time.sleep(wait)
+            wakeups += 1
             if record is not None:
                 record.wakeups += 1
             if helper is not None and helper():
@@ -554,6 +560,25 @@ class SupervisedJoinMixin:
         self._failed_futures: List["Future"] = []
         self._failed_lock = threading.Lock()
         self._tasks_retried_count = 0
+        # Telemetry is captured once, at construction: when a session is
+        # active the runtime registers itself (for the live `top` view)
+        # and its counters (the uniform snapshot-source protocol); when
+        # none is, every hot-path site below reduces to one `is None`.
+        obs = _active_telemetry()
+        self._obs = obs
+        if obs is not None:
+            obs.attach_runtime(self)
+            obs.registry.add_source("runtime", self._metrics_snapshot)
+
+    def _metrics_snapshot(self) -> dict:
+        """Uniform stats-source protocol; concrete runtimes extend it."""
+        return {
+            "tasks_retried": self._tasks_retried_count,
+            "blocked_joins": len(self._registry.snapshot()),
+            "deadlocks_detected": (
+                self._watchdog.deadlocks_detected if self._watchdog is not None else 0
+            ),
+        }
 
     # ------------------------------------------------------------------
     # introspection
@@ -685,6 +710,15 @@ class SupervisedJoinMixin:
         future._retry_attempt = attempt
         with self._failed_lock:
             self._tasks_retried_count += 1
+        obs = self._obs
+        if obs is not None:
+            obs.retries.inc()
+            if obs.tracer is not None:
+                obs.tracer.instant(
+                    "retry",
+                    cat="task",
+                    args={"task": task.name, "attempt": attempt, "error": repr(exc)},
+                )
         journal = self._verifier.journal
         if journal is not None:
             journal.log_retry(old_vertex, new_vertex, attempt, repr(exc))
@@ -849,6 +883,9 @@ class SupervisedJoinMixin:
         backoff = _MIN_TICK
         prev_state = joiner.state
         joiner.state = TaskState.BLOCKED
+        obs = self._obs
+        t0 = perf_counter_ns() if obs is not None else 0
+        rounds = 0
         try:
             for future, arm in zip(pending, arms):
                 future._add_waiter(arm)
@@ -874,6 +911,7 @@ class SupervisedJoinMixin:
                     if wait is None or backoff < wait:
                         wait = backoff
                 wake.wait(wait)
+                rounds += 1
                 for record in records:
                     record.wakeups += 1
                 if helper is not None and helper():
@@ -889,6 +927,22 @@ class SupervisedJoinMixin:
                 registry.unregister(record)
             for a, b in journal_edges:
                 journal.log_unblock(a, b)
+            if obs is not None:
+                tracer = obs.tracer
+                if tracer is not None:
+                    tracer.instant("wake", cat="join", args={"task": joiner.name})
+                dur = perf_counter_ns() - t0
+                obs.blocked_wait_ns.observe(dur)
+                obs.blocked_waits.inc()
+                obs.wakeups.inc(rounds)
+                if tracer is not None:
+                    tracer.complete(
+                        "block",
+                        t0,
+                        dur,
+                        cat="join",
+                        args={"task": joiner.name, "batch": len(pending)},
+                    )
 
     def _join_one(
         self,
@@ -968,13 +1022,47 @@ class SupervisedJoinMixin:
     ) -> None:
         # Module-level lookup on purpose: the runtime-overhead benchmark
         # swaps in wait_for_future_polling to measure the old protocol.
-        wait_for_future(
-            future,
-            joiner,
-            registry=self._registry,
-            watchdog=self._watchdog,
-            deadline=deadline,
-            timeout_value=timeout_value,
-            helper=self._wait_helper(),
-            helper_tick=self._helper_tick(),
-        )
+        obs = self._obs
+        if obs is None:
+            wait_for_future(
+                future,
+                joiner,
+                registry=self._registry,
+                watchdog=self._watchdog,
+                deadline=deadline,
+                timeout_value=timeout_value,
+                helper=self._wait_helper(),
+                helper_tick=self._helper_tick(),
+            )
+            return
+        t0 = perf_counter_ns()
+        wakeups = 0
+        try:
+            wakeups = wait_for_future(
+                future,
+                joiner,
+                registry=self._registry,
+                watchdog=self._watchdog,
+                deadline=deadline,
+                timeout_value=timeout_value,
+                helper=self._wait_helper(),
+                helper_tick=self._helper_tick(),
+            )
+        finally:
+            tracer = obs.tracer
+            if tracer is not None:
+                # wake lands inside the block span: its timestamp is
+                # taken before the span's end below.
+                tracer.instant("wake", cat="join", args={"task": joiner.name})
+            dur = perf_counter_ns() - t0
+            obs.blocked_wait_ns.observe(dur)
+            obs.blocked_waits.inc()
+            obs.wakeups.inc(wakeups or 0)
+            if tracer is not None:
+                tracer.complete(
+                    "block",
+                    t0,
+                    dur,
+                    cat="join",
+                    args={"task": joiner.name, "joinee": future.task.name},
+                )

@@ -34,6 +34,7 @@ from __future__ import annotations
 import threading
 import time
 from queue import Empty, SimpleQueue
+from time import perf_counter_ns
 from typing import Any, Callable, Optional, Union
 
 from .context import require_current_task, task_scope
@@ -206,6 +207,13 @@ class TaskRuntime(SupervisedJoinMixin):
         with self._lock:
             return len(self._idle_workers)
 
+    def _metrics_snapshot(self) -> dict:
+        out = super()._metrics_snapshot()
+        out["tasks_started"] = self._tasks_started
+        out["threads_started"] = self._threads_started
+        out["idle_threads"] = self.idle_threads
+        return out
+
     # ------------------------------------------------------------------
     # task lifecycle
     # ------------------------------------------------------------------
@@ -230,12 +238,18 @@ class TaskRuntime(SupervisedJoinMixin):
         root.state = TaskState.RUNNING
         try:
             with task_scope(root):
+                obs = self._obs
+                tracer = obs.tracer if obs is not None else None
+                handle = tracer.begin_span("run") if tracer is not None else None
                 try:
                     result = fn(*args, **kwargs)
                     root.state = TaskState.DONE
                 except BaseException:
                     root.state = TaskState.FAILED
                     raise
+                finally:
+                    if tracer is not None:
+                        tracer.end_span(handle, args={"task": root.name})
         finally:
             self._drain_idle_workers()
             if self._journal is not None and self._owns_journal:
@@ -270,6 +284,9 @@ class TaskRuntime(SupervisedJoinMixin):
         """
         parent = require_current_task()
         parent.cancel_token.raise_if_cancelled(parent)
+        obs = self._obs
+        if obs is not None:
+            _t0 = perf_counter_ns()
         if retry is not None and parent.fork_lock is None:
             # Retry re-forks run on whatever thread observed the failure
             # and race the parent's own forks; Section 5.1 forbids two
@@ -302,6 +319,16 @@ class TaskRuntime(SupervisedJoinMixin):
                 name=f"repro-worker-{count}",
                 daemon=True,
             ).start()
+        if obs is not None:
+            dur = perf_counter_ns() - _t0
+            obs.fork_ns.observe(dur)
+            if obs.tracer is not None:
+                obs.tracer.complete(
+                    "fork",
+                    _t0,
+                    dur,
+                    args={"child": task.name, "parent": parent.name},
+                )
         return future
 
     def _worker_main(self, item: tuple) -> None:
@@ -309,7 +336,10 @@ class TaskRuntime(SupervisedJoinMixin):
         while True:
             task, future, fn, args, kwargs = item
             retry_delay: Optional[float] = None
+            obs = self._obs
+            tracer = obs.tracer if obs is not None else None
             with task_scope(task):
+                handle = tracer.begin_span("run") if tracer is not None else None
                 try:
                     value = fn(*args, **kwargs)
                 except BaseException as exc:  # noqa: BLE001 - delivered at join
@@ -320,6 +350,9 @@ class TaskRuntime(SupervisedJoinMixin):
                 else:
                     task.state = TaskState.DONE
                     future._set_result(value)
+                finally:
+                    if tracer is not None:
+                        tracer.end_span(handle, args={"task": task.name})
             if retry_delay is not None:
                 # Re-run the same item inline: the future is still
                 # pending (joiners keep blocking) and _prepare_retry has

@@ -50,11 +50,23 @@ Commands
     runtime invariants.  ``--recovery`` adds the self-healing slice:
     policy-crash quarantine (fail-open and fail-closed) plus flaky-task
     retry programs.  Exits 1 on any violation.
+``top (--metrics FILE | <trace-file> [--runtime R] [--policy P]
+[--interval S])``
+    The live telemetry view: with a trace file, execute it under full
+    telemetry and render blocked joins, counters, and latency
+    histograms on a cadence until the run completes; with ``--metrics``,
+    render a saved metrics-snapshot JSON post-mortem.
+
+``run`` and ``chaos`` additionally accept ``--trace-out PATH`` (write a
+Perfetto/Chrome-trace JSON of the execution) and ``--metrics-out PATH``
+(write the final metrics snapshot as JSON); ``bench-runtime`` accepts
+``--telemetry`` to run the suite with telemetry enabled.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Optional, Sequence
 
@@ -133,6 +145,30 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0 if outcome.clean else 1
 
 
+def _telemetry_scope(args: argparse.Namespace):
+    """An active telemetry session when the command requested exports."""
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        from .. import obs
+
+        return obs.enabled()
+    return contextlib.nullcontext(None)
+
+
+def _export_telemetry(session, args: argparse.Namespace) -> None:
+    """Write the requested trace/metrics artifacts from *session*."""
+    if session is None:
+        return
+    if getattr(args, "metrics_out", None):
+        with open(args.metrics_out, "w") as fh:
+            fh.write(session.to_json())
+        print(f"metrics snapshot written to {args.metrics_out}")
+    if getattr(args, "trace_out", None):
+        from .trace_export import write_chrome_trace
+
+        write_chrome_trace(session, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from .replay import replay_on_threaded
 
@@ -140,32 +176,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace = parse_trace(fh.read())
     policy = None if args.policy == "none" else args.policy
     watchdog = False if args.no_watchdog else args.watchdog_interval
-    outcome = replay_on_threaded(
-        trace,
-        policy,
-        fallback=not args.no_fallback,
-        runtime=args.runtime,
-        default_join_timeout=args.timeout,
-        watchdog=watchdog,
-        fail_mode=args.fail_mode,
-        journal=args.journal,
-    )
-    rt = outcome.runtime
-    print(f"runtime:          {args.runtime}")
-    print(f"policy:           {args.policy}")
-    print(f"completed joins:  {len(outcome.completed_joins)}")
-    print(f"refused joins:    {len(outcome.refused_joins)}")
-    for waiter, joinee, kind in outcome.refused_joins:
-        print(f"  join({waiter}, {joinee}) refused: {kind}")
-    if rt.detector is not None:
-        print(f"false positives:  {rt.detector.stats.false_positives}")
-        print(f"deadlocks avoided: {rt.detector.stats.deadlocks_avoided}")
-    if rt.watchdog is not None:
-        print(f"watchdog stalls:  {rt.watchdog.deadlocks_detected}")
-    if rt.verifier.quarantined:
-        print(f"QUARANTINED:      {rt.verifier.quarantine_error}")
-    if args.journal:
-        print(f"journal:          {args.journal}")
+    with _telemetry_scope(args) as session:
+        outcome = replay_on_threaded(
+            trace,
+            policy,
+            fallback=not args.no_fallback,
+            runtime=args.runtime,
+            default_join_timeout=args.timeout,
+            watchdog=watchdog,
+            fail_mode=args.fail_mode,
+            journal=args.journal,
+        )
+        rt = outcome.runtime
+        print(f"runtime:          {args.runtime}")
+        print(f"policy:           {args.policy}")
+        print(f"completed joins:  {len(outcome.completed_joins)}")
+        print(f"refused joins:    {len(outcome.refused_joins)}")
+        for waiter, joinee, kind in outcome.refused_joins:
+            print(f"  join({waiter}, {joinee}) refused: {kind}")
+        if rt.detector is not None:
+            print(f"false positives:  {rt.detector.stats.false_positives}")
+            print(f"deadlocks avoided: {rt.detector.stats.deadlocks_avoided}")
+        if rt.watchdog is not None:
+            print(f"watchdog stalls:  {rt.watchdog.deadlocks_detected}")
+        if rt.verifier.quarantined:
+            print(f"QUARANTINED:      {rt.verifier.quarantine_error}")
+        if args.journal:
+            print(f"journal:          {args.journal}")
+        _export_telemetry(session, args)
     return 0 if outcome.clean else 1
 
 
@@ -178,6 +216,13 @@ def _cmd_journal_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    with _telemetry_scope(args) as session:
+        status = _chaos_body(args)
+        _export_telemetry(session, args)
+    return status
+
+
+def _chaos_body(args: argparse.Namespace) -> int:
     from ..testing.chaos import (
         RUNTIMES,
         run_chaos_program,
@@ -387,6 +432,50 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json as _json
+    import threading
+
+    from ..obs.top import render_snapshot, render_top
+
+    if args.metrics:
+        with open(args.metrics) as fh:
+            snap = _json.load(fh)
+        print(render_snapshot(snap))
+        return 0
+    if not args.trace:
+        print("top: a trace file (live mode) or --metrics FILE is required")
+        return 2
+    from .. import obs
+    from .replay import replay_on_threaded
+
+    with open(args.trace) as fh:
+        trace = parse_trace(fh.read())
+    policy = None if args.policy == "none" else args.policy
+    box: dict = {}
+    with obs.enabled() as session:
+
+        def runner() -> None:
+            try:
+                box["outcome"] = replay_on_threaded(
+                    trace, policy, runtime=args.runtime
+                )
+            except BaseException as exc:  # rendered, then reported via exit code
+                box["error"] = exc
+
+        worker = threading.Thread(target=runner, name="top-replay", daemon=True)
+        worker.start()
+        while worker.is_alive():
+            worker.join(args.interval)
+            print(render_top(session))
+            print()
+        print(render_top(session))
+    if "error" in box:
+        print(f"run failed: {box['error']!r}")
+        return 1
+    return 0 if box["outcome"].clean else 1
+
+
 def _cmd_bench_runtime(args: argparse.Namespace) -> int:
     from ..analysis.io import save_runtime
     from ..analysis.runtime_overhead import (
@@ -394,7 +483,14 @@ def _cmd_bench_runtime(args: argparse.Namespace) -> int:
         run_runtime_suite,
     )
 
-    result = run_runtime_suite(smoke=args.smoke, repetitions=args.reps)
+    if args.telemetry:
+        from .. import obs
+
+        scope = obs.enabled()
+    else:
+        scope = contextlib.nullcontext(None)
+    with scope:
+        result = run_runtime_suite(smoke=args.smoke, repetitions=args.reps)
     print(render_runtime_table(result))
     save_runtime(result, args.json)
     print(f"raw samples written to {args.json}")
@@ -497,6 +593,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="write a crash-consistent trace journal of the run",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Perfetto/Chrome-trace JSON of the run",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the final metrics snapshot as JSON",
+    )
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser(
@@ -534,7 +640,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="add the quarantine + retry self-healing slice",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a Perfetto/Chrome-trace JSON of the whole sweep",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the final metrics snapshot as JSON",
+    )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("top", help="live telemetry view (or render a snapshot)")
+    p.add_argument("trace", nargs="?", help="trace file to execute in live mode")
+    p.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="render a saved metrics-snapshot JSON instead of running",
+    )
+    p.add_argument(
+        "--policy",
+        default="TJ-SP",
+        choices=sorted(POLICY_REGISTRY) + ["none"],
+    )
+    p.add_argument("--runtime", choices=["threaded", "pool"], default="threaded")
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="refresh cadence in live mode",
+    )
+    p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser("bench", help="run one benchmark")
     p.add_argument("name", choices=ALL_BENCHMARKS)
@@ -607,6 +745,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="FACTOR",
         help="fail (exit 1) if journal-on vs journal-off on the fork chain "
         "exceeds FACTOR",
+    )
+    p.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run the suite with telemetry (metrics + tracing) enabled",
     )
     p.set_defaults(fn=_cmd_bench_runtime)
 

@@ -41,9 +41,11 @@ import json
 import os
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Optional
 
 from ..errors import JournalCorruptError, JournalError
+from ..obs import active as _active_telemetry
 
 __all__ = ["TraceJournal", "JournalReadResult", "read_journal"]
 
@@ -85,6 +87,12 @@ class TraceJournal:
         When True, critical flushes are also fsynced for power-loss
         durability.  The default (False) is crash-consistent against
         process death, which is the post-mortem case that matters here.
+    timestamps:
+        When True, every record carries a ``ts`` field — nanoseconds
+        since the journal was opened (``perf_counter_ns`` delta).  The
+        reader tolerates the extra field either way; the trace exporter
+        (:mod:`repro.tools.trace_export`) uses it to lay journal records
+        out on a Perfetto timeline.
     """
 
     __slots__ = (
@@ -100,9 +108,20 @@ class TraceJournal:
         "_count",
         "_closed",
         "records_written",
+        "flushes",
+        "_ts_base",
+        "_obs",
+        "__weakref__",
     )
 
-    def __init__(self, path: str, *, flush_every: int = 64, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        flush_every: int = 64,
+        fsync: bool = False,
+        timestamps: bool = False,
+    ) -> None:
         if flush_every < 1:
             raise ValueError("flush_every must be at least 1")
         self.path = path
@@ -122,6 +141,19 @@ class TraceJournal:
         self._closed = False
         #: total records written (read by tests and the CLI)
         self.records_written = 0
+        #: flushes issued (batch-full, critical, and close)
+        self.flushes = 0
+        self._ts_base = perf_counter_ns() if timestamps else None
+        self._obs = _active_telemetry()
+        if self._obs is not None:
+            self._obs.registry.add_source("journal", self.metrics_snapshot)
+
+    def metrics_snapshot(self) -> dict:
+        """Uniform stats-source protocol for the journal's counters."""
+        return {
+            "records_written": self.records_written,
+            "flushes": self.flushes,
+        }
 
     # ------------------------------------------------------------------
     # naming
@@ -157,6 +189,8 @@ class TraceJournal:
         """
         if self._closed:
             raise JournalError("journal already closed")
+        if self._ts_base is not None:
+            body = f'{body},"ts":{perf_counter_ns() - self._ts_base}'
         self._buf.append(f'{{{body},"seq":{self._seq}}}\n')
         self._seq += 1
         self.records_written += 1
@@ -248,12 +282,17 @@ class TraceJournal:
     # ------------------------------------------------------------------
     def _flush_locked(self, *, fsync: bool) -> None:
         """Push buffered lines to the OS; the caller holds the lock."""
+        obs = self._obs
+        t0 = perf_counter_ns() if obs is not None else 0
         if self._buf:
             self._fh.write("".join(self._buf))
             self._buf.clear()
         self._fh.flush()
         if fsync:
             os.fsync(self._fh.fileno())
+        self.flushes += 1
+        if obs is not None:
+            obs.journal_flush_ns.observe(perf_counter_ns() - t0)
 
     def flush(self) -> None:
         with self._lock:

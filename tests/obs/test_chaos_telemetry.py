@@ -1,0 +1,64 @@
+"""Chaos programs under full telemetry: observation must not perturb.
+
+Re-runs a slice of the chaos suite with an active telemetry session
+(metrics + tracing) and asserts the supervised-runtime invariants all
+still hold — instrumentation that took a lock on the wrong path or
+resurrected a dead reference would surface here — and that the session
+actually observed the run (events recorded, trace structurally valid).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.testing import FaultPlan, run_chaos_program
+from repro.tools.trace_export import validate_chrome_trace
+
+RUNTIMES = ["threaded", "pool"]
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+@pytest.mark.parametrize("policy", ["TJ-SP", "KJ-CC", "none"])
+def test_invariants_hold_under_full_telemetry(policy, runtime):
+    for seed in range(4):
+        with obs.enabled() as session:
+            result = run_chaos_program(
+                seed,
+                policy=policy,
+                runtime=runtime,
+                max_tasks=8,
+                crash_rate=0.15,
+                plan=FaultPlan(seed=seed, delay_rate=0.25, max_delay=0.002),
+            )
+            assert result.violations == []
+            trace = session.to_chrome_trace()
+        assert validate_chrome_trace(trace) == []
+
+
+@pytest.mark.parametrize("runtime", RUNTIMES)
+def test_telemetry_actually_observes_the_chaos_run(runtime):
+    with obs.enabled() as session:
+        result = run_chaos_program(
+            7,
+            policy="TJ-SP",
+            runtime=runtime,
+            max_tasks=8,
+            crash_rate=0.0,
+            plan=FaultPlan(seed=7, delay_rate=0.3, max_delay=0.002),
+        )
+        assert result.violations == []
+        snap = session.snapshot()
+    assert snap["histograms"]["repro_runtime_fork_ns"]["count"] >= 1
+    assert snap["sources"]["verifier"]["forks"] >= 1
+    assert len(session.tracer) > 0
+
+
+def test_verdict_stream_identical_with_and_without_telemetry():
+    """Telemetry is an observer: it must not change a single verdict."""
+    plan = FaultPlan(seed=3, delay_rate=0.4, max_delay=0.002)
+    bare = run_chaos_program(3, policy="TJ-SP", runtime="threaded", plan=plan)
+    with obs.enabled():
+        observed = run_chaos_program(3, policy="TJ-SP", runtime="threaded", plan=plan)
+    assert bare.verdicts == observed.verdicts
+    assert bare.violations == observed.violations == []

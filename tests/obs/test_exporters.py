@@ -1,0 +1,162 @@
+"""Exporter round trips on real runs.
+
+The acceptance bar for the tracing layer is concrete: a run produces a
+Chrome-trace / Perfetto JSON whose spans nest correctly — ``fork``
+inside the parent's ``run``, ``block`` inside the joiner's ``run``, the
+``wake`` instant inside the ``block`` window — and the journal bridge
+reconstructs an equivalent timeline post-mortem from records alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import TaskRuntime
+from repro import obs
+from repro.tools.journal import TraceJournal, read_journal
+from repro.tools.trace_export import (
+    journal_to_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _blocking_program(rt):
+    """main forks a sleeping child and joins it: fork, run, block, wake."""
+
+    def child():
+        time.sleep(0.03)
+        return 7
+
+    def main():
+        return rt.fork(child).join()
+
+    return main
+
+
+@pytest.fixture
+def traced_run():
+    with obs.enabled() as session:
+        rt = TaskRuntime(policy="TJ-SP")
+        assert rt.run(_blocking_program(rt)) == 7
+        doc = session.to_chrome_trace()
+    return doc
+
+
+class TestLiveTraceExport:
+    def test_trace_validates(self, traced_run):
+        assert validate_chrome_trace(traced_run) == []
+
+    def test_fork_run_block_wake_all_present(self, traced_run):
+        names = {e["name"] for e in traced_run["traceEvents"]}
+        assert {"fork", "run", "block", "wake"} <= names
+
+    def test_block_nests_inside_the_joiners_run_span(self, traced_run):
+        events = traced_run["traceEvents"]
+        block = next(e for e in events if e["name"] == "block")
+        run = next(
+            e
+            for e in events
+            if e["name"] == "run" and e["tid"] == block["tid"] and e["ph"] == "X"
+        )
+        assert run["ts"] <= block["ts"]
+        assert block["ts"] + block["dur"] <= run["ts"] + run["dur"] + 1e-6
+
+    def test_wake_lands_inside_the_block_window(self, traced_run):
+        events = traced_run["traceEvents"]
+        block = next(e for e in events if e["name"] == "block")
+        wake = next(e for e in events if e["name"] == "wake")
+        assert block["ts"] - 1e-6 <= wake["ts"] <= block["ts"] + block["dur"] + 1e-6
+
+    def test_fork_names_both_sides(self, traced_run):
+        fork = next(e for e in traced_run["traceEvents"] if e["name"] == "fork")
+        assert "child" in fork["args"] and "parent" in fork["args"]
+
+    def test_block_duration_reflects_the_sleep(self, traced_run):
+        block = next(e for e in traced_run["traceEvents"] if e["name"] == "block")
+        assert block["dur"] >= 0.02 * 1e6 * 0.5  # µs; generous jitter margin
+
+    def test_write_chrome_trace_round_trips(self, traced_run, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(traced_run, path)
+        with open(path) as fh:
+            loaded = json.load(fh)
+        assert validate_chrome_trace(loaded) == []
+        assert loaded == traced_run
+
+    def test_write_rejects_sessions_without_tracing(self, tmp_path):
+        with obs.enabled(tracing=False) as session:
+            with pytest.raises(ValueError, match="disabled"):
+                write_chrome_trace(session, str(tmp_path / "x.json"))
+
+    def test_write_rejects_untraceable_objects(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_chrome_trace(42, str(tmp_path / "x.json"))
+
+
+class TestJournalBridge:
+    def test_journal_to_trace_validates_and_shows_the_block(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        journal = TraceJournal(path, timestamps=True)
+        rt = TaskRuntime(policy="TJ-SP", journal=journal)
+        assert rt.run(_blocking_program(rt)) == 7
+        journal.close()
+        doc = journal_to_trace(path)
+        assert validate_chrome_trace(doc) == []
+        blocks = [
+            e
+            for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("blocked on")
+        ]
+        assert blocks, "the blocking join must appear as a duration span"
+        # timestamps were journalled: the span is real time, not seq ticks
+        assert blocks[0]["dur"] >= 0.02 * 1e6 * 0.5
+
+    def test_tracks_are_named_after_journal_task_ids(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        rt = TaskRuntime(policy="TJ-SP", journal=path)
+        assert rt.run(_blocking_program(rt)) == 7
+        doc = journal_to_trace(path)
+        names = {
+            e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        assert "journal" in names  # control track
+        assert any(n.startswith("task t") for n in names)
+
+    def test_seq_fallback_without_timestamps_still_validates(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        rt = TaskRuntime(policy="TJ-SP", journal=path)  # timestamps off
+        assert rt.run(_blocking_program(rt)) == 7
+        records = read_journal(path).records
+        assert all("ts" not in r for r in records)
+        doc = journal_to_trace(path)
+        assert validate_chrome_trace(doc) == []
+
+
+class TestMetricsOfARealRun:
+    def test_run_populates_the_expected_instruments(self):
+        with obs.enabled(tracing=False) as session:
+            rt = TaskRuntime(policy="TJ-SP")
+            assert rt.run(_blocking_program(rt)) == 7
+            snap = session.snapshot()
+        assert snap["histograms"]["repro_runtime_fork_ns"]["count"] >= 1
+        assert snap["histograms"]["repro_runtime_blocked_wait_ns"]["count"] >= 1
+        assert snap["counters"]["repro_runtime_blocked_waits_total"] >= 1
+        assert snap["sources"]["verifier"]["forks"] >= 1
+        assert snap["sources"]["runtime"]["tasks_started"] >= 1
+
+    def test_prometheus_text_of_a_real_run_parses(self):
+        with obs.enabled(tracing=False) as session:
+            rt = TaskRuntime(policy="TJ-SP")
+            assert rt.run(_blocking_program(rt)) == 7
+            text = session.to_prometheus()
+        assert "# TYPE repro_runtime_fork_ns histogram" in text
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE ")
+            else:
+                key, value = line.rsplit(" ", 1)
+                float(value)  # every sample line ends in a number

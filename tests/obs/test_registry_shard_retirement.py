@@ -1,0 +1,108 @@
+"""Dead-thread cell retirement for registry instruments.
+
+PR 3 fixed the verifier's per-thread stats shards leaking one shard per
+dead task thread; the registry's sharded instruments (counters, counter
+groups, histograms) inherit the same discipline from ``_Sharded``:
+cells owned by dead threads fold into a retired accumulator both on
+read *and* on new-cell registration, so thread-per-task churn cannot
+grow the cell list even in a process that never reads its metrics.
+These tests mirror ``tests/core/test_sharded_stats.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, CounterGroup, Histogram
+
+INSTRUMENTS = {
+    "counter": lambda: Counter("churn_total"),
+    "group": lambda: CounterGroup(("events",)),
+    "histogram": lambda: Histogram("churn_ns"),
+}
+
+
+def _bump(inst) -> None:
+    if isinstance(inst, Histogram):
+        inst.observe(500)
+    elif isinstance(inst, Counter):
+        inst.inc()
+    else:
+        inst.cell().events += 1
+
+
+def _total(inst) -> int:
+    if isinstance(inst, Histogram):
+        return inst.snapshot()["count"]
+    if isinstance(inst, Counter):
+        return inst.value
+    return inst.totals()["events"]
+
+
+@pytest.mark.parametrize("kind", sorted(INSTRUMENTS))
+class TestCellRetirement:
+    def test_cell_list_stays_bounded_under_thread_churn(self, kind):
+        inst = INSTRUMENTS[kind]()
+        for _ in range(100):
+            t = threading.Thread(target=_bump, args=(inst,))
+            t.start()
+            t.join()
+            _total(inst)  # reads fold dead cells as they go
+        # every worker cell has been retired; at most the current
+        # (main) thread's cell may remain live
+        assert len(inst._cells) <= 1
+        assert _total(inst) == 100
+
+    def test_registration_also_folds(self, kind):
+        """Folding happens at cell registration too, so a process that
+        never snapshots its metrics still cannot leak cells."""
+        inst = INSTRUMENTS[kind]()
+        for _ in range(50):
+            t = threading.Thread(target=_bump, args=(inst,))
+            t.start()
+            t.join()
+        # no read in the loop: each new registration pruned the dead
+        assert len(inst._cells) <= 2  # last dead cell + (maybe) main's
+        assert _total(inst) == 50
+
+    def test_folding_is_exact_under_churn_and_concurrency(self, kind):
+        """Retirement must not lose or double-count a single event, even
+        with reads interleaved with waves of short-lived writers."""
+        inst = INSTRUMENTS[kind]()
+        waves, per_wave, bumps = 10, 6, 37
+
+        def storm() -> None:
+            for _ in range(bumps):
+                _bump(inst)
+
+        for _ in range(waves):
+            threads = [threading.Thread(target=storm) for _ in range(per_wave)]
+            for t in threads:
+                t.start()
+            _total(inst)  # concurrent read while writers live
+            for t in threads:
+                t.join()
+        assert _total(inst) == waves * per_wave * bumps
+        assert len(inst._cells) <= 1
+
+    def test_counts_survive_thread_death(self, kind):
+        inst = INSTRUMENTS[kind]()
+        for _ in range(5):
+            t = threading.Thread(target=_bump, args=(inst,))
+            t.start()
+            t.join()
+        assert _total(inst) == 5
+
+
+def test_histogram_sum_survives_retirement():
+    h = Histogram("ns")
+    for v in (100, 200, 300):
+        t = threading.Thread(target=h.observe, args=(v,))
+        t.start()
+        t.join()
+    snap = h.snapshot()
+    assert snap["count"] == 3
+    assert snap["sum"] == 600
+    assert len(h._cells) <= 1

@@ -1,0 +1,119 @@
+"""End-to-end: the CLI surface of the telemetry stack.
+
+``repro run --trace-out/--metrics-out`` must yield a Perfetto-valid
+trace and a metrics snapshot from one command, and ``repro top`` must
+render both post-mortem (from a metrics file) and live (replaying a
+trace while sampling the active session).  This is the same path the
+``obs-smoke`` CI job exercises.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools.cli import main
+from repro.tools.trace_export import validate_chrome_trace
+
+#: a program whose joins actually block (grandchild join via TJ)
+PROGRAM = """
+init(a)
+fork(a, b)
+fork(b, c)
+join(a, c)
+join(a, b)
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    p = tmp_path / "program.txt"
+    p.write_text(PROGRAM)
+    return str(p)
+
+
+class TestRunWithTelemetry:
+    def test_run_writes_a_valid_trace_and_metrics(self, program_file, tmp_path, capsys):
+        trace_out = str(tmp_path / "trace.json")
+        metrics_out = str(tmp_path / "metrics.json")
+        rc = main(
+            [
+                "run",
+                program_file,
+                "--policy",
+                "TJ-SP",
+                "--trace-out",
+                trace_out,
+                "--metrics-out",
+                metrics_out,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "trace written to" in out
+        assert "metrics snapshot written to" in out
+
+        with open(trace_out) as fh:
+            trace = json.load(fh)
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"fork", "run"} <= names
+
+        with open(metrics_out) as fh:
+            metrics = json.load(fh)
+        assert metrics["histograms"]["repro_runtime_fork_ns"]["count"] >= 2
+        assert metrics["sources"]["verifier"]["forks"] >= 2
+
+    def test_run_without_flags_leaves_telemetry_off(self, program_file, capsys):
+        from repro import obs
+
+        rc = main(["run", program_file, "--policy", "TJ-SP"])
+        capsys.readouterr()
+        assert rc == 0
+        assert obs.active() is None
+
+    def test_chaos_accepts_telemetry_flags(self, tmp_path, capsys):
+        trace_out = str(tmp_path / "chaos-trace.json")
+        rc = main(
+            [
+                "chaos",
+                "--smoke",
+                "--programs",
+                "2",
+                "--policies",
+                "TJ-SP",
+                "--runtimes",
+                "threaded",
+                "--trace-out",
+                trace_out,
+            ]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        with open(trace_out) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+
+
+class TestTopCommand:
+    def test_post_mortem_top_renders_a_metrics_file(self, program_file, tmp_path, capsys):
+        metrics_out = str(tmp_path / "metrics.json")
+        assert (
+            main(
+                ["run", program_file, "--policy", "TJ-SP", "--metrics-out", metrics_out]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        rc = main(["top", "--metrics", metrics_out])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verifier" in out
+        assert "repro_runtime_fork_ns" in out
+
+    def test_live_top_replays_a_trace(self, program_file, capsys):
+        rc = main(["top", program_file, "--policy", "TJ-SP", "--interval", "0.05"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "uptime" in out
+        assert "blocked joins" in out

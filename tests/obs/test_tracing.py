@@ -1,0 +1,160 @@
+"""Tracer tests: span nesting, parent links, ring-buffer bounds, export."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.tracing import Tracer, current_span
+from repro.tools.trace_export import validate_chrome_trace
+
+
+class TestSpans:
+    def test_nested_spans_record_parent_ids(self):
+        tr = Tracer()
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        events = tr.snapshot()
+        assert [e[1] for e in events] == ["inner", "outer"]  # inner ends first
+        inner_ev, outer_ev = events
+        assert inner_ev[6]["span_id"] == inner.id
+        assert inner_ev[6]["parent"] == outer.id
+        assert "parent" not in outer_ev[6]
+
+    def test_explicit_begin_end_matches_context_manager(self):
+        tr = Tracer()
+        handle = tr.begin_span("work")
+        assert current_span() is handle[0]
+        tr.end_span(handle, args={"task": "t1"})
+        assert current_span() is None
+        (ev,) = tr.snapshot()
+        ph, name, cat, ts, dur, tid, args = ev
+        assert (ph, name) == ("X", "work")
+        assert dur >= 0
+        assert args["task"] == "t1"
+        assert args["span_id"] == handle[0].id
+
+    def test_instants_inherit_the_ambient_span(self):
+        tr = Tracer()
+        with tr.span("run") as ctx:
+            tr.instant("wake", cat="join", args={"task": "t0"})
+        wake = tr.snapshot()[0]
+        assert wake[0] == "i"
+        assert wake[6]["parent"] == ctx.id
+
+    def test_instant_outside_any_span_has_no_parent(self):
+        tr = Tracer()
+        tr.instant("lonely")
+        assert tr.snapshot()[0][6] is None
+
+    def test_ambient_span_is_per_thread(self):
+        """contextvars isolate the ambient span between threads."""
+        tr = Tracer()
+        observed = {}
+
+        def other():
+            observed["span"] = current_span()
+            tr.instant("elsewhere")
+
+        with tr.span("main-span"):
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert observed["span"] is None
+        instant = next(e for e in tr.snapshot() if e[0] == "i")
+        assert instant[6] is None  # no parent leaked across threads
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_the_buffer_and_counts_drops(self):
+        tr = Tracer(capacity=16)
+        for i in range(100):
+            tr.instant(f"e{i}")
+        assert len(tr) == 16
+        assert tr.dropped_events == 84
+        # oldest fell off the head: the survivors are the newest 16
+        names = [e[1] for e in tr.snapshot()]
+        assert names == [f"e{i}" for i in range(84, 100)]
+
+    def test_no_drops_below_capacity(self):
+        tr = Tracer(capacity=64)
+        for i in range(10):
+            tr.instant(f"e{i}")
+        assert tr.dropped_events == 0
+
+
+class TestChromeExport:
+    def test_export_is_structurally_valid(self):
+        tr = Tracer()
+        with tr.span("run", cat="task"):
+            tr.instant("wake", cat="join")
+            with tr.span("block", cat="join"):
+                pass
+        doc = tr.to_chrome_trace()
+        assert validate_chrome_trace(doc) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_thread_metadata_and_microsecond_timestamps(self):
+        tr = Tracer()
+        with tr.span("s"):
+            pass
+        doc = tr.to_chrome_trace()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "thread_name"
+        assert meta[0]["tid"] == threading.get_ident()
+        span = next(e for e in doc["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] >= 0  # relative to tracer birth
+        assert span["dur"] >= 0
+
+    def test_nested_spans_nest_by_duration_containment(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        doc = tr.to_chrome_trace()
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        o, i = spans["outer"], spans["inner"]
+        assert o["ts"] <= i["ts"]
+        assert i["ts"] + i["dur"] <= o["ts"] + o["dur"]
+        assert validate_chrome_trace(doc) == []
+
+
+class TestValidator:
+    """The validator must actually reject malformed traces, or the
+    end-to-end checks built on it prove nothing."""
+
+    def test_rejects_missing_required_keys(self):
+        doc = {"traceEvents": [{"ph": "X", "ts": 0, "dur": 1}]}
+        problems = validate_chrome_trace(doc)
+        assert any("missing 'name'" in p for p in problems)
+
+    def test_rejects_negative_duration(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "bad", "pid": 1, "tid": 1, "ts": 0, "dur": -5}
+            ]
+        }
+        assert any("bad dur" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_partially_overlapping_spans(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+                {"ph": "X", "name": "b", "pid": 1, "tid": 1, "ts": 5, "dur": 10},
+            ]
+        }
+        assert any("partially overlaps" in p for p in validate_chrome_trace(doc))
+
+    def test_accepts_disjoint_and_nested_spans(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0, "dur": 10},
+                {"ph": "X", "name": "b", "pid": 1, "tid": 1, "ts": 2, "dur": 3},
+                {"ph": "X", "name": "c", "pid": 1, "tid": 1, "ts": 20, "dur": 10},
+            ]
+        }
+        assert validate_chrome_trace(doc) == []
+
+    def test_rejects_instant_without_scope(self):
+        doc = {"traceEvents": [{"ph": "i", "name": "e", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("scope" in p for p in validate_chrome_trace(doc))
