@@ -40,6 +40,7 @@ from .core import (
     TJJumpPointers,
     TJOrderMaintenance,
     TJSpawnPaths,
+    TJSpawnPathsFlat,
     Verifier,
     make_policy,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "TJGlobalTree",
     "TJJumpPointers",
     "TJSpawnPaths",
+    "TJSpawnPathsFlat",
     "TJOrderMaintenance",
     "KJVectorClock",
     "KJSnapshotSets",

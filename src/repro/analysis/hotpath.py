@@ -23,9 +23,12 @@ is the per-event overhead the paper argues can stay near 1.06×.
 
 Results serialise to ``BENCH_hotpath.json`` via :mod:`repro.analysis.io`
 so every future change has a stored perf trajectory to compare against;
-``benchmarks/bench_hotpath.py`` asserts the headline regression gate
-(interned TJ-SP at least 1.3× the legacy tuple implementation on the
-join-heavy shape).
+``benchmarks/bench_hotpath.py`` asserts the headline regression gates
+(flat TJ-SP at least 2× the legacy tuple implementation on join-heavy,
+and within 1.1× of KJ-VC per-event cost when the compiled kernel is in
+play).  Each measurement records which kernel backend produced it
+(``"c"``/``"py"`` for flat TJ-SP, ``"py"`` for everything else), so
+stored trajectories from different arms are never conflated.
 """
 
 from __future__ import annotations
@@ -51,9 +54,18 @@ __all__ = [
     "render_hotpath_table",
 ]
 
-#: policies covered by the suite: the interned TJ-SP, its seed baseline,
-#: the other TJ variants, and the KJ baselines.
-HOTPATH_POLICIES = ("TJ-SP", "TJ-SP-legacy", "TJ-GT", "TJ-JP", "TJ-OM", "KJ-VC", "KJ-SS")
+#: policies covered by the suite: the flat TJ-SP, its object and seed
+#: baselines, the other TJ variants, and the KJ baselines.
+HOTPATH_POLICIES = (
+    "TJ-SP",
+    "TJ-SP-obj",
+    "TJ-SP-legacy",
+    "TJ-GT",
+    "TJ-JP",
+    "TJ-OM",
+    "KJ-VC",
+    "KJ-SS",
+)
 
 #: default workload parameters per shape (kept small enough that the
 #: whole suite across all policies finishes well under a minute).
@@ -85,6 +97,7 @@ class HotpathMeasurement:
     policy: str
     times: list[float] = field(default_factory=list)
     events: int = 0  # verifier events (forks + join checks) per repetition
+    backend: str = "py"  # the kernel that answered: "c" or "py"
 
     @property
     def best_time(self) -> float:
@@ -210,6 +223,7 @@ def run_shape(
             m.times.append(elapsed)
     stats = verifier.stats
     m.events = stats.forks + stats.joins_checked
+    m.backend = getattr(verifier.policy, "backend", "py")
     return m
 
 
@@ -250,15 +264,15 @@ def speedup(
 def render_hotpath_table(measurements: Sequence[HotpathMeasurement]) -> str:
     """ASCII summary: one row per cell, with the TJ-SP speedup column."""
     lines = [
-        f"{'shape':<12} {'policy':<14} {'best ms':>9} {'mean ms':>9} "
-        f"{'events':>8} {'Mev/s':>7}",
-        "-" * 64,
+        f"{'shape':<12} {'policy':<14} {'backend':>7} {'best ms':>9} "
+        f"{'mean ms':>9} {'events':>8} {'Mev/s':>7}",
+        "-" * 72,
     ]
     for m in measurements:
         lines.append(
-            f"{m.shape:<12} {m.policy:<14} {m.best_time * 1e3:>9.2f} "
-            f"{m.mean_time * 1e3:>9.2f} {m.events:>8} "
-            f"{m.events_per_sec / 1e6:>7.2f}"
+            f"{m.shape:<12} {m.policy:<14} {m.backend:>7} "
+            f"{m.best_time * 1e3:>9.2f} {m.mean_time * 1e3:>9.2f} "
+            f"{m.events:>8} {m.events_per_sec / 1e6:>7.2f}"
         )
     shapes = sorted({m.shape for m in measurements})
     have = {(m.shape, m.policy) for m in measurements}

@@ -29,7 +29,10 @@ __all__ = [
 ]
 
 _SCHEMA_VERSION = 1
-_HOTPATH_SCHEMA_VERSION = 1
+#: v2 added the per-measurement "backend" tag ("c"/"py" kernel).  v1
+#: files still load, with the backend defaulting to "py".
+_HOTPATH_SCHEMA_VERSION = 2
+_HOTPATH_SCHEMAS = (1, 2)
 #: v2 added the journal-overhead microshape block; v3 the telemetry
 #: ("obs") block.  Both are optional on load — older files still load
 #: with the missing instruments defaulting to unmeasured.
@@ -118,6 +121,7 @@ def hotpath_to_json(measurements, params=None) -> str:
             {
                 "shape": m.shape,
                 "policy": m.policy,
+                "backend": m.backend,
                 "times": m.times,
                 "events": m.events,
             }
@@ -132,11 +136,15 @@ def hotpath_from_json(text: str):
     from .hotpath import HotpathMeasurement
 
     payload = json.loads(text)
-    if payload.get("schema") != _HOTPATH_SCHEMA_VERSION:
+    if payload.get("schema") not in _HOTPATH_SCHEMAS:
         raise ValueError(f"unsupported hotpath schema {payload.get('schema')!r}")
     measurements = [
         HotpathMeasurement(
-            shape=m["shape"], policy=m["policy"], times=m["times"], events=m["events"]
+            shape=m["shape"],
+            policy=m["policy"],
+            times=m["times"],
+            events=m["events"],
+            backend=m.get("backend", "py"),
         )
         for m in payload["measurements"]
     ]

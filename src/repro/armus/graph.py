@@ -9,6 +9,14 @@ All mutation and path queries happen under one lock: the graph only ever
 contains *currently blocked* tasks, so it is small (bounded by the number
 of live tasks, not by n), and the simplicity buys the atomic
 check-then-block needed for race-free avoidance.
+
+The path query — the only non-O(1) operation, and the one Armus runs
+under the lock on every fallback block — has a compiled twin in the
+TJ-SP kernel extension (``find_path``): same DFS, same parent-chain
+reconstruction, C loop instead of Python.  Each graph resolves it at
+construction through :mod:`repro.core._cbuild`, so ``REPRO_TJ_BACKEND``
+governs it together with the policy kernel and the pure-Python DFS
+remains the portable fallback.
 """
 
 from __future__ import annotations
@@ -16,7 +24,21 @@ from __future__ import annotations
 import threading
 from typing import Hashable, Iterator, Optional
 
+from ..core import _cbuild
+
 __all__ = ["WaitsForGraph"]
+
+
+def _compiled_find_path():
+    """The C ``find_path(succ, src, dst)``, or None (pure Python)."""
+    try:
+        module = _cbuild.compiled_module()
+    except RuntimeError:
+        # REPRO_TJ_BACKEND=c with no toolchain: the policy constructor is
+        # the enforcement point for that contract; the detector should
+        # still work, on the Python DFS.
+        return None
+    return getattr(module, "find_path", None) if module is not None else None
 
 
 class WaitsForGraph:
@@ -25,6 +47,7 @@ class WaitsForGraph:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._succ: dict[Hashable, set[Hashable]] = {}
+        self._c_find_path = _compiled_find_path()
 
     # The lock is exposed so a caller can perform check+add atomically.
     @property
@@ -50,6 +73,8 @@ class WaitsForGraph:
 
     def _find_path(self, src: Hashable, dst: Hashable) -> Optional[list[Hashable]]:
         """A path src ⇝ dst through blocked edges, or None.  Iterative DFS."""
+        if self._c_find_path is not None:
+            return self._c_find_path(self._succ, src, dst)
         if src == dst:
             return [src]
         if src not in self._succ:

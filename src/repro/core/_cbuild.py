@@ -1,0 +1,180 @@
+"""On-demand build of the compiled TJ-SP kernel (`_tj_sp_c.c`).
+
+The repository has no binary artifacts and no build-time dependency on
+Cython or mypyc: the compiled backend is a plain CPython extension
+compiled *lazily*, the first time a caller asks for it, with whatever C
+compiler the host provides (``cc``/``gcc``/``clang`` or the compiler
+recorded in ``sysconfig``).  The resulting shared object is cached next
+to the package (or under ``~/.cache/repro`` when the package directory
+is read-only), keyed by a hash of the C source and the interpreter ABI,
+so rebuilds happen only when the source changes.
+
+Backend selection is governed by the ``REPRO_TJ_BACKEND`` environment
+variable, read on every query so tests can monkeypatch it:
+
+* ``auto`` (default, also when unset) — try the compiled kernel, fall
+  back silently to pure Python when the toolchain is missing or the
+  build fails;
+* ``c`` — require the compiled kernel; raise with the build diagnostic
+  when it cannot be produced (CI uses this to make sure the compiled
+  arm really measured compiled code);
+* ``py`` — never load compiled code, even when a cached build exists
+  (CI uses this to gate the portable fallback on its own).
+
+Everything that has a compiled fast path — the flat TJ-SP policy and
+the Armus waits-for DFS — funnels through :func:`compiled_module`, so
+one switch disables all of it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import os
+import shlex
+import shutil
+import subprocess
+import sys
+import sysconfig
+import threading
+from typing import Optional
+
+__all__ = ["backend_choice", "compiled_module", "build_error", "BACKEND_ENV"]
+
+#: the environment variable that selects the backend
+BACKEND_ENV = "REPRO_TJ_BACKEND"
+
+_CHOICES = ("auto", "c", "py")
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_tj_sp_c.c")
+
+_lock = threading.Lock()
+_attempted = False
+_module = None
+_error: Optional[str] = None
+
+
+def backend_choice() -> str:
+    """The requested backend: ``auto``, ``c`` or ``py`` (from the env)."""
+    value = os.environ.get(BACKEND_ENV, "auto").strip().lower() or "auto"
+    if value not in _CHOICES:
+        raise ValueError(
+            f"{BACKEND_ENV} must be one of {_CHOICES}, got {value!r}"
+        )
+    return value
+
+
+def build_error() -> Optional[str]:
+    """The diagnostic of the last failed build attempt, or None."""
+    return _error
+
+
+def _find_compiler() -> Optional[list[str]]:
+    cc = sysconfig.get_config_var("CC")
+    if cc:
+        parts = shlex.split(cc)
+        if parts and shutil.which(parts[0]):
+            return parts
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return [path]
+    return None
+
+
+def _build_tag() -> str:
+    with open(_SOURCE, "rb") as fh:
+        digest = hashlib.sha256(fh.read())
+    digest.update(sys.version.encode())
+    digest.update(sys.platform.encode())
+    return digest.hexdigest()[:16]
+
+
+def _build_dirs() -> list[str]:
+    here = os.path.dirname(_SOURCE)
+    return [
+        os.path.join(here, "_build"),
+        os.path.join(
+            os.environ.get("XDG_CACHE_HOME")
+            or os.path.join(os.path.expanduser("~"), ".cache"),
+            "repro",
+            "cbuild",
+        ),
+    ]
+
+
+def _compile() -> str:
+    """Compile the kernel (if not cached) and return the .so path."""
+    compiler = _find_compiler()
+    if compiler is None:
+        raise RuntimeError("no C compiler found (tried sysconfig CC, cc, gcc, clang)")
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    name = f"_tj_sp_c_{_build_tag()}{suffix}"
+    last_exc: Optional[Exception] = None
+    for build_dir in _build_dirs():
+        target = os.path.join(build_dir, name)
+        if os.path.exists(target):
+            return target
+        try:
+            os.makedirs(build_dir, exist_ok=True)
+            cmd = compiler + [
+                "-O2",
+                "-fPIC",
+                "-shared",
+                f"-I{sysconfig.get_paths()['include']}",
+                _SOURCE,
+                "-o",
+                target + ".tmp",
+            ]
+            if sys.platform == "darwin":
+                cmd.insert(-3, "-undefined")
+                cmd.insert(-3, "dynamic_lookup")
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, timeout=120
+            )
+            if proc.returncode != 0:
+                raise RuntimeError(
+                    f"{' '.join(cmd)} failed:\n{proc.stderr.strip()}"
+                )
+            # Atomic publish so a concurrent builder never loads a torn file.
+            os.replace(target + ".tmp", target)
+            return target
+        except Exception as exc:  # try the next candidate directory
+            last_exc = exc
+    raise RuntimeError(f"could not build compiled kernel: {last_exc}")
+
+
+def _load(path: str):
+    spec = importlib.util.spec_from_file_location("_tj_sp_c", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load compiled kernel from {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def compiled_module():
+    """The compiled kernel module, or None when running pure Python.
+
+    Respects :func:`backend_choice`: returns None without touching the
+    toolchain under ``py``; raises under ``c`` when the kernel cannot be
+    built; builds at most once per process under ``auto``/``c`` and
+    remembers the outcome.
+    """
+    global _attempted, _module, _error
+    choice = backend_choice()
+    if choice == "py":
+        return None
+    with _lock:
+        if not _attempted:
+            _attempted = True
+            try:
+                _module = _load(_compile())
+            except Exception as exc:
+                _error = str(exc)
+        module = _module
+    if module is None and choice == "c":
+        raise RuntimeError(
+            f"{BACKEND_ENV}=c but the compiled TJ-SP kernel is unavailable: {_error}"
+        )
+    return module

@@ -1,0 +1,493 @@
+/* Compiled kernel for the flat-array TJ-SP core (and the Armus DFS).
+ *
+ * This is the optional compiled backend of `repro.core.tj_sp_flat`: the
+ * same struct-of-arrays representation as the pure-Python `FlatTreePy`
+ * kernel — parallel int64 buffers `parent` / `edge` / `depth` /
+ * `children` / `last_ok` indexed by a dense stable id, grown by
+ * doubling — with `Less` as C-level index chasing and `permits_many` as
+ * one C loop per batch.  It is built on demand by `repro.core._cbuild`
+ * with whatever C compiler the host has; when none is available the
+ * pure-Python kernel serves the identical semantics (the differential
+ * suite in tests/core/test_flat_tj_sp.py proves verdict equality).
+ *
+ * Thread-safety: none of the functions below release the GIL, so every
+ * call is atomic with respect to other Python threads.  That is
+ * strictly stronger than the Section 5.1 contract needs (concurrent
+ * `add_child` calls never share a parent; `permits` may race with
+ * `add_child` but only ever names already-published ids).
+ *
+ * `find_path` is the Armus waits-for DFS (`WaitsForGraph._find_path`)
+ * over the ordinary dict-of-sets adjacency, returning the same
+ * `[src, ..., dst]` list (or None) as the Python implementation.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <stdint.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* FlatTree: the struct-of-arrays spawn-path forest                    */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    int64_t *parent;
+    int64_t *edge;
+    int64_t *depth;
+    int64_t *children;
+    int64_t *last_ok;
+    Py_ssize_t n;
+    Py_ssize_t cap;
+} FlatTree;
+
+static int
+flattree_grow(FlatTree *self, Py_ssize_t need)
+{
+    Py_ssize_t cap;
+    if (need <= self->cap)
+        return 0;
+    cap = self->cap > 0 ? self->cap : 8;
+    while (cap < need)
+        cap *= 2;
+#define GROW(field)                                                        \
+    do {                                                                   \
+        int64_t *buf = PyMem_Realloc(self->field, cap * sizeof(int64_t));  \
+        if (buf == NULL) {                                                 \
+            PyErr_NoMemory();                                              \
+            return -1;                                                     \
+        }                                                                  \
+        self->field = buf;                                                 \
+    } while (0)
+    GROW(parent);
+    GROW(edge);
+    GROW(depth);
+    GROW(children);
+    GROW(last_ok);
+#undef GROW
+    self->cap = cap;
+    return 0;
+}
+
+static PyObject *
+flattree_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    FlatTree *self = (FlatTree *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->parent = self->edge = self->depth = self->children = self->last_ok = NULL;
+    self->n = 0;
+    self->cap = 0;
+    return (PyObject *)self;
+}
+
+static void
+flattree_dealloc(FlatTree *self)
+{
+    PyMem_Free(self->parent);
+    PyMem_Free(self->edge);
+    PyMem_Free(self->depth);
+    PyMem_Free(self->children);
+    PyMem_Free(self->last_ok);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+flattree_check_id(FlatTree *self, Py_ssize_t id, const char *what)
+{
+    if (id < 0 || id >= self->n) {
+        PyErr_Format(PyExc_ValueError, "unknown %s id %zd", what, id);
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+flattree_add_child(FlatTree *self, PyObject *arg)
+{
+    Py_ssize_t p = PyNumber_AsSsize_t(arg, PyExc_OverflowError);
+    Py_ssize_t id;
+    if (p == -1 && PyErr_Occurred())
+        return NULL;
+    if (p < -1 || p >= self->n) {
+        PyErr_Format(PyExc_ValueError, "unknown parent id %zd", p);
+        return NULL;
+    }
+    if (flattree_grow(self, self->n + 1) < 0)
+        return NULL;
+    id = self->n;
+    if (p < 0) {
+        self->parent[id] = -1;
+        self->edge[id] = 0;
+        self->depth[id] = 0;
+    }
+    else {
+        self->parent[id] = p;
+        self->edge[id] = self->children[p]++;
+        self->depth[id] = self->depth[p] + 1;
+    }
+    self->children[id] = 0;
+    self->last_ok[id] = -1;
+    self->n = id + 1;
+    return PyLong_FromSsize_t(id);
+}
+
+/* The Algorithm 3 ``Less`` on flat buffers: lift the deeper side to a
+ * common depth remembering the last edge taken, climb in lockstep to
+ * the LCA, and compare the dangling edges (later sibling is smaller;
+ * only a proper ancestor is less). */
+static int
+flat_less(const FlatTree *t, int64_t a, int64_t b)
+{
+    const int64_t *parent = t->parent;
+    const int64_t *edge = t->edge;
+    int64_t e1 = -1, e2 = -1;
+    int64_t d1, d2;
+    if (a == b)
+        return 0;
+    d1 = t->depth[a];
+    d2 = t->depth[b];
+    while (d2 > d1) {
+        e2 = edge[b];
+        b = parent[b];
+        d2--;
+    }
+    while (d1 > d2) {
+        e1 = edge[a];
+        a = parent[a];
+        d1--;
+    }
+    while (a != b) {
+        e1 = edge[a];
+        e2 = edge[b];
+        a = parent[a];
+        b = parent[b];
+    }
+    if (e1 < 0)
+        return e2 >= 0; /* anc+: a proper ancestor is permitted  */
+    if (e2 < 0)
+        return 0; /* dec*: a descendant never is */
+    return e1 > e2;
+}
+
+/* permits(a, b) with the monotone last-ok fast path (verdicts are
+ * fixed at fork time, so a permitted pair stays permitted forever). */
+static int
+flat_permits(FlatTree *self, int64_t a, int64_t b)
+{
+    int v;
+    if (self->last_ok[a] == b)
+        return 1;
+    v = flat_less(self, a, b);
+    if (v)
+        self->last_ok[a] = b;
+    return v;
+}
+
+static PyObject *
+flattree_permits(FlatTree *self, PyObject *args)
+{
+    Py_ssize_t a, b;
+    if (!PyArg_ParseTuple(args, "nn:permits", &a, &b))
+        return NULL;
+    if (flattree_check_id(self, a, "joiner") < 0 ||
+        flattree_check_id(self, b, "joinee") < 0)
+        return NULL;
+    return PyBool_FromLong(flat_permits(self, a, b));
+}
+
+static PyObject *
+flattree_permits_many(FlatTree *self, PyObject *args)
+{
+    Py_ssize_t a, n, i;
+    PyObject *joinees, *fast, *out;
+    if (!PyArg_ParseTuple(args, "nO:permits_many", &a, &joinees))
+        return NULL;
+    if (flattree_check_id(self, a, "joiner") < 0)
+        return NULL;
+    fast = PySequence_Fast(joinees, "joinees must be a sequence of ids");
+    if (fast == NULL)
+        return NULL;
+    n = PySequence_Fast_GET_SIZE(fast);
+    out = PyList_New(n);
+    if (out == NULL) {
+        Py_DECREF(fast);
+        return NULL;
+    }
+    for (i = 0; i < n; i++) {
+        Py_ssize_t b = PyNumber_AsSsize_t(PySequence_Fast_GET_ITEM(fast, i),
+                                          PyExc_OverflowError);
+        PyObject *v;
+        if (b == -1 && PyErr_Occurred())
+            goto fail;
+        if (flattree_check_id(self, b, "joinee") < 0)
+            goto fail;
+        v = flat_permits(self, a, b) ? Py_True : Py_False;
+        Py_INCREF(v);
+        PyList_SET_ITEM(out, i, v);
+    }
+    Py_DECREF(fast);
+    return out;
+fail:
+    Py_DECREF(fast);
+    Py_DECREF(out);
+    return NULL;
+}
+
+static PyObject *
+flattree_depth_of(FlatTree *self, PyObject *arg)
+{
+    Py_ssize_t id = PyNumber_AsSsize_t(arg, PyExc_OverflowError);
+    if (id == -1 && PyErr_Occurred())
+        return NULL;
+    if (flattree_check_id(self, id, "vertex") < 0)
+        return NULL;
+    return PyLong_FromLongLong(self->depth[id]);
+}
+
+/* The spawn path of *id* as the legacy tuple of edge labels (debugging
+ * and differential tests; never on the hot path). */
+static PyObject *
+flattree_path_of(FlatTree *self, PyObject *arg)
+{
+    Py_ssize_t id = PyNumber_AsSsize_t(arg, PyExc_OverflowError);
+    int64_t node, d;
+    PyObject *out;
+    if (id == -1 && PyErr_Occurred())
+        return NULL;
+    if (flattree_check_id(self, id, "vertex") < 0)
+        return NULL;
+    d = self->depth[id];
+    out = PyTuple_New(d);
+    if (out == NULL)
+        return NULL;
+    node = id;
+    while (d > 0) {
+        PyObject *e = PyLong_FromLongLong(self->edge[node]);
+        if (e == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyTuple_SET_ITEM(out, d - 1, e);
+        node = self->parent[node];
+        d--;
+    }
+    return out;
+}
+
+static PyObject *
+flattree_len(FlatTree *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromSsize_t(self->n);
+}
+
+static PyMethodDef flattree_methods[] = {
+    {"add_child", (PyCFunction)flattree_add_child, METH_O,
+     "add_child(parent_id) -> id   (parent_id < 0 creates a root)"},
+    {"permits", (PyCFunction)flattree_permits, METH_VARARGS,
+     "permits(joiner_id, joinee_id) -> bool"},
+    {"permits_many", (PyCFunction)flattree_permits_many, METH_VARARGS,
+     "permits_many(joiner_id, joinee_ids) -> list[bool]"},
+    {"depth_of", (PyCFunction)flattree_depth_of, METH_O,
+     "depth_of(id) -> int"},
+    {"path_of", (PyCFunction)flattree_path_of, METH_O,
+     "path_of(id) -> tuple  (the legacy spawn-path tuple)"},
+    {"__len__", (PyCFunction)flattree_len, METH_NOARGS, NULL},
+    {NULL, NULL, 0, NULL},
+};
+
+static Py_ssize_t
+flattree_length(FlatTree *self)
+{
+    return self->n;
+}
+
+static PySequenceMethods flattree_as_sequence = {
+    .sq_length = (lenfunc)flattree_length,
+};
+
+static PyTypeObject FlatTreeType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "_tj_sp_c.FlatTree",
+    .tp_basicsize = sizeof(FlatTree),
+    .tp_dealloc = (destructor)flattree_dealloc,
+    .tp_as_sequence = &flattree_as_sequence,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Struct-of-arrays TJ-SP spawn-path forest (compiled kernel)",
+    .tp_methods = flattree_methods,
+    .tp_new = flattree_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* find_path: the Armus waits-for DFS over a dict-of-sets adjacency    */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+reconstruct_path(PyObject *parent, PyObject *src, PyObject *dst)
+{
+    PyObject *path = PyList_New(0);
+    PyObject *cur = dst;
+    if (path == NULL)
+        return NULL;
+    Py_INCREF(cur);
+    for (;;) {
+        int eq;
+        PyObject *prev;
+        if (PyList_Append(path, cur) < 0)
+            goto fail;
+        eq = PyObject_RichCompareBool(cur, src, Py_EQ);
+        if (eq < 0)
+            goto fail;
+        if (eq)
+            break;
+        prev = PyDict_GetItemWithError(parent, cur);
+        if (prev == NULL) {
+            if (!PyErr_Occurred())
+                PyErr_SetString(PyExc_KeyError, "broken DFS parent chain");
+            goto fail;
+        }
+        Py_INCREF(prev);
+        Py_DECREF(cur);
+        cur = prev;
+    }
+    Py_DECREF(cur);
+    if (PyList_Reverse(path) < 0) {
+        Py_DECREF(path);
+        return NULL;
+    }
+    return path;
+fail:
+    Py_DECREF(cur);
+    Py_DECREF(path);
+    return NULL;
+}
+
+static PyObject *
+mod_find_path(PyObject *Py_UNUSED(module), PyObject *args)
+{
+    PyObject *succ, *src, *dst;
+    PyObject *parent = NULL, *seen = NULL, *stack = NULL, *result = NULL;
+    int eq, contains;
+    if (!PyArg_ParseTuple(args, "OOO:find_path", &succ, &src, &dst))
+        return NULL;
+    eq = PyObject_RichCompareBool(src, dst, Py_EQ);
+    if (eq < 0)
+        return NULL;
+    if (eq) {
+        PyObject *path = PyList_New(1);
+        if (path == NULL)
+            return NULL;
+        Py_INCREF(src);
+        PyList_SET_ITEM(path, 0, src);
+        return path;
+    }
+    contains = PyDict_Contains(succ, src);
+    if (contains < 0)
+        return NULL;
+    if (!contains)
+        Py_RETURN_NONE;
+    parent = PyDict_New();
+    seen = PySet_New(NULL);
+    stack = PyList_New(0);
+    if (parent == NULL || seen == NULL || stack == NULL)
+        goto done;
+    if (PySet_Add(seen, src) < 0 || PyList_Append(stack, src) < 0)
+        goto done;
+    while (PyList_GET_SIZE(stack) > 0) {
+        Py_ssize_t top = PyList_GET_SIZE(stack) - 1;
+        PyObject *node = PyList_GET_ITEM(stack, top); /* borrowed */
+        PyObject *succs, *iter, *s;
+        Py_INCREF(node);
+        if (PyList_SetSlice(stack, top, top + 1, NULL) < 0) {
+            Py_DECREF(node);
+            goto done;
+        }
+        succs = PyDict_GetItemWithError(succ, node);
+        if (succs == NULL) {
+            Py_DECREF(node);
+            if (PyErr_Occurred())
+                goto done;
+            continue;
+        }
+        iter = PyObject_GetIter(succs);
+        if (iter == NULL) {
+            Py_DECREF(node);
+            goto done;
+        }
+        while ((s = PyIter_Next(iter)) != NULL) {
+            int in_seen = PySet_Contains(seen, s);
+            if (in_seen < 0)
+                goto inner_fail;
+            if (in_seen) {
+                Py_DECREF(s);
+                continue;
+            }
+            if (PyDict_SetItem(parent, s, node) < 0)
+                goto inner_fail;
+            eq = PyObject_RichCompareBool(s, dst, Py_EQ);
+            if (eq < 0)
+                goto inner_fail;
+            if (eq) {
+                result = reconstruct_path(parent, src, dst);
+                Py_DECREF(s);
+                Py_DECREF(iter);
+                Py_DECREF(node);
+                goto done;
+            }
+            if (PySet_Add(seen, s) < 0 || PyList_Append(stack, s) < 0)
+                goto inner_fail;
+            Py_DECREF(s);
+            continue;
+        inner_fail:
+            Py_DECREF(s);
+            Py_DECREF(iter);
+            Py_DECREF(node);
+            goto done;
+        }
+        Py_DECREF(iter);
+        Py_DECREF(node);
+        if (PyErr_Occurred())
+            goto done;
+    }
+    result = Py_None;
+    Py_INCREF(result);
+done:
+    Py_XDECREF(parent);
+    Py_XDECREF(seen);
+    Py_XDECREF(stack);
+    if (result == NULL && !PyErr_Occurred())
+        PyErr_SetString(PyExc_SystemError, "find_path failed");
+    return result;
+}
+
+static PyMethodDef module_methods[] = {
+    {"find_path", mod_find_path, METH_VARARGS,
+     "find_path(succ_dict, src, dst) -> [src, ..., dst] or None"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef tj_sp_c_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_tj_sp_c",
+    .m_doc = "Compiled flat-array TJ-SP kernel and Armus DFS",
+    .m_size = -1,
+    .m_methods = module_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__tj_sp_c(void)
+{
+    PyObject *m;
+    if (PyType_Ready(&FlatTreeType) < 0)
+        return NULL;
+    m = PyModule_Create(&tj_sp_c_module);
+    if (m == NULL)
+        return NULL;
+    Py_INCREF(&FlatTreeType);
+    if (PyModule_AddObject(m, "FlatTree", (PyObject *)&FlatTreeType) < 0) {
+        Py_DECREF(&FlatTreeType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -20,10 +20,38 @@ paper argues for Algorithm 2.
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from typing import Callable, Optional
 
-__all__ = ["JoinPolicy", "NullPolicy", "POLICY_REGISTRY", "register_policy", "make_policy"]
+__all__ = [
+    "JoinPolicy",
+    "NullPolicy",
+    "POLICY_REGISTRY",
+    "register_policy",
+    "make_policy",
+    "evict_chunk",
+]
+
+
+def evict_chunk(cache: dict, capacity: int) -> int:
+    """Drop the oldest eighth of a bounded verdict cache; returns the count.
+
+    One-at-a-time FIFO eviction thrashes as soon as the working set
+    exceeds capacity (every insert pays an eviction forever); evicting
+    in chunks amortises that to one sweep per eighth.  Insertion order
+    is the eviction order (Python dicts preserve it).  A racy resize is
+    resolved by clearing — policy verdict caches only ever hold
+    deterministic, immutable verdicts, so losing the contents is benign.
+    """
+    chunk = max(1, capacity >> 3)
+    try:
+        for key in list(itertools.islice(iter(cache), chunk)):
+            del cache[key]
+    except (KeyError, RuntimeError):  # lost an eviction race; start fresh
+        chunk = len(cache)
+        cache.clear()
+    return chunk
 
 
 class JoinPolicy(ABC):
@@ -35,6 +63,13 @@ class JoinPolicy(ABC):
 
     #: short identifier used in reports ("TJ-SP", "KJ-VC", ...)
     name: str = "abstract"
+
+    #: which kernel answers ``permits`` for this instance: ``"py"`` for
+    #: pure Python (everything except the flat TJ-SP core, which may
+    #: resolve to ``"c"`` — see :mod:`repro.core._cbuild`).  Stamped onto
+    #: verifier latency histograms and benchmark measurements so
+    #: compiled and fallback timings are never conflated.
+    backend: str = "py"
 
     #: True when the permission relation is fixed at fork time (all TJ
     #: algorithms: ``<_T`` never changes once both vertices exist).  KJ

@@ -7,11 +7,15 @@ scanned for the longest common prefix.  That is the variant the paper
 evaluates, and it is kept verbatim below as :class:`TJSpawnPathsLegacy`
 (registered as ``"TJ-SP-legacy"``) so benchmarks can measure against it.
 
-:class:`TJSpawnPaths` (still registered as ``"TJ-SP"``) replaces the
+:class:`TJSpawnPaths` (registered as ``"TJ-SP-obj"``) replaces the
 per-task tuple with a *hash-consed prefix tree* in the style of DePa's
 compact fork paths: every task holds one interned :class:`SPNode` with a
 parent pointer, its edge label (sibling index), a precomputed depth and
-a stable id.  A fork is then a single O(1) node allocation — the whole
+a stable id.  The production ``"TJ-SP"`` name now resolves to the
+struct-of-arrays policy of :mod:`repro.core.tj_sp_flat`, which drops the
+node objects altogether; this object implementation is retained for
+differential testing and as a benchmark rung between the legacy tuples
+and the flat core.  A fork is then a single O(1) node allocation — the whole
 prefix is shared structurally — and ``Less`` resolves at the lowest
 common ancestor by climbing the two node chains in lockstep instead of
 re-scanning tuples from the root.
@@ -28,9 +32,12 @@ negative verdicts are therefore stable and safe to memoise:
 * the policy keeps a bounded insertion-ordered cache of
   ``(joiner-id, joinee-id) -> verdict`` entries, so repeated joins in
   finish/fan-in patterns become O(1) dict hits.  The cache is capacity
-  bounded (FIFO eviction, cleared wholesale on a racy eviction) and so
-  adds O(1) space; races on it are benign because verdicts are
-  deterministic and immutable.
+  bounded and so adds O(1) space; at capacity the *oldest eighth* is
+  evicted in one sweep (one-at-a-time FIFO eviction thrashed: a working
+  set just over capacity paid an eviction on every insert, forever).
+  Evictions are counted in ``cache_evictions``; races on the cache are
+  benign because verdicts are deterministic and immutable, so a racy
+  eviction may simply clear it wholesale.
 
 The Section 5.1 concurrency contract still holds without locks: the only
 shared mutable fields are the parent's ``children`` counter (written
@@ -42,7 +49,7 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
-from .policy import JoinPolicy, register_policy
+from .policy import JoinPolicy, evict_chunk as _evict_chunk, register_policy
 
 __all__ = ["SPNode", "TJSpawnPaths", "TJSpawnPathsLegacy", "LegacySPNode"]
 
@@ -93,16 +100,18 @@ class SPNode:
 class TJSpawnPaths(JoinPolicy):
     """Transitive Joins over interned (structurally shared) spawn paths."""
 
-    name = "TJ-SP"
+    name = "TJ-SP-obj"
     stable_permits = True
 
-    #: verdict-cache capacity; past it the oldest entries are evicted
+    #: verdict-cache capacity; past it the oldest eighth is evicted
     CACHE_CAPACITY = 1 << 16
 
     def __init__(self) -> None:
         self._n_nodes = 0
         self._sid = itertools.count()
         self._verdicts: dict[tuple[int, int], bool] = {}
+        #: total verdict-cache entries evicted over this policy's lifetime
+        self.cache_evictions = 0
 
     def add_child(self, parent: Optional[SPNode]) -> SPNode:
         self._n_nodes += 1
@@ -123,19 +132,18 @@ class TJSpawnPaths(JoinPolicy):
         if verdict is None:
             verdict = self._less_nodes(joiner, joinee)
             if len(cache) >= self.CACHE_CAPACITY:
-                try:
-                    del cache[next(iter(cache))]
-                except (StopIteration, KeyError, RuntimeError):
-                    cache.clear()  # lost an eviction race; start fresh
+                self.cache_evictions += _evict_chunk(cache, self.CACHE_CAPACITY)
             cache[key] = verdict
         if verdict:
             joiner._last_ok = jid
         return verdict
 
-    def permits_many(self, joiner: SPNode, joinees: list[SPNode]) -> list[bool]:
-        # Hoist the per-call attribute lookups of the generic loop.
-        permits = self.permits
-        return [permits(joiner, joinee) for joinee in joinees]
+    def cache_stats(self) -> dict[str, int]:
+        """Size and total evictions of the verdict cache."""
+        return {
+            "pair_entries": len(self._verdicts),
+            "evictions": self.cache_evictions,
+        }
 
     # ------------------------------------------------------------------
     @staticmethod

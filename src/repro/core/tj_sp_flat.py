@@ -1,0 +1,408 @@
+"""TJ-SP over a struct-of-arrays core: the flat-array policy (``TJ-SP``).
+
+The interned prefix tree of :mod:`repro.core.tj_sp` won the asymptotics
+(O(1) forks, O(n) space) but kept one Python object per task, so every
+``Less`` step paid attribute loads and every batch check paid a Python
+loop.  This module removes the objects entirely, in the style of DePa's
+machine-word path encodings: the whole spawn-path forest lives in
+parallel int64 buffers —
+
+* ``parent[id]`` — parent vertex id (-1 for a root),
+* ``edge[id]``   — sibling index (the spawn-path entry),
+* ``depth[id]``  — precomputed depth,
+* ``children[id]`` — fork counter,
+* ``last_ok[id]``  — the monotone per-task permission cache,
+
+grown by doubling and indexed by a dense stable id.  **A vertex handle
+is just that id** (a plain ``int``), so the runtimes never materialise a
+node object on the hot path: ``task.vertex`` is an int, batch drains
+pass lists of ints, and ``Less`` is index chasing over flat buffers.
+
+Two interchangeable kernels serve the representation:
+
+* :class:`FlatTreePy` — the portable pure-Python core.  Scalar ``Less``
+  chases Python lists (faster than NumPy scalar indexing); batch
+  verification uses a vectorized NumPy pass when the batch is wide
+  enough (:data:`VECTOR_MIN`): climb all joinees to the joiner's depth
+  with gathers, resolve the LCA for the whole batch in lockstep against
+  the joiner's ancestor chain, and answer n joins in O(max depth) vector
+  operations instead of n pointer walks.  NumPy mirrors of the buffers
+  are synced lazily, at batch time — forks touch only Python lists.
+* the compiled kernel of ``_tj_sp_c.c`` (built on demand by
+  :mod:`repro.core._cbuild`) — the same arrays in C, with ``Less`` and
+  ``permits_many`` as C loops.
+
+:class:`TJSpawnPathsFlat` (registered as ``"TJ-SP"``) wraps either
+kernel, binding the kernel's ``permits`` straight onto the instance so a
+scalar check is one call into the core with no policy-level dispatch.
+On top it adds one cache the kernels cannot see: a bounded **batch
+cache** ``(joiner, joinee-tuple) -> verdicts`` serving ``permits_many``,
+sound because TJ verdicts are fixed at fork time, which turns the
+barrier/finish pattern of re-verifying the same join set every phase
+into one dict hit per drain.  The cache evicts in chunks (the oldest
+eighth, via :func:`repro.core.policy.evict_chunk`) rather than one
+entry per insert, and counts evictions (``cache_stats()``).
+
+The object policy survives as ``"TJ-SP-obj"`` and the seed tuples as
+``"TJ-SP-legacy"``; ``tests/core/test_flat_tj_sp.py`` proves all four
+implementations (legacy / object / flat-pure / flat-compiled) verdict
+identical on 1000+ random trees.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+from ._cbuild import backend_choice, compiled_module
+from .policy import JoinPolicy, evict_chunk as _evict_chunk, register_policy
+
+try:  # numpy is a declared dependency, but the flat core runs without it
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only on stripped installs
+    _np = None
+
+__all__ = ["FlatTreePy", "TJSpawnPathsFlat", "VECTOR_MIN"]
+
+#: smallest batch the pure-Python kernel vectorizes with NumPy; below
+#: this a plain loop over the list buffers is faster (NumPy scalar
+#: indexing costs several times a list index from Python).
+VECTOR_MIN = 48
+
+
+class FlatTreePy:
+    """The pure-Python struct-of-arrays kernel.
+
+    Python lists carry the scalar hot path; NumPy mirrors of
+    ``parent``/``edge``/``depth`` carry the vectorized batch path.  The
+    mirrors are synced *lazily*: ``add_child`` appends to the lists only
+    (so forks never pay NumPy scalar-write costs), and a batch query
+    copies the not-yet-mirrored suffix in one vectorized slice
+    assignment, growing the mirror capacity by doubling.
+
+    ``add_child`` and mirror syncs take a lock (id allocation, the
+    fork counters, and mirror growth must each be atomic); scalar
+    readers are lock-free — they only ever index ids that were fully
+    appended before being handed out, and a batch reads the mirror
+    arrays it captured inside the sync critical section (a later grow
+    swaps in a new array but never mutates the published prefix of the
+    old one).
+    """
+
+    __slots__ = (
+        "parent",
+        "edge",
+        "depth",
+        "children",
+        "last_ok",
+        "n",
+        "_lock",
+        "_np_parent",
+        "_np_edge",
+        "_np_depth",
+        "_np_cap",
+        "_np_synced",
+    )
+
+    #: initial mirror capacity (small, so tests cross growth boundaries)
+    INITIAL_CAPACITY = 8
+
+    def __init__(self) -> None:
+        self.parent: list[int] = []
+        self.edge: list[int] = []
+        self.depth: list[int] = []
+        self.children: list[int] = []
+        self.last_ok: list[int] = []
+        self.n = 0
+        self._lock = threading.Lock()
+        self._np_cap = 0
+        self._np_synced = 0
+        self._np_parent = self._np_edge = self._np_depth = None
+
+    # ------------------------------------------------------------------
+    def add_child(self, parent: int) -> int:
+        """Append a vertex under *parent* (< 0 creates a root); returns its id."""
+        with self._lock:
+            vid = self.n
+            if parent < 0:
+                p, e, d = -1, 0, 0
+            else:
+                if parent >= vid:
+                    raise ValueError(f"unknown parent id {parent}")
+                p = parent
+                e = self.children[parent]
+                self.children[parent] = e + 1
+                d = self.depth[parent] + 1
+            self.parent.append(p)
+            self.edge.append(e)
+            self.depth.append(d)
+            self.children.append(0)
+            self.last_ok.append(-1)
+            self.n = vid + 1
+            return vid
+
+    def _sync_mirrors_locked(self, n: int):
+        """Bring the NumPy mirrors up to *n* entries; returns them.
+
+        Caller must hold the lock.  Growth allocates fresh doubled
+        arrays and copies the synced prefix, then publishes by swap —
+        a concurrent batch still reading the old arrays sees its full
+        captured prefix untouched.
+        """
+        cap = self._np_cap
+        if n > cap:
+            cap = cap or self.INITIAL_CAPACITY
+            while cap < n:
+                cap *= 2
+            m = self._np_synced
+            for name in ("_np_parent", "_np_edge", "_np_depth"):
+                old = getattr(self, name)
+                buf = _np.empty(cap, dtype=_np.int64)
+                if m:
+                    buf[:m] = old[:m]
+                setattr(self, name, buf)
+            self._np_cap = cap
+        m = self._np_synced
+        if n > m:
+            self._np_parent[m:n] = self.parent[m:n]
+            self._np_edge[m:n] = self.edge[m:n]
+            self._np_depth[m:n] = self.depth[m:n]
+            self._np_synced = n
+        return self._np_parent, self._np_edge, self._np_depth
+
+    # ------------------------------------------------------------------
+    def less(self, a: int, b: int) -> bool:
+        """Algorithm 3 ``Less`` as index chasing over the flat buffers."""
+        if a == b:
+            return False
+        parent = self.parent
+        edge = self.edge
+        depth = self.depth
+        e1 = e2 = -1
+        d1 = depth[a]
+        d2 = depth[b]
+        while d2 > d1:
+            e2 = edge[b]
+            b = parent[b]
+            d2 -= 1
+        while d1 > d2:
+            e1 = edge[a]
+            a = parent[a]
+            d1 -= 1
+        while a != b:
+            e1 = edge[a]
+            e2 = edge[b]
+            a = parent[a]
+            b = parent[b]
+        if e1 < 0:
+            return e2 >= 0  # anc+: a proper ancestor is permitted
+        if e2 < 0:
+            return False  # dec*: a descendant never is
+        return e1 > e2  # sib: the later sibling is smaller
+
+    def permits(self, a: int, b: int) -> bool:
+        last_ok = self.last_ok
+        if last_ok[a] == b:
+            return True
+        if self.less(a, b):
+            last_ok[a] = b
+            return True
+        return False
+
+    def permits_many(self, joiner: int, joinees: Sequence[int]) -> list[bool]:
+        if _np is not None and len(joinees) >= VECTOR_MIN:
+            return self._permits_batch_np(joiner, joinees)
+        permits = self.permits
+        return [permits(joiner, joinee) for joinee in joinees]
+
+    # ------------------------------------------------------------------
+    def _permits_batch_np(self, joiner: int, joinees: Sequence[int]) -> list[bool]:
+        """One vectorized ``Less`` pass: n joins against one joiner.
+
+        All joinees are lifted to the joiner's depth with masked parent
+        gathers (each iteration retires one level across the whole
+        batch), then the batch climbs in lockstep against the joiner's
+        precomputed ancestor chain until every element has met its LCA.
+        The dangling-edge comparison is then a single vector expression.
+        """
+        np = _np
+        n_pub = self.n
+        with self._lock:
+            parent, edge, depth = self._sync_mirrors_locked(n_pub)
+        ids = np.asarray(joinees, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or ids.max() >= n_pub):
+            raise ValueError("unknown joinee id in batch")
+        # The joiner's ancestor chain, indexable by depth (chain[k] is
+        # the ancestor at depth k).  O(depth) once per batch.
+        plist = self.parent
+        dj = self.depth[joiner]
+        chain = [0] * (dj + 1)
+        node = joiner
+        for k in range(dj, -1, -1):
+            chain[k] = node
+            node = plist[node]
+        chain_arr = np.asarray(chain, dtype=np.int64)
+        cur = ids.copy()
+        d = depth[cur]
+        e1 = np.full(ids.shape, -1, dtype=np.int64)
+        e2 = np.full(ids.shape, -1, dtype=np.int64)
+        # Lift joinees deeper than the joiner (only the last edge taken
+        # matters, so each masked step may overwrite e2).
+        mask = d > dj
+        while mask.any():
+            c = cur[mask]
+            e2[mask] = edge[c]
+            cur[mask] = parent[c]
+            d[mask] -= 1
+            mask = d > dj
+        # Joiner-side lift for shallower joinees is a chain lookup: the
+        # surviving e1 is the edge of the ancestor one below depth d.
+        k = d
+        lift = k < dj
+        if lift.any():
+            e1[lift] = edge[chain_arr[k[lift] + 1]]
+        # Lockstep climb to the LCA against the ancestor chain.
+        while True:
+            anc = chain_arr[k]
+            neq = cur != anc
+            if not neq.any():
+                break
+            c = cur[neq]
+            e1[neq] = edge[anc[neq]]
+            e2[neq] = edge[c]
+            cur[neq] = parent[c]
+            k[neq] -= 1
+        verdict = np.where(e1 < 0, e2 >= 0, (e2 >= 0) & (e1 > e2))
+        return verdict.tolist()
+
+    # ------------------------------------------------------------------
+    def depth_of(self, vid: int) -> int:
+        return self.depth[vid]
+
+    def path_of(self, vid: int) -> tuple[int, ...]:
+        """The legacy spawn-path tuple (debugging/differential tests)."""
+        rev = []
+        parent = self.parent
+        edge = self.edge
+        while parent[vid] >= 0:
+            rev.append(edge[vid])
+            vid = parent[vid]
+        return tuple(reversed(rev))
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class TJSpawnPathsFlat(JoinPolicy):
+    """Transitive Joins over the flat struct-of-arrays core.
+
+    Vertex handles are dense ``int`` ids.  The kernel — compiled C or
+    pure Python — is chosen per instance: explicitly via ``backend=``
+    (``"c"``, ``"py"`` or ``"auto"``), else from the ``REPRO_TJ_BACKEND``
+    environment variable (see :mod:`repro.core._cbuild`).  The resolved
+    choice is exposed as :attr:`backend` (``"c"`` or ``"py"``), which
+    the verifier stamps onto its latency histograms and the hot-path
+    benchmark records next to every measurement.
+
+    ``permits`` is rebound on the instance to the kernel's own method:
+    a scalar check costs no policy-level Python frame at all, and the
+    kernel's per-task ``last_ok`` slot (sound — TJ verdicts are fixed
+    at fork time) is the only scalar cache.  ``permits_many`` keeps a
+    policy-level bounded batch-verdict cache on top.
+    """
+
+    name = "TJ-SP"
+    stable_permits = True
+
+    #: batch-verdict cache capacity (both kernels)
+    BATCH_CACHE_CAPACITY = 1 << 12
+
+    def __init__(self, backend: Optional[str] = None) -> None:
+        choice = backend_choice() if backend is None else backend.strip().lower()
+        kernel = None
+        if choice in ("auto", "c"):
+            module = compiled_module() if backend is None else _resolve_explicit(choice)
+            if module is not None:
+                kernel = module.FlatTree()
+        elif choice != "py":
+            raise ValueError(f"backend must be 'auto', 'c' or 'py', got {backend!r}")
+        if kernel is not None:
+            self._core = kernel
+            self.backend = "c"
+        else:
+            self._core = FlatTreePy()
+            self.backend = "py"
+        # Hot-path rebinds: instance attributes shadow the class methods,
+        # so callers dispatch straight into the kernel.
+        self.permits = self._core.permits
+        self._batch_verdicts: dict[tuple, tuple[bool, ...]] = {}
+        #: total batch-cache entries evicted over this policy's lifetime
+        self.cache_evictions = 0
+
+    # ------------------------------------------------------------------
+    def add_child(self, parent: Optional[int]) -> int:
+        return self._core.add_child(-1 if parent is None else parent)
+
+    def permits(self, joiner: int, joinee: int) -> bool:  # pragma: no cover
+        # Shadowed by the instance binding in __init__; kept so the ABC
+        # contract is visibly satisfied at class level.
+        return self._core.permits(joiner, joinee)
+
+    def permits_many(self, joiner: int, joinees: Sequence[int]) -> list[bool]:
+        ids = tuple(joinees)
+        if not ids:
+            return []
+        cache = self._batch_verdicts
+        key = (joiner, ids)
+        hit = cache.get(key)
+        if hit is None:
+            hit = tuple(self._core.permits_many(joiner, ids))
+            if len(cache) >= self.BATCH_CACHE_CAPACITY:
+                self.cache_evictions += _evict_chunk(
+                    cache, self.BATCH_CACHE_CAPACITY
+                )
+            cache[key] = hit
+        return list(hit)
+
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, int]:
+        """Size and total evictions of the batch-verdict cache."""
+        return {
+            "batch_entries": len(self._batch_verdicts),
+            "evictions": self.cache_evictions,
+        }
+
+    def space_units(self) -> int:
+        """Live storage in atomic slots: 4 per vertex (parent, edge,
+        depth, last-ok), same accounting as the interned object policy;
+        the bounded batch cache is O(1) by construction and not counted."""
+        return 4 * len(self._core)
+
+    # Debug/differential helpers (never on the hot path) -----------------
+    def path_of(self, vid: int) -> tuple[int, ...]:
+        return tuple(self._core.path_of(vid))
+
+
+def _resolve_explicit(choice: str):
+    """Resolve an *explicit* ``backend=`` argument against the loader."""
+    import os
+
+    from . import _cbuild
+
+    if choice == "c":
+        module = _cbuild.compiled_module()
+        if module is None:
+            # compiled_module only raises when the env demands "c"; an
+            # explicit backend="c" argument must be just as strict.
+            raise RuntimeError(
+                f"backend='c' requested but the compiled TJ-SP kernel is "
+                f"unavailable: {_cbuild.build_error()}"
+            )
+        return module
+    if os.environ.get(_cbuild.BACKEND_ENV, "").strip().lower() == "py":
+        # backend="auto" given explicitly still honours a hard py pin.
+        return None
+    return _cbuild.compiled_module()
+
+
+register_policy(TJSpawnPathsFlat.name, TJSpawnPathsFlat)

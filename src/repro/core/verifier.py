@@ -168,7 +168,14 @@ class Verifier:
         if obs is not None:
             obs.registry.add_source("verifier", self._events.totals)
             self._check_hist = obs.registry.histogram(
-                "repro_verifier_join_check_ns", labels={"policy": policy.name}
+                "repro_verifier_join_check_ns",
+                labels={
+                    "policy": policy.name,
+                    # compiled vs pure-Python kernel (flat TJ-SP resolves
+                    # this at construction; everything else is "py"), so
+                    # `top` and Prometheus export never conflate the two
+                    "backend": getattr(policy, "backend", "py"),
+                },
             )
         else:
             self._check_hist = None

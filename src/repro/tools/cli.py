@@ -19,10 +19,13 @@ Commands
     Regenerate the overhead table (Table 2).
 ``figure2 [--reps N]``
     Regenerate the execution-time chart (Figure 2).
-``bench-hotpath [--reps N] [--smoke] [--json PATH]``
+``bench-hotpath [--reps N] [--smoke] [--json PATH] [--min-speedup F]
+[--max-kj-ratio F]``
     Run the verifier hot-path microbenchmarks (join-heavy, fork-heavy,
     deep-tree, wide-tree across all TJ/KJ policies) and write
-    ``BENCH_hotpath.json``.
+    ``BENCH_hotpath.json`` with the TJ-SP kernel backend recorded per
+    measurement; optionally enforce the legacy-speedup and KJ-VC-parity
+    gates.
 ``bench-runtime [--reps N] [--smoke] [--json PATH] [--min-join-speedup F]
 [--max-overhead F] [--max-journal-overhead F]``
     Run the end-to-end runtime overhead suite: the join-latency
@@ -420,16 +423,31 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     params = SMOKE_PARAMS if args.smoke else SHAPE_PARAMS
     measurements = run_hotpath_suite(repetitions=args.reps, params=params)
     print(render_hotpath_table(measurements))
+    tj = next(
+        (m for m in measurements if (m.shape, m.policy) == ("join-heavy", "TJ-SP")),
+        None,
+    )
+    if tj is not None:
+        print(f"TJ-SP kernel backend: {tj.backend}")
     save_hotpath(measurements, args.json, params)
     print(f"raw samples written to {args.json}")
+    status = 0
     factor = speedup(measurements, "join-heavy")
     if args.min_speedup and factor < args.min_speedup:
         print(
             f"REGRESSION: join-heavy TJ-SP speedup {factor:.2f}x "
             f"below the {args.min_speedup:.2f}x gate"
         )
-        return 1
-    return 0
+        status = 1
+    if args.max_kj_ratio:
+        ratio = 1.0 / speedup(measurements, "join-heavy", baseline="KJ-VC")
+        if ratio > args.max_kj_ratio:
+            print(
+                f"REGRESSION: join-heavy TJ-SP costs {ratio:.2f}x KJ-VC "
+                f"per event, above the {args.max_kj_ratio:.2f}x gate"
+            )
+            status = 1
+    return status
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -713,6 +731,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=0.0,
         metavar="FACTOR",
         help="fail (exit 1) if join-heavy TJ-SP vs TJ-SP-legacy drops below FACTOR",
+    )
+    p.add_argument(
+        "--max-kj-ratio",
+        type=float,
+        default=0.0,
+        metavar="FACTOR",
+        help="fail (exit 1) if join-heavy TJ-SP per-event cost exceeds "
+        "KJ-VC by more than FACTOR",
     )
     p.set_defaults(fn=_cmd_bench_hotpath)
 

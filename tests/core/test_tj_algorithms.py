@@ -181,7 +181,9 @@ class TestRegistry:
         with pytest.raises(ValueError, match="already registered"):
             register_policy("TJ-SP", TJGlobalTree)
         # the registry is untouched by the failed attempt
-        assert POLICY_REGISTRY["TJ-SP"] is TJSpawnPaths
+        from repro.core.tj_sp_flat import TJSpawnPathsFlat
+
+        assert POLICY_REGISTRY["TJ-SP"] is TJSpawnPathsFlat
 
     def test_duplicate_registration_with_override(self):
         from repro.core.policy import POLICY_REGISTRY, register_policy

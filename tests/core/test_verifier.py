@@ -13,7 +13,7 @@ def verifier():
 
 class TestVerifier:
     def test_name(self, verifier):
-        assert verifier.name == "TJ-SP"
+        assert verifier.name == "TJ-SP-obj"
 
     def test_fork_counting(self, verifier):
         root = verifier.on_init()
@@ -41,7 +41,7 @@ class TestVerifier:
         with pytest.raises(PolicyViolationError) as exc_info:
             verifier.require_join(child, root)
         err = exc_info.value
-        assert err.policy == "TJ-SP"
+        assert err.policy == "TJ-SP-obj"
         assert err.joiner is child and err.joinee is root
 
     def test_on_join_completed_delegates(self):

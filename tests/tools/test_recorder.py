@@ -55,7 +55,7 @@ class TestRecorderUnit:
     def test_delegation(self):
         inner = TJSpawnPaths()
         rec = TraceRecordingPolicy(inner)
-        assert rec.name == "TJ-SP"
+        assert rec.name == "TJ-SP-obj"
         root = rec.add_child(None)
         rec.add_child(root)
         assert rec.space_units() == inner.space_units() > 0
