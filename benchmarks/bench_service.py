@@ -1,0 +1,161 @@
+"""Experiment E8 — remote-verification soak and the flat-RSS gate.
+
+Drives the verification sidecar (:mod:`repro.service`) under sustained
+load and *asserts* the robustness properties the fault-tolerant sidecar
+claims:
+
+* at least 100k joins round-trip through a real sidecar over real TCP
+  and every verdict is correct (a parent joining its own child is
+  TJ-permitted; one ``False`` fails the soak);
+* the client process's resident set stays **flat** across the soak —
+  the client's replay buffer must be ack-pruned and the server's
+  per-session state must not grow with traffic volume, so neither side
+  can leak per-join memory;
+* the soak runs clean: zero degradations, zero reconciles — on a
+  healthy loopback link the client never falls back to local
+  verification.
+
+The measurement merges into ``BENCH_runtime.json`` (schema v4's
+``service`` block, via ``repro.analysis.io``) next to the wakeup,
+journal, and telemetry instruments, so every future PR has a stored
+soak trajectory.  Existing blocks in the file are preserved; a missing
+or old-schema file is tolerated.  Running this file directly (``python
+benchmarks/bench_service.py``) performs the same soak + gates + merge —
+which is what the ``service-smoke`` CI job does.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # script mode: make `repro` importable
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.analysis.io import load_runtime, save_runtime
+from repro.analysis.runtime_overhead import (
+    SERVICE_PARAMS,
+    RuntimeOverheadResult,
+    run_service_soak,
+)
+
+#: the soak must verify at least this many joins remotely
+MIN_JOINS = 100_000
+
+#: after/before RSS bound.  The soak's steady state allocates nothing
+#: per join (the replay buffer is ack-pruned; verdict lists are
+#: transient), so the factor sits at ~1.00x; the bound leaves room for
+#: allocator high-water effects while catching any per-join leak — at
+#: 100k joins even 100 bytes/join would add ~10 MB and breach it.
+RSS_GROWTH_GATE = 1.25
+
+#: absolute slack (kB) under the growth gate, so a tiny baseline RSS
+#: cannot make the relative bound spuriously tight
+RSS_SLACK_KB = 8 * 1024
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_runtime.json"
+)
+
+
+def merge_into_bench_file(measurement, path: str = OUTPUT) -> None:
+    """Attach the soak to ``BENCH_runtime.json``, preserving other blocks.
+
+    Loads whatever is there (any supported schema — older files simply
+    have no service block yet), swaps in this measurement, and rewrites
+    at the current schema version.  No file yet means the soak stands
+    alone in a fresh one.
+    """
+    if os.path.exists(path):
+        result = load_runtime(path)
+    else:
+        result = RuntimeOverheadResult(
+            join_chain={}, reports=[], join_chain_params={}, overhead_params={}
+        )
+    result.service = measurement
+    result.service_params = dict(SERVICE_PARAMS)
+    save_runtime(result, path)
+
+
+@pytest.fixture(scope="module")
+def soak():
+    t0 = time.perf_counter()
+    m = run_service_soak(params=SERVICE_PARAMS)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 120.0, f"service soak must stay brisk (took {elapsed:.1f}s)"
+    return m
+
+
+def test_soak_verifies_at_least_100k_joins(soak):
+    print(
+        f"\nservice soak: {soak.joins} joins in {soak.elapsed:.2f}s "
+        f"({soak.joins_per_second:,.0f} joins/s), RSS {soak.rss_before_kb} -> "
+        f"{soak.rss_after_kb} kB (growth {soak.rss_growth:.3f}x)"
+    )
+    assert soak.joins >= MIN_JOINS
+
+
+def test_soak_runs_clean(soak):
+    """A healthy loopback sidecar never degrades the client."""
+    assert soak.degradations == 0
+    assert soak.reconciles == 0
+
+
+def test_soak_rss_stays_flat(soak):
+    """Neither endpoint may grow memory with remote-verified join volume."""
+    if not soak.rss_before_kb:
+        pytest.skip("no /proc/self/status on this platform")
+    bound_kb = soak.rss_before_kb * RSS_GROWTH_GATE + RSS_SLACK_KB
+    assert soak.rss_after_kb <= bound_kb, (
+        f"client RSS grew {soak.rss_before_kb} -> {soak.rss_after_kb} kB "
+        f"over {soak.joins} remote joins (bound {bound_kb:.0f} kB): "
+        f"a per-join leak in the replay buffer or session state"
+    )
+    assert not math.isnan(soak.rss_growth)
+
+
+def test_soak_merges_into_bench_runtime_json(soak, tmp_path):
+    """The service block round-trips and coexists with other instruments."""
+    path = str(tmp_path / "BENCH_runtime.json")
+    merge_into_bench_file(soak, path)
+    loaded = load_runtime(path)
+    assert loaded.service is not None
+    assert loaded.service.joins == soak.joins
+    assert loaded.service_params == dict(SERVICE_PARAMS)
+    # merging again (a rerun) replaces the block, not the file
+    merge_into_bench_file(soak, path)
+    assert load_runtime(path).service.joins == soak.joins
+
+
+if __name__ == "__main__":
+    m = run_service_soak(params=SERVICE_PARAMS)
+    print(
+        f"service soak: {m.joins} joins in {m.elapsed:.2f}s "
+        f"({m.joins_per_second:,.0f} joins/s), RSS {m.rss_before_kb} -> "
+        f"{m.rss_after_kb} kB (peak {m.rss_peak_kb}, growth {m.rss_growth:.3f}x), "
+        f"degradations {m.degradations}"
+    )
+    status = 0
+    if m.joins < MIN_JOINS:
+        print(f"FAIL: soak verified {m.joins} joins, below the {MIN_JOINS} gate")
+        status = 1
+    if m.degradations or m.reconciles:
+        print("FAIL: client degraded during a healthy-loopback soak")
+        status = 1
+    if m.rss_before_kb:
+        bound_kb = m.rss_before_kb * RSS_GROWTH_GATE + RSS_SLACK_KB
+        if m.rss_after_kb > bound_kb:
+            print(
+                f"FAIL: RSS grew {m.rss_before_kb} -> {m.rss_after_kb} kB "
+                f"(bound {bound_kb:.0f} kB)"
+            )
+            status = 1
+    merge_into_bench_file(m)
+    print(f"service block merged into {OUTPUT}")
+    sys.exit(status)

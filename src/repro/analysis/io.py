@@ -34,10 +34,11 @@ _SCHEMA_VERSION = 1
 _HOTPATH_SCHEMA_VERSION = 2
 _HOTPATH_SCHEMAS = (1, 2)
 #: v2 added the journal-overhead microshape block; v3 the telemetry
-#: ("obs") block.  Both are optional on load — older files still load
-#: with the missing instruments defaulting to unmeasured.
-_RUNTIME_SCHEMA_VERSION = 3
-_RUNTIME_SCHEMAS = (1, 2, 3)
+#: ("obs") block; v4 the remote-verification soak ("service") block.
+#: All are optional on load — older files still load with the missing
+#: instruments defaulting to unmeasured.
+_RUNTIME_SCHEMA_VERSION = 4
+_RUNTIME_SCHEMAS = (1, 2, 3, 4)
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -224,6 +225,22 @@ def runtime_to_json(result) -> str:
                 for m in arms.values()
             ],
         }
+    if result.service is not None:
+        s = result.service
+        payload["service"] = {
+            "params": dict(result.service_params),
+            "measurement": {
+                "joins": s.joins,
+                "width": s.width,
+                "batch": s.batch,
+                "elapsed": s.elapsed,
+                "rss_before_kb": s.rss_before_kb,
+                "rss_after_kb": s.rss_after_kb,
+                "rss_peak_kb": s.rss_peak_kb,
+                "degradations": s.degradations,
+                "reconciles": s.reconciles,
+            },
+        }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -234,6 +251,7 @@ def runtime_from_json(text: str):
         JournalOverheadMeasurement,
         ObsOverheadMeasurement,
         RuntimeOverheadResult,
+        ServiceSoakMeasurement,
     )
 
     payload = json.loads(text)
@@ -276,6 +294,20 @@ def runtime_from_json(text: str):
             obs.setdefault(m["shape"], {})[m["mode"]] = ObsOverheadMeasurement(
                 shape=m["shape"], mode=m["mode"], times=m["times"]
             )
+    service = None
+    if "service" in payload:
+        m = payload["service"]["measurement"]
+        service = ServiceSoakMeasurement(
+            joins=m["joins"],
+            width=m["width"],
+            batch=m["batch"],
+            elapsed=m["elapsed"],
+            rss_before_kb=m["rss_before_kb"],
+            rss_after_kb=m["rss_after_kb"],
+            rss_peak_kb=m.get("rss_peak_kb", m["rss_after_kb"]),
+            degradations=m.get("degradations", 0),
+            reconciles=m.get("reconciles", 0),
+        )
     return RuntimeOverheadResult(
         join_chain=chain,
         reports=reports,
@@ -285,6 +317,8 @@ def runtime_from_json(text: str):
         journal_params=payload.get("journal", {}).get("params", {}),
         obs=obs,
         obs_params=payload.get("obs", {}).get("params", {}),
+        service=service,
+        service_params=payload.get("service", {}).get("params", {}),
     )
 
 

@@ -50,6 +50,15 @@ real runtimes, with the supervision layer in the loop.  Two instruments:
   instrument; the qualitative "off is free" claim is separately pinned
   by the tracemalloc test in ``tests/obs/``.
 
+* **remote-verification soak** — an in-process verification sidecar
+  (:mod:`repro.service`) serving one client that round-trips a large
+  join budget (≥100k at bench scale) through ``check_joins`` batches
+  over real TCP, with the client-process RSS sampled before/during/
+  after.  The gate (``benchmarks/bench_service.py``) asserts the join
+  budget completed with zero degradations and that RSS stayed flat —
+  the client's replay buffer must be ack-pruned and the server's
+  per-session state must not grow with traffic volume.
+
 Results serialise to ``BENCH_runtime.json`` via :mod:`repro.analysis.io`;
 ``benchmarks/bench_runtime_overhead.py`` asserts the gates and
 ``python -m repro.tools.cli bench-runtime`` produces the same file from
@@ -82,9 +91,12 @@ __all__ = [
     "OBS_MODES",
     "OBS_PARAMS",
     "SMOKE_OBS_PARAMS",
+    "SERVICE_PARAMS",
+    "SMOKE_SERVICE_PARAMS",
     "JoinChainMeasurement",
     "JournalOverheadMeasurement",
     "ObsOverheadMeasurement",
+    "ServiceSoakMeasurement",
     "RuntimeOverheadResult",
     "wait_protocol",
     "measure_join_chain",
@@ -95,6 +107,7 @@ __all__ = [
     "journal_overhead_factor",
     "run_obs_suite",
     "obs_overhead_factor",
+    "run_service_soak",
     "run_overhead_suite",
     "best_time",
     "overhead_factor",
@@ -162,6 +175,17 @@ SMOKE_OBS_PARAMS: dict[str, dict[str, float]] = {
     "fork_chain": {"depth": 6, "leaf_sleep": 0.01},
     "join_heavy": {"width": 8, "rounds": 3, "leaf_sleep": 0.004},
 }
+
+#: remote-verification soak: one client, a fan of *width* tasks forked
+#: once, then ``check_joins`` batches of *batch* against the sidecar
+#: until *joins* verified joins have round-tripped.  The point is volume,
+#: not shape: the RSS gate proves the client's replay buffer (ack-pruned)
+#: and the server's per-session state stay bounded under sustained load.
+SERVICE_PARAMS: dict[str, int] = {"joins": 120_000, "width": 64, "batch": 64}
+
+#: smaller soak for CI smoke runs of ``bench-runtime``; the full ≥100k
+#: gate lives in ``benchmarks/bench_service.py``.
+SMOKE_SERVICE_PARAMS: dict[str, int] = {"joins": 10_000, "width": 32, "batch": 64}
 
 
 # ----------------------------------------------------------------------
@@ -540,6 +564,130 @@ def obs_overhead_factor(
 
 
 # ----------------------------------------------------------------------
+# the remote-verification soak
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceSoakMeasurement:
+    """One sustained remote-verification run against an in-process sidecar."""
+
+    joins: int
+    width: int
+    batch: int
+    elapsed: float
+    #: client-process resident set (kB) after warmup, before the soak
+    rss_before_kb: int
+    #: resident set (kB) after the soak (post-gc)
+    rss_after_kb: int
+    #: largest resident set (kB) sampled during the soak
+    rss_peak_kb: int
+    degradations: int = 0
+    reconciles: int = 0
+
+    @property
+    def joins_per_second(self) -> float:
+        return self.joins / self.elapsed if self.elapsed else math.nan
+
+    @property
+    def rss_growth(self) -> float:
+        """After/before resident-set factor — the flat-memory gate's number."""
+        if not self.rss_before_kb:
+            return math.nan
+        return self.rss_after_kb / self.rss_before_kb
+
+
+def _read_rss_kb() -> int:
+    """Resident set of this process in kB (0 where /proc is unavailable)."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return 0
+
+
+def run_service_soak(
+    *,
+    params: Optional[dict[str, int]] = None,
+) -> ServiceSoakMeasurement:
+    """Round-trip *joins* verified joins through a verification sidecar.
+
+    The sidecar runs in-process (a :class:`~repro.service.server
+    .VerificationServer` thread) so the measurement is pure protocol +
+    session cost, with no subprocess startup noise; the client is a real
+    :class:`~repro.service.client.RemoteVerifier` over real TCP.  The
+    program is a fan: *width* tasks forked once, then the parent checks
+    batches of *batch* children until the join budget is spent —
+    ``check_joins`` round-trips dominate exactly as in a join-heavy
+    workload.  RSS is sampled before, during, and after (with a gc pass
+    on both ends) so the gate can assert memory stays flat: the client's
+    replay buffer must be ack-pruned and the server's per-session state
+    must not grow with traffic.
+
+    Every batch's verdicts are checked — the parent joining its own
+    children is TJ-permitted, so a single False means the remote verdict
+    stream is wrong, and the soak fails rather than reporting a time.
+    """
+    import gc
+
+    from ..service.client import RemoteVerifier
+    from ..service.server import VerificationServer
+
+    p = dict(params if params is not None else SERVICE_PARAMS)
+    joins = int(p["joins"])
+    width = int(p["width"])
+    batch = int(p["batch"])
+
+    with VerificationServer() as server:
+        host, port = server.address
+        rv = RemoteVerifier(f"remote://{host}:{port}", "TJ-SP")
+        try:
+            root = rv.on_init()
+            children = [rv.on_fork(root) for _ in range(width)]
+            # Warmup: touch every edge once so lazy allocations land
+            # before the RSS baseline is taken.
+            rv.check_joins(root, children)
+            gc.collect()
+            rss_before = _read_rss_kb()
+            rss_peak = rss_before
+            done = 0
+            t0 = time.perf_counter()
+            offset = 0
+            while done < joins:
+                group = [children[(offset + i) % width] for i in range(batch)]
+                offset = (offset + batch) % width
+                verdicts = rv.check_joins(root, group)
+                if not all(verdicts):
+                    raise RuntimeError(
+                        "sidecar refused a parent-joins-child edge during soak"
+                    )
+                done += len(group)
+                if done % (batch * 64) == 0:
+                    rss_peak = max(rss_peak, _read_rss_kb())
+            elapsed = time.perf_counter() - t0
+            gc.collect()
+            rss_after = _read_rss_kb()
+            rss_peak = max(rss_peak, rss_after)
+            snap = rv.service_snapshot()
+            if snap["degraded"]:
+                raise RuntimeError("client degraded during the in-process soak")
+            return ServiceSoakMeasurement(
+                joins=done,
+                width=width,
+                batch=batch,
+                elapsed=elapsed,
+                rss_before_kb=rss_before,
+                rss_after_kb=rss_after,
+                rss_peak_kb=rss_peak,
+                degradations=snap["degradations"],
+                reconciles=snap["reconciles"],
+            )
+        finally:
+            rv.close()
+
+
+# ----------------------------------------------------------------------
 # Table-2-style end-to-end overheads
 # ----------------------------------------------------------------------
 def run_overhead_suite(
@@ -602,6 +750,9 @@ class RuntimeOverheadResult:
     #: telemetry-arm measurements; None in files from schema v1/v2
     obs: Optional[dict[str, dict[str, ObsOverheadMeasurement]]] = None
     obs_params: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: remote-verification soak; None in files from schema v1/v2/v3
+    service: Optional[ServiceSoakMeasurement] = None
+    service_params: dict[str, int] = field(default_factory=dict)
 
     @property
     def join_speedup(self) -> float:
@@ -635,6 +786,13 @@ class RuntimeOverheadResult:
         """Full telemetry over disabled — the ≤1.25× gate's number."""
         return self.obs_overhead("full")
 
+    @property
+    def service_rss_growth(self) -> float:
+        """Soak after/before RSS factor (NaN if the soak was not run)."""
+        if self.service is None:
+            return math.nan
+        return self.service.rss_growth
+
     def overhead(self, policy: str) -> float:
         return geomean_overhead(self.reports, policy)
 
@@ -660,6 +818,7 @@ def run_runtime_suite(
     journal_params = SMOKE_JOURNAL_PARAMS if smoke else JOURNAL_PARAMS
     overhead_params = SMOKE_OVERHEAD_PARAMS if smoke else OVERHEAD_PARAMS
     obs_params = SMOKE_OBS_PARAMS if smoke else OBS_PARAMS
+    service_params = SMOKE_SERVICE_PARAMS if smoke else SERVICE_PARAMS
     return RuntimeOverheadResult(
         join_chain=run_join_chain_suite(
             params=chain_params, repetitions=repetitions, warmup=warmup
@@ -682,6 +841,8 @@ def run_runtime_suite(
             params=obs_params, repetitions=max(repetitions, 5), warmup=warmup
         ),
         obs_params={k: dict(v) for k, v in obs_params.items()},
+        service=run_service_soak(params=service_params),
+        service_params=dict(service_params),
     )
 
 
@@ -742,6 +903,19 @@ def render_runtime_table(result: RuntimeOverheadResult) -> str:
             f"telemetry overhead factors: metrics "
             f"{result.telemetry_off_overhead:.3f}x, "
             f"full {result.telemetry_on_overhead:.3f}x (worst shape)"
+        )
+        lines.append("")
+    if result.service is not None:
+        s = result.service
+        lines.append(
+            f"remote-verification soak (width={s.width}, batch={s.batch})"
+        )
+        lines.append(
+            f"{s.joins} joins in {s.elapsed:.2f}s "
+            f"({s.joins_per_second:,.0f} joins/s), "
+            f"RSS {s.rss_before_kb} -> {s.rss_after_kb} kB "
+            f"(peak {s.rss_peak_kb}, growth {s.rss_growth:.3f}x), "
+            f"degradations {s.degradations}"
         )
         lines.append("")
     if result.reports:

@@ -39,8 +39,17 @@ class HybridVerifier:
         *,
         fail_mode: str = "raise",
         journal: "object | None" = None,
+        verifier: "Verifier | None" = None,
     ) -> None:
-        self.verifier = Verifier(policy, fail_mode=fail_mode, journal=journal)
+        # An injected verifier (e.g. a RemoteVerifier speaking to the
+        # sidecar) replaces the locally-constructed one wholesale; the
+        # policy/fail_mode/journal arguments then belong to the caller's
+        # construction of it, not ours.
+        self.verifier = (
+            verifier
+            if verifier is not None
+            else Verifier(policy, fail_mode=fail_mode, journal=journal)
+        )
         self.detector = detector if detector is not None else ArmusDetector()
 
     @property
@@ -96,13 +105,15 @@ class HybridVerifier:
             if flagged:
                 self.detector.count_false_positive()
             return False
-        # Under quarantine the policy's soundness theorem is void: every
-        # blocking edge must face the precise cycle check (Armus-only mode).
+        # While the verifier is unsound — policy quarantined, or a remote
+        # verifier degraded off its sidecar — the policy's soundness
+        # theorem is void: every blocking edge must face the precise
+        # cycle check (Armus-only mode).
         self.detector.block(
             joiner_task,
             joinee_task,
             flagged=flagged,
-            force_check=self.verifier.quarantined,
+            force_check=self.verifier.unsound,
         )
         return True
 

@@ -217,6 +217,19 @@ class Verifier:
         """The stored quarantine diagnosis, or None while healthy."""
         return self._quarantine
 
+    @property
+    def unsound(self) -> bool:
+        """True while the policy's soundness theorem cannot be relied on.
+
+        For a local verifier this is exactly :attr:`quarantined`;
+        subclasses with other ways of losing the policy (the
+        :class:`~repro.service.client.RemoteVerifier` while degraded)
+        widen it.  :class:`~repro.armus.hybrid.HybridVerifier` and the
+        supervision layer consult this — not ``quarantined`` — to decide
+        when every blocking join must face the precise cycle check.
+        """
+        return self._quarantine is not None
+
     def _degraded(self) -> bool:
         """Entry guard for every policy-facing call.
 

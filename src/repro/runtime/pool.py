@@ -35,8 +35,7 @@ from .future import Future
 from .retry import RetryPolicy
 from .supervisor import StallWatchdog, SupervisedJoinMixin
 from .task import TaskHandle, TaskState
-from .threaded import resolve_policy
-from ..armus.hybrid import HybridVerifier
+from .threaded import resolve_policy, resolve_verifier
 from ..core.policy import JoinPolicy
 from ..core.verifier import Verifier
 from ..errors import RuntimeStateError, TaskCancelledError
@@ -63,6 +62,7 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         fallback: bool = True,
         fail_mode: str = "raise",
         journal: Union[None, str, object] = None,
+        verifier: Union[None, str, Verifier] = None,
         workers: int = 4,
         max_workers: int = 256,
         default_join_timeout: Optional[float] = None,
@@ -73,28 +73,20 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         if workers < 1 or max_workers < workers:
             raise ValueError("need 1 <= workers <= max_workers")
         policy_obj = resolve_policy(policy)
-        self._owns_journal = isinstance(journal, str)
-        if self._owns_journal:
-            from ..tools.journal import TraceJournal  # deferred: import cycle
-
-            journal = TraceJournal(journal)
-        self._journal = journal
-        self._hybrid: Optional[HybridVerifier] = (
-            HybridVerifier(policy_obj, fail_mode=fail_mode, journal=journal)
-            if fallback
-            else None
+        (
+            self._hybrid,
+            self._verifier,
+            self._journal,
+            self._owns_journal,
+            self._owns_verifier,
+        ) = resolve_verifier(
+            policy_obj,
+            fallback=fallback,
+            fail_mode=fail_mode,
+            journal=journal,
+            verifier=verifier,
+            runtime_name=type(self).__name__,
         )
-        self._verifier: Verifier = (
-            self._hybrid.verifier
-            if self._hybrid
-            else Verifier(policy_obj, fail_mode=fail_mode, journal=journal)
-        )
-        if journal is not None:
-            journal.log_start(
-                policy=policy_obj.name,
-                runtime=type(self).__name__,
-                fail_mode=fail_mode,
-            )
         self._queue: "SimpleQueue" = SimpleQueue()
         self._lock = threading.Lock()
         self._idle = 0  # workers currently parked on queue.get
@@ -334,6 +326,8 @@ class WorkSharingRuntime(SupervisedJoinMixin):
                 self._queue.put(_SHUTDOWN)
             if self._watchdog is not None:
                 self._watchdog.stop()
+            if self._owns_verifier:
+                self._verifier.close()
             if self._journal is not None and self._owns_journal:
                 self._journal.close()
         self._reap_unjoined()

@@ -695,7 +695,7 @@ class SupervisedJoinMixin:
                 if record.future is not future:
                     continue
                 still_ok = False
-                if not self._verifier.quarantined:
+                if not self._verifier.unsound:
                     try:
                         still_ok = self._verifier.policy.permits(
                             record.joiner.vertex, new_vertex

@@ -47,7 +47,7 @@ from ..core.policy import JoinPolicy, NullPolicy, make_policy
 from ..core.verifier import Verifier
 from ..errors import RuntimeStateError
 
-__all__ = ["TaskRuntime", "resolve_policy"]
+__all__ = ["TaskRuntime", "resolve_policy", "resolve_verifier"]
 
 _STOP = object()
 
@@ -59,6 +59,67 @@ def resolve_policy(policy: Union[None, str, JoinPolicy]) -> JoinPolicy:
     if isinstance(policy, str):
         return make_policy(policy)
     return policy
+
+
+def resolve_verifier(
+    policy_obj: JoinPolicy,
+    *,
+    fallback: bool,
+    fail_mode: str,
+    journal: "Union[None, str, object]",
+    verifier: "Union[None, str, Verifier]",
+    runtime_name: str,
+) -> tuple:
+    """The construction block the blocking runtimes share.
+
+    Resolves the journal (path string → owned :class:`TraceJournal`) and
+    the verifier: None builds the usual local verifier; a
+    ``"remote://host:port"`` string builds an *owned*
+    :class:`~repro.service.client.RemoteVerifier` (closed when the
+    runtime's ``run`` exits); a verifier instance is used as-is and left
+    open (tests and chaos harnesses inspect it after the run).  When
+    ``fallback`` is set the verifier — local or remote — sits inside a
+    :class:`HybridVerifier`, which is what makes remote degradation
+    sound: a degraded remote verifier reports ``unsound`` and Armus
+    force-checks every blocking join.
+
+    Returns ``(hybrid, verifier, journal, owns_journal, owns_verifier)``.
+    """
+    owns_journal = isinstance(journal, str)
+    if owns_journal:
+        from ..tools.journal import TraceJournal  # deferred: import cycle
+
+        journal = TraceJournal(journal)
+    owns_verifier = isinstance(verifier, str)
+    if owns_verifier:
+        from ..service.client import RemoteVerifier  # deferred: import cycle
+
+        verifier = RemoteVerifier(
+            verifier, policy_obj, fail_mode=fail_mode, journal=journal
+        )
+    if verifier is not None:
+        hybrid = (
+            HybridVerifier(policy_obj, fail_mode=fail_mode, verifier=verifier)
+            if fallback
+            else None
+        )
+        verifier_obj = verifier
+    else:
+        hybrid = (
+            HybridVerifier(policy_obj, fail_mode=fail_mode, journal=journal)
+            if fallback
+            else None
+        )
+        verifier_obj = (
+            hybrid.verifier
+            if hybrid
+            else Verifier(policy_obj, fail_mode=fail_mode, journal=journal)
+        )
+    if journal is not None:
+        journal.log_start(
+            policy=policy_obj.name, runtime=runtime_name, fail_mode=fail_mode
+        )
+    return hybrid, verifier_obj, journal, owns_journal, owns_verifier
 
 
 class TaskRuntime(SupervisedJoinMixin):
@@ -93,6 +154,15 @@ class TaskRuntime(SupervisedJoinMixin):
         A :class:`~repro.tools.journal.TraceJournal`, or a path string
         (the runtime then creates the journal and closes it when
         :meth:`run` exits); None (default) disables journaling.
+    verifier:
+        ``"remote://host:port"`` to verify against the verification
+        sidecar (the runtime builds a
+        :class:`~repro.service.client.RemoteVerifier` and closes it when
+        :meth:`run` exits), or a ready verifier instance (left open —
+        chaos harnesses inspect it after the run); None (default) builds
+        the local verifier from *policy*.  With ``fallback=True`` a
+        degraded remote verifier stays sound: Armus force-checks every
+        blocking join until the sidecar is back.
     default_join_timeout:
         Runtime-wide deadline (seconds) applied to every join that does
         not pass an explicit ``timeout``; None (default) means unbounded.
@@ -119,6 +189,7 @@ class TaskRuntime(SupervisedJoinMixin):
         fallback: bool = True,
         fail_mode: str = "raise",
         journal: Union[None, str, object] = None,
+        verifier: Union[None, str, Verifier] = None,
         idle_timeout: float = 2.0,
         max_idle: int = 32,
         default_join_timeout: Optional[float] = None,
@@ -131,28 +202,20 @@ class TaskRuntime(SupervisedJoinMixin):
         if max_idle < 0:
             raise ValueError("max_idle must be non-negative")
         policy_obj = resolve_policy(policy)
-        self._owns_journal = isinstance(journal, str)
-        if self._owns_journal:
-            from ..tools.journal import TraceJournal  # deferred: import cycle
-
-            journal = TraceJournal(journal)
-        self._journal = journal
-        self._hybrid: Optional[HybridVerifier] = (
-            HybridVerifier(policy_obj, fail_mode=fail_mode, journal=journal)
-            if fallback
-            else None
+        (
+            self._hybrid,
+            self._verifier,
+            self._journal,
+            self._owns_journal,
+            self._owns_verifier,
+        ) = resolve_verifier(
+            policy_obj,
+            fallback=fallback,
+            fail_mode=fail_mode,
+            journal=journal,
+            verifier=verifier,
+            runtime_name=type(self).__name__,
         )
-        self._verifier: Verifier = (
-            self._hybrid.verifier
-            if self._hybrid
-            else Verifier(policy_obj, fail_mode=fail_mode, journal=journal)
-        )
-        if journal is not None:
-            journal.log_start(
-                policy=policy_obj.name,
-                runtime=type(self).__name__,
-                fail_mode=fail_mode,
-            )
         self._root_started = False
         self._threads_started = 0
         self._tasks_started = 0
@@ -252,6 +315,8 @@ class TaskRuntime(SupervisedJoinMixin):
                         tracer.end_span(handle, args={"task": root.name})
         finally:
             self._drain_idle_workers()
+            if self._owns_verifier:
+                self._verifier.close()
             if self._journal is not None and self._owns_journal:
                 self._journal.close()
         self._reap_unjoined()

@@ -1,0 +1,32 @@
+"""The verification sidecar: remote TJ verification for many processes.
+
+``repro.service`` turns the in-process verifier into a long-lived
+multi-tenant service:
+
+* :mod:`~repro.service.wire` — length-prefixed record protocol derived
+  from the trace-journal format;
+* :mod:`~repro.service.session` — one per-tenant verifier with bounded
+  inbox and backpressure;
+* :mod:`~repro.service.server` — the sidecar: sessions, liveness,
+  crash-consistent journal recovery;
+* :mod:`~repro.service.client` — :class:`RemoteVerifier`, the
+  degradation-aware drop-in the runtimes select with
+  ``runtime(..., verifier="remote://host:port")``.
+
+See ``docs/service.md`` for the protocol and the failure-mode matrix.
+"""
+
+from .client import RemoteVerifier, RemoteVertex, parse_remote_url
+from .server import ServiceJournal, VerificationServer
+from .session import Session
+from .wire import WIRE_VERSION
+
+__all__ = [
+    "RemoteVerifier",
+    "RemoteVertex",
+    "parse_remote_url",
+    "ServiceJournal",
+    "VerificationServer",
+    "Session",
+    "WIRE_VERSION",
+]

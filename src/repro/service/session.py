@@ -1,0 +1,360 @@
+"""Per-tenant session state for the verification sidecar.
+
+One :class:`Session` owns one :class:`~repro.core.verifier.Verifier`
+(and therefore one policy instance): the fault isolation the server
+promises — one tenant's policy bug never poisons another — falls out of
+that ownership, because quarantine is a per-verifier property.
+
+Events arrive through a **bounded inbox** drained by a dedicated worker
+thread.  The bound is the backpressure mechanism: a client producing
+events faster than its session can verify them has its records refused
+with an explicit ``backpressure`` reply (the client raises
+:class:`~repro.errors.ServiceBackpressureError`) instead of growing
+server memory without bound.  Synchronous ``check`` queries ride the
+same inbox as the fire-and-forget state events, which is what makes
+them *synchronous with respect to the stream*: a check is answered only
+after every earlier fork from the same client has been applied.
+
+Client vertex ids (``rid``) are dense ints assigned client-side; the
+session maps them to policy vertices.  ``applied_seq`` tracks the
+highest state-event sequence number applied, so a resuming client can
+replay exactly the gap (records with ``cseq > applied_seq``) and
+duplicates from an over-eager replay are dropped idempotently.  The
+watermark only ever advances contiguously: an event that arrives past a
+backpressure-refused predecessor is dropped rather than applied, so the
+``welcome``'s ``last_seq`` never overstates what the session holds.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Optional
+
+from ..core.policy import make_policy
+from ..core.verifier import Verifier
+from ..errors import PolicyQuarantinedError, ServiceProtocolError
+
+__all__ = ["Session"]
+
+#: sentinel shutting a session worker down
+_CLOSE = object()
+
+
+class Session:
+    """One tenant's verification stream inside the sidecar.
+
+    Parameters
+    ----------
+    session_id:
+        The tenant's chosen identifier (any string; clients pick
+        something unique per runtime instance).
+    policy_name:
+        Registered policy name; the session owns a private instance.
+    fail_mode:
+        The client's requested fault boundary.  ``"raise"`` cannot be
+        honoured across a process boundary (the original exception
+        object cannot propagate into the client's stack), so it is
+        coerced to ``"open"`` — the degraded-but-sound posture — and
+        the coercion is reported in the session's ``welcome``.
+    journal:
+        The server's shared :class:`~repro.service.server.ServiceJournal`
+        (or None); state events and verdicts are written through so a
+        restarted server rebuilds this session exactly.
+    inbox_limit:
+        Bound on queued-but-unapplied records for this session.
+    ack_every:
+        Send a durability ``ack`` (and flush the journal) every this
+        many state events, letting the client prune its replay buffer.
+        Acks are only sent when a journal is present — without one, a
+        restarted server has nothing to resume from and the client must
+        keep its full replay log.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        policy_name: str,
+        fail_mode: str,
+        *,
+        journal: "object | None" = None,
+        inbox_limit: int = 1024,
+        ack_every: int = 256,
+        telemetry: "object | None" = None,
+    ) -> None:
+        self.session_id = session_id
+        self.policy_name = policy_name
+        self.requested_fail_mode = fail_mode
+        self.fail_mode = "open" if fail_mode == "raise" else fail_mode
+        self.verifier = Verifier(make_policy(policy_name), fail_mode=self.fail_mode)
+        self.journal = journal
+        self.vertices: dict[int, object] = {}
+        self.applied_seq = -1
+        self.inbox_limit = inbox_limit
+        self.ack_every = max(1, ack_every)
+        self.inbox: "queue.Queue" = queue.Queue(maxsize=inbox_limit)
+        #: records refused because the inbox was full
+        self.backpressure_refusals = 0
+        #: events dropped because an earlier record was refused (gap)
+        self.gap_drops = 0
+        #: test seam: clearing this gate parks the worker between records,
+        #: letting tests fill the inbox deterministically
+        self.drain_gate = threading.Event()
+        self.drain_gate.set()
+        self._quarantine_announced = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self._events = 0
+        self._checks = 0
+        if telemetry is not None:
+            reg = telemetry.registry
+            self._events_counter = reg.counter(
+                "repro_service_events_total", labels={"session": session_id}
+            )
+            self._checks_counter = reg.counter(
+                "repro_service_checks_total", labels={"session": session_id}
+            )
+        else:
+            self._events_counter = None
+            self._checks_counter = None
+        self._worker = threading.Thread(
+            target=self._worker_main,
+            name=f"repro-session-{session_id}",
+            daemon=True,
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # intake (called from connection reader threads)
+    # ------------------------------------------------------------------
+    def submit(self, record: dict, reply: Callable[[dict], None]) -> bool:
+        """Queue *record*; returns False (after a backpressure reply) when full.
+
+        *reply* is the connection's locked send function; the worker
+        uses it for verdicts/acks, the refusal path uses it directly.
+        """
+        try:
+            self.inbox.put_nowait((record, reply))
+            return True
+        except queue.Full:
+            with self._lock:
+                self.backpressure_refusals += 1
+            refusal = {"kind": "backpressure", "limit": self.inbox_limit}
+            if "req" in record:
+                refusal["req"] = record["req"]
+            if "cseq" in record:
+                refusal["cseq"] = record["cseq"]
+            reply(refusal)
+            return False
+
+    def close(self) -> None:
+        """Stop the worker; queued records are drained first."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.inbox.put((_CLOSE, None))
+        self._worker.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    # the worker
+    # ------------------------------------------------------------------
+    def _worker_main(self) -> None:
+        while True:
+            record, reply = self.inbox.get()
+            if record is _CLOSE:
+                return
+            self.drain_gate.wait()
+            try:
+                self.apply(record, reply)
+            except ServiceProtocolError as exc:
+                self._safe_reply(
+                    reply, {"kind": "error", "message": str(exc), "req": record.get("req")}
+                )
+            except Exception as exc:  # noqa: BLE001 - a session must not die silently
+                self._safe_reply(
+                    reply,
+                    {"kind": "error", "message": f"internal: {exc!r}", "req": record.get("req")},
+                )
+
+    @staticmethod
+    def _safe_reply(reply: Optional[Callable[[dict], None]], record: dict) -> None:
+        """Replies race connection death; a dead peer is not a session error."""
+        if reply is None:
+            return
+        try:
+            reply(record)
+        except Exception:  # noqa: BLE001 - connection gone; the record is moot
+            pass
+
+    # ------------------------------------------------------------------
+    # record application (worker thread, or recovery replay)
+    # ------------------------------------------------------------------
+    def _vertex(self, rid: object) -> object:
+        try:
+            return self.vertices[rid]
+        except (KeyError, TypeError):
+            raise ServiceProtocolError(
+                f"session {self.session_id!r}: unknown vertex rid {rid!r}"
+            ) from None
+
+    def _count_event(self) -> None:
+        self._events += 1
+        if self._events_counter is not None:
+            self._events_counter.inc()
+
+    def _count_check(self, n: int = 1) -> None:
+        self._checks += n
+        if self._checks_counter is not None:
+            self._checks_counter.inc(n)
+
+    def apply(self, record: dict, reply: Optional[Callable[[dict], None]] = None) -> None:
+        """Apply one validated record; sends any reply through *reply*.
+
+        Also the recovery entry point: the server replays journal
+        records through this method (with ``reply=None``) to rebuild the
+        session, so live application and crash recovery cannot drift.
+        """
+        kind = record["kind"]
+        verifier = self.verifier
+        journal = self.journal
+        if kind in ("init", "fork", "join"):
+            cseq = record["cseq"]
+            if cseq <= self.applied_seq:
+                return  # duplicate from a replay; idempotent drop
+            if cseq != self.applied_seq + 1:
+                # A gap: an earlier record was refused under backpressure
+                # and this one slipped in behind it.  Applying it would
+                # advance the resume watermark past the hole, and the
+                # refused record — which the client only replays for
+                # ``cseq > last_seq`` — would be lost forever.  Drop it;
+                # the client's replay buffer still holds both, and the
+                # next reconcile replays from the honest watermark.
+                with self._lock:
+                    self.gap_drops += 1
+                return
+            self._count_event()
+            if kind == "init":
+                vertex = verifier.on_init()
+                self.vertices[record["task"]] = vertex
+            elif kind == "fork":
+                parent = self._vertex(record["parent"])
+                self.vertices[record["child"]] = verifier.on_fork(parent)
+            else:  # join (the KJ-learn event)
+                try:
+                    verifier.on_join_completed(
+                        self._vertex(record["waiter"]), self._vertex(record["joinee"])
+                    )
+                except PolicyQuarantinedError:
+                    pass  # fail-closed session: reported via the check path
+            self.applied_seq = cseq
+            if journal is not None:
+                journal.log_event(self.session_id, record)
+                if cseq % self.ack_every == 0:
+                    journal.flush()
+                    self._safe_reply(reply, {"kind": "ack", "seq": cseq})
+            self._announce_quarantine(reply)
+        elif kind == "check":
+            self._count_check()
+            try:
+                ok = verifier.check_join(
+                    self._vertex(record["waiter"]), self._vertex(record["joinee"])
+                )
+            except PolicyQuarantinedError as exc:
+                # Fail-closed session: the client's pending check must
+                # still complete — the quarantine record carries the
+                # request id and the client raises the stored error.
+                self._announce_quarantine(reply, exc, req=record["req"])
+                return
+            if journal is not None:
+                journal.log_verdict(
+                    self.session_id, record["waiter"], record["joinee"], ok
+                )
+            self._announce_quarantine(reply)
+            self._safe_reply(reply, {"kind": "verdict", "req": record["req"], "ok": ok})
+        elif kind == "check_batch":
+            joinees = record["joinees"]
+            self._count_check(len(joinees))
+            try:
+                oks = verifier.check_joins(
+                    self._vertex(record["waiter"]),
+                    [self._vertex(j) for j in joinees],
+                )
+            except PolicyQuarantinedError as exc:
+                self._announce_quarantine(reply, exc, req=record["req"])
+                return
+            if journal is not None:
+                for joinee, ok in zip(joinees, oks):
+                    journal.log_verdict(self.session_id, record["waiter"], joinee, ok)
+            self._announce_quarantine(reply)
+            self._safe_reply(reply, {"kind": "verdicts", "req": record["req"], "ok": oks})
+        elif kind == "recheck":
+            # Reconcile replay of a verdict the client answered locally
+            # while degraded: re-derive it for exact server-side stats
+            # and the journal's verdict stream; no reply.
+            self._count_check()
+            try:
+                ok = verifier.check_join(
+                    self._vertex(record["waiter"]), self._vertex(record["joinee"])
+                )
+            except PolicyQuarantinedError:
+                return
+            if journal is not None:
+                journal.log_verdict(
+                    self.session_id, record["waiter"], record["joinee"], ok
+                )
+            self._announce_quarantine(reply)
+        else:
+            raise ServiceProtocolError(f"session cannot apply record kind {kind!r}")
+
+    def _announce_quarantine(
+        self,
+        reply: Optional[Callable[[dict], None]],
+        exc: "PolicyQuarantinedError | None" = None,
+        *,
+        req: "int | None" = None,
+    ) -> None:
+        """Tell the client that this session's policy is quarantined.
+
+        Journalled and announced once per session; a fail-closed check
+        (*exc* set) is additionally answered every time, with the
+        pending request id attached so the caller unblocks.
+        """
+        q = exc or self.verifier.quarantine_error
+        if q is None:
+            return
+        if self.journal is not None and not self._quarantine_announced:
+            self.journal.log_quarantine(self.session_id, q.policy, q.site, str(q))
+        announce_now = not self._quarantine_announced or exc is not None
+        self._quarantine_announced = True
+        if announce_now:
+            record = {
+                "kind": "quarantine",
+                "policy": q.policy,
+                "site": str(q.site),
+                "error": str(q.original) if q.original else str(q),
+                "fail_mode": self.fail_mode,
+            }
+            if req is not None:
+                record["req"] = req
+            self._safe_reply(reply, record)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Introspection for the server's metrics source and tests."""
+        stats = self.verifier.stats
+        return {
+            "session": self.session_id,
+            "policy": self.policy_name,
+            "fail_mode": self.fail_mode,
+            "applied_seq": self.applied_seq,
+            "vertices": len(self.vertices),
+            "events": self._events,
+            "checks": self._checks,
+            "backpressure_refusals": self.backpressure_refusals,
+            "gap_drops": self.gap_drops,
+            "quarantined": self.verifier.quarantined,
+            "forks": stats.forks,
+            "joins_checked": stats.joins_checked,
+            "joins_rejected": stats.joins_rejected,
+        }

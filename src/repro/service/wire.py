@@ -1,0 +1,243 @@
+"""Length-prefixed binary wire protocol for the verification sidecar.
+
+The framing is deliberately minimal: every message is one journal-style
+record — a flat JSON object with a ``"kind"`` field — encoded UTF-8 and
+prefixed with a 4-byte big-endian length.  The record vocabulary is
+*derived from* the PR 4 trace-journal format (:mod:`repro.tools.journal`):
+the state-bearing kinds (``init``/``fork``/``join``/``verdict``/
+``quarantine``) carry the same field names (``parent``/``child``,
+``waiter``/``joinee``, ``ok``), so a server journal written from this
+stream is readable by the exact same torn-tail-tolerant
+:func:`~repro.tools.journal.read_journal`, and the session-rebuild
+replay is the journal replay of PR 4 with a ``session`` column added.
+
+Vertices travel as client-assigned dense integer ids (``rid``), exactly
+like the flat TJ-SP core's int handles — neither endpoint ever
+serialises policy node objects.
+
+Client → server kinds
+---------------------
+``hello``  open or resume a session (``session``, ``policy``,
+           ``fail_mode``, ``resume``, ``wire``);
+``init``   root vertex (``task`` rid, ``cseq``);
+``fork``   child vertex (``parent`` rid or null, ``child`` rid, ``cseq``);
+``join``   a completed join — the KJ-learn event (``waiter``, ``joinee``,
+           ``cseq``);
+``check``  synchronous join-permit query (``waiter``, ``joinee``, ``req``);
+``check_batch``  one waiter against many joinees (``waiter``,
+           ``joinees``, ``req``);
+``recheck``  fire-and-forget re-derivation of a verdict the client
+           answered locally while degraded (reconcile replay; counted
+           server-side, no reply);
+``ping``   heartbeat;
+``bye``    graceful close.
+
+Server → client kinds
+---------------------
+``welcome``       session granted (``session``, ``last_seq``,
+                  ``quarantined``);
+``verdict``       reply to ``check`` (``req``, ``ok``);
+``verdicts``      reply to ``check_batch`` (``req``, ``ok`` list);
+``pong``          heartbeat reply;
+``ack``           journal-durable watermark (``seq``): the client may
+                  drop replay-buffer entries at or below it;
+``quarantine``    the session's policy was quarantined (``policy``,
+                  ``site``, ``error``);
+``backpressure``  the session inbox is full (``limit``);
+``error``         protocol-level failure (``message``).
+
+Malformed traffic raises :class:`~repro.errors.ServiceProtocolError`;
+plain socket failures raise :class:`~repro.errors.ServiceUnavailableError`
+so callers can tell "the peer spoke garbage" from "the peer is gone".
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..errors import ServiceProtocolError, ServiceUnavailableError
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME",
+    "CLIENT_KINDS",
+    "SERVER_KINDS",
+    "encode_frame",
+    "FrameDecoder",
+    "RecordStream",
+    "send_record",
+    "validate_record",
+    "REQUIRED_FIELDS",
+]
+
+#: protocol revision; ``hello`` carries it so mismatched peers fail fast
+WIRE_VERSION = 1
+
+#: hard bound on one frame's payload — a real record is a few hundred
+#: bytes (a large ``check_batch`` some tens of KB); anything bigger is a
+#: corrupt length prefix or a hostile peer, not a workload
+MAX_FRAME = 1 << 20
+
+_LEN = struct.Struct(">I")
+
+CLIENT_KINDS = frozenset(
+    {"hello", "init", "fork", "join", "check", "check_batch", "recheck", "ping", "bye"}
+)
+SERVER_KINDS = frozenset(
+    {
+        "welcome",
+        "verdict",
+        "verdicts",
+        "pong",
+        "ack",
+        "quarantine",
+        "backpressure",
+        "error",
+    }
+)
+
+#: required fields per record kind (beyond ``kind`` itself); validation
+#: is shared by both endpoints so a field rename cannot drift apart
+REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
+    "hello": ("session", "policy", "fail_mode", "wire"),
+    "init": ("task", "cseq"),
+    "fork": ("parent", "child", "cseq"),
+    "join": ("waiter", "joinee", "cseq"),
+    "check": ("waiter", "joinee", "req"),
+    "check_batch": ("waiter", "joinees", "req"),
+    "recheck": ("waiter", "joinee"),
+    "ping": (),
+    "bye": (),
+    "welcome": ("session", "last_seq"),
+    "verdict": ("req", "ok"),
+    "verdicts": ("req", "ok"),
+    "pong": (),
+    "ack": ("seq",),
+    "quarantine": ("policy", "site", "error"),
+    "backpressure": ("limit",),
+    "error": ("message",),
+}
+
+
+def validate_record(record: dict, allowed: frozenset) -> str:
+    """Check *record* against the vocabulary; returns its kind.
+
+    Raises :class:`ServiceProtocolError` for an unknown kind or a
+    missing required field — the caller decides whether that tears down
+    the connection (server) or degrades (client).
+    """
+    kind = record.get("kind")
+    if kind not in allowed:
+        raise ServiceProtocolError(f"unexpected record kind {kind!r}")
+    missing = [f for f in REQUIRED_FIELDS[kind] if f not in record]
+    if missing:
+        raise ServiceProtocolError(f"{kind!r} record missing fields {missing}")
+    return kind
+
+
+def encode_frame(record: dict) -> bytes:
+    """One record → length prefix + UTF-8 JSON payload."""
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ServiceProtocolError(
+            f"record of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame decoder: feed byte chunks, harvest records.
+
+    TCP delivers arbitrary chunk boundaries; the decoder buffers across
+    them and yields each record exactly once, in stream order.  A
+    length prefix beyond :data:`MAX_FRAME` or a non-JSON payload raises
+    :class:`ServiceProtocolError` — the stream is unrecoverable after
+    either (framing is lost), so callers must drop the connection.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Append *data*; return every record completed by it."""
+        self._buf += data
+        records: list[dict] = []
+        buf = self._buf
+        while True:
+            if len(buf) < _LEN.size:
+                break
+            (length,) = _LEN.unpack_from(buf)
+            if length > MAX_FRAME:
+                raise ServiceProtocolError(
+                    f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+                )
+            end = _LEN.size + length
+            if len(buf) < end:
+                break
+            payload = bytes(buf[_LEN.size : end])
+            del buf[:end]
+            try:
+                record = json.loads(payload)
+            except ValueError as exc:
+                raise ServiceProtocolError(
+                    f"unparsable frame payload: {payload[:80]!r}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ServiceProtocolError(
+                    f"frame payload is not a record object: {payload[:80]!r}"
+                )
+            records.append(record)
+        return records
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered awaiting the rest of a frame (bounded by MAX_FRAME)."""
+        return len(self._buf)
+
+
+def send_record(sock: socket.socket, record: dict) -> None:
+    """Send one framed record; socket failures become ServiceUnavailableError."""
+    try:
+        sock.sendall(encode_frame(record))
+    except OSError as exc:
+        raise ServiceUnavailableError(f"send failed: {exc}") from exc
+
+
+class RecordStream:
+    """A socket plus its decoder: blocking per-record reads, framed writes.
+
+    One stream per connection per direction of ownership; reads are not
+    thread-safe (one reader thread per connection, the design both
+    endpoints follow), writes take no lock here either — callers
+    serialise their own send path.
+    """
+
+    __slots__ = ("sock", "_decoder", "_ready")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._decoder = FrameDecoder()
+        self._ready: list[dict] = []
+
+    def send(self, record: dict) -> None:
+        send_record(self.sock, record)
+
+    def recv(self) -> "dict | None":
+        """Block for the next record; None on orderly EOF.
+
+        Records completed beyond the first by one TCP chunk are queued
+        and returned by subsequent calls in stream order.
+        """
+        while not self._ready:
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError as exc:
+                raise ServiceUnavailableError(f"recv failed: {exc}") from exc
+            if not chunk:
+                return None
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.pop(0)

@@ -19,9 +19,11 @@ from .chaos import (
     ChaosInvariantError,
     ChaosResult,
     ChaosSpec,
+    ServiceChaosResult,
     generate_spec,
     run_chaos_program,
     run_with_policy_quarantine,
+    run_with_service_faults,
     run_with_task_retries,
     run_with_verifier_faults,
 )
@@ -33,9 +35,11 @@ __all__ = [
     "FaultPlan",
     "FaultyPolicy",
     "PolicyBugError",
+    "ServiceChaosResult",
     "generate_spec",
     "run_chaos_program",
     "run_with_policy_quarantine",
+    "run_with_service_faults",
     "run_with_task_retries",
     "run_with_verifier_faults",
 ]

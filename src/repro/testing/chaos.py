@@ -69,9 +69,11 @@ __all__ = [
     "ChaosSpec",
     "QuarantineChaosResult",
     "RetryChaosResult",
+    "ServiceChaosResult",
     "generate_spec",
     "run_chaos_program",
     "run_with_policy_quarantine",
+    "run_with_service_faults",
     "run_with_task_retries",
     "run_with_verifier_faults",
 ]
@@ -812,4 +814,299 @@ def run_with_task_retries(
         stats=stats,
         flaky_tasks=flaky,
         retries=rt.tasks_retried,
+    )
+
+
+@dataclass
+class ServiceChaosResult:
+    """Outcome of one :func:`run_with_service_faults` run."""
+
+    spec: ChaosSpec
+    policy_name: str
+    runtime: str
+    #: stats of the all-local reference run
+    local_stats: VerifierStats
+    #: client-side stats of the remote run (every check counted once)
+    remote_stats: VerifierStats
+    #: was the sidecar kill-9ed (per the plan)?
+    sidecar_killed: bool
+    #: join-check count at which the kill was scheduled
+    kill_after_checks: int
+    #: connection drops injected (sidecar stayed up)
+    drops_injected: int
+    #: degradation episodes the client went through
+    degradations: int
+    #: reconcile passes (gap replays) the client performed
+    reconciles: int
+    #: verdict records recovered from the sidecar's journal
+    journal_verdicts: int
+    #: (joiner, joinee, local, remote) tuples that disagreed — must be empty
+    verdict_mismatches: list
+
+
+def run_with_service_faults(
+    seed: int,
+    *,
+    policy: Union[str, JoinPolicy] = "TJ-SP",
+    runtime: str = "threaded",
+    max_tasks: int = 12,
+    service_crash_rate: float = 1.0,
+    connection_drop_rate: float = 0.0,
+    liveness_timeout: float = 0.5,
+    journal_dir: Optional[str] = None,
+    check: bool = True,
+) -> ServiceChaosResult:
+    """Kill -9 the verification sidecar mid-run; prove nothing diverged.
+
+    Runs the same seeded deadlock-free program twice: once all-local
+    (the reference), once against a real sidecar subprocess with faults
+    injected per the :class:`FaultPlan` —
+
+    * ``service_crash_rate`` decides whether the sidecar is SIGKILLed;
+      *when* is a deterministic join-check count drawn from the seed, so
+      the kill lands mid-workload rather than at a wall-clock instant;
+    * ``connection_drop_rate`` decides, per join-check count, whether
+      the client's TCP link is severed while the sidecar stays healthy.
+
+    Afterwards the sidecar is restarted on the same port with the same
+    journal (rebuilding its sessions), the client reconciles, and the
+    runner asserts:
+
+    * the workload completed with the exact planned fork/join counts on
+      the *client* — no unverified join ever unblocked;
+    * every verdict the sidecar's journal holds (live, recheck-replayed,
+      and restart-re-derived alike) equals the reference run's verdict
+      for that edge — zero divergence;
+    * the journal's verdict count reaches the client's ``joins_checked``
+      — reconcile restored the server's stats exactly.
+    """
+    import os
+    import tempfile
+    import time
+
+    from ..service.client import RemoteVerifier
+    from ..service.proc import SidecarProcess
+    from ..tools.journal import read_journal
+
+    spec = generate_spec(seed, max_tasks=max_tasks, crash_rate=0.0)
+    local = run_chaos_program(spec, policy=policy, runtime=runtime)
+
+    plan = FaultPlan(
+        seed=seed,
+        service_crash_rate=service_crash_rate,
+        connection_drop_rate=connection_drop_rate,
+    )
+    kill_planned = plan.service_crash(("sidecar", seed))
+    total = max(1, spec.total_joins)
+    kill_after = 1 + random.Random(f"{seed}|service-kill-point").randrange(total)
+    drop_points = sorted(
+        k for k in range(1, total + 1) if plan.connection_drop(("join-count", k))
+    )
+
+    owns_dir = journal_dir is None
+    if owns_dir:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-service-chaos-")
+        journal_dir = tmp.name
+    journal_path = os.path.join(journal_dir, f"sidecar-{seed}.jsonl")
+
+    if isinstance(policy, JoinPolicy):
+        policy_obj = policy
+    else:
+        from ..core.policy import make_policy
+
+        policy_obj = make_policy(policy)
+    session_id = f"chaos-service-{seed}"
+    problems: list[str] = []
+    drops_done = 0
+
+    with warnings.catch_warnings():
+        from ..errors import ServiceDegradedWarning
+
+        warnings.simplefilter("ignore", ServiceDegradedWarning)
+        sidecar = SidecarProcess(journal_path=journal_path, ack_every=8)
+        try:
+            rv = RemoteVerifier(
+                sidecar.url,
+                policy_obj,
+                fail_mode="open",
+                session=session_id,
+                liveness_timeout=liveness_timeout,
+            )
+            if runtime == "threaded":
+                rt = TaskRuntime(
+                    policy_obj,
+                    fail_mode="open",
+                    verifier=rv,
+                    on_unjoined_failure="ignore",
+                )
+            elif runtime == "pool":
+                rt = WorkSharingRuntime(
+                    policy_obj,
+                    workers=4,
+                    fail_mode="open",
+                    verifier=rv,
+                    on_unjoined_failure="ignore",
+                )
+            else:
+                raise ValueError(f"unknown runtime {runtime!r}; known: {RUNTIMES}")
+
+            stop_monitor = threading.Event()
+
+            def monitor() -> None:
+                nonlocal drops_done
+                fired_kill = False
+                pending_drops = list(drop_points)
+                while not stop_monitor.wait(0.001):
+                    checked = rv.stats.joins_checked
+                    if kill_planned and not fired_kill and checked >= kill_after:
+                        sidecar.kill9()
+                        fired_kill = True
+                    while pending_drops and checked >= pending_drops[0]:
+                        pending_drops.pop(0)
+                        if sidecar.alive() and not rv.degraded:
+                            rv._test_drop_connection()
+                            drops_done += 1
+
+            monitor_thread = threading.Thread(target=monitor, daemon=True)
+            monitor_thread.start()
+            try:
+                _run_spec(spec, rt, plan.without_faults())
+            finally:
+                stop_monitor.set()
+                monitor_thread.join(timeout=5.0)
+
+            # The kill must happen even if the workload outran the monitor.
+            if kill_planned and sidecar.alive():
+                sidecar.kill9()
+            if not sidecar.alive():
+                sidecar.restart()
+
+            # Reconcile: reconnect (replays the event gap + rechecks), then
+            # wait for the journal to hold one verdict per client check.
+            remote_stats = rv.stats
+            deadline = time.monotonic() + 20.0
+            while time.monotonic() < deadline:
+                if rv.degraded:
+                    rv.try_reconnect()
+                records = read_journal(journal_path).records
+                n_verdicts = sum(
+                    1
+                    for r in records
+                    if r.get("kind") == "verdict" and r.get("session") == session_id
+                )
+                if not rv.degraded and n_verdicts >= remote_stats.joins_checked:
+                    break
+                time.sleep(0.05)
+            rv.close()
+        finally:
+            sidecar.stop()
+
+        result = read_journal(journal_path)
+
+    # Map the journal's rids back to spec task ids by walking the fork
+    # tree: a parent forks its children sequentially from its own thread
+    # in spec order, and rids are assigned at fork time, so within one
+    # parent ascending rid == ascending spec child id.
+    rid_to_tid: dict[int, int] = {}
+    verdict_mismatches: list = []
+    n_verdicts = 0
+    if local.verdicts is not None:
+        local_by_edge = dict(local.verdicts)
+        tree: dict[int, list[int]] = {}
+        root_rid: Optional[int] = None
+        for r in result.records:
+            if r.get("session") != session_id:
+                continue
+            if r.get("kind") == "init":
+                root_rid = r["task"]
+            elif r.get("kind") == "fork":
+                tree.setdefault(r["parent"], []).append(r["child"])
+        if root_rid is not None:
+            rid_to_tid[root_rid] = 0
+            stack = [root_rid]
+            ok_map = True
+            while stack:
+                prid = stack.pop()
+                ptid = rid_to_tid[prid]
+                kids_r = sorted(set(tree.get(prid, ())))
+                kids_t = list(spec.children.get(ptid, ()))
+                if len(kids_r) != len(kids_t):
+                    ok_map = False
+                    break
+                # rids are assigned in fork order and _run_spec forks a
+                # task's children in spec order from the parent's own
+                # thread, so ascending rid == ascending spec child id.
+                for rk, tk in zip(kids_r, kids_t):
+                    rid_to_tid[rk] = tk
+                    stack.append(rk)
+            if not ok_map:
+                problems.append("journal fork tree does not match the spec")
+            else:
+                for r in result.records:
+                    if (
+                        r.get("session") != session_id
+                        or r.get("kind") != "verdict"
+                    ):
+                        continue
+                    n_verdicts += 1
+                    a = rid_to_tid.get(r["waiter"])
+                    b = rid_to_tid.get(r["joinee"])
+                    if a is None or b is None:
+                        problems.append(f"verdict references unknown rid: {r}")
+                        continue
+                    want = local_by_edge.get((a, b))
+                    if want is not None and bool(r["ok"]) != want:
+                        verdict_mismatches.append((a, b, want, bool(r["ok"])))
+        else:
+            problems.append("journal holds no init record for the session")
+    else:
+        n_verdicts = sum(
+            1
+            for r in result.records
+            if r.get("kind") == "verdict" and r.get("session") == session_id
+        )
+
+    remote_stats = rv.stats
+    if remote_stats.forks != spec.n_tasks:
+        problems.append(
+            f"remote forks {remote_stats.forks} != n_tasks {spec.n_tasks}"
+        )
+    if remote_stats.joins_checked != spec.total_joins:
+        problems.append(
+            f"remote joins_checked {remote_stats.joins_checked} "
+            f"!= planned {spec.total_joins}"
+        )
+    if kill_planned and rv.degradations < 1:
+        problems.append("sidecar was killed but the client never degraded")
+    if n_verdicts < remote_stats.joins_checked:
+        problems.append(
+            f"journal verdicts {n_verdicts} < client checks "
+            f"{remote_stats.joins_checked}: reconcile did not restore stats"
+        )
+    if verdict_mismatches:
+        problems.append(
+            f"{len(verdict_mismatches)} verdicts diverged from the local run: "
+            f"{verdict_mismatches[:5]}"
+        )
+
+    if owns_dir:
+        tmp.cleanup()
+    if check and problems:
+        raise ChaosInvariantError(
+            f"seed {seed} policy {policy_obj.name} runtime {runtime} (service): "
+            + "; ".join(problems)
+        )
+    return ServiceChaosResult(
+        spec=spec,
+        policy_name=policy_obj.name,
+        runtime=runtime,
+        local_stats=local.stats,
+        remote_stats=remote_stats,
+        sidecar_killed=kill_planned,
+        kill_after_checks=kill_after,
+        drops_injected=drops_done,
+        degradations=rv.degradations,
+        reconciles=rv.reconciles,
+        journal_verdicts=n_verdicts,
+        verdict_mismatches=verdict_mismatches,
     )

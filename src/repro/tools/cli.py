@@ -35,30 +35,45 @@ Commands
     enforces the regression gates.
 ``run <trace-file> [--runtime threaded|pool] [--policy P] [--timeout S]
 [--watchdog-interval S] [--no-watchdog] [--fail-mode raise|open|closed]
-[--journal PATH]``
+[--journal PATH] [--verifier remote://HOST:PORT]``
     Execute the trace on a *blocking* runtime under full supervision:
     join deadlines, stall watchdog, cancellation.  Joins refused or
     terminated by the supervision layer are reported, never hung.
-    ``--journal`` writes a crash-consistent trace journal of the run.
+    ``--journal`` writes a crash-consistent trace journal of the run;
+    ``--verifier`` checks joins against a verification sidecar instead
+    of the in-process verifier (degrading to local Armus fallback if
+    the sidecar goes away).
+``serve [--host H] [--port P] [--journal PATH] [--inbox-limit N]
+[--ack-every N] [--liveness-timeout S]``
+    Run the verification sidecar: a long-lived server that verifies
+    fork/join event streams for many client processes.  Prints
+    ``LISTENING <host> <port>`` once ready and blocks until SIGTERM;
+    with ``--journal`` it rebuilds live sessions from the journal on
+    restart.
 ``journal-replay <journal-file>``
     Reconstruct verifier state from a trace journal (tolerating a
     crash-torn tail) and print the post-mortem: blocked edges at death,
     quarantine/retry events, and re-derived verdicts.  Exits 1 if any
-    journalled verdict disagrees with a fresh policy instance.
+    journalled verdict disagrees with a fresh policy instance; exits 2
+    if the journal file is missing or empty.
 ``chaos [--programs N] [--seed S] [--policies ...] [--runtimes ...]
 [--crash-rate R] [--delay-rate R] [--fault-rate R] [--max-tasks N]
-[--smoke] [--recovery]``
+[--smoke] [--recovery] [--service]``
     Run the deterministic fault-injection suite: seeded random fork/join
     programs across policies and runtimes, checking the supervised-
     runtime invariants.  ``--recovery`` adds the self-healing slice:
     policy-crash quarantine (fail-open and fail-closed) plus flaky-task
-    retry programs.  Exits 1 on any violation.
+    retry programs.  ``--service`` adds the sidecar slice: kill -9 the
+    verification sidecar mid-run and assert the client degrades, stays
+    sound, and reconciles to verdict equality with an all-local run.
+    Exits 1 on any violation.
 ``top (--metrics FILE | <trace-file> [--runtime R] [--policy P]
 [--interval S])``
     The live telemetry view: with a trace file, execute it under full
     telemetry and render blocked joins, counters, and latency
     histograms on a cadence until the run completes; with ``--metrics``,
-    render a saved metrics-snapshot JSON post-mortem.
+    render a saved metrics-snapshot JSON post-mortem (a missing or
+    empty snapshot file exits 2 with a one-line diagnosis).
 
 ``run`` and ``chaos`` additionally accept ``--trace-out PATH`` (write a
 Perfetto/Chrome-trace JSON of the execution) and ``--metrics-out PATH``
@@ -189,6 +204,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             watchdog=watchdog,
             fail_mode=args.fail_mode,
             journal=args.journal,
+            verifier=args.verifier,
         )
         rt = outcome.runtime
         print(f"runtime:          {args.runtime}")
@@ -204,18 +220,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"watchdog stalls:  {rt.watchdog.deadlocks_detected}")
         if rt.verifier.quarantined:
             print(f"QUARANTINED:      {rt.verifier.quarantine_error}")
+        if args.verifier:
+            snap = rt.verifier.service_snapshot()
+            print(f"verifier:         {args.verifier}")
+            print(
+                f"service:          degraded={snap['degraded']} "
+                f"degradations={snap['degradations']} "
+                f"reconciles={snap['reconciles']}"
+            )
         if args.journal:
             print(f"journal:          {args.journal}")
         _export_telemetry(session, args)
     return 0 if outcome.clean else 1
 
 
+def _require_readable(path: str, what: str) -> Optional[str]:
+    """One-line diagnosis when *path* is missing or empty, else None.
+
+    The journal/metrics commands are post-mortem tools: pointing them at
+    a file that never got written is an operator mistake, not a program
+    crash, so they report it in one line and exit 2 instead of dumping a
+    traceback.
+    """
+    import os
+
+    if not os.path.exists(path):
+        return f"{what} file not found: {path}"
+    if os.path.isdir(path):
+        return f"{what} path is a directory, not a file: {path}"
+    if os.path.getsize(path) == 0:
+        return f"{what} file is empty: {path}"
+    return None
+
+
 def _cmd_journal_replay(args: argparse.Namespace) -> int:
     from .replay import replay_journal
 
+    problem = _require_readable(args.journal, "journal")
+    if problem:
+        print(f"journal-replay: {problem}", file=sys.stderr)
+        return 2
     replay = replay_journal(args.journal)
     print(replay.report())
     return 1 if replay.recheck_mismatches else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service.server import main as server_main
+
+    argv = ["--host", args.host, "--port", str(args.port)]
+    if args.journal:
+        argv += ["--journal", args.journal]
+    argv += ["--inbox-limit", str(args.inbox_limit)]
+    argv += ["--ack-every", str(args.ack_every)]
+    argv += ["--liveness-timeout", str(args.liveness_timeout)]
+    return server_main(argv)
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -325,9 +384,37 @@ def _chaos_body(args: argparse.Namespace) -> int:
                     print(f"FAIL retries seed={seed} runtime={runtime}: {exc}")
                 total += 1
                 recovery_runs += 1
+    service_runs = 0
+    if args.service:
+        from ..testing.chaos import run_with_service_faults
+
+        service_programs = max(1, programs // 2) if args.smoke else max(2, programs // 2)
+        for runtime in runtimes:
+            for i in range(service_programs):
+                seed = args.seed + i
+                try:
+                    result = run_with_service_faults(
+                        seed,
+                        policy="TJ-SP",
+                        runtime=runtime,
+                        max_tasks=max_tasks,
+                    )
+                    print(
+                        f"service seed={seed} runtime={runtime}: "
+                        f"killed={result.sidecar_killed} "
+                        f"degradations={result.degradations} "
+                        f"reconciles={result.reconciles} "
+                        f"verdicts={result.journal_verdicts}"
+                    )
+                except AssertionError as exc:
+                    bad += 1
+                    print(f"FAIL service seed={seed} runtime={runtime}: {exc}")
+                total += 1
+                service_runs += 1
     print(
         f"chaos: {total} programs ({fault_runs} with verifier faults, "
-        f"{recovery_runs} recovery), {total - bad} passed, {bad} failed"
+        f"{recovery_runs} recovery, {service_runs} service), "
+        f"{total - bad} passed, {bad} failed"
     )
     return 1 if bad else 0
 
@@ -457,6 +544,10 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from ..obs.top import render_snapshot, render_top
 
     if args.metrics:
+        problem = _require_readable(args.metrics, "metrics")
+        if problem:
+            print(f"top: {problem}", file=sys.stderr)
+            return 2
         with open(args.metrics) as fh:
             snap = _json.load(fh)
         print(render_snapshot(snap))
@@ -612,6 +703,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write a crash-consistent trace journal of the run",
     )
     p.add_argument(
+        "--verifier",
+        metavar="URL",
+        help="verify joins against a sidecar, e.g. remote://127.0.0.1:7461",
+    )
+    p.add_argument(
         "--trace-out",
         metavar="PATH",
         help="write a Perfetto/Chrome-trace JSON of the run",
@@ -622,6 +718,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write the final metrics snapshot as JSON",
     )
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "serve", help="run the verification sidecar (blocks until SIGTERM)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p.add_argument("--journal", metavar="PATH", help="crash-recovery journal")
+    p.add_argument("--inbox-limit", type=int, default=1024)
+    p.add_argument("--ack-every", type=int, default=256)
+    p.add_argument("--liveness-timeout", type=float, default=5.0)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "journal-replay", help="post-mortem replay of a trace journal"
@@ -657,6 +764,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--recovery",
         action="store_true",
         help="add the quarantine + retry self-healing slice",
+    )
+    p.add_argument(
+        "--service",
+        action="store_true",
+        help="add the sidecar kill-9 / degradation / reconcile slice",
     )
     p.add_argument(
         "--trace-out",

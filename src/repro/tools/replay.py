@@ -146,6 +146,7 @@ def replay_on_threaded(
     watchdog: Union[bool, float] = True,
     fail_mode: str = "raise",
     journal: Optional[str] = None,
+    verifier: Union[None, str, object] = None,
 ) -> ReplayOutcome:
     """Run *trace* on a fresh blocking runtime (``"threaded"`` —
     thread-per-task :class:`~repro.runtime.threaded.TaskRuntime`, the
@@ -176,6 +177,7 @@ def replay_on_threaded(
             watchdog=watchdog,
             fail_mode=fail_mode,
             journal=journal,
+            verifier=verifier,
         )
     elif runtime == "pool":
         rt = WorkSharingRuntime(
@@ -185,6 +187,7 @@ def replay_on_threaded(
             watchdog=watchdog,
             fail_mode=fail_mode,
             journal=journal,
+            verifier=verifier,
         )
     else:
         raise ValueError(f"unknown runtime {runtime!r}; use 'threaded' or 'pool'")

@@ -1,0 +1,117 @@
+"""The sidecar wire protocol: framing, incremental decode, validation.
+
+The framing layer is the trust boundary between processes — everything
+above it assumes records arrive whole, in order, and well-formed.  These
+tests pin the frame format (4-byte big-endian length + UTF-8 JSON), the
+decoder's tolerance of arbitrary TCP chunk boundaries, and the shared
+record vocabulary both endpoints validate against.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import ServiceProtocolError
+from repro.service.wire import (
+    CLIENT_KINDS,
+    MAX_FRAME,
+    REQUIRED_FIELDS,
+    SERVER_KINDS,
+    WIRE_VERSION,
+    FrameDecoder,
+    encode_frame,
+    validate_record,
+)
+
+
+class TestFraming:
+    def test_frame_layout_is_length_prefixed_json(self):
+        record = {"kind": "ping"}
+        frame = encode_frame(record)
+        (length,) = struct.unpack_from(">I", frame)
+        assert length == len(frame) - 4
+        assert json.loads(frame[4:]) == record
+
+    def test_round_trip_one_frame(self):
+        record = {"kind": "check", "waiter": 3, "joinee": 9, "req": 41}
+        assert FrameDecoder().feed(encode_frame(record)) == [record]
+
+    def test_many_frames_in_one_chunk_arrive_in_order(self):
+        records = [{"kind": "fork", "parent": 0, "child": i, "cseq": i} for i in range(1, 8)]
+        chunk = b"".join(encode_frame(r) for r in records)
+        assert FrameDecoder().feed(chunk) == records
+
+    def test_byte_at_a_time_feed_reassembles_frames(self):
+        """TCP may deliver any chunking; the decoder must not care."""
+        records = [
+            {"kind": "init", "task": 0, "cseq": 0},
+            {"kind": "verdict", "req": 0, "ok": True},
+        ]
+        data = b"".join(encode_frame(r) for r in records)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(data)):
+            out.extend(decoder.feed(data[i : i + 1]))
+        assert out == records
+        assert decoder.pending_bytes == 0
+
+    def test_partial_frame_stays_pending(self):
+        frame = encode_frame({"kind": "pong"})
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:-1]) == []
+        assert decoder.pending_bytes == len(frame) - 1
+        assert decoder.feed(frame[-1:]) == [{"kind": "pong"}]
+
+    def test_oversize_length_prefix_is_a_protocol_error(self):
+        bogus = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(ServiceProtocolError):
+            FrameDecoder().feed(bogus)
+
+    def test_non_json_payload_is_a_protocol_error(self):
+        payload = b"\xff\xfenot json"
+        with pytest.raises(ServiceProtocolError):
+            FrameDecoder().feed(struct.pack(">I", len(payload)) + payload)
+
+    def test_non_object_payload_is_a_protocol_error(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ServiceProtocolError):
+            FrameDecoder().feed(struct.pack(">I", len(payload)) + payload)
+
+    def test_encode_refuses_oversize_record(self):
+        record = {"kind": "check_batch", "joinees": list(range(MAX_FRAME // 4))}
+        with pytest.raises(ServiceProtocolError):
+            encode_frame(record)
+
+
+class TestVocabulary:
+    def test_every_kind_has_required_fields_listed(self):
+        assert set(REQUIRED_FIELDS) == CLIENT_KINDS | SERVER_KINDS
+
+    def test_validate_returns_the_kind(self):
+        record = {"kind": "ack", "seq": 12}
+        assert validate_record(record, SERVER_KINDS) == "ack"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServiceProtocolError):
+            validate_record({"kind": "steal"}, CLIENT_KINDS)
+
+    def test_kind_from_the_wrong_direction_rejected(self):
+        # a server kind is not valid client traffic, and vice versa
+        with pytest.raises(ServiceProtocolError):
+            validate_record({"kind": "verdict", "req": 0, "ok": True}, CLIENT_KINDS)
+        with pytest.raises(ServiceProtocolError):
+            validate_record(
+                {"kind": "check", "waiter": 0, "joinee": 1, "req": 0}, SERVER_KINDS
+            )
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ServiceProtocolError) as exc:
+            validate_record({"kind": "check", "waiter": 0, "req": 3}, CLIENT_KINDS)
+        assert "joinee" in str(exc.value)
+
+    def test_hello_carries_the_wire_version(self):
+        assert "wire" in REQUIRED_FIELDS["hello"]
+        assert WIRE_VERSION == 1
