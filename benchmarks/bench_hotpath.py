@@ -110,16 +110,16 @@ def test_flat_never_loses(measurements, shape):
 def test_fork_heavy_flat_wins(measurements):
     """O(1) row append must beat the O(h) tuple copy on fork storms.
 
-    The compiled kernel must win outright; the pure-Python kernel pays
-    a lock plus five list appends per fork against the legacy tuple
-    copy, so on shallow bushy trees it is only required to hold parity
-    (within noise) — its wins are the join paths.
+    Both kernels must now win outright: the thread-affine append buffer
+    removed the allocation lock from the pure-Python fork path (measured
+    ~1.4x over the legacy tuple copy on this shape; the compiled kernel
+    wins by more).
     """
-    tj = next(
-        m for m in measurements if (m.shape, m.policy) == ("fork-heavy", "TJ-SP")
+    factor = speedup(measurements, "fork-heavy")
+    assert factor > 1.1, (
+        f"fork-heavy TJ-SP speedup regressed to {factor:.2f}x over "
+        f"TJ-SP-legacy (gate: 1.1x on every backend)"
     )
-    floor = 1.1 if tj.backend == "c" else 0.9
-    assert speedup(measurements, "fork-heavy") > floor
 
 
 @pytest.mark.parametrize("shape", HOTPATH_SHAPES)

@@ -37,8 +37,8 @@ _HOTPATH_SCHEMAS = (1, 2)
 #: ("obs") block; v4 the remote-verification soak ("service") block.
 #: All are optional on load — older files still load with the missing
 #: instruments defaulting to unmeasured.
-_RUNTIME_SCHEMA_VERSION = 4
-_RUNTIME_SCHEMAS = (1, 2, 3, 4)
+_RUNTIME_SCHEMA_VERSION = 5
+_RUNTIME_SCHEMAS = (1, 2, 3, 4, 5)
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -241,6 +241,31 @@ def runtime_to_json(result) -> str:
                 "reconciles": s.reconciles,
             },
         }
+    if result.procs is not None:
+        m = result.procs
+        payload["procs"] = {
+            "params": dict(result.procs_params),
+            "measurement": {
+                "tasks": m.tasks,
+                "workers": m.workers,
+                "dispatches": m.dispatches,
+                "mids": m.mids,
+                "leaves": m.leaves,
+                "spin": m.spin,
+                "elapsed": m.elapsed,
+                "baseline_tasks": m.baseline_tasks,
+                "baseline_elapsed": m.baseline_elapsed,
+                "cpu_count": m.cpu_count,
+                "spawn_paths": m.spawn_paths,
+                "local_joins": m.local_joins,
+                "cross_joins": m.cross_joins,
+                "degraded_joins": m.degraded_joins,
+                "escalation_ratio": m.escalation_ratio,
+                "worker_deaths": m.worker_deaths,
+                "tasks_redispatched": m.tasks_redispatched,
+                "divergences": m.divergences,
+            },
+        }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -250,6 +275,7 @@ def runtime_from_json(text: str):
         JoinChainMeasurement,
         JournalOverheadMeasurement,
         ObsOverheadMeasurement,
+        ProcsSoakMeasurement,
         RuntimeOverheadResult,
         ServiceSoakMeasurement,
     )
@@ -308,6 +334,10 @@ def runtime_from_json(text: str):
             degradations=m.get("degradations", 0),
             reconciles=m.get("reconciles", 0),
         )
+    procs = None
+    if "procs" in payload:
+        m = payload["procs"]["measurement"]
+        procs = ProcsSoakMeasurement(**m)
     return RuntimeOverheadResult(
         join_chain=chain,
         reports=reports,
@@ -319,6 +349,8 @@ def runtime_from_json(text: str):
         obs_params=payload.get("obs", {}).get("params", {}),
         service=service,
         service_params=payload.get("service", {}).get("params", {}),
+        procs=procs,
+        procs_params=payload.get("procs", {}).get("params", {}),
     )
 
 

@@ -187,6 +187,31 @@ SERVICE_PARAMS: dict[str, int] = {"joins": 120_000, "width": 64, "batch": 64}
 #: gate lives in ``benchmarks/bench_service.py``.
 SMOKE_SERVICE_PARAMS: dict[str, int] = {"joins": 10_000, "width": 32, "batch": 64}
 
+#: multi-process soak: *dispatches* subtrees cross the process boundary,
+#: each forking *mids* in-worker tasks that each fork *leaves* leaves —
+#: the fork-heavy deep shape where >90% of joins stay on the worker-local
+#: shard (only the dispatched task's own joins escalate).  Total verified
+#: tasks = dispatches x (1 + mids + mids*leaves); the full parameters put
+#: that above one million across >=4 workers.  *spin* is per-leaf integer
+#: work so the baseline is GIL-bound compute, not pure scheduler churn.
+PROCS_PARAMS: dict[str, int] = {
+    "workers": 4,
+    "dispatches": 1000,
+    "mids": 10,
+    "leaves": 100,
+    "spin": 120,
+}
+
+#: tiny pool for CI smoke runs; the >=1M-task gate lives in
+#: ``benchmarks/bench_procs.py``.
+SMOKE_PROCS_PARAMS: dict[str, int] = {
+    "workers": 2,
+    "dispatches": 12,
+    "mids": 3,
+    "leaves": 6,
+    "spin": 40,
+}
+
 
 # ----------------------------------------------------------------------
 # wait-protocol selection
@@ -688,6 +713,174 @@ def run_service_soak(
 
 
 # ----------------------------------------------------------------------
+# the multi-process soak
+# ----------------------------------------------------------------------
+def _procs_soak_leaf(x: int, spin: int) -> int:
+    """Per-leaf integer work (module level: it crosses processes)."""
+    acc = x
+    for _ in range(spin):
+        acc = (acc * 2654435761 + 97) % 1000003
+    return acc
+
+
+def _procs_soak_mid(rt, base: int, leaves: int, spin: int) -> int:
+    futs = [rt.fork(_procs_soak_leaf, base + i, spin) for i in range(leaves)]
+    return sum(rt.join_batch(futs))
+
+
+def _procs_soak_subtree(rt, base: int, mids: int, leaves: int, spin: int) -> int:
+    # In-worker forks are plain TaskRuntime forks, so the engine rides
+    # along as an explicit argument.
+    futs = [
+        rt.fork(_procs_soak_mid, rt, base + 1000 * m, leaves, spin)
+        for m in range(mids)
+    ]
+    return sum(rt.join_batch(futs))
+
+
+@dataclass
+class ProcsSoakMeasurement:
+    """One multi-process soak against the single-process-threaded baseline.
+
+    Both arms run the identical fork-heavy deep shape under full TJ-SP
+    verification; *speedup* compares verified tasks/second.  The CPU
+    budget is recorded honestly: on a box with fewer cores than
+    ``workers + 1`` processes the multi-process arm cannot exceed the
+    baseline (it pays IPC for no parallelism), so gates must condition
+    on :attr:`multi_core`.
+    """
+
+    tasks: int
+    workers: int
+    dispatches: int
+    mids: int
+    leaves: int
+    spin: int
+    elapsed: float
+    baseline_tasks: int
+    baseline_elapsed: float
+    cpu_count: int
+    spawn_paths: str
+    local_joins: int
+    cross_joins: int
+    degraded_joins: int
+    escalation_ratio: float
+    worker_deaths: int
+    tasks_redispatched: int
+    #: subtree results that disagreed with the baseline — must be 0
+    divergences: int
+
+    @property
+    def tasks_per_second(self) -> float:
+        return self.tasks / self.elapsed if self.elapsed else math.nan
+
+    @property
+    def baseline_tasks_per_second(self) -> float:
+        if not self.baseline_elapsed:
+            return math.nan
+        return self.baseline_tasks / self.baseline_elapsed
+
+    @property
+    def speedup(self) -> float:
+        """Verified tasks/s, multi-process over single-process threaded."""
+        base = self.baseline_tasks_per_second
+        return self.tasks_per_second / base if base else math.nan
+
+    @property
+    def multi_core(self) -> bool:
+        """Can every process (workers + parent) own a core?"""
+        return self.cpu_count >= self.workers + 1
+
+
+def run_procs_soak(
+    *,
+    params: Optional[dict[str, int]] = None,
+    spawn_paths: str = "auto",
+    sidecar: Optional[str] = None,
+) -> ProcsSoakMeasurement:
+    """Soak the multi-process runtime and measure its aggregate throughput.
+
+    Runs the deep fork-heavy shape twice — single-process threaded (the
+    baseline) and across a :class:`~repro.runtime.procs.ProcessRuntime`
+    pool — comparing every subtree result, then reports verified-task
+    throughput for both arms plus the merged join-resolution split.  The
+    shape is the local-fast-path design point: of each subtree's
+    ``mids + mids*leaves`` joins only the ``mids`` performed by the
+    dispatched task itself escalate, so >90% of joins resolve on the
+    worker-local shard without synchronisation.
+    """
+    import os
+
+    from ..runtime.procs import ProcessRuntime
+
+    p = dict(params if params is not None else PROCS_PARAMS)
+    workers = int(p["workers"])
+    dispatches = int(p["dispatches"])
+    mids = int(p["mids"])
+    leaves = int(p["leaves"])
+    spin = int(p.get("spin", 0))
+    per_subtree = 1 + mids + mids * leaves
+    cpu_count = os.cpu_count() or 1
+
+    # --- baseline: the identical shape, one process, threaded ---------
+    base_rt = TaskRuntime("TJ-SP")
+
+    def base_root():
+        futs = [
+            base_rt.fork(_procs_soak_subtree, base_rt, 10_000 * t, mids, leaves, spin)
+            for t in range(dispatches)
+        ]
+        return base_rt.join_batch(futs)
+
+    t0 = time.perf_counter()
+    base_results = base_rt.run(base_root)
+    baseline_elapsed = time.perf_counter() - t0
+    baseline_tasks = dispatches * per_subtree
+
+    # --- the multi-process arm ----------------------------------------
+    rt = ProcessRuntime(workers=workers, spawn_paths=spawn_paths, sidecar=sidecar)
+
+    def procs_root():
+        futs = [
+            rt.fork(_procs_soak_subtree, 10_000 * t, mids, leaves, spin)
+            for t in range(dispatches)
+        ]
+        return rt.join_batch(futs)
+
+    t0 = time.perf_counter()
+    procs_results = rt.run(procs_root)
+    elapsed = time.perf_counter() - t0
+
+    divergences = sum(
+        1 for a, b in zip(base_results, procs_results) if a != b
+    ) + abs(len(base_results) - len(procs_results))
+    joins = rt.join_stats()
+    tasks = rt.tasks_completed + sum(
+        s.get("tasks_started", 0) for s in rt._worker_stats.values()
+    )
+    return ProcsSoakMeasurement(
+        tasks=tasks,
+        workers=workers,
+        dispatches=dispatches,
+        mids=mids,
+        leaves=leaves,
+        spin=spin,
+        elapsed=elapsed,
+        baseline_tasks=baseline_tasks,
+        baseline_elapsed=baseline_elapsed,
+        cpu_count=cpu_count,
+        spawn_paths=rt.spawn_paths,
+        local_joins=joins["local_joins"],
+        cross_joins=joins["cross_joins"],
+        degraded_joins=joins["degraded_joins"],
+        escalation_ratio=joins["escalation_ratio"],
+        worker_deaths=rt.worker_deaths,
+        tasks_redispatched=rt.tasks_redispatched,
+        divergences=divergences,
+    )
+
+
+# ----------------------------------------------------------------------
 # Table-2-style end-to-end overheads
 # ----------------------------------------------------------------------
 def run_overhead_suite(
@@ -753,6 +946,9 @@ class RuntimeOverheadResult:
     #: remote-verification soak; None in files from schema v1/v2/v3
     service: Optional[ServiceSoakMeasurement] = None
     service_params: dict[str, int] = field(default_factory=dict)
+    #: multi-process soak; None in files from schema v1-v4
+    procs: Optional[ProcsSoakMeasurement] = None
+    procs_params: dict[str, int] = field(default_factory=dict)
 
     @property
     def join_speedup(self) -> float:
@@ -792,6 +988,13 @@ class RuntimeOverheadResult:
         if self.service is None:
             return math.nan
         return self.service.rss_growth
+
+    @property
+    def procs_speedup(self) -> float:
+        """Multi-process over threaded tasks/s (NaN if the soak was not run)."""
+        if self.procs is None:
+            return math.nan
+        return self.procs.speedup
 
     def overhead(self, policy: str) -> float:
         return geomean_overhead(self.reports, policy)
@@ -916,6 +1119,21 @@ def render_runtime_table(result: RuntimeOverheadResult) -> str:
             f"RSS {s.rss_before_kb} -> {s.rss_after_kb} kB "
             f"(peak {s.rss_peak_kb}, growth {s.rss_growth:.3f}x), "
             f"degradations {s.degradations}"
+        )
+        lines.append("")
+    if result.procs is not None:
+        m = result.procs
+        lines.append(
+            f"multi-process soak (workers={m.workers}, "
+            f"{m.dispatches}x{m.mids}x{m.leaves} deep shape, "
+            f"{m.cpu_count} cpu)"
+        )
+        lines.append(
+            f"{m.tasks} verified tasks in {m.elapsed:.2f}s "
+            f"({m.tasks_per_second:,.0f} tasks/s) vs threaded "
+            f"{m.baseline_tasks_per_second:,.0f} tasks/s "
+            f"(speedup {m.speedup:.2f}x), escalation "
+            f"{m.escalation_ratio:.3f}, divergences {m.divergences}"
         )
         lines.append("")
     if result.reports:

@@ -69,6 +69,15 @@ class PolicyViolationError(ReproError):
             or f"{policy}: task {joiner!r} is not permitted to join on task {joinee!r}"
         )
 
+    def __reduce__(self):
+        # joiner/joinee may be live task handles or policy vertices;
+        # cross the process boundary by name (and keep the message,
+        # which the default reduce would misparse as ``policy``).
+        return (
+            type(self),
+            (self.policy, _picklable_ref(self.joiner), _picklable_ref(self.joinee), str(self)),
+        )
+
 
 class PolicyQuarantinedError(ReproError):
     """A policy raised an *internal* error and was taken out of service.
@@ -110,15 +119,23 @@ class PolicyQuarantineWarning(RuntimeWarning):
     """A policy was quarantined; the run degraded to Armus-only checking."""
 
 
+def _picklable_ref(obj: object) -> object:
+    """A task handle / vertex reduced to something that pickles.
+
+    Primitives pass through; anything live (a TaskHandle, a policy
+    vertex object) crosses the boundary by name or repr — the receiving
+    process could not resolve the live object anyway.
+    """
+    if isinstance(obj, (str, int, float, bool, type(None))):
+        return obj
+    return getattr(obj, "name", None) or repr(obj)
+
+
 def _picklable_cycle(cycle: tuple | None) -> tuple | None:
     """Cycle members reduced to their names (task handles don't pickle)."""
     if cycle is None:
         return None
-    return tuple(
-        m if isinstance(m, (str, int, float, bool, type(None)))
-        else getattr(m, "name", None) or repr(m)
-        for m in cycle
-    )
+    return tuple(_picklable_ref(m) for m in cycle)
 
 
 class DeadlockError(ReproError):
@@ -185,6 +202,14 @@ class JoinTimeoutError(ReproError, TimeoutError):
         super().__init__(
             message
             or f"join of {joinee!r} by {joiner!r} timed out after {timeout}s"
+        )
+
+    def __reduce__(self):
+        # The blocked edge is a pair of live TaskHandles; a worker's
+        # result queue must still be able to carry the timeout across.
+        return (
+            type(self),
+            (_picklable_ref(self.joiner), _picklable_ref(self.joinee), self.timeout, str(self)),
         )
 
 
@@ -273,6 +298,9 @@ class TaskCancelledError(ReproError):
             or (f"task {task!r} was cancelled" if task is not None else "task was cancelled")
         )
 
+    def __reduce__(self):
+        return (type(self), (_picklable_ref(self.task), str(self)))
+
 
 class RuntimeStateError(ReproError):
     """Misuse of the task runtime (e.g. joining outside any task context)."""
@@ -293,6 +321,32 @@ class TaskFailedError(ReproError):
         self.__cause__ = cause
         super().__init__(f"task {task!r} failed: {cause!r}")
 
+    def __reduce__(self):
+        # The default reduce would re-call __init__ with args=(message,)
+        # — the wrong arity — and drop both batch_index and the chained
+        # cause.  The cause itself is user code's exception and may not
+        # pickle; probe it and substitute a stringified stand-in so the
+        # wrapper always crosses a result queue intact.
+        import pickle
+
+        cause = self.__cause__
+        try:
+            pickle.loads(pickle.dumps(cause))
+        except Exception:  # noqa: BLE001 - any pickling defect at all
+            cause = ReproError(f"unpicklable cause: {cause!r}")
+        return (
+            _rebuild_task_failed,
+            (_picklable_ref(self.task), cause, self.batch_index, str(self)),
+        )
+
+
+def _rebuild_task_failed(task, cause, batch_index, message):
+    """Unpickle hook restoring a :class:`TaskFailedError` field for field."""
+    exc = TaskFailedError(task, cause)
+    exc.batch_index = batch_index
+    exc.args = (message,)
+    return exc
+
 
 class InjectedFaultError(ReproError):
     """An artificial failure raised by the fault-injection harness.
@@ -304,6 +358,9 @@ class InjectedFaultError(ReproError):
     def __init__(self, site: object = None, message: str | None = None):
         self.site = site
         super().__init__(message or f"injected fault at {site!r}")
+
+    def __reduce__(self):
+        return (type(self), (_picklable_ref(self.site), str(self)))
 
 
 class UnjoinedTaskWarning(RuntimeWarning):

@@ -41,5 +41,6 @@ from .asyncio_adapter import AsyncFuture, AsyncioRuntime  # noqa: E402 (cycle-fr
 from .executor import VerifiedExecutor  # noqa: E402
 from .phaser import Phaser  # noqa: E402
 from .pool import WorkSharingRuntime  # noqa: E402
+from .procs import ProcessRuntime  # noqa: E402
 
-__all__ += ["Phaser", "VerifiedExecutor"]
+__all__ += ["Phaser", "VerifiedExecutor", "ProcessRuntime"]

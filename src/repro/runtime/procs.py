@@ -1,0 +1,988 @@
+"""The multi-process task runtime: verified fork/join past the GIL.
+
+:class:`ProcessRuntime` keeps the verified fork/join API of
+:class:`~repro.runtime.threaded.TaskRuntime` — ``fork``, ``join``,
+``join_batch``, and the ``finish`` construct on top of them — but runs
+the forked tasks across a pool of **worker processes**, so CPU-bound
+task bodies scale with cores instead of serialising on the GIL.
+
+Architecture
+------------
+The parent process hosts the root task and dispatches every
+``ProcessRuntime.fork`` to a worker over a per-worker queue; the
+dispatched function runs inside the worker's own private
+:class:`~repro.runtime.threaded.TaskRuntime` (the *engine*) and
+receives that engine as its first argument, through which it forks and
+joins worker-local subtasks with the full supervised join protocol.
+Results stream back on a shared result queue; a collector thread in the
+parent completes the dispatched futures.
+
+Spawn paths — the TJ-SP fork tree every verdict derives from — live in
+one of two representations, chosen by ``spawn_paths``:
+
+* ``"shm"`` (default where available): the struct-of-arrays forest of
+  :class:`~repro.core.shared_tree.SharedFlatTree` in
+  ``multiprocessing.shared_memory``.  Every process reads the same rows
+  through int64 loads; segments double in capacity and are attached
+  lazily via the generation handshake, and ids are striped per process
+  so ``AddChild`` never takes an interprocess lock.
+* ``"wire"``: no shared memory at all.  Each process keeps a private
+  DePa-style path store (:class:`WireSpawnPaths`) and every dispatch
+  ships the task's spawn-path lineage — a compact list of
+  ``(vid, parent, edge, depth)`` rows — so the worker can verify
+  locally against paths alone.
+
+Join resolution — the local shard and the escalation rule
+---------------------------------------------------------
+Each process runs a :class:`ShardVerifier`: joins whose joiner was
+**forked in this process** resolve against the process-local shard with
+no synchronisation at all (the expected >90% fast path — a task joins
+the children it forked).  A join whose joiner's vertex was forked in
+*another* process (the dispatched task joining its own subtasks is the
+canonical case) is a **cross-process edge** and escalates to the shared
+verification sidecar (``repro serve``): every process holds one
+:class:`~repro.service.client.SessionClient` session multiplexed under
+one tenant, announces exactly the vertices that can appear on
+cross-process edges (with their authoritative edge/depth placement),
+and asks the sidecar's tenant mirror for the verdict via the existing
+``check``/``check_batch`` wire vocabulary.
+
+Degradation is sound by construction: TJ-SP verdicts depend only on the
+fork tree, which every process can already see (shared memory) or
+reconstruct (shipped lineages) — so when the sidecar dies mid-run the
+:class:`~repro.service.client.SessionClient` degrades permanently and
+the shard answers escalated checks from the local authority instead,
+counting every such resolution.  Nothing blocks, nothing is unsound;
+the sidecar is an arbiter and an observer, not the source of truth.
+
+Worker death (at-least-once redispatch)
+---------------------------------------
+A monitor thread watches worker sentinels.  When a worker dies —
+including ``SIGKILL`` mid-task, which the chaos suite injects — its
+in-flight dispatches are re-forked under **fresh vertices** (a new
+``AddChild`` under the same parent: a later sibling, so by the
+no-widening property every verdict stays sound) and redispatched to the
+surviving workers.  Task bodies therefore run *at least once*; bodies
+with external side effects should be idempotent.  The shared-memory
+rows the dead worker wrote are simply orphaned (the forest only grows),
+and because no interprocess locks exist anywhere, a kill can never
+strand one.
+
+The API is identical where it can be: ``run`` hosts one root,
+``fork``/``join``/``join_batch`` are the verified operations, failures
+cross the process boundary as the package's picklable exceptions.  The
+one necessary difference: a *dispatched* function must be picklable
+(module-level) and receives the hosting engine as its first argument —
+closures cannot cross a process boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import secrets
+import threading
+import time
+from multiprocessing.connection import wait as _mpc_wait
+from typing import Any, Callable, Optional, Sequence, Union
+
+from .context import require_current_task, task_scope
+from .future import Future
+from .supervisor import StallWatchdog, SupervisedJoinMixin
+from .task import TaskHandle, TaskState
+from .threaded import TaskRuntime
+from ..core.shared_tree import (
+    SharedFlatTree,
+    SharedTJPolicy,
+    SharedTreeHandle,
+    shm_available,
+)
+from ..core.verifier import Verifier
+from ..errors import ReproError, RuntimeStateError
+from ..obs.metrics import CounterGroup
+from ..service.mirror import MirroredSpawnPaths
+
+__all__ = ["ProcessRuntime", "ShardVerifier", "WireSpawnPaths"]
+
+#: worker -> parent result-queue message kinds
+_R_DONE = "done"
+_R_STATS = "stats"
+
+#: how many dispatched tasks a worker completes between stats messages
+_STATS_EVERY = 256
+
+
+# ----------------------------------------------------------------------
+# wire-mode spawn paths: DePa-style rows, striped id allocation
+# ----------------------------------------------------------------------
+class WireSpawnPaths(MirroredSpawnPaths):
+    """Per-process TJ-SP path store for the no-shared-memory fallback.
+
+    Same Algorithm 3 verdicts as the mirror policy it extends, but ids
+    are *allocated* here (striped per process, like the shared tree:
+    process ``r`` of ``n`` owns ids ``r, r+n, r+2n, ...``), and remote
+    lineages arrive via :meth:`adopt` — the compact
+    ``(vid, parent, edge, depth)`` row lists a dispatch ships.
+    """
+
+    backend = "wire"
+
+    def __init__(self, region: int, nprocs: int) -> None:
+        super().__init__("TJ-SP")
+        self.name = "TJ-SP-wire"
+        self._next = region
+        self._step = nprocs
+        self._children: dict[int, int] = {}
+
+    def add_child(self, parent: Optional[int]) -> int:
+        vid = self._next
+        self._next += self._step
+        if parent is None or parent < 0:
+            self.rows[vid] = (-1, 0, 0)
+        else:
+            edge = self._children.get(parent, 0)
+            self._children[parent] = edge + 1
+            self.rows[vid] = (parent, edge, self.rows[parent][2] + 1)
+        return vid
+
+    def adopt(self, rows: Sequence[tuple]) -> None:
+        """Install remote rows (a shipped lineage) verbatim."""
+        for vid, parent, edge, depth in rows:
+            self.rows[vid] = (parent, edge, depth)
+
+    def lineage(self, vid: int) -> list[tuple]:
+        """Root-first ``(vid, parent, edge, depth)`` rows for *vid*."""
+        out = []
+        while vid >= 0:
+            parent, edge, depth = self.rows[vid]
+            out.append((vid, parent, edge, depth))
+            vid = parent
+        out.reverse()
+        return out
+
+
+# ----------------------------------------------------------------------
+# the per-process verifier shard
+# ----------------------------------------------------------------------
+_SHARD_FIELDS = ("local_joins", "cross_joins", "degraded_joins", "announced")
+
+
+class ShardVerifier(Verifier):
+    """A :class:`Verifier` with the local-fast-path / escalation split.
+
+    * Both endpoints forked in this process → the plain local verifier
+      path (policy verdict, stats, quarantine boundary) — no I/O.
+    * Joiner forked elsewhere (a cross-process edge) → escalate to the
+      sidecar session when one is attached and healthy; on degradation
+      (or with no sidecar at all) resolve against the local authority —
+      sound, because the spawn paths of both endpoints are locally
+      visible by construction — and count the degraded resolution.
+
+    Vertices that can become cross-process joinees (children forked
+    under a remotely-forked parent) are announced to the sidecar with
+    their authoritative ``(edge, depth)`` placement as they are created;
+    the dispatching runtime announces the dispatched vertices
+    themselves.
+    """
+
+    def __init__(
+        self,
+        policy,
+        *,
+        fail_mode: str = "raise",
+        sidecar=None,
+        journal=None,
+    ) -> None:
+        super().__init__(policy, fail_mode=fail_mode, journal=journal)
+        self.sidecar = sidecar
+        self._local: set[int] = set()
+        self._procs_events = CounterGroup(_SHARD_FIELDS)
+
+    # -- bookkeeping ----------------------------------------------------
+    def is_local(self, vid: object) -> bool:
+        return vid in self._local
+
+    def procs_stats(self) -> dict:
+        return self._procs_events.totals()
+
+    def adopt(self, vid: int, rows: Optional[Sequence[tuple]] = None) -> None:
+        """Make a remotely-forked vertex resolvable here (NOT local).
+
+        In wire mode *rows* carries the shipped lineage; in shm mode the
+        shared forest already has the rows and there is nothing to copy.
+        Adopted vertices stay outside the local set on purpose: joins
+        from them are cross-process edges and must escalate.
+        """
+        if rows is not None:
+            self.policy.adopt(rows)
+
+    # -- announcements --------------------------------------------------
+    def _announce(self, kind: str, vid: int) -> None:
+        client = self.sidecar
+        if client is None:
+            return
+        if kind == "init":
+            client.init(vid)
+        else:
+            parent, edge, depth = self.policy.placement(vid)
+            client.fork(parent, vid, edge, depth)
+        self._procs_events.cell().announced += 1
+
+    def announce_init(self, vid: int) -> None:
+        self._announce("init", vid)
+
+    def announce_fork(self, vid: int) -> None:
+        self._announce("fork", vid)
+
+    def flush_announcements(self) -> None:
+        if self.sidecar is not None:
+            self.sidecar.flush()
+
+    # -- fork: track locality, announce escalation-relevant vertices ----
+    def on_init(self):
+        vertex = super().on_init()
+        if isinstance(vertex, int):
+            self._local.add(vertex)
+        return vertex
+
+    def on_fork(self, parent):
+        vertex = super().on_fork(parent)
+        if isinstance(vertex, int):
+            self._local.add(vertex)
+            if parent not in self._local:
+                # A child of a remotely-forked task: the one shape that
+                # can appear as the joinee of a cross-process edge.
+                self._announce("fork", vertex)
+        return vertex
+
+    # -- join: the fast path / escalation split -------------------------
+    def check_join(self, joiner, joinee) -> bool:
+        if not isinstance(joiner, int) or not isinstance(joinee, int):
+            # Quarantined placeholders: the base verifier owns degraded
+            # semantics.
+            return super().check_join(joiner, joinee)
+        if joiner in self._local:
+            self._procs_events.cell().local_joins += 1
+            return super().check_join(joiner, joinee)
+        cell = self._procs_events.cell()
+        cell.cross_joins += 1
+        client = self.sidecar
+        verdict = client.check(joiner, joinee) if client is not None else None
+        if verdict is None:
+            cell.degraded_joins += 1
+            return super().check_join(joiner, joinee)
+        shard = self._shard()
+        shard.joins_checked += 1
+        if not verdict:
+            shard.joins_rejected += 1
+        if self.journal is not None:
+            self.journal.log_verdict(joiner, joinee, verdict)
+        return verdict
+
+    def check_joins(self, joiner, joinees) -> list[bool]:
+        joinees = list(joinees)
+        if not joinees:
+            return []
+        if not isinstance(joiner, int) or any(
+            not isinstance(j, int) for j in joinees
+        ):
+            return super().check_joins(joiner, joinees)
+        if joiner in self._local:
+            self._procs_events.cell().local_joins += len(joinees)
+            return super().check_joins(joiner, joinees)
+        cell = self._procs_events.cell()
+        cell.cross_joins += len(joinees)
+        client = self.sidecar
+        verdicts = (
+            client.check_batch(joiner, joinees) if client is not None else None
+        )
+        if verdicts is None:
+            cell.degraded_joins += len(joinees)
+            return super().check_joins(joiner, joinees)
+        shard = self._shard()
+        shard.joins_checked += len(verdicts)
+        shard.joins_rejected += verdicts.count(False)
+        if self.journal is not None:
+            for joinee, ok in zip(joinees, verdicts):
+                self.journal.log_verdict(joiner, joinee, ok)
+        return verdicts
+
+
+# ----------------------------------------------------------------------
+# the worker process
+# ----------------------------------------------------------------------
+class _WorkerEngine(TaskRuntime):
+    """The private in-worker runtime that hosts dispatched task bodies.
+
+    A thin :class:`TaskRuntime`: same pooled threads, same supervised
+    joins, but driven by the worker's :class:`ShardVerifier` and able to
+    host many dispatched tasks sequentially (``execute``) instead of
+    exactly one root.
+    """
+
+    def __init__(self, verifier: ShardVerifier, **kwargs: Any) -> None:
+        super().__init__(
+            policy=verifier.policy,
+            fallback=False,
+            verifier=verifier,
+            **kwargs,
+        )
+        #: vid -> live TaskHandle, for cancel targeting over the wake pipe
+        self.dispatched: dict[int, TaskHandle] = {}
+
+    def execute(self, vid: int, fn: Callable, args: tuple, kwargs: dict):
+        """Run one dispatched task body to completion in this thread.
+
+        Returns ``("ok", value)`` or ``("err", exc)``; never raises.
+        The body receives this engine as its first argument — its portal
+        to the verified ``fork``/``join``/``join_batch`` API.
+        """
+        task = TaskHandle(vid, code=fn, name=f"dispatched-{vid}")
+        task.state = TaskState.RUNNING
+        self.dispatched[vid] = task
+        try:
+            with task_scope(task):
+                value = fn(self, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            task.state = TaskState.FAILED
+            return ("err", exc)
+        else:
+            task.state = TaskState.DONE
+            return ("ok", value)
+        finally:
+            self.dispatched.pop(vid, None)
+
+    def cancel_dispatched(self, vid: int) -> None:
+        task = self.dispatched.get(vid)
+        if task is not None:
+            task.cancel_token.cancel()
+
+
+def _pickle_safe(obj: object) -> object:
+    """*obj* if it pickles, else a :class:`ReproError` describing it."""
+    try:
+        pickle.dumps(obj)
+    except Exception:  # noqa: BLE001 - any pickling failure
+        return ReproError(f"unpicklable worker payload: {obj!r}")
+    return obj
+
+
+def _worker_stats(engine: _WorkerEngine, shard: ShardVerifier, done: int) -> dict:
+    stats = {
+        "tasks_dispatched": done,
+        "tasks_started": engine.tasks_started,
+        "threads_started": engine.threads_started,
+    }
+    stats.update(shard.procs_stats())
+    stats.update(shard.stats.snapshot())
+    if shard.sidecar is not None:
+        stats["sidecar_degraded"] = int(shard.sidecar.degraded)
+    return stats
+
+
+def _worker_main(cfg: dict) -> None:
+    """Entry point of one worker process (spawn-safe, module level)."""
+    index = cfg["index"]
+    dispatch_q = cfg["dispatch_q"]
+    result_q = cfg["result_q"]
+    wake_r = cfg["wake_r"]
+
+    tree = None
+    if cfg["tree_handle"] is not None:
+        tree = SharedFlatTree.attach(
+            SharedTreeHandle(*cfg["tree_handle"]), region=cfg["region"]
+        )
+        policy = SharedTJPolicy(tree)
+    else:
+        policy = WireSpawnPaths(cfg["region"], cfg["nprocs"])
+
+    client = None
+    if cfg["sidecar_url"] is not None:
+        from ..service.client import SessionClient
+
+        client = SessionClient(
+            cfg["sidecar_url"],
+            f"{cfg['run_id']}-w{index}",
+            tenant=cfg["run_id"],
+        )
+        client.connect()  # failure leaves it degraded: local fallback
+
+    shard = ShardVerifier(policy, fail_mode=cfg["fail_mode"], sidecar=client)
+    engine = _WorkerEngine(shard)
+
+    stop = threading.Event()
+
+    def control_main() -> None:
+        # The wake pipe: out-of-band stop/cancel, never behind a queue
+        # of pending dispatches.
+        while True:
+            try:
+                msg = wake_r.recv()
+            except (EOFError, OSError):
+                stop.set()
+                return
+            if msg is None or msg[0] == "stop":
+                stop.set()
+                return
+            if msg[0] == "cancel":
+                engine.cancel_dispatched(msg[1])
+
+    threading.Thread(target=control_main, daemon=True, name="procs-wake").start()
+
+    completed = 0
+    try:
+        while not stop.is_set():
+            try:
+                item = dispatch_q.get(timeout=0.2)
+            except Exception:  # noqa: BLE001 - Empty, or torn queue at exit
+                continue
+            if item is None:
+                break
+            vid, payload, lineage = item
+            shard.adopt(vid, lineage)
+            try:
+                fn, args, kwargs = pickle.loads(payload)
+            except Exception as exc:  # noqa: BLE001
+                result_q.put((_R_DONE, vid, "err", ReproError(f"undispatchable task: {exc!r}")))
+                continue
+            kind, value = engine.execute(vid, fn, args, kwargs)
+            if kind == "ok":
+                safe = _pickle_safe(value)
+                if safe is not value:
+                    result_q.put((_R_DONE, vid, "err", safe))
+                else:
+                    result_q.put((_R_DONE, vid, "ok", value))
+            else:
+                result_q.put((_R_DONE, vid, "err", _pickle_safe(value)))
+            completed += 1
+            if completed % _STATS_EVERY == 0:
+                result_q.put((_R_STATS, index, _worker_stats(engine, shard, completed)))
+    finally:
+        try:
+            result_q.put((_R_STATS, index, _worker_stats(engine, shard, completed)))
+        except Exception:  # noqa: BLE001 - parent may already be gone
+            pass
+        if client is not None:
+            client.close()
+        if tree is not None:
+            tree.close()
+
+
+# ----------------------------------------------------------------------
+# parent-side plumbing
+# ----------------------------------------------------------------------
+class _CancelRelay:
+    """A cancel-token waker that forwards the request over a wake pipe."""
+
+    __slots__ = ("runtime", "vid")
+
+    def __init__(self, runtime: "ProcessRuntime", vid: int) -> None:
+        self.runtime = runtime
+        self.vid = vid
+
+    def set(self) -> None:
+        self.runtime._relay_cancel(self.vid)
+
+
+class _Inflight:
+    __slots__ = ("future", "worker", "payload", "parent_vid", "attempts")
+
+    def __init__(self, future, worker, payload, parent_vid, attempts=0):
+        self.future = future
+        self.worker = worker
+        self.payload = payload
+        self.parent_vid = parent_vid
+        self.attempts = attempts
+
+
+class _WorkerHandle:
+    __slots__ = ("index", "proc", "dispatch_q", "wake_w", "alive", "stats")
+
+    def __init__(self, index, proc, dispatch_q, wake_w):
+        self.index = index
+        self.proc = proc
+        self.dispatch_q = dispatch_q
+        self.wake_w = wake_w
+        self.alive = True
+        self.stats: dict = {}
+
+
+class ProcessRuntime(SupervisedJoinMixin):
+    """Verified fork/join across a pool of worker processes.
+
+    Parameters
+    ----------
+    policy:
+        Only the TJ-SP family is supported: cross-process soundness
+        leans on verdicts that are fixed at fork time and derivable from
+        spawn paths alone.  Pass ``"TJ-SP"`` (the default).
+    workers:
+        Worker process count (the parent is an additional process that
+        hosts the root and the dispatch plumbing).
+    spawn_paths:
+        ``"shm"`` — shared-memory forest; ``"wire"`` — per-process path
+        stores with shipped lineages; ``"auto"`` (default) picks shm
+        where the platform has it.
+    sidecar:
+        ``None`` — no sidecar: cross-process edges resolve against the
+        local authority from the start (counted as degraded);
+        ``"auto"`` — spawn a private ``repro serve`` on an ephemeral
+        port and point every process at it; a ``remote://host:port``
+        URL — use an existing sidecar.
+    redispatch:
+        When True (default) a dead worker's in-flight tasks are re-run
+        on surviving workers under fresh vertices (at-least-once);
+        when False their futures fail with :class:`TaskFailedError`.
+    stripe, seg0:
+        Shared-tree allocation geometry (shm mode), for tests.
+
+    ``fail_mode``, ``default_join_timeout``, ``watchdog``,
+    ``on_unjoined_failure`` behave as on :class:`TaskRuntime`.  There is
+    no Armus fallback across processes: TJ-SP is pure avoidance here,
+    and a rejected join faults immediately.
+    """
+
+    def __init__(
+        self,
+        policy: str = "TJ-SP",
+        *,
+        workers: int = 4,
+        spawn_paths: str = "auto",
+        sidecar: Union[None, str] = None,
+        redispatch: bool = True,
+        fail_mode: str = "raise",
+        default_join_timeout: Optional[float] = None,
+        watchdog: Union[bool, float, StallWatchdog] = True,
+        watchdog_interval: float = 0.1,
+        on_unjoined_failure: str = "warn",
+        stripe: int = 1024,
+        seg0: int = 1 << 14,
+    ) -> None:
+        if isinstance(policy, str):
+            policy_name = policy
+        else:
+            policy_name = getattr(policy, "name", str(policy))
+        if not policy_name.startswith("TJ-SP"):
+            raise ValueError(
+                "ProcessRuntime requires a TJ-SP-family policy (verdicts "
+                f"fixed at fork time); got {policy_name!r}"
+            )
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if spawn_paths not in ("auto", "shm", "wire"):
+            raise ValueError("spawn_paths must be 'auto', 'shm' or 'wire'")
+        if spawn_paths == "auto":
+            spawn_paths = "shm" if shm_available() else "wire"
+        if spawn_paths == "shm" and not shm_available():  # pragma: no cover
+            raise RuntimeError("shared memory unavailable; use spawn_paths='wire'")
+        self.workers_requested = workers
+        self.spawn_paths = spawn_paths
+        self.redispatch = redispatch
+        self._sidecar_spec = sidecar
+        self._fail_mode = fail_mode
+        self._stripe = stripe
+        self._seg0 = seg0
+        self.run_id = f"procs-{secrets.token_hex(4)}"
+        self._nprocs = workers + 1  # workers plus the parent (region 0)
+
+        self._tree: Optional[SharedFlatTree] = None
+        self._sidecar_proc = None
+        self._client = None
+        self._verifier: Optional[ShardVerifier] = None
+        self._hybrid = None  # no Armus across processes
+        self._journal = None
+
+        import multiprocessing
+
+        self._ctx = multiprocessing.get_context("spawn")
+        self._result_q = self._ctx.Queue()
+        self._workers: list[_WorkerHandle] = []
+        self._plock = threading.Lock()
+        self._inflight: dict[int, _Inflight] = {}
+        self._rr = 0  # round-robin dispatch cursor
+        self._root_started = False
+        self._stopping = threading.Event()
+        self._collector: Optional[threading.Thread] = None
+        self._monitor: Optional[threading.Thread] = None
+
+        # merged telemetry (parent's view; worker cells merge on arrival)
+        self.tasks_dispatched = 0
+        self.tasks_completed = 0
+        self.worker_deaths = 0
+        self.tasks_redispatched = 0
+        self.orphan_results = 0
+        self._worker_stats: dict[int, dict] = {}
+
+        self._init_supervision(
+            default_join_timeout=default_join_timeout,
+            watchdog=watchdog,
+            watchdog_interval=watchdog_interval,
+            on_unjoined_failure=on_unjoined_failure,
+        )
+        obs = self._obs
+        if obs is not None:
+            self._m_tasks = obs.registry.counter("repro_procs_tasks_total")
+            self._m_cross = obs.registry.counter("repro_procs_cross_joins_total")
+            self._m_ratio = obs.registry.gauge("repro_procs_escalation_ratio")
+        else:
+            self._m_tasks = self._m_cross = self._m_ratio = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def policy(self):
+        return self._verifier.policy if self._verifier is not None else None
+
+    @property
+    def verifier(self) -> Optional[ShardVerifier]:
+        return self._verifier
+
+    @property
+    def sidecar_url(self) -> Optional[str]:
+        if self._client is not None:
+            return self._client.url
+        return None
+
+    def join_stats(self) -> dict:
+        """Merged local/cross/degraded join counts across all processes."""
+        out = {f: 0 for f in _SHARD_FIELDS}
+        sources = [self._verifier.procs_stats()] if self._verifier else []
+        sources += list(self._worker_stats.values())
+        for stats in sources:
+            for field in _SHARD_FIELDS:
+                out[field] += stats.get(field, 0)
+        checked = out["local_joins"] + out["cross_joins"]
+        out["escalation_ratio"] = out["cross_joins"] / checked if checked else 0.0
+        return out
+
+    def _metrics_snapshot(self) -> dict:
+        out = super()._metrics_snapshot()
+        joins = self.join_stats()
+        out.update(
+            procs_workers=len([w for w in self._workers if w.alive]),
+            procs_tasks_total=self.tasks_completed
+            + sum(s.get("tasks_started", 0) for s in self._worker_stats.values()),
+            procs_tasks_dispatched=self.tasks_dispatched,
+            procs_cross_joins_total=joins["cross_joins"],
+            procs_local_joins_total=joins["local_joins"],
+            procs_degraded_joins_total=joins["degraded_joins"],
+            procs_escalation_ratio=joins["escalation_ratio"],
+            procs_worker_deaths=self.worker_deaths,
+            procs_tasks_redispatched=self.tasks_redispatched,
+        )
+        if self._m_ratio is not None:
+            self._m_ratio.set(joins["escalation_ratio"])
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _start_sidecar(self) -> Optional[str]:
+        spec = self._sidecar_spec
+        if spec is None:
+            return None
+        if spec == "auto":
+            from ..service.proc import SidecarProcess
+
+            self._sidecar_proc = SidecarProcess(port=0)
+            return self._sidecar_proc.url
+        return spec
+
+    def _start_workers(self) -> None:
+        url = self._start_sidecar()
+        if url is not None:
+            from ..service.client import SessionClient
+
+            self._client = SessionClient(url, f"{self.run_id}-p", tenant=self.run_id)
+            self._client.connect()
+        if self.spawn_paths == "shm":
+            self._tree = SharedFlatTree.create(
+                nprocs=self._nprocs, stripe=self._stripe, seg0=self._seg0
+            )
+            policy = SharedTJPolicy(self._tree)
+            tree_handle = tuple(self._tree.handle())
+        else:
+            policy = WireSpawnPaths(0, self._nprocs)
+            tree_handle = None
+        self._verifier = ShardVerifier(
+            policy, fail_mode=self._fail_mode, sidecar=self._client
+        )
+        for i in range(self.workers_requested):
+            dispatch_q = self._ctx.Queue()
+            wake_r, wake_w = self._ctx.Pipe(duplex=False)
+            cfg = {
+                "index": i,
+                "region": i + 1,
+                "nprocs": self._nprocs,
+                "tree_handle": tree_handle,
+                "sidecar_url": url,
+                "run_id": self.run_id,
+                "fail_mode": self._fail_mode,
+                "dispatch_q": dispatch_q,
+                "result_q": self._result_q,
+                "wake_r": wake_r,
+            }
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(cfg,),
+                name=f"repro-procs-{i}",
+                daemon=True,
+            )
+            proc.start()
+            wake_r.close()
+            self._workers.append(_WorkerHandle(i, proc, dispatch_q, wake_w))
+        self._collector = threading.Thread(
+            target=self._collector_main, daemon=True, name="procs-collect"
+        )
+        self._collector.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_main, daemon=True, name="procs-monitor"
+        )
+        self._monitor.start()
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Execute *fn* as the root task in the parent process.
+
+        The root runs in the calling thread and may use this runtime
+        directly (it shares the parent's address space); everything it
+        ``fork``\\ s is dispatched to the worker pool.
+        """
+        with self._plock:
+            if self._root_started:
+                raise RuntimeStateError(
+                    "this runtime already hosted a root task; create a fresh "
+                    "ProcessRuntime per program run"
+                )
+            self._root_started = True
+        self._start_workers()
+        vertex = self._verifier.on_init()
+        self._verifier.announce_init(vertex)
+        self._verifier.flush_announcements()
+        root = TaskHandle(vertex, code=fn, name="root")
+        root.state = TaskState.RUNNING
+        try:
+            with task_scope(root):
+                result = fn(*args, **kwargs)
+                root.state = TaskState.DONE
+        except BaseException:
+            root.state = TaskState.FAILED
+            raise
+        finally:
+            self._shutdown()
+        self._reap_unjoined()
+        return result
+
+    def _shutdown(self) -> None:
+        self._stopping.set()
+        for w in self._workers:
+            if w.alive:
+                try:
+                    w.wake_w.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+                try:
+                    w.dispatch_q.put(None)
+                except Exception:  # noqa: BLE001 - queue may be torn
+                    pass
+        deadline = time.monotonic() + 10.0
+        for w in self._workers:
+            w.proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=5.0)
+        # One sentinel value unblocks the collector; it drains anything
+        # (late results, final stats) queued before it.
+        self._result_q.put(None)
+        if self._collector is not None:
+            self._collector.join(timeout=10.0)
+        if self._monitor is not None:
+            self._monitor.join(timeout=10.0)
+        if self._client is not None:
+            self._client.close()
+        if self._sidecar_proc is not None:
+            self._sidecar_proc.stop()
+        if self._tree is not None:
+            self._tree.close()
+
+    # ------------------------------------------------------------------
+    # fork: dispatch to a worker
+    # ------------------------------------------------------------------
+    def fork(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Future:
+        """Dispatch *fn* to a worker process; return its parent-side Future.
+
+        *fn* must be picklable (module level) and receives the worker's
+        engine — a full verified :class:`TaskRuntime` — as its first
+        argument: ``fn(rt, *args, **kwargs)``.
+        """
+        parent = require_current_task()
+        parent.cancel_token.raise_if_cancelled(parent)
+        try:
+            payload = pickle.dumps((fn, args, kwargs))
+        except Exception as exc:
+            raise RuntimeStateError(
+                f"dispatched task {getattr(fn, '__name__', fn)!r} must be "
+                f"picklable: {exc}"
+            ) from exc
+        vertex = self._verifier.on_fork(parent.vertex)
+        self._verifier.announce_fork(vertex)
+        self._verifier.flush_announcements()
+        task = TaskHandle(vertex, code=fn, parent_uid=parent.uid)
+        future = Future(self, task)
+        task.state = TaskState.RUNNING
+        lineage = None
+        if self.spawn_paths == "wire":
+            lineage = self._verifier.policy.lineage(vertex)
+        with self._plock:
+            self.tasks_dispatched += 1
+            worker = self._pick_worker_locked()
+            if worker is None:
+                raise RuntimeStateError("no live worker processes")
+            self._inflight[vertex] = _Inflight(
+                future, worker.index, payload, parent.vertex
+            )
+        task.cancel_token._add_waker(_CancelRelay(self, vertex))
+        worker.dispatch_q.put((vertex, payload, lineage))
+        return future
+
+    def _pick_worker_locked(self) -> Optional[_WorkerHandle]:
+        live = [w for w in self._workers if w.alive]
+        if not live:
+            return None
+        worker = live[self._rr % len(live)]
+        self._rr += 1
+        return worker
+
+    def _relay_cancel(self, vid: int) -> None:
+        with self._plock:
+            entry = self._inflight.get(vid)
+            worker = self._workers[entry.worker] if entry is not None else None
+        if worker is not None and worker.alive:
+            try:
+                worker.wake_w.send(("cancel", vid))
+            except (OSError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # result collection and worker supervision
+    # ------------------------------------------------------------------
+    def _collector_main(self) -> None:
+        while True:
+            try:
+                msg = self._result_q.get(timeout=1.0)
+            except Exception:  # noqa: BLE001 - Empty or torn queue
+                if self._stopping.is_set() and not any(
+                    w.proc.is_alive() for w in self._workers
+                ):
+                    return
+                continue
+            if msg is None:
+                # shutdown sentinel: drain whatever is already queued
+                while True:
+                    try:
+                        msg = self._result_q.get_nowait()
+                    except Exception:  # noqa: BLE001
+                        return
+                    if msg is not None:
+                        self._handle_result(msg)
+                return
+            self._handle_result(msg)
+
+    def _handle_result(self, msg) -> None:
+        try:
+            kind = msg[0]
+            if kind == _R_STATS:
+                _, index, stats = msg
+                self._worker_stats[index] = stats
+                if self._m_cross is not None:
+                    joins = self.join_stats()
+                    delta = joins["cross_joins"] - self._m_cross.value
+                    if delta > 0:
+                        self._m_cross.inc(delta)
+                    self._m_ratio.set(joins["escalation_ratio"])
+                return
+            _, vid, status, value = msg
+        except (TypeError, ValueError, IndexError):
+            self.orphan_results += 1
+            return
+        with self._plock:
+            entry = self._inflight.pop(vid, None)
+        if entry is None:
+            self.orphan_results += 1  # redispatch raced a late result
+            return
+        entry.future.task.state = (
+            TaskState.DONE if status == "ok" else TaskState.FAILED
+        )
+        self.tasks_completed += 1
+        if self._m_tasks is not None:
+            self._m_tasks.inc()
+        if status == "ok":
+            entry.future._set_result(value)
+        else:
+            entry.future._set_exception(value)
+
+    def _monitor_main(self) -> None:
+        while not self._stopping.is_set():
+            sentinels = {
+                w.proc.sentinel: w for w in self._workers if w.alive
+            }
+            if not sentinels:
+                return
+            ready = _mpc_wait(list(sentinels), timeout=0.2)
+            for sentinel in ready:
+                self._on_worker_death(sentinels[sentinel])
+
+    def _on_worker_death(self, worker: _WorkerHandle) -> None:
+        with self._plock:
+            if not worker.alive:
+                return
+            worker.alive = False
+            if self._stopping.is_set():
+                # Normal teardown: the exit is expected, nothing is stranded.
+                return
+            self.worker_deaths += 1
+            stranded = [
+                (vid, entry)
+                for vid, entry in self._inflight.items()
+                if entry.worker == worker.index
+            ]
+            for vid, _ in stranded:
+                del self._inflight[vid]
+        for vid, entry in stranded:
+            self._recover_task(vid, entry)
+
+    def _recover_task(self, vid: int, entry: _Inflight) -> None:
+        future = entry.future
+        if future.done():
+            return
+        if not self.redispatch or entry.attempts + 1 >= 3:
+            future.task.state = TaskState.FAILED
+            future._set_exception(
+                ReproError(f"worker process died while running task {vid}")
+            )
+            return
+        # A fresh vertex under the original parent: the retry is a later
+        # sibling, so every existing verdict stays sound (no-widening).
+        new_vid = self._verifier.on_fork(entry.parent_vid)
+        self._verifier.announce_fork(new_vid)
+        self._verifier.flush_announcements()
+        future.task.vertex = new_vid
+        lineage = None
+        if self.spawn_paths == "wire":
+            lineage = self._verifier.policy.lineage(new_vid)
+        with self._plock:
+            worker = self._pick_worker_locked()
+            if worker is None:
+                future.task.state = TaskState.FAILED
+                future._set_exception(
+                    ReproError("no live worker processes to redispatch to")
+                )
+                return
+            self.tasks_redispatched += 1
+            self._inflight[new_vid] = _Inflight(
+                future, worker.index, entry.payload, entry.parent_vid,
+                attempts=entry.attempts + 1,
+            )
+        worker.dispatch_q.put((new_vid, entry.payload, lineage))
+
+    # join / join_batch / _join_one come from SupervisedJoinMixin, driving
+    # the parent's ShardVerifier exactly like TaskRuntime drives its own.

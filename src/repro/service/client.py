@@ -57,6 +57,7 @@ from ..errors import (
     PolicyQuarantineWarning,
     ServiceBackpressureError,
     ServiceDegradedWarning,
+    ServiceError,
     ServiceProtocolError,
     ServiceUnavailableError,
 )
@@ -64,7 +65,7 @@ from ..obs.metrics import RTT_NS_BUCKETS
 from ..runtime.retry import RetryPolicy
 from .wire import SERVER_KINDS, WIRE_VERSION, RecordStream, validate_record
 
-__all__ = ["RemoteVerifier", "RemoteVertex", "parse_remote_url"]
+__all__ = ["RemoteVerifier", "RemoteVertex", "SessionClient", "parse_remote_url"]
 
 #: distinguishes sessions of one process; the pid distinguishes processes
 _SESSION_COUNTER = itertools.count()
@@ -706,3 +707,251 @@ class RemoteVerifier(Verifier):
             "replay_buffer": len(self._replay),
             "acked_seq": self._acked_seq,
         }
+
+
+class SessionClient:
+    """A thin rid-level sidecar session for the multi-process runtime.
+
+    Where :class:`RemoteVerifier` *is* a verifier (vertices, replay
+    buffer, reconcile machinery), this client is deliberately less: the
+    procs runtime already holds the whole spawn-path forest in shared
+    memory, so the sidecar is an *arbiter for cross-process edges*, not
+    the source of truth.  The client therefore ships plain integer rids
+    (the shared-tree vertex ids), buffers fire-and-forget state events
+    (flushed every :attr:`FLUSH_EVERY` or before any check), and answers
+    synchronous checks by request id.
+
+    Degradation is **permanent and local**: on any connect, send,
+    receive, timeout or backpressure failure the client goes silent and
+    every later call is a no-op — ``check``/``check_batch`` return
+    ``None``, telling the caller to resolve the join against its own
+    shared-memory shard, which is sound because TJ verdicts derive
+    entirely from the fork tree every process can already see.  There is
+    no replay buffer and no reconcile: the sidecar's copy is for
+    observability and post-mortems, and a runtime that outlives its
+    sidecar finishes verified all the same (the degradation is counted
+    and reported).  One lock serialises the socket; concurrent task
+    threads in a worker simply queue behind each other, which the
+    local-shard fast path keeps rare.
+    """
+
+    #: buffered state events forcing a flush
+    FLUSH_EVERY = 64
+
+    def __init__(
+        self,
+        url: str,
+        session_id: str,
+        *,
+        policy: str = "TJ-SP",
+        tenant: "str | None" = None,
+        fail_mode: str = "open",
+        timeout: float = 5.0,
+    ) -> None:
+        self.url = url
+        self.session_id = session_id
+        self.policy_name = policy
+        self.tenant = tenant
+        self.fail_mode = fail_mode
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._stream: Optional[RecordStream] = None
+        self._buffer: list[dict] = []
+        self._cseq = itertools.count()
+        self._req = itertools.count(1)
+        self.events_sent = 0
+        self.checks_sent = 0
+        self.degraded = False
+        self.degrade_reason: Optional[str] = None
+        self.quarantined = False
+
+    # ------------------------------------------------------------------
+    def connect(self) -> bool:
+        """Dial and handshake; False (and degraded) if the sidecar is gone."""
+        host, port = parse_remote_url(self.url)
+        try:
+            sock = socket.create_connection((host, port), timeout=self.timeout)
+            sock.settimeout(self.timeout)
+            stream = RecordStream(sock)
+            hello = {
+                "kind": "hello",
+                "wire": WIRE_VERSION,
+                "session": self.session_id,
+                "policy": self.policy_name,
+                "fail_mode": self.fail_mode,
+            }
+            if self.tenant is not None:
+                hello["tenant"] = self.tenant
+            stream.send(hello)
+            welcome = stream.recv()
+            if welcome is None or welcome.get("kind") != "welcome":
+                raise ServiceProtocolError(f"expected welcome, got {welcome!r}")
+        except (OSError, ServiceError) as exc:
+            self._degrade(f"connect: {exc}")
+            return False
+        with self._lock:
+            self._stream = stream
+        return True
+
+    # ------------------------------------------------------------------
+    # fire-and-forget state events (buffered)
+    # ------------------------------------------------------------------
+    def init(self, rid: int) -> None:
+        self._buffer_event({"kind": "init", "task": rid})
+
+    def fork(self, parent_rid: int, child_rid: int, edge: int, depth: int) -> None:
+        # edge/depth are the authoritative placement (sibling index and
+        # tree depth from the caller's own spawn tree).  Tenant sessions
+        # from different workers race their announcements, so the server
+        # must never re-derive sibling order from arrival order.
+        self._buffer_event(
+            {
+                "kind": "fork",
+                "parent": parent_rid,
+                "child": child_rid,
+                "edge": edge,
+                "depth": depth,
+            }
+        )
+
+    def join_event(self, waiter_rid: int, joinee_rid: int) -> None:
+        self._buffer_event({"kind": "join", "waiter": waiter_rid, "joinee": joinee_rid})
+
+    def _buffer_event(self, record: dict) -> None:
+        if self.degraded:
+            return
+        with self._lock:
+            record["cseq"] = next(self._cseq)
+            self._buffer.append(record)
+            if len(self._buffer) >= self.FLUSH_EVERY:
+                self._flush_locked()
+
+    def flush(self) -> None:
+        with self._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self.degraded or self._stream is None:
+            self._buffer.clear()
+            return
+        try:
+            for record in self._buffer:
+                self._stream.send(record)
+            self.events_sent += len(self._buffer)
+            self._buffer.clear()
+        except (OSError, ServiceError) as exc:
+            self._degrade_locked(f"flush: {exc}")
+
+    # ------------------------------------------------------------------
+    # synchronous checks
+    # ------------------------------------------------------------------
+    def check(self, waiter_rid: int, joinee_rid: int) -> "bool | None":
+        """One join-permit query; None = degraded, resolve locally."""
+        reply = self._roundtrip(
+            {"kind": "check", "waiter": waiter_rid, "joinee": joinee_rid}, "verdict"
+        )
+        return None if reply is None else bool(reply["ok"])
+
+    def check_batch(self, waiter_rid: int, joinee_rids: "list[int]") -> "list[bool] | None":
+        """Batch join-permit query (the PR 7 wire vocabulary, reused)."""
+        reply = self._roundtrip(
+            {"kind": "check_batch", "waiter": waiter_rid, "joinees": list(joinee_rids)},
+            "verdicts",
+        )
+        return None if reply is None else [bool(ok) for ok in reply["ok"]]
+
+    def _roundtrip(self, record: dict, want: str) -> "dict | None":
+        if self.degraded:
+            return None
+        with self._lock:
+            stream = self._stream
+            if stream is None:
+                return None
+            req = next(self._req)
+            record["req"] = req
+            self._flush_locked()
+            if self.degraded:
+                return None
+            try:
+                stream.send(record)
+                self.checks_sent += 1
+                while True:
+                    reply = stream.recv()
+                    if reply is None:
+                        raise ServiceUnavailableError("sidecar closed the stream")
+                    kind = reply.get("kind")
+                    if kind == want and reply.get("req") == req:
+                        return reply
+                    if kind == "quarantine":
+                        # Tenant policy quarantined server-side; the
+                        # shared-memory shard remains the (sound) local
+                        # authority, so treat it like degradation for
+                        # this and future checks.
+                        self.quarantined = True
+                        if reply.get("req") == req:
+                            self._degrade_locked("server policy quarantined")
+                            return None
+                    elif kind == "backpressure":
+                        self._degrade_locked("server backpressure")
+                        return None
+                    elif kind == "error":
+                        raise ServiceProtocolError(str(reply.get("message")))
+                    # acks/pongs and stale replies: keep reading
+            except (OSError, ServiceError) as exc:
+                self._degrade_locked(f"check: {exc}")
+                return None
+
+    # ------------------------------------------------------------------
+    def _degrade(self, reason: str) -> None:
+        with self._lock:
+            self._degrade_locked(reason)
+
+    def _degrade_locked(self, reason: str) -> None:
+        if self.degraded:
+            return
+        self.degraded = True
+        self.degrade_reason = reason
+        self._buffer.clear()
+        stream, self._stream = self._stream, None
+        if stream is not None:
+            try:
+                stream.sock.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Flush what we can, say goodbye, drop the socket."""
+        with self._lock:
+            stream = self._stream
+            if stream is None:
+                return
+            self._flush_locked()
+            try:
+                if not self.degraded:
+                    stream.send({"kind": "bye"})
+            except (OSError, ServiceError):
+                pass
+            self._stream = None
+            try:
+                stream.sock.close()
+            except OSError:
+                pass
+
+    def snapshot(self) -> dict:
+        return {
+            "session": self.session_id,
+            "tenant": self.tenant,
+            "events_sent": self.events_sent,
+            "checks_sent": self.checks_sent,
+            "degraded": self.degraded,
+            "degrade_reason": self.degrade_reason,
+            "quarantined": self.quarantined,
+        }
+
+    def __enter__(self) -> "SessionClient":
+        self.connect()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -48,7 +48,7 @@ from typing import Optional
 from ..errors import JournalCorruptError, JournalError, ServiceProtocolError
 from ..obs import active as _active_telemetry
 from ..tools.journal import read_journal
-from .session import Session
+from .session import Session, Tenant
 from .wire import CLIENT_KINDS, WIRE_VERSION, RecordStream, validate_record
 
 __all__ = ["ServiceJournal", "VerificationServer", "main"]
@@ -100,23 +100,31 @@ class ServiceJournal:
     # ------------------------------------------------------------------
     # loggers
     # ------------------------------------------------------------------
-    def log_session(self, session_id: str, policy: str, fail_mode: str) -> None:
+    def log_session(
+        self,
+        session_id: str,
+        policy: str,
+        fail_mode: str,
+        tenant: "str | None" = None,
+    ) -> None:
         """A session came into existence; critical — resume depends on it."""
-        self._emit(
-            {
-                "kind": "start",
-                "session": session_id,
-                "policy": policy,
-                "fail_mode": fail_mode,
-                "runtime": "service",
-            },
-            True,
-        )
+        record = {
+            "kind": "start",
+            "session": session_id,
+            "policy": policy,
+            "fail_mode": fail_mode,
+            "runtime": "service",
+        }
+        if tenant is not None:
+            record["tenant"] = tenant
+        self._emit(record, True)
 
     def log_event(self, session_id: str, record: dict) -> None:
         """One state event (init/fork/join) exactly as it arrived."""
         entry = {"kind": record["kind"], "session": session_id, "cseq": record["cseq"]}
-        for field in ("task", "parent", "child", "waiter", "joinee"):
+        # edge/depth: authoritative placement on tenant fork records —
+        # recovery must not re-derive sibling order from replay order.
+        for field in ("task", "parent", "child", "waiter", "joinee", "edge", "depth"):
             if field in record:
                 entry[field] = record[field]
         self._emit(entry, False)
@@ -229,6 +237,7 @@ class VerificationServer:
         self.flush_every = flush_every
         self.journal: Optional[ServiceJournal] = None
         self.sessions: dict[str, Session] = {}
+        self.tenants: dict[str, Tenant] = {}
         self._sessions_lock = threading.Lock()
         self._conns: dict[int, _Connection] = {}
         self._conns_lock = threading.Lock()
@@ -353,18 +362,17 @@ class VerificationServer:
             if sid is None or kind is None:
                 continue  # foreign record; compaction drops it
             if kind == "start":
-                if sid not in self.sessions:
-                    session = Session(
+                try:
+                    # Routes through the tenant map, so a recovered
+                    # worker-group shares one verifier again.
+                    self._get_or_make_session(
                         sid,
                         record["policy"],
                         record.get("fail_mode", "open"),
-                        journal=journal,
-                        inbox_limit=self.inbox_limit,
-                        ack_every=self.ack_every,
-                        telemetry=self._telemetry,
+                        record.get("tenant"),
                     )
-                    self.sessions[sid] = session
-                    journal.log_session(sid, session.policy_name, session.fail_mode)
+                except ServiceProtocolError:
+                    continue  # conflicting start records; keep the first
                 continue
             session = self.sessions.get(sid)
             if session is None:
@@ -481,25 +489,9 @@ class VerificationServer:
             )
         sid = record["session"]
         with self._sessions_lock:
-            session = self.sessions.get(sid)
-            if session is None:
-                session = Session(
-                    sid,
-                    record["policy"],
-                    record["fail_mode"],
-                    journal=self.journal,
-                    inbox_limit=self.inbox_limit,
-                    ack_every=self.ack_every,
-                    telemetry=self._telemetry,
-                )
-                self.sessions[sid] = session
-                if self.journal is not None:
-                    self.journal.log_session(sid, session.policy_name, session.fail_mode)
-            elif session.policy_name != record["policy"]:
-                raise ServiceProtocolError(
-                    f"session {sid!r} exists with policy "
-                    f"{session.policy_name!r}, not {record['policy']!r}"
-                )
+            session = self._get_or_make_session(
+                sid, record["policy"], record["fail_mode"], record.get("tenant")
+            )
         conn.session_id = sid
         conn.reply(
             {
@@ -511,6 +503,60 @@ class VerificationServer:
                 "journal": self.journal is not None,
             }
         )
+        return session
+
+    def _get_or_make_session(
+        self,
+        sid: str,
+        policy: str,
+        fail_mode: str,
+        tenant_name: "str | None",
+    ) -> Session:
+        """Find or create *sid*, attaching it to its tenant if named.
+
+        Caller holds ``_sessions_lock``.  Sessions under one tenant
+        share a verifier, so every member must agree on the policy —
+        a mismatched hello is refused just like a mismatched resume.
+        """
+        session = self.sessions.get(sid)
+        if session is not None:
+            if session.policy_name != policy:
+                raise ServiceProtocolError(
+                    f"session {sid!r} exists with policy "
+                    f"{session.policy_name!r}, not {policy!r}"
+                )
+            current = session.tenant.name if session.tenant is not None else None
+            if current != tenant_name:
+                raise ServiceProtocolError(
+                    f"session {sid!r} exists under tenant {current!r}, not {tenant_name!r}"
+                )
+            return session
+        tenant = None
+        if tenant_name is not None:
+            tenant = self.tenants.get(tenant_name)
+            if tenant is None:
+                tenant = Tenant(tenant_name, policy, fail_mode)
+                self.tenants[tenant_name] = tenant
+            elif tenant.policy_name != policy:
+                raise ServiceProtocolError(
+                    f"tenant {tenant_name!r} verifies policy "
+                    f"{tenant.policy_name!r}, not {policy!r}"
+                )
+        session = Session(
+            sid,
+            policy,
+            fail_mode,
+            journal=self.journal,
+            inbox_limit=self.inbox_limit,
+            ack_every=self.ack_every,
+            telemetry=self._telemetry,
+            tenant=tenant,
+        )
+        self.sessions[sid] = session
+        if self.journal is not None:
+            self.journal.log_session(
+                sid, session.policy_name, session.fail_mode, tenant=tenant_name
+            )
         return session
 
     # ------------------------------------------------------------------

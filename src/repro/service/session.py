@@ -34,11 +34,66 @@ from typing import Callable, Optional
 from ..core.policy import make_policy
 from ..core.verifier import Verifier
 from ..errors import PolicyQuarantinedError, ServiceProtocolError
+from .mirror import MirroredSpawnPaths
 
-__all__ = ["Session"]
+__all__ = ["Session", "Tenant"]
 
 #: sentinel shutting a session worker down
 _CLOSE = object()
+
+
+class Tenant:
+    """Verification state shared by a *group* of sessions.
+
+    The multi-process runtime opens one session per worker process but
+    all workers fork into one spawn-path forest, so their sessions must
+    share one policy instance and one rid namespace — that sharing is a
+    tenant.  Every member session applies records under the tenant's
+    lock (the sessions' worker threads interleave), against the tenant's
+    verifier and ``vertices`` map.
+
+    Cross-session ordering is the one new problem, twice over.  First,
+    worker B may check a join against a vertex whose announcing ``fork``
+    is still queued in worker A's session: records that reference a
+    not-yet-known rid are **parked** keyed by the missing rid and
+    replayed the moment any member session inserts it; state events are
+    journalled at arrival (recovery replays them in arrival order and
+    parks identically), and synchronous checks simply answer late —
+    which is exactly the stream-synchronous semantics a single session
+    already has, lifted to the tenant.  A rid that never arrives (a
+    client bug) parks its records forever; clients bound the wait with
+    their own timeouts.  Second, *sibling order*: two workers' fork
+    announcements race, so the tenant must not re-derive edge indices
+    from arrival order — tenant fork records carry the authoritative
+    ``edge``/``depth`` from the client's shared tree and the tenant
+    verifies over a :class:`~repro.service.mirror.MirroredSpawnPaths`
+    that applies them verbatim.  That mirror is TJ-SP-shaped, so only
+    TJ-SP-family policies may open a tenant.
+    """
+
+    def __init__(self, name: str, policy_name: str, fail_mode: str = "open") -> None:
+        if not policy_name.startswith("TJ-SP"):
+            raise ServiceProtocolError(
+                f"tenants verify via an authoritative spawn-path mirror; "
+                f"policy {policy_name!r} is not TJ-SP-family"
+            )
+        self.name = name
+        self.policy_name = policy_name
+        self.fail_mode = "open" if fail_mode == "raise" else fail_mode
+        self.policy = MirroredSpawnPaths(policy_name)
+        self.verifier = Verifier(self.policy, fail_mode=self.fail_mode)
+        self.vertices: dict[int, object] = {}
+        self.lock = threading.RLock()
+        #: missing rid -> [(session, stripped record, reply), ...]
+        self.parked: dict[int, list] = {}
+        #: rids inserted while a drain is running (processed by the outer drain)
+        self.pending_rids: list[int] = []
+        self.draining = False
+        #: lifetime count of parked records (observability)
+        self.parked_total = 0
+
+    def parked_count(self) -> int:
+        return sum(len(v) for v in self.parked.values())
 
 
 class Session:
@@ -81,14 +136,22 @@ class Session:
         inbox_limit: int = 1024,
         ack_every: int = 256,
         telemetry: "object | None" = None,
+        tenant: "Tenant | None" = None,
     ) -> None:
         self.session_id = session_id
         self.policy_name = policy_name
         self.requested_fail_mode = fail_mode
         self.fail_mode = "open" if fail_mode == "raise" else fail_mode
-        self.verifier = Verifier(make_policy(policy_name), fail_mode=self.fail_mode)
+        self.tenant = tenant
+        if tenant is not None:
+            # Member sessions verify against the tenant's shared state;
+            # stats and quarantine are therefore tenant-wide.
+            self.verifier = tenant.verifier
+            self.vertices = tenant.vertices
+        else:
+            self.verifier = Verifier(make_policy(policy_name), fail_mode=self.fail_mode)
+            self.vertices: dict[int, object] = {}
         self.journal = journal
-        self.vertices: dict[int, object] = {}
         self.applied_seq = -1
         self.inbox_limit = inbox_limit
         self.ack_every = max(1, ack_every)
@@ -214,9 +277,17 @@ class Session:
         Also the recovery entry point: the server replays journal
         records through this method (with ``reply=None``) to rebuild the
         session, so live application and crash recovery cannot drift.
+        Tenanted sessions serialize through the tenant lock — their
+        worker threads interleave over shared verifier state.
         """
+        if self.tenant is not None:
+            with self.tenant.lock:
+                self._apply(record, reply)
+        else:
+            self._apply(record, reply)
+
+    def _apply(self, record: dict, reply: Optional[Callable[[dict], None]]) -> None:
         kind = record["kind"]
-        verifier = self.verifier
         journal = self.journal
         if kind in ("init", "fork", "join"):
             cseq = record["cseq"]
@@ -234,19 +305,7 @@ class Session:
                     self.gap_drops += 1
                 return
             self._count_event()
-            if kind == "init":
-                vertex = verifier.on_init()
-                self.vertices[record["task"]] = vertex
-            elif kind == "fork":
-                parent = self._vertex(record["parent"])
-                self.vertices[record["child"]] = verifier.on_fork(parent)
-            else:  # join (the KJ-learn event)
-                try:
-                    verifier.on_join_completed(
-                        self._vertex(record["waiter"]), self._vertex(record["joinee"])
-                    )
-                except PolicyQuarantinedError:
-                    pass  # fail-closed session: reported via the check path
+            self._apply_state(kind, record)
             self.applied_seq = cseq
             if journal is not None:
                 journal.log_event(self.session_id, record)
@@ -256,56 +315,158 @@ class Session:
             self._announce_quarantine(reply)
         elif kind == "check":
             self._count_check()
-            try:
-                ok = verifier.check_join(
-                    self._vertex(record["waiter"]), self._vertex(record["joinee"])
-                )
-            except PolicyQuarantinedError as exc:
-                # Fail-closed session: the client's pending check must
-                # still complete — the quarantine record carries the
-                # request id and the client raises the stored error.
-                self._announce_quarantine(reply, exc, req=record["req"])
-                return
-            if journal is not None:
-                journal.log_verdict(
-                    self.session_id, record["waiter"], record["joinee"], ok
-                )
-            self._announce_quarantine(reply)
-            self._safe_reply(reply, {"kind": "verdict", "req": record["req"], "ok": ok})
+            self._do_check(record, reply)
         elif kind == "check_batch":
-            joinees = record["joinees"]
-            self._count_check(len(joinees))
-            try:
-                oks = verifier.check_joins(
-                    self._vertex(record["waiter"]),
-                    [self._vertex(j) for j in joinees],
-                )
-            except PolicyQuarantinedError as exc:
-                self._announce_quarantine(reply, exc, req=record["req"])
-                return
-            if journal is not None:
-                for joinee, ok in zip(joinees, oks):
-                    journal.log_verdict(self.session_id, record["waiter"], joinee, ok)
-            self._announce_quarantine(reply)
-            self._safe_reply(reply, {"kind": "verdicts", "req": record["req"], "ok": oks})
+            self._count_check(len(record["joinees"]))
+            self._do_check_batch(record, reply)
         elif kind == "recheck":
-            # Reconcile replay of a verdict the client answered locally
-            # while degraded: re-derive it for exact server-side stats
-            # and the journal's verdict stream; no reply.
             self._count_check()
-            try:
-                ok = verifier.check_join(
-                    self._vertex(record["waiter"]), self._vertex(record["joinee"])
-                )
-            except PolicyQuarantinedError:
-                return
-            if journal is not None:
-                journal.log_verdict(
-                    self.session_id, record["waiter"], record["joinee"], ok
-                )
-            self._announce_quarantine(reply)
+            self._do_recheck(record, reply)
         else:
             raise ServiceProtocolError(f"session cannot apply record kind {kind!r}")
+
+    # -- semantic application (parkable; shared by live apply and unpark) --
+    def _apply_state(self, kind: str, record: dict) -> None:
+        """The state transition of one init/fork/join event.
+
+        Sequencing (cseq) and journaling stay with the caller: a parked
+        event was already sequenced and journalled on arrival, so its
+        replay comes straight here.
+        """
+        verifier = self.verifier
+        tenant = self.tenant
+        if kind == "init":
+            rid = record["task"]
+            if tenant is not None:
+                tenant.policy.stage(rid, -1, 0, 0)
+            self.vertices[rid] = verifier.on_init()
+            self._unpark(rid)
+        elif kind == "fork":
+            parent = record["parent"]
+            if self._park_if_missing((parent,), record, None):
+                return
+            if tenant is not None:
+                # Authoritative placement: arrival order across worker
+                # sessions must not invent sibling edge indices.
+                try:
+                    edge, depth = record["edge"], record["depth"]
+                except KeyError:
+                    raise ServiceProtocolError(
+                        "tenant fork records must carry edge/depth"
+                    ) from None
+                tenant.policy.stage(record["child"], parent, edge, depth)
+            self.vertices[record["child"]] = verifier.on_fork(self.vertices[parent])
+            self._unpark(record["child"])
+        else:  # join (the KJ-learn event)
+            waiter, joinee = record["waiter"], record["joinee"]
+            if self._park_if_missing((waiter, joinee), record, None):
+                return
+            try:
+                verifier.on_join_completed(self.vertices[waiter], self.vertices[joinee])
+            except PolicyQuarantinedError:
+                pass  # fail-closed session: reported via the check path
+
+    def _do_check(self, record: dict, reply) -> None:
+        waiter, joinee = record["waiter"], record["joinee"]
+        if self._park_if_missing((waiter, joinee), record, reply):
+            return
+        try:
+            ok = self.verifier.check_join(self._vertex(waiter), self._vertex(joinee))
+        except PolicyQuarantinedError as exc:
+            # Fail-closed session: the client's pending check must
+            # still complete — the quarantine record carries the
+            # request id and the client raises the stored error.
+            self._announce_quarantine(reply, exc, req=record["req"])
+            return
+        if self.journal is not None:
+            self.journal.log_verdict(self.session_id, waiter, joinee, ok)
+        self._announce_quarantine(reply)
+        self._safe_reply(reply, {"kind": "verdict", "req": record["req"], "ok": ok})
+
+    def _do_check_batch(self, record: dict, reply) -> None:
+        joinees = record["joinees"]
+        waiter = record["waiter"]
+        if self._park_if_missing((waiter, *joinees), record, reply):
+            return
+        try:
+            oks = self.verifier.check_joins(
+                self._vertex(waiter), [self._vertex(j) for j in joinees]
+            )
+        except PolicyQuarantinedError as exc:
+            self._announce_quarantine(reply, exc, req=record["req"])
+            return
+        if self.journal is not None:
+            for joinee, ok in zip(joinees, oks):
+                self.journal.log_verdict(self.session_id, waiter, joinee, ok)
+        self._announce_quarantine(reply)
+        self._safe_reply(reply, {"kind": "verdicts", "req": record["req"], "ok": oks})
+
+    def _do_recheck(self, record: dict, reply) -> None:
+        # Reconcile replay of a verdict the client answered locally
+        # while degraded: re-derive it for exact server-side stats
+        # and the journal's verdict stream; no reply.
+        waiter, joinee = record["waiter"], record["joinee"]
+        if self._park_if_missing((waiter, joinee), record, reply):
+            return
+        try:
+            ok = self.verifier.check_join(self._vertex(waiter), self._vertex(joinee))
+        except PolicyQuarantinedError:
+            return
+        if self.journal is not None:
+            self.journal.log_verdict(self.session_id, waiter, joinee, ok)
+        self._announce_quarantine(reply)
+
+    # -- tenant parking --------------------------------------------------
+    def _park_if_missing(self, rids, record: dict, reply) -> bool:
+        """Park *record* on its first unknown rid (tenanted sessions only).
+
+        Non-tenant sessions return False and let :meth:`_vertex` raise
+        the strict unknown-rid protocol error, exactly as before.
+        """
+        tenant = self.tenant
+        if tenant is None:
+            return False
+        vertices = self.vertices
+        for rid in rids:
+            if rid not in vertices:
+                tenant.parked.setdefault(rid, []).append((self, record, reply))
+                tenant.parked_total += 1
+                return True
+        return False
+
+    def _unpark(self, rid: int) -> None:
+        """Replay records parked on *rid*, iteratively (no recursion).
+
+        Called with the tenant lock held.  Inserting a vertex inside a
+        running drain only queues its rid; the outer drain loop picks it
+        up, so arbitrarily long parked fork chains replay in bounded
+        stack depth.
+        """
+        tenant = self.tenant
+        if tenant is None:
+            return
+        tenant.pending_rids.append(rid)
+        if tenant.draining:
+            return
+        tenant.draining = True
+        try:
+            while tenant.pending_rids:
+                ready = tenant.pending_rids.pop()
+                for sess, record, reply in tenant.parked.pop(ready, ()):
+                    sess._replay_parked(record, reply)
+        finally:
+            tenant.draining = False
+
+    def _replay_parked(self, record: dict, reply) -> None:
+        kind = record["kind"]
+        if kind in ("init", "fork", "join"):
+            self._apply_state(kind, record)  # re-parks if another rid is missing
+        elif kind == "check":
+            self._do_check(record, reply)
+        elif kind == "check_batch":
+            self._do_check_batch(record, reply)
+        elif kind == "recheck":
+            self._do_recheck(record, reply)
 
     def _announce_quarantine(
         self,
@@ -343,7 +504,7 @@ class Session:
     def snapshot(self) -> dict:
         """Introspection for the server's metrics source and tests."""
         stats = self.verifier.stats
-        return {
+        snap = {
             "session": self.session_id,
             "policy": self.policy_name,
             "fail_mode": self.fail_mode,
@@ -358,3 +519,9 @@ class Session:
             "joins_checked": stats.joins_checked,
             "joins_rejected": stats.joins_rejected,
         }
+        if self.tenant is not None:
+            # vertices/forks/joins are tenant-wide under a shared verifier
+            snap["tenant"] = self.tenant.name
+            snap["tenant_parked"] = self.tenant.parked_count()
+            snap["tenant_parked_total"] = self.tenant.parked_total
+        return snap

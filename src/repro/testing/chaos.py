@@ -67,11 +67,13 @@ __all__ = [
     "ChaosInvariantError",
     "ChaosResult",
     "ChaosSpec",
+    "ProcsChaosResult",
     "QuarantineChaosResult",
     "RetryChaosResult",
     "ServiceChaosResult",
     "generate_spec",
     "run_chaos_program",
+    "run_procs_divergence",
     "run_with_policy_quarantine",
     "run_with_service_faults",
     "run_with_task_retries",
@@ -1109,4 +1111,185 @@ def run_with_service_faults(
         reconciles=rv.reconciles,
         journal_verdicts=n_verdicts,
         verdict_mismatches=verdict_mismatches,
+    )
+
+
+# ----------------------------------------------------------------------
+# multi-process chaos: SIGKILL a worker mid-run, prove nothing diverged
+# ----------------------------------------------------------------------
+def _procs_leaf(x: int) -> int:
+    """A deterministic leaf body (module level: it crosses processes)."""
+    return (x * 2654435761 + 97) % 1000003
+
+
+def _procs_chaos_subtree(rt, base: int, fanout: int) -> int:
+    """One dispatched subtree: fork *fanout* leaves, join them all."""
+    futs = [rt.fork(_procs_leaf, base + i) for i in range(fanout)]
+    return sum(rt.join_batch(futs))
+
+
+@dataclass
+class ProcsChaosResult:
+    """Outcome of one :func:`run_procs_divergence` run."""
+
+    seed: int
+    workers: int
+    #: dispatched subtree count and per-subtree leaf fanout
+    dispatches: int
+    fanout: int
+    spawn_paths: str
+    #: worker index SIGKILLed mid-run (None when no kill was requested)
+    killed_worker: Optional[int]
+    worker_deaths: int
+    tasks_redispatched: int
+    orphan_results: int
+    #: merged local/cross/degraded join counts from the procs run
+    join_stats: dict
+    #: joins rejected in the all-local reference run (must be 0)
+    local_rejected: int
+    #: joins rejected across all process shards (must be 0)
+    procs_rejected: int
+    #: (index, local, procs) result triples that disagreed — must be empty
+    divergences: list
+
+
+def run_procs_divergence(
+    seed: int,
+    *,
+    workers: int = 4,
+    tasks: int = 2000,
+    fanout: int = 20,
+    spawn_paths: str = "auto",
+    sidecar: Optional[str] = None,
+    kill_worker: bool = True,
+    check: bool = True,
+) -> ProcsChaosResult:
+    """SIGKILL a worker mid-run; prove verdicts and results never diverge.
+
+    Runs the same seeded fork-heavy program twice — once all-local on a
+    :class:`~repro.runtime.threaded.TaskRuntime` (the reference), once on
+    a :class:`~repro.runtime.procs.ProcessRuntime` with *workers* worker
+    processes — and compares every subtree result.  When *kill_worker*
+    is set, a monitor thread SIGKILLs a seed-chosen worker once a
+    seed-chosen fraction of the dispatches has completed, so the kill
+    lands mid-workload and strands genuinely in-flight tasks; the
+    redispatch path must recover them under fresh vertices without a
+    single result or verdict diverging.
+
+    *tasks* is the total leaf count; it is split into ``tasks // fanout``
+    dispatched subtrees of *fanout* leaves each.
+    """
+    import math
+    import os
+    import signal
+    import time
+
+    from ..runtime.procs import ProcessRuntime
+
+    dispatches = max(1, math.ceil(tasks / fanout))
+    rng = random.Random(f"{seed}|procs-chaos")
+    bases = [rng.randrange(1 << 20) for _ in range(dispatches)]
+
+    # --- the all-local reference: same shape, same verifier machinery --
+    local_rt = TaskRuntime("TJ-SP")
+
+    def local_root():
+        futs = [
+            local_rt.fork(_procs_chaos_subtree, local_rt, b, fanout)
+            for b in bases
+        ]
+        return local_rt.join_batch(futs)
+
+    local_results = local_rt.run(local_root)
+    local_rejected = local_rt.verifier.stats.snapshot()["joins_rejected"]
+
+    # --- the multi-process run, with the seeded kill ------------------
+    rt = ProcessRuntime(
+        workers=workers, spawn_paths=spawn_paths, sidecar=sidecar
+    )
+    victim_index = rng.randrange(workers) if kill_worker else None
+    kill_at = 1 + rng.randrange(max(1, dispatches // 2)) if kill_worker else None
+    killed: list[int] = []
+    stop_monitor = threading.Event()
+
+    def monitor() -> None:
+        while not stop_monitor.wait(0.005):
+            if rt.tasks_completed >= kill_at:
+                victim = rt._workers[victim_index].proc
+                if victim.is_alive():
+                    os.kill(victim.pid, signal.SIGKILL)
+                    killed.append(victim.pid)
+                return
+
+    def procs_root():
+        if kill_worker:
+            threading.Thread(target=monitor, daemon=True).start()
+        futs = [rt.fork(_procs_chaos_subtree, b, fanout) for b in bases]
+        return rt.join_batch(futs)
+
+    t0 = time.perf_counter()
+    try:
+        procs_results = rt.run(procs_root)
+    finally:
+        stop_monitor.set()
+    elapsed = time.perf_counter() - t0
+
+    join_stats = rt.join_stats()
+    procs_rejected = sum(
+        s.get("joins_rejected", 0) for s in rt._worker_stats.values()
+    ) + rt.verifier.stats.snapshot()["joins_rejected"]
+
+    divergences = [
+        (i, a, b)
+        for i, (a, b) in enumerate(zip(local_results, procs_results))
+        if a != b
+    ]
+
+    problems: list[str] = []
+    if divergences:
+        problems.append(
+            f"{len(divergences)} subtree results diverged: {divergences[:5]}"
+        )
+    if len(procs_results) != dispatches:
+        problems.append(
+            f"procs run returned {len(procs_results)} results, "
+            f"expected {dispatches}"
+        )
+    if local_rejected:
+        problems.append(f"reference run rejected {local_rejected} joins")
+    if procs_rejected:
+        problems.append(f"procs run rejected {procs_rejected} joins")
+    if kill_worker and not killed:
+        problems.append("kill was requested but the victim outlived the run")
+    if kill_worker and killed and rt.worker_deaths < 1:
+        problems.append("worker was killed but no death was recorded")
+    expected_cross = dispatches * fanout
+    if not killed and join_stats["cross_joins"] < expected_cross:
+        # A SIGKILLed worker takes its unreported stats cells with it, so
+        # the exact floor only holds for kill-free runs.
+        problems.append(
+            f"cross joins {join_stats['cross_joins']} < planned "
+            f"{expected_cross}: some subtree joins were never verified"
+        )
+    if killed and join_stats["cross_joins"] <= 0:
+        problems.append("no cross-process joins were ever reported")
+    if check and problems:
+        raise ChaosInvariantError(
+            f"seed {seed} procs workers={workers} spawn_paths={spawn_paths} "
+            f"({elapsed:.1f}s): " + "; ".join(problems)
+        )
+    return ProcsChaosResult(
+        seed=seed,
+        workers=workers,
+        dispatches=dispatches,
+        fanout=fanout,
+        spawn_paths=rt.spawn_paths,
+        killed_worker=victim_index if killed else None,
+        worker_deaths=rt.worker_deaths,
+        tasks_redispatched=rt.tasks_redispatched,
+        orphan_results=rt.orphan_results,
+        join_stats=join_stats,
+        local_rejected=local_rejected,
+        procs_rejected=procs_rejected,
+        divergences=divergences,
     )

@@ -277,6 +277,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return server_main(argv)
 
 
+def _cmd_procs(args: argparse.Namespace) -> int:
+    from ..testing.chaos import ChaosInvariantError, run_procs_divergence
+
+    try:
+        result = run_procs_divergence(
+            args.seed,
+            workers=args.workers,
+            tasks=args.tasks,
+            fanout=args.fanout,
+            spawn_paths=args.spawn_paths,
+            sidecar=args.sidecar,
+            kill_worker=args.kill_worker,
+            check=args.check_divergence,
+        )
+    except ChaosInvariantError as exc:
+        print(f"procs: FAIL {exc}", file=sys.stderr)
+        return 1
+    js = result.join_stats
+    print(
+        f"procs: workers={result.workers} dispatches={result.dispatches} "
+        f"fanout={result.fanout} spawn_paths={result.spawn_paths}"
+    )
+    print(
+        f"  killed_worker={result.killed_worker} deaths={result.worker_deaths} "
+        f"redispatched={result.tasks_redispatched} orphans={result.orphan_results}"
+    )
+    print(
+        f"  joins: local={js['local_joins']} cross={js['cross_joins']} "
+        f"degraded={js['degraded_joins']} "
+        f"escalation={js['escalation_ratio']:.3f}"
+    )
+    print(f"  divergences={len(result.divergences)}")
+    return 1 if result.divergences else 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     with _telemetry_scope(args) as session:
         status = _chaos_body(args)
@@ -735,6 +770,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p.add_argument("journal")
     p.set_defaults(fn=_cmd_journal_replay)
+
+    p = sub.add_parser(
+        "procs", help="multi-process runtime run with divergence checking"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument(
+        "--tasks", type=int, default=2000, help="total leaf-task count"
+    )
+    p.add_argument(
+        "--fanout", type=int, default=20, help="leaves per dispatched subtree"
+    )
+    p.add_argument("--spawn-paths", choices=["auto", "shm", "wire"], default="auto")
+    p.add_argument(
+        "--sidecar",
+        default=None,
+        help="remote://host:port URL or 'auto' (omit: no sidecar)",
+    )
+    p.add_argument(
+        "--kill-worker",
+        action="store_true",
+        help="SIGKILL a seed-chosen worker mid-run",
+    )
+    p.add_argument(
+        "--check-divergence",
+        action="store_true",
+        help="fail (exit 1) on any divergence from the all-local run",
+    )
+    p.set_defaults(fn=_cmd_procs)
 
     p = sub.add_parser("chaos", help="deterministic fault-injection suite")
     p.add_argument(

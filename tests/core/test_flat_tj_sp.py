@@ -183,7 +183,9 @@ class TestFlatKernel:
             t.add_child(root)
         assert t._np_synced == 0
         t.permits_many(root, list(range(51)) * 2)  # wide enough to vectorize
-        assert t._np_synced == 51
+        # The sync fence is the reserved high-water mark (thread-affine
+        # blocks reserve ahead), so it covers every filled row.
+        assert t._np_synced == t.n >= 51
 
     def test_vector_batch_rejects_unknown_ids(self):
         pytest.importorskip("numpy")

@@ -115,3 +115,73 @@ class TestVocabulary:
     def test_hello_carries_the_wire_version(self):
         assert "wire" in REQUIRED_FIELDS["hello"]
         assert WIRE_VERSION == 1
+
+
+class TestFrameCapBoundary:
+    """Batch join queries at the 1 MiB frame cap, to the byte.
+
+    The procs runtime multiplexes worker sessions over one sidecar and
+    its batch drains are the records most likely to brush the cap, so
+    the boundary itself is pinned: a frame of exactly MAX_FRAME bytes
+    must decode, one byte more must be refused cleanly, and the decoder
+    must stay deterministic afterwards.
+    """
+
+    @staticmethod
+    def _batch_record_of_payload_size(size):
+        """A ``check_batch`` record whose JSON payload is exactly *size* bytes."""
+        record = {
+            "kind": "check_batch",
+            "req": 7,
+            "waiter": 0,
+            "joinees": list(range(512)),
+            "pad": "",
+        }
+        base = len(json.dumps(record, separators=(",", ":")).encode("utf-8"))
+        record["pad"] = "x" * (size - base)
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        assert len(payload) == size
+        return record, payload
+
+    def test_exact_cap_batch_frame_is_accepted(self):
+        record, payload = self._batch_record_of_payload_size(MAX_FRAME)
+        frame = encode_frame(record)  # the encoder must not refuse it either
+        assert frame == struct.pack(">I", MAX_FRAME) + payload
+        dec = FrameDecoder()
+        # split mid-payload so the exact-cap frame crosses the buffering path
+        cut = len(frame) // 2
+        assert dec.feed(frame[:cut]) == []
+        (back,) = dec.feed(frame[cut:])
+        assert back == record
+        assert validate_record(back, CLIENT_KINDS) == "check_batch"
+        assert dec.pending_bytes == 0
+        # decoder state intact afterwards: an ordinary frame still decodes
+        (after,) = dec.feed(encode_frame({"kind": "ping", "req": 8}))
+        assert after == {"kind": "ping", "req": 8}
+
+    def test_cap_plus_one_is_rejected_with_a_clean_protocol_error(self):
+        record, payload = self._batch_record_of_payload_size(MAX_FRAME + 1)
+        with pytest.raises(ServiceProtocolError):
+            encode_frame(record)  # the sender refuses to build it at all
+        dec = FrameDecoder()
+        # A hand-built oversize frame is rejected from the 4-byte prefix
+        # alone — no buffering of the megabyte payload.
+        with pytest.raises(ServiceProtocolError) as exc:
+            dec.feed(struct.pack(">I", MAX_FRAME + 1))
+        assert str(MAX_FRAME) in str(exc.value)
+        assert dec.pending_bytes == struct.calcsize(">I")  # nothing consumed
+
+    def test_decoder_stays_deterministic_after_a_rejected_prefix(self):
+        dec = FrameDecoder()
+        good = encode_frame({"kind": "ping", "req": 1})
+        assert dec.feed(good) == [{"kind": "ping", "req": 1}]
+        with pytest.raises(ServiceProtocolError):
+            dec.feed(struct.pack(">I", MAX_FRAME + 1))
+        # Framing is lost for good: every later feed re-raises instead of
+        # resynchronising on garbage, so the caller must drop the
+        # connection (the documented contract) — no silent half-reads.
+        for _ in range(3):
+            with pytest.raises(ServiceProtocolError):
+                dec.feed(good)
+        # A fresh decoder (new connection) is unaffected.
+        assert FrameDecoder().feed(good) == [{"kind": "ping", "req": 1}]
