@@ -1,0 +1,158 @@
+"""Experiment E10 — predictor throughput and the simulator's overhead gate.
+
+Runs the prediction instrument
+(:func:`repro.analysis.runtime_overhead.run_predict_bench`): a seeded
+chaos corpus journalled under ``policy=None``, the full
+:func:`repro.predict.predict_deadlocks` pipeline timed over the
+journals (events/second), and a recording ``SimRuntime(seed=None)``
+against the plain cooperative scheduler on the identical fork-fan
+program.  Gates:
+
+* the deterministic simulator costs **<=2x** the cooperative runtime on
+  the pure-scheduling fan — determinism and decision recording must
+  stay a constant factor, not a blowup;
+* the corpus actually exercises the predictor: at least one program is
+  flagged and every flagged program carries a verified witness;
+* at full parameters the predictor sustains a floor of journal
+  events/second (the smoke shape skips the floor — tiny corpora are
+  dominated by per-journal setup).
+
+The measurement merges into ``BENCH_runtime.json`` (schema v6's
+``predict`` block, via ``repro.analysis.io``) next to the wakeup,
+journal, telemetry, service, and procs instruments.  Running this file
+directly performs the same measurement + gates + merge; ``--smoke``
+substitutes the tiny CI shape (the ``predict-smoke`` CI job uses it).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import sys
+import time
+
+if __name__ == "__main__":  # script mode: make `repro` importable
+    _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    if _SRC not in sys.path:
+        sys.path.insert(0, _SRC)
+
+import pytest
+
+from repro.analysis.io import load_runtime, save_runtime
+from repro.analysis.runtime_overhead import (
+    PREDICT_PARAMS,
+    SMOKE_PREDICT_PARAMS,
+    RuntimeOverheadResult,
+    run_predict_bench,
+)
+
+#: recording simulator over plain cooperative scheduler, best times
+SIM_OVERHEAD_GATE = 2.0
+
+#: full-parameter predictor throughput floor (journal events/second,
+#: end-to-end through partial order + search + witness replay)
+MIN_EVENTS_PER_SECOND = 200.0
+
+OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_runtime.json"
+)
+
+#: CI sets this to run the tiny corpus (throughput floor skipped)
+_SMOKE = os.environ.get("REPRO_PREDICT_BENCH_SMOKE") == "1"
+_PARAMS = SMOKE_PREDICT_PARAMS if _SMOKE else PREDICT_PARAMS
+
+
+def merge_into_bench_file(measurement, path: str = OUTPUT) -> None:
+    """Attach the instrument to ``BENCH_runtime.json``, preserving the rest."""
+    if os.path.exists(path):
+        result = load_runtime(path)
+    else:
+        result = RuntimeOverheadResult(
+            join_chain={}, reports=[], join_chain_params={}, overhead_params={}
+        )
+    result.predict = measurement
+    result.predict_params = dict(_PARAMS)
+    save_runtime(result, path)
+
+
+def _summary(m) -> str:
+    return (
+        f"predict bench: {m.events} events across {m.journals} journals "
+        f"in {m.elapsed:.2f}s ({m.events_per_second:,.0f} events/s), "
+        f"{m.flagged_programs} flagged, {m.predictions} witnesses; "
+        f"sim {m.sim_elapsed * 1e3:.2f}ms vs coop {m.coop_elapsed * 1e3:.2f}ms "
+        f"({m.sim_overhead:.2f}x) on the {m.sim_width}x{m.sim_rounds} fan"
+    )
+
+
+@pytest.fixture(scope="module")
+def bench():
+    t0 = time.perf_counter()
+    m = run_predict_bench(params=_PARAMS)
+    print(f"\n{_summary(m)} (total wall {time.perf_counter() - t0:.1f}s)")
+    return m
+
+
+def test_corpus_exercises_the_predictor(bench):
+    """Dead corpora measure nothing: flags and witnesses must exist."""
+    assert bench.journals == bench.programs
+    assert bench.events > 0
+    assert bench.flagged_programs >= 1
+    assert bench.predictions >= bench.flagged_programs
+
+
+def test_simulator_overhead_gate(bench):
+    """Determinism + recording must cost <=2x the cooperative scheduler."""
+    assert not math.isnan(bench.sim_overhead) and bench.sim_overhead > 0
+    assert bench.sim_overhead <= SIM_OVERHEAD_GATE, (
+        f"SimRuntime best {bench.sim_elapsed * 1e3:.2f}ms is "
+        f"{bench.sim_overhead:.2f}x the cooperative baseline "
+        f"{bench.coop_elapsed * 1e3:.2f}ms (gate {SIM_OVERHEAD_GATE}x)"
+    )
+
+
+@pytest.mark.skipif(_SMOKE, reason="throughput floor needs the full corpus")
+def test_predictor_throughput_floor(bench):
+    assert bench.events_per_second >= MIN_EVENTS_PER_SECOND, (
+        f"predictor sustained only {bench.events_per_second:,.0f} events/s "
+        f"(floor {MIN_EVENTS_PER_SECOND:,.0f})"
+    )
+
+
+def test_bench_merges_into_bench_runtime_json(bench, tmp_path):
+    """The predict block round-trips and coexists with other instruments."""
+    path = str(tmp_path / "BENCH_runtime.json")
+    merge_into_bench_file(bench, path)
+    loaded = load_runtime(path)
+    assert loaded.predict is not None
+    assert loaded.predict.events == bench.events
+    assert loaded.predict_params == dict(_PARAMS)
+    merge_into_bench_file(bench, path)  # a rerun replaces the block
+    assert load_runtime(path).predict.events == bench.events
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv[1:] or _SMOKE
+    _PARAMS = SMOKE_PREDICT_PARAMS if smoke else PREDICT_PARAMS
+    m = run_predict_bench(params=_PARAMS)
+    print(_summary(m))
+    status = 0
+    if m.flagged_programs < 1 or m.predictions < m.flagged_programs:
+        print("FAIL: the corpus produced no verified predictions")
+        status = 1
+    if math.isnan(m.sim_overhead) or m.sim_overhead > SIM_OVERHEAD_GATE:
+        print(
+            f"FAIL: simulator overhead {m.sim_overhead:.2f}x above the "
+            f"{SIM_OVERHEAD_GATE}x gate"
+        )
+        status = 1
+    if not smoke:
+        if m.events_per_second < MIN_EVENTS_PER_SECOND:
+            print(
+                f"FAIL: {m.events_per_second:,.0f} events/s below the "
+                f"{MIN_EVENTS_PER_SECOND:,.0f} floor"
+            )
+            status = 1
+        merge_into_bench_file(m)
+        print(f"predict block merged into {OUTPUT}")
+    sys.exit(status)

@@ -37,8 +37,8 @@ _HOTPATH_SCHEMAS = (1, 2)
 #: ("obs") block; v4 the remote-verification soak ("service") block.
 #: All are optional on load — older files still load with the missing
 #: instruments defaulting to unmeasured.
-_RUNTIME_SCHEMA_VERSION = 5
-_RUNTIME_SCHEMAS = (1, 2, 3, 4, 5)
+_RUNTIME_SCHEMA_VERSION = 6
+_RUNTIME_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -266,6 +266,23 @@ def runtime_to_json(result) -> str:
                 "divergences": m.divergences,
             },
         }
+    if result.predict is not None:
+        m = result.predict
+        payload["predict"] = {
+            "params": dict(result.predict_params),
+            "measurement": {
+                "programs": m.programs,
+                "journals": m.journals,
+                "events": m.events,
+                "elapsed": m.elapsed,
+                "flagged_programs": m.flagged_programs,
+                "predictions": m.predictions,
+                "sim_width": m.sim_width,
+                "sim_rounds": m.sim_rounds,
+                "sim_elapsed": m.sim_elapsed,
+                "coop_elapsed": m.coop_elapsed,
+            },
+        }
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
@@ -275,6 +292,7 @@ def runtime_from_json(text: str):
         JoinChainMeasurement,
         JournalOverheadMeasurement,
         ObsOverheadMeasurement,
+        PredictMeasurement,
         ProcsSoakMeasurement,
         RuntimeOverheadResult,
         ServiceSoakMeasurement,
@@ -338,6 +356,10 @@ def runtime_from_json(text: str):
     if "procs" in payload:
         m = payload["procs"]["measurement"]
         procs = ProcsSoakMeasurement(**m)
+    predict = None
+    if "predict" in payload:
+        m = payload["predict"]["measurement"]
+        predict = PredictMeasurement(**m)
     return RuntimeOverheadResult(
         join_chain=chain,
         reports=reports,
@@ -351,6 +373,8 @@ def runtime_from_json(text: str):
         service_params=payload.get("service", {}).get("params", {}),
         procs=procs,
         procs_params=payload.get("procs", {}).get("params", {}),
+        predict=predict,
+        predict_params=payload.get("predict", {}).get("params", {}),
     )
 
 

@@ -212,6 +212,34 @@ SMOKE_PROCS_PARAMS: dict[str, int] = {
     "spin": 40,
 }
 
+#: prediction instrument: *programs* seeded chaos programs journalled
+#: under ``policy=None`` feed :func:`repro.predict.predict_deadlocks`
+#: (throughput = journal events/second through the whole predictor,
+#: partial order + cycle search + simulator realization + per-policy
+#: witness replay); the simulator-overhead arm runs a width x rounds
+#: fork-fan *sim_repetitions* times on :class:`CooperativeRuntime` and
+#: on a recording ``SimRuntime(seed=None)`` (FIFO — the same schedule)
+#: and compares best times.
+PREDICT_PARAMS: dict[str, int] = {
+    "programs": 12,
+    "seed": 0,
+    "max_schedules": 256,
+    "sim_width": 12,
+    "sim_rounds": 24,
+    "sim_repetitions": 5,
+}
+
+#: tiny corpus for CI smoke runs; the throughput floor lives in
+#: ``benchmarks/bench_predict.py``.
+SMOKE_PREDICT_PARAMS: dict[str, int] = {
+    "programs": 3,
+    "seed": 0,
+    "max_schedules": 64,
+    "sim_width": 6,
+    "sim_rounds": 8,
+    "sim_repetitions": 3,
+}
+
 
 # ----------------------------------------------------------------------
 # wait-protocol selection
@@ -881,6 +909,141 @@ def run_procs_soak(
 
 
 # ----------------------------------------------------------------------
+# prediction throughput + simulator overhead
+# ----------------------------------------------------------------------
+@dataclass
+class PredictMeasurement:
+    """One predictor-throughput run plus the simulator-overhead arm.
+
+    *events/elapsed* is the end-to-end predictor rate over a seeded
+    journal corpus — everything :func:`repro.predict.predict_deadlocks`
+    does, including realizing each flagged cycle in the simulator and
+    replaying the witness under every policy.  *sim_elapsed* vs
+    *coop_elapsed* compares a recording FIFO :class:`SimRuntime` against
+    the plain :class:`CooperativeRuntime` on the identical fork-fan
+    program — the price of determinism and decision recording.
+    """
+
+    programs: int
+    journals: int
+    #: total journal records fed to the predictor
+    events: int
+    #: wall seconds for the full prediction pass over the corpus
+    elapsed: float
+    flagged_programs: int
+    predictions: int
+    #: fork-fan shape of the simulator-overhead arm
+    sim_width: int
+    sim_rounds: int
+    #: best-of-N wall seconds, recording SimRuntime(seed=None)
+    sim_elapsed: float
+    #: best-of-N wall seconds, plain CooperativeRuntime
+    coop_elapsed: float
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.elapsed if self.elapsed else math.nan
+
+    @property
+    def sim_overhead(self) -> float:
+        """SimRuntime over CooperativeRuntime best-time factor."""
+        if not self.coop_elapsed:
+            return math.nan
+        return self.sim_elapsed / self.coop_elapsed
+
+
+def _sim_overhead_fan(rt, width: int, rounds: int) -> int:
+    """The fork-fan body both overhead arms run: *rounds* waves of
+    *width* no-op leaves, every one joined — pure scheduler churn."""
+
+    def leaf(i: int) -> int:
+        return i
+
+    def root():
+        total = 0
+        for _ in range(rounds):
+            futures = [rt.fork(leaf, i) for i in range(width)]
+            for future in futures:
+                total += yield future
+        return total
+
+    return rt.run(root)
+
+
+def run_predict_bench(
+    *, params: Optional[dict[str, int]] = None
+) -> PredictMeasurement:
+    """Measure predictor throughput and the simulator's scheduling tax.
+
+    The corpus is the chaos predict generator's (seeded, so the numbers
+    are comparable across runs): each program journalled once under
+    ``policy=None`` with timeout-rescued joins, then the whole predictor
+    pipeline timed over the journals.  The simulator arm reports best-of
+    repetitions for both runtimes so CI noise cannot fail the ≤2x gate
+    spuriously.
+    """
+    import tempfile
+
+    from ..predict import predict_deadlocks
+    from ..runtime.cooperative import CooperativeRuntime
+    from ..runtime.sim import SimRuntime
+    from ..testing.chaos import run_predict_program
+    from ..tools.journal import read_journal
+
+    p = dict(params if params is not None else PREDICT_PARAMS)
+    programs = int(p["programs"])
+    seed = int(p.get("seed", 0))
+    max_schedules = int(p.get("max_schedules", 256))
+    sim_width = int(p["sim_width"])
+    sim_rounds = int(p["sim_rounds"])
+    sim_reps = int(p.get("sim_repetitions", 5))
+
+    with tempfile.TemporaryDirectory(prefix="repro-predict-bench-") as tmp:
+        paths = []
+        for k in range(programs):
+            path = f"{tmp}/predict-{seed + k}.jsonl"
+            run_predict_program(seed + k, path)
+            paths.append(path)
+        events = sum(len(read_journal(path).records) for path in paths)
+
+        t0 = time.perf_counter()
+        reports = [
+            predict_deadlocks(path, max_schedules=max_schedules) for path in paths
+        ]
+        elapsed = time.perf_counter() - t0
+    flagged = sum(1 for r in reports if r.flagged)
+    predictions = sum(len(r.predictions) for r in reports)
+
+    expected = sim_rounds * sum(range(sim_width))
+    coop_best = math.inf
+    sim_best = math.inf
+    for _ in range(sim_reps):
+        t0 = time.perf_counter()
+        got = _sim_overhead_fan(CooperativeRuntime(None), sim_width, sim_rounds)
+        coop_best = min(coop_best, time.perf_counter() - t0)
+        assert got == expected
+        t0 = time.perf_counter()
+        got = _sim_overhead_fan(
+            SimRuntime(None, seed=None), sim_width, sim_rounds
+        )
+        sim_best = min(sim_best, time.perf_counter() - t0)
+        assert got == expected
+
+    return PredictMeasurement(
+        programs=programs,
+        journals=len(paths),
+        events=events,
+        elapsed=elapsed,
+        flagged_programs=flagged,
+        predictions=predictions,
+        sim_width=sim_width,
+        sim_rounds=sim_rounds,
+        sim_elapsed=sim_best,
+        coop_elapsed=coop_best,
+    )
+
+
+# ----------------------------------------------------------------------
 # Table-2-style end-to-end overheads
 # ----------------------------------------------------------------------
 def run_overhead_suite(
@@ -949,6 +1112,9 @@ class RuntimeOverheadResult:
     #: multi-process soak; None in files from schema v1-v4
     procs: Optional[ProcsSoakMeasurement] = None
     procs_params: dict[str, int] = field(default_factory=dict)
+    #: prediction throughput + simulator overhead; None in files v1-v5
+    predict: Optional[PredictMeasurement] = None
+    predict_params: dict[str, int] = field(default_factory=dict)
 
     @property
     def join_speedup(self) -> float:
@@ -995,6 +1161,20 @@ class RuntimeOverheadResult:
         if self.procs is None:
             return math.nan
         return self.procs.speedup
+
+    @property
+    def predict_events_per_second(self) -> float:
+        """Predictor throughput (NaN if the instrument was not run)."""
+        if self.predict is None:
+            return math.nan
+        return self.predict.events_per_second
+
+    @property
+    def predict_sim_overhead(self) -> float:
+        """SimRuntime over CooperativeRuntime — the ≤2x gate's number."""
+        if self.predict is None:
+            return math.nan
+        return self.predict.sim_overhead
 
     def overhead(self, policy: str) -> float:
         return geomean_overhead(self.reports, policy)
@@ -1134,6 +1314,20 @@ def render_runtime_table(result: RuntimeOverheadResult) -> str:
             f"{m.baseline_tasks_per_second:,.0f} tasks/s "
             f"(speedup {m.speedup:.2f}x), escalation "
             f"{m.escalation_ratio:.3f}, divergences {m.divergences}"
+        )
+        lines.append("")
+    if result.predict is not None:
+        m = result.predict
+        lines.append(
+            f"prediction instrument ({m.journals} journals, "
+            f"{m.flagged_programs} flagged, {m.predictions} witnesses)"
+        )
+        lines.append(
+            f"{m.events} events in {m.elapsed:.2f}s "
+            f"({m.events_per_second:,.0f} events/s); simulator "
+            f"{m.sim_width}x{m.sim_rounds} fan best {m.sim_elapsed * 1e3:.2f}ms "
+            f"vs cooperative {m.coop_elapsed * 1e3:.2f}ms "
+            f"(overhead {m.sim_overhead:.2f}x)"
         )
         lines.append("")
     if result.reports:

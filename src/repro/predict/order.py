@@ -1,0 +1,150 @@
+"""The partial order over journal events (must-happen-before).
+
+A journal is one linearization of a run.  Most of that order is
+scheduling accident; what *must* hold in every schedule of the same
+program is only:
+
+* **program order** — a task's own events, in sequence (each task is a
+  single thread of control);
+* **fork causality** — a ``fork`` record happens before every event of
+  the forked child;
+* **completion edges** — a task's ``complete`` record comes after all
+  its other events, and a *completed* join (a durable ``join`` record)
+  orders the joinee's completion before the waiter's post-join events.
+
+Everything the journal's ``seq`` ordered beyond that is reorderable.
+:class:`TraceOrder` exposes exactly the query the predictor needs:
+``must_precede(a, b)`` — is event *a* before event *b* in **every**
+linearization?  A candidate join cycle is refuted when the partial
+order forces some joinee's completion before its waiter even issues the
+join (the edge could never block); cycles no such edge refutes are
+*candidates*, handed to the simulator for realization.
+
+Timeout-rescued joins (``block`` … ``unblock`` with no ``join``) add
+**no** completion edge — the unblock came from a deadline, not from the
+joinee terminating — which is precisely how a journal of a cleanly
+completed run can still contain a realizable cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TraceEvent", "TraceOrder", "build_order"]
+
+#: record kinds attributed to the record's ``task`` field
+_TASK_KINDS = ("init", "complete")
+#: record kinds attributed to the record's ``waiter`` field
+_WAITER_KINDS = ("verdict", "join", "block", "unblock", "avoided")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One journal record, positioned in the partial order."""
+
+    index: int  # position in the event list (== dense event id)
+    task: str  # journal task name the event belongs to
+    kind: str
+    record: dict  # the raw journal record
+
+    @property
+    def edge(self) -> Optional[tuple[str, str]]:
+        """The (waiter, joinee) pair, for join-shaped events."""
+        if self.kind in _WAITER_KINDS:
+            return (self.record["waiter"], self.record["joinee"])
+        return None
+
+
+@dataclass
+class TraceOrder:
+    """Must-happen-before over the events of one journal."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    #: task name -> its event indices, in program order
+    by_task: dict[str, list[int]] = field(default_factory=dict)
+    #: adjacency: event index -> indices that must come after it
+    succ: dict[int, list[int]] = field(default_factory=dict)
+    #: task name -> index of its ``complete`` event (when recorded)
+    complete_of: dict[str, int] = field(default_factory=dict)
+    #: task name -> index of the ``fork`` event that created it
+    forked_at: dict[str, int] = field(default_factory=dict)
+
+    def add_edge(self, a: int, b: int) -> None:
+        self.succ.setdefault(a, []).append(b)
+
+    def must_precede(self, a: int, b: int) -> bool:
+        """True when event *a* is before *b* in every linearization."""
+        if a == b:
+            return False
+        seen = {a}
+        frontier = deque((a,))
+        while frontier:
+            node = frontier.popleft()
+            for nxt in self.succ.get(node, ()):
+                if nxt == b:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    def last_event_of(self, task: str) -> Optional[int]:
+        own = self.by_task.get(task)
+        return own[-1] if own else None
+
+    def completion_event(self, task: str) -> Optional[int]:
+        """The event pinning *task*'s termination: its ``complete``
+        record when durable, else its last recorded event (a lower
+        bound — completion cannot precede the task's own events)."""
+        at = self.complete_of.get(task)
+        if at is not None:
+            return at
+        return self.last_event_of(task)
+
+
+def build_order(records: list[dict]) -> TraceOrder:
+    """Construct the partial order from ``read_journal`` records.
+
+    Records with no task attribution (``start``, ``quarantine``,
+    ``retry``) are skipped — the caller is expected to refuse journals
+    with quarantine/retry records *before* prediction (retries re-point
+    a task at a fresh vertex, which breaks per-name program order).
+    """
+    order = TraceOrder()
+    for rec in records:
+        kind = rec.get("kind")
+        if kind in _TASK_KINDS:
+            task = rec["task"]
+        elif kind in _WAITER_KINDS:
+            task = rec["waiter"]
+        elif kind == "fork":
+            task = rec["parent"]
+        else:
+            continue
+        event = TraceEvent(index=len(order.events), task=task, kind=kind, record=rec)
+        order.events.append(event)
+        own = order.by_task.setdefault(task, [])
+        if own:
+            order.add_edge(own[-1], event.index)  # program order
+        own.append(event.index)
+        if kind == "fork":
+            order.forked_at[rec["child"]] = event.index
+        elif kind == "complete":
+            order.complete_of[task] = event.index
+
+    # fork causality: the fork record precedes the child's first event
+    for child, fork_at in order.forked_at.items():
+        own = order.by_task.get(child)
+        if own:
+            order.add_edge(fork_at, own[0])
+
+    # completed joins: the joinee terminated before the waiter resumed
+    for event in order.events:
+        if event.kind != "join":
+            continue
+        done_at = order.completion_event(event.record["joinee"])
+        if done_at is not None and done_at != event.index:
+            order.add_edge(done_at, event.index)
+    return order

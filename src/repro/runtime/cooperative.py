@@ -206,22 +206,42 @@ class CooperativeRuntime:
         return task
 
     def _loop(self) -> None:
-        while self._ready:
-            if self._scheduler is None:
-                task = self._ready.popleft()
-            else:
-                at = self._scheduler(len(self._ready))
-                if not 0 <= at < len(self._ready):
-                    raise RuntimeStateError(
-                        f"scheduler returned index {at} for queue of "
-                        f"{len(self._ready)}"
-                    )
-                self._ready.rotate(-at)
-                task = self._ready.popleft()
-                self._ready.rotate(at)
-            self._step(task)
-            if not self._ready and self._blocked_on:
-                self._report_stuck()
+        while True:
+            if not self._ready:
+                # The idle hook may wake parked tasks (the simulator's
+                # virtual clock fires timers here); when it reports no
+                # progress the run is over — or stuck.
+                if self._on_idle():
+                    continue
+                break
+            self._step(self._select_task())
+
+    def _select_task(self) -> TaskHandle:
+        """Pick the next ready task to step (the scheduling decision)."""
+        if self._scheduler is None:
+            return self._ready.popleft()
+        at = self._scheduler(len(self._ready))
+        if not 0 <= at < len(self._ready):
+            raise RuntimeStateError(
+                f"scheduler returned index {at} for queue of "
+                f"{len(self._ready)}"
+            )
+        self._ready.rotate(-at)
+        task = self._ready.popleft()
+        self._ready.rotate(at)
+        return task
+
+    def _on_idle(self) -> bool:
+        """No task is ready.  Returns True when progress was made.
+
+        The base runtime can make none: blocked tasks with an empty
+        ready queue are a deadlock (reported), and no blocked tasks
+        means the program is done.  :class:`~repro.runtime.sim.SimRuntime`
+        overrides this to advance its virtual clock and fire timers.
+        """
+        if self._blocked_on:
+            self._report_stuck()
+        return False
 
     def _report_stuck(self) -> None:
         """No runnable task but blocked tasks remain: a real deadlock.
@@ -271,6 +291,8 @@ class CooperativeRuntime:
             self._ready.append(task)
             return
         if not isinstance(yielded, Future):
+            if self._handle_other_yield(task, yielded):
+                return
             self._resume[task] = _Resume(
                 exc=RuntimeStateError(f"task yielded {yielded!r}; yield a Future or None")
             )
@@ -303,6 +325,15 @@ class CooperativeRuntime:
         task.state = TaskState.BLOCKED
         self._blocked_on[task] = future
         self._waiters.setdefault(future, []).append(task)
+        self._parked(task, future)
+
+    def _handle_other_yield(self, task: TaskHandle, yielded: Any) -> bool:
+        """Hook for subclass yield vocabulary (e.g. the simulator's
+        sleep markers).  Return True when *yielded* was consumed."""
+        return False
+
+    def _parked(self, task: TaskHandle, future: Future) -> None:
+        """Hook: *task* just blocked on *future* (simulator deadlines)."""
 
     def _finish_join(self, task: TaskHandle, future: Future) -> None:
         """Deliver a completed join's result (or failure) at next resume."""

@@ -20,6 +20,7 @@ schedule where it violates TJ".
 
 from __future__ import annotations
 
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Optional, Sequence, Union
@@ -28,7 +29,89 @@ from .cooperative import CooperativeRuntime
 from ..core.policy import JoinPolicy
 from ..errors import DeadlockDetectedError, ReproError
 
-__all__ = ["ScheduleOutcome", "ExplorationResult", "explore_schedules", "fuzz_schedules"]
+__all__ = [
+    "Schedule",
+    "ScheduleOutcome",
+    "ExplorationResult",
+    "explore_schedules",
+    "fuzz_schedules",
+]
+
+
+#: file-format version of a serialised schedule (bumped on layout change)
+SCHEDULE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One deterministic interleaving of a cooperative program.
+
+    The canonical currency of schedule replay, shared by the explorer,
+    the deterministic simulator (:mod:`repro.runtime.sim`) and the
+    predictor (:mod:`repro.predict`): ``choices[k]`` is the index picked
+    at the k-th *real* decision point (ready-queue width > 1; width-1
+    steps are not decisions and are not recorded).  ``widths`` — when
+    present — records the queue width at each decision so a replay can
+    verify it is walking the same tree; ``seed`` names the generator
+    seed the schedule was recorded under, when it came from one.
+
+    A schedule shorter than the run it replays is a *prefix*: decisions
+    past its end fall back to the replaying scheduler's default policy.
+    """
+
+    choices: tuple[int, ...]
+    widths: tuple[int, ...] = ()
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "choices", tuple(int(c) for c in self.choices))
+        object.__setattr__(self, "widths", tuple(int(w) for w in self.widths))
+        if self.widths and len(self.widths) != len(self.choices):
+            raise ValueError(
+                f"widths ({len(self.widths)}) must match choices "
+                f"({len(self.choices)}) when present"
+            )
+        for i, c in enumerate(self.choices):
+            if c < 0 or (self.widths and c >= self.widths[i]):
+                raise ValueError(f"choice {c} at decision {i} out of range")
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    # -- serialisation (the witness-schedule format of docs/prediction.md)
+    def to_dict(self) -> dict:
+        body: dict = {"version": SCHEDULE_VERSION, "choices": list(self.choices)}
+        if self.widths:
+            body["widths"] = list(self.widths)
+        if self.seed is not None:
+            body["seed"] = self.seed
+        return body
+
+    @classmethod
+    def from_dict(cls, body: dict) -> "Schedule":
+        if body.get("version", SCHEDULE_VERSION) != SCHEDULE_VERSION:
+            raise ValueError(f"unsupported schedule version {body.get('version')!r}")
+        return cls(
+            choices=tuple(body.get("choices", ())),
+            widths=tuple(body.get("widths", ())),
+            seed=body.get("seed"),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "Schedule":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Schedule":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.loads(fh.read())
 
 
 @dataclass
@@ -46,6 +129,10 @@ class ScheduleOutcome:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    def as_schedule(self, *, seed: Optional[int] = None) -> Schedule:
+        """The outcome's decision sequence as a replayable Schedule."""
+        return Schedule(choices=self.schedule, seed=seed)
 
 
 @dataclass

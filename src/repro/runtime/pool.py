@@ -69,6 +69,7 @@ class WorkSharingRuntime(SupervisedJoinMixin):
         watchdog: Union[bool, float, StallWatchdog] = True,
         watchdog_interval: float = 0.1,
         on_unjoined_failure: str = "warn",
+        clock=None,
     ) -> None:
         if workers < 1 or max_workers < workers:
             raise ValueError("need 1 <= workers <= max_workers")
@@ -105,6 +106,7 @@ class WorkSharingRuntime(SupervisedJoinMixin):
             watchdog=watchdog,
             watchdog_interval=watchdog_interval,
             on_unjoined_failure=on_unjoined_failure,
+            clock=clock,
         )
 
     # ------------------------------------------------------------------
@@ -204,9 +206,13 @@ class WorkSharingRuntime(SupervisedJoinMixin):
                         self._queue.put(item)
                     return
                 future._set_exception(exc)
+                if self._journal is not None:
+                    self._journal.log_complete(task.vertex, ok=False)
             else:
                 task.state = TaskState.DONE
                 future._set_result(value)
+                if self._journal is not None:
+                    self._journal.log_complete(task.vertex, ok=True)
             finally:
                 if tracer is not None:
                     tracer.end_span(handle, args={"task": task.name})

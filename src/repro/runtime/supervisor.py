@@ -97,9 +97,41 @@ __all__ = [
     "JoinRegistry",
     "StallWatchdog",
     "SupervisedJoinMixin",
+    "WallClock",
+    "WALL_CLOCK",
     "wait_for_future",
     "wait_for_future_polling",
 ]
+
+
+class WallClock:
+    """The default clock of the supervision layer: real time.
+
+    Everything time-dependent in this module — deadlines, watchdog
+    ticks, retry backoff, the OS-level event waits — goes through a
+    clock object with this interface, so a deterministic simulation can
+    substitute :class:`~repro.runtime.sim.VirtualClock` and make
+    ``join(timeout=)`` / watchdog scans / retry backoff fire on virtual
+    time with no wall-clock sleeps.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def monotonic() -> float:
+        return time.monotonic()
+
+    @staticmethod
+    def sleep(seconds: float) -> None:
+        time.sleep(seconds)
+
+    @staticmethod
+    def wait(event: threading.Event, timeout: Optional[float] = None) -> bool:
+        return event.wait(timeout)
+
+
+#: the shared wall-clock instance (stateless)
+WALL_CLOCK = WallClock()
 
 #: first poll interval of a saturated-pool (or legacy polling) wait
 _MIN_TICK = 0.001
@@ -221,11 +253,13 @@ class StallWatchdog:
         *,
         interval: float = 0.1,
         idle_scans: int = 10,
+        clock: Optional[WallClock] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("watchdog interval must be positive")
         self.registry = registry
         self.interval = interval
+        self.clock = clock if clock is not None else WALL_CLOCK
         self._idle_scans = idle_scans
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
@@ -262,7 +296,7 @@ class StallWatchdog:
     def _run(self) -> None:
         idle = 0
         while True:
-            time.sleep(self.interval)
+            self.clock.sleep(self.interval)
             with self._lock:
                 if self._stopped:
                     self._running = False
@@ -338,6 +372,7 @@ def wait_for_future(
     helper_tick: Optional[Callable[[], bool]] = None,
     max_tick: float = _MAX_TICK,
     main_tick: float = _MAIN_TICK,
+    clock: Optional[WallClock] = None,
 ) -> int:
     """The supervised blocked wait used by every blocking join.
 
@@ -356,6 +391,8 @@ def wait_for_future(
     """
     if future._done:
         return 0
+    if clock is None:
+        clock = WALL_CLOCK
     joinee = future.task
     record = BlockedJoin(joiner, joinee, future)
     if registry is not None:
@@ -380,7 +417,7 @@ def wait_for_future(
                 return record.wakeups
             wait = None
             if deadline is not None:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - clock.monotonic()
                 if remaining <= 0:
                     raise JoinTimeoutError(joiner, joinee, timeout_value)
                 wait = remaining
@@ -389,7 +426,7 @@ def wait_for_future(
             if helper_tick is not None and helper_tick():
                 if wait is None or backoff < wait:
                     wait = backoff
-            record._wake.wait(wait)
+            clock.wait(record._wake, wait)
             record.wakeups += 1
             if helper is not None and helper():
                 backoff = _MIN_TICK  # we did useful work; stay responsive
@@ -414,6 +451,7 @@ def wait_for_future_polling(
     helper_tick: Optional[Callable[[], bool]] = None,
     max_tick: float = _MAX_TICK,
     main_tick: float = _MAIN_TICK,
+    clock: Optional[WallClock] = None,
 ) -> int:
     """The poll-loop wait protocol the event rewrite replaced, kept as
     the measured baseline.
@@ -428,6 +466,8 @@ def wait_for_future_polling(
     ``benchmarks/bench_runtime_overhead.py`` measures (the ≥2×
     join-wakeup gate).  Not used by the runtimes.
     """
+    if clock is None:
+        clock = WALL_CLOCK
     if future._done:
         return 0
     record = registry.register(joiner, future.task, future) if registry is not None else None
@@ -446,11 +486,11 @@ def wait_for_future_polling(
                 return wakeups
             wait = tick
             if deadline is not None:
-                remaining = deadline - time.monotonic()
+                remaining = deadline - clock.monotonic()
                 if remaining <= 0:
                     raise JoinTimeoutError(joiner, future.task, timeout_value)
                 wait = min(wait, remaining)
-            time.sleep(wait)
+            clock.sleep(wait)
             wakeups += 1
             if record is not None:
                 record.wakeups += 1
@@ -534,6 +574,7 @@ class SupervisedJoinMixin:
         watchdog: Union[bool, float, StallWatchdog] = True,
         watchdog_interval: float = 0.1,
         on_unjoined_failure: str = "warn",
+        clock: Optional[WallClock] = None,
     ) -> None:
         if on_unjoined_failure not in ("warn", "raise", "ignore"):
             raise ValueError(
@@ -544,6 +585,9 @@ class SupervisedJoinMixin:
             raise ValueError("default_join_timeout must be non-negative")
         #: runtime-wide deadline applied to joins with no explicit timeout
         self.default_join_timeout = default_join_timeout
+        #: time source for deadlines, watchdog ticks and retry backoff —
+        #: swap in a VirtualClock for deterministic-simulation tests
+        self._clock = clock if clock is not None else WALL_CLOCK
         self._registry = JoinRegistry()
         if isinstance(watchdog, StallWatchdog):
             self._watchdog: Optional[StallWatchdog] = watchdog
@@ -553,7 +597,9 @@ class SupervisedJoinMixin:
                 if not isinstance(watchdog, bool)
                 else watchdog_interval
             )
-            self._watchdog = StallWatchdog(self._registry, interval=interval)
+            self._watchdog = StallWatchdog(
+                self._registry, interval=interval, clock=self._clock
+            )
         else:
             self._watchdog = None
         self._on_unjoined_failure = on_unjoined_failure
@@ -734,7 +780,7 @@ class SupervisedJoinMixin:
             timeout = self.default_join_timeout
         if timeout is None:
             return None, None
-        return time.monotonic() + timeout, timeout
+        return self._clock.monotonic() + timeout, timeout
 
     def join(self, future: "Future", *, timeout: Optional[float] = None):
         """Join one future; ``timeout`` overrides ``default_join_timeout``."""
@@ -810,7 +856,11 @@ class SupervisedJoinMixin:
             # sequential position, possibly before later joinees ever
             # complete — pre-waiting on those could hang.)
             self._batch_prewait(
-                joiner, futures, deadline, fail_fast=not return_exceptions
+                joiner,
+                futures,
+                deadline,
+                timeout_value,
+                fail_fast=not return_exceptions,
             )
         results = []
         for index, (future, flagged) in enumerate(zip(futures, flags)):
@@ -839,6 +889,7 @@ class SupervisedJoinMixin:
         joiner: "TaskHandle",
         futures: Sequence["Future"],
         deadline: Optional[float],
+        timeout_value: Optional[float] = None,
         *,
         fail_fast: bool,
     ) -> None:
@@ -877,7 +928,7 @@ class SupervisedJoinMixin:
             [(joiner.vertex, f.task.vertex) for f in pending] if journal is not None else ()
         )
         for a, b in journal_edges:
-            journal.log_block(a, b)
+            journal.log_block(a, b, timeout=timeout_value)
         if self._watchdog is not None:
             self._watchdog.ensure_running()
         self._before_block(pending[0])
@@ -905,7 +956,7 @@ class SupervisedJoinMixin:
                     return
                 wait = None
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._clock.monotonic()
                     if remaining <= 0:
                         return  # harvest raises the precise JoinTimeoutError
                     wait = remaining
@@ -914,7 +965,7 @@ class SupervisedJoinMixin:
                 if helper_tick is not None and helper_tick():
                     if wait is None or backoff < wait:
                         wait = backoff
-                wake.wait(wait)
+                self._clock.wait(wake, wait)
                 rounds += 1
                 for record in records:
                     record.wakeups += 1
@@ -977,7 +1028,7 @@ class SupervisedJoinMixin:
                 raise
             if blocked:
                 if journal is not None:
-                    journal.log_block(joiner_vertex, joinee_vertex)
+                    journal.log_block(joiner_vertex, joinee_vertex, timeout=timeout_value)
                 self._before_block(future)
                 prev_state = joiner.state
                 joiner.state = TaskState.BLOCKED
@@ -1001,7 +1052,7 @@ class SupervisedJoinMixin:
             if not future.done():
                 joiner_vertex, joinee_vertex = joiner.vertex, joinee.vertex
                 if journal is not None:
-                    journal.log_block(joiner_vertex, joinee_vertex)
+                    journal.log_block(joiner_vertex, joinee_vertex, timeout=timeout_value)
                 self._before_block(future)
                 prev_state = joiner.state
                 joiner.state = TaskState.BLOCKED
@@ -1037,6 +1088,7 @@ class SupervisedJoinMixin:
                 timeout_value=timeout_value,
                 helper=self._wait_helper(),
                 helper_tick=self._helper_tick(),
+                clock=self._clock,
             )
             return
         t0 = perf_counter_ns()
@@ -1051,6 +1103,7 @@ class SupervisedJoinMixin:
                 timeout_value=timeout_value,
                 helper=self._wait_helper(),
                 helper_tick=self._helper_tick(),
+                clock=self._clock,
             )
         finally:
             tracer = obs.tracer

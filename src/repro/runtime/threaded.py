@@ -177,6 +177,11 @@ class TaskRuntime(SupervisedJoinMixin):
         the first such failure as :class:`TaskFailedError`), or
         ``"ignore"``.  Best-effort on this runtime: ``run`` returns when
         the *root* returns, so only failures recorded by then are seen.
+    clock:
+        The supervision clock (deadlines, watchdog ticks, retry
+        backoff); None (default) uses the wall clock.  A
+        :class:`~repro.runtime.sim.VirtualClock` makes every timed wait
+        deterministic.
 
     A runtime instance hosts exactly one root task (one :meth:`run` call):
     the verifier data structures assume a single fork tree.
@@ -196,6 +201,7 @@ class TaskRuntime(SupervisedJoinMixin):
         watchdog: Union[bool, float, StallWatchdog] = True,
         watchdog_interval: float = 0.1,
         on_unjoined_failure: str = "warn",
+        clock=None,
     ) -> None:
         if idle_timeout < 0:
             raise ValueError("idle_timeout must be non-negative")
@@ -231,6 +237,7 @@ class TaskRuntime(SupervisedJoinMixin):
             watchdog=watchdog,
             watchdog_interval=watchdog_interval,
             on_unjoined_failure=on_unjoined_failure,
+            clock=clock,
         )
 
     # ------------------------------------------------------------------
@@ -412,9 +419,13 @@ class TaskRuntime(SupervisedJoinMixin):
                     retry_delay = self._prepare_retry(future, exc)
                     if retry_delay is None:
                         future._set_exception(exc)
+                        if self._journal is not None:
+                            self._journal.log_complete(task.vertex, ok=False)
                 else:
                     task.state = TaskState.DONE
                     future._set_result(value)
+                    if self._journal is not None:
+                        self._journal.log_complete(task.vertex, ok=True)
                 finally:
                     if tracer is not None:
                         tracer.end_span(handle, args={"task": task.name})
@@ -423,7 +434,7 @@ class TaskRuntime(SupervisedJoinMixin):
                 # pending (joiners keep blocking) and _prepare_retry has
                 # already re-pointed the task at a fresh vertex.
                 if retry_delay > 0.0:
-                    time.sleep(retry_delay)
+                    self._clock.sleep(retry_delay)
                 continue
             # Park for reuse: publish our handoff channel and wait for
             # the next fork (bounded by idle_timeout / max_idle).

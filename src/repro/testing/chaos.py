@@ -71,8 +71,14 @@ __all__ = [
     "QuarantineChaosResult",
     "RetryChaosResult",
     "ServiceChaosResult",
+    "PredictChaosResult",
+    "PredictSpec",
+    "generate_predict_spec",
     "generate_spec",
+    "repro_command",
     "run_chaos_program",
+    "run_predict_loop",
+    "run_predict_program",
     "run_procs_divergence",
     "run_with_policy_quarantine",
     "run_with_service_faults",
@@ -1293,3 +1299,325 @@ def run_procs_divergence(
         procs_rejected=procs_rejected,
         divergences=divergences,
     )
+
+
+# ----------------------------------------------------------------------
+# the predict loop: lucky journals, counterfactual deadlocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PredictSpec:
+    """A seeded fork/join program that *can* deadlock — but whose
+    recorded runs complete cleanly.
+
+    Unlike :class:`ChaosSpec` (deadlock-free by construction), a
+    predict spec deliberately plants conflicting-direction join intents
+    (sibling cycles).  :func:`run_predict_program` executes it under a
+    small ``default_join_timeout``: on schedules where a cycle closes,
+    the deadline rescues the blocked joins and every task still
+    terminates — leaving a journal of a *clean* run whose
+    ``block``/``unblock``-without-``join`` pattern is exactly what the
+    predictor (:mod:`repro.predict`) needs to flag the cycle other
+    schedules realize.
+    """
+
+    seed: int
+    #: task id -> its actions in program order, mirroring
+    #: :class:`repro.predict.TraceProgram` (root is task 0)
+    actions: dict[int, tuple[tuple[str, int], ...]]
+    #: the planted join cycles, as task-id tuples (empty: a safe spec)
+    planted_cycles: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.actions)
+
+    @property
+    def has_cycle(self) -> bool:
+        return bool(self.planted_cycles)
+
+
+@dataclass
+class PredictChaosResult:
+    """What one :func:`run_predict_loop` sweep established."""
+
+    seed: int
+    programs: int
+    #: journal paths, one per program, in seed order
+    journals: list[str] = field(default_factory=list)
+    #: (journal path, PredictedDeadlock) for every flagged schedule
+    predictions: list[tuple[str, object]] = field(default_factory=list)
+    #: programs whose journal was flagged
+    flagged_programs: int = 0
+    #: flagged programs whose recorded run completed cleanly
+    clean_flagged: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def generate_predict_spec(
+    seed: int, *, max_children: int = 4, cycle_rate: float = 0.75
+) -> PredictSpec:
+    """Derive a predict-corpus program from *seed*.
+
+    The root forks 2..``max_children`` children (some of which fork a
+    grandchild) and joins them all at the end.  With probability
+    ``cycle_rate`` a cycle of 2 or 3 siblings is planted — each member
+    joins the next around the ring; ring direction ignores sibling age,
+    so some edge always violates younger-joins-older (the classic TJ
+    denial, making the cycle avoidable under TJ-SP).  Remaining
+    children may pick up a *safe* younger-joins-older edge instead.
+    """
+    rng = random.Random(f"predict-spec|{seed}")
+    n_children = rng.randint(2, max(2, max_children))
+    children = list(range(1, n_children + 1))
+    next_id = n_children + 1
+    actions: dict[int, list[tuple[str, int]]] = {0: []}
+    for c in children:
+        actions[c] = []
+    # a couple of grandchildren: forked and joined by their parent
+    grandchildren: dict[int, int] = {}
+    for c in children:
+        if rng.random() < 0.4:
+            g = next_id
+            next_id += 1
+            grandchildren[c] = g
+            actions[g] = []
+
+    planted: list[tuple[int, ...]] = []
+    in_cycle: set[int] = set()
+    if len(children) >= 2 and rng.random() < cycle_rate:
+        size = rng.choice((2, 3)) if len(children) >= 3 else 2
+        ring = rng.sample(children, size)
+        planted.append(tuple(ring))
+        in_cycle.update(ring)
+        for at, member in enumerate(ring):
+            actions[member].append(("join", ring[(at + 1) % size]))
+
+    for c in children:
+        if c not in in_cycle:
+            older = [s for s in children if s < c]
+            if older and rng.random() < 0.5:
+                actions[c].append(("join", rng.choice(older)))
+
+    # forks first in every task's program order, then the joins above
+    for c in children:
+        if c in grandchildren:
+            g = grandchildren[c]
+            actions[c] = [("fork", g)] + actions[c] + [("join", g)]
+    actions[0] = [("fork", c) for c in children] + [("join", c) for c in children]
+    return PredictSpec(
+        seed=seed,
+        actions={t: tuple(a) for t, a in actions.items()},
+        planted_cycles=tuple(planted),
+    )
+
+
+def run_predict_program(
+    spec_or_seed: Union[int, PredictSpec],
+    journal_path: str,
+    *,
+    policy: Union[None, str, JoinPolicy] = None,
+    join_timeout: float = 0.1,
+    drain_timeout: float = 30.0,
+) -> PredictSpec:
+    """Execute a predict spec on the threaded runtime, journalling to
+    *journal_path*.
+
+    Every join (including the planted cycles) runs under
+    ``default_join_timeout=join_timeout`` with the watchdog off, so a
+    closed cycle is rescued by deadlines rather than diagnosed — the
+    run completes cleanly and the journal records the block/unblock
+    pattern.  The root drains all forked tasks before returning so the
+    journal's ``complete`` records are durable before it closes.
+    """
+    import time as _time
+
+    from ..errors import DeadlockDetectedError, JoinTimeoutError
+
+    spec = (
+        spec_or_seed
+        if isinstance(spec_or_seed, PredictSpec)
+        else generate_predict_spec(spec_or_seed)
+    )
+    rt = TaskRuntime(
+        policy,
+        fallback=True,
+        journal=journal_path,
+        default_join_timeout=join_timeout,
+        watchdog=False,
+        on_unjoined_failure="ignore",
+    )
+    futures: dict[int, object] = {}
+    issued: dict[int, threading.Event] = {
+        t: threading.Event() for t in spec.actions
+    }
+    rescues = (
+        JoinTimeoutError,
+        DeadlockAvoidedError,
+        DeadlockDetectedError,
+        PolicyQuarantinedError,
+        TaskFailedError,
+    )
+
+    def body(tid: int):
+        for kind, target in spec.actions[tid]:
+            if kind == "fork":
+                futures[target] = rt.fork(body, target)
+                issued[target].set()
+                continue
+            while not issued[target].wait(0.05):
+                pass
+            try:
+                futures[target].join()
+            except rescues:
+                pass
+            except Exception:  # policy violations without fallback, etc.
+                pass
+        if tid == 0:
+            deadline = _time.monotonic() + drain_timeout
+            while any(not f.done() for f in futures.values()):
+                if _time.monotonic() > deadline:
+                    raise ChaosInvariantError(
+                        f"predict seed {spec.seed}: forked tasks failed to "
+                        f"quiesce within {drain_timeout}s"
+                    )
+                _time.sleep(0.002)
+        return tid
+
+    rt.run(body, 0)
+    return spec
+
+
+def run_predict_loop(
+    programs: int = 4,
+    *,
+    seed: int = 0,
+    journal_dir: Optional[str] = None,
+    policies: tuple[str, ...] = ("TJ-SP", "KJ-VC"),
+    max_schedules: int = 256,
+    check: bool = True,
+    program_id: Optional[int] = None,
+) -> PredictChaosResult:
+    """The closed predict → simulate → avoid loop over a seeded corpus.
+
+    For each program: run it journalled under ``policy=None`` (clean,
+    timeout-rescued), predict over the journal, then assert the
+    three-way invariant for every prediction —
+
+    1. replaying the witness schedule through ``SimRuntime`` under
+       ``policy=None`` reproduces the deadlock with the *same* blocked
+       cycle;
+    2. the same witness under each avoidance policy (TJ-SP, KJ-VC with
+       the Armus fallback) never deadlocks — the refusal lands where
+       the cycle would have closed;
+    3. a program with a planted cycle is flagged, and a journal from a
+       clean recorded run yields at least one counterfactual flag
+       across the corpus.
+
+    ``program_id`` restricts the sweep to one program index (its seed is
+    ``seed + program_id``), which is what the single-line repro command
+    printed on a failure uses.
+    """
+    import os
+    import tempfile
+
+    from ..predict import predict_deadlocks
+
+    if journal_dir is None:
+        journal_dir = tempfile.mkdtemp(prefix="repro-predict-")
+    else:
+        os.makedirs(journal_dir, exist_ok=True)
+    result = PredictChaosResult(seed=seed, programs=programs)
+    todo = [program_id] if program_id is not None else list(range(programs))
+    for k in todo:
+        program_seed = seed + k
+        path = f"{journal_dir}/predict-{program_seed}.jsonl"
+        spec = run_predict_program(program_seed, path)
+        result.journals.append(path)
+        report = predict_deadlocks(
+            path, policies=policies, max_schedules=max_schedules
+        )
+        where = f"program {k} (seed {program_seed})"
+        if report.skipped is not None:
+            result.violations.append(f"{where}: prediction skipped: {report.skipped}")
+            continue
+        if spec.has_cycle and not report.flagged:
+            result.violations.append(
+                f"{where}: planted cycle {spec.planted_cycles} was not flagged"
+            )
+        if not spec.has_cycle and report.flagged:
+            result.violations.append(
+                f"{where}: cycle-free program was flagged: "
+                f"{[p.cycle for p in report.predictions]}"
+            )
+        if report.flagged:
+            result.flagged_programs += 1
+            if report.clean_run:
+                result.clean_flagged += 1
+        for pred in report.predictions:
+            result.predictions.append((path, pred))
+            # (1) exact reproduction under policy=None
+            repro = pred.reproduce()
+            if repro.deadlock is None:
+                result.violations.append(
+                    f"{where}: witness for {pred.cycle} did not deadlock "
+                    f"under policy=None (verdict {repro.verdict})"
+                )
+            elif set(repro.deadlock) != set(pred.cycle):
+                result.violations.append(
+                    f"{where}: witness realized cycle {repro.deadlock}, "
+                    f"predicted {pred.cycle}"
+                )
+            # (2) avoided under every policy along the same witness
+            for policy in policies:
+                replay = pred.program.run_sim(
+                    policy, fallback=True, schedule=pred.schedule
+                )
+                if replay.deadlock is not None:
+                    result.violations.append(
+                        f"{where}: {policy} deadlocked on the witness "
+                        f"for {pred.cycle}: {replay.deadlock}"
+                    )
+                if pred.verdicts.get(policy) != replay.verdict:
+                    result.violations.append(
+                        f"{where}: {policy} verdict drifted between "
+                        f"prediction ({pred.verdicts.get(policy)}) and "
+                        f"replay ({replay.verdict})"
+                    )
+    if program_id is None and not any(
+        "clean" in v for v in result.violations
+    ) and result.flagged_programs and not result.clean_flagged:
+        result.violations.append(
+            "no flagged journal came from a clean recorded run"
+        )
+    if check and result.violations:
+        raise ChaosInvariantError(
+            f"predict loop seed {seed}: " + "; ".join(result.violations)
+        )
+    return result
+
+
+def repro_command(kind: str, seed: int, program_id: Optional[int] = None, **flags) -> str:
+    """The single-line command that reproduces one failing chaos slice.
+
+    ``kind`` is the chaos sub-mode (``""`` for the plain sweep,
+    ``"--recovery"``, ``"--predict"``, ...); extra flags are rendered as
+    ``--flag value`` with underscores dashed.  Printed by the CLI on
+    the first failure so a red run is reproducible without scraping
+    pytest output.
+    """
+    parts = ["repro chaos"]
+    if kind:
+        parts.append(kind)
+    parts.append(f"--seed {seed}")
+    if program_id is not None:
+        parts.append(f"--program-id {program_id}")
+    for flag, value in flags.items():
+        if value is None or value is False:
+            continue
+        name = "--" + flag.replace("_", "-")
+        parts.append(name if value is True else f"{name} {value}")
+    return " ".join(parts)

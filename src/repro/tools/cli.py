@@ -322,12 +322,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _chaos_body(args: argparse.Namespace) -> int:
     from ..testing.chaos import (
         RUNTIMES,
+        repro_command,
         run_chaos_program,
         run_with_policy_quarantine,
         run_with_task_retries,
         run_with_verifier_faults,
     )
     from ..testing.faults import FaultPlan
+
+    program_id = getattr(args, "program_id", None)
+
+    def indices(n: int) -> list:
+        return [program_id] if program_id is not None else list(range(n))
+
+    repro_printed = [False]
+
+    def print_repro(kind: str, i, **flags) -> None:
+        # one single-line repro command per red run, at the first failure
+        if repro_printed[0]:
+            return
+        repro_printed[0] = True
+        print("repro: " + repro_command(kind, args.seed, i, **flags))
 
     if args.smoke:
         programs = args.programs if args.programs is not None else 2
@@ -348,7 +363,7 @@ def _chaos_body(args: argparse.Namespace) -> int:
     bad = 0
     for policy in policies:
         for runtime in runtimes:
-            for i in range(programs):
+            for i in indices(programs):
                 seed = args.seed + i
                 plan = FaultPlan(seed=seed, delay_rate=delay_rate)
                 result = run_chaos_program(
@@ -368,11 +383,21 @@ def _chaos_body(args: argparse.Namespace) -> int:
                     )
                     for violation in result.violations:
                         print(f"  {violation}")
+                    print_repro(
+                        "",
+                        i,
+                        policies=policy,
+                        runtimes=runtime,
+                        max_tasks=max_tasks,
+                        crash_rate=crash_rate,
+                        delay_rate=delay_rate,
+                        fault_rate=0,
+                    )
     fault_rate = args.fault_rate if args.fault_rate is not None else 0.2
     fault_runs = 0
     if fault_rate > 0:
         for runtime in runtimes:
-            for i in range(max(1, programs // 2)):
+            for i in indices(max(1, programs // 2)):
                 seed = args.seed + i
                 try:
                     run_with_verifier_faults(
@@ -385,6 +410,15 @@ def _chaos_body(args: argparse.Namespace) -> int:
                 except AssertionError as exc:
                     bad += 1
                     print(f"FAIL verifier-faults seed={seed} runtime={runtime}: {exc}")
+                    print_repro(
+                        "",
+                        i,
+                        policies="TJ-SP",
+                        runtimes=runtime,
+                        max_tasks=max_tasks,
+                        fault_rate=fault_rate,
+                        programs=0,
+                    )
                 total += 1
                 fault_runs += 1
     recovery_runs = 0
@@ -406,9 +440,16 @@ def _chaos_body(args: argparse.Namespace) -> int:
                             f"FAIL quarantine policy={policy} runtime={runtime} "
                             f"fail_mode={fail_mode}: {exc}"
                         )
+                        print_repro(
+                            "--recovery",
+                            None,
+                            policies=policy,
+                            runtimes=runtime,
+                            fault_rate=0,
+                        )
                     total += 1
                     recovery_runs += 1
-            for i in range(max(1, programs // 2)):
+            for i in indices(max(1, programs // 2)):
                 seed = args.seed + i
                 try:
                     run_with_task_retries(
@@ -417,6 +458,13 @@ def _chaos_body(args: argparse.Namespace) -> int:
                 except AssertionError as exc:
                     bad += 1
                     print(f"FAIL retries seed={seed} runtime={runtime}: {exc}")
+                    print_repro(
+                        "--recovery",
+                        i,
+                        runtimes=runtime,
+                        max_tasks=max_tasks,
+                        fault_rate=0,
+                    )
                 total += 1
                 recovery_runs += 1
     service_runs = 0
@@ -444,14 +492,124 @@ def _chaos_body(args: argparse.Namespace) -> int:
                 except AssertionError as exc:
                     bad += 1
                     print(f"FAIL service seed={seed} runtime={runtime}: {exc}")
+                    print_repro(
+                        "--service",
+                        i,
+                        runtimes=runtime,
+                        max_tasks=max_tasks,
+                        fault_rate=0,
+                    )
                 total += 1
                 service_runs += 1
+        # the service loop is seed-indexed like the main sweep
+    predict_runs = 0
+    if args.predict:
+        from ..testing.chaos import run_predict_loop
+
+        predict_programs = max(2, programs // 2) if args.smoke else max(4, programs // 2)
+        result = run_predict_loop(
+            predict_programs,
+            seed=args.seed,
+            journal_dir=args.journal_dir,
+            check=False,
+            program_id=program_id,
+        )
+        predict_runs = len(result.journals)
+        total += predict_runs
+        flagged_paths = {path for path, _ in result.predictions}
+        for path in result.journals:
+            if path in flagged_paths:
+                print(f"flagged journal={path}")
+        print(
+            f"predict: {predict_runs} journals, "
+            f"{result.flagged_programs} flagged "
+            f"({result.clean_flagged} from clean runs), "
+            f"{len(result.predictions)} witnesses verified"
+        )
+        if result.violations:
+            bad += 1
+            for violation in result.violations:
+                print(f"FAIL predict: {violation}")
+            print_repro(
+                "--predict",
+                program_id if program_id is not None else 0,
+                programs=predict_programs,
+                journal_dir=args.journal_dir,
+            )
     print(
         f"chaos: {total} programs ({fault_runs} with verifier faults, "
-        f"{recovery_runs} recovery, {service_runs} service), "
+        f"{recovery_runs} recovery, {service_runs} service, "
+        f"{predict_runs} predict), "
         f"{total - bad} passed, {bad} failed"
     )
     return 1 if bad else 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from ..predict import predict_deadlocks
+
+    report = predict_deadlocks(
+        args.journal,
+        policies=tuple(args.policies or ("TJ-SP", "KJ-VC")),
+        max_schedules=args.max_schedules,
+    )
+    print(report.report())
+    if args.witness_out:
+        if report.predictions:
+            at = min(args.witness_index, len(report.predictions) - 1)
+            report.predictions[at].save(args.witness_out)
+            print(f"witness written: {args.witness_out}")
+        else:
+            print("no predictions; no witness written")
+    if args.expect == "flagged" and not report.flagged:
+        print("EXPECT FAILED: journal was not flagged")
+        return 1
+    if args.expect == "clean" and report.flagged:
+        print("EXPECT FAILED: journal was flagged")
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from ..predict import TraceProgram, read_witness
+
+    if args.schedule:
+        witness = read_witness(args.schedule)
+        program, schedule = witness.program, witness.schedule
+        print(
+            f"witness: cycle {' -> '.join(witness.cycle)} "
+            f"({len(schedule)} decisions, journal {witness.journal or '?'})"
+        )
+    elif args.journal:
+        from ..tools.journal import read_journal
+
+        program = TraceProgram.from_records(read_journal(args.journal).records)
+        schedule = None
+    else:
+        print("simulate needs --schedule WITNESS or --journal PATH")
+        return 2
+    policy = None if args.policy in (None, "none") else args.policy
+    outcome = program.run_sim(
+        policy,
+        fallback=not args.no_fallback,
+        seed=args.seed,
+        schedule=schedule,
+    )
+    print(
+        f"simulated: policy={args.policy or 'none'} verdict={outcome.verdict} "
+        f"steps={outcome.steps} decisions={len(outcome.schedule or ())}"
+    )
+    if outcome.deadlock is not None:
+        print("  blocked cycle: " + " -> ".join(outcome.deadlock + (outcome.deadlock[0],)))
+    for waiter, joinee, error in outcome.refusals:
+        print(f"  refused: {waiter} join {joinee} ({error})")
+    if args.record_out and outcome.schedule is not None:
+        outcome.schedule.save(args.record_out)
+        print(f"recorded schedule written: {args.record_out}")
+    if args.expect and outcome.verdict != args.expect:
+        print(f"EXPECT FAILED: wanted {args.expect}, got {outcome.verdict}")
+        return 1
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -825,9 +983,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="small fixed configuration for CI",
     )
     p.add_argument(
+        "--program-id",
+        type=int,
+        default=None,
+        help="run only program index K of each slice (seed becomes seed+K)",
+    )
+    p.add_argument(
         "--recovery",
         action="store_true",
         help="add the quarantine + retry self-healing slice",
+    )
+    p.add_argument(
+        "--predict",
+        action="store_true",
+        help="add the predict -> simulate -> avoid loop slice",
+    )
+    p.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        help="where the predict slice writes its journals (default: tmp)",
     )
     p.add_argument(
         "--service",
@@ -845,6 +1019,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write the final metrics snapshot as JSON",
     )
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "predict", help="predict deadlocks other schedules of a journal can reach"
+    )
+    p.add_argument("journal")
+    p.add_argument(
+        "--policies",
+        nargs="*",
+        choices=sorted(POLICY_REGISTRY),
+        help="policies whose verdicts are recorded along each witness",
+    )
+    p.add_argument("--max-schedules", type=int, default=256)
+    p.add_argument(
+        "--witness-out",
+        metavar="PATH",
+        help="write the selected prediction as a witness file",
+    )
+    p.add_argument(
+        "--witness-index",
+        type=int,
+        default=0,
+        help="which prediction --witness-out writes (default: first)",
+    )
+    p.add_argument(
+        "--expect",
+        choices=["flagged", "clean"],
+        help="exit 1 unless the report matches",
+    )
+    p.set_defaults(fn=_cmd_predict)
+
+    p = sub.add_parser(
+        "simulate", help="deterministic simulation of a witness or journal program"
+    )
+    p.add_argument(
+        "--schedule",
+        metavar="WITNESS",
+        help="witness file from `repro predict --witness-out`",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="reconstruct the program from this journal instead",
+    )
+    p.add_argument("--seed", type=int, default=None, help="scheduling RNG seed")
+    p.add_argument(
+        "--policy",
+        default=None,
+        help="policy name or 'none' (default: none, the unchecked baseline)",
+    )
+    p.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="disable the Armus fallback (denials fault immediately)",
+    )
+    p.add_argument(
+        "--record-out",
+        metavar="PATH",
+        help="write the recorded schedule of this run",
+    )
+    p.add_argument(
+        "--expect",
+        choices=["deadlock", "avoided", "denied", "clean", "error"],
+        help="exit 1 unless the run's verdict matches",
+    )
+    p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser("top", help="live telemetry view (or render a snapshot)")
     p.add_argument("trace", nargs="?", help="trace file to execute in live mode")

@@ -58,6 +58,7 @@ KINDS = (
     "join",
     "block",
     "unblock",
+    "complete",
     "avoided",
     "quarantine",
     "retry",
@@ -240,18 +241,42 @@ class TraceJournal:
             b = self._intern(joinee)
             self._emit(f'"kind":"join","waiter":"{a}","joinee":"{b}"', False)
 
-    def log_block(self, joiner: object, joinee: object) -> None:
-        """A join is about to block; flushed before the thread sleeps."""
+    def log_block(
+        self, joiner: object, joinee: object, timeout: Optional[float] = None
+    ) -> None:
+        """A join is about to block; flushed before the thread sleeps.
+
+        *timeout* — when the wait carries a deadline — is recorded so
+        the predictor knows a later ``unblock`` without a ``join`` may
+        be a timeout rescue rather than a completion.
+        """
         with self._lock:
             a = self._intern(joiner)
             b = self._intern(joinee)
-            self._emit(f'"kind":"block","waiter":"{a}","joinee":"{b}"', True)
+            body = f'"kind":"block","waiter":"{a}","joinee":"{b}"'
+            if timeout is not None:
+                body += f',"timeout":{float(timeout)!r}'
+            self._emit(body, True)
 
     def log_unblock(self, joiner: object, joinee: object) -> None:
         with self._lock:
             a = self._intern(joiner)
             b = self._intern(joinee)
             self._emit(f'"kind":"unblock","waiter":"{a}","joinee":"{b}"', False)
+
+    def log_complete(self, vertex: object, ok: bool = True) -> None:
+        """A task terminated (``ok=False``: with an unretried failure).
+
+        Optional — older journals lack it; the predictor's partial
+        order uses it to pin completion points between joins.
+        """
+        with self._lock:
+            name = self._intern(vertex)
+            self._emit(
+                f'"kind":"complete","task":"{name}",'
+                f'"ok":{"true" if ok else "false"}',
+                False,
+            )
 
     def log_avoided(self, joiner: object, joinee: object) -> None:
         """A blocking join was refused: it would have closed a true cycle."""

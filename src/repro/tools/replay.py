@@ -265,9 +265,17 @@ class JournalReplay:
     """Verifier state reconstructed from a (possibly crash-torn) journal.
 
     The load-bearing field is :attr:`blocked_at_death`: every edge whose
-    ``block`` record is durable but whose ``unblock`` is not — i.e. the
-    joins the process was sleeping on at the moment it died.  For a run
-    that exited cleanly the set is empty.
+    *last* durable record is a ``block`` with no matching ``unblock`` —
+    i.e. the joins the process was sleeping on at the moment it died.
+    For a run that exited cleanly the set is empty.
+
+    Deliberately, an edge is **never** dropped from the set because its
+    joinee has a ``complete`` (or ``join``) record earlier in the file.
+    The live watchdog skips a cycle whose joinee already completed — a
+    *transient*, about to resolve — but a post-mortem has no "about to":
+    if the final durable record leaves the edge blocked, the process
+    died in that wait, however briefly it had left to sleep, and hiding
+    it would make the report (and the predictor consuming it) lie.
     """
 
     path: str
@@ -286,6 +294,8 @@ class JournalReplay:
     avoided: list[tuple[str, str]] = field(default_factory=list)
     #: (waiter, joinee) edges blocked when the journal ends
     blocked_at_death: list[tuple[str, str]] = field(default_factory=list)
+    #: tasks with a durable ``complete`` record, in completion order
+    completed: list[str] = field(default_factory=list)
     #: the quarantine record, when the policy was quarantined mid-run
     quarantine: Optional[dict] = None
     #: retry records (old task, reborn task, attempt, error)
@@ -312,7 +322,10 @@ class JournalReplay:
             f"  records: {self.records} complete"
             + (" + torn tail (crash mid-write)" if self.torn_tail else "")
         )
-        lines.append(f"  tasks: {len(self.tasks)}  forks: {self.forks}")
+        lines.append(
+            f"  tasks: {len(self.tasks)}  forks: {self.forks}"
+            + (f"  completed: {len(self.completed)}" if self.completed else "")
+        )
         if self.quarantine is not None:
             lines.append(
                 f"  QUARANTINE at {self.quarantine.get('site')!r}: policy "
@@ -351,7 +364,8 @@ def replay_journal(path: str) -> JournalReplay:
 
     Reads the journal with :func:`~repro.tools.journal.read_journal`
     (tolerating a crash-torn final record), re-derives the blocked-edge
-    set at death (durable blocks minus durable unblocks), and — when the
+    set at death (the edges whose last durable record is a ``block``,
+    never filtered by joinee completion), and — when the
     header names a reconstructible ``stable_permits`` policy — rebuilds
     the fork tree through a fresh policy instance and re-derives every
     journalled verdict, reporting any disagreement.  Replay stops feeding
@@ -373,7 +387,10 @@ def replay_journal(path: str) -> JournalReplay:
     vertices: dict[str, object] = {}
     placeholders: set[str] = set()
     quarantined = False
-    blocked: dict[tuple[str, str], int] = {}
+    #: last durable state per edge: True = blocked, False = unblocked.
+    #: Last-state (not a counter) so a torn or duplicated block/unblock
+    #: pair cannot push an edge negative and swallow a later block.
+    blocked: dict[tuple[str, str], bool] = {}
 
     for rec in read.records:
         kind = rec.get("kind")
@@ -425,11 +442,11 @@ def replay_journal(path: str) -> JournalReplay:
             if policy is not None and not quarantined and a in vertices and b in vertices:
                 policy.on_join(vertices[a], vertices[b])
         elif kind == "block":
-            edge = (rec["waiter"], rec["joinee"])
-            blocked[edge] = blocked.get(edge, 0) + 1
+            blocked[(rec["waiter"], rec["joinee"])] = True
         elif kind == "unblock":
-            edge = (rec["waiter"], rec["joinee"])
-            blocked[edge] = blocked.get(edge, 0) - 1
+            blocked[(rec["waiter"], rec["joinee"])] = False
+        elif kind == "complete":
+            replay.completed.append(rec["task"])
         elif kind == "avoided":
             replay.avoided.append((rec["waiter"], rec["joinee"]))
         elif kind == "quarantine":
@@ -438,8 +455,12 @@ def replay_journal(path: str) -> JournalReplay:
         elif kind == "retry":
             replay.retries.append(rec)
 
+    # Honest edge set: whatever the last durable state says, with no
+    # completed-joinee filtering (see the JournalReplay docstring) — a
+    # journal whose final record is a block reports died_blocked even
+    # when the joinee's complete record landed earlier in the file.
     replay.blocked_at_death = sorted(
-        (edge for edge, n in blocked.items() if n > 0),
+        (edge for edge, is_blocked in blocked.items() if is_blocked),
         key=lambda e: (int(e[0][1:]) if e[0][1:].isdigit() else 0, e[1]),
     )
     return replay

@@ -1,0 +1,70 @@
+"""BENCH_runtime.json schema v6: the predict block round-trips."""
+
+import json
+
+import pytest
+
+from repro.analysis.io import load_runtime, runtime_from_json, runtime_to_json, save_runtime
+from repro.analysis.runtime_overhead import (
+    PredictMeasurement,
+    RuntimeOverheadResult,
+)
+
+
+def _result_with_predict():
+    return RuntimeOverheadResult(
+        join_chain={},
+        reports=[],
+        join_chain_params={},
+        overhead_params={},
+        predict=PredictMeasurement(
+            programs=3,
+            journals=3,
+            events=74,
+            elapsed=0.004,
+            flagged_programs=2,
+            predictions=2,
+            sim_width=6,
+            sim_rounds=8,
+            sim_elapsed=0.0007,
+            coop_elapsed=0.0006,
+        ),
+        predict_params={"programs": 3, "seed": 0},
+    )
+
+
+class TestPredictBlock:
+    def test_roundtrip(self, tmp_path):
+        result = _result_with_predict()
+        path = str(tmp_path / "BENCH_runtime.json")
+        save_runtime(result, path)
+        loaded = load_runtime(path)
+        assert loaded.predict == result.predict
+        assert loaded.predict_params == result.predict_params
+
+    def test_schema_version_is_6(self):
+        payload = json.loads(runtime_to_json(_result_with_predict()))
+        assert payload["schema"] == 6
+        assert payload["predict"]["measurement"]["events"] == 74
+
+    def test_derived_metrics(self):
+        result = _result_with_predict()
+        assert result.predict_events_per_second == pytest.approx(74 / 0.004)
+        assert result.predict_sim_overhead == pytest.approx(0.0007 / 0.0006)
+
+    def test_older_files_load_without_the_block(self):
+        bare = RuntimeOverheadResult(
+            join_chain={}, reports=[], join_chain_params={}, overhead_params={}
+        )
+        payload = json.loads(runtime_to_json(bare))
+        assert "predict" not in payload
+        payload["schema"] = 5  # a pre-predict file
+        loaded = runtime_from_json(json.dumps(payload))
+        assert loaded.predict is None
+        assert loaded.predict_params == {}
+
+    def test_unknown_schema_rejected(self):
+        payload = json.loads(runtime_to_json(_result_with_predict()))
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            runtime_from_json(json.dumps(payload))

@@ -1,0 +1,101 @@
+"""Tests for the must-happen-before partial order over journal events."""
+
+from repro.predict import build_order
+
+
+def _rec(kind, **fields):
+    return {"kind": kind, **fields}
+
+
+def _linear_journal():
+    """root forks a, a runs and completes, root joins it."""
+    return [
+        _rec("start", policy="none"),
+        _rec("init", task="t0"),
+        _rec("fork", parent="t0", child="t1"),
+        _rec("complete", task="t1", ok=True),
+        _rec("verdict", waiter="t0", joinee="t1", ok=True),
+        _rec("join", waiter="t0", joinee="t1"),
+        _rec("complete", task="t0", ok=True),
+    ]
+
+
+class TestProgramOrder:
+    def test_own_events_are_ordered(self):
+        order = build_order(_linear_journal())
+        t0 = order.by_task["t0"]
+        for earlier, later in zip(t0, t0[1:]):
+            assert order.must_precede(earlier, later)
+            assert not order.must_precede(later, earlier)
+
+    def test_untracked_records_are_skipped(self):
+        order = build_order(_linear_journal())
+        kinds = {e.kind for e in order.events}
+        assert "start" not in kinds
+
+    def test_fork_precedes_every_child_event(self):
+        order = build_order(_linear_journal())
+        fork_at = order.forked_at["t1"]
+        for at in order.by_task["t1"]:
+            assert order.must_precede(fork_at, at)
+
+    def test_completed_join_orders_joinee_before_waiter_resume(self):
+        order = build_order(_linear_journal())
+        done = order.complete_of["t1"]
+        join_at = order.by_task["t0"][-2]  # the join event
+        assert order.events[join_at].kind == "join"
+        assert order.must_precede(done, join_at)
+
+
+class TestReorderability:
+    def test_sibling_events_are_unordered(self):
+        """Two children of the same root are concurrent: neither's
+        events must-precede the other's."""
+        records = [
+            _rec("init", task="t0"),
+            _rec("fork", parent="t0", child="t1"),
+            _rec("fork", parent="t0", child="t2"),
+            _rec("complete", task="t1", ok=True),
+            _rec("complete", task="t2", ok=True),
+        ]
+        order = build_order(records)
+        a = order.by_task["t1"][0]
+        b = order.by_task["t2"][0]
+        assert not order.must_precede(a, b)
+        assert not order.must_precede(b, a)
+
+    def test_rescued_join_adds_no_completion_edge(self):
+        """block..unblock with no join is a deadline rescue: the journal
+        order of the unblock is accident, not causality — the joinee's
+        completion stays unordered relative to the waiter's tail."""
+        records = [
+            _rec("init", task="t0"),
+            _rec("fork", parent="t0", child="t1"),
+            _rec("fork", parent="t0", child="t2"),
+            # t1 tries to join t2, gets rescued by the deadline
+            _rec("verdict", waiter="t1", joinee="t2", ok=True),
+            _rec("block", waiter="t1", joinee="t2", timeout=0.1),
+            _rec("unblock", waiter="t1", joinee="t2"),
+            _rec("complete", task="t1", ok=True),
+            _rec("complete", task="t2", ok=True),
+        ]
+        order = build_order(records)
+        t2_done = order.complete_of["t2"]
+        unblock_at = order.by_task["t1"][-2]
+        assert order.events[unblock_at].kind == "unblock"
+        assert not order.must_precede(t2_done, unblock_at)
+
+    def test_completion_event_falls_back_to_last_event(self):
+        """A journal without durable complete records (older writers)
+        still pins each task's termination at its last recorded event."""
+        records = [
+            _rec("init", task="t0"),
+            _rec("fork", parent="t0", child="t1"),
+            _rec("verdict", waiter="t0", joinee="t1", ok=True),
+            _rec("join", waiter="t0", joinee="t1"),
+        ]
+        order = build_order(records)
+        assert "t1" not in order.complete_of
+        # t1 has no events of its own beyond the fork edge, so its
+        # completion bound is None — and the join gains no edge.
+        assert order.completion_event("t1") is None

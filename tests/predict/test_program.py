@@ -1,0 +1,139 @@
+"""Tests for journal -> TraceProgram reconstruction and simulated runs."""
+
+import pytest
+
+from repro.predict import TraceProgram
+
+
+def _rec(kind, **fields):
+    return {"kind": kind, **fields}
+
+
+class TestFromRecords:
+    def test_forks_and_joins_in_program_order(self):
+        records = [
+            _rec("init", task="t0"),
+            _rec("fork", parent="t0", child="t1"),
+            _rec("fork", parent="t0", child="t2"),
+            _rec("verdict", waiter="t0", joinee="t1", ok=True),
+            _rec("join", waiter="t0", joinee="t1"),
+            _rec("verdict", waiter="t0", joinee="t2", ok=True),
+            _rec("join", waiter="t0", joinee="t2"),
+        ]
+        program = TraceProgram.from_records(records)
+        assert program.root == "t0"
+        assert program.actions["t0"] == (
+            ("fork", "t1"),
+            ("fork", "t2"),
+            ("join", "t1"),
+            ("join", "t2"),
+        )
+
+    def test_completed_blocking_join_is_one_attempt(self):
+        """verdict, block, unblock, join on one edge = a single join."""
+        records = [
+            _rec("init", task="t0"),
+            _rec("fork", parent="t0", child="t1"),
+            _rec("verdict", waiter="t0", joinee="t1", ok=True),
+            _rec("block", waiter="t0", joinee="t1"),
+            _rec("unblock", waiter="t0", joinee="t1"),
+            _rec("join", waiter="t0", joinee="t1"),
+        ]
+        program = TraceProgram.from_records(records)
+        assert program.actions["t0"] == (("fork", "t1"), ("join", "t1"))
+
+    def test_rescued_then_retried_join_is_two_attempts(self):
+        """A fresh verdict on an edge whose prior attempt never joined
+        means the deadline rescued it and the program tried again."""
+        records = [
+            _rec("init", task="t0"),
+            _rec("fork", parent="t0", child="t1"),
+            _rec("verdict", waiter="t0", joinee="t1", ok=True),
+            _rec("block", waiter="t0", joinee="t1", timeout=0.1),
+            _rec("unblock", waiter="t0", joinee="t1"),
+            _rec("verdict", waiter="t0", joinee="t1", ok=True),
+            _rec("join", waiter="t0", joinee="t1"),
+        ]
+        program = TraceProgram.from_records(records)
+        assert program.actions["t0"] == (
+            ("fork", "t1"),
+            ("join", "t1"),
+            ("join", "t1"),
+        )
+
+    def test_avoided_join_is_still_an_attempt(self):
+        records = [
+            _rec("init", task="t0"),
+            _rec("fork", parent="t0", child="t1"),
+            _rec("avoided", waiter="t0", joinee="t1"),
+        ]
+        program = TraceProgram.from_records(records)
+        assert ("join", "t1") in program.actions["t0"]
+
+    def test_no_init_refused(self):
+        with pytest.raises(ValueError, match="no init"):
+            TraceProgram.from_records([_rec("fork", parent="t0", child="t1")])
+
+    def test_dict_roundtrip(self):
+        program = TraceProgram(
+            root="t0",
+            actions={
+                "t0": (("fork", "t1"), ("join", "t1")),
+                "t1": (),
+            },
+        )
+        assert TraceProgram.from_dict(program.to_dict()) == program
+
+
+def _mutual_join_program():
+    """root forks t1, t2; t1 joins t2; t2 joins t1 — a realizable cycle."""
+    return TraceProgram(
+        root="t0",
+        actions={
+            "t0": (("fork", "t1"), ("fork", "t2"), ("join", "t1"), ("join", "t2")),
+            "t1": (("join", "t2"),),
+            "t2": (("join", "t1"),),
+        },
+    )
+
+
+class TestRunSim:
+    def test_fifo_run_of_a_safe_program_is_clean(self):
+        program = TraceProgram(
+            root="t0",
+            actions={"t0": (("fork", "t1"), ("join", "t1")), "t1": ()},
+        )
+        outcome = program.run_sim(None)
+        assert outcome.verdict == "clean"
+        assert outcome.deadlock is None
+
+    def test_some_schedule_realizes_the_mutual_join_cycle(self):
+        program = _mutual_join_program()
+        deadlocked = set()
+        for seed in range(20):
+            outcome = program.run_sim(None, seed=seed)
+            if outcome.verdict == "deadlock":
+                deadlocked.add(outcome.deadlock)
+        assert deadlocked  # some interleaving closes the cycle
+        for cycle in deadlocked:
+            assert set(cycle) >= {"t1", "t2"}
+
+    def test_policies_never_deadlock_on_the_same_program(self):
+        program = _mutual_join_program()
+        for policy in ("TJ-SP", "KJ-VC"):
+            for seed in range(10):
+                outcome = program.run_sim(policy, seed=seed)
+                assert outcome.verdict != "deadlock", (policy, seed)
+
+    def test_deadlocking_run_yields_a_replayable_schedule(self):
+        program = _mutual_join_program()
+        outcome = None
+        for seed in range(50):
+            candidate = program.run_sim(None, seed=seed)
+            if candidate.verdict == "deadlock":
+                outcome = candidate
+                break
+        assert outcome is not None
+        replay = program.run_sim(None, schedule=outcome.schedule)
+        assert replay.verdict == "deadlock"
+        assert replay.deadlock == outcome.deadlock

@@ -1,0 +1,243 @@
+"""Tests for the deterministic-simulation runtime: seeded scheduling,
+exact schedule replay, and the virtual clock."""
+
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlockAvoidedError,
+    DeadlockDetectedError,
+    JoinTimeoutError,
+    RuntimeStateError,
+)
+from repro.runtime import CooperativeRuntime
+from repro.runtime.explore import Schedule
+from repro.runtime.sim import SimRuntime, VirtualClock
+
+
+def racy_program(rt):
+    """Multiple tasks race to append; the result order is schedule-bound."""
+    out = []
+
+    def worker(name):
+        yield None
+        out.append(name)
+        return name
+
+    def main():
+        futures = [rt.fork(worker, n) for n in ("a", "b", "c")]
+        for future in futures:
+            yield future
+        return tuple(out)
+
+    return main
+
+
+def run_racy(rt):
+    return rt.run(racy_program(rt))
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        outcomes = []
+        for _ in range(3):
+            rt = SimRuntime(None, seed=42)
+            result = run_racy(rt)
+            outcomes.append((result, rt.recorded_schedule, rt.steps))
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+    def test_seeds_reach_different_interleavings(self):
+        results = set()
+        for seed in range(12):
+            rt = SimRuntime(None, seed=seed)
+            results.add(run_racy(rt))
+        assert len(results) > 1  # the program genuinely races
+
+    def test_unseeded_fifo_matches_plain_cooperative(self):
+        """seed=None is the cooperative runtime plus recording."""
+        coop = CooperativeRuntime(None)
+        sim = SimRuntime(None, seed=None)
+        assert coop.run(racy_program(coop)) == sim.run(racy_program(sim))
+        assert all(c == 0 for c in sim.recorded_schedule.choices)
+
+
+class TestReplay:
+    def test_replay_retraces_decision_for_decision(self):
+        rt = SimRuntime(None, seed=7)
+        result = run_racy(rt)
+        witness = rt.recorded_schedule
+        assert witness.seed == 7
+
+        replay = SimRuntime(None, schedule=witness)
+        assert run_racy(replay) == result
+        replayed = replay.recorded_schedule
+        assert replayed.choices == witness.choices
+        assert replayed.widths == witness.widths
+
+    def test_strict_replay_rejects_width_divergence(self):
+        rt = SimRuntime(None, seed=7)
+        run_racy(rt)
+        witness = rt.recorded_schedule
+
+        def narrower(rt2):
+            def main():
+                f = rt2.fork(lambda: 1)
+                yield None
+                return (yield f)
+
+            return main
+
+        replay = SimRuntime(None, schedule=witness, strict=True)
+        with pytest.raises(RuntimeStateError, match="diverged"):
+            replay.run(narrower(replay))
+
+    def test_schedule_file_roundtrip(self, tmp_path):
+        rt = SimRuntime(None, seed=3)
+        result = run_racy(rt)
+        path = str(tmp_path / "schedule.json")
+        rt.recorded_schedule.save(path)
+
+        loaded = Schedule.load(path)
+        replay = SimRuntime(None, schedule=loaded)
+        assert run_racy(replay) == result
+
+
+class TestVirtualClock:
+    def test_sleep_is_instant_and_deadline_ordered(self):
+        rt = SimRuntime(None, seed=None)
+        order = []
+
+        def sleeper(name, dt):
+            yield rt.sleep(dt)
+            order.append(name)
+            return name
+
+        def main():
+            slow = rt.fork(sleeper, "slow", 5.0)
+            fast = rt.fork(sleeper, "fast", 1.0)
+            yield slow
+            yield fast
+            return tuple(order)
+
+        t0 = time.perf_counter()
+        assert rt.run(main) == ("fast", "slow")
+        assert time.perf_counter() - t0 < 1.0  # no wall sleeping
+        assert rt.now >= 5.0
+
+    def test_untimed_event_wait_refused(self):
+        class _Event:
+            def is_set(self):
+                return False
+
+        with pytest.raises(RuntimeStateError, match="untimed"):
+            VirtualClock().wait(_Event())
+
+    def test_join_timeout_fires_at_the_virtual_deadline(self):
+        rt = SimRuntime(None, seed=None, default_join_timeout=2.0)
+
+        def stuck():
+            yield rt.sleep(100.0)
+            return "late"
+
+        def main():
+            future = rt.fork(stuck)
+            try:
+                yield future
+            except JoinTimeoutError:
+                return ("timeout", rt.now)
+            return "joined"
+
+        assert rt.run(main) == ("timeout", 2.0)
+        assert rt.timeouts_fired == 1
+
+    def test_timeout_then_deadlock_without_rescue(self):
+        """The same mutual join deadlocks without a timeout and is
+        rescued with one — the predictor's core asymmetry."""
+
+        def mutual(rt):
+            futures = {}
+
+            def a():
+                while "b" not in futures:
+                    yield None
+                try:
+                    yield futures["b"]
+                except JoinTimeoutError:
+                    pass
+
+            def b():
+                while "a" not in futures:
+                    yield None
+                try:
+                    yield futures["a"]
+                except JoinTimeoutError:
+                    pass
+
+            def main():
+                futures["a"] = rt.fork(a)
+                futures["b"] = rt.fork(b)
+                for name in ("a", "b"):
+                    while True:
+                        try:
+                            yield futures[name]
+                        except JoinTimeoutError:
+                            continue  # the deadline applies to every join
+                        break
+                return "done"
+
+            return main
+
+        bare = SimRuntime(None, seed=None)
+        with pytest.raises(DeadlockDetectedError) as excinfo:
+            bare.run(mutual(bare))
+        assert len(excinfo.value.cycle) >= 2
+
+        rescued = SimRuntime(None, seed=None, default_join_timeout=1.0)
+        assert rescued.run(mutual(rescued)) == "done"
+        assert rescued.timeouts_fired >= 1
+
+    def test_policy_avoids_what_the_bare_simulator_realizes(self):
+        def mutual(rt):
+            futures = {}
+
+            def a():
+                while "b" not in futures:
+                    yield None
+                try:
+                    yield futures["b"]
+                except DeadlockAvoidedError:
+                    pass
+
+            def b():
+                while "a" not in futures:
+                    yield None
+                try:
+                    yield futures["a"]
+                except DeadlockAvoidedError:
+                    pass
+
+            def main():
+                futures["a"] = rt.fork(a)
+                futures["b"] = rt.fork(b)
+                yield futures["a"]
+                yield futures["b"]
+                return "done"
+
+            return main
+
+        for policy in ("TJ-SP", "KJ-VC"):
+            rt = SimRuntime(policy, fallback=True, seed=11)
+            assert rt.run(mutual(rt)) == "done"
+
+
+class TestMaxSteps:
+    def test_step_budget_is_enforced(self):
+        rt = SimRuntime(None, seed=None, max_steps=10)
+
+        def spin():
+            while True:
+                yield None
+
+        with pytest.raises(RuntimeStateError, match="exceeded"):
+            rt.run(spin)

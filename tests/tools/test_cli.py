@@ -238,3 +238,80 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert rc == 0
         assert "with verifier faults" in out
+
+
+class TestPredictAndSimulateCommands:
+    @pytest.fixture
+    def flagged_journal(self, tmp_path):
+        from repro.testing.chaos import run_predict_program
+
+        path = str(tmp_path / "predict.jsonl")
+        run_predict_program(0, path)  # seed 0 plants a cycle
+        return path
+
+    def test_predict_flags_and_writes_a_witness(
+        self, flagged_journal, tmp_path, capsys
+    ):
+        witness = str(tmp_path / "witness.json")
+        rc = main(
+            [
+                "predict",
+                flagged_journal,
+                "--witness-out",
+                witness,
+                "--expect",
+                "flagged",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "predicted deadlock" in out
+        assert "witness written" in out
+
+    def test_simulate_replays_the_witness_under_each_policy(
+        self, flagged_journal, tmp_path, capsys
+    ):
+        witness = str(tmp_path / "witness.json")
+        assert main(["predict", flagged_journal, "--witness-out", witness]) == 0
+        capsys.readouterr()
+
+        rc = main(
+            ["simulate", "--schedule", witness, "--policy", "none",
+             "--expect", "deadlock"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict=deadlock" in out
+
+        for policy in ("TJ-SP", "KJ-VC"):
+            rc = main(
+                ["simulate", "--schedule", witness, "--policy", policy,
+                 "--expect", "avoided"]
+            )
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "verdict=avoided" in out
+
+    def test_simulate_seeded_from_a_journal(self, flagged_journal, capsys):
+        rc = main(
+            ["simulate", "--journal", flagged_journal, "--seed", "0",
+             "--policy", "TJ-SP"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict=" in out
+
+    def test_expect_mismatch_exits_nonzero(self, flagged_journal, capsys):
+        rc = main(["predict", flagged_journal, "--expect", "clean"])
+        capsys.readouterr()
+        assert rc == 1
+
+    def test_chaos_predict_slice_prints_flagged_journals(self, tmp_path, capsys):
+        rc = main(
+            ["chaos", "--predict", "--smoke", "--seed", "0",
+             "--journal-dir", str(tmp_path), "--program-id", "0"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "flagged journal=" in out
+        assert "predict" in out.rsplit("chaos:", 1)[-1]

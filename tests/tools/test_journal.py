@@ -241,3 +241,75 @@ class TestRuntimeIntegration:
         replay = replay_journal(path)
         assert len(replay.recheck_mismatches) == 1
         assert "MISMATCH" in replay.report()
+
+
+# ----------------------------------------------------------------------
+# blocked-at-death honesty
+# ----------------------------------------------------------------------
+class TestBlockedAtDeath:
+    """``died_blocked`` must track the *records*, never be inferred away."""
+
+    def _write(self, path, records):
+        with open(path, "w") as fh:
+            for seq, rec in enumerate(records):
+                fh.write(json.dumps({**rec, "seq": seq}) + "\n")
+
+    def test_final_block_is_died_blocked_even_after_joinee_completed(self, path):
+        """Regression: the joinee's earlier ``complete`` record must NOT
+        clear a final un-unblocked ``block`` — the waiter provably never
+        woke (a lost-wakeup class of bug), and hiding the edge because
+        "the joinee finished anyway" would mask exactly that."""
+        self._write(
+            path,
+            [
+                {"kind": "start", "policy": "TJ-SP", "runtime": "TaskRuntime",
+                 "fail_mode": "raise"},
+                {"kind": "init", "task": "t0"},
+                {"kind": "fork", "parent": "t0", "child": "t1"},
+                {"kind": "complete", "task": "t1", "ok": True},
+                {"kind": "verdict", "waiter": "t0", "joinee": "t1", "ok": True},
+                {"kind": "block", "waiter": "t0", "joinee": "t1"},
+            ],
+        )
+        replay = replay_journal(path)
+        assert replay.died_blocked
+        assert replay.blocked_at_death == [("t0", "t1")]
+        assert replay.completed == ["t1"]
+        assert "blocked at death" in replay.report()
+
+    def test_unblock_clears_the_edge(self, path):
+        self._write(
+            path,
+            [
+                {"kind": "start", "policy": "TJ-SP", "runtime": "TaskRuntime",
+                 "fail_mode": "raise"},
+                {"kind": "init", "task": "t0"},
+                {"kind": "fork", "parent": "t0", "child": "t1"},
+                {"kind": "verdict", "waiter": "t0", "joinee": "t1", "ok": True},
+                {"kind": "block", "waiter": "t0", "joinee": "t1"},
+                {"kind": "unblock", "waiter": "t0", "joinee": "t1"},
+                {"kind": "join", "waiter": "t0", "joinee": "t1"},
+            ],
+        )
+        replay = replay_journal(path)
+        assert not replay.died_blocked
+        assert replay.blocked_at_death == []
+
+    def test_reblocked_edge_counts_again(self, path):
+        """block, unblock, block: the last state wins — still blocked."""
+        self._write(
+            path,
+            [
+                {"kind": "start", "policy": "TJ-SP", "runtime": "TaskRuntime",
+                 "fail_mode": "raise"},
+                {"kind": "init", "task": "t0"},
+                {"kind": "fork", "parent": "t0", "child": "t1"},
+                {"kind": "verdict", "waiter": "t0", "joinee": "t1", "ok": True},
+                {"kind": "block", "waiter": "t0", "joinee": "t1"},
+                {"kind": "unblock", "waiter": "t0", "joinee": "t1"},
+                {"kind": "block", "waiter": "t0", "joinee": "t1"},
+            ],
+        )
+        replay = replay_journal(path)
+        assert replay.died_blocked
+        assert replay.blocked_at_death == [("t0", "t1")]
