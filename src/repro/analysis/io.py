@@ -34,11 +34,13 @@ _SCHEMA_VERSION = 1
 _HOTPATH_SCHEMA_VERSION = 2
 _HOTPATH_SCHEMAS = (1, 2)
 #: v2 added the journal-overhead microshape block; v3 the telemetry
-#: ("obs") block; v4 the remote-verification soak ("service") block.
-#: All are optional on load — older files still load with the missing
-#: instruments defaulting to unmeasured.
-_RUNTIME_SCHEMA_VERSION = 6
-_RUNTIME_SCHEMAS = (1, 2, 3, 4, 5, 6)
+#: ("obs") block; v4 the remote-verification soak ("service") block;
+#: v5 the multi-process soak ("procs"); v6 the prediction instrument;
+#: v7 the distributed-telemetry ("obs_dist") block.  All are optional
+#: on load — older files still load with the missing instruments
+#: defaulting to unmeasured.
+_RUNTIME_SCHEMA_VERSION = 7
+_RUNTIME_SCHEMAS = (1, 2, 3, 4, 5, 6, 7)
 
 
 def _measurement_dict(m: PolicyMeasurement) -> dict:
@@ -266,6 +268,24 @@ def runtime_to_json(result) -> str:
                 "divergences": m.divergences,
             },
         }
+    if result.obs_dist is not None:
+        m = result.obs_dist
+        payload["obs_dist"] = {
+            "params": dict(result.obs_dist_params),
+            "measurement": {
+                "workers": m.workers,
+                "dispatches": m.dispatches,
+                "mids": m.mids,
+                "leaves": m.leaves,
+                "spin": m.spin,
+                "tasks": m.tasks,
+                "off_times": m.off_times,
+                "on_times": m.on_times,
+                "trace_events": m.trace_events,
+                "trace_pids": m.trace_pids,
+                "metric_sources": m.metric_sources,
+            },
+        }
     if result.predict is not None:
         m = result.predict
         payload["predict"] = {
@@ -291,6 +311,7 @@ def runtime_from_json(text: str):
     from .runtime_overhead import (
         JoinChainMeasurement,
         JournalOverheadMeasurement,
+        ObsDistMeasurement,
         ObsOverheadMeasurement,
         PredictMeasurement,
         ProcsSoakMeasurement,
@@ -360,6 +381,10 @@ def runtime_from_json(text: str):
     if "predict" in payload:
         m = payload["predict"]["measurement"]
         predict = PredictMeasurement(**m)
+    obs_dist = None
+    if "obs_dist" in payload:
+        m = payload["obs_dist"]["measurement"]
+        obs_dist = ObsDistMeasurement(**m)
     return RuntimeOverheadResult(
         join_chain=chain,
         reports=reports,
@@ -375,6 +400,8 @@ def runtime_from_json(text: str):
         procs_params=payload.get("procs", {}).get("params", {}),
         predict=predict,
         predict_params=payload.get("predict", {}).get("params", {}),
+        obs_dist=obs_dist,
+        obs_dist_params=payload.get("obs_dist", {}).get("params", {}),
     )
 
 

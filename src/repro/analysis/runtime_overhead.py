@@ -240,6 +240,29 @@ SMOKE_PREDICT_PARAMS: dict[str, int] = {
     "sim_repetitions": 3,
 }
 
+#: distributed-telemetry instrument: the procs soak shape (dispatches x
+#: mids x leaves across *workers* + sidecar) run with telemetry off and
+#: with the full distributed stack on — trace propagation over the fork
+#: wire, worker metrics pushes, the sidecar span ring shipped home and
+#: merged.  Smaller than the throughput soak: the ratio is the product,
+#: not the volume.
+OBS_DIST_PARAMS: dict[str, int] = {
+    "workers": 4,
+    "dispatches": 200,
+    "mids": 8,
+    "leaves": 25,
+    "spin": 120,
+}
+
+#: tiny pool for CI smoke runs (``benchmarks/bench_obs_dist.py --smoke``).
+SMOKE_OBS_DIST_PARAMS: dict[str, int] = {
+    "workers": 2,
+    "dispatches": 16,
+    "mids": 3,
+    "leaves": 6,
+    "spin": 40,
+}
+
 
 # ----------------------------------------------------------------------
 # wait-protocol selection
@@ -909,6 +932,146 @@ def run_procs_soak(
 
 
 # ----------------------------------------------------------------------
+# distributed-telemetry overhead on the procs soak shape
+# ----------------------------------------------------------------------
+@dataclass
+class ObsDistMeasurement:
+    """Distributed telemetry's price on the multi-process soak shape.
+
+    Two interleaved arms of the identical ProcessRuntime + sidecar run:
+    ``off`` (no session active — every cross-process carrier slot stays
+    ``None`` and stats pushes are skipped) and ``on`` (full stack: trace
+    context rides each dispatch frame, workers push registry snapshots
+    home, the sidecar ships its span ring on the final stats pull and
+    the parent merges everything).  *overhead* is the on/off median-time
+    factor; the ≤1.25× gate lives in ``benchmarks/bench_obs_dist.py``.
+    The payload columns prove the on arm actually produced the
+    distributed artifacts it is paying for.
+    """
+
+    workers: int
+    dispatches: int
+    mids: int
+    leaves: int
+    spin: int
+    #: verified tasks per arm run (same shape, so same count per arm)
+    tasks: int
+    off_times: list[float]
+    on_times: list[float]
+    #: merged Perfetto events the on arm captured (parent + workers + sidecar)
+    trace_events: int
+    #: distinct process tracks in that merged trace
+    trace_pids: int
+    #: distinct ``process=``/``worker=`` label values in the fleet snapshot
+    metric_sources: int
+
+    @property
+    def off_median(self) -> float:
+        times = sorted(self.off_times)
+        return times[len(times) // 2] if times else math.nan
+
+    @property
+    def on_median(self) -> float:
+        times = sorted(self.on_times)
+        return times[len(times) // 2] if times else math.nan
+
+    @property
+    def overhead(self) -> float:
+        """Full-distributed-telemetry over disabled, median wall time."""
+        off = self.off_median
+        return self.on_median / off if off else math.nan
+
+
+def _obs_dist_arm(
+    p: dict[str, int], *, enabled: bool, sidecar: Optional[str]
+) -> tuple[float, int, Optional[dict]]:
+    """One soak-shape run; returns (elapsed, tasks, on-arm payload stats)."""
+    import contextlib
+    import re
+
+    from .. import obs as obs_mod
+    from ..runtime.procs import ProcessRuntime
+
+    ctx = obs_mod.enabled() if enabled else contextlib.nullcontext(None)
+    with ctx as session:
+        rt = ProcessRuntime(workers=p["workers"], sidecar=sidecar)
+
+        def root():
+            futs = [
+                rt.fork(
+                    _procs_soak_subtree, 10_000 * t, p["mids"], p["leaves"], p["spin"]
+                )
+                for t in range(p["dispatches"])
+            ]
+            return rt.join_batch(futs)
+
+        # rt.run covers shutdown too, so the on arm pays its final
+        # sidecar stats pull and remote-ring absorb inside the clock.
+        t0 = time.perf_counter()
+        rt.run(root)
+        elapsed = time.perf_counter() - t0
+        tasks = rt.tasks_completed + sum(
+            s.get("tasks_started", 0) for s in rt._worker_stats.values()
+        )
+        payload = None
+        if session is not None:
+            doc = session.to_chrome_trace() or {"traceEvents": []}
+            events = doc.get("traceEvents", [])
+            fleet = rt.fleet_metrics()
+            sources: set[tuple[str, str]] = set()
+            for group in ("counters", "gauges", "histograms"):
+                for name in fleet.get(group, {}):
+                    sources.update(re.findall(r'(process|worker)="([^"]*)"', name))
+            payload = {
+                "trace_events": len(events),
+                "trace_pids": len({e.get("pid") for e in events if "pid" in e}),
+                "metric_sources": len(sources),
+            }
+        return elapsed, tasks, payload
+
+
+def run_obs_dist_suite(
+    *,
+    params: Optional[dict[str, int]] = None,
+    repetitions: int = 3,
+    sidecar: Optional[str] = "auto",
+) -> ObsDistMeasurement:
+    """Measure the full distributed-telemetry stack against disabled.
+
+    Arms interleave per repetition (drift cancellation, as everywhere
+    else in this module); the last on-arm run's payload stats are
+    recorded so the gate can also assert the telemetry actually crossed
+    the process boundary — a merged trace with more than one track and a
+    fleet snapshot with more than one labelled source.
+    """
+    p = {k: int(v) for k, v in dict(params or OBS_DIST_PARAMS).items()}
+    off_times: list[float] = []
+    on_times: list[float] = []
+    tasks = 0
+    payload: dict = {"trace_events": 0, "trace_pids": 0, "metric_sources": 0}
+    for _ in range(max(1, repetitions)):
+        elapsed, tasks, _unused = _obs_dist_arm(p, enabled=False, sidecar=sidecar)
+        off_times.append(elapsed)
+        elapsed, tasks, on_payload = _obs_dist_arm(p, enabled=True, sidecar=sidecar)
+        on_times.append(elapsed)
+        if on_payload is not None:
+            payload = on_payload
+    return ObsDistMeasurement(
+        workers=p["workers"],
+        dispatches=p["dispatches"],
+        mids=p["mids"],
+        leaves=p["leaves"],
+        spin=p.get("spin", 0),
+        tasks=tasks,
+        off_times=off_times,
+        on_times=on_times,
+        trace_events=payload["trace_events"],
+        trace_pids=payload["trace_pids"],
+        metric_sources=payload["metric_sources"],
+    )
+
+
+# ----------------------------------------------------------------------
 # prediction throughput + simulator overhead
 # ----------------------------------------------------------------------
 @dataclass
@@ -1115,6 +1278,9 @@ class RuntimeOverheadResult:
     #: prediction throughput + simulator overhead; None in files v1-v5
     predict: Optional[PredictMeasurement] = None
     predict_params: dict[str, int] = field(default_factory=dict)
+    #: distributed-telemetry arms on the procs shape; None in files v1-v6
+    obs_dist: Optional[ObsDistMeasurement] = None
+    obs_dist_params: dict[str, int] = field(default_factory=dict)
 
     @property
     def join_speedup(self) -> float:
@@ -1175,6 +1341,13 @@ class RuntimeOverheadResult:
         if self.predict is None:
             return math.nan
         return self.predict.sim_overhead
+
+    @property
+    def obs_dist_overhead(self) -> float:
+        """Distributed telemetry on/off median factor — the ≤1.25× gate."""
+        if self.obs_dist is None:
+            return math.nan
+        return self.obs_dist.overhead
 
     def overhead(self, policy: str) -> float:
         return geomean_overhead(self.reports, policy)
@@ -1314,6 +1487,18 @@ def render_runtime_table(result: RuntimeOverheadResult) -> str:
             f"{m.baseline_tasks_per_second:,.0f} tasks/s "
             f"(speedup {m.speedup:.2f}x), escalation "
             f"{m.escalation_ratio:.3f}, divergences {m.divergences}"
+        )
+        lines.append("")
+    if result.obs_dist is not None:
+        m = result.obs_dist
+        lines.append(
+            f"distributed-telemetry overhead (procs shape, workers={m.workers}, "
+            f"{m.dispatches}x{m.mids}x{m.leaves})"
+        )
+        lines.append(
+            f"off median {m.off_median:.2f}s vs full {m.on_median:.2f}s "
+            f"(factor {m.overhead:.3f}x); merged trace {m.trace_events} events "
+            f"across {m.trace_pids} tracks, {m.metric_sources} metric sources"
         )
         lines.append("")
     if result.predict is not None:

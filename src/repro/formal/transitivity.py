@@ -71,8 +71,12 @@ def _compose_at(
     assert isinstance(action, Fork)
     p, q = action.parent, action.child
 
-    left = _outer_rule(d_ab)
-    right = _outer_rule(d_bc)
+    # Strip leading mono wrappers: they are pure weakening, and one may
+    # record a prefix *longer* than this scope (the input was valid over
+    # the whole trace) — the underlying rule is what composes here, and
+    # build_to re-weakens it to whatever scope each case needs.
+    left = d_ab = _outer_rule(d_ab)
+    right = d_bc = _outer_rule(d_bc)
 
     def recurse(d1: Derivation, d2: Derivation) -> Derivation:
         """Compose two strictly-earlier derivations; result is scoped to

@@ -35,7 +35,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
-from .tracing import SpanCtx, Tracer, current_span
+from .tracing import SpanCtx, Tracer, current_span, current_trace_context
 
 __all__ = [
     "Telemetry",
@@ -52,6 +52,7 @@ __all__ = [
     "Tracer",
     "SpanCtx",
     "current_span",
+    "current_trace_context",
     "NS_BUCKETS",
     "WAIT_NS_BUCKETS",
 ]
@@ -73,9 +74,12 @@ class Telemetry:
         tracing: bool = True,
         trace_capacity: int = 65536,
         registry: Optional[MetricsRegistry] = None,
+        trace_id: Optional[str] = None,
     ):
         self.registry = MetricsRegistry() if registry is None else registry
-        self.tracer: Optional[Tracer] = Tracer(trace_capacity) if tracing else None
+        self.tracer: Optional[Tracer] = (
+            Tracer(trace_capacity, trace_id=trace_id) if tracing else None
+        )
         self.started_at = time.time()
         self._runtimes: list = []  # weakrefs to attached runtimes
         self._runtimes_lock = threading.Lock()

@@ -37,6 +37,9 @@ __all__ = [
     "Histogram",
     "CounterGroup",
     "MetricsRegistry",
+    "label_snapshot",
+    "merge_snapshots",
+    "snapshot_to_prometheus",
 ]
 
 #: default latency buckets (nanoseconds) for sub-millisecond hot paths:
@@ -489,3 +492,141 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {name} gauge")
                 lines.append(f"{name} {value}")
         return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# fleet aggregation over snapshots
+# ----------------------------------------------------------------------
+# The multi-process runtime ships whole registry *snapshots* home (a
+# worker's live instruments cannot cross a process boundary), so the
+# fleet view works on rendered snapshots: re-label each worker's series
+# (``label_snapshot``), then fold the fleet into one merged snapshot
+# (``merge_snapshots``) the existing renderers accept.  The fold is
+# exact — plain sums of counters and element-wise histogram counts —
+# and a dead worker's *last* snapshot keeps contributing, mirroring the
+# dead-thread retired-cell rule above at process granularity.
+def _parse_series(name: str) -> tuple[str, tuple]:
+    """Split a rendered ``name{k="v",...}`` back into (name, labels)."""
+    if not name.endswith("}") or "{" not in name:
+        return name, ()
+    base, _, inner = name.partition("{")
+    labels = []
+    for part in inner[:-1].split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels.append((k, v.strip('"')))
+    return base, tuple(labels)
+
+
+def _relabel(name: str, extra: Mapping[str, str]) -> str:
+    base, labels = _parse_series(name)
+    merged = dict(labels)
+    merged.update(extra)
+    return base + _render_labels(_labels_key(merged))
+
+
+def label_snapshot(snap: Mapping, **labels: str) -> dict:
+    """A copy of *snap* with *labels* injected into every series name.
+
+    Source prefixes get the labels too (``verifier{worker="3"}``), so a
+    merged fleet snapshot keeps per-worker sources distinguishable.
+    """
+    strs = {k: str(v) for k, v in labels.items()}
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}, "sources": {}}
+    for name, value in snap.get("counters", {}).items():
+        out["counters"][_relabel(name, strs)] = value
+    for name, value in snap.get("gauges", {}).items():
+        out["gauges"][_relabel(name, strs)] = value
+    for name, hist in snap.get("histograms", {}).items():
+        out["histograms"][_relabel(name, strs)] = {
+            "buckets": list(hist["buckets"]),
+            "counts": list(hist["counts"]),
+            "sum": hist["sum"],
+            "count": hist["count"],
+        }
+    for prefix, fields in snap.get("sources", {}).items():
+        out["sources"][_relabel(prefix, strs)] = dict(fields)
+    return out
+
+
+def merge_snapshots(snaps: Iterable[Mapping]) -> dict:
+    """Fold registry snapshots into one: exact sums, no sampling.
+
+    Counters and gauges sum; histograms with identical bucket bounds
+    merge element-wise (sum and count included); same-prefix sources
+    sum field-wise — the cross-process analogue of the registry's
+    same-prefix source summing.
+    """
+    out: dict = {"counters": {}, "gauges": {}, "histograms": {}, "sources": {}}
+    for snap in snaps:
+        for name, value in snap.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            out["gauges"][name] = out["gauges"].get(name, 0) + value
+        for name, hist in snap.get("histograms", {}).items():
+            acc = out["histograms"].get(name)
+            if acc is None or list(acc["buckets"]) != list(hist["buckets"]):
+                out["histograms"][name] = {
+                    "buckets": list(hist["buckets"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+                continue
+            acc["counts"] = [a + b for a, b in zip(acc["counts"], hist["counts"])]
+            acc["sum"] += hist["sum"]
+            acc["count"] += hist["count"]
+        for prefix, fields in snap.get("sources", {}).items():
+            bucket = out["sources"].setdefault(prefix, {})
+            for field, value in fields.items():
+                bucket[field] = bucket.get(field, 0) + value
+    return out
+
+
+def snapshot_to_prometheus(snap: Mapping) -> str:
+    """Render a *snapshot* (not a live registry) as Prometheus text.
+
+    Mirrors :meth:`MetricsRegistry.to_prometheus` series-for-series so a
+    merged fleet snapshot exports through the same pipeline; the type
+    line is emitted once per metric family even when the snapshot holds
+    several labelled series of it.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        base, _ = _parse_series(name)
+        if base not in typed:
+            typed.add(base)
+            lines.append(f"# TYPE {base} {kind}")
+
+    for name, value in sorted(snap.get("counters", {}).items()):
+        _type_line(name, "counter")
+        lines.append(f"{name} {value}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        _type_line(name, "gauge")
+        lines.append(f"{name} {value}")
+    for name, hist in sorted(snap.get("histograms", {}).items()):
+        base, labels = _parse_series(name)
+        _type_line(name, "histogram")
+        base_labels = dict(labels)
+        cum = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cum += count
+            le = _render_labels(_labels_key({**base_labels, "le": str(bound)}))
+            lines.append(f"{base}_bucket{le} {cum}")
+        cum += hist["counts"][-1]
+        inf = _render_labels(_labels_key({**base_labels, "le": "+Inf"}))
+        lines.append(f"{base}_bucket{inf} {cum}")
+        suffix = _render_labels(tuple(labels))
+        lines.append(f"{base}_sum{suffix} {hist['sum']}")
+        lines.append(f"{base}_count{suffix} {hist['count']}")
+    for prefix, fields in sorted(snap.get("sources", {}).items()):
+        base, labels = _parse_series(prefix)
+        suffix = _render_labels(tuple(labels))
+        for field, value in sorted(fields.items()):
+            name = f"{base}_{field}"
+            _type_line(name, "gauge")
+            lines.append(f"{name}{suffix} {value}")
+    return "\n".join(lines) + "\n"

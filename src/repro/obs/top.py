@@ -11,6 +11,12 @@ looks stuck or slow:
 * the unified counter surface — verifier/armus/runtime/phaser/journal
   sources plus the event counters (quarantines, retries, wakeups).
 
+With the PR 10 distributed plane it also renders *fleet* state: the
+cross-process blocked-join table (plain dicts shipped by worker stats
+pushes), the merged labelled registry, and the live screen
+``repro top --live`` draws from an introspection ``stats`` snapshot.
+``repro predict`` results render as a predicted-cycle table.
+
 Pure rendering: every function takes data and returns a string, so the
 CLI can re-render on a cadence (live mode) or once (post-mortem mode)
 and tests can assert on the output without a terminal.
@@ -21,7 +27,15 @@ from __future__ import annotations
 import time
 from typing import Optional
 
-__all__ = ["render_top", "render_snapshot", "render_blocked_joins", "format_ns"]
+__all__ = [
+    "render_top",
+    "render_snapshot",
+    "render_blocked_joins",
+    "render_fleet_blocked",
+    "render_predictions",
+    "render_live_stats",
+    "format_ns",
+]
 
 _BAR_WIDTH = 40
 
@@ -100,6 +114,108 @@ def render_blocked_joins(blocked: list, now: Optional[float] = None) -> str:
             f"{age:>8.2f}s {record.wakeups:>8}"
         )
     return "\n".join(lines)
+
+
+def render_fleet_blocked(blocked: list) -> str:
+    """The cross-process blocked-join table.
+
+    *blocked* is the plain-dict form
+    :meth:`~repro.runtime.procs.ProcessRuntime.fleet_blocked_joins`
+    ships (``process``/``joiner``/``joinee``/``age``/``wakeups``) —
+    worker rows are as-of that worker's latest telemetry push.
+    """
+    if not blocked:
+        return "blocked joins: none"
+    lines = ["blocked joins"]
+    lines.append(
+        f"  {'process':<12} {'joiner':<20} {'joinee':<20} {'age':>9} {'wakeups':>8}"
+    )
+    for rec in sorted(blocked, key=lambda r: -float(r.get("age", 0.0))):
+        lines.append(
+            f"  {str(rec.get('process', '?')):<12} "
+            f"{str(rec.get('joiner', '?')):<20} "
+            f"{str(rec.get('joinee', '?')):<20} "
+            f"{float(rec.get('age', 0.0)):>8.2f}s {int(rec.get('wakeups', 0)):>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_predictions(report) -> str:
+    """The ``repro predict`` results as a predicted-cycle table.
+
+    *report* is a :class:`~repro.predict.PredictionReport` (or anything
+    shaped like one: ``predictions`` with ``cycle``/``verdicts``).
+    """
+    skipped = getattr(report, "skipped", None)
+    if skipped is not None:
+        return f"predicted deadlocks: skipped ({skipped})"
+    predictions = list(getattr(report, "predictions", report) or ())
+    if not predictions:
+        return "predicted deadlocks: none"
+    lines = [f"predicted deadlocks ({len(predictions)})"]
+    lines.append(f"  {'cycle':<44} {'policies':<30}")
+    for pred in predictions:
+        cycle = tuple(getattr(pred, "cycle", pred))
+        arrow = " -> ".join((*cycle, cycle[0]))
+        verdicts = getattr(pred, "verdicts", {}) or {}
+        body = "  ".join(f"{p}={verdicts[p]}" for p in sorted(verdicts)) or "-"
+        lines.append(f"  {arrow:<44} {body:<30}")
+    return "\n".join(lines)
+
+
+def render_live_stats(stats: dict) -> str:
+    """One ``repro top --live`` screen from an introspection snapshot.
+
+    *stats* is a wire ``stats_reply`` payload — either a
+    :class:`~repro.runtime.procs.ProcessRuntime` introspection snapshot
+    (``kind: "procs"``) or a ``repro serve`` server snapshot; the two
+    shapes share the merged-registry and blocked-table sections where
+    they have them.
+    """
+    parts: list[str] = []
+    if stats.get("kind") == "procs":
+        workers = stats.get("workers", [])
+        alive = sum(1 for w in workers if w.get("alive"))
+        header = (
+            f"repro top — run {stats.get('run_id', '?')} — "
+            f"workers {alive}/{len(workers)} alive"
+        )
+        if stats.get("sidecar"):
+            header += f" — sidecar {stats['sidecar']}"
+        parts.append(header)
+        joins = stats.get("join_stats") or {}
+        if joins:
+            parts.append(
+                "joins: "
+                f"local={joins.get('local_joins', 0)} "
+                f"cross={joins.get('cross_joins', 0)} "
+                f"degraded={joins.get('degraded_joins', 0)} "
+                f"escalation={joins.get('escalation_ratio', 0.0):.3f}"
+            )
+        parts.append(render_fleet_blocked(stats.get("blocked") or []))
+        merged = stats.get("metrics")
+        if merged:
+            parts.append(render_snapshot(merged))
+    else:
+        header = (
+            f"repro top — sidecar — sessions {stats.get('sessions', '?')} "
+            f"accepted {stats.get('accepted', '?')}"
+        )
+        parts.append(header)
+        merged = stats.get("metrics")
+        if merged:
+            parts.append(render_snapshot(merged))
+        per_session = stats.get("per_session") or {}
+        if per_session:
+            lines = ["sessions"]
+            for sid in sorted(per_session):
+                fields = per_session[sid]
+                body = "  ".join(
+                    f"{k}={fields[k]}" for k in sorted(fields) if not isinstance(fields[k], (dict, list))
+                )
+                lines.append(f"  {sid:<24} {body}")
+            parts.append("\n".join(lines))
+    return "\n\n".join(parts)
 
 
 def render_top(telemetry) -> str:

@@ -9,12 +9,28 @@ ambient span is carried via :mod:`contextvars`, so nested spans record
 their parent id and the exporter can reconstruct causality even across
 ``contextvars.copy_context`` boundaries.
 
+Every span also carries a **trace id**: the root of a span tree mints
+one (or inherits the tracer's), and nested spans propagate it.  The
+``(trace_id, span_id)`` pair is a process-portable *trace context* —
+:func:`current_trace_context` captures it at a dispatch site, the
+carrier ships it over a queue or wire frame, and the receiving process
+opens its span with ``begin_span(name, parent=ctx)`` so the remote span
+parents under the dispatching one.  Adoption emits a flow-finish
+(``"f"``) event paired with the dispatcher's flow-start (``"s"``), so
+Perfetto draws arrows across process tracks.
+
 Events store raw ``perf_counter_ns`` timestamps plus the OS thread id;
 :meth:`Tracer.to_chrome_trace` converts them to the Chrome trace event
-format (``"X"`` complete events, ``"i"`` instants, ``"M"`` thread-name
-metadata) that ``ui.perfetto.dev`` and ``chrome://tracing`` both open
-directly.  Perfetto nests same-thread ``X`` events by duration
-containment, which the block/run span timestamps guarantee.
+format (``"X"`` complete events, ``"i"`` instants, ``"s"``/``"f"``
+flows, ``"M"`` thread-name metadata) that ``ui.perfetto.dev`` and
+``chrome://tracing`` both open directly.  Perfetto nests same-thread
+``X`` events by duration containment, which the block/run span
+timestamps guarantee.  Worker processes ship their buffers home with
+:meth:`Tracer.export_state`; the parent's :meth:`Tracer.absorb_remote`
+folds them in, and ``to_chrome_trace`` then renders one merged document
+with per-process tracks (``perf_counter_ns`` is CLOCK_MONOTONIC-based
+on the platforms we run, so raw timestamps are comparable across
+processes on one box).
 """
 
 from __future__ import annotations
@@ -28,7 +44,13 @@ from contextvars import ContextVar
 from time import perf_counter_ns
 from typing import Optional
 
-__all__ = ["Tracer", "SpanCtx", "current_span"]
+__all__ = [
+    "Tracer",
+    "SpanCtx",
+    "current_span",
+    "current_trace_context",
+    "flow_id",
+]
 
 #: the ambient span (innermost open span in this context), used to
 #: stamp ``parent`` ids on nested spans and instants.
@@ -40,16 +62,36 @@ _span_ids = itertools.count(1)
 class SpanCtx:
     """The ambient identity of an open span (carried in contextvars)."""
 
-    __slots__ = ("id", "name")
+    __slots__ = ("id", "name", "trace")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, trace: str = ""):
         self.id = next(_span_ids)
         self.name = name
+        self.trace = trace
 
 
 def current_span() -> Optional[SpanCtx]:
     """The innermost open span in the current context, if any."""
     return _span_var.get()
+
+
+def current_trace_context() -> Optional[tuple]:
+    """The ambient ``(trace_id, span_id)`` carrier, or None.
+
+    This is the value a dispatch site ships across a process boundary
+    so the remote side can parent its span here.  With telemetry
+    disabled no span is ever open, so this is a single contextvar read
+    returning None — nothing allocates.
+    """
+    ctx = _span_var.get()
+    if ctx is None:
+        return None
+    return (ctx.trace, ctx.id)
+
+
+def flow_id(tctx: tuple) -> str:
+    """The Chrome-trace flow-event id for a trace context carrier."""
+    return f"{tctx[0]}:{tctx[1]}"
 
 
 class Tracer:
@@ -62,13 +104,18 @@ class Tracer:
     many).
     """
 
-    def __init__(self, capacity: int = 65536):
+    def __init__(self, capacity: int = 65536, trace_id: Optional[str] = None):
         self.capacity = capacity
+        self.trace_id = trace_id or os.urandom(6).hex()
         self._events: deque = deque(maxlen=capacity)
         self._t0 = perf_counter_ns()
         self._pid = os.getpid()
+        self._label: Optional[str] = None
         self._tid_names: dict[int, str] = {}
         self._appends = 0
+        #: remote buffers folded in by pid (label, tid_names, events)
+        self._remote: dict[int, tuple] = {}
+        self._remote_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -104,19 +151,48 @@ class Tracer:
         if parent is not None:
             args = dict(args) if args else {}
             args.setdefault("parent", parent.id)
+            if parent.trace:
+                args.setdefault("trace", parent.trace)
         self._appends += 1
         self._events.append(("i", name, cat, perf_counter_ns(), 0, tid, args))
 
-    def begin_span(self, name: str) -> tuple:
+    def flow(self, ph: str, name: str, fid: str, cat: str = "dispatch") -> None:
+        """Record a flow endpoint (``"s"`` start / ``"f"`` finish).
+
+        Flow events bind to the duration slice enclosing their timestamp
+        on their (pid, tid) track; a start/finish pair sharing *fid*
+        renders as an arrow between the two slices — across processes
+        when the endpoints live in different buffers.
+        """
+        tid = self._note_thread()
+        self._appends += 1
+        self._events.append((ph, name, cat, perf_counter_ns(), 0, tid, {"id": fid}))
+
+    def begin_span(self, name: str, parent: Optional[tuple] = None) -> tuple:
         """Open a span explicitly; pair with :meth:`end_span`.
 
         The explicit form exists for instrumentation sites that must not
         allocate a context manager when telemetry is disabled — they
         guard the begin/end pair behind an ``is None`` test instead.
         Returns an opaque handle ``(ctx, reset_token, t0_ns)``.
+
+        *parent* is an optional **remote** ``(trace_id, span_id)``
+        carrier from :func:`current_trace_context` in another process:
+        the new span adopts the remote trace id, records the remote span
+        as its parent, and emits the flow-finish event pairing with the
+        dispatcher's flow-start.  Without it the span inherits the
+        ambient span's trace id, or mints from the tracer's.
         """
-        ctx = SpanCtx(name)
+        if parent is not None:
+            ctx = SpanCtx(name, trace=parent[0])
+        else:
+            ambient = _span_var.get()
+            ctx = SpanCtx(
+                name, trace=ambient.trace if ambient is not None else self.trace_id
+            )
         token = _span_var.set(ctx)
+        if parent is not None:
+            self.flow("f", name, flow_id(parent))
         return (ctx, token, perf_counter_ns())
 
     def end_span(self, handle: tuple, cat: str = "task", args: Optional[dict] = None) -> None:
@@ -127,6 +203,8 @@ class Tracer:
         _span_var.reset(token)
         payload = dict(args) if args else {}
         payload["span_id"] = ctx.id
+        if ctx.trace:
+            payload["trace"] = ctx.trace
         if parent is not None and parent is not token.MISSING:
             payload["parent"] = parent.id
         self.complete(ctx.name, t0, dur, cat=cat, args=payload)
@@ -149,34 +227,88 @@ class Tracer:
         """A stable copy of the buffered events (oldest first)."""
         return list(self._events)
 
-    def to_chrome_trace(self) -> dict:
-        """Render buffered events as a Chrome trace / Perfetto JSON dict."""
-        events = []
-        for tid, tname in sorted(self._tid_names.items()):
-            events.append(
-                {
-                    "ph": "M",
-                    "name": "thread_name",
-                    "pid": self._pid,
-                    "tid": tid,
-                    "args": {"name": tname},
-                }
+    def export_state(self, label: Optional[str] = None) -> dict:
+        """This buffer packaged for :meth:`absorb_remote` in another
+        process (everything in it is queue-picklable)."""
+        return {
+            "pid": self._pid,
+            "label": label if label is not None else self._label,
+            "tid_names": dict(self._tid_names),
+            "events": list(self._events),
+        }
+
+    def absorb_remote(self, state: dict) -> None:
+        """Fold a remote tracer's :meth:`export_state` into this one.
+
+        Repeated absorbs from the same pid *replace* the prior buffer —
+        workers ship their full ring each push, so the latest push is
+        the most complete view of that process.
+        """
+        with self._remote_lock:
+            self._remote[int(state["pid"])] = (
+                state.get("label"),
+                # tid keys survive a JSON hop (the sidecar's stats reply)
+                # as strings; coerce back so tracks keep integer tids.
+                {int(k): v for k, v in (state.get("tid_names") or {}).items()},
+                list(state.get("events") or ()),
             )
+
+    def to_chrome_trace(self) -> dict:
+        """Render buffered events (plus any absorbed remote buffers) as
+        a Chrome trace / Perfetto JSON dict with per-process tracks."""
+        with self._remote_lock:
+            remote = dict(self._remote)
+        groups = [(self._pid, self._label, self._tid_names, list(self._events))]
+        for pid in sorted(remote):
+            label, tid_names, evs = remote[pid]
+            groups.append((pid, label, tid_names, evs))
         t0 = self._t0
-        for ph, name, cat, ts, dur, tid, args in self._events:
-            ev = {
-                "ph": ph,
-                "name": name,
-                "cat": cat,
-                "ts": (ts - t0) / 1000.0,  # chrome trace wants microseconds
-                "pid": self._pid,
-                "tid": tid,
-            }
-            if ph == "X":
-                ev["dur"] = dur / 1000.0
-            elif ph == "i":
-                ev["s"] = "t"  # thread-scoped instant
-            if args:
-                ev["args"] = args
-            events.append(ev)
+        for _, _, _, evs in groups:
+            for ev in evs:
+                if ev[3] < t0:
+                    t0 = ev[3]
+        events = []
+        for pid, label, tid_names, evs in groups:
+            if label:
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "process_name",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {"name": label},
+                    }
+                )
+            for tid, tname in sorted(tid_names.items()):
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {"name": tname},
+                    }
+                )
+            for ph, name, cat, ts, dur, tid, args in evs:
+                ev = {
+                    "ph": ph,
+                    "name": name,
+                    "cat": cat,
+                    "ts": (ts - t0) / 1000.0,  # chrome trace wants microseconds
+                    "pid": pid,
+                    "tid": tid,
+                }
+                if ph == "X":
+                    ev["dur"] = dur / 1000.0
+                elif ph == "i":
+                    ev["s"] = "t"  # thread-scoped instant
+                elif ph in ("s", "f"):
+                    ev["id"] = (args or {}).get("id", "")
+                    if ph == "f":
+                        ev["bp"] = "e"  # bind to the enclosing slice
+                    events.append(ev)
+                    continue  # the id rides top-level, not in args
+                if args:
+                    ev["args"] = args
+                events.append(ev)
         return {"traceEvents": events, "displayTimeUnit": "ms"}

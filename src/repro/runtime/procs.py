@@ -98,7 +98,8 @@ from ..core.shared_tree import (
 )
 from ..core.verifier import Verifier
 from ..errors import ReproError, RuntimeStateError
-from ..obs.metrics import CounterGroup
+from ..obs.metrics import CounterGroup, label_snapshot, merge_snapshots
+from ..obs.tracing import current_trace_context, flow_id
 from ..service.mirror import MirroredSpawnPaths
 
 __all__ = ["ProcessRuntime", "ShardVerifier", "WireSpawnPaths"]
@@ -109,6 +110,14 @@ _R_STATS = "stats"
 
 #: how many dispatched tasks a worker completes between stats messages
 _STATS_EVERY = 256
+
+#: with telemetry on, a worker also pushes stats when idle this long —
+#: the live introspection plane refreshes even between dispatch bursts
+_STATS_IDLE_PUSH = 1.0
+
+#: how often the monitor thread pings the parent's sidecar connection
+#: (well inside the server's 5 s liveness window)
+_CLIENT_PING_EVERY = 1.0
 
 
 # ----------------------------------------------------------------------
@@ -254,6 +263,18 @@ class ShardVerifier(Verifier):
                 self._announce("fork", vertex)
         return vertex
 
+    def _flow_escalation(self, client) -> None:
+        """Flow-start for an escalated check: pairs with the sidecar's
+        ``join_check`` flow-finish, drawing the arrow from the joining
+        span's track to the sidecar's.  The ambient trace context is the
+        same one the client stamps on the wire record."""
+        obs = self._obs
+        if client is None or obs is None or obs.tracer is None:
+            return
+        tctx = current_trace_context()
+        if tctx is not None:
+            obs.tracer.flow("s", "join_check", flow_id(tctx))
+
     # -- join: the fast path / escalation split -------------------------
     def check_join(self, joiner, joinee) -> bool:
         if not isinstance(joiner, int) or not isinstance(joinee, int):
@@ -266,6 +287,7 @@ class ShardVerifier(Verifier):
         cell = self._procs_events.cell()
         cell.cross_joins += 1
         client = self.sidecar
+        self._flow_escalation(client)
         verdict = client.check(joiner, joinee) if client is not None else None
         if verdict is None:
             cell.degraded_joins += 1
@@ -292,6 +314,7 @@ class ShardVerifier(Verifier):
         cell = self._procs_events.cell()
         cell.cross_joins += len(joinees)
         client = self.sidecar
+        self._flow_escalation(client)
         verdicts = (
             client.check_batch(joiner, joinees) if client is not None else None
         )
@@ -329,16 +352,25 @@ class _WorkerEngine(TaskRuntime):
         #: vid -> live TaskHandle, for cancel targeting over the wake pipe
         self.dispatched: dict[int, TaskHandle] = {}
 
-    def execute(self, vid: int, fn: Callable, args: tuple, kwargs: dict):
+    def execute(
+        self, vid: int, fn: Callable, args: tuple, kwargs: dict, tctx=None
+    ):
         """Run one dispatched task body to completion in this thread.
 
         Returns ``("ok", value)`` or ``("err", exc)``; never raises.
         The body receives this engine as its first argument — its portal
-        to the verified ``fork``/``join``/``join_batch`` API.
+        to the verified ``fork``/``join``/``join_batch`` API.  *tctx* is
+        the dispatching fork's ``(trace_id, span_id)`` trace context:
+        with tracing on, this task's ``run`` span parents under it (and
+        every span it opens inherits the same trace id).
         """
         task = TaskHandle(vid, code=fn, name=f"dispatched-{vid}")
         task.state = TaskState.RUNNING
         self.dispatched[vid] = task
+        obs = self._obs
+        handle = None
+        if obs is not None and obs.tracer is not None:
+            handle = obs.tracer.begin_span("run", parent=tctx)
         try:
             with task_scope(task):
                 value = fn(self, *args, **kwargs)
@@ -349,6 +381,8 @@ class _WorkerEngine(TaskRuntime):
             task.state = TaskState.DONE
             return ("ok", value)
         finally:
+            if handle is not None:
+                obs.tracer.end_span(handle, args={"task": f"dispatched-{vid}"})
             self.dispatched.pop(vid, None)
 
     def cancel_dispatched(self, vid: int) -> None:
@@ -379,35 +413,83 @@ def _worker_stats(engine: _WorkerEngine, shard: ShardVerifier, done: int) -> dic
     return stats
 
 
+def _serialize_blocked(session) -> list:
+    """The session's blocked joins as queue-portable plain dicts."""
+    now = time.monotonic()
+    out = []
+    for record in session.blocked_joins():
+        try:
+            out.append(
+                {
+                    "joiner": record.joiner.name,
+                    "joinee": record.joinee.name,
+                    "age": max(0.0, now - record.since),
+                    "wakeups": record.wakeups,
+                }
+            )
+        except Exception:  # noqa: BLE001 - a join mid-wake is not an error
+            continue
+    return out
+
+
+def _worker_obs_payload(session, index: int) -> Optional[dict]:
+    """One telemetry push: registry snapshot + trace buffer + blocked."""
+    if session is None:
+        return None
+    payload: dict = {
+        "metrics": session.snapshot(),
+        "blocked": _serialize_blocked(session),
+    }
+    if session.tracer is not None:
+        payload["trace"] = session.tracer.export_state(label=f"worker-{index}")
+    return payload
+
+
 def _worker_main(cfg: dict) -> None:
     """Entry point of one worker process (spawn-safe, module level)."""
+    from .. import obs as _obs_mod
+
     index = cfg["index"]
     dispatch_q = cfg["dispatch_q"]
     result_q = cfg["result_q"]
     wake_r = cfg["wake_r"]
 
+    session = None
+    tcfg = cfg.get("telemetry")
+    if tcfg is not None:
+        # A fresh spawn process starts with telemetry off; re-create the
+        # parent's choice here so the shard/engine capture it at
+        # construction.  The trace id is inherited, so even spans that
+        # never adopt a dispatch context share the run's trace.
+        session = _obs_mod.Telemetry(
+            tracing=tcfg.get("tracing", True),
+            trace_capacity=tcfg.get("trace_capacity", 65536),
+            trace_id=tcfg.get("trace_id"),
+        )
+
     tree = None
-    if cfg["tree_handle"] is not None:
-        tree = SharedFlatTree.attach(
-            SharedTreeHandle(*cfg["tree_handle"]), region=cfg["region"]
-        )
-        policy = SharedTJPolicy(tree)
-    else:
-        policy = WireSpawnPaths(cfg["region"], cfg["nprocs"])
+    with _obs_mod.using(session):
+        if cfg["tree_handle"] is not None:
+            tree = SharedFlatTree.attach(
+                SharedTreeHandle(*cfg["tree_handle"]), region=cfg["region"]
+            )
+            policy = SharedTJPolicy(tree)
+        else:
+            policy = WireSpawnPaths(cfg["region"], cfg["nprocs"])
 
-    client = None
-    if cfg["sidecar_url"] is not None:
-        from ..service.client import SessionClient
+        client = None
+        if cfg["sidecar_url"] is not None:
+            from ..service.client import SessionClient
 
-        client = SessionClient(
-            cfg["sidecar_url"],
-            f"{cfg['run_id']}-w{index}",
-            tenant=cfg["run_id"],
-        )
-        client.connect()  # failure leaves it degraded: local fallback
+            client = SessionClient(
+                cfg["sidecar_url"],
+                f"{cfg['run_id']}-w{index}",
+                tenant=cfg["run_id"],
+            )
+            client.connect()  # failure leaves it degraded: local fallback
 
-    shard = ShardVerifier(policy, fail_mode=cfg["fail_mode"], sidecar=client)
-    engine = _WorkerEngine(shard)
+        shard = ShardVerifier(policy, fail_mode=cfg["fail_mode"], sidecar=client)
+        engine = _WorkerEngine(shard)
 
     stop = threading.Event()
 
@@ -428,23 +510,40 @@ def _worker_main(cfg: dict) -> None:
 
     threading.Thread(target=control_main, daemon=True, name="procs-wake").start()
 
+    def push_stats() -> None:
+        result_q.put(
+            (
+                _R_STATS,
+                index,
+                _worker_stats(engine, shard, completed),
+                _worker_obs_payload(session, index),
+            )
+        )
+
     completed = 0
+    last_push = time.monotonic()
     try:
         while not stop.is_set():
             try:
                 item = dispatch_q.get(timeout=0.2)
             except Exception:  # noqa: BLE001 - Empty, or torn queue at exit
+                if (
+                    session is not None
+                    and time.monotonic() - last_push >= _STATS_IDLE_PUSH
+                ):
+                    push_stats()
+                    last_push = time.monotonic()
                 continue
             if item is None:
                 break
-            vid, payload, lineage = item
+            vid, payload, lineage, tctx = item
             shard.adopt(vid, lineage)
             try:
                 fn, args, kwargs = pickle.loads(payload)
             except Exception as exc:  # noqa: BLE001
                 result_q.put((_R_DONE, vid, "err", ReproError(f"undispatchable task: {exc!r}")))
                 continue
-            kind, value = engine.execute(vid, fn, args, kwargs)
+            kind, value = engine.execute(vid, fn, args, kwargs, tctx)
             if kind == "ok":
                 safe = _pickle_safe(value)
                 if safe is not value:
@@ -455,10 +554,11 @@ def _worker_main(cfg: dict) -> None:
                 result_q.put((_R_DONE, vid, "err", _pickle_safe(value)))
             completed += 1
             if completed % _STATS_EVERY == 0:
-                result_q.put((_R_STATS, index, _worker_stats(engine, shard, completed)))
+                push_stats()
+                last_push = time.monotonic()
     finally:
         try:
-            result_q.put((_R_STATS, index, _worker_stats(engine, shard, completed)))
+            push_stats()
         except Exception:  # noqa: BLE001 - parent may already be gone
             pass
         if client is not None:
@@ -532,6 +632,11 @@ class ProcessRuntime(SupervisedJoinMixin):
         When True (default) a dead worker's in-flight tasks are re-run
         on surviving workers under fresh vertices (at-least-once);
         when False their futures fail with :class:`TaskFailedError`.
+    introspect:
+        ``None`` (default) — no introspection endpoint; an integer port
+        (0 = ephemeral) — serve the live fleet snapshot over the wire
+        protocol so ``repro top --live`` can attach while the run is in
+        flight (see :mod:`repro.obs.live`).
     stripe, seg0:
         Shared-tree allocation geometry (shm mode), for tests.
 
@@ -554,6 +659,7 @@ class ProcessRuntime(SupervisedJoinMixin):
         watchdog: Union[bool, float, StallWatchdog] = True,
         watchdog_interval: float = 0.1,
         on_unjoined_failure: str = "warn",
+        introspect: Optional[int] = None,
         stripe: int = 1024,
         seg0: int = 1 << 14,
     ) -> None:
@@ -611,6 +717,18 @@ class ProcessRuntime(SupervisedJoinMixin):
         self.tasks_redispatched = 0
         self.orphan_results = 0
         self._worker_stats: dict[int, dict] = {}
+
+        # fleet telemetry (tentpole PR 10): latest labelled registry
+        # snapshot and blocked-join list per live worker, plus the
+        # retired accumulator dead workers fold into — the process-level
+        # mirror of the sharded counters' dead-cell fold, so merged
+        # totals stay exact across worker churn.
+        self._worker_metrics: dict[int, dict] = {}
+        self._worker_blocked: dict[int, list] = {}
+        self._fleet_retired: Optional[dict] = None
+        self._sidecar_stats: Optional[dict] = None
+        self._introspect_port = introspect
+        self._introspect_server = None
 
         self._init_supervision(
             default_join_timeout=default_join_timeout,
@@ -675,6 +793,106 @@ class ProcessRuntime(SupervisedJoinMixin):
         return out
 
     # ------------------------------------------------------------------
+    # fleet telemetry: merged metrics, blocked joins, live introspection
+    # ------------------------------------------------------------------
+    def fleet_metrics(self) -> dict:
+        """One merged registry snapshot for the whole fleet.
+
+        Parent series carry ``process="parent"``, worker series
+        ``worker="<index>"``.  Workers that died mid-run stay in the
+        merge through the retired accumulator their last snapshot was
+        folded into (the process-level analogue of the sharded
+        counters' dead-cell fold), so counter totals are exact under
+        churn.  Empty when telemetry is disabled.
+        """
+        parts: list[dict] = []
+        obs = self._obs
+        if obs is not None:
+            parts.append(label_snapshot(obs.snapshot(), process="parent"))
+        with self._plock:
+            live = [self._worker_metrics[i] for i in sorted(self._worker_metrics)]
+            retired = self._fleet_retired
+        parts.extend(live)
+        if retired is not None:
+            parts.append(retired)
+        return merge_snapshots(parts)
+
+    def fleet_blocked_joins(self) -> list:
+        """Currently blocked joins across every process, as plain dicts
+        (``process``/``joiner``/``joinee``/``age``/``wakeups``).
+
+        Worker entries are as-of that worker's latest stats push (at
+        most :data:`_STATS_IDLE_PUSH` seconds stale); parent entries are
+        live.
+        """
+        out: list = []
+        obs = self._obs
+        if obs is not None:
+            now = time.monotonic()
+            for record in obs.blocked_joins():
+                try:
+                    out.append(
+                        {
+                            "process": "parent",
+                            "joiner": record.joiner.name,
+                            "joinee": record.joinee.name,
+                            "age": max(0.0, now - record.since),
+                            "wakeups": record.wakeups,
+                        }
+                    )
+                except Exception:  # noqa: BLE001 - join mid-wake
+                    continue
+        with self._plock:
+            blocked = {i: list(v) for i, v in self._worker_blocked.items()}
+        for index in sorted(blocked):
+            for rec in blocked[index]:
+                entry = dict(rec)
+                entry["process"] = f"worker-{index}"
+                out.append(entry)
+        return out
+
+    def _introspection_snapshot(self) -> dict:
+        """The stats payload the introspection plane serves to
+        ``repro top --live`` (wire ``stats`` → ``stats_reply``)."""
+        with self._plock:
+            workers = [
+                {"index": w.index, "alive": w.alive, "pid": w.proc.pid}
+                for w in self._workers
+            ]
+        return {
+            "run_id": self.run_id,
+            "kind": "procs",
+            "workers": workers,
+            "join_stats": self.join_stats(),
+            "counters": self._metrics_snapshot(),
+            "blocked": self.fleet_blocked_joins(),
+            "metrics": self.fleet_metrics(),
+            "sidecar": self.sidecar_url,
+        }
+
+    def _absorb_worker_obs(self, index: int, obs_state: dict) -> None:
+        """Fold one worker telemetry push into the parent's fleet view."""
+        metrics = obs_state.get("metrics")
+        blocked = obs_state.get("blocked")
+        with self._plock:
+            if metrics is not None:
+                self._worker_metrics[index] = label_snapshot(
+                    metrics, worker=str(index)
+                )
+            self._worker_blocked[index] = blocked or []
+        trace = obs_state.get("trace")
+        obs = self._obs
+        if trace is not None and obs is not None and obs.tracer is not None:
+            obs.tracer.absorb_remote(trace)
+
+    @property
+    def introspect_url(self) -> Optional[str]:
+        """The live introspection endpoint, if one was requested."""
+        if self._introspect_server is None:
+            return None
+        return self._introspect_server.url
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def _start_sidecar(self) -> Optional[str]:
@@ -684,7 +902,16 @@ class ProcessRuntime(SupervisedJoinMixin):
         if spec == "auto":
             from ..service.proc import SidecarProcess
 
-            self._sidecar_proc = SidecarProcess(port=0)
+            obs = self._obs
+            kwargs: dict = {}
+            if obs is not None:
+                # A telemetry-enabled run wants the private sidecar in
+                # the same distributed trace: its join_check spans ship
+                # home via the stats reply at shutdown.
+                kwargs["obs"] = True
+                if obs.tracer is not None:
+                    kwargs["trace_id"] = obs.tracer.trace_id
+            self._sidecar_proc = SidecarProcess(port=0, **kwargs)
             return self._sidecar_proc.url
         return spec
 
@@ -707,6 +934,21 @@ class ProcessRuntime(SupervisedJoinMixin):
         self._verifier = ShardVerifier(
             policy, fail_mode=self._fail_mode, sidecar=self._client
         )
+        obs = self._obs
+        telemetry_cfg = None
+        if obs is not None:
+            # Workers re-create the parent's telemetry choice at startup
+            # and inherit the run's trace id, so every process's spans
+            # land in one distributed trace.
+            telemetry_cfg = {
+                "tracing": obs.tracer is not None,
+                "trace_capacity": (
+                    obs.tracer.capacity if obs.tracer is not None else 65536
+                ),
+                "trace_id": (
+                    obs.tracer.trace_id if obs.tracer is not None else None
+                ),
+            }
         for i in range(self.workers_requested):
             dispatch_q = self._ctx.Queue()
             wake_r, wake_w = self._ctx.Pipe(duplex=False)
@@ -721,6 +963,7 @@ class ProcessRuntime(SupervisedJoinMixin):
                 "dispatch_q": dispatch_q,
                 "result_q": self._result_q,
                 "wake_r": wake_r,
+                "telemetry": telemetry_cfg,
             }
             proc = self._ctx.Process(
                 target=_worker_main,
@@ -739,6 +982,13 @@ class ProcessRuntime(SupervisedJoinMixin):
             target=self._monitor_main, daemon=True, name="procs-monitor"
         )
         self._monitor.start()
+        if self._introspect_port is not None:
+            from ..obs.live import IntrospectionServer
+
+            self._introspect_server = IntrospectionServer(
+                self._introspection_snapshot, port=self._introspect_port
+            )
+            self._introspect_server.start()
 
     def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Execute *fn* as the root task in the parent process.
@@ -760,6 +1010,12 @@ class ProcessRuntime(SupervisedJoinMixin):
         self._verifier.flush_announcements()
         root = TaskHandle(vertex, code=fn, name="root")
         root.state = TaskState.RUNNING
+        obs = self._obs
+        handle = None
+        if obs is not None and obs.tracer is not None:
+            # The root span anchors the distributed trace: dispatches
+            # under it capture its (trace, span) as their flow origin.
+            handle = obs.tracer.begin_span("run")
         try:
             with task_scope(root):
                 result = fn(*args, **kwargs)
@@ -768,6 +1024,8 @@ class ProcessRuntime(SupervisedJoinMixin):
             root.state = TaskState.FAILED
             raise
         finally:
+            if handle is not None:
+                obs.tracer.end_span(handle, args={"task": "root"})
             self._shutdown()
         self._reap_unjoined()
         return result
@@ -797,6 +1055,41 @@ class ProcessRuntime(SupervisedJoinMixin):
             self._collector.join(timeout=10.0)
         if self._monitor is not None:
             self._monitor.join(timeout=10.0)
+        if self._introspect_server is not None:
+            self._introspect_server.stop()
+        obs = self._obs
+        if obs is not None and self._client is not None:
+            # Last stats pull before hanging up: the sidecar's trace
+            # buffer (its join_check track) folds into the merged trace.
+            stats = None
+            if not self._client.degraded:
+                try:
+                    stats = self._client.stats()
+                except Exception:  # noqa: BLE001 - a dying sidecar is fine
+                    stats = None
+            if stats is None and self.sidecar_url is not None:
+                # The long-lived connection may have died (degraded, or
+                # reaped by the server's liveness sweeper); one fresh
+                # dial for the final pull costs a handshake and saves
+                # the sidecar's whole track.
+                from ..service.client import SessionClient
+
+                try:
+                    fresh = SessionClient(
+                        self.sidecar_url,
+                        f"{self.run_id}-stats",
+                        tenant=self.run_id,
+                    )
+                    if fresh.connect():
+                        stats = fresh.stats()
+                    fresh.close()
+                except Exception:  # noqa: BLE001 - a dying sidecar is fine
+                    stats = None
+            if stats is not None:
+                self._sidecar_stats = stats
+                trace = stats.get("trace")
+                if trace is not None and obs.tracer is not None:
+                    obs.tracer.absorb_remote(trace)
         if self._client is not None:
             self._client.close()
         if self._sidecar_proc is not None:
@@ -841,7 +1134,17 @@ class ProcessRuntime(SupervisedJoinMixin):
                 future, worker.index, payload, parent.vertex
             )
         task.cancel_token._add_waker(_CancelRelay(self, vertex))
-        worker.dispatch_q.put((vertex, payload, lineage))
+        obs = self._obs
+        tctx = None
+        if obs is not None and obs.tracer is not None:
+            tctx = current_trace_context()
+            if tctx is not None:
+                obs.tracer.instant(
+                    "fork", cat="dispatch",
+                    args={"child": vertex, "worker": worker.index},
+                )
+                obs.tracer.flow("s", "dispatch", flow_id(tctx))
+        worker.dispatch_q.put((vertex, payload, lineage, tctx))
         return future
 
     def _pick_worker_locked(self) -> Optional[_WorkerHandle]:
@@ -891,8 +1194,10 @@ class ProcessRuntime(SupervisedJoinMixin):
         try:
             kind = msg[0]
             if kind == _R_STATS:
-                _, index, stats = msg
+                _, index, stats, obs_state = msg
                 self._worker_stats[index] = stats
+                if obs_state is not None:
+                    self._absorb_worker_obs(index, obs_state)
                 if self._m_cross is not None:
                     joins = self.join_stats()
                     delta = joins["cross_joins"] - self._m_cross.value
@@ -921,6 +1226,7 @@ class ProcessRuntime(SupervisedJoinMixin):
             entry.future._set_exception(value)
 
     def _monitor_main(self) -> None:
+        last_ping = time.monotonic()
         while not self._stopping.is_set():
             sentinels = {
                 w.proc.sentinel: w for w in self._workers if w.alive
@@ -930,6 +1236,13 @@ class ProcessRuntime(SupervisedJoinMixin):
             ready = _mpc_wait(list(sentinels), timeout=0.2)
             for sentinel in ready:
                 self._on_worker_death(sentinels[sentinel])
+            # Keep the parent's mostly-idle sidecar connection alive so
+            # the server's liveness sweeper doesn't reap it mid-run and
+            # the shutdown stats pull finds the stream still open.
+            now = time.monotonic()
+            if self._client is not None and now - last_ping >= _CLIENT_PING_EVERY:
+                last_ping = now
+                self._client.ping()
 
     def _on_worker_death(self, worker: _WorkerHandle) -> None:
         with self._plock:
@@ -940,6 +1253,18 @@ class ProcessRuntime(SupervisedJoinMixin):
                 # Normal teardown: the exit is expected, nothing is stranded.
                 return
             self.worker_deaths += 1
+            # The dead worker's last labelled snapshot folds into the
+            # retired accumulator: its counts survive in merged fleet
+            # totals even though the live cell is gone (same rule as
+            # the sharded counters' dead-cell fold, one level up).
+            dead = self._worker_metrics.pop(worker.index, None)
+            if dead is not None:
+                self._fleet_retired = (
+                    dead
+                    if self._fleet_retired is None
+                    else merge_snapshots([self._fleet_retired, dead])
+                )
+            self._worker_blocked.pop(worker.index, None)
             stranded = [
                 (vid, entry)
                 for vid, entry in self._inflight.items()
@@ -982,7 +1307,9 @@ class ProcessRuntime(SupervisedJoinMixin):
                 future, worker.index, entry.payload, entry.parent_vid,
                 attempts=entry.attempts + 1,
             )
-        worker.dispatch_q.put((new_vid, entry.payload, lineage))
+        # Redispatch carries no trace context: the original dispatch span
+        # may be long gone, so the retry's run span roots its own tree.
+        worker.dispatch_q.put((new_vid, entry.payload, lineage, None))
 
     # join / join_batch / _join_one come from SupervisedJoinMixin, driving
     # the parent's ShardVerifier exactly like TaskRuntime drives its own.

@@ -62,6 +62,7 @@ from ..errors import (
     ServiceUnavailableError,
 )
 from ..obs.metrics import RTT_NS_BUCKETS
+from ..obs.tracing import current_trace_context
 from ..runtime.retry import RetryPolicy
 from .wire import SERVER_KINDS, WIRE_VERSION, RecordStream, validate_record
 
@@ -76,6 +77,19 @@ _DEFAULT_RETRY = RetryPolicy(max_attempts=5, base_delay=0.05, max_delay=1.0, jit
 #: bound on remembered degraded-window checks (reconcile fidelity is
 #: best-effort past this; the counter records what was dropped)
 _MAX_RECHECKS = 65536
+
+
+def _stamp_trace(record: dict) -> None:
+    """Attach the ambient ``(trace, span)`` context to a check record.
+
+    The fields are optional on the wire (old servers ignore them); with
+    them the sidecar parents its ``join_check`` span under the span that
+    escalated the check, stitching its track into the caller's
+    distributed trace.  Disabled telemetry is one contextvar read.
+    """
+    tctx = current_trace_context()
+    if tctx is not None:
+        record["trace"], record["span"] = tctx
 
 
 def parse_remote_url(url: str) -> tuple[str, int]:
@@ -351,6 +365,7 @@ class RemoteVerifier(Verifier):
             record = {"kind": "check_batch", "waiter": waiter, "joinees": joinee, "req": req}
         else:
             record = {"kind": "check", "waiter": waiter, "joinee": joinee, "req": req}
+        _stamp_trace(record)
         t0 = perf_counter_ns()
         with self._send_lock:
             stream = self._stream
@@ -847,18 +862,46 @@ class SessionClient:
     # ------------------------------------------------------------------
     def check(self, waiter_rid: int, joinee_rid: int) -> "bool | None":
         """One join-permit query; None = degraded, resolve locally."""
-        reply = self._roundtrip(
-            {"kind": "check", "waiter": waiter_rid, "joinee": joinee_rid}, "verdict"
-        )
+        record = {"kind": "check", "waiter": waiter_rid, "joinee": joinee_rid}
+        _stamp_trace(record)
+        reply = self._roundtrip(record, "verdict")
         return None if reply is None else bool(reply["ok"])
 
     def check_batch(self, waiter_rid: int, joinee_rids: "list[int]") -> "list[bool] | None":
         """Batch join-permit query (the PR 7 wire vocabulary, reused)."""
-        reply = self._roundtrip(
-            {"kind": "check_batch", "waiter": waiter_rid, "joinees": list(joinee_rids)},
-            "verdicts",
-        )
+        record = {"kind": "check_batch", "waiter": waiter_rid, "joinees": list(joinee_rids)}
+        _stamp_trace(record)
+        reply = self._roundtrip(record, "verdicts")
         return None if reply is None else [bool(ok) for ok in reply["ok"]]
+
+    def stats(self) -> "dict | None":
+        """The server's full stats snapshot; None = degraded.
+
+        Rides the same request-id round-trip as checks — the server
+        answers from the connection reader, ahead of any queued
+        verification stream.
+        """
+        reply = self._roundtrip({"kind": "stats"}, "stats_reply")
+        return None if reply is None else reply["stats"]
+
+    def ping(self) -> None:
+        """Fire-and-forget keepalive (the pong is drained later).
+
+        The parent's client can sit idle for an entire run between
+        escalations; without an occasional ping the server's liveness
+        sweeper reaps the connection as dead and the final stats pull
+        finds a closed stream.
+        """
+        if self.degraded:
+            return
+        with self._lock:
+            stream = self._stream
+            if stream is None:
+                return
+            try:
+                stream.send({"kind": "ping"})
+            except (OSError, ServiceError) as exc:
+                self._degrade_locked(f"ping: {exc}")
 
     def _roundtrip(self, record: dict, want: str) -> "dict | None":
         if self.degraded:

@@ -39,6 +39,8 @@ class SidecarProcess:
         ack_every: "int | None" = None,
         liveness_timeout: "float | None" = None,
         startup_timeout: float = 20.0,
+        obs: bool = False,
+        trace_id: "str | None" = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -47,6 +49,8 @@ class SidecarProcess:
         self.ack_every = ack_every
         self.liveness_timeout = liveness_timeout
         self.startup_timeout = startup_timeout
+        self.obs = obs
+        self.trace_id = trace_id
         self.proc: Optional[subprocess.Popen] = None
         self.start()
 
@@ -69,6 +73,10 @@ class SidecarProcess:
             cmd += ["--ack-every", str(self.ack_every)]
         if self.liveness_timeout is not None:
             cmd += ["--liveness-timeout", str(self.liveness_timeout)]
+        if self.obs:
+            cmd += ["--obs"]
+            if self.trace_id is not None:
+                cmd += ["--trace-id", self.trace_id]
         return cmd
 
     def start(self) -> None:

@@ -49,7 +49,13 @@ from ..errors import JournalCorruptError, JournalError, ServiceProtocolError
 from ..obs import active as _active_telemetry
 from ..tools.journal import read_journal
 from .session import Session, Tenant
-from .wire import CLIENT_KINDS, WIRE_VERSION, RecordStream, validate_record
+from .wire import (
+    CLIENT_KINDS,
+    MAX_FRAME,
+    WIRE_VERSION,
+    RecordStream,
+    validate_record,
+)
 
 __all__ = ["ServiceJournal", "VerificationServer", "main"]
 
@@ -175,6 +181,30 @@ class ServiceJournal:
             self._flush_locked()
             self._closed = True
             self._fh.close()
+
+
+def _fit_stats_reply(reply: dict) -> dict:
+    """Trim a stats reply's trace tail until it fits one wire frame.
+
+    A busy sidecar's trace ring can outgrow :data:`MAX_FRAME` once
+    serialized.  The newest events matter most (the asking runtime is
+    merging the run that just finished), so drop from the *oldest* end
+    in halves — recording the count under ``trace["trimmed"]`` — rather
+    than fail the whole reply; a truncated remote ring is exactly the
+    dangling-flow-start case the trace validator already tolerates.
+    """
+    headroom = MAX_FRAME - 4096
+    while True:
+        size = len(json.dumps(reply, separators=(",", ":")).encode("utf-8"))
+        if size <= headroom:
+            return reply
+        trace = reply["stats"].get("trace")
+        events = (trace or {}).get("events")
+        if not events:
+            return reply  # nothing trimmable left; let the frame encoder judge
+        drop = max(1, len(events) // 2)
+        trace["events"] = events[drop:]
+        trace["trimmed"] = int(trace.get("trimmed", 0)) + drop
 
 
 class _Connection:
@@ -458,6 +488,27 @@ class VerificationServer:
                 kind = validate_record(record, CLIENT_KINDS)
                 if kind == "ping":
                     conn.reply({"kind": "pong"})
+                elif kind == "stats":
+                    # Introspection rides the connection, not the session
+                    # inbox: `repro top --live` must see a snapshot even
+                    # when the session's verification stream is backed up.
+                    payload = self.snapshot()
+                    tel = self._telemetry
+                    if tel is not None and tel.tracer is not None:
+                        # Ship the trace ring too, so the asking runtime
+                        # can fold the sidecar's join_check track into
+                        # its merged distributed trace.
+                        payload["trace"] = tel.tracer.export_state(label="sidecar")
+                        payload["metrics"] = tel.snapshot()
+                    conn.reply(
+                        _fit_stats_reply(
+                            {
+                                "kind": "stats_reply",
+                                "req": record["req"],
+                                "stats": payload,
+                            }
+                        )
+                    )
                 elif kind == "bye":
                     return
                 elif kind == "hello":
@@ -616,7 +667,24 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--inbox-limit", type=int, default=1024)
     parser.add_argument("--ack-every", type=int, default=256)
     parser.add_argument("--liveness-timeout", type=float, default=5.0)
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable telemetry in the server (metrics + join_check tracing)",
+    )
+    parser.add_argument(
+        "--trace-id",
+        default=None,
+        help="join an existing distributed trace instead of minting one",
+    )
     args = parser.parse_args(argv)
+    if args.obs:
+        from .. import obs as _obs
+
+        # Enabled before construction so the server and its sessions
+        # capture the session; the trace id ties join_check spans into
+        # the launching runtime's distributed trace.
+        _obs.enable(tracing=True, trace_id=args.trace_id)
     server = VerificationServer(
         args.host,
         args.port,

@@ -180,6 +180,7 @@ class Session:
         else:
             self._events_counter = None
             self._checks_counter = None
+        self._telemetry = telemetry
         self._worker = threading.Thread(
             target=self._worker_main,
             name=f"repro-session-{session_id}",
@@ -366,10 +367,29 @@ class Session:
             except PolicyQuarantinedError:
                 pass  # fail-closed session: reported via the check path
 
+    def _begin_check_span(self, record: dict) -> "tuple | None":
+        """Open the ``join_check`` span for a check, parented under the
+        client's dispatched trace context when the record carries one
+        (optional ``trace``/``span`` fields) — that adoption is what
+        stitches the sidecar's track into the runtime's distributed
+        trace."""
+        tel = self._telemetry
+        if tel is None or tel.tracer is None:
+            return None
+        trace, span = record.get("trace"), record.get("span")
+        parent = (trace, span) if trace is not None and span is not None else None
+        return tel.tracer.begin_span("join_check", parent=parent)
+
+    def _end_check_span(self, handle, args: dict) -> None:
+        if handle is not None:
+            args["session"] = self.session_id
+            self._telemetry.tracer.end_span(handle, cat="verify", args=args)
+
     def _do_check(self, record: dict, reply) -> None:
         waiter, joinee = record["waiter"], record["joinee"]
         if self._park_if_missing((waiter, joinee), record, reply):
             return
+        handle = self._begin_check_span(record)
         try:
             ok = self.verifier.check_join(self._vertex(waiter), self._vertex(joinee))
         except PolicyQuarantinedError as exc:
@@ -378,6 +398,8 @@ class Session:
             # request id and the client raises the stored error.
             self._announce_quarantine(reply, exc, req=record["req"])
             return
+        finally:
+            self._end_check_span(handle, {"waiter": waiter, "joinee": joinee})
         if self.journal is not None:
             self.journal.log_verdict(self.session_id, waiter, joinee, ok)
         self._announce_quarantine(reply)
@@ -388,6 +410,7 @@ class Session:
         waiter = record["waiter"]
         if self._park_if_missing((waiter, *joinees), record, reply):
             return
+        handle = self._begin_check_span(record)
         try:
             oks = self.verifier.check_joins(
                 self._vertex(waiter), [self._vertex(j) for j in joinees]
@@ -395,6 +418,10 @@ class Session:
         except PolicyQuarantinedError as exc:
             self._announce_quarantine(reply, exc, req=record["req"])
             return
+        finally:
+            self._end_check_span(
+                handle, {"waiter": waiter, "batch": len(joinees)}
+            )
         if self.journal is not None:
             for joinee, ok in zip(joinees, oks):
                 self.journal.log_verdict(self.session_id, waiter, joinee, ok)

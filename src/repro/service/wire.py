@@ -29,8 +29,19 @@ Client → server kinds
 ``recheck``  fire-and-forget re-derivation of a verdict the client
            answered locally while degraded (reconcile replay; counted
            server-side, no reply);
+``stats``  introspection query (``req``) — the server answers with its
+           full stats snapshot;
 ``ping``   heartbeat;
 ``bye``    graceful close.
+
+``check``/``check_batch`` may additionally carry an optional trace
+context (``trace`` id string + ``span`` id int) captured at the
+client's join site; the server parents its ``join_check`` span under it
+so cross-process traces stitch.  The fields are optional and unknown
+fields are ignored, so they are compatible in both directions; a peer
+too old to know the ``stats`` kind itself answers with an ``error``
+record (the vocabulary check below), and the ``hello`` wire-version
+gate rejects genuinely incompatible peers before any of this.
 
 Server → client kinds
 ---------------------
@@ -38,6 +49,7 @@ Server → client kinds
                   ``quarantined``);
 ``verdict``       reply to ``check`` (``req``, ``ok``);
 ``verdicts``      reply to ``check_batch`` (``req``, ``ok`` list);
+``stats_reply``   reply to ``stats`` (``req``, ``stats`` object);
 ``pong``          heartbeat reply;
 ``ack``           journal-durable watermark (``seq``): the client may
                   drop replay-buffer entries at or below it;
@@ -83,13 +95,25 @@ MAX_FRAME = 1 << 20
 _LEN = struct.Struct(">I")
 
 CLIENT_KINDS = frozenset(
-    {"hello", "init", "fork", "join", "check", "check_batch", "recheck", "ping", "bye"}
+    {
+        "hello",
+        "init",
+        "fork",
+        "join",
+        "check",
+        "check_batch",
+        "recheck",
+        "stats",
+        "ping",
+        "bye",
+    }
 )
 SERVER_KINDS = frozenset(
     {
         "welcome",
         "verdict",
         "verdicts",
+        "stats_reply",
         "pong",
         "ack",
         "quarantine",
@@ -108,11 +132,13 @@ REQUIRED_FIELDS: dict[str, tuple[str, ...]] = {
     "check": ("waiter", "joinee", "req"),
     "check_batch": ("waiter", "joinees", "req"),
     "recheck": ("waiter", "joinee"),
+    "stats": ("req",),
     "ping": (),
     "bye": (),
     "welcome": ("session", "last_seq"),
     "verdict": ("req", "ok"),
     "verdicts": ("req", "ok"),
+    "stats_reply": ("req", "stats"),
     "pong": (),
     "ack": ("seq",),
     "quarantine": ("policy", "site", "error"),

@@ -1157,6 +1157,10 @@ class ProcsChaosResult:
     procs_rejected: int
     #: (index, local, procs) result triples that disagreed — must be empty
     divergences: list
+    #: merged fleet metrics snapshot (None when telemetry was off)
+    fleet_metrics: Optional[dict] = None
+    #: introspection endpoint URL the run served (None when not requested)
+    introspect_url: Optional[str] = None
 
 
 def run_procs_divergence(
@@ -1169,6 +1173,7 @@ def run_procs_divergence(
     sidecar: Optional[str] = None,
     kill_worker: bool = True,
     check: bool = True,
+    introspect: Optional[int] = None,
 ) -> ProcsChaosResult:
     """SIGKILL a worker mid-run; prove verdicts and results never diverge.
 
@@ -1211,7 +1216,10 @@ def run_procs_divergence(
 
     # --- the multi-process run, with the seeded kill ------------------
     rt = ProcessRuntime(
-        workers=workers, spawn_paths=spawn_paths, sidecar=sidecar
+        workers=workers,
+        spawn_paths=spawn_paths,
+        sidecar=sidecar,
+        introspect=introspect,
     )
     victim_index = rng.randrange(workers) if kill_worker else None
     kill_at = 1 + rng.randrange(max(1, dispatches // 2)) if kill_worker else None
@@ -1240,6 +1248,9 @@ def run_procs_divergence(
         stop_monitor.set()
     elapsed = time.perf_counter() - t0
 
+    from .. import obs as _obs_mod
+
+    fleet = rt.fleet_metrics() if _obs_mod.active() is not None else None
     join_stats = rt.join_stats()
     procs_rejected = sum(
         s.get("joins_rejected", 0) for s in rt._worker_stats.values()
@@ -1298,6 +1309,8 @@ def run_procs_divergence(
         local_rejected=local_rejected,
         procs_rejected=procs_rejected,
         divergences=divergences,
+        fleet_metrics=fleet,
+        introspect_url=rt.introspect_url,
     )
 
 

@@ -44,12 +44,14 @@ Commands
     of the in-process verifier (degrading to local Armus fallback if
     the sidecar goes away).
 ``serve [--host H] [--port P] [--journal PATH] [--inbox-limit N]
-[--ack-every N] [--liveness-timeout S]``
+[--ack-every N] [--liveness-timeout S] [--obs]``
     Run the verification sidecar: a long-lived server that verifies
     fork/join event streams for many client processes.  Prints
     ``LISTENING <host> <port>`` once ready and blocks until SIGTERM;
     with ``--journal`` it rebuilds live sessions from the journal on
-    restart.
+    restart.  ``--obs`` turns telemetry on in the sidecar so ``stats``
+    requests return metrics and trace state (and ``repro top --live``
+    can attach).
 ``journal-replay <journal-file>``
     Reconstruct verifier state from a trace journal (tolerating a
     crash-torn tail) and print the post-mortem: blocked edges at death,
@@ -67,13 +69,24 @@ Commands
     verification sidecar mid-run and assert the client degrades, stays
     sound, and reconciles to verdict equality with an all-local run.
     Exits 1 on any violation.
-``top (--metrics FILE | <trace-file> [--runtime R] [--policy P]
-[--interval S])``
-    The live telemetry view: with a trace file, execute it under full
-    telemetry and render blocked joins, counters, and latency
-    histograms on a cadence until the run completes; with ``--metrics``,
-    render a saved metrics-snapshot JSON post-mortem (a missing or
-    empty snapshot file exits 2 with a one-line diagnosis).
+``top (--live URL [--once] | --metrics FILE | --predict JOURNAL |
+<trace-file> [--runtime R] [--policy P] [--interval S])``
+    The live telemetry view: with ``--live``, attach to a running
+    :class:`~repro.runtime.procs.ProcessRuntime` introspection endpoint
+    or ``repro serve`` sidecar and render the merged blocked-join
+    table, per-worker counters, and latency histograms on a cadence
+    (``--once`` renders a single screen); with a trace file, execute it
+    under full telemetry and render live state until the run completes;
+    with ``--metrics``, render a saved metrics-snapshot JSON
+    post-mortem (a missing or empty snapshot file exits 2 with a
+    one-line diagnosis); with ``--predict``, run the deadlock predictor
+    on a journal and render the predicted-cycle table.
+``predict`` additionally accepts ``--trace-out PATH``: the journal
+timeline with each predicted cycle overlaid as counterfactual
+``predicted_deadlock`` instants on the member tasks' tracks.
+``procs`` accepts ``--trace-out`` (merged cross-process Perfetto
+trace), ``--metrics-out`` (merged fleet metrics snapshot), and
+``--introspect PORT`` (live stats endpoint for ``top --live``).
 
 ``run`` and ``chaos`` additionally accept ``--trace-out PATH`` (write a
 Perfetto/Chrome-trace JSON of the execution) and ``--metrics-out PATH``
@@ -274,41 +287,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     argv += ["--inbox-limit", str(args.inbox_limit)]
     argv += ["--ack-every", str(args.ack_every)]
     argv += ["--liveness-timeout", str(args.liveness_timeout)]
+    if args.obs:
+        argv += ["--obs"]
     return server_main(argv)
 
 
 def _cmd_procs(args: argparse.Namespace) -> int:
+    import json as _json
+
     from ..testing.chaos import ChaosInvariantError, run_procs_divergence
 
-    try:
-        result = run_procs_divergence(
-            args.seed,
-            workers=args.workers,
-            tasks=args.tasks,
-            fanout=args.fanout,
-            spawn_paths=args.spawn_paths,
-            sidecar=args.sidecar,
-            kill_worker=args.kill_worker,
-            check=args.check_divergence,
+    with _telemetry_scope(args) as session:
+        try:
+            result = run_procs_divergence(
+                args.seed,
+                workers=args.workers,
+                tasks=args.tasks,
+                fanout=args.fanout,
+                spawn_paths=args.spawn_paths,
+                sidecar=args.sidecar,
+                kill_worker=args.kill_worker,
+                check=args.check_divergence,
+                introspect=args.introspect,
+            )
+        except ChaosInvariantError as exc:
+            print(f"procs: FAIL {exc}", file=sys.stderr)
+            return 1
+        js = result.join_stats
+        print(
+            f"procs: workers={result.workers} dispatches={result.dispatches} "
+            f"fanout={result.fanout} spawn_paths={result.spawn_paths}"
         )
-    except ChaosInvariantError as exc:
-        print(f"procs: FAIL {exc}", file=sys.stderr)
-        return 1
-    js = result.join_stats
-    print(
-        f"procs: workers={result.workers} dispatches={result.dispatches} "
-        f"fanout={result.fanout} spawn_paths={result.spawn_paths}"
-    )
-    print(
-        f"  killed_worker={result.killed_worker} deaths={result.worker_deaths} "
-        f"redispatched={result.tasks_redispatched} orphans={result.orphan_results}"
-    )
-    print(
-        f"  joins: local={js['local_joins']} cross={js['cross_joins']} "
-        f"degraded={js['degraded_joins']} "
-        f"escalation={js['escalation_ratio']:.3f}"
-    )
-    print(f"  divergences={len(result.divergences)}")
+        print(
+            f"  killed_worker={result.killed_worker} deaths={result.worker_deaths} "
+            f"redispatched={result.tasks_redispatched} orphans={result.orphan_results}"
+        )
+        print(
+            f"  joins: local={js['local_joins']} cross={js['cross_joins']} "
+            f"degraded={js['degraded_joins']} "
+            f"escalation={js['escalation_ratio']:.3f}"
+        )
+        print(f"  divergences={len(result.divergences)}")
+        if session is not None and args.metrics_out:
+            # the merged fleet registry (parent + workers + retired cells),
+            # not the parent-only session snapshot _export_telemetry writes
+            snap = result.fleet_metrics or session.snapshot()
+            with open(args.metrics_out, "w") as fh:
+                _json.dump(snap, fh, indent=2)
+            print(f"fleet metrics snapshot written to {args.metrics_out}")
+        if session is not None and args.trace_out:
+            from .trace_export import write_chrome_trace
+
+            write_chrome_trace(session, args.trace_out)
+            print(f"trace written to {args.trace_out}")
     return 1 if result.divergences else 0
 
 
@@ -554,6 +585,13 @@ def _cmd_predict(args: argparse.Namespace) -> int:
         max_schedules=args.max_schedules,
     )
     print(report.report())
+    if args.trace_out:
+        from .trace_export import journal_to_trace, write_chrome_trace
+
+        write_chrome_trace(
+            journal_to_trace(args.journal, predictions=report), args.trace_out
+        )
+        print(f"prediction trace written: {args.trace_out}")
     if args.witness_out:
         if report.predictions:
             at = min(args.witness_index, len(report.predictions) - 1)
@@ -730,12 +768,53 @@ def _cmd_bench_hotpath(args: argparse.Namespace) -> int:
     return status
 
 
+def _top_live(args: argparse.Namespace) -> int:
+    """Attach to a running ProcessRuntime / sidecar and render its stats."""
+    import time as _time
+
+    from ..errors import ServiceProtocolError, ServiceUnavailableError
+    from ..obs.live import fetch_stats
+    from ..obs.top import render_live_stats
+
+    try:
+        while True:
+            try:
+                stats = fetch_stats(args.live)
+            except (ServiceUnavailableError, ServiceProtocolError, OSError) as exc:
+                print(f"top: cannot fetch stats from {args.live}: {exc}", file=sys.stderr)
+                return 2
+            print(render_live_stats(stats))
+            if args.once:
+                return 0
+            print()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     import json as _json
     import threading
 
     from ..obs.top import render_snapshot, render_top
 
+    if args.live:
+        return _top_live(args)
+    if args.predict:
+        problem = _require_readable(args.predict, "journal")
+        if problem:
+            print(f"top: {problem}", file=sys.stderr)
+            return 2
+        from ..obs.top import render_predictions
+        from ..predict import predict_deadlocks
+
+        report = predict_deadlocks(
+            args.predict, policies=("TJ-SP", "KJ-VC")
+        )
+        print(render_predictions(report))
+        if not args.metrics and not args.trace:
+            return 0
+        print()
     if args.metrics:
         problem = _require_readable(args.metrics, "metrics")
         if problem:
@@ -921,6 +1000,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--inbox-limit", type=int, default=1024)
     p.add_argument("--ack-every", type=int, default=256)
     p.add_argument("--liveness-timeout", type=float, default=5.0)
+    p.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable telemetry in the sidecar (stats replies carry "
+        "metrics and trace state)",
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -955,6 +1040,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--check-divergence",
         action="store_true",
         help="fail (exit 1) on any divergence from the all-local run",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write a merged cross-process Perfetto/Chrome-trace JSON",
+    )
+    p.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the merged fleet metrics snapshot as JSON",
+    )
+    p.add_argument(
+        "--introspect",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve live introspection stats on PORT (0 picks a free port) "
+        "for `repro top --live`",
     )
     p.set_defaults(fn=_cmd_procs)
 
@@ -1047,6 +1150,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=["flagged", "clean"],
         help="exit 1 unless the report matches",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write the journal timeline with predicted-deadlock instants "
+        "overlaid as Perfetto/Chrome-trace JSON",
+    )
     p.set_defaults(fn=_cmd_predict)
 
     p = sub.add_parser(
@@ -1091,6 +1200,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--metrics",
         metavar="FILE",
         help="render a saved metrics-snapshot JSON instead of running",
+    )
+    p.add_argument(
+        "--live",
+        metavar="URL",
+        help="attach to a running ProcessRuntime introspection endpoint or "
+        "`repro serve` sidecar (remote://HOST:PORT) and render its stats",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="with --live: render one screen and exit instead of refreshing",
+    )
+    p.add_argument(
+        "--predict",
+        metavar="JOURNAL",
+        help="run the deadlock predictor on JOURNAL and render the "
+        "predicted-cycle table",
     )
     p.add_argument(
         "--policy",

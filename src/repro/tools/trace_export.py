@@ -65,14 +65,22 @@ def _task_tid(name: str) -> int:
         return _CONTROL_TID
 
 
-def journal_to_trace(path: str, *, pid: int = 1) -> dict:
+def journal_to_trace(path: str, *, pid: int = 1, predictions=None) -> dict:
     """Render a trace journal as a Chrome trace dict, one track per task.
 
     Timestamps come from the journal's optional ``ts`` field (ns since
     journal open, written under ``timestamps=True``); journals without
     timestamps fall back to the dense ``seq`` number as a logical clock
     (1 µs per record), which preserves ordering and nesting even though
-    durations are synthetic.
+    durations are synthetic.  ``complete`` records (the PR 9 completion
+    stream) land as completion instants on the finishing task's track.
+
+    *predictions* optionally overlays ``repro predict`` results: a
+    :class:`~repro.predict.PredictionReport`, a list of
+    :class:`~repro.predict.PredictedDeadlock`, or plain cycles (task
+    name tuples).  Each predicted cycle draws one ``predicted_deadlock``
+    instant on every member task's track, at the journal's end — the
+    cycle is counterfactual, not an event the recorded run reached.
     """
     result = read_journal(path)
     records = result.records
@@ -135,6 +143,23 @@ def journal_to_trace(path: str, *, pid: int = 1) -> dict:
         tid = _task_tid(task) if task else _CONTROL_TID
         if task:
             tids.setdefault(tid, f"task {task}")
+        if kind == "complete":
+            # PR 9 completion stream: a distinct lifecycle instant that
+            # visibly ends the task's track (``ok`` rides in args, so a
+            # failed completion is distinguishable in the UI).
+            events.append(
+                {
+                    "ph": "i",
+                    "name": "complete" if record.get("ok", True) else "failed",
+                    "cat": "lifecycle",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+            continue
         instant(kind, tid, ts, args)
 
     # joins still blocked at death: open-ended spans to the journal's end
@@ -154,6 +179,17 @@ def journal_to_trace(path: str, *, pid: int = 1) -> dict:
             }
         )
 
+    for cycle in _prediction_cycles(predictions):
+        for task in cycle:
+            tid = _task_tid(task)
+            tids.setdefault(tid, f"task {task}")
+            instant(
+                "predicted_deadlock",
+                tid,
+                end_us,
+                {"cycle": " -> ".join((*cycle, cycle[0])), "counterfactual": True},
+            )
+
     meta = [
         {
             "ph": "M",
@@ -167,6 +203,23 @@ def journal_to_trace(path: str, *, pid: int = 1) -> dict:
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
+def _prediction_cycles(predictions) -> list[tuple]:
+    """Normalise a predictions overlay to a list of task-name cycles.
+
+    Accepts a :class:`~repro.predict.PredictionReport`, an iterable of
+    :class:`~repro.predict.PredictedDeadlock`, or plain cycles already
+    as task-name sequences; None means no overlay.
+    """
+    if predictions is None:
+        return []
+    preds = getattr(predictions, "predictions", predictions)
+    cycles = []
+    for item in preds:
+        cycle = getattr(item, "cycle", item)
+        cycles.append(tuple(cycle))
+    return cycles
+
+
 # ----------------------------------------------------------------------
 # validation
 # ----------------------------------------------------------------------
@@ -176,7 +229,9 @@ def validate_chrome_trace(doc: dict) -> list[str]:
     Checks what Perfetto's importer actually cares about: a
     ``traceEvents`` list of well-formed events (``ph``/``name``/``pid``/
     ``tid``, numeric ``ts`` on non-metadata events, non-negative ``dur``
-    on complete events) and — the property the span instrumentation
+    on complete events, an ``id`` on flow events with every flow-finish
+    paired to a flow-start), pid/tid consistency (integer ids, no mixed
+    types within a track), and — the property the span instrumentation
     promises — that each thread's ``"X"`` events nest by duration
     containment, never partially overlapping.
     """
@@ -187,6 +242,8 @@ def validate_chrome_trace(doc: dict) -> list[str]:
     if not isinstance(events, list):
         return ["missing or non-list traceEvents"]
     per_thread: dict[tuple, list[tuple]] = {}
+    flow_starts: set = set()
+    flow_finishes: list[tuple] = []
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             problems.append(f"event {i}: not an object")
@@ -195,6 +252,15 @@ def validate_chrome_trace(doc: dict) -> list[str]:
         for key in ("ph", "name", "pid", "tid"):
             if key not in ev:
                 problems.append(f"event {i}: missing {key!r}")
+        # pid/tid consistency: integer ids throughout — Perfetto merges
+        # tracks by identity, and a tid that is 7 in one event and "7"
+        # in another silently splits one thread into two tracks.
+        pid, tid = ev.get("pid"), ev.get("tid")
+        for label, value in (("pid", pid), ("tid", tid)):
+            if value is not None and not isinstance(value, int):
+                problems.append(
+                    f"event {i}: non-integer {label} {value!r}"
+                )
         if ph == "M":
             continue
         ts = ev.get("ts")
@@ -206,12 +272,31 @@ def validate_chrome_trace(doc: dict) -> list[str]:
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"event {i}: X event with bad dur {dur!r}")
                 continue
-            per_thread.setdefault((ev.get("pid"), ev.get("tid")), []).append(
+            per_thread.setdefault((pid, tid), []).append(
                 (ts, dur, ev.get("name"), i)
             )
         elif ph == "i":
             if ev.get("s") not in ("t", "p", "g"):
                 problems.append(f"event {i}: instant without scope 's'")
+        elif ph in ("s", "f"):
+            # cross-process flow endpoints: an id is what pairs them;
+            # a duration here would be malformed (flows are points).
+            fid = ev.get("id")
+            if fid in (None, ""):
+                problems.append(f"event {i}: flow {ph!r} without id")
+                continue
+            if "dur" in ev:
+                problems.append(f"event {i}: flow {ph!r} with dur")
+            if ph == "s":
+                flow_starts.add(fid)
+            else:
+                flow_finishes.append((fid, i))
+    # every flow-finish must pair with a start somewhere in the trace —
+    # an unpaired "f" is an arrow from nowhere (a dangling "s" is fine:
+    # the receiving side may have dropped its buffer under pressure).
+    for fid, i in flow_finishes:
+        if fid not in flow_starts:
+            problems.append(f"event {i}: flow finish id {fid!r} has no start")
     # duration nesting per thread: sorted by (start, -dur), spans must
     # form a stack — each span either fits inside the open span or
     # begins after it ends.

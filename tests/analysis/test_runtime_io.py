@@ -1,4 +1,4 @@
-"""BENCH_runtime.json schema v6: the predict block round-trips."""
+"""BENCH_runtime.json schema v7: the predict and obs_dist blocks round-trip."""
 
 import json
 
@@ -6,6 +6,7 @@ import pytest
 
 from repro.analysis.io import load_runtime, runtime_from_json, runtime_to_json, save_runtime
 from repro.analysis.runtime_overhead import (
+    ObsDistMeasurement,
     PredictMeasurement,
     RuntimeOverheadResult,
 )
@@ -42,9 +43,9 @@ class TestPredictBlock:
         assert loaded.predict == result.predict
         assert loaded.predict_params == result.predict_params
 
-    def test_schema_version_is_6(self):
+    def test_schema_version_is_7(self):
         payload = json.loads(runtime_to_json(_result_with_predict()))
-        assert payload["schema"] == 6
+        assert payload["schema"] == 7
         assert payload["predict"]["measurement"]["events"] == 74
 
     def test_derived_metrics(self):
@@ -68,3 +69,53 @@ class TestPredictBlock:
         payload["schema"] = 99
         with pytest.raises(ValueError, match="schema"):
             runtime_from_json(json.dumps(payload))
+
+
+def _result_with_obs_dist():
+    return RuntimeOverheadResult(
+        join_chain={},
+        reports=[],
+        join_chain_params={},
+        overhead_params={},
+        obs_dist=ObsDistMeasurement(
+            workers=2,
+            dispatches=16,
+            mids=3,
+            leaves=6,
+            spin=40,
+            tasks=352,
+            off_times=[1.7, 1.6, 1.65],
+            on_times=[1.6, 1.62, 1.7],
+            trace_events=917,
+            trace_pids=4,
+            metric_sources=3,
+        ),
+        obs_dist_params={"workers": 2, "dispatches": 16},
+    )
+
+
+class TestObsDistBlock:
+    def test_roundtrip(self, tmp_path):
+        result = _result_with_obs_dist()
+        path = str(tmp_path / "BENCH_runtime.json")
+        save_runtime(result, path)
+        loaded = load_runtime(path)
+        assert loaded.obs_dist == result.obs_dist
+        assert loaded.obs_dist_params == result.obs_dist_params
+
+    def test_derived_metrics(self):
+        m = _result_with_obs_dist().obs_dist
+        assert m.off_median == 1.65
+        assert m.on_median == 1.62
+        assert m.overhead == pytest.approx(1.62 / 1.65)
+
+    def test_older_files_load_without_the_block(self):
+        bare = RuntimeOverheadResult(
+            join_chain={}, reports=[], join_chain_params={}, overhead_params={}
+        )
+        payload = json.loads(runtime_to_json(bare))
+        assert "obs_dist" not in payload
+        payload["schema"] = 6  # a pre-obs_dist file
+        loaded = runtime_from_json(json.dumps(payload))
+        assert loaded.obs_dist is None
+        assert loaded.obs_dist_params == {}

@@ -126,6 +126,58 @@ class TestJournalBridge:
         assert "journal" in names  # control track
         assert any(n.startswith("task t") for n in names)
 
+    def test_complete_records_land_as_lifecycle_instants(self, tmp_path):
+        path = str(tmp_path / "hand.journal")
+        journal = TraceJournal(path, timestamps=True)
+        a, b = object(), object()
+        journal.log_init(a)  # interned as t0
+        journal.log_fork(a, b)  # b interned as t1
+        journal.log_complete(b, ok=True)
+        journal.log_complete(a, ok=False)
+        journal.close()
+        doc = journal_to_trace(path)
+        assert validate_chrome_trace(doc) == []
+        life = [e for e in doc["traceEvents"] if e.get("cat") == "lifecycle"]
+        assert [e["name"] for e in life] == ["complete", "failed"]
+        # each instant sits on the finishing task's own track (tN -> N+1)
+        assert [e["tid"] for e in life] == [2, 1]
+        # the journalled ns timestamp drives placement, not the seq clock
+        by_task = {r["task"]: r for r in read_journal(path).records if r["kind"] == "complete"}
+        for ev in life:
+            assert ev["ts"] == by_task[ev["args"]["task"]]["ts"] / 1000.0
+
+    def test_a_real_runs_completions_close_every_task_track(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        rt = TaskRuntime(policy="TJ-SP", journal=path)
+        assert rt.run(_blocking_program(rt)) == 7
+        doc = journal_to_trace(path)
+        assert validate_chrome_trace(doc) == []
+        completes = [e for e in doc["traceEvents"] if e.get("cat") == "lifecycle"]
+        # forked tasks complete through the worker loop and are
+        # journalled; the root returns straight through run()
+        assert len(completes) >= 1
+        assert {e["name"] for e in completes} == {"complete"}
+        assert all(e["args"]["ok"] for e in completes)
+        assert {e["args"]["task"] for e in completes} >= {"t1"}
+
+    def test_predictions_overlay_draws_counterfactual_instants(self, tmp_path):
+        path = str(tmp_path / "run.journal")
+        rt = TaskRuntime(policy="TJ-SP", journal=path)
+        assert rt.run(_blocking_program(rt)) == 7
+        doc = journal_to_trace(path, predictions=[("t0", "t1")])
+        assert validate_chrome_trace(doc) == []
+        preds = [
+            e for e in doc["traceEvents"] if e["name"] == "predicted_deadlock"
+        ]
+        assert len(preds) == 2  # one per member task's track
+        assert {e["tid"] for e in preds} == {1, 2}
+        for ev in preds:
+            assert ev["args"]["cycle"] == "t0 -> t1 -> t0"
+            assert ev["args"]["counterfactual"] is True
+        # counterfactual: drawn at the journal's end, after every event
+        end = max(e["ts"] for e in doc["traceEvents"] if "ts" in e)
+        assert all(e["ts"] == end for e in preds)
+
     def test_seq_fallback_without_timestamps_still_validates(self, tmp_path):
         path = str(tmp_path / "run.journal")
         rt = TaskRuntime(policy="TJ-SP", journal=path)  # timestamps off

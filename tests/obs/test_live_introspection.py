@@ -1,0 +1,188 @@
+"""The live introspection plane and the ``top`` renderers behind it.
+
+:class:`IntrospectionServer` + :func:`fetch_stats` are the two halves of
+``repro top --live``: a run exposes a snapshot supplier over the wire
+protocol's ``stats`` record, and an attaching terminal asks for it
+fresh each frame.  The renderer tests feed :func:`render_live_stats`
+synthetic snapshots in both wire shapes (a ProcessRuntime introspection
+snapshot, a ``repro serve`` server snapshot) — pure functions, asserted
+as strings.
+"""
+
+from __future__ import annotations
+
+import socket
+import types
+
+import pytest
+
+import repro.obs.live as live_mod
+from repro.errors import ServiceProtocolError, ServiceUnavailableError
+from repro.obs.live import IntrospectionServer, fetch_stats
+from repro.obs.top import (
+    render_fleet_blocked,
+    render_live_stats,
+    render_predictions,
+)
+from repro.service.server import VerificationServer
+from repro.service.wire import WIRE_VERSION, RecordStream
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestIntrospectionServer:
+    def test_each_stats_request_sees_the_supplier_move(self):
+        state = {"kind": "procs", "run_id": "live", "tick": 0}
+        srv = IntrospectionServer(lambda: dict(state)).start()
+        try:
+            first = fetch_stats(srv.url)
+            state["tick"] = 7
+            second = fetch_stats(srv.url)
+        finally:
+            srv.stop()
+        assert first["tick"] == 0
+        assert second["tick"] == 7
+        assert srv.stats_served == 2
+        assert srv.connections == 2
+
+    def test_url_is_still_reported_after_stop(self):
+        srv = IntrospectionServer(dict).start()
+        url = srv.url
+        srv.stop()
+        assert srv.url == url  # post-run summaries still print it
+
+    def test_url_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            IntrospectionServer(dict).url
+
+    def test_wire_version_gate_refuses_a_mismatched_hello(self):
+        srv = IntrospectionServer(dict).start()
+        try:
+            host, port = srv._bound
+            sock = socket.create_connection((host, port), timeout=5.0)
+            sock.settimeout(5.0)
+            try:
+                stream = RecordStream(sock)
+                stream.send(
+                    {
+                        "kind": "hello",
+                        "session": "skew",
+                        "policy": "TJ-SP",
+                        "fail_mode": "open",
+                        "wire": WIRE_VERSION + 1,
+                    }
+                )
+                reply = stream.recv()
+                assert reply["kind"] == "error"
+                assert "wire version" in reply["message"]
+            finally:
+                sock.close()
+        finally:
+            srv.stop()
+        assert srv.stats_served == 0
+
+
+class TestFetchStats:
+    def test_unreachable_endpoint_raises_unavailable(self):
+        port = _free_port()  # bound then released: nothing listens here
+        with pytest.raises(ServiceUnavailableError):
+            fetch_stats(f"remote://127.0.0.1:{port}", timeout=0.5)
+
+    def test_wire_mismatch_surfaces_as_protocol_error(self, tmp_path, monkeypatch):
+        # The sidecar's hello gate compares against the *service* wire
+        # constant; skewing the one fetch_stats stamps into its hello
+        # simulates attaching an old `top` build to a newer sidecar.
+        srv = VerificationServer(journal_path=str(tmp_path / "service.jsonl"))
+        with srv:
+            host, port = srv.address
+            monkeypatch.setattr(live_mod, "WIRE_VERSION", WIRE_VERSION + 1)
+            with pytest.raises(ServiceProtocolError, match="wire version"):
+                fetch_stats(f"remote://{host}:{port}")
+
+    def test_works_against_a_full_sidecar(self, tmp_path):
+        srv = VerificationServer(journal_path=str(tmp_path / "service.jsonl"))
+        with srv:
+            host, port = srv.address
+            stats = fetch_stats(f"remote://{host}:{port}")
+        assert stats["sessions"] == 1  # the introspection stub session
+        assert "per_session" in stats
+
+
+# ----------------------------------------------------------------------
+# renderers (pure functions)
+# ----------------------------------------------------------------------
+def _procs_snapshot() -> dict:
+    return {
+        "run_id": "feedcafe",
+        "kind": "procs",
+        "workers": [
+            {"index": 0, "alive": True, "pid": 101},
+            {"index": 1, "alive": False, "pid": 102},
+        ],
+        "join_stats": {
+            "local_joins": 10,
+            "cross_joins": 4,
+            "degraded_joins": 0,
+            "escalation_ratio": 0.286,
+        },
+        "counters": {},
+        "blocked": [
+            {"process": "worker-1", "joiner": "t3", "joinee": "t9", "age": 2.5, "wakeups": 12},
+            {"process": "parent", "joiner": "root", "joinee": "t1", "age": 0.5, "wakeups": 2},
+        ],
+        "metrics": {"counters": {'repro_runtime_forks_total{worker="0"}': 40}},
+        "sidecar": "remote://127.0.0.1:4242",
+    }
+
+
+class TestRenderers:
+    def test_live_stats_procs_shape(self):
+        text = render_live_stats(_procs_snapshot())
+        assert "run feedcafe" in text
+        assert "workers 1/2 alive" in text
+        assert "sidecar remote://127.0.0.1:4242" in text
+        assert "joins: local=10 cross=4 degraded=0 escalation=0.286" in text
+        assert "blocked joins" in text
+        # the merged registry renders through the snapshot renderer
+        assert 'repro_runtime_forks_total{worker="0"}' in text
+
+    def test_live_stats_sidecar_shape(self):
+        text = render_live_stats(
+            {
+                "sessions": 2,
+                "accepted": 5,
+                "per_session": {
+                    "procs-1": {"checks": 3, "inbox": {"depth": 0}},
+                },
+            }
+        )
+        assert "sidecar — sessions 2 accepted 5" in text
+        assert "procs-1" in text
+        assert "checks=3" in text
+        assert "inbox" not in text  # nested structures stay off the row
+
+    def test_fleet_blocked_orders_by_age_descending(self):
+        text = render_fleet_blocked(_procs_snapshot()["blocked"])
+        lines = text.splitlines()
+        assert lines[0] == "blocked joins"
+        assert lines[2].split()[0] == "worker-1"  # oldest wait first
+        assert lines[3].split()[0] == "parent"
+        assert render_fleet_blocked([]) == "blocked joins: none"
+
+    def test_predictions_three_shapes(self):
+        skipped = types.SimpleNamespace(skipped="journal had no forks")
+        assert "skipped (journal had no forks)" in render_predictions(skipped)
+        empty = types.SimpleNamespace(skipped=None, predictions=[])
+        assert render_predictions(empty) == "predicted deadlocks: none"
+        pred = types.SimpleNamespace(
+            cycle=("a", "b"), verdicts={"TJ-SP": "deadlock", "KJ": "ok"}
+        )
+        report = types.SimpleNamespace(skipped=None, predictions=[pred])
+        text = render_predictions(report)
+        assert "predicted deadlocks (1)" in text
+        assert "a -> b -> a" in text
+        assert "KJ=ok" in text and "TJ-SP=deadlock" in text

@@ -158,3 +158,53 @@ class TestValidator:
     def test_rejects_instant_without_scope(self):
         doc = {"traceEvents": [{"ph": "i", "name": "e", "pid": 1, "tid": 1, "ts": 0}]}
         assert any("scope" in p for p in validate_chrome_trace(doc))
+
+    def test_accepts_paired_cross_process_flows(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "s", "name": "dispatch", "cat": "d", "pid": 1, "tid": 1, "ts": 0, "id": "tr:1"},
+                {"ph": "f", "name": "dispatch", "cat": "d", "pid": 2, "tid": 1, "ts": 5, "id": "tr:1", "bp": "e"},
+            ]
+        }
+        assert validate_chrome_trace(doc) == []
+
+    def test_rejects_flow_finish_without_a_start(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "f", "name": "dispatch", "pid": 2, "tid": 1, "ts": 5, "id": "tr:9"}
+            ]
+        }
+        assert any("has no start" in p for p in validate_chrome_trace(doc))
+
+    def test_dangling_flow_start_is_tolerated(self):
+        # the receiving process may have dropped its ring under pressure
+        doc = {
+            "traceEvents": [
+                {"ph": "s", "name": "dispatch", "pid": 1, "tid": 1, "ts": 0, "id": "tr:2"}
+            ]
+        }
+        assert validate_chrome_trace(doc) == []
+
+    def test_rejects_flow_without_id_or_with_duration(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "s", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+                {"ph": "s", "name": "b", "pid": 1, "tid": 1, "ts": 0, "id": "x", "dur": 3},
+                {"ph": "f", "name": "b", "pid": 2, "tid": 1, "ts": 1, "id": "x"},
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("without id" in p for p in problems)
+        assert any("with dur" in p for p in problems)
+
+    def test_rejects_non_integer_pid_or_tid(self):
+        # Perfetto merges tracks by identity: tid 7 and tid "7" silently
+        # split one thread into two tracks, so the validator refuses.
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "name": "a", "pid": "1", "tid": 7.5, "ts": 0, "dur": 1}
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("non-integer pid" in p for p in problems)
+        assert any("non-integer tid" in p for p in problems)
